@@ -1,0 +1,111 @@
+// Fig. 2: the motivating toy example. One heartbeat cycle; five scattered
+// 5-KB e-mails each paying their own radio tail, versus the same five
+// e-mails deferred and aggregated right behind the second heartbeat. The
+// paper reports ~40% transmission-energy saving in its power-trace capture.
+#include <cstdio>
+
+#include "common/table.h"
+#include "net/bandwidth_trace.h"
+#include "radio/energy_meter.h"
+#include "radio/power_monitor.h"
+
+namespace {
+
+using namespace etrain;
+
+radio::TransmissionLog scattered_log(const net::BandwidthTrace& trace) {
+  radio::TransmissionLog log;
+  const auto add = [&](TimePoint t, Bytes bytes, radio::TxKind kind) {
+    radio::Transmission tx;
+    tx.start = t;
+    tx.duration = trace.transfer_duration(bytes, t);
+    tx.bytes = bytes;
+    tx.kind = kind;
+    log.add(tx);
+  };
+  add(0.0, 74, radio::TxKind::kHeartbeat);
+  for (int i = 1; i <= 5; ++i) {
+    add(45.0 * i, kilobytes(5.0), radio::TxKind::kData);  // scattered mails
+  }
+  add(270.0, 74, radio::TxKind::kHeartbeat);
+  return log;
+}
+
+radio::TransmissionLog piggybacked_log(const net::BandwidthTrace& trace) {
+  radio::TransmissionLog log;
+  TimePoint t = 0.0;
+  const auto add = [&](TimePoint at, Bytes bytes, radio::TxKind kind) {
+    radio::Transmission tx;
+    tx.start = at;
+    tx.duration = trace.transfer_duration(bytes, at);
+    tx.bytes = bytes;
+    tx.kind = kind;
+    log.add(tx);
+    t = tx.end();
+  };
+  add(0.0, 74, radio::TxKind::kHeartbeat);
+  add(270.0, 74, radio::TxKind::kHeartbeat);
+  for (int i = 0; i < 5; ++i) {
+    add(t, kilobytes(5.0), radio::TxKind::kData);  // ride the 2nd train
+  }
+  return log;
+}
+
+void print_power_trace(const radio::TransmissionLog& log,
+                       const radio::PowerModel& model, const char* label) {
+  // Compress the 0.1 s Monsoon-style trace into its plateau segments.
+  const radio::PowerMonitor monitor(0.1);
+  const auto samples = monitor.sample(log, model, 300.0);
+  std::printf("%s power trace (plateaus):\n", label);
+  double current = samples.front().power;
+  TimePoint since = 0.0;
+  for (const auto& s : samples) {
+    if (s.power != current) {
+      std::printf("  %8s .. %8s : %6.0f mW\n", format_time(since).c_str(),
+                  format_time(s.time).c_str(), current * 1000.0);
+      current = s.power;
+      since = s.time;
+    }
+  }
+  std::printf("  %8s .. %8s : %6.0f mW\n", format_time(since).c_str(),
+              format_time(300.0).c_str(), current * 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== eTrain reproduction: Fig. 2 — piggybacking toy example ===\n");
+  const auto model = radio::PowerModel::PaperUmts3G();
+  const auto trace = net::BandwidthTrace::constant(120.0e3, 600);
+
+  const auto scattered = scattered_log(trace);
+  const auto piggy = piggybacked_log(trace);
+  const auto rep_s = radio::measure_energy(scattered, model, 300.0);
+  const auto rep_p = radio::measure_energy(piggy, model, 300.0);
+
+  Table table({"schedule", "tx_J", "tail_J", "network_J", "tails paid"});
+  table.add_row({"scattered (no eTrain)", Table::num(rep_s.tx_energy, 2),
+                 Table::num(rep_s.tail_energy(), 2),
+                 Table::num(rep_s.network_energy(), 2),
+                 Table::integer(static_cast<long long>(
+                     rep_s.full_tails + rep_s.truncated_tails))});
+  table.add_row({"aggregated behind 2nd heartbeat",
+                 Table::num(rep_p.tx_energy, 2),
+                 Table::num(rep_p.tail_energy(), 2),
+                 Table::num(rep_p.network_energy(), 2),
+                 Table::integer(static_cast<long long>(
+                     rep_p.full_tails + rep_p.truncated_tails))});
+  table.print();
+
+  const double saving =
+      1.0 - rep_p.network_energy() / rep_s.network_energy();
+  std::printf(
+      "transmission-energy saving: %.1f %%  (paper's power trace: ~40 %%; "
+      "our radio model pays no promotion energy, so the margin is larger)\n",
+      100.0 * saving);
+
+  print_power_trace(scattered, model, "\nwithout eTrain");
+  print_power_trace(piggy, model, "\nwith eTrain");
+  return 0;
+}

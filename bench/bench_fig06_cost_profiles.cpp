@@ -1,0 +1,27 @@
+// Fig. 6: the three delay-cost profile functions — f1 (eTrain Mail), f2
+// (Luna Weibo), f3 (eTrain Cloud) — tabulated against delay, normalized to
+// the deadline.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cost_profile.h"
+
+int main() {
+  using namespace etrain;
+  std::printf(
+      "=== eTrain reproduction: Fig. 6 — delay cost profile functions ===\n");
+  const double deadline = 60.0;
+  Table table({"delay/deadline", "f1 (Mail)", "f2 (Weibo)", "f3 (Cloud)"});
+  for (double r = 0.0; r <= 3.0 + 1e-9; r += 0.25) {
+    const double d = r * deadline;
+    table.add_row({Table::num(r, 2),
+                   Table::num(core::mail_cost_profile().cost(d, deadline), 3),
+                   Table::num(core::weibo_cost_profile().cost(d, deadline), 3),
+                   Table::num(core::cloud_cost_profile().cost(d, deadline), 3)});
+  }
+  table.print();
+  std::printf(
+      "paper: f1 = 0 until the deadline then d/deadline - 1; f2 = d/deadline "
+      "capped at 2; f3 = d/deadline then 3*(d/deadline) - 2.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 11: user-activeness replay. Luna Weibo behaviour traces (synthesized
+// per the paper's activeness classes) are replayed over 10-minute app-use
+// sessions with 3 train apps; uploads are scheduled by eTrain while
+// interactive refresh/browse traffic goes out immediately. The paper
+// reports savings of 227.92 J (23.1 %) for active, 134.47 J (19.4 %) for
+// moderate, and 63.23 J (13.3 %) for inactive users.
+#include <cstdio>
+
+#include "apps/user_trace.h"
+#include "baselines/baseline_policy.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+// One scenario = a set of same-class users' 10-minute sessions laid
+// back-to-back (with idle gaps), against the 3 default trains.
+Scenario activeness_scenario(apps::Activeness klass, int users,
+                             std::uint64_t seed) {
+  Scenario s;
+  s.model = radio::PowerModel::PaperUmts3G();
+  const Duration session = 600.0;
+  const Duration gap = 60.0;
+  s.horizon = users * (session + gap);
+  net::SyntheticBandwidthConfig bw;
+  bw.length = s.horizon;
+  s.trace = net::generate_synthetic_trace(bw, 20141208);
+  s.trains = apps::build_train_schedule(apps::default_train_specs(),
+                                        s.horizon);
+  s.profiles = {&core::weibo_cost_profile()};
+
+  Rng rng(seed);
+  core::PacketId next_id = 0;
+  for (int u = 0; u < users; ++u) {
+    auto trace = apps::synthesize_trace(klass, u, rng);
+    trace.truncate(session);  // the paper truncates to 10 minutes
+    const TimePoint start = u * (session + gap);
+    // Uploads become cargo with the paper's 30 s Weibo deadline.
+    auto packets = apps::replay_uploads(trace, 0, start, 30.0, next_id);
+    next_id += static_cast<core::PacketId>(packets.size());
+    s.packets.insert(s.packets.end(), packets.begin(), packets.end());
+    // Interactive traffic replays verbatim, outside eTrain's control.
+    for (const auto& e : trace.events) {
+      if (e.behavior == apps::BehaviorType::kUpload) continue;
+      s.background.push_back(
+          apps::TrainEvent{start + e.time, /*train=*/0, e.bytes});
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== eTrain reproduction: Fig. 11 — impact of user activeness ===\n");
+  const int users = 20;
+  Table table({"class", "uploads", "without eTrain_J (blue)",
+               "with eTrain_J", "saved_J (green)", "saved %", "delay_s"});
+  struct Row {
+    const char* name;
+    apps::Activeness klass;
+  };
+  for (const Row row : {Row{"active", apps::Activeness::kActive},
+                        Row{"moderate", apps::Activeness::kModerate},
+                        Row{"inactive", apps::Activeness::kInactive}}) {
+    const Scenario s = activeness_scenario(row.klass, users, 7);
+    baselines::BaselinePolicy baseline;
+    core::EtrainScheduler etrain(
+        {.theta = 0.2, .k = 20, .drip_defer_window = 60.0});
+    const auto m_without = run_slotted(s, baseline);
+    const auto m_with = run_slotted(s, etrain);
+    const double without = m_without.network_energy();
+    const double with = m_with.network_energy();
+    table.add_row({row.name,
+                   Table::integer(static_cast<long long>(s.packets.size())),
+                   Table::num(without, 1), Table::num(with, 1),
+                   Table::num(without - with, 1),
+                   Table::num(100.0 * (1.0 - with / without), 1) + " %",
+                   Table::num(m_with.normalized_delay, 1)});
+  }
+  table.print();
+  std::printf(
+      "per-session scale: divide the joule columns by %d users.  paper "
+      "(single session): active 227.92 J (23.1 %%), moderate 134.47 J "
+      "(19.4 %%), inactive 63.23 J (13.3 %%) — more uploads give eTrain more "
+      "cargo to piggyback, so savings grow with activeness.\n",
+      users);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark): the hot paths a phone-side deployment
+// cares about — Algorithm 1's per-slot selection, energy-meter replay,
+// heartbeat-cycle prediction, and bandwidth-trace integration.
+#include <benchmark/benchmark.h>
+
+#include "android/heartbeat_monitor.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+#include "radio/energy_meter.h"
+
+namespace {
+
+using namespace etrain;
+
+void BM_SchedulerSelect(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::WaitingQueues queues(3);
+  for (int i = 0; i < n; ++i) {
+    core::Packet p;
+    p.id = i;
+    p.app = i % 3;
+    p.arrival = i * 0.5;
+    p.deadline = 60.0;
+    p.bytes = 2000;
+    queues.enqueue(core::QueuedPacket{p, &core::weibo_cost_profile()});
+  }
+  core::EtrainScheduler scheduler(
+      {.theta = 0.0, .k = core::EtrainConfig::unlimited_k()});
+  core::SlotContext ctx;
+  ctx.slot_start = 1000.0;
+  ctx.heartbeat_now = true;
+  for (auto _ : state) {
+    auto selections = scheduler.select(ctx, queues);
+    benchmark::DoNotOptimize(selections);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SchedulerSelect)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+void BM_EnergyMeterReplay(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  radio::TransmissionLog log;
+  for (std::size_t i = 0; i < n; ++i) {
+    radio::Transmission tx;
+    tx.start = static_cast<double>(i) * 12.0;
+    tx.duration = 0.5;
+    tx.bytes = 2000;
+    tx.kind = i % 7 == 0 ? radio::TxKind::kHeartbeat : radio::TxKind::kData;
+    log.add(tx);
+  }
+  const auto model = radio::PowerModel::PaperUmts3G();
+  const double horizon = static_cast<double>(n) * 12.0 + 100.0;
+  for (auto _ : state) {
+    auto report = radio::measure_energy(log, model, horizon);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EnergyMeterReplay)->Range(64, 16384);
+
+void BM_MonitorPrediction(benchmark::State& state) {
+  android::HeartbeatMonitor monitor;
+  for (int app = 0; app < 3; ++app) {
+    for (int j = 0; j < 10; ++j) {
+      monitor.on_heartbeat(app, app * 5.0 + j * (240.0 + app * 30.0));
+    }
+  }
+  for (auto _ : state) {
+    auto departures = monitor.predict_departures(2000.0, 2000.0 + 1800.0);
+    benchmark::DoNotOptimize(departures);
+  }
+}
+BENCHMARK(BM_MonitorPrediction);
+
+void BM_TransferDuration(benchmark::State& state) {
+  const auto trace = net::wuhan_trace();
+  double t = 0.0;
+  for (auto _ : state) {
+    const double d = trace.transfer_duration(100000, t);
+    benchmark::DoNotOptimize(d);
+    t += 7.3;
+    if (t > 7000.0) t = 0.0;
+  }
+}
+BENCHMARK(BM_TransferDuration);
+
+void BM_FullSlottedRun(benchmark::State& state) {
+  experiments::ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = static_cast<double>(state.range(0));
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const auto scenario = experiments::make_scenario(cfg);
+  for (auto _ : state) {
+    core::EtrainScheduler policy({.theta = 1.0, .k = 20});
+    auto metrics = experiments::run_slotted(scenario, policy);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(scenario.packets.size()));
+}
+BENCHMARK(BM_FullSlottedRun)->Arg(1800)->Arg(7200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Optimality gap (extension): how close does the online Algorithm 1 get to
+// the exact offline optimum of formulation (1)-(5)?
+//
+// The offline problem is NP-hard, so exact answers exist only for small
+// instances: a 20-minute window, the 3 default trains, and a handful of
+// packets. For each random instance we report
+//   * the exact branch-and-bound optimum,
+//   * the offline greedy heuristic,
+//   * the online eTrain schedule (simulated, no future knowledge), scored
+//     by the same evaluator.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "core/offline_solver.h"
+#include "exp/slotted_sim.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+struct Instance {
+  core::OfflineProblem problem;
+  Scenario scenario;
+};
+
+Instance make_instance(std::uint64_t seed, int packet_count) {
+  Instance inst;
+  const Duration horizon = 1200.0;
+
+  inst.problem.heartbeat_times.clear();
+  const auto trains =
+      apps::build_train_schedule(apps::default_train_specs(), horizon);
+  for (const auto& e : trains) inst.problem.heartbeat_times.push_back(e.time);
+  inst.problem.heartbeat_bytes = 100;
+  inst.problem.horizon = horizon;
+  inst.problem.model = radio::PowerModel::PaperUmts3G();
+  inst.problem.bandwidth = 120.0e3;
+
+  Rng rng(seed);
+  for (int i = 0; i < packet_count; ++i) {
+    core::Packet p;
+    p.id = i;
+    p.app = 0;
+    p.arrival = rng.uniform(0.0, horizon - 400.0);
+    p.deadline = rng.uniform(60.0, 240.0);
+    p.bytes = static_cast<Bytes>(rng.truncated_normal(3000.0, 1500.0, 500.0));
+    inst.problem.packets.push_back(
+        core::QueuedPacket{p, &core::weibo_cost_profile()});
+  }
+  std::sort(inst.problem.packets.begin(), inst.problem.packets.end(),
+            [](const core::QueuedPacket& a, const core::QueuedPacket& b) {
+              return a.packet.arrival < b.packet.arrival;
+            });
+  for (std::size_t i = 0; i < inst.problem.packets.size(); ++i) {
+    inst.problem.packets[i].packet.id = static_cast<core::PacketId>(i);
+  }
+
+  // Mirror the instance as a Scenario for the online run: constant
+  // bandwidth so the offline evaluator and the simulator agree exactly.
+  inst.scenario.horizon = horizon;
+  inst.scenario.model = inst.problem.model;
+  inst.scenario.trace = net::BandwidthTrace::constant(inst.problem.bandwidth,
+                                                      60);
+  inst.scenario.trains = trains;
+  for (const auto& qp : inst.problem.packets) {
+    inst.scenario.packets.push_back(qp.packet);
+  }
+  inst.scenario.profiles = {&core::weibo_cost_profile()};
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== eTrain extension: online vs. exact offline optimum ===\n");
+  Table table({"instance", "packets", "offline exact_J", "offline greedy_J",
+               "online eTrain_J", "gap", "nodes"});
+  RunningStats gaps;
+  for (int trial = 0; trial < 10; ++trial) {
+    const int packets = 3 + trial % 5;
+    const auto inst = make_instance(1000 + trial, packets);
+
+    const auto exact = core::solve_offline_exact(inst.problem);
+    const auto greedy = core::solve_offline_greedy(inst.problem);
+
+    core::EtrainScheduler policy({.theta = 0.2, .k = 20});
+    const auto online = run_slotted(inst.scenario, policy);
+    // Score the online schedule with the same offline evaluator.
+    std::vector<TimePoint> departures(inst.problem.packets.size(), 0.0);
+    for (const auto& o : online.outcomes) {
+      departures[static_cast<std::size_t>(o.id)] = o.sent;
+    }
+    const auto online_scored =
+        core::evaluate_offline_schedule(inst.problem, departures);
+
+    const double gap =
+        exact.tail_energy > 0.0
+            ? online_scored.tail_energy / exact.tail_energy
+            : 1.0;
+    gaps.add(gap);
+    table.add_row({Table::integer(trial), Table::integer(packets),
+                   Table::num(exact.tail_energy, 2),
+                   Table::num(greedy.tail_energy, 2),
+                   Table::num(online_scored.tail_energy, 2),
+                   Table::num(gap, 3) + "x",
+                   Table::integer(static_cast<long long>(
+                       exact.nodes_explored))});
+  }
+  table.print();
+  std::printf(
+      "online-vs-optimal tail energy ratio: mean %.3fx, worst %.3fx over %zu "
+      "instances — the channel-oblivious online rule is near-optimal when "
+      "trains are the dominant structure.\n",
+      gaps.mean(), gaps.max(), gaps.count());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 1: heartbeat cycles of popular apps per device, recovered with the
+// paper's own methodology — capture traffic (Wireshark-style), analyze the
+// capture offline, and read the cycle off the inter-heartbeat gaps.
+// Android devices show per-app cycles; iPhones show one unified 1800 s
+// cycle because Apple forces every app through APNS.
+#include <cstdio>
+
+#include "android/pcap.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace etrain;
+
+std::string describe(const android::CycleEstimate& e) {
+  if (e.heartbeats < 2) return "n/a";
+  if (e.fixed_cycle) return Table::num(e.median_cycle, 0) + "s";
+  return Table::num(e.min_cycle, 0) + "-" + Table::num(e.max_cycle, 0) + "s";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== eTrain reproduction: Table 1 — heartbeat cycles from captures "
+      "===\n");
+  const Duration horizon = hours(4.0);
+  const android::PcapAnalyzer analyzer;
+
+  // Android devices: each app keeps its own TCP connection and cycle. The
+  // three handsets in the paper observe identical cycles; we model the
+  // device only through the capture seed.
+  const char* devices[] = {"HTC Sensation Z710e", "Samsung Note II",
+                           "Samsung GALAXY S IV"};
+  Table table({"device", "WeChat", "WhatsApp", "QQ", "RenRen", "NetEase"});
+  std::uint64_t seed = 1;
+  for (const char* device : devices) {
+    std::vector<std::string> row{device};
+    for (const auto& spec : apps::android_catalog()) {
+      Rng rng(seed++);
+      const auto capture = android::synthesize_capture(
+          spec, horizon, rng, /*with_data_traffic=*/true);
+      row.push_back(describe(analyzer.analyze_flow(spec.app_name, capture)));
+    }
+    table.add_row(row);
+  }
+  // iOS: every app's notifications ride the single APNS connection.
+  {
+    std::vector<std::string> row{"iPhone 4 / iPhone 5 (APNS)"};
+    Rng rng(seed++);
+    const auto capture = android::synthesize_capture(
+        apps::apns_spec(), horizon, rng, /*with_data_traffic=*/false);
+    const auto estimate =
+        analyzer.analyze_flow(apps::apns_spec().app_name, capture);
+    for (int i = 0; i < 5; ++i) row.push_back(describe(estimate));
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "paper: WeChat 270s, WhatsApp 240s, QQ 300s, RenRen 300s, NetEase "
+      "60-480s on Android; 1800s for everything on iOS.\n");
+
+  // Extension: literature-reported cycles of other always-online apps,
+  // recovered through the same capture pipeline.
+  print_banner("extended catalog (beyond the paper's Table 1)");
+  Table extended({"app", "recovered cycle", "heartbeats in 4 h"});
+  for (const auto& spec :
+       {apps::skype_spec(), apps::facebook_spec(), apps::line_spec(),
+        apps::push_email_spec()}) {
+    Rng rng(seed++);
+    const auto capture =
+        android::synthesize_capture(spec, horizon, rng, true);
+    const auto e = analyzer.analyze_flow(spec.app_name, capture);
+    extended.add_row({spec.app_name, describe(e),
+                      Table::integer(static_cast<long long>(e.heartbeats))});
+  }
+  extended.print();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Unified push study (extension, motivated by Sec. II-B): Apple forces all
+// iOS apps through APNS — one TCP connection, one 1800 s heartbeat; Google
+// offers GCM on Android but apps roll their own heartbeats instead.
+//
+// What does consolidation mean for energy, and what does it do to eTrain?
+// Fewer trains waste fewer heartbeat tails, but they also give eTrain fewer
+// piggybacking opportunities, so cargo delay grows and relief-valve drips
+// return. This bench quantifies that tension across heartbeat regimes.
+#include <cstdio>
+
+#include "baselines/baseline_policy.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+Scenario scenario_with_trains(std::vector<apps::HeartbeatSpec> trains) {
+  Scenario s;
+  s.horizon = 7200.0;
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::wuhan_trace();
+  s.trains = apps::build_train_schedule(trains, s.horizon);
+  Rng rng(42);
+  const auto cargo = apps::default_cargo_specs();
+  s.packets = apps::generate_workload(cargo, s.horizon, rng);
+  for (const auto& c : cargo) s.profiles.push_back(c.profile);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== eTrain extension: per-app heartbeats vs. a unified push channel "
+      "===\n");
+
+  apps::HeartbeatSpec gcm;  // a hypothetical consolidated Android channel
+  gcm.app_name = "GCM(unified)";
+  gcm.cycle = 240.0;  // as frequent as the fastest IM app
+  gcm.heartbeat_bytes = 90;
+
+  apps::HeartbeatSpec gcm_slow = gcm;
+  gcm_slow.app_name = "GCM(slow)";
+  gcm_slow.cycle = 900.0;
+
+  struct Regime {
+    const char* name;
+    std::vector<apps::HeartbeatSpec> trains;
+  };
+  const Regime regimes[] = {
+      {"3 per-app heartbeats (Android today)", apps::default_train_specs()},
+      {"1 unified channel @240s (aggressive GCM)", {gcm}},
+      {"1 unified channel @900s (relaxed GCM)", {gcm_slow}},
+      {"1 unified channel @1800s (APNS / iOS)", {apps::apns_spec()}},
+  };
+
+  Table table({"heartbeat regime", "beats", "hb-only_J",
+               "Baseline total_J", "eTrain total_J", "eTrain delay_s",
+               "eTrain viol"});
+  for (const auto& regime : regimes) {
+    const Scenario s = scenario_with_trains(regime.trains);
+
+    // Heartbeats alone (what the always-online connectivity itself costs).
+    Scenario hb_only = s;
+    hb_only.packets.clear();
+    baselines::BaselinePolicy noop;
+    const auto m_hb = run_slotted(hb_only, noop);
+
+    baselines::BaselinePolicy baseline;
+    const auto m_base = run_slotted(s, baseline);
+    core::EtrainScheduler etrain({.theta = 0.5, .k = 20});
+    const auto m_etrain = run_slotted(s, etrain);
+
+    table.add_row({regime.name,
+                   Table::integer(static_cast<long long>(s.trains.size())),
+                   Table::num(m_hb.network_energy(), 1),
+                   Table::num(m_base.network_energy(), 1),
+                   Table::num(m_etrain.network_energy(), 1),
+                   Table::num(m_etrain.normalized_delay, 1),
+                   Table::num(m_etrain.violation_ratio, 3)});
+  }
+  table.print();
+  std::printf(
+      "consolidation shrinks the heartbeat bill itself, but sparse trains "
+      "starve eTrain of piggyback slots: cargo delay grows, the relief valve "
+      "pays fresh tails, and past ~900 s cycles deferring is outright "
+      "counterproductive — which is why the production service stops "
+      "deferring when trains go stale (Sec. V-3; EtrainService's "
+      "train_staleness implements exactly that fallback). Android apps do "
+      "not consolidate (Sec. II-B), and that dense-train regime is where "
+      "eTrain pays off most.\n");
+  return 0;
+}

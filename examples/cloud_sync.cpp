@@ -1,0 +1,74 @@
+// Cloud-sync scenario: bulk delay-tolerant uploads over a fluctuating
+// cellular link, comparing every scheduling policy in the library on the
+// identical workload — a small, self-contained version of the paper's
+// comparative analysis.
+//
+// Cloud backup chunks are large (100 KB mean), so transmission time — and
+// therefore the time-varying bandwidth — matters more than for chat-sized
+// cargo. The example shows how channel-aware policies (PerES/eTime) and
+// the channel-oblivious eTrain behave on the same trace.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/cargo_app.h"
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+int main() {
+  using namespace etrain;
+  std::printf("eTrain example: cloud sync over a fluctuating 3G uplink\n");
+
+  experiments::Scenario s;
+  s.horizon = hours(2.0);
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::wuhan_trace();
+  s.trains = apps::build_train_schedule(apps::default_train_specs(),
+                                        s.horizon);
+  auto spec = apps::cloud_spec();
+  spec.mean_interarrival = 60.0;  // a busy backup session
+  Rng rng(99);
+  s.packets = apps::generate_arrivals(spec, 0, s.horizon, rng);
+  s.profiles = {spec.profile};
+  Bytes total = 0;
+  for (const auto& p : s.packets) total += p.bytes;
+  std::printf("workload: %zu chunks, %.1f MB total; uplink %.0f..%.0f KB/s "
+              "(mean %.0f)\n",
+              s.packets.size(), static_cast<double>(total) / 1e6,
+              s.trace.min() / 1e3, s.trace.max() / 1e3, s.trace.mean() / 1e3);
+
+  std::vector<std::unique_ptr<core::SchedulingPolicy>> policies;
+  policies.push_back(std::make_unique<baselines::BaselinePolicy>());
+  policies.push_back(std::make_unique<core::EtrainScheduler>(
+      core::EtrainConfig{.theta = 0.5, .k = 20}));
+  policies.push_back(std::make_unique<baselines::PerESPolicy>(
+      baselines::PerESConfig{.omega = 0.5}));
+  policies.push_back(std::make_unique<baselines::ETimePolicy>(
+      baselines::ETimeConfig{.v = 1.0}));
+  policies.push_back(std::make_unique<baselines::TailEnderPolicy>());
+  policies.push_back(std::make_unique<baselines::OraclePolicy>());
+
+  Table table({"policy", "energy_J", "tx_J", "tail_J", "delay_s",
+               "violations"});
+  for (const auto& policy : policies) {
+    const auto m = experiments::run_slotted(s, *policy);
+    table.add_row({m.policy_name, Table::num(m.network_energy(), 1),
+                   Table::num(m.energy.tx_energy, 1),
+                   Table::num(m.energy.tail_energy(), 1),
+                   Table::num(m.normalized_delay, 1),
+                   Table::num(100.0 * m.violation_ratio, 1) + " %"});
+  }
+  table.print();
+  std::printf(
+      "with 100 KB chunks the tx column finally matters, yet the tail "
+      "column still dominates — which is why riding heartbeat tails beats "
+      "timing the channel.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Email batching scenario: how deadlines shape eTrain's behaviour, and how
+// to plug a custom delay-cost profile into the scheduler.
+//
+// An e-mail client is the classic delay-tolerant cargo app: nobody notices
+// a message leaving two minutes late, so eTrain can hold outgoing mail for
+// the next heartbeat train. This example sweeps the user-visible deadline
+// and also registers a custom "impatient" profile to show the extension
+// point.
+#include <cstdio>
+
+#include "apps/cargo_app.h"
+#include "baselines/baseline_policy.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace {
+
+using namespace etrain;
+
+// A custom profile: cost ramps quadratically — patient at first, then
+// sharply demanding. Any CostProfile subclass can be attached to packets.
+class ImpatientProfile final : public core::CostProfile {
+ public:
+  double cost(Duration delay, Duration deadline) const override {
+    if (delay <= 0.0) return 0.0;
+    const double r = delay / deadline;
+    return r * r;
+  }
+  std::string name() const override { return "impatient-quadratic"; }
+};
+
+experiments::Scenario mail_scenario(Duration deadline,
+                                    const core::CostProfile& profile) {
+  experiments::Scenario s;
+  s.horizon = hours(2.0);
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::wuhan_trace();
+  s.trains = apps::build_train_schedule(apps::default_train_specs(),
+                                        s.horizon);
+  auto spec = apps::mail_spec();
+  spec.deadline = deadline;
+  Rng rng(7);
+  s.packets = apps::generate_arrivals(spec, 0, s.horizon, rng);
+  s.profiles = {&profile};
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace etrain;
+  std::printf("eTrain example: e-mail batching under different deadlines\n");
+
+  Table table({"deadline_s", "profile", "energy_J", "vs baseline", "delay_s",
+               "violations"});
+  const ImpatientProfile impatient;
+  for (const Duration deadline : {60.0, 120.0, 300.0, 600.0}) {
+    for (const core::CostProfile* profile :
+         {static_cast<const core::CostProfile*>(&core::mail_cost_profile()),
+          static_cast<const core::CostProfile*>(&impatient)}) {
+      const auto scenario = mail_scenario(deadline, *profile);
+      baselines::BaselinePolicy baseline;
+      core::EtrainScheduler etrain({.theta = 0.2, .k = 20});
+      const auto mb = experiments::run_slotted(scenario, baseline);
+      const auto me = experiments::run_slotted(scenario, etrain);
+      table.add_row(
+          {Table::num(deadline, 0), profile->name(),
+           Table::num(me.network_energy(), 1),
+           Table::num(100.0 * (1.0 - me.network_energy() /
+                                         mb.network_energy()),
+                      1) +
+               " % less",
+           Table::num(me.normalized_delay, 1),
+           Table::num(100.0 * me.violation_ratio, 1) + " %"});
+    }
+  }
+  table.print();
+  std::printf(
+      "longer deadlines let mail ride later trains (more energy saved); the "
+      "impatient profile forces earlier departures at higher energy.\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+// etrain_cli — command-line simulation runner.
+//
+// The tool a downstream user reaches for first: run any policy over the
+// standard scenario with every knob exposed, print the metric summary, and
+// optionally dump per-packet outcomes and the transmission log as CSV.
+//
+//   ./build/examples/etrain_cli --policy=etrain --theta=1.0 --lambda=0.08
+//   ./build/examples/etrain_cli --policy=etime --v=2 --radio=sim
+//   ./build/examples/etrain_cli --policy=baseline --csv=/tmp/run
+//
+// Flags (all optional):
+//   --policy=etrain|baseline|peres|etime|tailender|oracle   (etrain)
+//   --lambda=<pkts/s>      total cargo arrival rate          (0.08)
+//   --trains=<0..3>        number of train apps              (3)
+//   --horizon=<s>          simulated seconds                 (7200)
+//   --seed=<n>             workload seed                     (42)
+//   --radio=device|sim|realistic|lte|fastdormancy            (device)
+//   --deadline=<s>         shared deadline override          (per-app)
+//   --theta=, --k=         eTrain knobs                      (0.2, 20)
+//   --omega=               PerES knob                        (0.5)
+//   --v=                   eTime knob                        (1.0)
+//   --csv=<prefix>         write <prefix>_outcomes.csv and <prefix>_log.csv
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+double flag_num(const std::map<std::string, std::string>& flags,
+                const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+std::string flag_str(const std::map<std::string, std::string>& flags,
+                     const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+radio::PowerModel radio_by_name(const std::string& name) {
+  if (name == "device") return radio::PowerModel::PaperUmts3G();
+  if (name == "sim") return radio::PowerModel::PaperSimulation();
+  if (name == "realistic") return radio::PowerModel::Realistic3G();
+  if (name == "lte") return radio::PowerModel::LteDrx();
+  if (name == "fastdormancy") return radio::PowerModel::FastDormancy3G();
+  std::fprintf(stderr, "unknown radio model: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<core::SchedulingPolicy> policy_by_name(
+    const std::string& name,
+    const std::map<std::string, std::string>& flags) {
+  if (name == "etrain") {
+    return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
+        .theta = flag_num(flags, "theta", 0.2),
+        .k = static_cast<std::size_t>(flag_num(flags, "k", 20)),
+        .drip_defer_window = flag_num(flags, "defer", 60.0)});
+  }
+  if (name == "baseline") return std::make_unique<baselines::BaselinePolicy>();
+  if (name == "peres") {
+    return std::make_unique<baselines::PerESPolicy>(
+        baselines::PerESConfig{.omega = flag_num(flags, "omega", 0.5)});
+  }
+  if (name == "etime") {
+    return std::make_unique<baselines::ETimePolicy>(
+        baselines::ETimeConfig{.v = flag_num(flags, "v", 1.0)});
+  }
+  if (name == "tailender") {
+    return std::make_unique<baselines::TailEnderPolicy>();
+  }
+  if (name == "oracle") return std::make_unique<baselines::OraclePolicy>();
+  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+  std::exit(2);
+}
+
+void dump_csv(const RunMetrics& m, const std::string& prefix) {
+  {
+    CsvWriter w(prefix + "_outcomes.csv");
+    w.write_comment("per-packet outcomes");
+    w.write_row({"packet", "app", "arrival_s", "sent_s", "delay_s", "bytes",
+                 "cost", "violated"});
+    for (const auto& o : m.outcomes) {
+      w.write_row({std::to_string(o.id), std::to_string(o.app),
+                   std::to_string(o.arrival), std::to_string(o.sent),
+                   std::to_string(o.delay), std::to_string(o.bytes),
+                   std::to_string(o.cost), o.violated ? "1" : "0"});
+    }
+  }
+  {
+    CsvWriter w(prefix + "_log.csv");
+    w.write_comment("radio transmission log");
+    w.write_row({"start_s", "setup_s", "duration_s", "bytes", "kind", "app",
+                 "packet"});
+    for (const auto& tx : m.log.entries()) {
+      w.write_row({std::to_string(tx.start), std::to_string(tx.setup),
+                   std::to_string(tx.duration), std::to_string(tx.bytes),
+                   tx.kind == radio::TxKind::kHeartbeat ? "heartbeat" : "data",
+                   std::to_string(tx.app_id), std::to_string(tx.packet_id)});
+    }
+  }
+  std::printf("wrote %s_outcomes.csv and %s_log.csv\n", prefix.c_str(),
+              prefix.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  if (flags.contains("help")) {
+    std::printf("see the header comment of examples/etrain_cli.cpp\n");
+    return 0;
+  }
+
+  ScenarioConfig cfg;
+  cfg.lambda = flag_num(flags, "lambda", 0.08);
+  cfg.train_count = static_cast<int>(flag_num(flags, "trains", 3));
+  cfg.horizon = flag_num(flags, "horizon", 7200.0);
+  cfg.workload_seed = static_cast<std::uint64_t>(flag_num(flags, "seed", 42));
+  cfg.model = radio_by_name(flag_str(flags, "radio", "device"));
+  if (flags.contains("deadline")) {
+    cfg.shared_deadline = flag_num(flags, "deadline", 60.0);
+  }
+  const Scenario scenario = make_scenario(cfg);
+
+  const std::string policy_name = flag_str(flags, "policy", "etrain");
+  const auto policy = policy_by_name(policy_name, flags);
+  const RunMetrics m = run_slotted(scenario, *policy);
+
+  Table table({"metric", "value"});
+  table.add_row({"policy", m.policy_name});
+  table.add_row({"packets", Table::integer(
+                                static_cast<long long>(m.outcomes.size()))});
+  table.add_row({"heartbeats",
+                 Table::integer(static_cast<long long>(
+                     m.log.count(radio::TxKind::kHeartbeat)))});
+  table.add_row({"network energy", format_joules(m.network_energy())});
+  table.add_row({"  heartbeat share", format_joules(m.heartbeat_energy())});
+  table.add_row({"  cargo share", format_joules(m.data_energy())});
+  table.add_row({"  tail energy", format_joules(m.energy.tail_energy())});
+  table.add_row({"  tx energy", format_joules(m.energy.tx_energy)});
+  table.add_row({"idle baseline", format_joules(m.energy.idle_baseline)});
+  table.add_row({"normalized delay", Table::num(m.normalized_delay, 2) + " s"});
+  table.add_row(
+      {"violation ratio", Table::num(100.0 * m.violation_ratio, 2) + " %"});
+  table.add_row({"full tails", Table::integer(static_cast<long long>(
+                                   m.energy.full_tails))});
+  table.add_row({"truncated tails", Table::integer(static_cast<long long>(
+                                        m.energy.truncated_tails))});
+  table.add_row({"cold starts", Table::integer(static_cast<long long>(
+                                    m.energy.cold_starts))});
+  table.print();
+
+  std::printf("\n%s\n", radio::to_string(m.energy).c_str());
+  if (m.wifi_log.size() > 0) {
+    std::printf("wifi: %s\n", radio::to_string(m.wifi_energy).c_str());
+  }
+
+  if (flags.contains("csv")) dump_csv(m, flag_str(flags, "csv", "etrain_run"));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Weibo user-trace replay: record/replay of real user behaviour, the
+// pipeline behind the paper's Fig. 11.
+//
+// The example synthesizes a small user population (the stand-in for the
+// 100+ Luna Weibo users), persists the traces to CSV exactly in the
+// paper's 4-tuple format, loads them back, and replays one user of each
+// activeness class with and without eTrain.
+#include <cstdio>
+#include <filesystem>
+
+#include "apps/user_trace.h"
+#include "baselines/baseline_policy.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace {
+
+using namespace etrain;
+
+// Lays every trace of one class back-to-back (10-minute sessions separated
+// by a minute of idle), the same aggregation the paper's Fig. 11 uses.
+experiments::Scenario replay_scenario(
+    const std::vector<const apps::UserTrace*>& traces) {
+  experiments::Scenario s;
+  const Duration session = 600.0, gap = 60.0;
+  s.horizon = static_cast<double>(traces.size()) * (session + gap);
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::wuhan_trace();
+  s.trains = apps::build_train_schedule(apps::default_train_specs(),
+                                        s.horizon);
+  s.profiles = {&core::weibo_cost_profile()};
+  core::PacketId next_id = 0;
+  for (std::size_t u = 0; u < traces.size(); ++u) {
+    const TimePoint start = static_cast<double>(u) * (session + gap);
+    // Uploads become schedulable cargo (30 s Weibo deadline, per the
+    // paper); interactive refreshes/browses replay verbatim.
+    auto packets = apps::replay_uploads(*traces[u], 0, start, 30.0, next_id);
+    next_id += static_cast<core::PacketId>(packets.size());
+    s.packets.insert(s.packets.end(), packets.begin(), packets.end());
+    for (const auto& e : traces[u]->events) {
+      if (e.behavior == apps::BehaviorType::kUpload) continue;
+      s.background.push_back(apps::TrainEvent{start + e.time, 0, e.bytes});
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace etrain;
+  std::printf("eTrain example: Luna Weibo trace record & replay\n");
+
+  // 1. "Collect" traces and store them on the server (a CSV here).
+  Rng rng(100);
+  const auto population = apps::synthesize_population(/*count_per_class=*/3,
+                                                      rng);
+  const auto dir = std::filesystem::temp_directory_path() / "etrain_example";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "luna_traces.csv").string();
+  apps::save_traces_csv(population, path);
+  std::printf("recorded %zu user traces to %s\n", population.size(),
+              path.c_str());
+
+  // 2. Load them back, cap each session at 10 minutes, group by class.
+  auto loaded = apps::load_traces_csv(path);
+  for (auto& trace : loaded) trace.truncate();
+  Table table({"class", "users", "uploads", "without eTrain_J",
+               "with eTrain_J", "saved"});
+  for (const auto klass :
+       {apps::Activeness::kActive, apps::Activeness::kModerate,
+        apps::Activeness::kInactive}) {
+    std::vector<const apps::UserTrace*> group;
+    std::size_t uploads = 0;
+    for (const auto& trace : loaded) {
+      if (trace.classify() != klass) continue;
+      group.push_back(&trace);
+      uploads += trace.upload_count();
+    }
+    const auto scenario = replay_scenario(group);
+    baselines::BaselinePolicy baseline;
+    core::EtrainScheduler etrain({.theta = 0.2, .k = 20});
+    const auto mb = experiments::run_slotted(scenario, baseline);
+    const auto me = experiments::run_slotted(scenario, etrain);
+    table.add_row({to_string(klass),
+                   Table::integer(static_cast<long long>(group.size())),
+                   Table::integer(static_cast<long long>(uploads)),
+                   Table::num(mb.network_energy(), 1),
+                   Table::num(me.network_energy(), 1),
+                   format_joules(mb.network_energy() - me.network_energy())});
+  }
+  table.print();
+  std::printf(
+      "active users upload more, giving eTrain more cargo to batch onto "
+      "heartbeats — exactly the Fig. 11 effect.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+# gnuplot script for the CSV series the benches export under results/.
+#
+#   cmake --build build
+#   ./build/bench/bench_fig07_parameters && ./build/bench/bench_fig08_comparison
+#   gnuplot scripts/plot_figures.gp     # writes results/*.png
+#
+# Each exported file is "param,energy_J,delay_s,violation" (header row).
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font ",11"
+set key top right
+set grid
+
+# --- Fig. 7(a): Theta sweep -------------------------------------------------
+set output "results/fig07a.png"
+set title "Fig. 7(a) reproduction: impact of the cost bound Theta"
+set xlabel "Theta"
+set ylabel "network energy (J)"
+set y2label "normalized delay (s)"
+set y2tics
+plot "results/fig07a_theta_sweep.csv" skip 1 using 1:2 with linespoints \
+         title "energy (J)" axes x1y1, \
+     "results/fig07a_theta_sweep.csv" skip 1 using 1:3 with linespoints \
+         title "delay (s)" axes x1y2
+
+# --- Fig. 7(b): E-D panel for k ----------------------------------------------
+set output "results/fig07b.png"
+set title "Fig. 7(b) reproduction: E-D panel for k"
+set xlabel "normalized delay (s)"
+set ylabel "network energy (J)"
+unset y2label
+unset y2tics
+plot "results/fig07b_k2.csv"  skip 1 using 3:2 with linespoints title "k=2", \
+     "results/fig07b_k4.csv"  skip 1 using 3:2 with linespoints title "k=4", \
+     "results/fig07b_k8.csv"  skip 1 using 3:2 with linespoints title "k=8", \
+     "results/fig07b_k16.csv" skip 1 using 3:2 with linespoints title "k=16"
+
+# --- Fig. 8(a): all algorithms ------------------------------------------------
+set output "results/fig08a.png"
+set title "Fig. 8(a) reproduction: E-D panel, lambda = 0.08"
+set xlabel "normalized delay (s)"
+set ylabel "network energy (J)"
+plot "results/fig08a_etrain.csv" skip 1 using 3:2 with linespoints \
+         title "eTrain (Theta swept)", \
+     "results/fig08a_peres.csv"  skip 1 using 3:2 with linespoints \
+         title "PerES (Omega swept)", \
+     "results/fig08a_etime.csv"  skip 1 using 3:2 with linespoints \
+         title "eTime (V swept)"

@@ -1,0 +1,94 @@
+#include "android/alarm_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace etrain::android {
+
+AlarmId AlarmManager::set_exact(TimePoint when, Callback callback) {
+  const AlarmId id = next_id_++;
+  Alarm alarm;
+  alarm.interval = 0.0;
+  alarm.callback = std::move(callback);
+  alarm.event = simulator_.schedule_at(when, [this, id] { fire(id); });
+  alarms_.emplace(id, std::move(alarm));
+  return id;
+}
+
+AlarmId AlarmManager::set_repeating(TimePoint first, Duration interval,
+                                    Callback callback) {
+  if (interval <= 0.0) {
+    throw std::invalid_argument("AlarmManager: non-positive interval");
+  }
+  const AlarmId id = next_id_++;
+  Alarm alarm;
+  alarm.interval = interval;
+  alarm.callback = std::move(callback);
+  alarm.event = simulator_.schedule_at(first, [this, id] { fire(id); });
+  alarms_.emplace(id, std::move(alarm));
+  return id;
+}
+
+TimePoint AlarmManager::batched(TimePoint nominal, Duration window) {
+  if (window <= 0.0) return nominal;
+  const double buckets = std::ceil(nominal / window - 1e-9);
+  return buckets * window;
+}
+
+AlarmId AlarmManager::set_inexact_repeating(TimePoint first,
+                                            Duration interval,
+                                            Callback callback,
+                                            Duration batch_window) {
+  if (interval <= 0.0 || batch_window <= 0.0) {
+    throw std::invalid_argument(
+        "AlarmManager: non-positive interval/batch window");
+  }
+  const AlarmId id = next_id_++;
+  Alarm alarm;
+  alarm.interval = interval;
+  alarm.batch_window = batch_window;
+  alarm.next_nominal = first;
+  alarm.callback = std::move(callback);
+  alarm.event = simulator_.schedule_at(batched(first, batch_window),
+                                       [this, id] { fire(id); });
+  alarms_.emplace(id, std::move(alarm));
+  return id;
+}
+
+bool AlarmManager::cancel(AlarmId id) {
+  const auto it = alarms_.find(id);
+  if (it == alarms_.end()) return false;
+  simulator_.cancel(it->second.event);
+  alarms_.erase(it);
+  return true;
+}
+
+void AlarmManager::fire(AlarmId id) {
+  const auto it = alarms_.find(id);
+  if (it == alarms_.end()) return;  // cancelled concurrently
+  // Copy the callback out: for one-shot alarms the entry is erased before
+  // invocation so the callback may re-arm freely.
+  Callback callback = it->second.callback;
+  if (it->second.interval > 0.0) {
+    if (it->second.batch_window > 0.0) {
+      // Inexact: advance the nominal schedule (no drift accumulation from
+      // batching) and snap the actual fire to the next batch boundary.
+      it->second.next_nominal += it->second.interval;
+      const TimePoint when = std::max(
+          batched(it->second.next_nominal, it->second.batch_window),
+          simulator_.now());
+      it->second.event =
+          simulator_.schedule_at(when, [this, id] { fire(id); });
+    } else {
+      it->second.event = simulator_.schedule_after(it->second.interval,
+                                                   [this, id] { fire(id); });
+    }
+  } else {
+    alarms_.erase(it);
+  }
+  callback();
+}
+
+}  // namespace etrain::android

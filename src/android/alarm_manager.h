@@ -1,0 +1,73 @@
+// Android-style AlarmManager on the simulation kernel.
+//
+// Train apps schedule their heartbeat daemons with AlarmManager +
+// BroadcastReceiver (Sec. V-2: "the most common way train apps use to
+// schedule periodic transmissions of heartbeats on Android"). This class
+// reproduces the API shape eTrain's heartbeat monitor keys off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+
+namespace etrain::android {
+
+using AlarmId = std::uint64_t;
+
+class AlarmManager {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit AlarmManager(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  AlarmManager(const AlarmManager&) = delete;
+  AlarmManager& operator=(const AlarmManager&) = delete;
+
+  /// One-shot alarm at an absolute time (AlarmManager.setExact).
+  AlarmId set_exact(TimePoint when, Callback callback);
+
+  /// Repeating alarm: first fire at `first`, then every `interval`
+  /// (AlarmManager.setRepeating). Cancel to stop.
+  AlarmId set_repeating(TimePoint first, Duration interval,
+                        Callback callback);
+
+  /// Inexact repeating alarm (AlarmManager.setInexactRepeating): Android
+  /// reserves the right to defer the fire to align it with other pending
+  /// alarms and save wake-ups. Modeled as Android does in practice —
+  /// deliveries are deferred to the next multiple of `batch_window`
+  /// seconds, so alarms from independent apps fire together. Heartbeats
+  /// scheduled this way cluster, truncating each other's radio tails even
+  /// without eTrain (see bench_alarm_batching).
+  AlarmId set_inexact_repeating(TimePoint first, Duration interval,
+                                Callback callback,
+                                Duration batch_window = 60.0);
+
+  /// Cancels an alarm; pending and future fires are suppressed. Returns
+  /// false for unknown/already-fired one-shot ids.
+  bool cancel(AlarmId id);
+
+  std::size_t active_alarms() const { return alarms_.size(); }
+
+ private:
+  struct Alarm {
+    sim::EventId event = 0;
+    Duration interval = 0.0;  ///< 0 = one-shot
+    /// Inexact alarms only: fires snap up to multiples of this window.
+    Duration batch_window = 0.0;
+    /// Nominal (un-batched) time of the next fire, for drift-free
+    /// rescheduling of inexact alarms.
+    TimePoint next_nominal = 0.0;
+    Callback callback;
+  };
+
+  void fire(AlarmId id);
+  static TimePoint batched(TimePoint nominal, Duration window);
+
+  sim::Simulator& simulator_;
+  std::unordered_map<AlarmId, Alarm> alarms_;
+  AlarmId next_id_ = 1;
+};
+
+}  // namespace etrain::android

@@ -1,0 +1,54 @@
+#include "android/broadcast_bus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::android {
+
+BroadcastBus::BroadcastBus(sim::Simulator& simulator,
+                           Duration dispatch_latency)
+    : simulator_(simulator), dispatch_latency_(dispatch_latency) {
+  if (dispatch_latency < 0.0) {
+    throw std::invalid_argument("BroadcastBus: negative dispatch latency");
+  }
+}
+
+ReceiverId BroadcastBus::register_receiver(const std::string& action,
+                                           Receiver receiver) {
+  const ReceiverId id = next_id_++;
+  by_action_[action].push_back(Entry{id, std::move(receiver)});
+  return id;
+}
+
+bool BroadcastBus::unregister_receiver(ReceiverId id) {
+  for (auto& [action, entries] : by_action_) {
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [id](const Entry& e) { return e.id == id; });
+    if (it != entries.end()) {
+      entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void BroadcastBus::send_broadcast(const Intent& intent) {
+  ++broadcasts_sent_;
+  const auto it = by_action_.find(intent.action());
+  if (it == by_action_.end()) return;
+  // Snapshot receiver callbacks now; late registrations don't see this
+  // broadcast, and unregistration after send still receives it (matching
+  // an already-queued delivery on Android).
+  for (const Entry& entry : it->second) {
+    simulator_.schedule_after(
+        dispatch_latency_,
+        [receiver = entry.receiver, intent] { receiver(intent); });
+  }
+}
+
+std::size_t BroadcastBus::receiver_count(const std::string& action) const {
+  const auto it = by_action_.find(action);
+  return it == by_action_.end() ? 0 : it->second.size();
+}
+
+}  // namespace etrain::android

@@ -1,0 +1,61 @@
+// Asynchronous one-to-many broadcast delivery (Android's sendBroadcast /
+// BroadcastReceiver pair), running on the simulation kernel.
+//
+// Receivers register for an action; a broadcast is delivered to every
+// matching receiver as a separate simulator event after a small dispatch
+// latency, mirroring Android's asynchronous delivery semantics (a broadcast
+// never runs the receivers inline with the sender).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "android/intent.h"
+#include "sim/simulator.h"
+
+namespace etrain::android {
+
+/// Registration handle.
+using ReceiverId = std::uint64_t;
+
+class BroadcastBus {
+ public:
+  using Receiver = std::function<void(const Intent&)>;
+
+  explicit BroadcastBus(sim::Simulator& simulator,
+                        Duration dispatch_latency = 0.001);
+
+  BroadcastBus(const BroadcastBus&) = delete;
+  BroadcastBus& operator=(const BroadcastBus&) = delete;
+
+  /// Registers `receiver` for broadcasts whose action equals `action`.
+  ReceiverId register_receiver(const std::string& action, Receiver receiver);
+
+  /// Removes a registration; returns false if unknown.
+  bool unregister_receiver(ReceiverId id);
+
+  /// Delivers `intent` to all receivers registered for its action, each as
+  /// an independent event dispatch_latency seconds from now. Receivers
+  /// registered after this call do not see the broadcast.
+  void send_broadcast(const Intent& intent);
+
+  std::size_t receiver_count(const std::string& action) const;
+  std::uint64_t broadcasts_sent() const { return broadcasts_sent_; }
+
+ private:
+  struct Entry {
+    ReceiverId id;
+    Receiver receiver;
+  };
+
+  sim::Simulator& simulator_;
+  Duration dispatch_latency_;
+  std::map<std::string, std::vector<Entry>> by_action_;
+  ReceiverId next_id_ = 1;
+  std::uint64_t broadcasts_sent_ = 0;
+};
+
+}  // namespace etrain::android

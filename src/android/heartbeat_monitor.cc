@@ -1,0 +1,114 @@
+#include "android/heartbeat_monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::android {
+
+namespace {
+
+double median_of(std::vector<Duration> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+HeartbeatMonitor::HeartbeatMonitor(std::size_t history) : history_(history) {
+  if (history < 2) {
+    throw std::invalid_argument("HeartbeatMonitor: history must be >= 2");
+  }
+}
+
+void HeartbeatMonitor::on_heartbeat(int app, TimePoint t) {
+  AppState& state = apps_[app];
+  if (state.last.has_value()) {
+    const Duration gap = t - *state.last;
+    if (gap < -1e-9) {
+      throw std::invalid_argument("HeartbeatMonitor: time moved backwards");
+    }
+    state.gaps.push_back(std::max(gap, 0.0));
+    if (state.gaps.size() > history_) state.gaps.pop_front();
+  }
+  state.last = t;
+}
+
+std::size_t HeartbeatMonitor::observed_beats(int app) const {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) return 0;
+  return it->second.gaps.size() + (it->second.last.has_value() ? 1 : 0);
+}
+
+std::optional<TimePoint> HeartbeatMonitor::last_beat(int app) const {
+  const auto it = apps_.find(app);
+  return it == apps_.end() ? std::nullopt : it->second.last;
+}
+
+std::optional<TimePoint> HeartbeatMonitor::most_recent_beat() const {
+  std::optional<TimePoint> latest;
+  for (const auto& [app, state] : apps_) {
+    if (state.last.has_value() && (!latest.has_value() || *state.last > *latest)) {
+      latest = state.last;
+    }
+  }
+  return latest;
+}
+
+std::optional<Duration> HeartbeatMonitor::estimated_cycle(int app) const {
+  const auto it = apps_.find(app);
+  if (it == apps_.end() || it->second.gaps.empty()) return std::nullopt;
+  const auto& gaps = it->second.gaps;
+  const Duration last = gaps.back();
+
+  // With a single gap, it is the only evidence.
+  if (gaps.size() == 1) return last;
+
+  // Stable cycle: recent gaps agree within 5% -> use their median (robust
+  // against one delayed beat).
+  const std::size_t window = std::min<std::size_t>(gaps.size(), 5);
+  std::vector<Duration> recent(gaps.end() - window, gaps.end());
+  const Duration med = median_of(recent);
+  const bool stable = std::all_of(recent.begin(), recent.end(),
+                                  [med](Duration g) {
+                                    return std::abs(g - med) <= 0.05 * med;
+                                  });
+  if (stable) return med;
+
+  // Changing cycle (doubling discipline or app restart): the most recent
+  // gap is the best predictor of the next one.
+  return last;
+}
+
+std::optional<TimePoint> HeartbeatMonitor::predict_next(int app) const {
+  const auto cycle = estimated_cycle(app);
+  const auto last = last_beat(app);
+  if (!cycle.has_value() || !last.has_value()) return std::nullopt;
+  return *last + *cycle;
+}
+
+std::vector<TimePoint> HeartbeatMonitor::predict_departures(
+    TimePoint from, TimePoint horizon) const {
+  std::vector<TimePoint> out;
+  for (const auto& [app, state] : apps_) {
+    const auto cycle = estimated_cycle(app);
+    if (!cycle.has_value() || !state.last.has_value() || *cycle <= 0.0) {
+      continue;
+    }
+    TimePoint t = *state.last;
+    while (t <= from) t += *cycle;
+    for (; t <= horizon; t += *cycle) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool HeartbeatMonitor::any_train_active(TimePoint now,
+                                        Duration staleness) const {
+  for (const auto& [app, state] : apps_) {
+    if (state.last.has_value() && now - *state.last <= staleness) return true;
+  }
+  return false;
+}
+
+}  // namespace etrain::android

@@ -1,0 +1,71 @@
+// The Heartbeat Monitor module (Sec. V-2, Fig. 5).
+//
+// Receives a trigger (via the Xposed hook) every time a train app sends a
+// heartbeat, learns each app's cycle online, and supplies the scheduler
+// with (a) "a heartbeat just departed" notifications and (b) predicted
+// future departure times ("as soon as eTrain observes one heartbeat of a
+// train app, it can accurately predict when the subsequent heartbeats of
+// the same train app will be transmitted", Sec. III-C).
+//
+// Handles both cycle disciplines found in the wild: fixed cycles converge
+// after two observations; NetEase-style doubling cycles are tracked by
+// predicting "the last gap repeats", which is correct five times out of six
+// (the cycle doubles after every 6 beats) and self-corrects after each miss.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::android {
+
+class HeartbeatMonitor {
+ public:
+  /// `history`: number of recent inter-beat gaps kept per app.
+  explicit HeartbeatMonitor(std::size_t history = 16);
+
+  /// Trigger from the Xposed hook: train `app` sent a heartbeat at time t.
+  /// Times per app must be non-decreasing.
+  void on_heartbeat(int app, TimePoint t);
+
+  /// Number of beats observed for an app (0 for unknown apps).
+  std::size_t observed_beats(int app) const;
+
+  /// Time of the most recent beat; nullopt before the first.
+  std::optional<TimePoint> last_beat(int app) const;
+
+  /// Most recent beat across all monitored apps; nullopt before any.
+  std::optional<TimePoint> most_recent_beat() const;
+
+  /// Current cycle estimate (the predicted gap to the next beat); nullopt
+  /// until two beats have been seen.
+  std::optional<Duration> estimated_cycle(int app) const;
+
+  /// Predicted time of the app's next heartbeat; nullopt until estimable.
+  std::optional<TimePoint> predict_next(int app) const;
+
+  /// Merged predicted departures of all monitored apps in (from, horizon],
+  /// sorted ascending. Apps without a cycle estimate contribute nothing.
+  std::vector<TimePoint> predict_departures(TimePoint from,
+                                            TimePoint horizon) const;
+
+  /// True when some app has beaten within `staleness` seconds of `now` —
+  /// used by the scheduler to stop deferring when no train app is running
+  /// (Sec. V-3: "In case when no train app is running, eTrain will stop its
+  /// scheduler to avoid cargo apps' indefinite waiting").
+  bool any_train_active(TimePoint now, Duration staleness = 900.0) const;
+
+ private:
+  struct AppState {
+    std::optional<TimePoint> last;
+    std::deque<Duration> gaps;
+  };
+
+  std::size_t history_;
+  std::map<int, AppState> apps_;
+};
+
+}  // namespace etrain::android

@@ -1,0 +1,56 @@
+// Minimal Android-style Intents for inter-component messaging.
+//
+// eTrain's real implementation communicates with cargo apps exclusively via
+// Android Broadcast (Sec. V-1: "broadcast is more efficient for one-to-many
+// communications, which is the case for eTrain"). We reproduce the same
+// structure: an action string plus typed extras.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace etrain::android {
+
+class Intent {
+ public:
+  Intent() = default;
+  explicit Intent(std::string action) : action_(std::move(action)) {}
+
+  const std::string& action() const { return action_; }
+
+  Intent& put(const std::string& key, std::int64_t value) {
+    ints_[key] = value;
+    return *this;
+  }
+  Intent& put(const std::string& key, double value) {
+    doubles_[key] = value;
+    return *this;
+  }
+  Intent& put(const std::string& key, std::string value) {
+    strings_[key] = std::move(value);
+    return *this;
+  }
+
+  std::optional<std::int64_t> get_int(const std::string& key) const {
+    const auto it = ints_.find(key);
+    return it == ints_.end() ? std::nullopt : std::optional(it->second);
+  }
+  std::optional<double> get_double(const std::string& key) const {
+    const auto it = doubles_.find(key);
+    return it == doubles_.end() ? std::nullopt : std::optional(it->second);
+  }
+  std::optional<std::string> get_string(const std::string& key) const {
+    const auto it = strings_.find(key);
+    return it == strings_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+ private:
+  std::string action_;
+  std::map<std::string, std::int64_t> ints_;
+  std::map<std::string, double> doubles_;
+  std::map<std::string, std::string> strings_;
+};
+
+}  // namespace etrain::android

@@ -1,0 +1,77 @@
+// Wireshark-style capture analysis (Sec. II-B methodology).
+//
+// The paper determines Table 1's heartbeat cycles by capturing raw traffic
+// with Wireshark and analyzing the captures offline. This module reproduces
+// that pipeline against synthetic captures: packets are grouped per flow,
+// heartbeat candidates are separated from foreground data by size, and the
+// cycle structure (fixed vs. NetEase-style growing) is inferred from the
+// inter-heartbeat gaps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/heartbeat_spec.h"
+#include "common/rng.h"
+
+namespace etrain::android {
+
+/// One captured packet, as Wireshark would log it.
+struct CapturedPacket {
+  TimePoint time = 0.0;
+  Bytes size = 0;
+  /// Flow identifier (app's server endpoint).
+  std::string flow;
+};
+
+/// Result of analyzing one flow.
+struct CycleEstimate {
+  std::string flow;
+  std::size_t heartbeats = 0;
+  /// True when the gaps are consistent with a single fixed cycle.
+  bool fixed_cycle = false;
+  /// For fixed cycles min == max == the cycle; for growing cycles the
+  /// observed range (NetEase: 60 s .. 480 s).
+  Duration min_cycle = 0.0;
+  Duration max_cycle = 0.0;
+  Duration median_cycle = 0.0;
+};
+
+class PcapAnalyzer {
+ public:
+  /// Packets at or below `heartbeat_size_threshold` bytes are heartbeat
+  /// candidates; larger ones are treated as foreground data and ignored
+  /// for cycle inference.
+  explicit PcapAnalyzer(Bytes heartbeat_size_threshold = 1000,
+                        double fixed_tolerance = 0.05);
+
+  /// Analyzes one flow's packets (any order; sorted internally).
+  CycleEstimate analyze_flow(const std::string& flow,
+                             std::vector<CapturedPacket> packets) const;
+
+  /// Splits a mixed capture by flow and analyzes each.
+  std::vector<CycleEstimate> analyze(
+      const std::vector<CapturedPacket>& capture) const;
+
+ private:
+  Bytes threshold_;
+  double fixed_tolerance_;
+};
+
+/// Capture CSV round trip ("time_s,size_bytes,flow") so real Wireshark
+/// exports (or the synthetic captures) can be stored and re-analyzed —
+/// the bring-your-own-data path of the Table 1 pipeline.
+void save_capture_csv(const std::vector<CapturedPacket>& capture,
+                      const std::string& path);
+std::vector<CapturedPacket> load_capture_csv(const std::string& path);
+
+/// Synthesizes the capture of one app's traffic over [0, horizon):
+/// heartbeats per `spec` (with small timing jitter) plus, optionally,
+/// bursts of foreground data traffic (messages/pictures sent by the user,
+/// as in Fig. 3's measurements).
+std::vector<CapturedPacket> synthesize_capture(const apps::HeartbeatSpec& spec,
+                                               Duration horizon, Rng& rng,
+                                               bool with_data_traffic,
+                                               Duration jitter = 0.2);
+
+}  // namespace etrain::android

@@ -1,0 +1,40 @@
+#include "android/xposed.h"
+
+#include <algorithm>
+
+namespace etrain::android {
+
+HookId XposedRegistry::hook_method(const std::string& class_name,
+                                   const std::string& method_name,
+                                   AfterHook hook) {
+  const HookId id = next_id_++;
+  hooks_[{class_name, method_name}].push_back(Entry{id, std::move(hook)});
+  return id;
+}
+
+bool XposedRegistry::unhook(HookId id) {
+  for (auto& [key, entries] : hooks_) {
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [id](const Entry& e) { return e.id == id; });
+    if (it != entries.end()) {
+      entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t XposedRegistry::invoke(const MethodCall& call) const {
+  const auto it = hooks_.find({call.class_name, call.method_name});
+  if (it == hooks_.end()) return 0;
+  for (const Entry& entry : it->second) entry.hook(call);
+  return it->second.size();
+}
+
+std::size_t XposedRegistry::hook_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, entries] : hooks_) n += entries.size();
+  return n;
+}
+
+}  // namespace etrain::android

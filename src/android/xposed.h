@@ -1,0 +1,59 @@
+// Xposed-style method hooking (Sec. V-2).
+//
+// The real eTrain locates each train app's heartbeat-sending method (found
+// via AlarmManager/BroadcastReceiver call sites in the decompiled APK) and
+// installs an Xposed after-hook that pings the heartbeat monitor whenever
+// the method runs — without modifying the app. This registry reproduces
+// that mechanism: app processes route their method calls through invoke(),
+// and installed after-hooks observe them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::android {
+
+/// Metadata an after-hook observes about an intercepted call.
+struct MethodCall {
+  std::string class_name;
+  std::string method_name;
+  TimePoint time = 0.0;
+  /// Free-form payload, e.g. heartbeat size in bytes.
+  std::int64_t arg = 0;
+};
+
+using HookId = std::uint64_t;
+
+class XposedRegistry {
+ public:
+  using AfterHook = std::function<void(const MethodCall&)>;
+
+  /// Installs an after-hook on class::method. Multiple hooks may coexist;
+  /// they run in installation order.
+  HookId hook_method(const std::string& class_name,
+                     const std::string& method_name, AfterHook hook);
+
+  /// Removes a hook; returns false if unknown.
+  bool unhook(HookId id);
+
+  /// Invoked by the "app process" when the (hooked or not) method runs.
+  /// Runs all matching after-hooks. Returns the number of hooks that ran.
+  std::size_t invoke(const MethodCall& call) const;
+
+  std::size_t hook_count() const;
+
+ private:
+  struct Entry {
+    HookId id;
+    AfterHook hook;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<Entry>> hooks_;
+  HookId next_id_ = 1;
+};
+
+}  // namespace etrain::android

@@ -1,0 +1,105 @@
+#include "apps/cargo_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace etrain::apps {
+
+CargoAppSpec mail_spec() {
+  return CargoAppSpec{.name = "eTrain Mail",
+                      .mean_interarrival = 50.0,
+                      .size_mean = 5000.0,
+                      .size_stddev = 2500.0,
+                      .size_min = 1000.0,
+                      .deadline = 300.0,
+                      .profile = &core::mail_cost_profile()};
+}
+
+CargoAppSpec weibo_spec() {
+  return CargoAppSpec{.name = "Luna Weibo",
+                      .mean_interarrival = 20.0,
+                      .size_mean = 2000.0,
+                      .size_stddev = 1000.0,
+                      .size_min = 100.0,
+                      .deadline = 120.0,
+                      .profile = &core::weibo_cost_profile()};
+}
+
+CargoAppSpec cloud_spec() {
+  return CargoAppSpec{.name = "eTrain Cloud",
+                      .mean_interarrival = 100.0,
+                      .size_mean = 100000.0,
+                      .size_stddev = 50000.0,
+                      .size_min = 10000.0,
+                      .deadline = 600.0,
+                      .profile = &core::cloud_cost_profile()};
+}
+
+std::vector<CargoAppSpec> default_cargo_specs() {
+  return {mail_spec(), weibo_spec(), cloud_spec()};
+}
+
+std::vector<CargoAppSpec> cargo_specs_for_lambda(double lambda) {
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("cargo_specs_for_lambda: lambda must be > 0");
+  }
+  // Defaults sum to 1/50 + 1/20 + 1/100 = 0.08 pkt/s; scale inter-arrival
+  // times inversely with lambda, preserving the 5:2:10 proportion.
+  const double scale = 0.08 / lambda;
+  auto specs = default_cargo_specs();
+  for (auto& s : specs) s.mean_interarrival *= scale;
+  return specs;
+}
+
+std::vector<core::Packet> generate_arrivals(const CargoAppSpec& spec,
+                                            core::CargoAppId app_id,
+                                            Duration horizon, Rng& rng,
+                                            core::PacketId first_id) {
+  if (spec.mean_interarrival <= 0.0 || horizon < 0.0) {
+    throw std::invalid_argument("generate_arrivals: invalid parameters");
+  }
+  std::vector<core::Packet> out;
+  core::PacketId next_id = first_id;
+  TimePoint t = rng.exponential_mean(spec.mean_interarrival);
+  while (t < horizon) {
+    core::Packet p;
+    p.id = next_id++;
+    p.app = app_id;
+    p.arrival = t;
+    p.bytes = static_cast<Bytes>(std::llround(
+        rng.truncated_normal(spec.size_mean, spec.size_stddev, spec.size_min)));
+    p.deadline = spec.deadline;
+    if (spec.download_fraction > 0.0 &&
+        rng.bernoulli(spec.download_fraction)) {
+      p.direction = core::Direction::kDownlink;
+    }
+    out.push_back(p);
+    t += rng.exponential_mean(spec.mean_interarrival);
+  }
+  return out;
+}
+
+std::vector<core::Packet> generate_workload(
+    const std::vector<CargoAppSpec>& specs, Duration horizon, Rng& rng) {
+  std::vector<core::Packet> all;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Rng stream = rng.fork();
+    auto packets = generate_arrivals(specs[i], static_cast<core::CargoAppId>(i),
+                                     horizon, stream);
+    all.insert(all.end(), packets.begin(), packets.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const core::Packet& a, const core::Packet& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return std::pair(a.app, a.id) < std::pair(b.app, b.id);
+            });
+  // Re-number so ids are unique and ordered by arrival (useful for
+  // deterministic tie-breaking in schedulers).
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i].id = static_cast<core::PacketId>(i);
+  }
+  return all;
+}
+
+}  // namespace etrain::apps

@@ -1,0 +1,140 @@
+#include "apps/heartbeat_spec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace etrain::apps {
+
+Duration HeartbeatSpec::cycle_before_beat(int index) const {
+  if (index <= 0) return 0.0;
+  if (discipline == CycleDiscipline::kFixed) return cycle;
+  // Doubling: beats 1..doubling_every use `cycle`, the next doubling_every
+  // use 2*cycle, and so on, capped at cycle_cap.
+  assert(doubling_every > 0);
+  const int step = (index - 1) / doubling_every;
+  Duration c = cycle;
+  for (int s = 0; s < step; ++s) {
+    c = std::min(c * 2.0, cycle_cap);
+    if (c >= cycle_cap) break;
+  }
+  return std::min(c, cycle_cap);
+}
+
+TimePoint HeartbeatSpec::beat_time(int index, TimePoint first_beat) const {
+  if (index < 0) {
+    throw std::invalid_argument("HeartbeatSpec: negative beat index");
+  }
+  if (discipline == CycleDiscipline::kFixed) {
+    // t_s(h_{i,j}) = t_s(h_{i,0}) + cycle_i * j (Eq. 5).
+    return first_beat + cycle * index;
+  }
+  TimePoint t = first_beat;
+  for (int j = 1; j <= index; ++j) t += cycle_before_beat(j);
+  return t;
+}
+
+std::vector<TimePoint> HeartbeatSpec::departures(TimePoint first_beat,
+                                                 TimePoint horizon) const {
+  std::vector<TimePoint> out;
+  TimePoint t = first_beat;
+  int index = 0;
+  while (t < horizon) {
+    out.push_back(t);
+    ++index;
+    t += cycle_before_beat(index);
+  }
+  return out;
+}
+
+HeartbeatSpec wechat_spec() {
+  return HeartbeatSpec{.app_name = "WeChat",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 270.0,
+                       .heartbeat_bytes = 74};
+}
+
+HeartbeatSpec whatsapp_spec() {
+  return HeartbeatSpec{.app_name = "WhatsApp",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 240.0,
+                       .heartbeat_bytes = 66};
+}
+
+HeartbeatSpec qq_spec() {
+  return HeartbeatSpec{.app_name = "QQ",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 300.0,
+                       .heartbeat_bytes = 378};
+}
+
+HeartbeatSpec renren_spec() {
+  return HeartbeatSpec{.app_name = "RenRen",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 300.0,
+                       .heartbeat_bytes = 120};
+}
+
+HeartbeatSpec netease_spec() {
+  return HeartbeatSpec{.app_name = "NetEase",
+                       .discipline = CycleDiscipline::kDoubling,
+                       .cycle = 60.0,
+                       .doubling_every = 6,
+                       .cycle_cap = 480.0,
+                       .heartbeat_bytes = 150};
+}
+
+HeartbeatSpec apns_spec() {
+  return HeartbeatSpec{.app_name = "APNS(iOS)",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 1800.0,
+                       .heartbeat_bytes = 90};
+}
+
+std::vector<HeartbeatSpec> default_train_specs() {
+  return {qq_spec(), wechat_spec(), whatsapp_spec()};
+}
+
+std::vector<HeartbeatSpec> android_catalog() {
+  return {wechat_spec(), whatsapp_spec(), qq_spec(), renren_spec(),
+          netease_spec()};
+}
+
+HeartbeatSpec skype_spec() {
+  return HeartbeatSpec{.app_name = "Skype",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 60.0,
+                       .heartbeat_bytes = 44};
+}
+
+HeartbeatSpec facebook_spec() {
+  return HeartbeatSpec{.app_name = "Facebook",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 60.0,
+                       .heartbeat_bytes = 82};
+}
+
+HeartbeatSpec line_spec() {
+  return HeartbeatSpec{.app_name = "Line",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 300.0,
+                       .heartbeat_bytes = 96};
+}
+
+HeartbeatSpec push_email_spec() {
+  return HeartbeatSpec{.app_name = "PushEmail(IMAP-IDLE)",
+                       .discipline = CycleDiscipline::kFixed,
+                       .cycle = 900.0,
+                       .heartbeat_bytes = 120};
+}
+
+std::vector<HeartbeatSpec> extended_catalog() {
+  auto specs = android_catalog();
+  specs.push_back(skype_spec());
+  specs.push_back(facebook_spec());
+  specs.push_back(line_spec());
+  specs.push_back(push_email_spec());
+  return specs;
+}
+
+}  // namespace etrain::apps

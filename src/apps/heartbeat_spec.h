@@ -1,0 +1,73 @@
+// Heartbeat behaviour of real IM/SNS/news apps, as measured in Sec. II-B
+// (Table 1, Fig. 1(b), Fig. 3).
+//
+// Two cycle disciplines exist in the wild:
+//   * fixed cycle — WeChat 270 s, WhatsApp 240 s, QQ 300 s, RenRen 300 s on
+//     Android; every app 1800 s on iOS (Apple forces APNS);
+//   * doubling cycle — NetEase News starts at 60 s and doubles after every
+//     6 heartbeats until capping at 480 s.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::apps {
+
+enum class CycleDiscipline {
+  kFixed,     ///< constant period
+  kDoubling,  ///< period doubles every `doubling_every` beats up to a cap
+};
+
+/// Static description of one train app's heartbeat behaviour.
+struct HeartbeatSpec {
+  std::string app_name;
+  CycleDiscipline discipline = CycleDiscipline::kFixed;
+  /// Fixed cycle, or the initial cycle for the doubling discipline.
+  Duration cycle = 300.0;
+  /// Doubling discipline only: beats per period step and the cap.
+  int doubling_every = 6;
+  Duration cycle_cap = 480.0;
+  /// Application-layer size of one heartbeat (request + response), bytes.
+  Bytes heartbeat_bytes = 100;
+
+  /// Cycle in effect before the (index)th heartbeat (0-based): the gap
+  /// between beat index-1 and beat index. For fixed discipline this is
+  /// `cycle` for all indices.
+  Duration cycle_before_beat(int index) const;
+
+  /// Departure time of the (index)th heartbeat given the first one fires at
+  /// `first_beat` (index 0).
+  TimePoint beat_time(int index, TimePoint first_beat) const;
+
+  /// All departure times in [first_beat, horizon).
+  std::vector<TimePoint> departures(TimePoint first_beat,
+                                    TimePoint horizon) const;
+};
+
+/// The measured catalog (Table 1; sizes from Sec. VI-A: QQ 378 B, WeChat
+/// 74 B, WhatsApp 66 B; others approximated from Fig. 3).
+HeartbeatSpec wechat_spec();    // 270 s, 74 B
+HeartbeatSpec whatsapp_spec();  // 240 s, 66 B
+HeartbeatSpec qq_spec();        // 300 s, 378 B
+HeartbeatSpec renren_spec();    // 300 s fixed
+HeartbeatSpec netease_spec();   // 60 s doubling to 480 s
+HeartbeatSpec apns_spec();      // iOS unified push, 1800 s
+
+/// The paper's default 3-train set: QQ + WeChat + WhatsApp.
+std::vector<HeartbeatSpec> default_train_specs();
+
+/// Everything we measured, for the Table-1 bench.
+std::vector<HeartbeatSpec> android_catalog();
+
+/// Extended catalog (beyond the paper's Table 1): keep-alive cycles of
+/// other always-online apps as reported in the measurement literature of
+/// the era. Useful for scenarios with more than three trains.
+HeartbeatSpec skype_spec();     // aggressive NAT keep-alive, 60 s
+HeartbeatSpec facebook_spec();  // MQTT keep-alive, ~60 s foreground
+HeartbeatSpec line_spec();      // 300 s
+HeartbeatSpec push_email_spec();  // IMAP IDLE refresh, ~900 s
+std::vector<HeartbeatSpec> extended_catalog();
+
+}  // namespace etrain::apps

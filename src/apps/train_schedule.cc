@@ -1,0 +1,69 @@
+#include "apps/train_schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::apps {
+
+std::vector<TrainEvent> build_train_schedule(
+    const std::vector<HeartbeatSpec>& specs,
+    const std::vector<TimePoint>& first_beats, Duration horizon) {
+  if (specs.size() != first_beats.size()) {
+    throw std::invalid_argument(
+        "build_train_schedule: specs/first_beats size mismatch");
+  }
+  std::vector<TrainEvent> events;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (const TimePoint t : specs[i].departures(first_beats[i], horizon)) {
+      events.push_back(TrainEvent{t, static_cast<int>(i),
+                                  specs[i].heartbeat_bytes});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TrainEvent& a, const TrainEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.train < b.train;
+            });
+  return events;
+}
+
+std::vector<TrainEvent> build_train_schedule(
+    const std::vector<HeartbeatSpec>& specs, Duration horizon) {
+  std::vector<TimePoint> first_beats(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    first_beats[i] = 5.0 * static_cast<double>(i);
+  }
+  return build_train_schedule(specs, first_beats, horizon);
+}
+
+std::vector<TrainEvent> build_train_schedule_jittered(
+    const std::vector<HeartbeatSpec>& specs, Duration horizon, Rng& rng,
+    Duration jitter) {
+  if (jitter < 0.0) {
+    throw std::invalid_argument(
+        "build_train_schedule_jittered: negative jitter");
+  }
+  auto events = build_train_schedule(specs, horizon);
+  for (auto& e : events) {
+    e.time = std::max(0.0, e.time + rng.uniform(-jitter, jitter));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TrainEvent& a, const TrainEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.train < b.train;
+            });
+  return events;
+}
+
+std::vector<TimePoint> departure_times(const std::vector<TrainEvent>& events) {
+  std::vector<TimePoint> times;
+  times.reserve(events.size());
+  for (const auto& e : events) {
+    if (times.empty() || e.time > times.back() + 1e-9) {
+      times.push_back(e.time);
+    }
+  }
+  return times;
+}
+
+}  // namespace etrain::apps

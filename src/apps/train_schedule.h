@@ -1,0 +1,43 @@
+// Merged "train departure" timetable: the union H of all train apps'
+// heartbeats (Sec. III-C), used by the slotted simulator and by the
+// scheduler's prediction input.
+#pragma once
+
+#include <vector>
+
+#include "apps/heartbeat_spec.h"
+#include "common/rng.h"
+
+namespace etrain::apps {
+
+/// One heartbeat departure.
+struct TrainEvent {
+  TimePoint time = 0.0;
+  int train = 0;  ///< index into the spec list
+  Bytes bytes = 0;
+};
+
+/// Builds the merged, time-sorted departure list for [0, horizon). The
+/// first beat of train i fires at first_beats[i] (defaults: staggered a few
+/// seconds apart, as independently started daemons would be).
+std::vector<TrainEvent> build_train_schedule(
+    const std::vector<HeartbeatSpec>& specs,
+    const std::vector<TimePoint>& first_beats, Duration horizon);
+
+/// Convenience overload staggering first beats at 5 s intervals.
+std::vector<TrainEvent> build_train_schedule(
+    const std::vector<HeartbeatSpec>& specs, Duration horizon);
+
+/// Jittered variant: each departure is perturbed by a uniform offset in
+/// [-jitter, +jitter] (daemon scheduling noise, network send latency). The
+/// heartbeat monitor's predictions must — and do — survive such jitter; the
+/// robustness tests sweep it.
+std::vector<TrainEvent> build_train_schedule_jittered(
+    const std::vector<HeartbeatSpec>& specs, Duration horizon, Rng& rng,
+    Duration jitter);
+
+/// Extracts just the departure times (sorted, deduplicated within eps) —
+/// the eTrain scheduler only needs times, not which train fires.
+std::vector<TimePoint> departure_times(const std::vector<TrainEvent>& events);
+
+}  // namespace etrain::apps

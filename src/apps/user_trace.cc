@@ -1,0 +1,198 @@
+#include "apps/user_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace etrain::apps {
+
+std::string to_string(BehaviorType b) {
+  switch (b) {
+    case BehaviorType::kUpload: return "upload";
+    case BehaviorType::kRefresh: return "refresh";
+    case BehaviorType::kBrowse: return "browse";
+  }
+  return "?";
+}
+
+BehaviorType behavior_from_string(const std::string& s) {
+  if (s == "upload") return BehaviorType::kUpload;
+  if (s == "refresh") return BehaviorType::kRefresh;
+  if (s == "browse") return BehaviorType::kBrowse;
+  throw std::invalid_argument("unknown behavior type: " + s);
+}
+
+std::string to_string(Activeness a) {
+  switch (a) {
+    case Activeness::kActive: return "active";
+    case Activeness::kModerate: return "moderate";
+    case Activeness::kInactive: return "inactive";
+  }
+  return "?";
+}
+
+std::size_t UserTrace::upload_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [](const UserEvent& e) {
+        return e.behavior == BehaviorType::kUpload;
+      }));
+}
+
+Activeness UserTrace::classify() const {
+  const std::size_t uploads = upload_count();
+  if (uploads > 20) return Activeness::kActive;
+  if (uploads >= 10) return Activeness::kModerate;
+  return Activeness::kInactive;
+}
+
+Duration UserTrace::length() const {
+  return events.empty() ? 0.0 : events.back().time;
+}
+
+void UserTrace::truncate(Duration max_length) {
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [max_length](const UserEvent& e) {
+                                return e.time > max_length;
+                              }),
+               events.end());
+}
+
+void save_traces_csv(const std::vector<UserTrace>& traces,
+                     const std::string& path) {
+  CsvWriter w(path);
+  w.write_comment("Luna Weibo user behaviour trace");
+  w.write_row({"user_id", "behavior", "time_s", "bytes"});
+  for (const auto& trace : traces) {
+    for (const auto& e : trace.events) {
+      w.write_row({std::to_string(e.user_id), to_string(e.behavior),
+                   std::to_string(e.time), std::to_string(e.bytes)});
+    }
+  }
+}
+
+std::vector<UserTrace> load_traces_csv(const std::string& path) {
+  const auto rows = read_csv_file(path, /*skip_header=*/true);
+  std::map<int, UserTrace> by_user;
+  for (const auto& row : rows) {
+    if (row.size() < 4) {
+      throw std::runtime_error("user trace: malformed row in " + path);
+    }
+    UserEvent e;
+    e.user_id = std::stoi(row[0]);
+    e.behavior = behavior_from_string(row[1]);
+    e.time = std::stod(row[2]);
+    e.bytes = std::stoll(row[3]);
+    auto& trace = by_user[e.user_id];
+    trace.user_id = e.user_id;
+    trace.events.push_back(e);
+  }
+  std::vector<UserTrace> out;
+  out.reserve(by_user.size());
+  for (auto& [id, trace] : by_user) {
+    std::sort(trace.events.begin(), trace.events.end(),
+              [](const UserEvent& a, const UserEvent& b) {
+                return a.time < b.time;
+              });
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+UserTrace synthesize_trace(Activeness klass, int user_id, Rng& rng) {
+  UserTrace trace;
+  trace.user_id = user_id;
+
+  // Session length: "most users only spend 5 to 10 minutes".
+  const Duration session = rng.uniform(minutes(5.0), minutes(10.0));
+
+  // Upload counts per class thresholds.
+  std::int64_t uploads = 0;
+  switch (klass) {
+    case Activeness::kActive:
+      uploads = rng.uniform_int(21, 35);
+      break;
+    case Activeness::kModerate:
+      uploads = rng.uniform_int(10, 20);
+      break;
+    case Activeness::kInactive:
+      uploads = rng.uniform_int(1, 9);
+      break;
+  }
+
+  for (std::int64_t i = 0; i < uploads; ++i) {
+    UserEvent e;
+    e.user_id = user_id;
+    e.behavior = BehaviorType::kUpload;
+    e.time = rng.uniform(0.0, session);
+    // ~1 in 6 uploads carries a picture (~50 KB), the rest are short posts.
+    e.bytes = rng.bernoulli(1.0 / 6.0)
+                  ? static_cast<Bytes>(
+                        rng.truncated_normal(50000.0, 15000.0, 10000.0))
+                  : static_cast<Bytes>(
+                        rng.truncated_normal(2000.0, 1000.0, 100.0));
+    trace.events.push_back(e);
+  }
+
+  // Interleave interactive behaviour (refresh roughly every 45 s, plus
+  // browse bursts); these do not become cargo but keep the format honest.
+  for (TimePoint t = rng.uniform(5.0, 30.0); t < session;
+       t += rng.exponential_mean(45.0)) {
+    UserEvent e;
+    e.user_id = user_id;
+    e.behavior = BehaviorType::kRefresh;
+    e.time = t;
+    e.bytes = static_cast<Bytes>(rng.truncated_normal(15000.0, 8000.0, 2000.0));
+    trace.events.push_back(e);
+  }
+  for (TimePoint t = rng.uniform(10.0, 60.0); t < session;
+       t += rng.exponential_mean(90.0)) {
+    UserEvent e;
+    e.user_id = user_id;
+    e.behavior = BehaviorType::kBrowse;
+    e.time = t;
+    e.bytes = static_cast<Bytes>(rng.truncated_normal(30000.0, 20000.0, 1000.0));
+    trace.events.push_back(e);
+  }
+
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const UserEvent& a, const UserEvent& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+std::vector<UserTrace> synthesize_population(int count_per_class, Rng& rng) {
+  std::vector<UserTrace> out;
+  int user_id = 0;
+  for (const auto klass :
+       {Activeness::kActive, Activeness::kModerate, Activeness::kInactive}) {
+    for (int i = 0; i < count_per_class; ++i) {
+      out.push_back(synthesize_trace(klass, user_id++, rng));
+    }
+  }
+  return out;
+}
+
+std::vector<core::Packet> replay_uploads(const UserTrace& trace,
+                                         core::CargoAppId app_id,
+                                         TimePoint start, Duration deadline,
+                                         core::PacketId first_id) {
+  std::vector<core::Packet> out;
+  core::PacketId next_id = first_id;
+  for (const auto& e : trace.events) {
+    if (e.behavior != BehaviorType::kUpload) continue;
+    core::Packet p;
+    p.id = next_id++;
+    p.app = app_id;
+    p.arrival = start + e.time;
+    p.bytes = e.bytes;
+    p.deadline = deadline;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace etrain::apps

@@ -1,0 +1,84 @@
+// Luna Weibo user behaviour traces (Sec. V-5, Sec. VI-D-4 / Fig. 11).
+//
+// The paper ships Luna (a third-party Weibo client) to 100+ users, records
+// every behaviour as a 4-tuple (User ID, Behavior type, Time, Packet Size),
+// and replays the traces in controlled experiments. Users are classified by
+// activeness per "app use" (one continuous foreground session):
+//   active   — more than 20 upload events per app use,
+//   moderate — 10 to 20,
+//   inactive — fewer than 10.
+// Most uses last 5–10 minutes; longer traces are truncated to 10 minutes.
+//
+// We cannot ship the proprietary traces, so this module (a) defines the
+// exact record/replay format, and (b) synthesizes statistically equivalent
+// traces per activeness class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/packet.h"
+
+namespace etrain::apps {
+
+enum class BehaviorType {
+  kUpload,    ///< user posts content (cargo for eTrain)
+  kRefresh,   ///< timeline pull-to-refresh (download request)
+  kBrowse,    ///< scrolling fetches (image/profile downloads)
+};
+
+std::string to_string(BehaviorType b);
+BehaviorType behavior_from_string(const std::string& s);
+
+/// One trace record, exactly the 4-tuple stored on the paper's server.
+struct UserEvent {
+  int user_id = 0;
+  BehaviorType behavior = BehaviorType::kUpload;
+  TimePoint time = 0.0;  ///< seconds from the start of the app use
+  Bytes bytes = 0;
+};
+
+enum class Activeness { kActive, kModerate, kInactive };
+
+std::string to_string(Activeness a);
+
+/// One user's recorded "app use" session.
+struct UserTrace {
+  int user_id = 0;
+  std::vector<UserEvent> events;  ///< sorted by time
+
+  std::size_t upload_count() const;
+  /// Classification per the paper's thresholds (>20 / 10..20 / <10 uploads).
+  Activeness classify() const;
+  Duration length() const;
+
+  /// Truncates to the paper's 10-minute cap.
+  void truncate(Duration max_length = 600.0);
+};
+
+/// CSV round-trip ("user_id,behavior,time_s,bytes").
+void save_traces_csv(const std::vector<UserTrace>& traces,
+                     const std::string& path);
+std::vector<UserTrace> load_traces_csv(const std::string& path);
+
+/// Synthesizes one app-use trace of the given class. Upload counts land in
+/// the class's defining range; events are spread over a 5–10 minute session;
+/// sizes follow the Weibo cargo distribution (2 KB mean / 100 B min) with
+/// occasional picture posts (~50 KB).
+UserTrace synthesize_trace(Activeness klass, int user_id, Rng& rng);
+
+/// Synthesizes a user population: `count` users per class.
+std::vector<UserTrace> synthesize_population(int count_per_class, Rng& rng);
+
+/// Converts the upload events of a trace into cargo packets for replay
+/// (uploads are what eTrain schedules; refreshes/browses are interactive
+/// and bypass the scheduler), offsetting times by `start` and tagging with
+/// `app_id`.
+std::vector<core::Packet> replay_uploads(const UserTrace& trace,
+                                         core::CargoAppId app_id,
+                                         TimePoint start,
+                                         Duration deadline,
+                                         core::PacketId first_id);
+
+}  // namespace etrain::apps

@@ -1,0 +1,16 @@
+#include "baselines/baseline_policy.h"
+
+namespace etrain::baselines {
+
+std::vector<core::Selection> BaselinePolicy::select(
+    const core::SlotContext& /*ctx*/, const core::WaitingQueues& queues) {
+  std::vector<core::Selection> all;
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      all.push_back(core::Selection{app, p.packet.id});
+    }
+  }
+  return all;
+}
+
+}  // namespace etrain::baselines

@@ -1,0 +1,18 @@
+// The paper's default comparison point: "no energy-saving scheduling
+// intelligence is imposed and all data is scheduled for transmission
+// immediately after arrival".
+#pragma once
+
+#include "core/policy.h"
+
+namespace etrain::baselines {
+
+class BaselinePolicy final : public core::SchedulingPolicy {
+ public:
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override { return "Baseline"; }
+};
+
+}  // namespace etrain::baselines

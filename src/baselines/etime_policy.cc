@@ -1,0 +1,54 @@
+#include "baselines/etime_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::baselines {
+
+ETimePolicy::ETimePolicy(ETimeConfig config) : config_(config) {
+  if (config_.v < 0.0 || config_.slot_length <= 0.0 ||
+      config_.backlog_scale <= 0) {
+    throw std::invalid_argument("ETimePolicy: invalid configuration");
+  }
+}
+
+std::vector<core::Selection> ETimePolicy::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  std::vector<core::Selection> chosen;
+  if (queues.empty()) return chosen;
+
+  const double channel =
+      ctx.bandwidth_long_term > 0.0
+          ? ctx.bandwidth_estimate / ctx.bandwidth_long_term
+          : 1.0;
+
+  // eTime maintains one virtual queue per application; each queue runs its
+  // own drift-plus-penalty test and drains independently when its backlog
+  // justifies the (estimated) channel. Queues therefore fire at different
+  // times — aggregation across apps only happens by coincidence, which is
+  // precisely the structural disadvantage eTrain's heartbeat-synchronized
+  // batching exploits.
+  for (int app = 0; app < queues.app_count(); ++app) {
+    const auto& q = queues.queue(app);
+    if (q.empty()) continue;
+    // Byte backlog plus a queueing-age term: virtual queues grow each slot
+    // a packet waits, so old backlog eventually forces a transmission even
+    // on a poor channel (stability guarantee).
+    Bytes bytes = 0;
+    for (const auto& p : q) bytes += p.packet.bytes;
+    double backlog = static_cast<double>(bytes) /
+                     static_cast<double>(config_.backlog_scale);
+    const Duration age =
+        std::max(0.0, ctx.slot_start - queues.oldest_arrival(app));
+    backlog += age / config_.slot_length;  // one weight unit per slot aged
+
+    if (backlog * channel < config_.v) continue;  // wait for a better slot
+
+    for (const auto& p : q) {
+      chosen.push_back(core::Selection{app, p.packet.id});
+    }
+  }
+  return chosen;
+}
+
+}  // namespace etrain::baselines

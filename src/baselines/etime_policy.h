@@ -1,0 +1,51 @@
+// eTime-style scheduler (Shu et al., INFOCOM 2013), re-implemented from the
+// paper's description for the Fig. 8 comparison.
+//
+// eTime is a Lyapunov-designed scheduler that times bulk transfers to
+// moments when the wireless channel is good. Characteristics the comparison
+// relies on (Sec. VI-A "Benchmark"):
+//   * it depends on an instantaneous bandwidth/channel-quality estimate and
+//     transmits when the estimated channel is good relative to its average;
+//   * it operates on 60-second slots ("we set the length of a time slot in
+//     eTime to be 60 seconds as suggested in [16]");
+//   * it trades energy for delay through the Lyapunov parameter V;
+//   * it is NOT deadline-aware — backlog is measured in queued bytes, not
+//     in delay cost.
+//
+// Decision rule (drift-plus-penalty): transmit the whole backlog in slot t
+// iff  backlog_weight(t) * channel_quality(t) >= V, where channel_quality
+// is the estimated bandwidth normalized by the long-term average and
+// backlog_weight grows with both queued bytes and queueing time. Higher V
+// demands a better channel/bigger backlog before spending a radio wake-up.
+#pragma once
+
+#include "core/policy.h"
+
+namespace etrain::baselines {
+
+struct ETimeConfig {
+  /// Lyapunov energy/delay tradeoff knob. The E-D panel sweeps this.
+  double v = 1.0;
+  /// Slot length; 60 s per the paper's configuration of eTime.
+  Duration slot_length = 60.0;
+  /// Backlog normalization: queued bytes that count as weight 1.0.
+  Bytes backlog_scale = 20'000;
+};
+
+class ETimePolicy final : public core::SchedulingPolicy {
+ public:
+  explicit ETimePolicy(ETimeConfig config);
+
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override { return "eTime"; }
+  Duration preferred_slot_length() const override {
+    return config_.slot_length;
+  }
+
+ private:
+  ETimeConfig config_;
+};
+
+}  // namespace etrain::baselines

@@ -1,0 +1,46 @@
+#include "baselines/multi_interface_policy.h"
+
+namespace etrain::baselines {
+
+namespace {
+
+/// Flush everything over Wi-Fi.
+std::vector<core::Selection> wifi_flush(const core::WaitingQueues& queues) {
+  std::vector<core::Selection> all;
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      all.push_back(core::Selection{app, p.packet.id, /*via_wifi=*/true});
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+std::vector<core::Selection> MultiInterfaceBaseline::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  if (queues.empty()) return {};
+  if (ctx.wifi_available) return wifi_flush(queues);
+  // No Wi-Fi: a stock stack sends over cellular right away.
+  std::vector<core::Selection> all;
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      all.push_back(core::Selection{app, p.packet.id});
+    }
+  }
+  return all;
+}
+
+MultiInterfaceEtrain::MultiInterfaceEtrain(core::EtrainConfig config)
+    : cellular_(config) {}
+
+std::vector<core::Selection> MultiInterfaceEtrain::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  if (queues.empty()) return {};
+  // Associated Wi-Fi makes transmission nearly free: drain everything now
+  // rather than wait for a cellular train.
+  if (ctx.wifi_available) return wifi_flush(queues);
+  return cellular_.select(ctx, queues);
+}
+
+}  // namespace etrain::baselines

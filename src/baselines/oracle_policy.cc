@@ -1,0 +1,27 @@
+#include "baselines/oracle_policy.h"
+
+namespace etrain::baselines {
+
+std::vector<core::Selection> OraclePolicy::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  std::vector<core::Selection> chosen;
+  if (queues.empty()) return chosen;
+
+  const TimePoint slot_end = ctx.slot_start + ctx.slot_length;
+  const TimePoint next_train = ctx.next_heartbeat();
+
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      const TimePoint expiry = p.packet.arrival + p.packet.deadline;
+      const bool deadline_now = expiry <= slot_end;
+      // Ride the departing train, or flush if no train arrives in time.
+      if (ctx.heartbeat_now || deadline_now ||
+          (next_train > expiry && deadline_now)) {
+        chosen.push_back(core::Selection{app, p.packet.id});
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace etrain::baselines

@@ -1,0 +1,28 @@
+// Clairvoyant lower-bound heuristic for the offline problem (Sec. III-C).
+//
+// The offline tail-energy minimization is a Knapsack-style NP-hard problem;
+// this oracle realizes the schedule an omniscient scheduler would pick in
+// the common regime (packet transmission times << heartbeat cycles):
+//   * every packet rides the first heartbeat departing after its arrival,
+//     unless its deadline expires earlier;
+//   * a packet whose deadline expires before the next train leaves exactly
+//     at its deadline (a per-packet flush, dragging along nothing).
+//
+// Used by the tests as a near-optimal yardstick: eTrain (with k = inf and
+// moderate Theta) must land within a modest factor of this bound, and no
+// policy can beat it by much on tail energy without violating deadlines.
+#pragma once
+
+#include "core/policy.h"
+
+namespace etrain::baselines {
+
+class OraclePolicy final : public core::SchedulingPolicy {
+ public:
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override { return "Oracle"; }
+};
+
+}  // namespace etrain::baselines

@@ -1,0 +1,56 @@
+#include "baselines/peres_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::baselines {
+
+PerESPolicy::PerESPolicy(PerESConfig config)
+    : config_(config), v_(config.v_initial) {
+  if (config_.omega < 0.0 || config_.v_initial <= 0.0 ||
+      config_.gain <= 0.0 || config_.v_min <= 0.0 ||
+      config_.v_max < config_.v_min) {
+    throw std::invalid_argument("PerESPolicy: invalid configuration");
+  }
+}
+
+void PerESPolicy::reset() { v_ = config_.v_initial; }
+
+std::vector<core::Selection> PerESPolicy::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  std::vector<core::Selection> chosen;
+
+  const double cost = queues.instantaneous_cost(ctx.slot_start);
+
+  // Dynamic-V convergence: track the cost bound Omega. While the user's
+  // realized cost is below the bound, raise V (demand a better channel /
+  // larger backlog -> save more energy); when the bound is violated, drop V
+  // to drain aggressively.
+  v_ += config_.gain * (config_.omega - cost);
+  v_ = std::clamp(v_, config_.v_min, config_.v_max);
+
+  if (queues.empty()) return chosen;
+
+  const double channel =
+      ctx.bandwidth_long_term > 0.0
+          ? ctx.bandwidth_estimate / ctx.bandwidth_long_term
+          : 1.0;
+
+  // Per-queue drain test: like eTime, PerES keeps one virtual queue per
+  // application and each drains independently when its own delay cost,
+  // scaled by the estimated channel quality, clears the (shared, adapted)
+  // V. Running on 1 s slots it reacts faster than eTime, firing smaller,
+  // more scattered bursts — deadline-friendlier but tail-hungrier.
+  for (int app = 0; app < queues.app_count(); ++app) {
+    const auto& q = queues.queue(app);
+    if (q.empty()) continue;
+    const double app_cost = queues.app_cost(app, ctx.slot_start);
+    if (app_cost * channel < v_) continue;
+    for (const auto& p : q) {
+      chosen.push_back(core::Selection{app, p.packet.id});
+    }
+  }
+  return chosen;
+}
+
+}  // namespace etrain::baselines

@@ -1,0 +1,56 @@
+// PerES-style scheduler (Zhang et al. [15]), re-implemented from the paper's
+// description for the Fig. 8 comparison.
+//
+// Characteristics the comparison relies on (Sec. VI-A "Benchmark"):
+//   * Lyapunov framework with per-packet delay-cost profiles — PerES "is
+//     deadline-aware as eTrain does";
+//   * relies on accurate estimation of instantaneous wireless bandwidth and
+//     tries to transmit when the channel is good;
+//   * uses a *dynamic* V that "would converge dynamically according to
+//     users' performance cost bound Omega": V adapts each slot so the
+//     long-run delay cost tracks Omega;
+//   * runs on 1-second slots like eTrain.
+//
+// Decision rule: in each slot compute the queues' instantaneous cost P(t)
+// and the channel quality q(t) = B_est(t)/B_avg. Transmit the whole backlog
+// when  P(t) * q(t) >= V(t); V(t) is raised while the realized cost stays
+// below Omega (be patient, save energy) and lowered when cost exceeds Omega
+// (user suffering — drain). Unlike eTrain, transmission timing keys off the
+// channel estimate rather than heartbeat tails, so PerES pays a fresh tail
+// for most of its (channel-good) wake-ups.
+#pragma once
+
+#include "core/policy.h"
+
+namespace etrain::baselines {
+
+struct PerESConfig {
+  /// User performance cost bound Omega; the E-D panel sweeps this.
+  double omega = 0.5;
+  /// Initial V and adaptation gain.
+  double v_initial = 1.0;
+  double gain = 0.05;
+  /// V is clamped to [v_min, v_max] to keep adaptation stable.
+  double v_min = 0.05;
+  double v_max = 50.0;
+};
+
+class PerESPolicy final : public core::SchedulingPolicy {
+ public:
+  explicit PerESPolicy(PerESConfig config);
+
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override { return "PerES"; }
+  void reset() override;
+
+  /// Current adapted V (exposed for tests).
+  double v() const { return v_; }
+
+ private:
+  PerESConfig config_;
+  double v_;
+};
+
+}  // namespace etrain::baselines

@@ -1,0 +1,40 @@
+#include "baselines/tailender_policy.h"
+
+#include <stdexcept>
+
+namespace etrain::baselines {
+
+TailEnderPolicy::TailEnderPolicy(TailEnderConfig config) : config_(config) {
+  if (config_.guard < 0.0) {
+    throw std::invalid_argument("TailEnderPolicy: negative guard");
+  }
+}
+
+std::vector<core::Selection> TailEnderPolicy::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  std::vector<core::Selection> chosen;
+  if (queues.empty()) return chosen;
+
+  // Flush everything as soon as any packet's deadline is imminent — the
+  // aggregate ride-along is where TailEnder's saving comes from.
+  bool deadline_imminent = false;
+  for (int app = 0; app < queues.app_count() && !deadline_imminent; ++app) {
+    for (const auto& p : queues.queue(app)) {
+      const TimePoint expiry = p.packet.arrival + p.packet.deadline;
+      if (expiry <= ctx.slot_start + ctx.slot_length + config_.guard) {
+        deadline_imminent = true;
+        break;
+      }
+    }
+  }
+  if (!deadline_imminent) return chosen;
+
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      chosen.push_back(core::Selection{app, p.packet.id});
+    }
+  }
+  return chosen;
+}
+
+}  // namespace etrain::baselines

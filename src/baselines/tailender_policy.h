@@ -1,0 +1,35 @@
+// TailEnder-style scheduler (Balasubramanian et al., IMC 2009) — the classic
+// tail-energy batching algorithm from the related work ([5]). Included as an
+// extra baseline/ablation: it batches by deadline only and is oblivious to
+// heartbeats, so against heartbeat-heavy workloads it leaves the train
+// tails unused.
+//
+// Rule: defer every packet as long as its deadline allows; transmit the
+// whole backlog whenever some queued packet's deadline is about to expire
+// (within one slot). This minimizes the number of radio wake-ups subject to
+// never missing a deadline.
+#pragma once
+
+#include "core/policy.h"
+
+namespace etrain::baselines {
+
+struct TailEnderConfig {
+  /// Safety margin: flush when a deadline falls within this many seconds.
+  Duration guard = 1.0;
+};
+
+class TailEnderPolicy final : public core::SchedulingPolicy {
+ public:
+  explicit TailEnderPolicy(TailEnderConfig config = {});
+
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override { return "TailEnder"; }
+
+ private:
+  TailEnderConfig config_;
+};
+
+}  // namespace etrain::baselines

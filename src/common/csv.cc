@@ -1,0 +1,77 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace etrain {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(begin, end - begin + 1));
+}
+
+}  // namespace
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow row;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      row.push_back(trim(line.substr(start)));
+      break;
+    }
+    row.push_back(trim(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+  return row;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  bool header_pending = skip_header;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    rows.push_back(parse_csv_line(trimmed));
+  }
+  return rows;
+}
+
+CsvWriter::CsvWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open CSV file for writing: " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void CsvWriter::write_comment(std::string_view text) {
+  std::fprintf(static_cast<std::FILE*>(file_), "# %.*s\n",
+               static_cast<int>(text.size()), text.data());
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  auto* f = static_cast<std::FILE*>(file_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ",", fields[i].c_str());
+  }
+  std::fputc('\n', f);
+}
+
+}  // namespace etrain

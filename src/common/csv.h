@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing.
+//
+// Used for: bandwidth traces (time,bytes_per_second), user behaviour traces
+// (user_id,behavior,time,bytes), and the data series the bench binaries emit
+// so plots can be regenerated outside this repo. Only the dialect we produce
+// is supported: comma separation, no quoting (fields never contain commas),
+// '#' comment lines, optional header row.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etrain {
+
+/// One parsed CSV row; fields are untyped strings.
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line into fields. Leading/trailing whitespace of each
+/// field is trimmed.
+CsvRow parse_csv_line(std::string_view line);
+
+/// Reads a CSV file, skipping blank lines and lines starting with '#'.
+/// When `skip_header` is true, drops the first non-comment row.
+/// Throws std::runtime_error when the file cannot be opened.
+std::vector<CsvRow> read_csv_file(const std::string& path, bool skip_header);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_comment(std::string_view text);
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+}  // namespace etrain

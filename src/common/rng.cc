@@ -1,0 +1,63 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace etrain {
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::exponential_mean(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::truncated_normal(double mean, double stddev, double min) {
+  constexpr int kMaxRejections = 1000;
+  for (int i = 0; i < kMaxRejections; ++i) {
+    const double v = normal(mean, stddev);
+    if (v >= min) return v;
+  }
+  return min;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<std::int64_t> dist(mean);
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw two words from this engine to seed the child; splitting via the
+  // parent stream keeps forks deterministic in creation order.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace etrain

@@ -1,0 +1,62 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component (packet arrivals, packet sizes, bandwidth
+// fluctuations, user traces) draws from an `Rng` seeded explicitly by the
+// scenario. Two runs with the same seed produce bit-identical traces, which
+// the tests rely on and which makes every figure in EXPERIMENTS.md
+// regenerable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/time.h"
+
+namespace etrain {
+
+/// A seedable pseudo-random generator with the distributions this project
+/// needs. Wraps std::mt19937_64; the wrapper exists so call sites never
+/// instantiate ad-hoc distribution objects with subtly different parameter
+/// conventions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given mean (NOT rate). Used for Poisson
+  /// inter-arrival times; the paper generates cargo arrivals "according to
+  /// independent Poisson processes".
+  double exponential_mean(double mean);
+
+  /// Normal variate.
+  double normal(double mean, double stddev);
+
+  /// Truncated normal: redraws until the variate is >= min. The paper draws
+  /// packet sizes "from truncated Normal Distribution with mean and minimum"
+  /// given per app; this matches that one-sided truncation. Falls back to
+  /// `min` after a bounded number of rejections so adversarial parameters
+  /// (mean far below min) cannot loop forever.
+  double truncated_normal(double mean, double stddev, double min);
+
+  /// Poisson-distributed count with the given mean.
+  std::int64_t poisson(double mean);
+
+  /// Derives an independent child generator; convenient for giving each app
+  /// its own stream so adding one app does not perturb another's trace.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace etrain

@@ -1,0 +1,82 @@
+// Lightweight statistics helpers used by metric collection and by the
+// synthetic trace generators' self-checks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace etrain {
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+/// Numerically stable over millions of samples, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average, the estimator PerES/eTime use for
+/// "current" bandwidth. alpha in (0, 1]; larger alpha = more reactive.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return !initialized_; }
+  /// Current estimate; `fallback` when no sample has been added yet.
+  double value_or(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Exact percentile of a sample set (linear interpolation between ranks).
+/// p in [0, 100]. Returns 0 for an empty sample.
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used by trace-sanity tests and by the timing figures.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  /// Midpoint value of the bucket with the most samples (the "mode").
+  double mode_midpoint() const;
+  double bucket_width() const { return width_; }
+  double lo() const { return lo_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace etrain

@@ -1,0 +1,46 @@
+// Console table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a table or figure from the paper as rows of
+// text; this helper keeps their output aligned and uniform, e.g.:
+//
+//   +--------+-----------+---------+
+//   | theta  | energy_J  | delay_s |
+//   +--------+-----------+---------+
+//   | 0.0    | 1013.2    | 18.4    |
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace etrain {
+
+/// Accumulates rows and renders an ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  /// Renders the full table (with borders) as a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used by bench binaries to separate figures:
+///   === Fig. 7(a): impact of the cost bound Theta ===
+void print_banner(const std::string& title);
+
+}  // namespace etrain

@@ -1,0 +1,29 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace etrain {
+
+std::string format_time(TimePoint t) {
+  if (!std::isfinite(t)) return t > 0 ? "+inf" : "-inf";
+  const bool negative = t < 0;
+  double abs_t = std::fabs(t);
+  const auto total_ms = static_cast<long long>(std::llround(abs_t * 1000.0));
+  const long long ms = total_ms % 1000;
+  const long long total_s = total_ms / 1000;
+  const long long s = total_s % 60;
+  const long long m = (total_s / 60) % 60;
+  const long long h = total_s / 3600;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld.%03lld",
+                negative ? "-" : "", h, m, s, ms);
+  return buf;
+}
+
+std::string format_joules(Joules j) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f J", j);
+  return buf;
+}
+
+}  // namespace etrain

@@ -1,0 +1,69 @@
+// Simulation time primitives.
+//
+// The simulator runs in continuous time measured in seconds since the start
+// of the simulation. We deliberately use `double` seconds rather than
+// std::chrono integral ticks: the energy model integrates piecewise-linear
+// power curves over arbitrary real-valued intervals, and the bandwidth trace
+// is sampled at 1 Hz but interpolated continuously. Strongly typed wrappers
+// keep call sites readable and prevent unit mistakes (seconds vs. joules vs.
+// watts) without the friction of a full units library.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace etrain {
+
+/// A point in simulated time, in seconds since simulation start.
+using TimePoint = double;
+
+/// A span of simulated time, in seconds.
+using Duration = double;
+
+/// Energy in joules.
+using Joules = double;
+
+/// Power in watts.
+using Watts = double;
+
+/// Data size in bytes. Application-layer packets can be large (cloud sync),
+/// so use a 64-bit count.
+using Bytes = std::int64_t;
+
+/// Bandwidth in bytes per second.
+using BytesPerSecond = double;
+
+inline constexpr TimePoint kTimeZero = 0.0;
+inline constexpr TimePoint kTimeInfinity =
+    std::numeric_limits<TimePoint>::infinity();
+
+/// Converts minutes to seconds.
+constexpr Duration minutes(double m) { return m * 60.0; }
+
+/// Converts hours to seconds.
+constexpr Duration hours(double h) { return h * 3600.0; }
+
+/// Converts milliwatts to watts.
+constexpr Watts milliwatts(double mw) { return mw / 1000.0; }
+
+/// Converts kilobytes (10^3 bytes, as used by the paper's workload
+/// description) to bytes.
+constexpr Bytes kilobytes(double kb) {
+  return static_cast<Bytes>(kb * 1000.0);
+}
+
+/// Returns true when |a - b| <= eps. Default eps is far below any physically
+/// meaningful interval in this system (radio timers are >= 0.1 s).
+inline bool time_approx_equal(TimePoint a, TimePoint b, double eps = 1e-6) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// Formats a time point as "H:MM:SS.mmm" for logs and tables.
+std::string format_time(TimePoint t);
+
+/// Formats an energy value as "x.xx J".
+std::string format_joules(Joules j);
+
+}  // namespace etrain

@@ -1,0 +1,53 @@
+#include "core/cost_profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace etrain::core {
+
+double MailCostProfile::cost(Duration delay, Duration deadline) const {
+  assert(deadline > 0.0);
+  if (delay <= deadline) return 0.0;
+  return delay / deadline - 1.0;
+}
+
+double WeiboCostProfile::cost(Duration delay, Duration deadline) const {
+  assert(deadline > 0.0);
+  if (delay <= 0.0) return 0.0;
+  if (delay <= deadline) return delay / deadline;
+  return 2.0;
+}
+
+double CloudCostProfile::cost(Duration delay, Duration deadline) const {
+  assert(deadline > 0.0);
+  if (delay <= 0.0) return 0.0;
+  if (delay <= deadline) return delay / deadline;
+  return 3.0 * (delay / deadline) - 2.0;
+}
+
+const CostProfile& mail_cost_profile() {
+  static const MailCostProfile profile;
+  return profile;
+}
+
+const CostProfile& weibo_cost_profile() {
+  static const WeiboCostProfile profile;
+  return profile;
+}
+
+const CostProfile& cloud_cost_profile() {
+  static const CloudCostProfile profile;
+  return profile;
+}
+
+const CostProfile* cost_profile_by_name(const std::string& name) {
+  for (const CostProfile* p :
+       {static_cast<const CostProfile*>(&mail_cost_profile()),
+        static_cast<const CostProfile*>(&weibo_cost_profile()),
+        static_cast<const CostProfile*>(&cloud_cost_profile())}) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace etrain::core

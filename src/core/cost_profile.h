@@ -1,0 +1,70 @@
+// Delay-cost profile functions phi_u(d) (Sec. III-B, Fig. 6).
+//
+// A profile maps the delay d a packet has accumulated to a scalar user-
+// dissatisfaction cost. The paper evaluates three representative shapes,
+// all parameterized by the packet's deadline:
+//
+//   f1 (eTrain Mail):  0 before the deadline, then grows linearly:
+//                      f1(d) = d/deadline - 1 for d >= deadline.
+//   f2 (Luna Weibo):   d/deadline before the deadline, then a constant 2.
+//   f3 (eTrain Cloud): d/deadline before the deadline, then much steeper:
+//                      3*(d/deadline) - 2.
+//
+// Profiles are small immutable value objects shared by reference; cargo
+// apps attach one to every packet they generate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+#include "core/packet.h"
+
+namespace etrain::core {
+
+/// Interface for delay-cost profiles. Implementations must be monotone
+/// nondecreasing in delay and return 0 for d <= 0 — properties the tests
+/// verify for all shipped profiles.
+class CostProfile {
+ public:
+  virtual ~CostProfile() = default;
+
+  /// Cost of a packet with the given (relative) deadline at delay d.
+  virtual double cost(Duration delay, Duration deadline) const = 0;
+
+  /// Human-readable name for tables and logs.
+  virtual std::string name() const = 0;
+};
+
+/// f1 — deadline-indifferent until violation, linear afterwards (Mail).
+class MailCostProfile final : public CostProfile {
+ public:
+  double cost(Duration delay, Duration deadline) const override;
+  std::string name() const override { return "f1-mail"; }
+};
+
+/// f2 — linear ramp to 1 at the deadline, then saturates at 2 (Weibo).
+class WeiboCostProfile final : public CostProfile {
+ public:
+  double cost(Duration delay, Duration deadline) const override;
+  std::string name() const override { return "f2-weibo"; }
+};
+
+/// f3 — linear ramp, then 3x slope after the deadline (Cloud).
+class CloudCostProfile final : public CostProfile {
+ public:
+  double cost(Duration delay, Duration deadline) const override;
+  std::string name() const override { return "f3-cloud"; }
+};
+
+/// Shared singletons (profiles are stateless).
+const CostProfile& mail_cost_profile();
+const CostProfile& weibo_cost_profile();
+const CostProfile& cloud_cost_profile();
+
+/// Resolves a profile by its name() — how cargo apps identify the profile
+/// they register with the eTrain service over the broadcast protocol.
+/// Returns nullptr for unknown names.
+const CostProfile* cost_profile_by_name(const std::string& name);
+
+}  // namespace etrain::core

@@ -1,0 +1,104 @@
+#include "core/etrain_scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace etrain::core {
+
+EtrainScheduler::EtrainScheduler(EtrainConfig config) : config_(config) {
+  if (config_.theta < 0.0) {
+    throw std::invalid_argument("EtrainScheduler: negative theta");
+  }
+  if (config_.k == 0) {
+    throw std::invalid_argument("EtrainScheduler: k must be >= 1");
+  }
+}
+
+std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
+                                               const WaitingQueues& queues) {
+  std::vector<Selection> chosen;
+  if (queues.empty()) return chosen;
+
+  const TimePoint t = ctx.slot_start;
+  const TimePoint next_slot = t + ctx.slot_length;
+
+  // Line 1: P(t) from Eq. (6).
+  const double total_cost = queues.instantaneous_cost(t);
+
+  // Line 3: gate on the cost bound or a departing train.
+  if (total_cost < config_.theta && !ctx.heartbeat_now) return chosen;
+
+  // Deferral to an imminent train: when the gate opened on cost alone but a
+  // heartbeat departs soon, waiting is cheaper — the packets ride that tail
+  // for free instead of paying a fresh one now.
+  if (!ctx.heartbeat_now && config_.drip_defer_window > 0.0) {
+    const TimePoint next_train = ctx.next_heartbeat();
+    if (next_train - t <= config_.drip_defer_window) return chosen;
+  }
+
+  // Channel-aware drips (future-work variant): a forced off-train send
+  // prefers a good channel, since its transmission time — unlike a
+  // piggybacked one — buys no shared tail.
+  if (!ctx.heartbeat_now && config_.channel_aware &&
+      total_cost < config_.panic_factor * config_.theta &&
+      ctx.bandwidth_long_term > 0.0 &&
+      ctx.bandwidth_estimate <
+          config_.channel_threshold * ctx.bandwidth_long_term) {
+    return chosen;
+  }
+
+  // Lines 4-8: K(t) modulation.
+  const std::size_t k_limit = ctx.heartbeat_now ? config_.k : 1;
+
+  // Greedy subgradient iterations (lines 9-13). Track, per app, the
+  // speculative cost already claimed by Q*_i(t, r).
+  const int apps = queues.app_count();
+  std::vector<double> selected_cost(apps, 0.0);  // sum over Q*_i of varphi_q
+  std::vector<double> queue_spec_cost(apps, 0.0);  // \bar P_i(t)
+  for (int i = 0; i < apps; ++i) {
+    queue_spec_cost[i] = queues.app_speculative_cost(i, next_slot);
+  }
+  std::unordered_set<PacketId> taken;
+
+  while (chosen.size() < k_limit && chosen.size() < queues.total_size()) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    int best_app = -1;
+    PacketId best_packet = -1;
+    for (int i = 0; i < apps; ++i) {
+      const double remaining = queue_spec_cost[i] - selected_cost[i];
+      for (const QueuedPacket& p : queues.queue(i)) {
+        if (taken.contains(p.packet.id)) continue;
+        const double phi = p.speculative_cost(next_slot);
+        // Off-train slots are a relief valve, not a free ride: a packet
+        // whose speculative cost is still zero (e.g. Mail before its
+        // deadline) gains nothing from leaving now and would pay a fresh
+        // tail, so it keeps waiting for the next train. On heartbeat slots
+        // the tail is already paid and everything may board.
+        if (!ctx.heartbeat_now && phi <= 0.0) continue;
+        // Eq. (9): marginal improvement of the drift objective.
+        const double gain = remaining * phi - phi * phi / 2.0;
+        // Deterministic tie-break on (gain, older arrival, id).
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && best_packet >= 0 &&
+             p.packet.id < best_packet)) {
+          best_gain = gain;
+          best_app = i;
+          best_packet = p.packet.id;
+        }
+      }
+    }
+    if (best_app < 0) break;
+    const auto& q = queues.queue(best_app);
+    const auto it =
+        std::find_if(q.begin(), q.end(), [best_packet](const QueuedPacket& p) {
+          return p.packet.id == best_packet;
+        });
+    selected_cost[best_app] += it->speculative_cost(next_slot);
+    taken.insert(best_packet);
+    chosen.push_back(Selection{best_app, best_packet});
+  }
+  return chosen;
+}
+
+}  // namespace etrain::core

@@ -1,0 +1,193 @@
+#include "core/offline_solver.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "radio/energy_meter.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::core {
+
+namespace {
+
+struct Event {
+  TimePoint nominal = 0.0;
+  Bytes bytes = 0;
+  bool heartbeat = false;
+  int packet_index = -1;
+};
+
+/// Serializes events and returns (tail energy, per-packet actual starts).
+std::pair<Joules, std::vector<TimePoint>> score(
+    const OfflineProblem& problem, const std::vector<TimePoint>& departures) {
+  std::vector<Event> events;
+  events.reserve(problem.heartbeat_times.size() + departures.size());
+  for (const TimePoint t : problem.heartbeat_times) {
+    events.push_back(Event{t, problem.heartbeat_bytes, true, -1});
+  }
+  for (std::size_t i = 0; i < departures.size(); ++i) {
+    events.push_back(Event{departures[i], problem.packets[i].packet.bytes,
+                           false, static_cast<int>(i)});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.nominal != b.nominal) return a.nominal < b.nominal;
+                     return a.heartbeat && !b.heartbeat;
+                   });
+
+  radio::TransmissionLog log;
+  std::vector<TimePoint> starts(departures.size(), 0.0);
+  TimePoint free_at = 0.0;
+  for (const Event& e : events) {
+    radio::Transmission tx;
+    tx.start = std::max(e.nominal, free_at);
+    tx.duration = static_cast<double>(e.bytes) / problem.bandwidth;
+    tx.bytes = e.bytes;
+    tx.kind = e.heartbeat ? radio::TxKind::kHeartbeat : radio::TxKind::kData;
+    tx.packet_id = e.packet_index;
+    log.add(tx);
+    free_at = tx.end();
+    if (e.packet_index >= 0) {
+      starts[static_cast<std::size_t>(e.packet_index)] = tx.start;
+    }
+  }
+  const Duration energy_horizon =
+      std::max(problem.horizon, log.last_end()) + problem.model.tail_time();
+  const auto report = radio::measure_energy(log, problem.model,
+                                            energy_horizon);
+  return {report.tail_energy(), std::move(starts)};
+}
+
+double delay_cost(const OfflineProblem& problem,
+                  const std::vector<TimePoint>& starts) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const QueuedPacket& p = problem.packets[i];
+    total += p.profile->cost(starts[i] - p.packet.arrival, p.packet.deadline);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<TimePoint> candidate_departures(const OfflineProblem& problem,
+                                            const QueuedPacket& packet) {
+  std::vector<TimePoint> candidates;
+  const TimePoint arrival = packet.packet.arrival;
+  const TimePoint expiry = arrival + packet.packet.deadline;
+  candidates.push_back(arrival);
+  for (const TimePoint hb : problem.heartbeat_times) {
+    if (hb > arrival && hb <= expiry) candidates.push_back(hb);
+  }
+  if (expiry <= problem.horizon) candidates.push_back(expiry);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+OfflineSolution evaluate_offline_schedule(const OfflineProblem& problem,
+                                          std::vector<TimePoint> departures) {
+  if (departures.size() != problem.packets.size()) {
+    throw std::invalid_argument(
+        "evaluate_offline_schedule: departure count mismatch");
+  }
+  for (std::size_t i = 0; i < departures.size(); ++i) {
+    if (departures[i] < problem.packets[i].packet.arrival - 1e-9) {
+      throw std::invalid_argument(
+          "evaluate_offline_schedule: departure before arrival");
+    }
+  }
+  OfflineSolution solution;
+  auto [energy, starts] = score(problem, departures);
+  solution.tail_energy = energy;
+  solution.total_delay_cost = delay_cost(problem, starts);
+  solution.departures = std::move(departures);
+  return solution;
+}
+
+OfflineSolution solve_offline_exact(const OfflineProblem& problem,
+                                    std::uint64_t max_nodes) {
+  const std::size_t n = problem.packets.size();
+  std::vector<std::vector<TimePoint>> candidates(n);
+  std::uint64_t leaves = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates[i] = candidate_departures(problem, problem.packets[i]);
+    if (leaves > max_nodes / std::max<std::size_t>(candidates[i].size(), 1)) {
+      throw std::invalid_argument(
+          "solve_offline_exact: instance too large for exact search");
+    }
+    leaves *= candidates[i].size();
+  }
+
+  OfflineSolution best;
+  best.tail_energy = kTimeInfinity;
+  std::vector<TimePoint> assignment(n, 0.0);
+  std::uint64_t nodes = 0;
+
+  // DFS over the candidate grid. Evaluation happens at the leaves; the
+  // delay-cost budget prunes internal nodes (cost only grows as more
+  // packets are delayed, and each packet's minimum cost is at its first
+  // candidate).
+  const std::function<void(std::size_t, double)> dfs =
+      [&](std::size_t index, double cost_so_far) {
+        ++nodes;
+        if (cost_so_far > problem.delay_cost_budget + 1e-12) return;
+        if (index == n) {
+          auto [energy, starts] = score(problem, assignment);
+          const double cost = delay_cost(problem, starts);
+          if (cost > problem.delay_cost_budget + 1e-9) return;
+          if (energy < best.tail_energy - 1e-12) {
+            best.tail_energy = energy;
+            best.departures = assignment;
+            best.total_delay_cost = cost;
+          }
+          return;
+        }
+        const QueuedPacket& p = problem.packets[index];
+        for (const TimePoint t : candidates[index]) {
+          assignment[index] = t;
+          const double marginal =
+              p.profile->cost(t - p.packet.arrival, p.packet.deadline);
+          dfs(index + 1, cost_so_far + marginal);
+        }
+      };
+  dfs(0, 0.0);
+
+  if (best.departures.empty() && n > 0) {
+    throw std::runtime_error(
+        "solve_offline_exact: no schedule satisfies the delay-cost budget");
+  }
+  best.optimal = true;
+  best.nodes_explored = nodes;
+  if (n == 0) {
+    best = evaluate_offline_schedule(problem, {});
+    best.optimal = true;
+    best.nodes_explored = nodes;
+  }
+  return best;
+}
+
+OfflineSolution solve_offline_greedy(const OfflineProblem& problem) {
+  std::vector<TimePoint> departures;
+  departures.reserve(problem.packets.size());
+  for (const QueuedPacket& p : problem.packets) {
+    const TimePoint arrival = p.packet.arrival;
+    const TimePoint expiry = arrival + p.packet.deadline;
+    TimePoint chosen = std::min(expiry, problem.horizon);
+    for (const TimePoint hb : problem.heartbeat_times) {
+      if (hb >= arrival && hb <= expiry) {
+        chosen = hb;  // the first train in the window
+        break;
+      }
+    }
+    departures.push_back(std::max(chosen, arrival));
+  }
+  OfflineSolution solution =
+      evaluate_offline_schedule(problem, std::move(departures));
+  solution.optimal = false;
+  return solution;
+}
+
+}  // namespace etrain::core

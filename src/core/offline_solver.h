@@ -1,0 +1,80 @@
+// Offline tail-energy minimization (the paper's formulation (1)-(5)).
+//
+// With perfect knowledge of packet arrivals and bandwidth, choosing the
+// departure times S = {t_s(u)} to minimize total tail wastage subject to a
+// delay-cost budget is a generalization of Knapsack and NP-hard
+// (Sec. III-C). This module provides
+//
+//   * an *exact* branch-and-bound solver for small instances, used by the
+//     tests to measure the online algorithm's optimality gap, and
+//   * a candidate-time greedy heuristic that scales to full workloads.
+//
+// Both exploit the classical structure of tail-energy problems: an optimal
+// schedule only ever transmits at a packet's arrival, at a heartbeat
+// departure, or at a deadline expiry — between those instants, delaying
+// further can only shrink some gap's tail or leave it unchanged. The search
+// space is therefore the finite candidate grid rather than continuous time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/queues.h"
+#include "radio/power_model.h"
+
+namespace etrain::core {
+
+struct OfflineProblem {
+  /// Fixed heartbeat departure times (constraint (5)); sorted ascending.
+  std::vector<TimePoint> heartbeat_times;
+  Bytes heartbeat_bytes = 100;
+
+  /// The cargo packets (arrival, deadline, bytes, profile).
+  std::vector<QueuedPacket> packets;
+
+  radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+  /// Offline formulation assumes known bandwidth; constant here.
+  BytesPerSecond bandwidth = 100.0e3;
+  Duration horizon = 0.0;
+
+  /// Budget on the total delay cost (constraint (4)); infinity = unbounded.
+  double delay_cost_budget = kTimeInfinity;
+};
+
+struct OfflineSolution {
+  /// Departure time per packet, aligned with OfflineProblem::packets.
+  std::vector<TimePoint> departures;
+  /// Objective (1): total tail energy of heartbeats and packets.
+  Joules tail_energy = 0.0;
+  /// Achieved total delay cost (must be <= the budget).
+  double total_delay_cost = 0.0;
+  /// True when the solver proved optimality (exact solver only).
+  bool optimal = false;
+  /// Search effort (diagnostics).
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Evaluates a fixed assignment of departures: serializes all events,
+/// returns the objective. Exposed for tests and for scoring online
+/// schedules on the same footing. Throws if any departure precedes its
+/// packet's arrival (constraint (2)).
+OfflineSolution evaluate_offline_schedule(const OfflineProblem& problem,
+                                          std::vector<TimePoint> departures);
+
+/// Exact branch-and-bound over the candidate grid. Intended for small
+/// instances; throws std::invalid_argument when the instance exceeds
+/// `max_nodes` worth of search (defensive bound, default ~5e6).
+OfflineSolution solve_offline_exact(const OfflineProblem& problem,
+                                    std::uint64_t max_nodes = 5'000'000);
+
+/// Greedy heuristic: each packet rides the first heartbeat after its
+/// arrival whose wait respects the per-packet deadline, else departs at its
+/// deadline (or immediately when the budget is already strained). Scales
+/// linearly; used as an upper bound and as the Oracle policy's offline twin.
+OfflineSolution solve_offline_greedy(const OfflineProblem& problem);
+
+/// The candidate departure times the solvers consider for one packet.
+std::vector<TimePoint> candidate_departures(const OfflineProblem& problem,
+                                            const QueuedPacket& packet);
+
+}  // namespace etrain::core

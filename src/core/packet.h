@@ -1,0 +1,45 @@
+// Application-layer data units ("packets" in the paper's terminology):
+// a text message, an e-mail, a news update, a cloud-sync chunk. One packet
+// may span many transport-layer segments but is transmitted as a unit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+
+namespace etrain::core {
+
+/// Identifies a cargo app within a scenario (index into the cargo app list).
+using CargoAppId = int;
+
+/// Globally unique packet id within one simulation run.
+using PacketId = std::int64_t;
+
+/// Transfer direction. Uploads dominate the paper's evaluation, but cargo
+/// apps may also "want to download some data (mainly for prefetching
+/// purpose)" (Sec. V-4); downloads ride heartbeat tails exactly the same
+/// way, just against the downlink's (usually higher) bandwidth.
+enum class Direction {
+  kUplink,
+  kDownlink,
+};
+
+/// A delay-tolerant data packet awaiting transmission.
+struct Packet {
+  PacketId id = -1;
+  CargoAppId app = 0;
+  Bytes bytes = 0;
+  Direction direction = Direction::kUplink;
+  /// Arrival time t_a(u): when the cargo app generated the packet.
+  TimePoint arrival = 0.0;
+  /// User-specified deadline (relative, seconds after arrival). The delay
+  /// cost profile interprets it; it is not a hard constraint.
+  Duration deadline = 60.0;
+
+  /// Delay experienced if the packet starts transmission at time t.
+  Duration delay_if_sent_at(TimePoint t) const { return t - arrival; }
+};
+
+}  // namespace etrain::core

@@ -1,0 +1,85 @@
+// The scheduling-policy contract all algorithms under evaluation implement.
+//
+// The slotted simulator (and the full Android-substrate system) calls
+// select() once per slot. The policy examines the waiting queues and the
+// slot context, and returns the subset Q*(t) to inject into the FIFO
+// transmission queue. Policies never touch heartbeats: per the paper, "all
+// three scheduling algorithms only make scheduling decisions for data
+// packets and do not interfere original heartbeat transmission".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/queues.h"
+
+namespace etrain::core {
+
+/// A packet chosen for immediate transmission.
+struct Selection {
+  CargoAppId app = 0;
+  PacketId packet = -1;
+  /// Multi-interface extension: route this packet over Wi-Fi instead of
+  /// the cellular uplink. Ignored (treated as cellular) when the scenario
+  /// has no Wi-Fi or Wi-Fi is unavailable this slot.
+  bool via_wifi = false;
+};
+
+/// Everything a policy may observe at the start of a slot.
+struct SlotContext {
+  /// Slot start time t.
+  TimePoint slot_start = 0.0;
+  /// Slot length (1 s for eTrain/PerES, 60 s for eTime per the paper).
+  Duration slot_length = 1.0;
+
+  /// True when at least one train-app heartbeat departs in this slot
+  /// (t = t_s(h) for some h in H).
+  bool heartbeat_now = false;
+
+  /// Predicted departure times of upcoming heartbeats (absolute, sorted
+  /// ascending). Produced by the HeartbeatMonitor; empty when no train app
+  /// is running.
+  std::vector<TimePoint> upcoming_heartbeats;
+
+  /// Noisy short-term uplink bandwidth estimate (EWMA of imperfect
+  /// measurements). eTrain deliberately ignores this — channel
+  /// obliviousness is one of its design points; PerES/eTime rely on it.
+  BytesPerSecond bandwidth_estimate = 0.0;
+
+  /// Long-run average bandwidth estimate.
+  BytesPerSecond bandwidth_long_term = 0.0;
+
+  /// Multi-interface extension: true when a Wi-Fi network is associated
+  /// this slot. Cellular-only scenarios always report false.
+  bool wifi_available = false;
+
+  /// Time of the next predicted heartbeat strictly after slot_start;
+  /// +inf when unknown or no trains run.
+  TimePoint next_heartbeat() const {
+    for (const TimePoint t : upcoming_heartbeats) {
+      if (t > slot_start) return t;
+    }
+    return kTimeInfinity;
+  }
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Chooses Q*(t). Must only return packets currently present in `queues`,
+  /// each at most once; the caller removes them.
+  virtual std::vector<Selection> select(const SlotContext& ctx,
+                                        const WaitingQueues& queues) = 0;
+
+  /// Display name for tables.
+  virtual std::string name() const = 0;
+
+  /// Slot length this policy is designed for; the harness honours it.
+  virtual Duration preferred_slot_length() const { return 1.0; }
+
+  /// Clears any cross-slot state before a fresh run.
+  virtual void reset() {}
+};
+
+}  // namespace etrain::core

@@ -1,0 +1,98 @@
+#include "core/queues.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::core {
+
+WaitingQueues::WaitingQueues(int app_count) : queues_(app_count) {
+  if (app_count < 0) {
+    throw std::invalid_argument("WaitingQueues: negative app count");
+  }
+}
+
+void WaitingQueues::enqueue(QueuedPacket p) {
+  if (p.packet.app < 0 || p.packet.app >= app_count()) {
+    throw std::invalid_argument("WaitingQueues: app id out of range");
+  }
+  if (p.profile == nullptr) {
+    throw std::invalid_argument("WaitingQueues: packet without cost profile");
+  }
+  queues_[p.packet.app].push_back(std::move(p));
+}
+
+const std::vector<QueuedPacket>& WaitingQueues::queue(CargoAppId app) const {
+  return queues_.at(app);
+}
+
+bool WaitingQueues::empty() const {
+  return std::all_of(queues_.begin(), queues_.end(),
+                     [](const auto& q) { return q.empty(); });
+}
+
+std::size_t WaitingQueues::total_size() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+Bytes WaitingQueues::total_bytes() const {
+  Bytes n = 0;
+  for (const auto& q : queues_) {
+    for (const auto& p : q) n += p.packet.bytes;
+  }
+  return n;
+}
+
+double WaitingQueues::app_cost(CargoAppId app, TimePoint t) const {
+  double sum = 0.0;
+  for (const auto& p : queues_.at(app)) sum += p.cost_at(t);
+  return sum;
+}
+
+double WaitingQueues::instantaneous_cost(TimePoint t) const {
+  double sum = 0.0;
+  for (int app = 0; app < app_count(); ++app) sum += app_cost(app, t);
+  return sum;
+}
+
+double WaitingQueues::app_speculative_cost(CargoAppId app,
+                                           TimePoint next_slot_start) const {
+  double sum = 0.0;
+  for (const auto& p : queues_.at(app)) {
+    sum += p.speculative_cost(next_slot_start);
+  }
+  return sum;
+}
+
+QueuedPacket WaitingQueues::remove(CargoAppId app, PacketId id) {
+  auto& q = queues_.at(app);
+  const auto it = std::find_if(q.begin(), q.end(), [id](const QueuedPacket& p) {
+    return p.packet.id == id;
+  });
+  if (it == q.end()) {
+    throw std::invalid_argument("WaitingQueues: packet not found");
+  }
+  QueuedPacket out = std::move(*it);
+  q.erase(it);
+  return out;
+}
+
+std::vector<QueuedPacket> WaitingQueues::drain_all() {
+  std::vector<QueuedPacket> out;
+  out.reserve(total_size());
+  for (auto& q : queues_) {
+    for (auto& p : q) out.push_back(std::move(p));
+    q.clear();
+  }
+  return out;
+}
+
+TimePoint WaitingQueues::oldest_arrival(CargoAppId app) const {
+  const auto& q = queues_.at(app);
+  TimePoint oldest = kTimeInfinity;
+  for (const auto& p : q) oldest = std::min(oldest, p.packet.arrival);
+  return oldest;
+}
+
+}  // namespace etrain::core

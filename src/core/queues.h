@@ -1,0 +1,75 @@
+// Per-cargo-app waiting queues Q_i and their cost aggregates (Sec. IV).
+//
+// Every packet a cargo app generates is first enqueued into its app's
+// waiting queue. The scheduler inspects the queues each slot, computes the
+// instantaneous delay cost P(t) and the speculative (next-slot) costs, and
+// moves a selected subset Q*(t) into the FIFO transmission queue.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_profile.h"
+#include "core/packet.h"
+
+namespace etrain::core {
+
+/// A packet waiting in Q_i together with its app's delay-cost profile.
+struct QueuedPacket {
+  Packet packet;
+  const CostProfile* profile = nullptr;
+
+  /// phi_u(t - t_a(u)): the packet's current delay cost at time t.
+  double cost_at(TimePoint t) const {
+    return profile->cost(t - packet.arrival, packet.deadline);
+  }
+
+  /// The "speculative cost" varphi_u(t): the cost the packet will have at
+  /// the beginning of the next slot if it is NOT selected now.
+  double speculative_cost(TimePoint next_slot_start) const {
+    return profile->cost(next_slot_start - packet.arrival, packet.deadline);
+  }
+};
+
+/// The set {Q_1 .. Q_M} of per-app waiting queues.
+class WaitingQueues {
+ public:
+  explicit WaitingQueues(int app_count);
+
+  int app_count() const { return static_cast<int>(queues_.size()); }
+
+  /// Enqueues into Q_{p.packet.app}; app index must be in range.
+  void enqueue(QueuedPacket p);
+
+  const std::vector<QueuedPacket>& queue(CargoAppId app) const;
+
+  bool empty() const;
+  std::size_t total_size() const;
+  Bytes total_bytes() const;
+
+  /// P_i(t) = sum over Q_i of phi_u(t - t_a(u)).
+  double app_cost(CargoAppId app, TimePoint t) const;
+
+  /// P(t) = sum over all apps of P_i(t) (Eq. 6).
+  double instantaneous_cost(TimePoint t) const;
+
+  /// \bar P_i(t) = sum over Q_i of the speculative costs varphi_u(t).
+  double app_speculative_cost(CargoAppId app,
+                              TimePoint next_slot_start) const;
+
+  /// Removes and returns the packet with the given id from app's queue.
+  /// Throws std::invalid_argument if absent.
+  QueuedPacket remove(CargoAppId app, PacketId id);
+
+  /// Drains every queue (order: app-major, FIFO within app).
+  std::vector<QueuedPacket> drain_all();
+
+  /// Oldest arrival among queued packets of an app (for FIFO heuristics);
+  /// +inf when the queue is empty.
+  TimePoint oldest_arrival(CargoAppId app) const;
+
+ private:
+  std::vector<std::vector<QueuedPacket>> queues_;
+};
+
+}  // namespace etrain::core

@@ -1,0 +1,51 @@
+#include "exp/figure_export.h"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace etrain::experiments {
+
+std::string ensure_results_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create results directory: " + dir);
+  }
+  return dir;
+}
+
+void export_frontier(const std::string& dir, const std::string& name,
+                     const std::vector<EDPoint>& frontier) {
+  CsvWriter w(dir + "/" + name + ".csv");
+  w.write_row({"param", "energy_J", "delay_s", "violation"});
+  for (const auto& p : frontier) {
+    w.write_row({std::to_string(p.param), std::to_string(p.energy),
+                 std::to_string(p.delay), std::to_string(p.violation)});
+  }
+}
+
+void export_series(const std::string& dir, const std::string& name,
+                   const std::vector<std::string>& headers,
+                   const std::vector<std::vector<double>>& columns) {
+  if (columns.size() != headers.size()) {
+    throw std::invalid_argument("export_series: header/column mismatch");
+  }
+  for (const auto& c : columns) {
+    if (c.size() != columns.front().size()) {
+      throw std::invalid_argument("export_series: ragged columns");
+    }
+  }
+  CsvWriter w(dir + "/" + name + ".csv");
+  w.write_row(headers);
+  if (columns.empty()) return;
+  for (std::size_t row = 0; row < columns.front().size(); ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (const auto& c : columns) cells.push_back(std::to_string(c[row]));
+    w.write_row(cells);
+  }
+}
+
+}  // namespace etrain::experiments

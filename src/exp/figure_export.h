@@ -1,0 +1,27 @@
+// Figure-data export: every bench can dump the series it prints as CSV
+// under results/, ready for external plotting (gnuplot, matplotlib). Kept
+// separate from the table printers so bench output stays human-first.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/sweeps.h"
+
+namespace etrain::experiments {
+
+/// Creates `dir` (default "results") if needed; returns its path. Throws
+/// std::runtime_error when the directory cannot be created.
+std::string ensure_results_dir(const std::string& dir = "results");
+
+/// Writes an E-D frontier as "param,energy_J,delay_s,violation".
+void export_frontier(const std::string& dir, const std::string& name,
+                     const std::vector<EDPoint>& frontier);
+
+/// Writes arbitrary named series as columns: header row then values;
+/// all series must have equal length.
+void export_series(const std::string& dir, const std::string& name,
+                   const std::vector<std::string>& headers,
+                   const std::vector<std::vector<double>>& columns);
+
+}  // namespace etrain::experiments

@@ -1,0 +1,26 @@
+#include "exp/metrics.h"
+
+namespace etrain::experiments {
+
+void finalize_metrics(RunMetrics& metrics) {
+  if (metrics.outcomes.empty()) {
+    metrics.normalized_delay = 0.0;
+    metrics.violation_ratio = 0.0;
+    metrics.total_delay_cost = 0.0;
+    return;
+  }
+  double delay_sum = 0.0;
+  double cost_sum = 0.0;
+  std::size_t violations = 0;
+  for (const auto& o : metrics.outcomes) {
+    delay_sum += o.delay;
+    cost_sum += o.cost;
+    if (o.violated) ++violations;
+  }
+  const auto n = static_cast<double>(metrics.outcomes.size());
+  metrics.normalized_delay = delay_sum / n;
+  metrics.violation_ratio = static_cast<double>(violations) / n;
+  metrics.total_delay_cost = cost_sum;
+}
+
+}  // namespace etrain::experiments

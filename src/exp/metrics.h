@@ -1,0 +1,80 @@
+// Per-run result metrics: the three quantities the paper evaluates —
+// (1) total energy consumption, (2) normalized delay (average per-packet
+// delay), (3) deadline violation ratio — plus the full transmission log and
+// per-packet outcomes for deeper analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+#include "radio/energy_meter.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::experiments {
+
+/// What happened to one cargo packet.
+struct PacketOutcome {
+  core::PacketId id = -1;
+  core::CargoAppId app = 0;
+  TimePoint arrival = 0.0;
+  /// Transmission start t_s(u).
+  TimePoint sent = 0.0;
+  Duration delay = 0.0;
+  /// phi_u at the realized delay.
+  double cost = 0.0;
+  bool violated = false;
+  Bytes bytes = 0;
+};
+
+struct RunMetrics {
+  std::string policy_name;
+  radio::EnergyReport energy;
+  radio::TransmissionLog log;
+  std::vector<PacketOutcome> outcomes;
+
+  /// Multi-interface extension: the Wi-Fi radio's own log and energy
+  /// report (zero/empty in cellular-only scenarios). Wi-Fi transfers run
+  /// concurrently with cellular ones; their packets appear in `outcomes`
+  /// like any other.
+  radio::EnergyReport wifi_energy;
+  radio::TransmissionLog wifi_log;
+
+  /// When a simulated Monsoon power monitor was attached (Fig. 9 setup),
+  /// the energy it recovered by integrating its 0.1 s current samples —
+  /// the lab-style measurement, cross-checking the analytic meter.
+  std::optional<Joules> monsoon_energy;
+
+  /// Average t_s(u) - t_a(u) over all cargo packets ("normalized delay").
+  double normalized_delay = 0.0;
+  /// Fraction of packets with delay > deadline.
+  double violation_ratio = 0.0;
+  /// Sum of realized delay costs (the paper's budget constraint quantity).
+  double total_delay_cost = 0.0;
+
+  /// Radio energy above idle: transmissions + promotions + tails, for both
+  /// heartbeats and data, across both interfaces. The headline "total
+  /// energy" of the figures.
+  Joules network_energy() const {
+    return energy.network_energy() + wifi_energy.network_energy();
+  }
+
+  /// Energy attributable to cargo data only (tx + the tails their
+  /// transmissions produced) — the blue bars of Fig. 10(a).
+  Joules data_energy() const {
+    const auto d = static_cast<std::size_t>(radio::TxKind::kData);
+    return energy.tx_energy_by_kind[d] + energy.tail_energy_by_kind[d];
+  }
+
+  /// Energy attributable to heartbeats (the red bars of Fig. 10(a)).
+  Joules heartbeat_energy() const {
+    const auto h = static_cast<std::size_t>(radio::TxKind::kHeartbeat);
+    return energy.tx_energy_by_kind[h] + energy.tail_energy_by_kind[h];
+  }
+};
+
+/// Fills the aggregate fields from `outcomes` (call after populating them).
+void finalize_metrics(RunMetrics& metrics);
+
+}  // namespace etrain::experiments

@@ -1,0 +1,56 @@
+#include "exp/replication.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace etrain::experiments {
+
+Replicated replicate_metric(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("replicate_metric: no samples");
+  }
+  RunningStats stats;
+  for (const double s : samples) stats.add(s);
+  Replicated r;
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  r.min = stats.min();
+  r.max = stats.max();
+  r.runs = stats.count();
+  r.ci95_half_width =
+      stats.count() > 1
+          ? 1.96 * stats.stddev() / std::sqrt(static_cast<double>(r.runs))
+          : 0.0;
+  return r;
+}
+
+ReplicatedMetrics replicate(
+    const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
+    const std::function<std::unique_ptr<core::SchedulingPolicy>()>&
+        make_policy) {
+  if (seeds.empty()) {
+    throw std::invalid_argument("replicate: no seeds");
+  }
+  std::vector<double> energies, delays, violations;
+  for (const std::uint64_t seed : seeds) {
+    ScenarioConfig cfg = config;
+    cfg.workload_seed = seed;
+    const Scenario scenario = make_scenario(cfg);
+    const auto policy = make_policy();
+    const RunMetrics m = run_slotted(scenario, *policy);
+    energies.push_back(m.network_energy());
+    delays.push_back(m.normalized_delay);
+    violations.push_back(m.violation_ratio);
+  }
+  return ReplicatedMetrics{replicate_metric(energies),
+                           replicate_metric(delays),
+                           replicate_metric(violations)};
+}
+
+std::vector<std::uint64_t> default_seeds(std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = i + 1;
+  return seeds;
+}
+
+}  // namespace etrain::experiments

@@ -1,0 +1,44 @@
+// Multi-seed replication: every stochastic result in EXPERIMENTS.md can be
+// re-run across independent workload seeds to get a mean and a confidence
+// interval instead of a single draw. Used by the benches' "replicated"
+// sections and by tests asserting that orderings hold beyond one seed.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "exp/slotted_sim.h"
+
+namespace etrain::experiments {
+
+/// Aggregate of one metric across replications.
+struct Replicated {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half_width = 0.0;  ///< normal-approximation 95 % CI
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t runs = 0;
+};
+
+Replicated replicate_metric(const std::vector<double>& samples);
+
+/// Everything a replicated comparison reports per policy.
+struct ReplicatedMetrics {
+  Replicated energy;     ///< network energy, J
+  Replicated delay;      ///< normalized delay, s
+  Replicated violation;  ///< deadline violation ratio
+};
+
+/// Runs `make_policy()` against `seeds.size()` freshly generated scenarios
+/// (identical config except the workload seed) and aggregates the metrics.
+ReplicatedMetrics replicate(
+    const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
+    const std::function<std::unique_ptr<core::SchedulingPolicy>()>&
+        make_policy);
+
+/// Convenience: seeds 1..n.
+std::vector<std::uint64_t> default_seeds(std::size_t n);
+
+}  // namespace etrain::experiments

@@ -1,0 +1,83 @@
+#include "exp/scenario.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace etrain::experiments {
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  if (config.train_count < 0 || config.train_count > 3) {
+    throw std::invalid_argument("make_scenario: train_count must be 0..3");
+  }
+  Scenario s;
+  s.horizon = config.horizon;
+  s.model = config.model;
+
+  net::SyntheticBandwidthConfig bw;
+  bw.length = std::max(config.horizon, 60.0);
+  s.trace = net::generate_synthetic_trace(bw, config.bandwidth_seed);
+  // 3G downlink: same fading structure, ~3x the uplink rate.
+  std::vector<BytesPerSecond> down = s.trace.samples();
+  for (auto& v : down) v *= 3.0;
+  s.downlink_trace = net::BandwidthTrace(std::move(down));
+
+  const auto all_trains = apps::default_train_specs();
+  std::vector<apps::HeartbeatSpec> trains(
+      all_trains.begin(), all_trains.begin() + config.train_count);
+  s.trains = apps::build_train_schedule(trains, config.horizon);
+
+  auto cargo = apps::cargo_specs_for_lambda(config.lambda);
+  if (config.shared_deadline.has_value()) {
+    for (auto& c : cargo) c.deadline = *config.shared_deadline;
+  }
+  Rng rng(config.workload_seed);
+  s.packets = apps::generate_workload(cargo, config.horizon, rng);
+  for (const auto& c : cargo) s.profiles.push_back(c.profile);
+  return s;
+}
+
+void validate_scenario(const Scenario& scenario) {
+  if (scenario.horizon <= 0.0) {
+    throw std::invalid_argument("Scenario: non-positive horizon");
+  }
+  std::unordered_set<core::PacketId> ids;
+  TimePoint prev_arrival = -kTimeInfinity;
+  for (const auto& p : scenario.packets) {
+    if (p.arrival < prev_arrival) {
+      throw std::invalid_argument("Scenario: packets not sorted by arrival");
+    }
+    prev_arrival = p.arrival;
+    if (p.app < 0 ||
+        p.app >= static_cast<core::CargoAppId>(scenario.profiles.size())) {
+      throw std::invalid_argument("Scenario: packet app id out of range");
+    }
+    if (scenario.profiles[p.app] == nullptr) {
+      throw std::invalid_argument("Scenario: null cost profile");
+    }
+    if (!ids.insert(p.id).second) {
+      throw std::invalid_argument("Scenario: duplicate packet id");
+    }
+    if (p.bytes <= 0) {
+      throw std::invalid_argument("Scenario: packet with non-positive size");
+    }
+    if (p.deadline <= 0.0) {
+      throw std::invalid_argument("Scenario: non-positive deadline");
+    }
+  }
+  const auto check_sorted = [](const std::vector<apps::TrainEvent>& events,
+                               const char* what) {
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i].time < events[i - 1].time) {
+        throw std::invalid_argument(std::string("Scenario: ") + what +
+                                    " not sorted by time");
+      }
+    }
+  };
+  check_sorted(scenario.trains, "trains");
+  check_sorted(scenario.background, "background traffic");
+}
+
+}  // namespace etrain::experiments

@@ -1,0 +1,252 @@
+#include "exp/slotted_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace etrain::experiments {
+
+namespace {
+
+/// Serialized-uplink bookkeeping shared by heartbeat and data transmission.
+class Uplink {
+ public:
+  Uplink(const Scenario& scenario, radio::TransmissionLog& log)
+      : scenario_(scenario), log_(log) {}
+
+  /// Transmits `bytes` no earlier than `not_before`; returns the actual
+  /// start time (after any in-flight transmission and RRC promotion).
+  TimePoint transmit(TimePoint not_before, Bytes bytes, radio::TxKind kind,
+                     int app_id, core::PacketId packet_id,
+                     core::Direction direction = core::Direction::kUplink) {
+    const TimePoint start = std::max(not_before, free_at_);
+    const net::BandwidthTrace& trace =
+        direction == core::Direction::kDownlink ? scenario_.downlink_trace
+                                                : scenario_.trace;
+    radio::Transmission tx;
+    tx.start = start;
+    tx.setup = promotion_delay(start);
+    tx.duration = trace.transfer_duration(bytes, start + tx.setup);
+    tx.bytes = bytes;
+    tx.kind = kind;
+    tx.app_id = app_id;
+    tx.packet_id = packet_id;
+    log_.add(tx);
+    free_at_ = tx.end();
+    last_end_ = tx.end();
+    return start;
+  }
+
+  TimePoint free_at() const { return free_at_; }
+
+ private:
+  Duration promotion_delay(TimePoint start) const {
+    if (last_end_ < 0.0) return scenario_.model.idle_to_dch_delay;
+    const Duration elapsed = start - last_end_;
+    if (elapsed < scenario_.model.dch_tail) return 0.0;
+    if (elapsed < scenario_.model.tail_time()) {
+      return scenario_.model.fach_to_dch_delay;
+    }
+    return scenario_.model.idle_to_dch_delay;
+  }
+
+  const Scenario& scenario_;
+  radio::TransmissionLog& log_;
+  TimePoint free_at_ = 0.0;
+  TimePoint last_end_ = -1.0;
+};
+
+}  // namespace
+
+RunMetrics run_slotted(const Scenario& scenario,
+                       core::SchedulingPolicy& policy) {
+  policy.reset();
+
+  RunMetrics metrics;
+  metrics.policy_name = policy.name();
+
+  const Duration slot = policy.preferred_slot_length();
+  if (slot <= 0.0) {
+    throw std::invalid_argument("run_slotted: non-positive slot length");
+  }
+  validate_scenario(scenario);
+
+  core::WaitingQueues queues(static_cast<int>(scenario.profiles.size()));
+  Uplink uplink(scenario, metrics.log);
+
+  // Wi-Fi channel (multi-interface extension): independent serialization,
+  // its own log; energy metered against the Wi-Fi power model afterwards.
+  TimePoint wifi_free_at = 0.0;
+  const auto transmit_wifi = [&](const core::QueuedPacket& qp,
+                                 TimePoint not_before) -> TimePoint {
+    const TimePoint start = std::max(not_before, wifi_free_at);
+    radio::Transmission tx;
+    tx.start = start;
+    tx.setup = scenario.wifi_model.idle_to_dch_delay;
+    tx.duration =
+        scenario.wifi_trace.transfer_duration(qp.packet.bytes, start + tx.setup);
+    tx.bytes = qp.packet.bytes;
+    tx.kind = radio::TxKind::kData;
+    tx.app_id = qp.packet.app;
+    tx.packet_id = qp.packet.id;
+    metrics.wifi_log.add(tx);
+    wifi_free_at = tx.end();
+    return start;
+  };
+
+  // Noisy bandwidth estimation the channel-dependent policies consume.
+  Rng noise(scenario.noise_seed);
+  Ewma short_term(0.3);
+  RunningStats long_term;
+
+  const std::vector<TimePoint> departures =
+      apps::departure_times(scenario.trains);
+
+  std::size_t next_packet = 0;
+  std::size_t next_train = 0;
+  std::size_t next_departure = 0;
+  std::size_t next_background = 0;
+
+  // Interactive foreground transmissions happen at their own timestamps,
+  // outside the policy's control; they are billed as data but carry the
+  // sentinel packet id -2 so they never join the outcome metrics.
+  const auto flush_background_until = [&](TimePoint limit) {
+    while (next_background < scenario.background.size() &&
+           scenario.background[next_background].time <= limit) {
+      const auto& e = scenario.background[next_background];
+      uplink.transmit(e.time, e.bytes, radio::TxKind::kData, e.train, -2);
+      ++next_background;
+    }
+  };
+
+  const auto transmit_data = [&](core::QueuedPacket&& qp, TimePoint slot_start,
+                                 bool via_wifi = false) {
+    const TimePoint sent =
+        via_wifi
+            ? transmit_wifi(qp, slot_start)
+            : uplink.transmit(slot_start, qp.packet.bytes,
+                              radio::TxKind::kData, qp.packet.app,
+                              qp.packet.id, qp.packet.direction);
+    PacketOutcome o;
+    o.id = qp.packet.id;
+    o.app = qp.packet.app;
+    o.arrival = qp.packet.arrival;
+    o.sent = sent;
+    o.delay = sent - qp.packet.arrival;
+    o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
+    o.violated = o.delay > qp.packet.deadline + 1e-9;
+    o.bytes = qp.packet.bytes;
+    metrics.outcomes.push_back(o);
+  };
+
+  for (TimePoint t = 0.0; t < scenario.horizon; t += slot) {
+    const TimePoint slot_end = t + slot;
+
+    // (1) Arrivals from the previous slot join their queues.
+    while (next_packet < scenario.packets.size() &&
+           scenario.packets[next_packet].arrival < t) {
+      const core::Packet& p = scenario.packets[next_packet];
+      queues.enqueue(core::QueuedPacket{p, scenario.profiles.at(p.app)});
+      ++next_packet;
+    }
+
+    // (2) Heartbeats due at or before the slot start; interactive traffic
+    // up to the slot start goes out as it happened.
+    flush_background_until(t);
+    bool heartbeat_now = false;
+    while (next_train < scenario.trains.size() &&
+           scenario.trains[next_train].time <= t) {
+      const auto& hb = scenario.trains[next_train];
+      uplink.transmit(t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1);
+      heartbeat_now = true;
+      ++next_train;
+    }
+    // Any heartbeat later within this slot still marks the slot as a train
+    // departure for the policy (the paper treats heartbeats as firing at
+    // slot boundaries).
+    if (next_train < scenario.trains.size() &&
+        scenario.trains[next_train].time < slot_end) {
+      heartbeat_now = true;
+    }
+
+    // (3) Policy decision.
+    const double measured =
+        scenario.trace.at(t) *
+        std::exp(noise.normal(0.0, scenario.estimate_noise_sigma));
+    short_term.add(measured);
+    long_term.add(measured);
+
+    core::SlotContext ctx;
+    ctx.slot_start = t;
+    ctx.slot_length = slot;
+    ctx.heartbeat_now = heartbeat_now;
+    while (next_departure < departures.size() &&
+           departures[next_departure] < t) {
+      ++next_departure;
+    }
+    for (std::size_t i = next_departure;
+         i < departures.size() && i < next_departure + 16; ++i) {
+      ctx.upcoming_heartbeats.push_back(departures[i]);
+    }
+    ctx.bandwidth_estimate = short_term.value_or(measured);
+    ctx.bandwidth_long_term = long_term.mean();
+    ctx.wifi_available = scenario.wifi.available(t);
+
+    const auto selections = policy.select(ctx, queues);
+    std::unordered_set<core::PacketId> seen;
+    for (const auto& sel : selections) {
+      if (!seen.insert(sel.packet).second) {
+        throw std::logic_error("policy selected the same packet twice");
+      }
+      const bool via_wifi = sel.via_wifi && ctx.wifi_available;
+      transmit_data(queues.remove(sel.app, sel.packet), t, via_wifi);
+    }
+
+    // (4) Heartbeats and interactive traffic later within the slot fire at
+    // their exact times.
+    while (next_train < scenario.trains.size() &&
+           scenario.trains[next_train].time < slot_end) {
+      const auto& hb = scenario.trains[next_train];
+      uplink.transmit(hb.time, hb.bytes, radio::TxKind::kHeartbeat, hb.train,
+                      -1);
+      ++next_train;
+    }
+    flush_background_until(slot_end - 1e-12);
+  }
+  flush_background_until(scenario.horizon);
+
+  // Force-flush stragglers at the horizon.
+  for (auto& qp : queues.drain_all()) {
+    transmit_data(std::move(qp), scenario.horizon);
+  }
+  // Also flush packets that arrived in the final slot but were never
+  // enqueued (arrival >= last slot start).
+  while (next_packet < scenario.packets.size()) {
+    const core::Packet& p = scenario.packets[next_packet];
+    transmit_data(core::QueuedPacket{p, scenario.profiles.at(p.app)},
+                  std::max(scenario.horizon, p.arrival));
+    ++next_packet;
+  }
+
+  // Energy accounting: extend the metering window past the final tail so
+  // every policy is billed for the tail it leaves behind.
+  const Duration energy_horizon =
+      std::max(scenario.horizon, metrics.log.last_end()) +
+      scenario.model.tail_time();
+  metrics.energy = radio::measure_energy(metrics.log, scenario.model,
+                                         energy_horizon);
+  const Duration wifi_horizon =
+      std::max(scenario.horizon, metrics.wifi_log.last_end()) +
+      scenario.wifi_model.tail_time();
+  metrics.wifi_energy = radio::measure_energy(metrics.wifi_log,
+                                              scenario.wifi_model,
+                                              wifi_horizon);
+  finalize_metrics(metrics);
+  return metrics;
+}
+
+}  // namespace etrain::experiments

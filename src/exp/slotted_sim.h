@@ -1,0 +1,33 @@
+// The slotted, trace-driven simulator (Sec. IV's slotted time model +
+// Sec. VI-A's methodology).
+//
+// Per slot, in order:
+//   1. packets that arrived during the previous slot join their waiting
+//      queues (the paper assumes arrivals of slot t are available at the
+//      end of slot t);
+//   2. heartbeats due at/before the slot start transmit immediately —
+//      heartbeats are never rescheduled by any policy;
+//   3. the policy under test selects Q*(t); selected packets enter the FIFO
+//      transmission queue and transmit serialized behind any in-flight
+//      transmission (constraint (3));
+//   4. heartbeats due later within the slot transmit at their exact times.
+//
+// The radio is modeled by (start, duration) occupancy intervals; energy is
+// computed afterwards by replaying the resulting TransmissionLog through
+// the EnergyMeter, identically for every policy.
+#pragma once
+
+#include "core/policy.h"
+#include "exp/metrics.h"
+#include "exp/scenario.h"
+
+namespace etrain::experiments {
+
+/// Runs one policy over one scenario. The policy's preferred slot length is
+/// honoured (1 s for eTrain/PerES/Baseline, 60 s for eTime, per the paper).
+/// Packets still queued when the horizon is reached are force-flushed at the
+/// horizon so no policy can hide delay or energy by never transmitting.
+RunMetrics run_slotted(const Scenario& scenario,
+                       core::SchedulingPolicy& policy);
+
+}  // namespace etrain::experiments

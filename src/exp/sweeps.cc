@@ -1,0 +1,65 @@
+#include "exp/sweeps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace etrain::experiments {
+
+std::vector<EDPoint> sweep(const Scenario& scenario,
+                           const PolicyFactory& factory,
+                           const std::vector<double>& params) {
+  std::vector<EDPoint> frontier;
+  frontier.reserve(params.size());
+  for (const double param : params) {
+    const auto policy = factory(param);
+    const RunMetrics metrics = run_slotted(scenario, *policy);
+    frontier.push_back(EDPoint{param, metrics.network_energy(),
+                               metrics.normalized_delay,
+                               metrics.violation_ratio});
+  }
+  return frontier;
+}
+
+EDPoint frontier_at_delay(const std::vector<EDPoint>& frontier,
+                          double target_delay) {
+  if (frontier.empty()) {
+    throw std::invalid_argument("frontier_at_delay: empty frontier");
+  }
+  // Sort a copy by delay.
+  std::vector<EDPoint> sorted = frontier;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EDPoint& a, const EDPoint& b) {
+              return a.delay < b.delay;
+            });
+  if (target_delay <= sorted.front().delay) return sorted.front();
+  if (target_delay >= sorted.back().delay) return sorted.back();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].delay >= target_delay) {
+      const EDPoint& lo = sorted[i - 1];
+      const EDPoint& hi = sorted[i];
+      const double span = hi.delay - lo.delay;
+      const double w = span > 1e-12 ? (target_delay - lo.delay) / span : 0.5;
+      EDPoint out;
+      out.param = lo.param + w * (hi.param - lo.param);
+      out.energy = lo.energy + w * (hi.energy - lo.energy);
+      out.delay = target_delay;
+      out.violation = lo.violation + w * (hi.violation - lo.violation);
+      return out;
+    }
+  }
+  return sorted.back();  // unreachable
+}
+
+std::vector<double> linspace_step(double from, double to, double step) {
+  if (step <= 0.0) {
+    throw std::invalid_argument("linspace_step: non-positive step");
+  }
+  std::vector<double> out;
+  for (double v = from; v <= to + step * 1e-9; v += step) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace etrain::experiments

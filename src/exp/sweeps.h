@@ -1,0 +1,47 @@
+// Parameter sweeps and the E–D (energy–delay) panel used throughout the
+// evaluation (Fig. 7(b), Fig. 8(a), Fig. 8(b)).
+//
+// Each policy exposes one tradeoff knob (Theta for eTrain, Omega for PerES,
+// V for eTime). Sweeping the knob over a scenario yields a frontier of
+// (energy, delay) points; policies are compared either by their whole
+// frontier (panel plots) or at an equalized normalized delay (Fig. 8(b)
+// fixes D = 55 s and compares energies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/policy.h"
+#include "exp/slotted_sim.h"
+
+namespace etrain::experiments {
+
+/// One point of an energy–delay frontier.
+struct EDPoint {
+  double param = 0.0;       ///< knob value that produced the point
+  Joules energy = 0.0;      ///< network energy (tx + tails, no idle floor)
+  double delay = 0.0;       ///< normalized delay, seconds
+  double violation = 0.0;   ///< deadline violation ratio
+};
+
+/// Builds a policy for a given knob value.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::SchedulingPolicy>(double)>;
+
+/// Runs the scenario once per knob value.
+std::vector<EDPoint> sweep(const Scenario& scenario,
+                           const PolicyFactory& factory,
+                           const std::vector<double>& params);
+
+/// Energy (and violation) of a frontier at a target delay, linearly
+/// interpolated between the two bracketing points; falls back to the
+/// closest point when the target lies outside the frontier's delay range.
+EDPoint frontier_at_delay(const std::vector<EDPoint>& frontier,
+                          double target_delay);
+
+/// Evenly spaced values helper: from, from+step, ..., to (inclusive,
+/// within floating tolerance).
+std::vector<double> linspace_step(double from, double to, double step);
+
+}  // namespace etrain::experiments

@@ -1,0 +1,93 @@
+#include "net/bandwidth_trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace etrain::net {
+
+BandwidthTrace::BandwidthTrace(std::vector<BytesPerSecond> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("BandwidthTrace: empty sample set");
+  }
+  for (const auto s : samples_) {
+    if (!(s > 0.0)) {
+      throw std::invalid_argument("BandwidthTrace: non-positive sample");
+    }
+  }
+}
+
+BandwidthTrace BandwidthTrace::constant(BytesPerSecond rate,
+                                        std::size_t seconds) {
+  return BandwidthTrace(std::vector<BytesPerSecond>(seconds, rate));
+}
+
+BandwidthTrace BandwidthTrace::load_csv(const std::string& path,
+                                        bool skip_header) {
+  const auto rows = read_csv_file(path, skip_header);
+  std::vector<BytesPerSecond> samples;
+  samples.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() < 2) {
+      throw std::runtime_error("BandwidthTrace: malformed row in " + path);
+    }
+    samples.push_back(std::stod(row[1]));
+  }
+  return BandwidthTrace(std::move(samples));
+}
+
+void BandwidthTrace::save_csv(const std::string& path) const {
+  CsvWriter w(path);
+  w.write_comment("uplink bandwidth trace, 1 Hz");
+  w.write_row({"time_s", "bytes_per_second"});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    w.write_row({std::to_string(i), std::to_string(samples_[i])});
+  }
+}
+
+BytesPerSecond BandwidthTrace::at(TimePoint t) const {
+  assert(t >= 0.0);
+  const auto idx =
+      static_cast<std::size_t>(std::floor(t)) % samples_.size();
+  return samples_[idx];
+}
+
+Duration BandwidthTrace::transfer_duration(Bytes bytes,
+                                           TimePoint start) const {
+  if (bytes <= 0) return 0.0;
+  double remaining = static_cast<double>(bytes);
+  TimePoint t = start;
+  // Walk second-aligned segments; each iteration consumes the rest of the
+  // current one-second sample or finishes the transfer.
+  while (true) {
+    const BytesPerSecond rate = at(t);
+    const TimePoint segment_end = std::floor(t) + 1.0;
+    const Duration segment_len = segment_end - t;
+    const double capacity = rate * segment_len;
+    if (remaining <= capacity) {
+      return (t + remaining / rate) - start;
+    }
+    remaining -= capacity;
+    t = segment_end;
+  }
+}
+
+BytesPerSecond BandwidthTrace::mean() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+BytesPerSecond BandwidthTrace::min() const {
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+BytesPerSecond BandwidthTrace::max() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace etrain::net

@@ -1,0 +1,52 @@
+// Time-varying uplink bandwidth.
+//
+// The paper drives its simulations with a real 2-hour 3G uplink trace
+// recorded at 1 Hz while riding a bus through downtown Wuhan and walking
+// around a university campus (Sec. VI-A). We reproduce the format — one
+// average-uplink-bandwidth sample per second — and generate an equivalent
+// synthetic trace (see synthetic_bandwidth.h). All schedulers transmit
+// through the same trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::net {
+
+/// A 1 Hz-sampled uplink bandwidth trace. Sample i covers [i, i+1) seconds.
+/// Queries beyond the trace wrap around, so short traces can drive long
+/// simulations deterministically.
+class BandwidthTrace {
+ public:
+  /// Constructs from samples; every sample must be > 0 (a zero-bandwidth
+  /// second would stall the serialized link forever).
+  explicit BandwidthTrace(std::vector<BytesPerSecond> samples);
+
+  /// Uniform trace, handy for tests and closed-form checks.
+  static BandwidthTrace constant(BytesPerSecond rate, std::size_t seconds);
+
+  /// Loads a "time_s,bytes_per_second" CSV (header optional via flag).
+  static BandwidthTrace load_csv(const std::string& path,
+                                 bool skip_header = true);
+  void save_csv(const std::string& path) const;
+
+  /// Bandwidth in effect at absolute time t (>= 0), wrapping past the end.
+  BytesPerSecond at(TimePoint t) const;
+
+  /// Time needed to move `bytes` starting at `start`, integrating the
+  /// piecewise-constant rate across second boundaries.
+  Duration transfer_duration(Bytes bytes, TimePoint start) const;
+
+  Duration length() const { return static_cast<double>(samples_.size()); }
+  const std::vector<BytesPerSecond>& samples() const { return samples_; }
+  BytesPerSecond mean() const;
+  BytesPerSecond min() const;
+  BytesPerSecond max() const;
+
+ private:
+  std::vector<BytesPerSecond> samples_;
+};
+
+}  // namespace etrain::net

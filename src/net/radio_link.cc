@@ -1,0 +1,59 @@
+#include "net/radio_link.h"
+
+#include <utility>
+
+namespace etrain::net {
+
+RadioLink::RadioLink(sim::Simulator& simulator,
+                     const radio::PowerModel& model,
+                     const BandwidthTrace& trace,
+                     const BandwidthTrace* downlink)
+    : simulator_(simulator),
+      model_(model),
+      trace_(trace),
+      downlink_(downlink),
+      rrc_(model) {}
+
+void RadioLink::submit(Request request) {
+  pending_.push_back(std::move(request));
+  if (!transmitting_) start_next();
+}
+
+void RadioLink::start_next() {
+  if (pending_.empty() || transmitting_) return;
+  Request request = std::move(pending_.front());
+  pending_.pop_front();
+
+  const TimePoint now = simulator_.now();
+  const Duration setup = rrc_.promotion_delay_at(now);
+  const BandwidthTrace& trace =
+      (request.direction == core::Direction::kDownlink && downlink_ != nullptr)
+          ? *downlink_
+          : trace_;
+  const Duration duration =
+      trace.transfer_duration(request.bytes, now + setup);
+
+  transmitting_ = true;
+  rrc_.on_transmission_start(now);
+
+  radio::Transmission tx;
+  tx.start = now;
+  tx.setup = setup;
+  tx.duration = duration;
+  tx.bytes = request.bytes;
+  tx.kind = request.kind;
+  tx.app_id = request.app_id;
+  tx.packet_id = request.packet_id;
+
+  simulator_.schedule_after(
+      setup + duration,
+      [this, tx, on_complete = std::move(request.on_complete)]() {
+        rrc_.on_transmission_end(simulator_.now());
+        log_.add(tx);
+        transmitting_ = false;
+        if (on_complete) on_complete(tx);
+        start_next();
+      });
+}
+
+}  // namespace etrain::net

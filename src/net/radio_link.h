@@ -1,0 +1,68 @@
+// The serialized uplink used by the full-system (DES) simulation.
+//
+// Models constraint (3) of the paper's formulation: at most one heartbeat or
+// data packet is in flight at any time. Requests submitted while the link is
+// busy queue FIFO (the paper's Q_TX drains "whenever Q_TX is not empty and
+// there is radio resource available"). Transfer duration follows the
+// bandwidth trace; RRC promotions are inserted per the PowerModel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/packet.h"
+#include "net/bandwidth_trace.h"
+#include "radio/rrc_machine.h"
+#include "radio/transmission_log.h"
+#include "sim/simulator.h"
+
+namespace etrain::net {
+
+class RadioLink {
+ public:
+  /// Completion callback: invoked at the simulated instant the last byte is
+  /// acknowledged, with the full transmission record (start, setup,
+  /// duration, ...).
+  using CompletionFn = std::function<void(const radio::Transmission&)>;
+
+  struct Request {
+    Bytes bytes = 0;
+    radio::TxKind kind = radio::TxKind::kData;
+    int app_id = 0;
+    std::int64_t packet_id = -1;
+    core::Direction direction = core::Direction::kUplink;
+    CompletionFn on_complete;  ///< optional
+  };
+
+  /// `downlink` may be null, in which case downloads use the uplink trace.
+  RadioLink(sim::Simulator& simulator, const radio::PowerModel& model,
+            const BandwidthTrace& trace,
+            const BandwidthTrace* downlink = nullptr);
+
+  RadioLink(const RadioLink&) = delete;
+  RadioLink& operator=(const RadioLink&) = delete;
+
+  /// Submits a transmission request at the current simulated time.
+  void submit(Request request);
+
+  bool busy() const { return transmitting_; }
+  std::size_t queued() const { return pending_.size(); }
+
+  const radio::TransmissionLog& log() const { return log_; }
+  const radio::RrcStateMachine& rrc() const { return rrc_; }
+
+ private:
+  void start_next();
+
+  sim::Simulator& simulator_;
+  radio::PowerModel model_;
+  const BandwidthTrace& trace_;
+  const BandwidthTrace* downlink_;
+  radio::RrcStateMachine rrc_;
+  radio::TransmissionLog log_;
+  std::deque<Request> pending_;
+  bool transmitting_ = false;
+};
+
+}  // namespace etrain::net

@@ -1,0 +1,70 @@
+#include "net/synthetic_bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace etrain::net {
+
+namespace {
+
+enum class Regime { kBus, kWalk };
+
+}  // namespace
+
+BandwidthTrace generate_synthetic_trace(const SyntheticBandwidthConfig& config,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(config.length);
+  std::vector<BytesPerSecond> samples;
+  samples.reserve(n);
+
+  Regime regime = Regime::kBus;  // the paper's trace starts on the bus
+  double regime_left = rng.exponential_mean(config.bus_dwell_mean);
+  // Start shadowing at its stationary distribution.
+  double shadow = rng.normal(0.0, config.shadowing_sigma);
+  const double innovation_sigma =
+      config.shadowing_sigma *
+      std::sqrt(1.0 - config.shadowing_rho * config.shadowing_rho);
+  double fade_left = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Regime switching.
+    regime_left -= 1.0;
+    if (regime_left <= 0.0) {
+      regime = (regime == Regime::kBus) ? Regime::kWalk : Regime::kBus;
+      regime_left = rng.exponential_mean(regime == Regime::kBus
+                                             ? config.bus_dwell_mean
+                                             : config.walk_dwell_mean);
+    }
+    // Shadowing AR(1) on the log scale. The bus regime sees roughly twice
+    // the variability (handovers, obstructions passing by).
+    const double regime_scale = (regime == Regime::kBus) ? 1.6 : 1.0;
+    shadow = config.shadowing_rho * shadow +
+             rng.normal(0.0, innovation_sigma * regime_scale);
+
+    // Deep fades.
+    if (fade_left <= 0.0 && rng.bernoulli(config.fade_probability)) {
+      fade_left = rng.exponential_mean(config.fade_mean_length);
+    }
+
+    const BytesPerSecond median = (regime == Regime::kBus)
+                                      ? config.bus_median_rate
+                                      : config.walk_median_rate;
+    BytesPerSecond rate = median * std::exp(shadow);
+    if (fade_left > 0.0) {
+      rate = std::min(rate, config.fade_rate);
+      fade_left -= 1.0;
+    }
+    rate = std::clamp(rate, config.floor_rate, config.ceiling_rate);
+    samples.push_back(rate);
+  }
+  return BandwidthTrace(std::move(samples));
+}
+
+BandwidthTrace wuhan_trace() {
+  // Fixed seed: every bench binary and test sees the identical trace, the
+  // same way every experiment in the paper replays the same recording.
+  return generate_synthetic_trace(SyntheticBandwidthConfig{}, 20141208);
+}
+
+}  // namespace etrain::net

@@ -1,0 +1,52 @@
+// Synthetic urban-mobility 3G uplink trace generator.
+//
+// Substitute for the paper's proprietary measurement: a 2-hour, 1 Hz uplink
+// trace recorded on a bus ride through downtown Wuhan followed by a campus
+// walk, uploading continuously to Amazon EC2 (Sec. VI-A). The generator
+// reproduces the statistical features that matter to the schedulers under
+// test:
+//   * two mobility regimes — "bus" (fast-changing, handover dips) and
+//     "walk" (steadier) — alternating with exponential dwell times;
+//   * log-scale AR(1) shadowing within a regime (temporal correlation, so
+//     bandwidth prediction is meaningful for PerES/eTime yet imperfect);
+//   * occasional deep fades (coverage holes / handovers);
+//   * rates in the 10–350 KB/s envelope typical of 2014-era TD-SCDMA/HSUPA
+//     uplinks, mean around 120 KB/s.
+#pragma once
+
+#include "common/rng.h"
+#include "net/bandwidth_trace.h"
+
+namespace etrain::net {
+
+struct SyntheticBandwidthConfig {
+  Duration length = 7200.0;  ///< paper trace: 2 hours
+  /// Mean dwell time in each mobility regime.
+  Duration bus_dwell_mean = 420.0;
+  Duration walk_dwell_mean = 600.0;
+  /// Median uplink rate per regime (bytes/s).
+  BytesPerSecond bus_median_rate = 100.0e3;
+  BytesPerSecond walk_median_rate = 160.0e3;
+  /// AR(1) coefficient of the log-rate shadowing process (per second).
+  double shadowing_rho = 0.97;
+  /// Stddev of the stationary log-rate shadowing (natural log units).
+  double shadowing_sigma = 0.45;
+  /// Per-second probability of entering a deep fade, and its mean length.
+  double fade_probability = 0.004;
+  Duration fade_mean_length = 6.0;
+  BytesPerSecond fade_rate = 15.0e3;
+  /// Hard envelope.
+  BytesPerSecond floor_rate = 8.0e3;
+  BytesPerSecond ceiling_rate = 350.0e3;
+};
+
+/// Generates a trace; identical (config, seed) pairs produce identical
+/// traces.
+BandwidthTrace generate_synthetic_trace(const SyntheticBandwidthConfig& config,
+                                        std::uint64_t seed);
+
+/// The default trace used by all paper-reproduction experiments ("the Wuhan
+/// trace"): generate_synthetic_trace with default config and a fixed seed.
+BandwidthTrace wuhan_trace();
+
+}  // namespace etrain::net

@@ -1,0 +1,89 @@
+#include "net/wifi_availability.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::net {
+
+WifiAvailability::WifiAvailability(std::vector<WifiEpisode> episodes)
+    : episodes_(std::move(episodes)) {
+  for (std::size_t i = 0; i < episodes_.size(); ++i) {
+    if (episodes_[i].end <= episodes_[i].start) {
+      throw std::invalid_argument("WifiAvailability: empty episode");
+    }
+    if (i > 0 && episodes_[i].start < episodes_[i - 1].end) {
+      throw std::invalid_argument(
+          "WifiAvailability: overlapping or unsorted episodes");
+    }
+  }
+}
+
+WifiAvailability WifiAvailability::none() { return WifiAvailability({}); }
+
+WifiAvailability WifiAvailability::always(Duration horizon) {
+  return WifiAvailability({WifiEpisode{0.0, horizon}});
+}
+
+bool WifiAvailability::available(TimePoint t) const {
+  const auto it = std::upper_bound(
+      episodes_.begin(), episodes_.end(), t,
+      [](TimePoint v, const WifiEpisode& e) { return v < e.start; });
+  if (it == episodes_.begin()) return false;
+  return t < std::prev(it)->end;
+}
+
+TimePoint WifiAvailability::next_available(TimePoint t) const {
+  if (available(t)) return t;
+  for (const auto& e : episodes_) {
+    if (e.start >= t) return e.start;
+  }
+  return kTimeInfinity;
+}
+
+TimePoint WifiAvailability::covered_until(TimePoint t) const {
+  const auto it = std::upper_bound(
+      episodes_.begin(), episodes_.end(), t,
+      [](TimePoint v, const WifiEpisode& e) { return v < e.start; });
+  if (it == episodes_.begin()) return t;
+  const auto& e = *std::prev(it);
+  return t < e.end ? e.end : t;
+}
+
+double WifiAvailability::coverage(Duration horizon) const {
+  double covered = 0.0;
+  for (const auto& e : episodes_) {
+    covered += std::max(0.0, std::min(e.end, horizon) - e.start);
+  }
+  return horizon > 0.0 ? covered / horizon : 0.0;
+}
+
+WifiAvailability generate_wifi_pattern(const WifiPatternConfig& config,
+                                       std::uint64_t seed) {
+  if (config.coverage < 0.0 || config.coverage > 1.0) {
+    throw std::invalid_argument("generate_wifi_pattern: coverage not in 0..1");
+  }
+  if (config.coverage == 0.0) return WifiAvailability::none();
+  if (config.coverage == 1.0) {
+    return WifiAvailability::always(config.horizon);
+  }
+  // Alternate on/off with exponential dwells tuned so that
+  // on_mean / (on_mean + off_mean) = coverage.
+  const Duration on_mean = config.episode_mean;
+  const Duration off_mean = on_mean * (1.0 - config.coverage) /
+                            config.coverage;
+  Rng rng(seed);
+  std::vector<WifiEpisode> episodes;
+  // Start connected with probability = coverage.
+  TimePoint t = rng.bernoulli(config.coverage)
+                    ? 0.0
+                    : rng.exponential_mean(off_mean);
+  while (t < config.horizon) {
+    const Duration on = rng.exponential_mean(on_mean);
+    episodes.push_back(
+        WifiEpisode{t, std::min(t + on, config.horizon)});
+    t += on + rng.exponential_mean(off_mean);
+  }
+  return WifiAvailability(std::move(episodes));
+}
+
+}  // namespace etrain::net

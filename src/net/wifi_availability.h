@@ -1,0 +1,61 @@
+// Wi-Fi availability over time.
+//
+// Phones meet Wi-Fi in episodes — home, office, café — separated by
+// cellular-only stretches. The multi-interface extension models this as a
+// set of disjoint coverage intervals, with a generator producing realistic
+// alternating on/off dwell times at a target coverage fraction.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace etrain::net {
+
+/// One connected episode [start, end).
+struct WifiEpisode {
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+};
+
+class WifiAvailability {
+ public:
+  /// Episodes must be disjoint and sorted by start; throws otherwise.
+  explicit WifiAvailability(std::vector<WifiEpisode> episodes);
+
+  /// Never connected.
+  static WifiAvailability none();
+  /// Always connected over [0, horizon).
+  static WifiAvailability always(Duration horizon);
+
+  bool available(TimePoint t) const;
+
+  /// Start of the next episode at or after t; +inf when none.
+  TimePoint next_available(TimePoint t) const;
+
+  /// End of the current episode if t is covered; t otherwise.
+  TimePoint covered_until(TimePoint t) const;
+
+  /// Fraction of [0, horizon) covered.
+  double coverage(Duration horizon) const;
+
+  const std::vector<WifiEpisode>& episodes() const { return episodes_; }
+
+ private:
+  std::vector<WifiEpisode> episodes_;
+};
+
+struct WifiPatternConfig {
+  Duration horizon = 7200.0;
+  /// Target fraction of time connected (0..1).
+  double coverage = 0.5;
+  /// Mean length of one connected episode.
+  Duration episode_mean = 900.0;
+};
+
+/// Generates alternating connected/disconnected episodes whose long-run
+/// coverage approximates the target.
+WifiAvailability generate_wifi_pattern(const WifiPatternConfig& config,
+                                       std::uint64_t seed);
+
+}  // namespace etrain::net

@@ -1,0 +1,46 @@
+#include "radio/battery.h"
+
+#include <stdexcept>
+
+namespace etrain::radio {
+
+Battery::Battery(double capacity_mah, double volts)
+    : capacity_joules_(capacity_mah / 1000.0 * volts * 3600.0) {
+  if (capacity_mah <= 0.0 || volts <= 0.0) {
+    throw std::invalid_argument("Battery: non-positive parameters");
+  }
+}
+
+double Battery::fraction_of_capacity(Joules energy) const {
+  if (energy < 0.0) {
+    throw std::invalid_argument("Battery: negative energy");
+  }
+  return energy / capacity_joules_;
+}
+
+double Battery::fraction_for_power(Watts rate, Duration battery_life) const {
+  if (rate < 0.0 || battery_life < 0.0) {
+    throw std::invalid_argument("Battery: negative rate or lifetime");
+  }
+  return fraction_of_capacity(rate * battery_life);
+}
+
+Duration Battery::lifetime_at(Watts rate) const {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("Battery: non-positive drain");
+  }
+  return capacity_joules_ / rate;
+}
+
+Duration Battery::standby_equivalent(Joules energy,
+                                     Watts standby_power) const {
+  if (standby_power <= 0.0) {
+    throw std::invalid_argument("Battery: non-positive standby power");
+  }
+  if (energy < 0.0) {
+    throw std::invalid_argument("Battery: negative energy");
+  }
+  return energy / standby_power;
+}
+
+}  // namespace etrain::radio

@@ -1,0 +1,39 @@
+// Battery accounting: converts joules into the battery-percentage and
+// standby-time language the paper speaks (Sec. II-D: "Given a battery
+// capacity of 1700 mAh with voltage 3.7 V, if the battery life is 10 hours,
+// the smartphone will spend at least 6% of its battery capacity on sending
+// heartbeats of only one app").
+#pragma once
+
+#include "common/time.h"
+
+namespace etrain::radio {
+
+class Battery {
+ public:
+  /// Defaults: the paper's 1700 mAh @ 3.7 V pack (Galaxy S4 era).
+  explicit Battery(double capacity_mah = 1700.0, double volts = 3.7);
+
+  /// Total stored energy when full.
+  Joules capacity_joules() const { return capacity_joules_; }
+
+  /// Fraction of the full battery a given energy represents, in [0, ..].
+  double fraction_of_capacity(Joules energy) const;
+
+  /// The paper's Sec. II-D arithmetic: with a battery lifetime of
+  /// `battery_life`, how much of the capacity does spending `rate` watts
+  /// continuously for that lifetime consume?
+  double fraction_for_power(Watts rate, Duration battery_life) const;
+
+  /// How long the full battery would last at a constant drain.
+  Duration lifetime_at(Watts rate) const;
+
+  /// Standby-time equivalent of an energy amount at a reference standby
+  /// power: "2000 J corresponds to roughly 10 hours of standby time".
+  Duration standby_equivalent(Joules energy, Watts standby_power) const;
+
+ private:
+  double capacity_joules_;
+};
+
+}  // namespace etrain::radio

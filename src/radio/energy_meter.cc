@@ -1,0 +1,118 @@
+#include "radio/energy_meter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace etrain::radio {
+
+namespace {
+
+/// Splits the tail energy of a gap into its DCH and FACH components.
+struct TailSplit {
+  Joules dch = 0.0;
+  Joules fach = 0.0;
+};
+
+TailSplit split_tail(const PowerModel& model, Duration gap) {
+  TailSplit split;
+  if (gap <= 0.0) return split;
+  const Duration dch_part = std::min(gap, model.dch_tail);
+  split.dch = model.dch_extra_power * dch_part;
+  const Duration fach_part =
+      std::clamp(gap - model.dch_tail, 0.0, model.fach_tail);
+  split.fach = model.fach_extra_power * fach_part;
+  return split;
+}
+
+}  // namespace
+
+EnergyReport measure_energy(const TransmissionLog& log,
+                            const PowerModel& model, Duration horizon) {
+  if (horizon < log.last_end() - 1e-9) {
+    throw std::invalid_argument(
+        "measure_energy: horizon ends before the last transmission");
+  }
+  EnergyReport report;
+  report.horizon = horizon;
+  report.idle_baseline = model.idle_power * horizon;
+  report.transmissions = log.size();
+
+  const auto& entries = log.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Transmission& tx = entries[i];
+    if (tx.setup > 0.0) ++report.promotions;
+    if (i == 0 ||
+        tx.start - entries[i - 1].end() >= model.tail_time() - 1e-9) {
+      ++report.cold_starts;
+    }
+    const Joules data_energy = model.tx_extra_power * tx.duration;
+    report.tx_energy += data_energy;
+    report.setup_energy += model.dch_extra_power * tx.setup;
+    report.tx_energy_by_kind[static_cast<std::size_t>(tx.kind)] +=
+        data_energy;
+
+    // The gap between this transmission's end and the next activity (or the
+    // horizon). The follow-up transmission includes its setup phase, during
+    // which the radio is already at DCH power, so the gap ends at the next
+    // entry's `start`, not its data_start().
+    const TimePoint gap_end =
+        (i + 1 < entries.size()) ? entries[i + 1].start : horizon;
+    const Duration gap = std::max(0.0, gap_end - tx.end());
+    const TailSplit split = split_tail(model, gap);
+    report.dch_tail_energy += split.dch;
+    report.fach_tail_energy += split.fach;
+    report.tail_energy_by_kind[static_cast<std::size_t>(tx.kind)] +=
+        split.dch + split.fach;
+    if (gap >= model.tail_time()) {
+      ++report.full_tails;
+    } else if (gap > 0.0) {
+      ++report.truncated_tails;
+    }
+  }
+  return report;
+}
+
+Watts power_at(const TransmissionLog& log, const PowerModel& model,
+               TimePoint t) {
+  const auto& entries = log.entries();
+  // Find the first entry starting after t; the entry before it (if any)
+  // governs the state at t.
+  const auto it = std::upper_bound(
+      entries.begin(), entries.end(), t,
+      [](TimePoint v, const Transmission& tx) { return v < tx.start; });
+  if (it == entries.begin()) return model.idle_power;  // before any activity
+  const Transmission& prev = *std::prev(it);
+  if (t < prev.data_start()) {
+    return model.idle_power + model.dch_extra_power;  // promotion phase
+  }
+  if (t < prev.end()) {
+    return model.idle_power + model.tx_extra_power;  // data in flight
+  }
+  const Duration elapsed = t - prev.end();
+  if (elapsed < model.dch_tail) {
+    return model.idle_power + model.dch_extra_power;
+  }
+  if (elapsed < model.tail_time()) {
+    return model.idle_power + model.fach_extra_power;
+  }
+  return model.idle_power;
+}
+
+std::string to_string(const EnergyReport& report) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "EnergyReport over %.1f s: network %.2f J (tx %.2f, setup %.2f, "
+      "DCH tail %.2f, FACH tail %.2f), idle %.2f J, total %.2f J; "
+      "%zu transmissions, %zu full tails, %zu truncated, %zu promotions, "
+      "%zu cold starts",
+      report.horizon, report.network_energy(), report.tx_energy,
+      report.setup_energy, report.dch_tail_energy, report.fach_tail_energy,
+      report.idle_baseline, report.total_energy(), report.transmissions,
+      report.full_tails, report.truncated_tails, report.promotions,
+      report.cold_starts);
+  return buf;
+}
+
+}  // namespace etrain::radio

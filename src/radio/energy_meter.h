@@ -1,0 +1,78 @@
+// Offline energy accounting: replays a TransmissionLog against a PowerModel
+// and produces the full energy breakdown every figure in the evaluation is
+// built from. This is the single meter all scheduling policies are billed
+// by, so comparisons are apples-to-apples.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "radio/power_model.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::radio {
+
+/// Complete energy breakdown of one run over [0, horizon].
+struct EnergyReport {
+  Duration horizon = 0.0;
+
+  /// idle_power * horizon — the cost of merely being on; identical across
+  /// policies, excluded from "network energy" comparisons.
+  Joules idle_baseline = 0.0;
+
+  /// Energy of the data phases (tx_extra_power * duration).
+  Joules tx_energy = 0.0;
+  /// Energy of RRC promotions (DCH power during setup phases).
+  Joules setup_energy = 0.0;
+  /// Tail energy burned lingering in DCH after transmissions.
+  Joules dch_tail_energy = 0.0;
+  /// Tail energy burned lingering in FACH.
+  Joules fach_tail_energy = 0.0;
+
+  /// Per-kind attribution (index by TxKind). A tail is attributed to the
+  /// transmission that produced it.
+  std::array<Joules, 2> tx_energy_by_kind{};
+  std::array<Joules, 2> tail_energy_by_kind{};
+
+  std::size_t transmissions = 0;
+  /// Gaps long enough that the radio demoted all the way to IDLE.
+  std::size_t full_tails = 0;
+  /// Gaps cut short by a follow-up transmission (energy partially saved —
+  /// exactly what piggybacking manufactures).
+  std::size_t truncated_tails = 0;
+  /// Transmissions that paid an RRC promotion (setup > 0) — the signaling
+  /// cost fast dormancy trades the tail for.
+  std::size_t promotions = 0;
+  /// Transmissions starting from a cold (IDLE) radio: the preceding gap, if
+  /// any, outlasted the whole tail. Proxy for RNC signaling load even in
+  /// models with zero promotion latency.
+  std::size_t cold_starts = 0;
+
+  Joules tail_energy() const { return dch_tail_energy + fach_tail_energy; }
+  /// Everything above the idle baseline: the "network energy" the paper's
+  /// bar charts show.
+  Joules network_energy() const {
+    return tx_energy + setup_energy + tail_energy();
+  }
+  Joules total_energy() const { return idle_baseline + network_energy(); }
+};
+
+/// Replays `log` against `model` over [0, horizon].
+///
+/// Requirements: log entries ordered and non-overlapping (TransmissionLog
+/// enforces this) and horizon >= log.last_end(). The tail that follows the
+/// final transmission is truncated at `horizon`.
+EnergyReport measure_energy(const TransmissionLog& log,
+                            const PowerModel& model, Duration horizon);
+
+/// Instantaneous total power at time `t` for a finished log — the quantity
+/// the Monsoon power monitor samples. O(log n) lookup.
+Watts power_at(const TransmissionLog& log, const PowerModel& model,
+               TimePoint t);
+
+/// Multi-line human-readable rendering of a report (used by the CLI and
+/// examples).
+std::string to_string(const EnergyReport& report);
+
+}  // namespace etrain::radio

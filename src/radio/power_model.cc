@@ -1,0 +1,87 @@
+#include "radio/power_model.h"
+
+#include <algorithm>
+
+namespace etrain::radio {
+
+std::string to_string(RrcState s) {
+  switch (s) {
+    case RrcState::kIdle: return "IDLE";
+    case RrcState::kFach: return "FACH";
+    case RrcState::kDch: return "DCH";
+  }
+  return "?";
+}
+
+Joules PowerModel::tail_energy(Duration gap) const {
+  if (gap <= 0.0) return 0.0;                      // (1) next tx overlaps
+  if (gap <= dch_tail) {                           // (2) still in DCH
+    return dch_extra_power * gap;
+  }
+  if (gap <= tail_time()) {                        // (3) in FACH
+    return dch_extra_power * dch_tail + fach_extra_power * (gap - dch_tail);
+  }
+  return full_tail_energy();                       // (4) demoted to IDLE
+}
+
+Watts PowerModel::extra_power(RrcState s) const {
+  switch (s) {
+    case RrcState::kIdle: return 0.0;
+    case RrcState::kFach: return fach_extra_power;
+    case RrcState::kDch: return dch_extra_power;
+  }
+  return 0.0;
+}
+
+PowerModel PowerModel::PaperUmts3G() { return PowerModel{}; }
+
+PowerModel PowerModel::PaperSimulation() {
+  PowerModel m;
+  m.dch_tail = 2.5;
+  m.fach_tail = 7.5;
+  return m;
+}
+
+PowerModel PowerModel::Realistic3G() {
+  PowerModel m;
+  m.idle_to_dch_delay = 2.0;
+  m.fach_to_dch_delay = 1.5;
+  return m;
+}
+
+PowerModel PowerModel::FastDormancy3G() {
+  PowerModel m;
+  m.dch_tail = 0.3;
+  m.fach_tail = 0.2;
+  m.idle_to_dch_delay = 2.0;
+  m.fach_to_dch_delay = 1.5;
+  return m;
+}
+
+PowerModel PowerModel::WifiPsm() {
+  PowerModel m;
+  m.idle_power = 0.0;  // doze overhead folded into the device baseline
+  m.dch_extra_power = milliwatts(600.0);  // awake, post-exchange
+  m.fach_extra_power = 0.0;
+  m.tx_extra_power = milliwatts(800.0);
+  m.dch_tail = 0.2;  // PSM timeout
+  m.fach_tail = 0.0;
+  m.idle_to_dch_delay = 0.05;  // doze wake-up / PS-poll
+  m.fach_to_dch_delay = 0.0;
+  return m;
+}
+
+PowerModel PowerModel::LteDrx() {
+  PowerModel m;
+  m.idle_power = milliwatts(25.0);
+  m.dch_extra_power = milliwatts(1000.0);   // CONNECTED, continuous reception
+  m.fach_extra_power = milliwatts(400.0);   // short-DRX
+  m.tx_extra_power = milliwatts(1500.0);
+  m.dch_tail = 6.0;   // inactivity timer before short DRX
+  m.fach_tail = 4.0;  // short DRX before RRC release
+  m.idle_to_dch_delay = 0.26;
+  m.fach_to_dch_delay = 0.1;
+  return m;
+}
+
+}  // namespace etrain::radio

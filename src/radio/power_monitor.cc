@@ -1,0 +1,36 @@
+#include "radio/power_monitor.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace etrain::radio {
+
+PowerMonitor::PowerMonitor(Duration sample_period, double supply_volts)
+    : sample_period_(sample_period), supply_volts_(supply_volts) {
+  if (sample_period <= 0.0 || supply_volts <= 0.0) {
+    throw std::invalid_argument("PowerMonitor: non-positive parameter");
+  }
+}
+
+std::vector<PowerSample> PowerMonitor::sample(const TransmissionLog& log,
+                                              const PowerModel& model,
+                                              Duration horizon) const {
+  std::vector<PowerSample> trace;
+  const auto n = static_cast<std::size_t>(std::ceil(horizon / sample_period_));
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimePoint t = static_cast<double>(i) * sample_period_;
+    const Watts p = power_at(log, model, t);
+    trace.push_back(PowerSample{t, p, p / supply_volts_});
+  }
+  return trace;
+}
+
+Joules PowerMonitor::integrate(const std::vector<PowerSample>& trace) const {
+  Joules total = 0.0;
+  for (const auto& s : trace) total += s.power * sample_period_;
+  return total;
+}
+
+}  // namespace etrain::radio

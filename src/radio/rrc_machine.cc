@@ -1,0 +1,59 @@
+#include "radio/rrc_machine.h"
+
+namespace etrain::radio {
+
+void RrcStateMachine::check_monotone(TimePoint t) const {
+  if (t < last_event_ - 1e-9) {
+    throw std::invalid_argument("RrcStateMachine: time moved backwards");
+  }
+}
+
+void RrcStateMachine::on_transmission_start(TimePoint t) {
+  check_monotone(t);
+  if (tx_start_.has_value()) {
+    throw std::logic_error("RrcStateMachine: transmission already active");
+  }
+  tx_start_ = t;
+  last_event_ = t;
+}
+
+void RrcStateMachine::on_transmission_end(TimePoint t) {
+  check_monotone(t);
+  if (!tx_start_.has_value()) {
+    throw std::logic_error("RrcStateMachine: no transmission active");
+  }
+  if (t < *tx_start_) {
+    throw std::invalid_argument("RrcStateMachine: end before start");
+  }
+  tx_start_.reset();
+  last_end_ = t;
+  last_event_ = t;
+}
+
+RrcState RrcStateMachine::state_at(TimePoint t) const {
+  check_monotone(t);
+  if (tx_start_.has_value()) return RrcState::kDch;
+  if (!last_end_.has_value()) return RrcState::kIdle;
+  const Duration elapsed = t - *last_end_;
+  if (elapsed < model_.dch_tail) return RrcState::kDch;
+  if (elapsed < model_.tail_time()) return RrcState::kFach;
+  return RrcState::kIdle;
+}
+
+Duration RrcStateMachine::promotion_delay_at(TimePoint t) const {
+  switch (state_at(t)) {
+    case RrcState::kDch: return 0.0;
+    case RrcState::kFach: return model_.fach_to_dch_delay;
+    case RrcState::kIdle: return model_.idle_to_dch_delay;
+  }
+  return 0.0;
+}
+
+Watts RrcStateMachine::power_at(TimePoint t) const {
+  if (tx_start_.has_value()) {
+    return model_.idle_power + model_.tx_extra_power;
+  }
+  return model_.idle_power + model_.extra_power(state_at(t));
+}
+
+}  // namespace etrain::radio

@@ -1,0 +1,56 @@
+// Online RRC state machine.
+//
+// Tracks the radio's state as transmissions start and finish, answering
+// "what state is the interface in at time t?" and "how long until it can
+// move data?" for the DES-driven full-system simulation. The offline
+// counterpart (EnergyMeter) replays a finished TransmissionLog; both agree
+// by construction and the tests cross-check them.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "radio/power_model.h"
+
+namespace etrain::radio {
+
+class RrcStateMachine {
+ public:
+  explicit RrcStateMachine(const PowerModel& model) : model_(model) {}
+
+  /// Marks the start of (the data phase of) a transmission at time t.
+  /// Precondition: not already transmitting, t monotone.
+  void on_transmission_start(TimePoint t);
+
+  /// Marks the end of a transmission at time t (t >= matching start).
+  void on_transmission_end(TimePoint t);
+
+  bool transmitting() const { return tx_start_.has_value(); }
+
+  /// State of the interface at time t, which must be >= the last recorded
+  /// event. During an active transmission the state is DCH.
+  RrcState state_at(TimePoint t) const;
+
+  /// RRC promotion latency the radio needs before data can flow if a
+  /// transmission is requested at time t. Zero when already in DCH
+  /// (piggybacking inside the tail — exactly what eTrain exploits).
+  Duration promotion_delay_at(TimePoint t) const;
+
+  /// Instantaneous total power at time t (baseline + state/tx extra).
+  Watts power_at(TimePoint t) const;
+
+  /// Time of the end of the most recent transmission; nullopt if none yet.
+  std::optional<TimePoint> last_activity_end() const { return last_end_; }
+
+  const PowerModel& model() const { return model_; }
+
+ private:
+  PowerModel model_;
+  std::optional<TimePoint> tx_start_;
+  std::optional<TimePoint> last_end_;
+  TimePoint last_event_ = kTimeZero;
+
+  void check_monotone(TimePoint t) const;
+};
+
+}  // namespace etrain::radio

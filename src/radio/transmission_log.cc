@@ -1,0 +1,50 @@
+#include "radio/transmission_log.h"
+
+#include <stdexcept>
+
+namespace etrain::radio {
+
+void TransmissionLog::add(const Transmission& tx) {
+  if (tx.duration < 0.0 || tx.setup < 0.0) {
+    throw std::invalid_argument("Transmission with negative duration/setup");
+  }
+  if (!entries_.empty()) {
+    const Transmission& prev = entries_.back();
+    if (tx.start < prev.start) {
+      throw std::invalid_argument("TransmissionLog entries out of order");
+    }
+    if (tx.start < prev.end() - 1e-9) {
+      throw std::invalid_argument(
+          "TransmissionLog entries overlap (radio is serialized)");
+    }
+  }
+  entries_.push_back(tx);
+}
+
+TimePoint TransmissionLog::last_end() const {
+  return entries_.empty() ? kTimeZero : entries_.back().end();
+}
+
+Bytes TransmissionLog::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& t : entries_) sum += t.bytes;
+  return sum;
+}
+
+Bytes TransmissionLog::total_bytes(TxKind kind) const {
+  Bytes sum = 0;
+  for (const auto& t : entries_) {
+    if (t.kind == kind) sum += t.bytes;
+  }
+  return sum;
+}
+
+std::size_t TransmissionLog::count(TxKind kind) const {
+  std::size_t n = 0;
+  for (const auto& t : entries_) {
+    if (t.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace etrain::radio

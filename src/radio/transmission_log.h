@@ -1,0 +1,71 @@
+// The record of what the radio actually did during a run.
+//
+// Every scheduler variant ultimately produces a TransmissionLog; all energy
+// numbers in the evaluation are computed by replaying that log against a
+// PowerModel (see EnergyMeter). Keeping accounting separate from scheduling
+// guarantees all policies are billed by exactly the same meter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::radio {
+
+/// Why a transmission happened; used for the per-category energy breakdowns
+/// in Fig. 1(a) and Fig. 10(a).
+enum class TxKind {
+  kHeartbeat,  ///< a train app's keep-alive
+  kData,       ///< a cargo app's application-layer packet
+};
+
+/// One serialized use of the uplink. Intervals in a log must not overlap
+/// (constraint (3) of the paper's formulation: at most one transmission at a
+/// time); EnergyMeter validates this.
+struct Transmission {
+  TimePoint start = 0.0;
+  /// RRC promotion time preceding the data phase. The radio burns DCH power
+  /// but moves no data during setup. Zero in the paper-faithful model.
+  Duration setup = 0.0;
+  Duration duration = 0.0;
+  Bytes bytes = 0;
+  TxKind kind = TxKind::kData;
+  /// Index of the originating app within its category (train or cargo).
+  int app_id = 0;
+  /// Unique packet identifier for joining with delay metrics; -1 for
+  /// heartbeats.
+  std::int64_t packet_id = -1;
+
+  /// Start of the data phase.
+  TimePoint data_start() const { return start + setup; }
+  /// End of radio occupancy.
+  TimePoint end() const { return start + setup + duration; }
+};
+
+/// Append-only, time-ordered log of transmissions.
+class TransmissionLog {
+ public:
+  /// Appends a transmission. Starts must be non-decreasing and must not
+  /// overlap the previous entry; throws std::invalid_argument otherwise.
+  void add(const Transmission& tx);
+
+  const std::vector<Transmission>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const Transmission& operator[](std::size_t i) const { return entries_[i]; }
+
+  /// End time of the last transmission; 0 for an empty log.
+  TimePoint last_end() const;
+
+  /// Total bytes moved, optionally filtered by kind.
+  Bytes total_bytes() const;
+  Bytes total_bytes(TxKind kind) const;
+  std::size_t count(TxKind kind) const;
+
+ private:
+  std::vector<Transmission> entries_;
+};
+
+}  // namespace etrain::radio

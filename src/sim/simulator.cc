@@ -1,0 +1,57 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace etrain::sim {
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulator::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = pending_ids_.find(id);
+  if (it == pending_ids_.end()) return false;
+  pending_ids_.erase(it);
+  cancelled_ids_.insert(id);
+  return true;
+}
+
+void Simulator::run_until(TimePoint horizon) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > horizon) break;
+    if (cancelled_ids_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    // Move the event out before popping; fn may schedule more events,
+    // which mutates the queue.
+    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    pending_ids_.erase(ev.id);
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < horizon && horizon < kTimeInfinity) now_ = horizon;
+}
+
+void Simulator::run_to_exhaustion() { run_until(kTimeInfinity); }
+
+}  // namespace etrain::sim

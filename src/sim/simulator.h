@@ -1,0 +1,89 @@
+// Discrete-event simulation kernel.
+//
+// The full-system experiments (Fig. 10, Fig. 11) run eTrain's real wiring —
+// AlarmManager alarms, Xposed hook triggers, broadcast deliveries, radio
+// transmissions — as events on this kernel. Events fire in (time, sequence)
+// order: ties at the same simulated instant execute in scheduling order,
+// which makes every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+/// The simulation executive. Not thread-safe: the entire simulation runs on
+/// one thread, as is standard for sequential DES.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. 0 before any event has run.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  /// Returns an id usable with cancel().
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true when the event was still pending
+  /// (and is now guaranteed not to fire); false when it already ran, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or simulated time would exceed
+  /// `horizon`. Events scheduled exactly at `horizon` still run. On return,
+  /// now() == min(horizon, time of last event) — run_until never moves the
+  /// clock past the horizon, so repeated calls with growing horizons work.
+  void run_until(TimePoint horizon);
+
+  /// Runs all pending events to exhaustion. Only safe when the event graph
+  /// is known to terminate (tests); periodic sources never terminate.
+  void run_to_exhaustion();
+
+  /// Number of events executed so far (diagnostics / tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (excluding cancelled ones still in
+  /// the heap awaiting lazy removal).
+  std::size_t pending_events() const {
+    return queue_.size() - cancelled_ids_.size();
+  }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Lazy cancellation: ids are dropped when they reach the top of the heap.
+  std::unordered_set<EventId> cancelled_ids_;
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace etrain::sim

@@ -1,0 +1,93 @@
+#include "system/cargo_app_client.h"
+
+#include <stdexcept>
+
+#include "system/protocol.h"
+
+namespace etrain::system {
+
+CargoAppClient::CargoAppClient(core::CargoAppId app_id,
+                               const core::CostProfile& profile,
+                               std::vector<core::Packet> packets,
+                               sim::Simulator& simulator,
+                               android::BroadcastBus& bus,
+                               net::RadioLink& link)
+    : app_id_(app_id),
+      profile_(profile),
+      packets_(std::move(packets)),
+      simulator_(simulator),
+      bus_(bus),
+      link_(link) {
+  for (const auto& p : packets_) {
+    if (p.app != app_id_) {
+      throw std::invalid_argument("CargoAppClient: packet app id mismatch");
+    }
+  }
+}
+
+void CargoAppClient::start() {
+  if (started_) return;
+  started_ = true;
+
+  // REGISTER with the service.
+  android::Intent reg(kActionRegister);
+  reg.put(kExtraApp, static_cast<std::int64_t>(app_id_));
+  reg.put(kExtraProfile, profile_.name());
+  bus_.send_broadcast(reg);
+
+  // Listen for transmit decisions.
+  bus_.register_receiver(kActionTransmit, [this](const android::Intent& i) {
+    on_transmit_decision(i);
+  });
+
+  // Schedule arrivals.
+  for (const auto& p : packets_) {
+    simulator_.schedule_at(p.arrival, [this, p] { submit(p); });
+  }
+}
+
+void CargoAppClient::submit(const core::Packet& p) {
+  pending_.emplace(p.id, p);
+  android::Intent intent(kActionSubmit);
+  intent.put(kExtraApp, static_cast<std::int64_t>(p.app));
+  intent.put(kExtraPacket, p.id);
+  intent.put(kExtraBytes, p.bytes);
+  intent.put(kExtraDeadline, p.deadline);
+  intent.put(kExtraArrival, p.arrival);
+  bus_.send_broadcast(intent);
+}
+
+void CargoAppClient::on_transmit_decision(const android::Intent& intent) {
+  const auto app = intent.get_int(kExtraApp);
+  const auto packet = intent.get_int(kExtraPacket);
+  if (!app.has_value() || !packet.has_value()) return;
+  if (static_cast<core::CargoAppId>(*app) != app_id_) return;
+  const auto it = pending_.find(*packet);
+  if (it == pending_.end()) return;  // duplicate decision — already sent
+  const core::Packet p = it->second;
+  pending_.erase(it);
+  transmit(p);
+}
+
+void CargoAppClient::transmit(const core::Packet& p) {
+  link_.submit(net::RadioLink::Request{
+      .bytes = p.bytes,
+      .kind = radio::TxKind::kData,
+      .app_id = p.app,
+      .packet_id = p.id,
+      .direction = p.direction,
+      .on_complete = [this, p](const radio::Transmission& tx) {
+        experiments::PacketOutcome o;
+        o.id = p.id;
+        o.app = p.app;
+        o.arrival = p.arrival;
+        o.sent = tx.start;
+        o.delay = tx.start - p.arrival;
+        o.cost = profile_.cost(o.delay, p.deadline);
+        o.violated = o.delay > p.deadline + 1e-9;
+        o.bytes = p.bytes;
+        outcomes_.push_back(o);
+      }});
+}
+
+}  // namespace etrain::system

@@ -1,0 +1,64 @@
+// A simulated cargo app linked against the eTrain client library.
+//
+// On start it REGISTERs its delay-cost profile with the eTrain service,
+// then SUBMITs a request for every data packet its workload generates, and
+// transmits a packet only when the service broadcasts the TRANSMIT decision
+// for it — "the cargo app will perform data transmission according to
+// eTrain's decision" (Sec. V-4). Developers only add the predefined
+// BroadcastReceiver subclasses; this class plays that role.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "android/broadcast_bus.h"
+#include "core/cost_profile.h"
+#include "core/packet.h"
+#include "exp/metrics.h"
+#include "net/radio_link.h"
+
+namespace etrain::system {
+
+class CargoAppClient {
+ public:
+  /// `packets` is this app's complete arrival trace (each packet's `app`
+  /// must equal `app_id`); arrivals are scheduled as simulator events.
+  CargoAppClient(core::CargoAppId app_id, const core::CostProfile& profile,
+                 std::vector<core::Packet> packets, sim::Simulator& simulator,
+                 android::BroadcastBus& bus, net::RadioLink& link);
+
+  CargoAppClient(const CargoAppClient&) = delete;
+  CargoAppClient& operator=(const CargoAppClient&) = delete;
+
+  /// Registers with eTrain and schedules all arrival events. Call once
+  /// before the simulation runs.
+  void start();
+
+  /// Packets submitted but not yet granted transmission.
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Transmission outcomes recorded so far (start times, delays, costs).
+  const std::vector<experiments::PacketOutcome>& outcomes() const {
+    return outcomes_;
+  }
+
+  core::CargoAppId app_id() const { return app_id_; }
+
+ private:
+  void submit(const core::Packet& p);
+  void on_transmit_decision(const android::Intent& intent);
+  void transmit(const core::Packet& p);
+
+  core::CargoAppId app_id_;
+  const core::CostProfile& profile_;
+  std::vector<core::Packet> packets_;
+  sim::Simulator& simulator_;
+  android::BroadcastBus& bus_;
+  net::RadioLink& link_;
+
+  std::unordered_map<core::PacketId, core::Packet> pending_;
+  std::vector<experiments::PacketOutcome> outcomes_;
+  bool started_ = false;
+};
+
+}  // namespace etrain::system

@@ -1,0 +1,149 @@
+#include "system/etrain_service.h"
+
+#include <stdexcept>
+
+#include "system/protocol.h"
+
+namespace etrain::system {
+
+EtrainService::EtrainService(Config config, sim::Simulator& simulator,
+                             android::BroadcastBus& bus,
+                             android::AlarmManager& alarms,
+                             android::XposedRegistry& xposed)
+    : config_(config),
+      simulator_(simulator),
+      bus_(bus),
+      alarms_(alarms),
+      xposed_(xposed),
+      scheduler_(config.scheduler),
+      queues_(config.max_cargo_apps),
+      profiles_(config.max_cargo_apps, nullptr) {
+  if (config.slot <= 0.0) {
+    throw std::invalid_argument("EtrainService: non-positive slot");
+  }
+}
+
+void EtrainService::hook_train_app(const std::string& hook_class,
+                                   const std::string& hook_method,
+                                   int train_id) {
+  xposed_.hook_method(hook_class, hook_method,
+                      [this, train_id](const android::MethodCall& call) {
+                        monitor_.on_heartbeat(train_id, call.time);
+                      });
+}
+
+void EtrainService::start() {
+  if (started_) return;
+  started_ = true;
+  bus_.register_receiver(kActionRegister, [this](const android::Intent& i) {
+    on_register(i);
+  });
+  bus_.register_receiver(kActionUnregister,
+                         [this](const android::Intent& i) {
+                           on_unregister(i);
+                         });
+  bus_.register_receiver(kActionSubmit, [this](const android::Intent& i) {
+    on_submit(i);
+  });
+  alarms_.set_repeating(config_.slot, config_.slot, [this] { on_tick(); });
+}
+
+void EtrainService::on_register(const android::Intent& intent) {
+  const auto app = intent.get_int(kExtraApp);
+  const auto profile_name = intent.get_string(kExtraProfile);
+  if (!app.has_value() || !profile_name.has_value()) return;
+  if (*app < 0 || *app >= static_cast<std::int64_t>(profiles_.size())) {
+    throw std::out_of_range("EtrainService: cargo app id out of range");
+  }
+  const core::CostProfile* profile = core::cost_profile_by_name(*profile_name);
+  if (profile == nullptr) {
+    throw std::invalid_argument("EtrainService: unknown cost profile " +
+                                *profile_name);
+  }
+  profiles_[*app] = profile;
+}
+
+void EtrainService::on_unregister(const android::Intent& intent) {
+  const auto app = intent.get_int(kExtraApp);
+  if (!app.has_value() || *app < 0 ||
+      *app >= static_cast<std::int64_t>(profiles_.size())) {
+    return;
+  }
+  const auto id = static_cast<core::CargoAppId>(*app);
+  if (profiles_[id] == nullptr) return;
+  // A departing app must not strand its queued requests: flush them as
+  // immediate transmit decisions, then forget the registration.
+  for (const auto& qp : queues_.queue(id)) {
+    android::Intent decision(kActionTransmit);
+    decision.put(kExtraApp, static_cast<std::int64_t>(id));
+    decision.put(kExtraPacket, qp.packet.id);
+    bus_.send_broadcast(decision);
+    ++decisions_;
+  }
+  while (!queues_.queue(id).empty()) {
+    queues_.remove(id, queues_.queue(id).front().packet.id);
+  }
+  profiles_[id] = nullptr;
+}
+
+void EtrainService::on_submit(const android::Intent& intent) {
+  const auto app = intent.get_int(kExtraApp);
+  const auto packet = intent.get_int(kExtraPacket);
+  const auto bytes = intent.get_int(kExtraBytes);
+  const auto deadline = intent.get_double(kExtraDeadline);
+  const auto arrival = intent.get_double(kExtraArrival);
+  if (!app.has_value() || !packet.has_value() || !bytes.has_value() ||
+      !deadline.has_value() || !arrival.has_value()) {
+    return;  // malformed request — dropped, as a defensive service would
+  }
+  const auto id = static_cast<core::CargoAppId>(*app);
+  if (id < 0 || id >= queues_.app_count() || profiles_[id] == nullptr) {
+    return;  // unregistered app
+  }
+  core::Packet p;
+  p.id = *packet;
+  p.app = id;
+  p.bytes = *bytes;
+  p.deadline = *deadline;
+  p.arrival = *arrival;
+  queues_.enqueue(core::QueuedPacket{p, profiles_[id]});
+}
+
+void EtrainService::on_tick() {
+  ++ticks_;
+  const TimePoint t = simulator_.now();
+  if (queues_.empty()) return;
+
+  std::vector<core::Selection> selections;
+  if (!monitor_.any_train_active(t, config_.train_staleness)) {
+    // No trains to ride: flush everything rather than defer indefinitely.
+    for (int app = 0; app < queues_.app_count(); ++app) {
+      for (const auto& qp : queues_.queue(app)) {
+        selections.push_back(core::Selection{app, qp.packet.id});
+      }
+    }
+  } else {
+    core::SlotContext ctx;
+    ctx.slot_start = t;
+    ctx.slot_length = config_.slot;
+    // A heartbeat observed within the last slot counts as "the train is
+    // departing now": the radio is at the start of that beat's tail.
+    const auto recent = monitor_.most_recent_beat();
+    ctx.heartbeat_now =
+        recent.has_value() && *recent >= t - config_.slot - 1e-9;
+    ctx.upcoming_heartbeats =
+        monitor_.predict_departures(t, t + config_.prediction_horizon);
+    selections = scheduler_.select(ctx, queues_);
+  }
+
+  for (const auto& sel : selections) {
+    queues_.remove(sel.app, sel.packet);
+    android::Intent decision(kActionTransmit);
+    decision.put(kExtraApp, static_cast<std::int64_t>(sel.app));
+    decision.put(kExtraPacket, sel.packet);
+    bus_.send_broadcast(decision);
+    ++decisions_;
+  }
+}
+
+}  // namespace etrain::system

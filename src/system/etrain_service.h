@@ -1,0 +1,89 @@
+// The eTrain service: Heartbeat Monitor + eTrain Scheduler + Broadcast
+// glue, i.e. the "eTrain" box of Fig. 5, running as a process on the
+// Android substrate.
+//
+// Responsibilities (Sec. V):
+//   * install Xposed hooks on every known train app's heartbeat method and
+//     feed triggers into the HeartbeatMonitor;
+//   * maintain one waiting queue per registered cargo app, fed by SUBMIT
+//     broadcasts;
+//   * tick once per slot: run Algorithm 1 against the queues, using the
+//     monitor's observation ("did a train depart this slot?") and
+//     predictions (upcoming departures), and broadcast a TRANSMIT decision
+//     for every selected packet;
+//   * when no train app is running, flush rather than defer, "to avoid
+//     cargo apps' indefinite waiting" (Sec. V-3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/alarm_manager.h"
+#include "android/broadcast_bus.h"
+#include "android/heartbeat_monitor.h"
+#include "android/xposed.h"
+#include "core/etrain_scheduler.h"
+#include "core/queues.h"
+
+namespace etrain::system {
+
+class EtrainService {
+ public:
+  struct Config {
+    core::EtrainConfig scheduler;
+    /// Scheduler tick period (the slot length of Algorithm 1).
+    Duration slot = 1.0;
+    /// How far ahead the monitor's departure predictions are requested.
+    Duration prediction_horizon = 1800.0;
+    /// A train is considered "running" if it beat within this window.
+    Duration train_staleness = 900.0;
+    /// Max cargo apps the service accepts (queue table is pre-sized).
+    int max_cargo_apps = 16;
+  };
+
+  EtrainService(Config config, sim::Simulator& simulator,
+                android::BroadcastBus& bus, android::AlarmManager& alarms,
+                android::XposedRegistry& xposed);
+
+  EtrainService(const EtrainService&) = delete;
+  EtrainService& operator=(const EtrainService&) = delete;
+
+  /// Installs the Xposed hook for one train app's heartbeat method, mapping
+  /// triggers to `train_id` in the monitor.
+  void hook_train_app(const std::string& hook_class,
+                      const std::string& hook_method, int train_id);
+
+  /// Starts listening for REGISTER/SUBMIT broadcasts and arms the periodic
+  /// scheduler tick. Call once.
+  void start();
+
+  const android::HeartbeatMonitor& monitor() const { return monitor_; }
+  const core::WaitingQueues& queues() const { return queues_; }
+  std::uint64_t decisions_broadcast() const { return decisions_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void on_register(const android::Intent& intent);
+  void on_unregister(const android::Intent& intent);
+  void on_submit(const android::Intent& intent);
+  void on_tick();
+
+  Config config_;
+  sim::Simulator& simulator_;
+  android::BroadcastBus& bus_;
+  android::AlarmManager& alarms_;
+  android::XposedRegistry& xposed_;
+
+  android::HeartbeatMonitor monitor_;
+  core::EtrainScheduler scheduler_;
+  core::WaitingQueues queues_;
+  /// Profile per registered app (index = app id); nullptr = unregistered.
+  std::vector<const core::CostProfile*> profiles_;
+
+  bool started_ = false;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace etrain::system

@@ -1,0 +1,73 @@
+// The assembled device: simulation kernel, radio link, Android substrate,
+// the eTrain service, train-app daemons and cargo-app clients — everything
+// the controlled experiments of Sec. VI-D run on a physical phone, wired on
+// the simulator. This is the public entry point the examples use.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exp/metrics.h"
+#include "net/synthetic_bandwidth.h"
+#include "system/cargo_app_client.h"
+#include "system/etrain_service.h"
+#include "system/train_app.h"
+
+namespace etrain::system {
+
+class EtrainSystem {
+ public:
+  struct Config {
+    radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+    EtrainService::Config service;
+    Duration horizon = 7200.0;
+    /// Downlink bandwidth for prefetch cargo; empty = downloads use the
+    /// uplink trace.
+    std::optional<net::BandwidthTrace> downlink_trace;
+    /// When true (the paper's controlled-experiment harness), a simulated
+    /// Monsoon power monitor samples the run at 0.1 s for the report.
+    bool attach_power_monitor = false;
+  };
+
+  EtrainSystem(Config config, net::BandwidthTrace trace);
+
+  /// Adds a train app whose first heartbeat fires at `first_beat`. The
+  /// service's Xposed hook for it is installed automatically. Call before
+  /// run().
+  void add_train_app(const apps::HeartbeatSpec& spec, TimePoint first_beat);
+
+  /// Adds a cargo app with its packet-arrival trace; every packet's `app`
+  /// field must equal `app_id`. Call before run().
+  void add_cargo_app(core::CargoAppId app_id, const core::CostProfile& profile,
+                     std::vector<core::Packet> packets);
+
+  /// Runs the simulation to the horizon and returns the standard metrics
+  /// (energy from the EnergyMeter replay; per-packet delays from the cargo
+  /// clients). Can only be called once.
+  experiments::RunMetrics run();
+
+  // Component access (tests / advanced use).
+  sim::Simulator& simulator() { return simulator_; }
+  android::BroadcastBus& bus() { return *bus_; }
+  net::RadioLink& link() { return *link_; }
+  EtrainService& service() { return *service_; }
+  const std::vector<std::unique_ptr<TrainAppProcess>>& trains() const {
+    return trains_;
+  }
+
+ private:
+  Config config_;
+  net::BandwidthTrace trace_;
+  sim::Simulator simulator_;
+  std::unique_ptr<android::BroadcastBus> bus_;
+  std::unique_ptr<android::AlarmManager> alarms_;
+  android::XposedRegistry xposed_;
+  std::unique_ptr<net::RadioLink> link_;
+  std::unique_ptr<EtrainService> service_;
+  std::vector<std::unique_ptr<TrainAppProcess>> trains_;
+  std::vector<std::unique_ptr<CargoAppClient>> cargos_;
+  bool ran_ = false;
+};
+
+}  // namespace etrain::system

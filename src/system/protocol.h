@@ -1,0 +1,30 @@
+// The broadcast protocol between the eTrain service and cargo apps
+// (Sec. V-4): all communication goes through Android broadcasts.
+//
+//   REGISTER  (cargo -> eTrain): app announces itself and its delay-cost
+//             profile when it subscribes to eTrain's service.
+//   SUBMIT    (cargo -> eTrain): a request carrying the transmission
+//             meta-data — "size of the data packet and its deadline for
+//             delivery, etc.".
+//   TRANSMIT  (eTrain -> cargo): the scheduler's decision that a specific
+//             packet should be transmitted now.
+#pragma once
+
+#include <string>
+
+namespace etrain::system {
+
+inline const std::string kActionRegister = "etrain.action.REGISTER";
+inline const std::string kActionUnregister = "etrain.action.UNREGISTER";
+inline const std::string kActionSubmit = "etrain.action.SUBMIT_REQUEST";
+inline const std::string kActionTransmit = "etrain.action.TRANSMIT";
+
+// Extra keys.
+inline const std::string kExtraApp = "app";
+inline const std::string kExtraPacket = "packet";
+inline const std::string kExtraBytes = "bytes";
+inline const std::string kExtraDeadline = "deadline";
+inline const std::string kExtraArrival = "arrival";
+inline const std::string kExtraProfile = "profile";
+
+}  // namespace etrain::system

@@ -1,0 +1,67 @@
+#include "system/train_app.h"
+
+#include <utility>
+
+namespace etrain::system {
+
+TrainAppProcess::TrainAppProcess(int train_id, apps::HeartbeatSpec spec,
+                                 TimePoint first_beat,
+                                 android::AlarmManager& alarms,
+                                 android::XposedRegistry& xposed,
+                                 net::RadioLink& link)
+    : train_id_(train_id),
+      spec_(std::move(spec)),
+      first_beat_(first_beat),
+      alarms_(alarms),
+      xposed_(xposed),
+      link_(link) {}
+
+TrainAppProcess::~TrainAppProcess() { stop(); }
+
+std::string TrainAppProcess::hook_class() const {
+  return "com." + spec_.app_name + "/HeartbeatDaemon";
+}
+
+void TrainAppProcess::start() {
+  if (started_) return;
+  started_ = true;
+  pending_alarm_ = alarms_.set_exact(
+      first_beat_, [this] { send_heartbeat(first_beat_); });
+  alarm_armed_ = true;
+}
+
+void TrainAppProcess::stop() {
+  if (alarm_armed_) {
+    alarms_.cancel(pending_alarm_);
+    alarm_armed_ = false;
+  }
+}
+
+void TrainAppProcess::send_heartbeat(TimePoint now) {
+  alarm_armed_ = false;
+  ++beats_sent_;
+  link_.submit(net::RadioLink::Request{.bytes = spec_.heartbeat_bytes,
+                                       .kind = radio::TxKind::kHeartbeat,
+                                       .app_id = train_id_,
+                                       .packet_id = -1});
+  // The Xposed after-hook fires as the method returns — this is where
+  // eTrain's monitor learns of the beat.
+  android::MethodCall call;
+  call.class_name = hook_class();
+  call.method_name = hook_method();
+  call.time = now;
+  call.arg = spec_.heartbeat_bytes;
+  xposed_.invoke(call);
+
+  arm_next();
+}
+
+void TrainAppProcess::arm_next() {
+  // Gap to the next beat; for doubling apps this grows per the discipline.
+  const TimePoint when = spec_.beat_time(beats_sent_, first_beat_);
+  pending_alarm_ =
+      alarms_.set_exact(when, [this, when] { send_heartbeat(when); });
+  alarm_armed_ = true;
+}
+
+}  // namespace etrain::system

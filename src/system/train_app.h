@@ -1,0 +1,62 @@
+// A simulated train-app daemon process.
+//
+// Mirrors how real IM apps behave (Sec. II-A / V-2): a background daemon
+// thread arms AlarmManager for its next heartbeat; when the alarm fires it
+// sends the keep-alive over the radio and re-arms. The heartbeat-sending
+// method is routed through the XposedRegistry so eTrain's hook observes
+// every beat without the app cooperating — eTrain is transparent to train
+// apps.
+#pragma once
+
+#include <string>
+
+#include "android/alarm_manager.h"
+#include "android/xposed.h"
+#include "apps/heartbeat_spec.h"
+#include "net/radio_link.h"
+
+namespace etrain::system {
+
+class TrainAppProcess {
+ public:
+  /// `train_id` indexes the app within the scenario; `first_beat` is when
+  /// its daemon sends the first heartbeat.
+  TrainAppProcess(int train_id, apps::HeartbeatSpec spec, TimePoint first_beat,
+                  android::AlarmManager& alarms, android::XposedRegistry& xposed,
+                  net::RadioLink& link);
+  ~TrainAppProcess();
+
+  TrainAppProcess(const TrainAppProcess&) = delete;
+  TrainAppProcess& operator=(const TrainAppProcess&) = delete;
+
+  /// Arms the first heartbeat alarm. Idempotent.
+  void start();
+  /// Cancels the pending alarm (app force-stopped).
+  void stop();
+
+  int beats_sent() const { return beats_sent_; }
+  const apps::HeartbeatSpec& spec() const { return spec_; }
+
+  /// The (class, method) eTrain hooks — the paper locates it by its
+  /// AlarmManager/BroadcastReceiver call sites in the decompiled APK.
+  std::string hook_class() const;
+  static std::string hook_method() { return "sendHeartbeat"; }
+
+ private:
+  void send_heartbeat(TimePoint now);
+  void arm_next();
+
+  int train_id_;
+  apps::HeartbeatSpec spec_;
+  TimePoint first_beat_;
+  android::AlarmManager& alarms_;
+  android::XposedRegistry& xposed_;
+  net::RadioLink& link_;
+
+  bool started_ = false;
+  int beats_sent_ = 0;
+  android::AlarmId pending_alarm_ = 0;
+  bool alarm_armed_ = false;
+};
+
+}  // namespace etrain::system

@@ -1,0 +1,156 @@
+#include "android/heartbeat_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/heartbeat_spec.h"
+
+namespace etrain::android {
+namespace {
+
+TEST(HeartbeatMonitor, UnknownAppHasNoState) {
+  HeartbeatMonitor m;
+  EXPECT_EQ(m.observed_beats(0), 0u);
+  EXPECT_FALSE(m.last_beat(0).has_value());
+  EXPECT_FALSE(m.estimated_cycle(0).has_value());
+  EXPECT_FALSE(m.predict_next(0).has_value());
+  EXPECT_FALSE(m.most_recent_beat().has_value());
+}
+
+TEST(HeartbeatMonitor, SingleBeatGivesNoCycle) {
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 100.0);
+  EXPECT_EQ(m.observed_beats(0), 1u);
+  EXPECT_DOUBLE_EQ(*m.last_beat(0), 100.0);
+  EXPECT_FALSE(m.estimated_cycle(0).has_value());
+}
+
+TEST(HeartbeatMonitor, TwoBeatsEstablishCycle) {
+  // Sec. III-C: "as soon as eTrain observes one heartbeat... it can
+  // accurately predict when the subsequent heartbeats will be transmitted".
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 100.0);
+  m.on_heartbeat(0, 370.0);
+  EXPECT_DOUBLE_EQ(*m.estimated_cycle(0), 270.0);
+  EXPECT_DOUBLE_EQ(*m.predict_next(0), 640.0);
+}
+
+TEST(HeartbeatMonitor, StableCycleUsesMedianAgainstJitter) {
+  HeartbeatMonitor m;
+  TimePoint t = 0.0;
+  const double gaps[] = {300.0, 301.0, 299.5, 300.2, 299.8, 300.1};
+  m.on_heartbeat(0, t);
+  for (const double g : gaps) {
+    t += g;
+    m.on_heartbeat(0, t);
+  }
+  EXPECT_NEAR(*m.estimated_cycle(0), 300.0, 0.5);
+}
+
+TEST(HeartbeatMonitor, DoublingCycleTracksLastGap) {
+  // NetEase discipline: 60 x6, 120 x6, ... The monitor predicts "last gap
+  // repeats", correct 5 of every 6 beats and self-correcting afterwards.
+  HeartbeatMonitor m;
+  const auto spec = apps::netease_spec();
+  TimePoint prev = 0.0;
+  m.on_heartbeat(0, prev);
+  int correct = 0, total = 0;
+  for (int j = 1; j <= 24; ++j) {
+    const TimePoint t = spec.beat_time(j, 0.0);
+    if (const auto predicted = m.predict_next(0); predicted.has_value()) {
+      ++total;
+      if (std::abs(*predicted - t) < 1.0) ++correct;
+    }
+    m.on_heartbeat(0, t);
+    prev = t;
+  }
+  EXPECT_GE(total, 20);
+  // At least ~3/4 of predictions are exact despite the doubling steps.
+  EXPECT_GE(static_cast<double>(correct) / total, 0.75);
+}
+
+TEST(HeartbeatMonitor, PredictDeparturesMergesApps) {
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 0.0);
+  m.on_heartbeat(0, 300.0);  // cycle 300
+  m.on_heartbeat(1, 10.0);
+  m.on_heartbeat(1, 250.0);  // cycle 240
+  const auto d = m.predict_departures(300.0, 1000.0);
+  // App 0: 600, 900. App 1: 490, 730, 970.
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d[0], 490.0);
+  EXPECT_DOUBLE_EQ(d[1], 600.0);
+  EXPECT_DOUBLE_EQ(d[2], 730.0);
+  EXPECT_DOUBLE_EQ(d[3], 900.0);
+  EXPECT_DOUBLE_EQ(d[4], 970.0);
+  // Sorted.
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_LT(d[i - 1], d[i]);
+}
+
+TEST(HeartbeatMonitor, PredictDeparturesExcludesFromBoundary) {
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 0.0);
+  m.on_heartbeat(0, 100.0);
+  const auto d = m.predict_departures(100.0, 300.0);
+  ASSERT_EQ(d.size(), 2u);  // 200, 300 — not 100 itself
+  EXPECT_DOUBLE_EQ(d[0], 200.0);
+  EXPECT_DOUBLE_EQ(d[1], 300.0);
+}
+
+TEST(HeartbeatMonitor, TrainActivity) {
+  HeartbeatMonitor m;
+  EXPECT_FALSE(m.any_train_active(1000.0));
+  m.on_heartbeat(2, 500.0);
+  EXPECT_TRUE(m.any_train_active(600.0));
+  EXPECT_TRUE(m.any_train_active(1400.0));            // within 900 s default
+  EXPECT_FALSE(m.any_train_active(1401.0));           // stale
+  EXPECT_TRUE(m.any_train_active(5000.0, 1e6));       // custom staleness
+}
+
+TEST(HeartbeatMonitor, MostRecentBeatAcrossApps) {
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 100.0);
+  m.on_heartbeat(1, 250.0);
+  m.on_heartbeat(0, 400.0);
+  EXPECT_DOUBLE_EQ(*m.most_recent_beat(), 400.0);
+}
+
+TEST(HeartbeatMonitor, BackwardsTimeThrows) {
+  HeartbeatMonitor m;
+  m.on_heartbeat(0, 100.0);
+  EXPECT_THROW(m.on_heartbeat(0, 50.0), std::invalid_argument);
+}
+
+TEST(HeartbeatMonitor, HistoryBounded) {
+  HeartbeatMonitor m(4);
+  for (int i = 0; i <= 100; ++i) m.on_heartbeat(0, i * 10.0);
+  EXPECT_EQ(m.observed_beats(0), 5u);  // 4 gaps + the latest beat
+  EXPECT_DOUBLE_EQ(*m.estimated_cycle(0), 10.0);
+}
+
+TEST(HeartbeatMonitor, TinyHistoryRejected) {
+  EXPECT_THROW(HeartbeatMonitor(1), std::invalid_argument);
+}
+
+// Property: for every fixed-cycle app in the catalog, the monitor's
+// prediction converges to the true cycle after a handful of beats.
+class MonitorConvergence
+    : public ::testing::TestWithParam<apps::HeartbeatSpec> {};
+
+TEST_P(MonitorConvergence, PredictsCatalogCycles) {
+  const auto spec = GetParam();
+  HeartbeatMonitor m;
+  for (int j = 0; j < 6; ++j) m.on_heartbeat(0, spec.beat_time(j, 50.0));
+  ASSERT_TRUE(m.estimated_cycle(0).has_value());
+  EXPECT_NEAR(*m.estimated_cycle(0), spec.cycle, 1e-9);
+  EXPECT_NEAR(*m.predict_next(0), spec.beat_time(6, 50.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedCatalog, MonitorConvergence,
+                         ::testing::Values(apps::wechat_spec(),
+                                           apps::whatsapp_spec(),
+                                           apps::qq_spec(),
+                                           apps::renren_spec(),
+                                           apps::apns_spec()));
+
+}  // namespace
+}  // namespace etrain::android

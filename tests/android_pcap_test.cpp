@@ -1,0 +1,169 @@
+#include "android/pcap.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace etrain::android {
+namespace {
+
+TEST(PcapAnalyzer, EmptyFlow) {
+  PcapAnalyzer analyzer;
+  const auto e = analyzer.analyze_flow("x", {});
+  EXPECT_EQ(e.heartbeats, 0u);
+  EXPECT_FALSE(e.fixed_cycle);
+}
+
+TEST(PcapAnalyzer, FixedCycleDetected) {
+  PcapAnalyzer analyzer;
+  std::vector<CapturedPacket> capture;
+  for (int i = 0; i < 10; ++i) {
+    capture.push_back(CapturedPacket{i * 270.0, 74, "WeChat"});
+  }
+  const auto e = analyzer.analyze_flow("WeChat", capture);
+  EXPECT_TRUE(e.fixed_cycle);
+  EXPECT_DOUBLE_EQ(e.median_cycle, 270.0);
+  EXPECT_EQ(e.heartbeats, 10u);
+}
+
+TEST(PcapAnalyzer, DataPacketsDoNotDisturbCycle) {
+  // Fig. 3: foreground messages/pictures have no impact on heartbeat
+  // timing; the analyzer must filter them by size.
+  PcapAnalyzer analyzer(1000);
+  std::vector<CapturedPacket> capture;
+  for (int i = 0; i < 8; ++i) {
+    capture.push_back(CapturedPacket{i * 300.0, 378, "QQ"});
+  }
+  for (int i = 0; i < 20; ++i) {
+    capture.push_back(CapturedPacket{37.0 + i * 91.0, 25000, "QQ"});
+  }
+  const auto e = analyzer.analyze_flow("QQ", capture);
+  EXPECT_TRUE(e.fixed_cycle);
+  EXPECT_DOUBLE_EQ(e.median_cycle, 300.0);
+  EXPECT_EQ(e.heartbeats, 8u);
+}
+
+TEST(PcapAnalyzer, DoublingCycleReportedAsRange) {
+  PcapAnalyzer analyzer;
+  const auto spec = apps::netease_spec();
+  std::vector<CapturedPacket> capture;
+  for (const TimePoint t : spec.departures(0.0, 7200.0)) {
+    capture.push_back(CapturedPacket{t, 150, "NetEase"});
+  }
+  const auto e = analyzer.analyze_flow("NetEase", capture);
+  EXPECT_FALSE(e.fixed_cycle);
+  EXPECT_DOUBLE_EQ(e.min_cycle, 60.0);
+  EXPECT_DOUBLE_EQ(e.max_cycle, 480.0);
+}
+
+TEST(PcapAnalyzer, ToleratesSmallJitter) {
+  PcapAnalyzer analyzer(1000, 0.05);
+  Rng rng(1);
+  std::vector<CapturedPacket> capture;
+  for (int i = 0; i < 20; ++i) {
+    capture.push_back(
+        CapturedPacket{i * 240.0 + rng.uniform(-0.5, 0.5), 66, "WhatsApp"});
+  }
+  const auto e = analyzer.analyze_flow("WhatsApp", capture);
+  EXPECT_TRUE(e.fixed_cycle);
+  EXPECT_NEAR(e.median_cycle, 240.0, 1.0);
+}
+
+TEST(PcapAnalyzer, MixedCaptureSplitByFlow) {
+  PcapAnalyzer analyzer;
+  std::vector<CapturedPacket> capture;
+  for (int i = 0; i < 6; ++i) {
+    capture.push_back(CapturedPacket{i * 300.0, 378, "QQ"});
+    capture.push_back(CapturedPacket{i * 270.0 + 3.0, 74, "WeChat"});
+  }
+  const auto estimates = analyzer.analyze(capture);
+  ASSERT_EQ(estimates.size(), 2u);
+  // Map order: QQ before WeChat alphabetically.
+  EXPECT_EQ(estimates[0].flow, "QQ");
+  EXPECT_DOUBLE_EQ(estimates[0].median_cycle, 300.0);
+  EXPECT_EQ(estimates[1].flow, "WeChat");
+  EXPECT_DOUBLE_EQ(estimates[1].median_cycle, 270.0);
+}
+
+TEST(SynthesizeCapture, HeartbeatsOnlyWithoutDataTraffic) {
+  Rng rng(2);
+  const auto capture =
+      synthesize_capture(apps::wechat_spec(), 2700.0, rng, false);
+  // 2700 / 270 = 10 beats at jittered times, no data packets.
+  EXPECT_EQ(capture.size(), 10u);
+  for (const auto& p : capture) {
+    EXPECT_EQ(p.size, 74);
+    EXPECT_EQ(p.flow, "WeChat");
+  }
+}
+
+TEST(SynthesizeCapture, WithDataTrafficStillAnalyzable) {
+  Rng rng(3);
+  const auto capture =
+      synthesize_capture(apps::qq_spec(), 7200.0, rng, true);
+  PcapAnalyzer analyzer;
+  const auto estimates = analyzer.analyze(capture);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_TRUE(estimates[0].fixed_cycle);
+  EXPECT_NEAR(estimates[0].median_cycle, 300.0, 1.0);
+}
+
+TEST(CaptureCsv, RoundTrip) {
+  Rng rng(6);
+  const auto original =
+      synthesize_capture(apps::wechat_spec(), 3600.0, rng, true);
+  const auto dir = std::filesystem::temp_directory_path() / "etrain_pcap";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "capture.csv").string();
+  save_capture_csv(original, path);
+  const auto loaded = load_capture_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded[i].time, original[i].time, 1e-6);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_EQ(loaded[i].flow, original[i].flow);
+  }
+  // Analysis is identical on the loaded copy.
+  PcapAnalyzer analyzer;
+  const auto a = analyzer.analyze_flow("WeChat", original);
+  const auto b = analyzer.analyze_flow("WeChat", loaded);
+  // std::to_string keeps 6 decimals, so allow that much rounding.
+  EXPECT_NEAR(a.median_cycle, b.median_cycle, 1e-5);
+  EXPECT_EQ(a.fixed_cycle, b.fixed_cycle);
+}
+
+TEST(CaptureCsv, MalformedRowThrows) {
+  const auto dir = std::filesystem::temp_directory_path() / "etrain_pcap";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bad.csv").string();
+  {
+    std::ofstream out(path);
+    out << "time_s,size_bytes,flow\n1.0,100\n";
+  }
+  EXPECT_THROW(load_capture_csv(path), std::runtime_error);
+}
+
+// Table-1 end-to-end property: for every fixed-cycle catalog app, capture
+// synthesis + analysis recovers the published cycle.
+class Table1Recovery : public ::testing::TestWithParam<apps::HeartbeatSpec> {};
+
+TEST_P(Table1Recovery, CycleRecoveredFromCapture) {
+  const auto spec = GetParam();
+  Rng rng(4);
+  const auto capture = synthesize_capture(spec, 4 * 3600.0, rng, true);
+  PcapAnalyzer analyzer;
+  const auto e = analyzer.analyze_flow(spec.app_name, capture);
+  EXPECT_TRUE(e.fixed_cycle) << spec.app_name;
+  EXPECT_NEAR(e.median_cycle, spec.cycle, 1.0) << spec.app_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, Table1Recovery,
+                         ::testing::Values(apps::wechat_spec(),
+                                           apps::whatsapp_spec(),
+                                           apps::qq_spec(),
+                                           apps::renren_spec(),
+                                           apps::apns_spec()));
+
+}  // namespace
+}  // namespace etrain::android

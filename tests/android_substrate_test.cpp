@@ -1,0 +1,220 @@
+// Tests for the Android-like substrate: broadcast bus, alarm manager, and
+// Xposed hook registry.
+#include <gtest/gtest.h>
+
+#include "android/alarm_manager.h"
+#include "android/broadcast_bus.h"
+#include "android/xposed.h"
+
+namespace etrain::android {
+namespace {
+
+// --- Intent ---
+
+TEST(Intent, TypedExtras) {
+  Intent i("test.ACTION");
+  i.put("count", std::int64_t{42});
+  i.put("ratio", 2.5);
+  i.put("name", std::string("weibo"));
+  EXPECT_EQ(i.action(), "test.ACTION");
+  EXPECT_EQ(i.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(*i.get_double("ratio"), 2.5);
+  EXPECT_EQ(*i.get_string("name"), "weibo");
+  EXPECT_FALSE(i.get_int("missing").has_value());
+  EXPECT_FALSE(i.get_double("count").has_value());  // wrong type map
+}
+
+// --- BroadcastBus ---
+
+TEST(BroadcastBus, DeliversToMatchingReceiversAsync) {
+  sim::Simulator simulator;
+  BroadcastBus bus(simulator);
+  int received = 0;
+  bus.register_receiver("a", [&](const Intent&) { ++received; });
+  bus.register_receiver("a", [&](const Intent&) { ++received; });
+  bus.register_receiver("b", [&](const Intent&) { received += 100; });
+
+  simulator.schedule_at(1.0, [&] {
+    bus.send_broadcast(Intent("a"));
+    // Asynchronous: nothing delivered inline.
+    EXPECT_EQ(received, 0);
+  });
+  simulator.run_until(2.0);
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(bus.broadcasts_sent(), 1u);
+}
+
+TEST(BroadcastBus, NoReceiversIsFine) {
+  sim::Simulator simulator;
+  BroadcastBus bus(simulator);
+  simulator.schedule_at(0.0, [&] { bus.send_broadcast(Intent("nobody")); });
+  EXPECT_NO_THROW(simulator.run_until(1.0));
+}
+
+TEST(BroadcastBus, UnregisterStopsDelivery) {
+  sim::Simulator simulator;
+  BroadcastBus bus(simulator);
+  int received = 0;
+  const ReceiverId id =
+      bus.register_receiver("a", [&](const Intent&) { ++received; });
+  EXPECT_EQ(bus.receiver_count("a"), 1u);
+  EXPECT_TRUE(bus.unregister_receiver(id));
+  EXPECT_FALSE(bus.unregister_receiver(id));
+  simulator.schedule_at(0.0, [&] { bus.send_broadcast(Intent("a")); });
+  simulator.run_until(1.0);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(BroadcastBus, LateRegistrationMissesEarlierBroadcast) {
+  sim::Simulator simulator;
+  BroadcastBus bus(simulator);
+  int received = 0;
+  simulator.schedule_at(0.0, [&] { bus.send_broadcast(Intent("a")); });
+  simulator.schedule_at(0.0005, [&] {
+    bus.register_receiver("a", [&](const Intent&) { ++received; });
+  });
+  simulator.run_until(1.0);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(BroadcastBus, ExtrasSurviveDelivery) {
+  sim::Simulator simulator;
+  BroadcastBus bus(simulator);
+  std::int64_t seen = -1;
+  bus.register_receiver("a", [&](const Intent& i) {
+    seen = i.get_int("packet").value_or(-2);
+  });
+  simulator.schedule_at(0.0, [&] {
+    bus.send_broadcast(Intent("a").put("packet", std::int64_t{123}));
+  });
+  simulator.run_until(1.0);
+  EXPECT_EQ(seen, 123);
+}
+
+// --- AlarmManager ---
+
+TEST(AlarmManager, OneShotFiresOnce) {
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  int fired = 0;
+  alarms.set_exact(5.0, [&] { ++fired; });
+  simulator.run_until(100.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(alarms.active_alarms(), 0u);
+}
+
+TEST(AlarmManager, RepeatingFiresPeriodically) {
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  std::vector<TimePoint> fires;
+  alarms.set_repeating(10.0, 30.0, [&] { fires.push_back(simulator.now()); });
+  simulator.run_until(100.0);
+  ASSERT_EQ(fires.size(), 4u);  // 10, 40, 70, 100
+  EXPECT_DOUBLE_EQ(fires[0], 10.0);
+  EXPECT_DOUBLE_EQ(fires[3], 100.0);
+}
+
+TEST(AlarmManager, CancelStopsRepeating) {
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  int fired = 0;
+  const AlarmId id = alarms.set_repeating(10.0, 10.0, [&] { ++fired; });
+  simulator.run_until(25.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(alarms.cancel(id));
+  simulator.run_until(100.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(AlarmManager, CancelBeforeFirstFire) {
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  int fired = 0;
+  const AlarmId id = alarms.set_exact(5.0, [&] { ++fired; });
+  EXPECT_TRUE(alarms.cancel(id));
+  EXPECT_FALSE(alarms.cancel(id));
+  simulator.run_until(100.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(AlarmManager, CallbackCanReArm) {
+  // The train-app pattern: a one-shot alarm whose callback arms the next
+  // beat (needed for doubling cycles).
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  std::vector<TimePoint> fires;
+  std::function<void()> beat = [&] {
+    fires.push_back(simulator.now());
+    if (fires.size() < 3) {
+      alarms.set_exact(simulator.now() + 60.0 * fires.size(), beat);
+    }
+  };
+  alarms.set_exact(0.0, beat);
+  simulator.run_until(1000.0);
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_DOUBLE_EQ(fires[1], 60.0);
+  EXPECT_DOUBLE_EQ(fires[2], 180.0);
+}
+
+TEST(AlarmManager, NonPositiveIntervalThrows) {
+  sim::Simulator simulator;
+  AlarmManager alarms(simulator);
+  EXPECT_THROW(alarms.set_repeating(0.0, 0.0, [] {}), std::invalid_argument);
+}
+
+// --- XposedRegistry ---
+
+TEST(Xposed, HookObservesInvocation) {
+  XposedRegistry registry;
+  std::vector<TimePoint> observed;
+  registry.hook_method("com.wechat/Daemon", "sendHeartbeat",
+                       [&](const MethodCall& c) { observed.push_back(c.time); });
+  MethodCall call;
+  call.class_name = "com.wechat/Daemon";
+  call.method_name = "sendHeartbeat";
+  call.time = 42.0;
+  EXPECT_EQ(registry.invoke(call), 1u);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_DOUBLE_EQ(observed[0], 42.0);
+}
+
+TEST(Xposed, UnhookedMethodUnobserved) {
+  XposedRegistry registry;
+  int observed = 0;
+  registry.hook_method("A", "m", [&](const MethodCall&) { ++observed; });
+  MethodCall other;
+  other.class_name = "B";
+  other.method_name = "m";
+  EXPECT_EQ(registry.invoke(other), 0u);
+  EXPECT_EQ(observed, 0);
+}
+
+TEST(Xposed, MultipleHooksRunInOrder) {
+  XposedRegistry registry;
+  std::vector<int> order;
+  registry.hook_method("A", "m", [&](const MethodCall&) { order.push_back(1); });
+  registry.hook_method("A", "m", [&](const MethodCall&) { order.push_back(2); });
+  MethodCall call;
+  call.class_name = "A";
+  call.method_name = "m";
+  EXPECT_EQ(registry.invoke(call), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(registry.hook_count(), 2u);
+}
+
+TEST(Xposed, UnhookRemoves) {
+  XposedRegistry registry;
+  int observed = 0;
+  const HookId id =
+      registry.hook_method("A", "m", [&](const MethodCall&) { ++observed; });
+  EXPECT_TRUE(registry.unhook(id));
+  EXPECT_FALSE(registry.unhook(id));
+  MethodCall call;
+  call.class_name = "A";
+  call.method_name = "m";
+  registry.invoke(call);
+  EXPECT_EQ(observed, 0);
+}
+
+}  // namespace
+}  // namespace etrain::android

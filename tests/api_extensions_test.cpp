@@ -1,0 +1,201 @@
+// Tests for the smaller API extensions: the extended heartbeat catalog,
+// the UNREGISTER protocol, the energy-report renderer and the scenario
+// validator.
+#include <gtest/gtest.h>
+
+#include "apps/heartbeat_spec.h"
+#include "baselines/baseline_policy.h"
+#include "exp/slotted_sim.h"
+#include "net/bandwidth_trace.h"
+#include "radio/energy_meter.h"
+#include "system/etrain_service.h"
+#include "system/protocol.h"
+
+namespace etrain {
+namespace {
+
+// --- extended catalog ---
+
+TEST(ExtendedCatalog, ContainsPaperCatalogPlusFour) {
+  const auto extended = apps::extended_catalog();
+  EXPECT_EQ(extended.size(), apps::android_catalog().size() + 4);
+}
+
+TEST(ExtendedCatalog, LiteratureCycles) {
+  EXPECT_DOUBLE_EQ(apps::skype_spec().cycle, 60.0);
+  EXPECT_DOUBLE_EQ(apps::facebook_spec().cycle, 60.0);
+  EXPECT_DOUBLE_EQ(apps::line_spec().cycle, 300.0);
+  EXPECT_DOUBLE_EQ(apps::push_email_spec().cycle, 900.0);
+}
+
+TEST(ExtendedCatalog, AllSpecsUsableAsTrains) {
+  const auto schedule =
+      apps::build_train_schedule(apps::extended_catalog(), 3600.0);
+  EXPECT_GT(schedule.size(), 100u);  // Skype/Facebook at 60 s dominate
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1].time, schedule[i].time);
+  }
+}
+
+// --- UNREGISTER ---
+
+struct ServiceFixture {
+  sim::Simulator simulator;
+  android::BroadcastBus bus{simulator};
+  android::AlarmManager alarms{simulator};
+  android::XposedRegistry xposed;
+  system::EtrainService service{
+      system::EtrainService::Config{.scheduler = {.theta = 1e9, .k = 20}},
+      simulator, bus, alarms, xposed};
+};
+
+TEST(Unregister, FlushesQueueAndForgetsApp) {
+  ServiceFixture f;
+  f.service.start();
+  std::vector<std::int64_t> decisions;
+  f.bus.register_receiver(system::kActionTransmit,
+                          [&](const android::Intent& i) {
+                            decisions.push_back(
+                                *i.get_int(system::kExtraPacket));
+                          });
+  f.simulator.schedule_at(0.1, [&] {
+    android::Intent reg(system::kActionRegister);
+    reg.put(system::kExtraApp, std::int64_t{0});
+    reg.put(system::kExtraProfile, std::string("f1-mail"));
+    f.bus.send_broadcast(reg);
+  });
+  // Pretend a train is active so the service would otherwise defer forever
+  // (Theta is astronomically high and f1's cost stays 0).
+  f.service.hook_train_app("t/Train", "sendHeartbeat", 0);
+  f.simulator.schedule_at(0.15, [&] {
+    android::MethodCall c;
+    c.class_name = "t/Train";
+    c.method_name = "sendHeartbeat";
+    c.time = 0.15;
+    f.xposed.invoke(c);
+  });
+  // Submit well after the beat so no tick sees heartbeat_now == true (a
+  // train flush would bypass Theta and deliver the packet immediately).
+  f.simulator.schedule_at(2.5, [&] {
+    android::Intent submit(system::kActionSubmit);
+    submit.put(system::kExtraApp, std::int64_t{0});
+    submit.put(system::kExtraPacket, std::int64_t{9});
+    submit.put(system::kExtraBytes, std::int64_t{1000});
+    submit.put(system::kExtraDeadline, 600.0);
+    submit.put(system::kExtraArrival, 2.5);
+    f.bus.send_broadcast(submit);
+  });
+  f.simulator.run_until(5.0);
+  EXPECT_TRUE(decisions.empty());  // deferred, as configured
+  EXPECT_EQ(f.service.queues().total_size(), 1u);
+
+  f.simulator.schedule_at(6.0, [&] {
+    android::Intent unreg(system::kActionUnregister);
+    unreg.put(system::kExtraApp, std::int64_t{0});
+    f.bus.send_broadcast(unreg);
+  });
+  f.simulator.run_until(10.0);
+  ASSERT_EQ(decisions.size(), 1u);  // stranded request flushed on departure
+  EXPECT_EQ(decisions[0], 9);
+  EXPECT_EQ(f.service.queues().total_size(), 0u);
+}
+
+TEST(Unregister, UnknownAppIsIgnored) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] {
+    android::Intent unreg(system::kActionUnregister);
+    unreg.put(system::kExtraApp, std::int64_t{3});
+    f.bus.send_broadcast(unreg);
+  });
+  EXPECT_NO_THROW(f.simulator.run_until(1.0));
+}
+
+// --- EnergyReport renderer ---
+
+TEST(EnergyReportToString, MentionsKeyFields) {
+  radio::TransmissionLog log;
+  radio::Transmission tx;
+  tx.start = 0.0;
+  tx.duration = 1.0;
+  tx.bytes = 1000;
+  log.add(tx);
+  const auto report =
+      radio::measure_energy(log, radio::PowerModel::PaperUmts3G(), 100.0);
+  const std::string s = radio::to_string(report);
+  EXPECT_NE(s.find("network"), std::string::npos);
+  EXPECT_NE(s.find("1 transmissions"), std::string::npos);
+  EXPECT_NE(s.find("1 full tails"), std::string::npos);
+}
+
+// --- Scenario validator ---
+
+experiments::Scenario minimal_scenario() {
+  experiments::Scenario s;
+  s.horizon = 100.0;
+  s.trace = net::BandwidthTrace::constant(1000.0, 10);
+  s.profiles = {&core::weibo_cost_profile()};
+  core::Packet p;
+  p.id = 0;
+  p.app = 0;
+  p.arrival = 1.0;
+  p.bytes = 100;
+  p.deadline = 10.0;
+  s.packets = {p};
+  return s;
+}
+
+TEST(ValidateScenario, AcceptsMinimal) {
+  EXPECT_NO_THROW(experiments::validate_scenario(minimal_scenario()));
+}
+
+TEST(ValidateScenario, CatchesEveryDefect) {
+  {
+    auto s = minimal_scenario();
+    s.horizon = 0.0;
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    s.packets.push_back(s.packets[0]);  // duplicate id
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    s.packets[0].app = 7;  // out of range
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    s.packets[0].bytes = 0;
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    s.packets[0].deadline = 0.0;
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    auto p2 = s.packets[0];
+    p2.id = 1;
+    p2.arrival = 0.5;  // out of order
+    s.packets.push_back(p2);
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+  {
+    auto s = minimal_scenario();
+    s.trains = {{50.0, 0, 100}, {40.0, 1, 100}};  // unsorted trains
+    EXPECT_THROW(experiments::validate_scenario(s), std::invalid_argument);
+  }
+}
+
+TEST(ValidateScenario, RunSlottedRejectsBrokenScenario) {
+  auto s = minimal_scenario();
+  s.packets[0].bytes = -5;
+  baselines::BaselinePolicy policy;
+  EXPECT_THROW(experiments::run_slotted(s, policy), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,136 @@
+#include "apps/cargo_app.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace etrain::apps {
+namespace {
+
+TEST(CargoSpecs, PaperWorkloadParameters) {
+  // Sec. VI-A: inter-arrival proportions 5:2:10 (50 s / 20 s / 100 s at
+  // lambda = 0.08); sizes 5 KB/1 KB, 2 KB/100 B, 100 KB/10 KB.
+  const auto mail = mail_spec();
+  EXPECT_DOUBLE_EQ(mail.mean_interarrival, 50.0);
+  EXPECT_DOUBLE_EQ(mail.size_mean, 5000.0);
+  EXPECT_DOUBLE_EQ(mail.size_min, 1000.0);
+
+  const auto weibo = weibo_spec();
+  EXPECT_DOUBLE_EQ(weibo.mean_interarrival, 20.0);
+  EXPECT_DOUBLE_EQ(weibo.size_mean, 2000.0);
+  EXPECT_DOUBLE_EQ(weibo.size_min, 100.0);
+
+  const auto cloud = cloud_spec();
+  EXPECT_DOUBLE_EQ(cloud.mean_interarrival, 100.0);
+  EXPECT_DOUBLE_EQ(cloud.size_mean, 100000.0);
+  EXPECT_DOUBLE_EQ(cloud.size_min, 10000.0);
+}
+
+TEST(CargoSpecs, DefaultRateSumsToLambda008) {
+  const auto specs = default_cargo_specs();
+  double lambda = 0.0;
+  for (const auto& s : specs) lambda += 1.0 / s.mean_interarrival;
+  EXPECT_NEAR(lambda, 0.08, 1e-12);
+}
+
+TEST(CargoSpecs, LambdaScalingPreservesProportions) {
+  // Fig. 8(b): lambda = 0.04 -> inter-arrival means 100 s, 40 s, 200 s.
+  const auto specs = cargo_specs_for_lambda(0.04);
+  EXPECT_NEAR(specs[0].mean_interarrival, 100.0, 1e-9);
+  EXPECT_NEAR(specs[1].mean_interarrival, 40.0, 1e-9);
+  EXPECT_NEAR(specs[2].mean_interarrival, 200.0, 1e-9);
+
+  const auto specs12 = cargo_specs_for_lambda(0.12);
+  double lambda = 0.0;
+  for (const auto& s : specs12) lambda += 1.0 / s.mean_interarrival;
+  EXPECT_NEAR(lambda, 0.12, 1e-12);
+}
+
+TEST(CargoSpecs, InvalidLambdaThrows) {
+  EXPECT_THROW(cargo_specs_for_lambda(0.0), std::invalid_argument);
+  EXPECT_THROW(cargo_specs_for_lambda(-1.0), std::invalid_argument);
+}
+
+TEST(GenerateArrivals, PoissonRateMatches) {
+  Rng rng(1);
+  const auto packets = generate_arrivals(weibo_spec(), 1, 200000.0, rng);
+  // 10000 expected arrivals at 1/20 s.
+  EXPECT_NEAR(static_cast<double>(packets.size()), 10000.0, 300.0);
+
+  RunningStats gaps;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    gaps.add(packets[i].arrival - packets[i - 1].arrival);
+  }
+  EXPECT_NEAR(gaps.mean(), 20.0, 0.7);
+  // Exponential inter-arrivals: stddev ~ mean.
+  EXPECT_NEAR(gaps.stddev(), 20.0, 1.5);
+}
+
+TEST(GenerateArrivals, SizesRespectTruncation) {
+  Rng rng(2);
+  const auto packets = generate_arrivals(mail_spec(), 0, 100000.0, rng);
+  RunningStats sizes;
+  for (const auto& p : packets) {
+    EXPECT_GE(p.bytes, 1000);
+    sizes.add(static_cast<double>(p.bytes));
+  }
+  EXPECT_NEAR(sizes.mean(), 5000.0, 500.0);
+}
+
+TEST(GenerateArrivals, TagsAppAndDeadline) {
+  Rng rng(3);
+  const auto packets = generate_arrivals(cloud_spec(), 2, 10000.0, rng, 500);
+  ASSERT_FALSE(packets.empty());
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.app, 2);
+    EXPECT_DOUBLE_EQ(p.deadline, cloud_spec().deadline);
+  }
+  EXPECT_EQ(packets.front().id, 500);
+  EXPECT_EQ(packets.back().id,
+            500 + static_cast<core::PacketId>(packets.size()) - 1);
+}
+
+TEST(GenerateArrivals, EmptyHorizonYieldsNothing) {
+  Rng rng(4);
+  EXPECT_TRUE(generate_arrivals(mail_spec(), 0, 0.0, rng).empty());
+}
+
+TEST(GenerateWorkload, MergedSortedUniqueIds) {
+  Rng rng(5);
+  const auto packets = generate_workload(default_cargo_specs(), 7200.0, rng);
+  ASSERT_GT(packets.size(), 300u);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i - 1].arrival, packets[i].arrival);
+    EXPECT_EQ(packets[i].id, static_cast<core::PacketId>(i));
+  }
+  // All three apps present.
+  bool seen[3] = {false, false, false};
+  for (const auto& p : packets) seen[p.app] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(GenerateWorkload, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const auto pa = generate_workload(default_cargo_specs(), 7200.0, a);
+  const auto pb = generate_workload(default_cargo_specs(), 7200.0, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i].arrival, pb[i].arrival);
+    EXPECT_EQ(pa[i].bytes, pb[i].bytes);
+  }
+}
+
+TEST(GenerateWorkload, AppRatiosFollowRates) {
+  Rng rng(8);
+  const auto packets = generate_workload(default_cargo_specs(), 72000.0, rng);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& p : packets) ++counts[p.app];
+  // Rates 1/50 : 1/20 : 1/100 = 0.25 : 0.625 : 0.125 of the total.
+  const auto total = static_cast<double>(packets.size());
+  EXPECT_NEAR(counts[0] / total, 0.25, 0.03);
+  EXPECT_NEAR(counts[1] / total, 0.625, 0.03);
+  EXPECT_NEAR(counts[2] / total, 0.125, 0.03);
+}
+
+}  // namespace
+}  // namespace etrain::apps

@@ -1,0 +1,126 @@
+#include "apps/heartbeat_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/train_schedule.h"
+
+namespace etrain::apps {
+namespace {
+
+TEST(HeartbeatSpec, Table1Cycles) {
+  EXPECT_DOUBLE_EQ(wechat_spec().cycle, 270.0);
+  EXPECT_DOUBLE_EQ(whatsapp_spec().cycle, 240.0);
+  EXPECT_DOUBLE_EQ(qq_spec().cycle, 300.0);
+  EXPECT_DOUBLE_EQ(renren_spec().cycle, 300.0);
+  EXPECT_DOUBLE_EQ(netease_spec().cycle, 60.0);
+  EXPECT_DOUBLE_EQ(netease_spec().cycle_cap, 480.0);
+  EXPECT_DOUBLE_EQ(apns_spec().cycle, 1800.0);
+}
+
+TEST(HeartbeatSpec, MeasuredHeartbeatSizes) {
+  // Sec. VI-A: QQ 378 B, WeChat 74 B, WhatsApp 66 B.
+  EXPECT_EQ(qq_spec().heartbeat_bytes, 378);
+  EXPECT_EQ(wechat_spec().heartbeat_bytes, 74);
+  EXPECT_EQ(whatsapp_spec().heartbeat_bytes, 66);
+}
+
+TEST(HeartbeatSpec, FixedBeatTimesFollowEq5) {
+  const auto spec = wechat_spec();
+  // t_s(h_{i,j}) = t_s(h_{i,0}) + cycle_i * j.
+  EXPECT_DOUBLE_EQ(spec.beat_time(0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(spec.beat_time(1, 100.0), 370.0);
+  EXPECT_DOUBLE_EQ(spec.beat_time(10, 100.0), 100.0 + 2700.0);
+}
+
+TEST(HeartbeatSpec, NegativeIndexThrows) {
+  EXPECT_THROW(qq_spec().beat_time(-1, 0.0), std::invalid_argument);
+}
+
+TEST(HeartbeatSpec, DoublingCycleProgression) {
+  // NetEase: initial 60 s, doubles after every 6 heartbeats, caps at 480 s
+  // (Sec. II-B / Fig. 3(d)).
+  const auto spec = netease_spec();
+  for (int j = 1; j <= 6; ++j) {
+    EXPECT_DOUBLE_EQ(spec.cycle_before_beat(j), 60.0) << "beat " << j;
+  }
+  for (int j = 7; j <= 12; ++j) {
+    EXPECT_DOUBLE_EQ(spec.cycle_before_beat(j), 120.0) << "beat " << j;
+  }
+  for (int j = 13; j <= 18; ++j) {
+    EXPECT_DOUBLE_EQ(spec.cycle_before_beat(j), 240.0) << "beat " << j;
+  }
+  for (int j = 19; j <= 40; ++j) {
+    EXPECT_DOUBLE_EQ(spec.cycle_before_beat(j), 480.0) << "beat " << j;
+  }
+}
+
+TEST(HeartbeatSpec, DoublingBeatTimesAccumulate) {
+  const auto spec = netease_spec();
+  EXPECT_DOUBLE_EQ(spec.beat_time(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.beat_time(6, 0.0), 360.0);        // six 60 s gaps
+  EXPECT_DOUBLE_EQ(spec.beat_time(12, 0.0), 360.0 + 720.0);
+}
+
+TEST(HeartbeatSpec, DeparturesWithinHorizon) {
+  const auto spec = qq_spec();  // 300 s cycle
+  const auto times = spec.departures(0.0, 3600.0);
+  ASSERT_EQ(times.size(), 12u);  // 0, 300, ..., 3300
+  EXPECT_DOUBLE_EQ(times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(times.back(), 3300.0);
+}
+
+TEST(HeartbeatSpec, DeparturesRespectFirstBeatOffset) {
+  const auto spec = qq_spec();
+  const auto times = spec.departures(100.0, 700.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 100.0);
+  EXPECT_DOUBLE_EQ(times[1], 400.0);
+}
+
+TEST(HeartbeatSpec, AggregateRateRoughlyOncePerMinute) {
+  // Fig. 1(b): with the three IM apps running, heartbeats are "frequent,
+  // once a minute on average" — our catalog gives one per ~89 s, the same
+  // order of magnitude.
+  const auto events = build_train_schedule(default_train_specs(), 3600.0);
+  EXPECT_GE(events.size(), 40u);
+  EXPECT_LE(events.size(), 70u);
+}
+
+TEST(TrainSchedule, MergedAndSorted) {
+  const auto events =
+      build_train_schedule(default_train_specs(), {0.0, 5.0, 10.0}, 1000.0);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  // First three beats: QQ@0, WeChat@5, WhatsApp@10.
+  EXPECT_EQ(events[0].train, 0);
+  EXPECT_DOUBLE_EQ(events[0].time, 0.0);
+  EXPECT_EQ(events[0].bytes, 378);
+  EXPECT_EQ(events[1].train, 1);
+  EXPECT_EQ(events[2].train, 2);
+}
+
+TEST(TrainSchedule, SizeMismatchThrows) {
+  EXPECT_THROW(build_train_schedule(default_train_specs(), {0.0}, 100.0),
+               std::invalid_argument);
+}
+
+TEST(TrainSchedule, DepartureTimesDeduplicated) {
+  // Two trains with identical cycles and offsets produce coincident beats;
+  // departure_times collapses them.
+  const std::vector<HeartbeatSpec> specs{qq_spec(), qq_spec()};
+  const auto events = build_train_schedule(specs, {0.0, 0.0}, 1000.0);
+  EXPECT_EQ(events.size(), 8u);  // 2 apps x 4 beats
+  const auto times = departure_times(events);
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(TrainSchedule, EmptySpecListYieldsEmptySchedule) {
+  const auto events = build_train_schedule({}, 1000.0);
+  EXPECT_TRUE(events.empty());
+  EXPECT_TRUE(departure_times(events).empty());
+}
+
+}  // namespace
+}  // namespace etrain::apps

@@ -1,0 +1,144 @@
+#include "apps/user_trace.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace etrain::apps {
+namespace {
+
+TEST(UserTrace, BehaviorStringRoundTrip) {
+  for (const auto b : {BehaviorType::kUpload, BehaviorType::kRefresh,
+                       BehaviorType::kBrowse}) {
+    EXPECT_EQ(behavior_from_string(to_string(b)), b);
+  }
+  EXPECT_THROW(behavior_from_string("teleport"), std::invalid_argument);
+}
+
+TEST(UserTrace, ClassificationThresholds) {
+  // Paper: active > 20 uploads per app use, moderate 10..20, inactive < 10.
+  const auto with_uploads = [](int n) {
+    UserTrace t;
+    for (int i = 0; i < n; ++i) {
+      t.events.push_back(
+          UserEvent{0, BehaviorType::kUpload, i * 1.0, 1000});
+    }
+    return t;
+  };
+  EXPECT_EQ(with_uploads(25).classify(), Activeness::kActive);
+  EXPECT_EQ(with_uploads(21).classify(), Activeness::kActive);
+  EXPECT_EQ(with_uploads(20).classify(), Activeness::kModerate);
+  EXPECT_EQ(with_uploads(10).classify(), Activeness::kModerate);
+  EXPECT_EQ(with_uploads(9).classify(), Activeness::kInactive);
+  EXPECT_EQ(with_uploads(0).classify(), Activeness::kInactive);
+}
+
+TEST(UserTrace, UploadCountIgnoresInteractiveEvents) {
+  UserTrace t;
+  t.events.push_back(UserEvent{0, BehaviorType::kUpload, 0.0, 100});
+  t.events.push_back(UserEvent{0, BehaviorType::kRefresh, 1.0, 100});
+  t.events.push_back(UserEvent{0, BehaviorType::kBrowse, 2.0, 100});
+  EXPECT_EQ(t.upload_count(), 1u);
+}
+
+TEST(UserTrace, TruncateAtTenMinutes) {
+  UserTrace t;
+  t.events.push_back(UserEvent{0, BehaviorType::kUpload, 100.0, 100});
+  t.events.push_back(UserEvent{0, BehaviorType::kUpload, 700.0, 100});
+  t.truncate();
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.events[0].time, 100.0);
+}
+
+TEST(SynthesizeTrace, MatchesRequestedClass) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(synthesize_trace(Activeness::kActive, i, rng).classify(),
+              Activeness::kActive);
+    EXPECT_EQ(synthesize_trace(Activeness::kModerate, i, rng).classify(),
+              Activeness::kModerate);
+    EXPECT_EQ(synthesize_trace(Activeness::kInactive, i, rng).classify(),
+              Activeness::kInactive);
+  }
+}
+
+TEST(SynthesizeTrace, SessionLengthFiveToTenMinutes) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const auto t = synthesize_trace(Activeness::kActive, i, rng);
+    EXPECT_GT(t.length(), 0.0);
+    EXPECT_LE(t.length(), 600.0 + 1.0);
+  }
+}
+
+TEST(SynthesizeTrace, EventsSortedAndMixed) {
+  Rng rng(3);
+  const auto t = synthesize_trace(Activeness::kActive, 7, rng);
+  bool has_interactive = false;
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(t.events[i].time, t.events[i - 1].time);
+    }
+    EXPECT_EQ(t.events[i].user_id, 7);
+    EXPECT_GT(t.events[i].bytes, 0);
+    if (t.events[i].behavior != BehaviorType::kUpload) has_interactive = true;
+  }
+  EXPECT_TRUE(has_interactive);
+}
+
+TEST(SynthesizePopulation, ThreeClassesTimesCount) {
+  Rng rng(4);
+  const auto traces = synthesize_population(5, rng);
+  ASSERT_EQ(traces.size(), 15u);
+  int counts[3] = {0, 0, 0};
+  for (const auto& t : traces) {
+    counts[static_cast<int>(t.classify())]++;
+  }
+  EXPECT_EQ(counts[static_cast<int>(Activeness::kActive)], 5);
+  EXPECT_EQ(counts[static_cast<int>(Activeness::kModerate)], 5);
+  EXPECT_EQ(counts[static_cast<int>(Activeness::kInactive)], 5);
+  // Distinct user ids.
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_NE(traces[i].user_id, traces[0].user_id);
+  }
+}
+
+TEST(UserTrace, CsvRoundTrip) {
+  Rng rng(5);
+  const auto original = synthesize_population(2, rng);
+  const auto dir = std::filesystem::temp_directory_path() / "etrain_traces";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "traces.csv").string();
+  save_traces_csv(original, path);
+  const auto loaded = load_traces_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  std::size_t orig_events = 0, loaded_events = 0;
+  for (const auto& t : original) orig_events += t.events.size();
+  for (const auto& t : loaded) loaded_events += t.events.size();
+  EXPECT_EQ(orig_events, loaded_events);
+  for (const auto& t : loaded) {
+    for (std::size_t i = 1; i < t.events.size(); ++i) {
+      EXPECT_GE(t.events[i].time, t.events[i - 1].time);
+    }
+  }
+}
+
+TEST(ReplayUploads, ConvertsOnlyUploadsWithOffset) {
+  UserTrace t;
+  t.user_id = 3;
+  t.events.push_back(UserEvent{3, BehaviorType::kUpload, 10.0, 2000});
+  t.events.push_back(UserEvent{3, BehaviorType::kRefresh, 20.0, 9999});
+  t.events.push_back(UserEvent{3, BehaviorType::kUpload, 30.0, 4000});
+  const auto packets = replay_uploads(t, 1, 1000.0, 30.0, 77);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[0].id, 77);
+  EXPECT_EQ(packets[1].id, 78);
+  EXPECT_DOUBLE_EQ(packets[0].arrival, 1010.0);
+  EXPECT_DOUBLE_EQ(packets[1].arrival, 1030.0);
+  EXPECT_EQ(packets[0].bytes, 2000);
+  EXPECT_EQ(packets[0].app, 1);
+  EXPECT_DOUBLE_EQ(packets[0].deadline, 30.0);
+}
+
+}  // namespace
+}  // namespace etrain::apps

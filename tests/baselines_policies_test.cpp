@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+
+namespace etrain::baselines {
+namespace {
+
+using core::CargoAppId;
+using core::PacketId;
+using core::QueuedPacket;
+using core::SlotContext;
+using core::WaitingQueues;
+
+QueuedPacket make(PacketId id, CargoAppId app, TimePoint arrival,
+                  Duration deadline, Bytes bytes = 1000) {
+  core::Packet p;
+  p.id = id;
+  p.app = app;
+  p.arrival = arrival;
+  p.deadline = deadline;
+  p.bytes = bytes;
+  return QueuedPacket{p, &core::weibo_cost_profile()};
+}
+
+SlotContext slot(TimePoint t, Duration len = 1.0, double bw_est = 100e3,
+                 double bw_avg = 100e3) {
+  SlotContext ctx;
+  ctx.slot_start = t;
+  ctx.slot_length = len;
+  ctx.bandwidth_estimate = bw_est;
+  ctx.bandwidth_long_term = bw_avg;
+  return ctx;
+}
+
+// --- Baseline ---
+
+TEST(BaselinePolicy, SelectsEverythingImmediately) {
+  BaselinePolicy p;
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0));
+  q.enqueue(make(2, 1, 0.0, 60.0));
+  EXPECT_EQ(p.select(slot(1.0), q).size(), 2u);
+  EXPECT_EQ(p.name(), "Baseline");
+}
+
+TEST(BaselinePolicy, EmptyIsEmpty) {
+  BaselinePolicy p;
+  WaitingQueues q(1);
+  EXPECT_TRUE(p.select(slot(1.0), q).empty());
+}
+
+// --- eTime ---
+
+TEST(ETimePolicy, Uses60SecondSlots) {
+  ETimePolicy p(ETimeConfig{});
+  EXPECT_DOUBLE_EQ(p.preferred_slot_length(), 60.0);
+}
+
+TEST(ETimePolicy, RejectsInvalidConfig) {
+  EXPECT_THROW(ETimePolicy({.v = -1.0}), std::invalid_argument);
+  EXPECT_THROW(ETimePolicy({.v = 1.0, .slot_length = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ETimePolicy, WaitsOnPoorChannelSmallBacklog) {
+  ETimePolicy p({.v = 2.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, 2000));  // 0.1 backlog units
+  // Fresh packet, channel at half the average: score << V.
+  EXPECT_TRUE(p.select(slot(0.0, 60.0, 50e3, 100e3), q).empty());
+}
+
+TEST(ETimePolicy, FiresOnGoodChannel) {
+  ETimePolicy p({.v = 1.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, 40000));  // 2.0 backlog units
+  // Channel at 1.5x average: 2.0 * 1.5 >= 1.0.
+  EXPECT_EQ(p.select(slot(0.0, 60.0, 150e3, 100e3), q).size(), 1u);
+}
+
+TEST(ETimePolicy, AgedBacklogForcesTransmissionDespitePoorChannel) {
+  ETimePolicy p({.v = 2.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, 2000));
+  // 10 slots (600 s) of queueing age: age term alone = 10 units; even a
+  // 25%-of-average channel clears V = 2.
+  EXPECT_EQ(p.select(slot(600.0, 60.0, 25e3, 100e3), q).size(), 1u);
+}
+
+TEST(ETimePolicy, DecidesPerAppIndependently) {
+  ETimePolicy p({.v = 1.0});
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0, 100000));  // 5 units -> fires
+  q.enqueue(make(2, 1, 0.0, 60.0, 1000));    // 0.05 units -> waits
+  const auto sel = p.select(slot(0.0, 60.0, 100e3, 100e3), q);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].app, 0);
+}
+
+TEST(ETimePolicy, FlushesWholeQueueWhenItFires) {
+  ETimePolicy p({.v = 0.5});
+  WaitingQueues q(1);
+  for (PacketId id = 0; id < 4; ++id) {
+    q.enqueue(make(id, 0, 0.0, 60.0, 30000));
+  }
+  EXPECT_EQ(p.select(slot(0.0, 60.0, 120e3, 100e3), q).size(), 4u);
+}
+
+// --- PerES ---
+
+TEST(PerESPolicy, RejectsInvalidConfig) {
+  EXPECT_THROW(PerESPolicy({.omega = -1.0}), std::invalid_argument);
+  EXPECT_THROW(PerESPolicy({.omega = 1.0, .gain = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(PerESPolicy, DynamicVConvergesTowardCostBound) {
+  PerESPolicy p({.omega = 1.0, .v_initial = 1.0, .gain = 0.1});
+  WaitingQueues q(1);
+  // Empty queues: realized cost 0 < omega, so V climbs (be patient).
+  const double v0 = p.v();
+  p.select(slot(0.0), q);
+  p.select(slot(1.0), q);
+  EXPECT_GT(p.v(), v0);
+
+  // Now a badly delayed packet: cost >> omega, V drops (drain).
+  q.enqueue(make(1, 0, 0.0, 60.0));
+  const double v_high = p.v();
+  p.select(slot(200.0), q);  // weibo cost saturates at 2 > omega
+  EXPECT_LT(p.v(), v_high);
+}
+
+TEST(PerESPolicy, ResetRestoresInitialV) {
+  PerESPolicy p({.omega = 1.0, .v_initial = 2.5, .gain = 0.1});
+  WaitingQueues q(1);
+  p.select(slot(0.0), q);
+  EXPECT_NE(p.v(), 2.5);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.v(), 2.5);
+}
+
+TEST(PerESPolicy, DrainsWhenCostTimesChannelClearsV) {
+  PerESPolicy p({.omega = 0.1, .v_initial = 0.2, .gain = 0.001});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0));
+  // Cost at t=30 is 0.5, channel 1.0 -> 0.5 >= ~0.2: fires.
+  EXPECT_EQ(p.select(slot(30.0), q).size(), 1u);
+}
+
+TEST(PerESPolicy, PerAppDecisions) {
+  PerESPolicy p({.omega = 0.1, .v_initial = 0.4, .gain = 1e-9});
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0));   // cost 0.5 at t=30 -> fires
+  q.enqueue(make(2, 1, 29.0, 60.0));  // cost ~0.02 -> waits
+  const auto sel = p.select(slot(30.0), q);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].app, 0);
+}
+
+// --- TailEnder ---
+
+TEST(TailEnderPolicy, WaitsUntilADeadlineIsImminent) {
+  TailEnderPolicy p({.guard = 1.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0));
+  EXPECT_TRUE(p.select(slot(10.0), q).empty());
+  // At t=58, deadline 60 falls within slot+guard: flush.
+  EXPECT_EQ(p.select(slot(58.5), q).size(), 1u);
+}
+
+TEST(TailEnderPolicy, OneImminentDeadlineDragsWholeBacklog) {
+  TailEnderPolicy p({.guard = 1.0});
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0));    // expires at 60
+  q.enqueue(make(2, 1, 50.0, 600.0));  // fresh, far deadline
+  const auto sel = p.select(slot(59.0), q);
+  EXPECT_EQ(sel.size(), 2u);  // aggregation is the whole point
+}
+
+TEST(TailEnderPolicy, NegativeGuardRejected) {
+  EXPECT_THROW(TailEnderPolicy({.guard = -0.5}), std::invalid_argument);
+}
+
+// --- Oracle ---
+
+TEST(OraclePolicy, RidesTheTrain) {
+  OraclePolicy p;
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 600.0));
+  auto ctx = slot(10.0);
+  ctx.heartbeat_now = true;
+  EXPECT_EQ(p.select(ctx, q).size(), 1u);
+}
+
+TEST(OraclePolicy, FlushesAtDeadlineWhenNoTrainComes) {
+  OraclePolicy p;
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0));
+  auto early = slot(30.0);
+  early.upcoming_heartbeats = {500.0};
+  EXPECT_TRUE(p.select(early, q).empty());
+  auto at_deadline = slot(59.5);
+  at_deadline.upcoming_heartbeats = {500.0};
+  EXPECT_EQ(p.select(at_deadline, q).size(), 1u);
+}
+
+}  // namespace
+}  // namespace etrain::baselines

@@ -1,0 +1,99 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace etrain {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "etrain_csv";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+};
+
+TEST_F(CsvTest, ParseSimpleLine) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[1], "b");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST_F(CsvTest, ParseTrimsWhitespace) {
+  const CsvRow row = parse_csv_line("  1 ,\t2.5 , text ");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "1");
+  EXPECT_EQ(row[1], "2.5");
+  EXPECT_EQ(row[2], "text");
+}
+
+TEST_F(CsvTest, ParseEmptyFields) {
+  const CsvRow row = parse_csv_line("a,,c,");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], "");
+  EXPECT_EQ(row[3], "");
+}
+
+TEST_F(CsvTest, ParseSingleField) {
+  const CsvRow row = parse_csv_line("lonely");
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], "lonely");
+}
+
+TEST_F(CsvTest, RoundTripThroughWriter) {
+  const std::string path = temp_path("roundtrip.csv");
+  {
+    CsvWriter w(path);
+    w.write_comment("a comment");
+    w.write_row({"time_s", "bytes_per_second"});
+    w.write_row({"0", "120000"});
+    w.write_row({"1", "95000.5"});
+  }
+  const auto rows = read_csv_file(path, /*skip_header=*/true);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "0");
+  EXPECT_EQ(rows[0][1], "120000");
+  EXPECT_EQ(rows[1][1], "95000.5");
+}
+
+TEST_F(CsvTest, HeaderKeptWhenNotSkipping) {
+  const std::string path = temp_path("header.csv");
+  {
+    CsvWriter w(path);
+    w.write_row({"h1", "h2"});
+    w.write_row({"1", "2"});
+  }
+  const auto rows = read_csv_file(path, /*skip_header=*/false);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "h1");
+}
+
+TEST_F(CsvTest, SkipsBlankAndCommentLines) {
+  const std::string path = temp_path("comments.csv");
+  {
+    std::ofstream out(path);
+    out << "# top comment\n\n  \nvalue,1\n# mid comment\nvalue,2\n";
+  }
+  const auto rows = read_csv_file(path, /*skip_header=*/false);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv", false),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,141 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace etrain {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanIsMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential_mean(20.0));
+  EXPECT_NEAR(s.mean(), 20.0, 0.3);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, NormalZeroStddevIsConstant) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.normal(4.2, 0.0), 4.2);
+}
+
+TEST(Rng, TruncatedNormalRespectsMinimum) {
+  // Paper workload: Weibo sizes mean 2 KB, min 100 B.
+  Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_GE(rng.truncated_normal(2000.0, 1000.0, 100.0), 100.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateParametersTerminate) {
+  // Mean far below the minimum: rejection sampling must not spin forever.
+  Rng rng(9);
+  const double v = rng.truncated_normal(-1e9, 1.0, 100.0);
+  EXPECT_GE(v, 100.0);
+}
+
+TEST(Rng, TruncatedNormalMeanRoughlyPreservedWhenTruncationMild) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(rng.truncated_normal(5000.0, 1000.0, 1000.0));
+  }
+  // Truncation at 4 sigma below the mean barely shifts it.
+  EXPECT_NEAR(s.mean(), 5000.0, 30.0);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(static_cast<double>(rng.poisson(4.0)));
+  }
+  EXPECT_NEAR(s.mean(), 4.0, 0.05);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(12);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ForkStreamsAreIndependentOfSiblingUse) {
+  // Forking both children first, then drawing, must equal drawing from the
+  // first child before forking the second with the same parent state.
+  Rng parent1(42), parent2(42);
+  [[maybe_unused]] Rng child_a1 = parent1.fork();
+  Rng child_b1 = parent1.fork();
+  Rng child_a2 = parent2.fork();
+  // Draw a lot from child_a2 — must not affect the next fork of parent2.
+  for (int i = 0; i < 1000; ++i) child_a2.uniform(0, 1);
+  Rng child_b2 = parent2.fork();
+  EXPECT_DOUBLE_EQ(child_b1.uniform(0, 1), child_b2.uniform(0, 1));
+}
+
+TEST(Rng, ForkedChildrenProduceDistinctStreams) {
+  Rng parent(42);
+  Rng a = parent.fork();
+  Rng b = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace etrain

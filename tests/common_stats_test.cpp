@@ -1,0 +1,138 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace etrain {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum of squared dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.01;
+    (i % 3 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Ewma, FirstSampleSetsValue) {
+  Ewma e(0.2);
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value_or(-1.0), -1.0);
+  e.add(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value_or(-1.0), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.add(3.0);
+  e.add(8.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 8.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Sorted: 1,2,3,4. p75 rank = 2.25 -> 3 + 0.25*(4-3) = 3.25.
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 75.0), 3.25);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 9.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.99);   // bucket 4
+  h.add(-3.0);   // clamped to bucket 0
+  h.add(100.0);  // clamped to bucket 4
+  h.add(5.0);    // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(Histogram, ModeMidpoint) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(42.0);
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.mode_midpoint(), 45.0);
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace etrain {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  // Row renders with empty cells rather than crashing.
+  EXPECT_NE(out.find("| only "), std::string::npos);
+}
+
+TEST(Table, ColumnWidthFollowsWidestCell) {
+  Table t({"x"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| wide-cell-content |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::integer(-7), "-7");
+}
+
+TEST(FormatTime, HmsRendering) {
+  EXPECT_EQ(format_time(0.0), "0:00:00.000");
+  EXPECT_EQ(format_time(3661.5), "1:01:01.500");
+  EXPECT_EQ(format_time(59.999), "0:00:59.999");
+}
+
+TEST(FormatTime, NegativeAndInfinite) {
+  EXPECT_EQ(format_time(-1.25), "-0:00:01.250");
+  EXPECT_EQ(format_time(kTimeInfinity), "+inf");
+}
+
+TEST(FormatJoules, TwoDecimals) {
+  EXPECT_EQ(format_joules(10.375), "10.38 J");
+  EXPECT_EQ(format_joules(0.0), "0.00 J");
+}
+
+TEST(UnitHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(milliwatts(700.0), 0.7);
+  EXPECT_EQ(kilobytes(5.0), 5000);
+}
+
+TEST(UnitHelpers, ApproxEqual) {
+  EXPECT_TRUE(time_approx_equal(1.0, 1.0));
+  EXPECT_TRUE(time_approx_equal(1.0, 1.0 + 5e-7));
+  EXPECT_FALSE(time_approx_equal(1.0, 1.001));
+  EXPECT_TRUE(time_approx_equal(100.0, 100.4, 0.5));
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,103 @@
+#include "core/cost_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::core {
+namespace {
+
+// Fig. 6 / Sec. VI-A "Profile functions".
+
+TEST(MailProfile, ZeroBeforeDeadline) {
+  const auto& f1 = mail_cost_profile();
+  EXPECT_DOUBLE_EQ(f1.cost(0.0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(f1.cost(30.0, 60.0), 0.0);
+  EXPECT_DOUBLE_EQ(f1.cost(60.0, 60.0), 0.0);
+}
+
+TEST(MailProfile, LinearAfterDeadline) {
+  const auto& f1 = mail_cost_profile();
+  // f1(d) = d/deadline - 1 for d >= deadline.
+  EXPECT_DOUBLE_EQ(f1.cost(90.0, 60.0), 0.5);
+  EXPECT_DOUBLE_EQ(f1.cost(120.0, 60.0), 1.0);
+  EXPECT_DOUBLE_EQ(f1.cost(180.0, 60.0), 2.0);
+}
+
+TEST(WeiboProfile, RampThenConstant) {
+  const auto& f2 = weibo_cost_profile();
+  // f2(d) = d/deadline below the deadline, 2 afterwards.
+  EXPECT_DOUBLE_EQ(f2.cost(0.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(f2.cost(15.0, 30.0), 0.5);
+  EXPECT_DOUBLE_EQ(f2.cost(30.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(f2.cost(31.0, 30.0), 2.0);
+  EXPECT_DOUBLE_EQ(f2.cost(1e6, 30.0), 2.0);
+}
+
+TEST(CloudProfile, RampThenSteeper) {
+  const auto& f3 = cloud_cost_profile();
+  // f3(d) = d/deadline below the deadline, 3*(d/deadline) - 2 afterwards.
+  EXPECT_DOUBLE_EQ(f3.cost(60.0, 120.0), 0.5);
+  EXPECT_DOUBLE_EQ(f3.cost(120.0, 120.0), 1.0);
+  EXPECT_DOUBLE_EQ(f3.cost(240.0, 120.0), 4.0);
+  EXPECT_DOUBLE_EQ(f3.cost(360.0, 120.0), 7.0);
+}
+
+TEST(CloudProfile, ContinuousAtDeadline) {
+  const auto& f3 = cloud_cost_profile();
+  EXPECT_NEAR(f3.cost(120.0 - 1e-9, 120.0), f3.cost(120.0 + 1e-9, 120.0),
+              1e-6);
+}
+
+TEST(Profiles, NegativeDelayIsFree) {
+  for (const CostProfile* p :
+       {static_cast<const CostProfile*>(&mail_cost_profile()),
+        static_cast<const CostProfile*>(&weibo_cost_profile()),
+        static_cast<const CostProfile*>(&cloud_cost_profile())}) {
+    EXPECT_DOUBLE_EQ(p->cost(-5.0, 60.0), 0.0) << p->name();
+  }
+}
+
+// Property: all shipped profiles are monotone nondecreasing in delay.
+class ProfileMonotonicity
+    : public ::testing::TestWithParam<const CostProfile*> {};
+
+TEST_P(ProfileMonotonicity, NondecreasingInDelay) {
+  const CostProfile* p = GetParam();
+  const double deadline = 60.0;
+  double prev = -1.0;
+  for (double d = -10.0; d <= 400.0; d += 2.5) {
+    const double c = p->cost(d, deadline);
+    EXPECT_GE(c, 0.0) << p->name() << " at d=" << d;
+    EXPECT_GE(c, prev - 1e-12) << p->name() << " at d=" << d;
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileMonotonicity,
+                         ::testing::Values(&mail_cost_profile(),
+                                           &weibo_cost_profile(),
+                                           &cloud_cost_profile()));
+
+// Property: cost scales with the deadline — the same relative lateness
+// produces the same cost for every deadline.
+class ProfileDeadlineScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProfileDeadlineScaling, RelativeLatenessInvariant) {
+  const double deadline = GetParam();
+  EXPECT_DOUBLE_EQ(weibo_cost_profile().cost(0.5 * deadline, deadline), 0.5);
+  EXPECT_DOUBLE_EQ(mail_cost_profile().cost(1.5 * deadline, deadline), 0.5);
+  EXPECT_DOUBLE_EQ(cloud_cost_profile().cost(2.0 * deadline, deadline), 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, ProfileDeadlineScaling,
+                         ::testing::Values(10.0, 30.0, 60.0, 120.0, 180.0,
+                                           600.0));
+
+TEST(ProfileRegistry, LookupByName) {
+  EXPECT_EQ(cost_profile_by_name("f1-mail"), &mail_cost_profile());
+  EXPECT_EQ(cost_profile_by_name("f2-weibo"), &weibo_cost_profile());
+  EXPECT_EQ(cost_profile_by_name("f3-cloud"), &cloud_cost_profile());
+  EXPECT_EQ(cost_profile_by_name("nonsense"), nullptr);
+}
+
+}  // namespace
+}  // namespace etrain::core

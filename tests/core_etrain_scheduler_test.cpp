@@ -1,0 +1,177 @@
+#include "core/etrain_scheduler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace etrain::core {
+namespace {
+
+QueuedPacket make(PacketId id, CargoAppId app, TimePoint arrival,
+                  Duration deadline, const CostProfile& profile) {
+  Packet p;
+  p.id = id;
+  p.app = app;
+  p.arrival = arrival;
+  p.deadline = deadline;
+  p.bytes = 1000;
+  return QueuedPacket{p, &profile};
+}
+
+SlotContext slot(TimePoint t, bool heartbeat,
+                 std::vector<TimePoint> upcoming = {}) {
+  SlotContext ctx;
+  ctx.slot_start = t;
+  ctx.slot_length = 1.0;
+  ctx.heartbeat_now = heartbeat;
+  ctx.upcoming_heartbeats = std::move(upcoming);
+  return ctx;
+}
+
+TEST(EtrainScheduler, RejectsInvalidConfig) {
+  EXPECT_THROW(EtrainScheduler({.theta = -1.0}), std::invalid_argument);
+  EXPECT_THROW(EtrainScheduler({.theta = 0.5, .k = 0}),
+               std::invalid_argument);
+}
+
+TEST(EtrainScheduler, EmptyQueuesSelectNothing) {
+  EtrainScheduler s({.theta = 0.0, .k = 20});
+  WaitingQueues q(2);
+  EXPECT_TRUE(s.select(slot(10.0, true), q).empty());
+}
+
+TEST(EtrainScheduler, GateClosedBelowThetaWithoutHeartbeat) {
+  EtrainScheduler s({.theta = 10.0, .k = 20, .drip_defer_window = 0.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  // Cost at t=30 is 0.5 < 10 and no train departs: nothing moves.
+  EXPECT_TRUE(s.select(slot(30.0, false), q).empty());
+}
+
+TEST(EtrainScheduler, HeartbeatFlushesEverythingUpToK) {
+  EtrainScheduler s({.theta = 1e9, .k = EtrainConfig::unlimited_k()});
+  WaitingQueues q(2);
+  for (PacketId id = 0; id < 6; ++id) {
+    q.enqueue(make(id, static_cast<CargoAppId>(id % 2), 0.0, 60.0,
+                   weibo_cost_profile()));
+  }
+  // Theta is astronomically high, yet a departing train opens the gate.
+  const auto sel = s.select(slot(10.0, true), q);
+  EXPECT_EQ(sel.size(), 6u);
+}
+
+TEST(EtrainScheduler, HeartbeatFlushIncludesZeroCostPackets) {
+  EtrainScheduler s({.theta = 0.5, .k = 20});
+  WaitingQueues q(1);
+  // Mail before its deadline has zero cost but still boards the train.
+  q.enqueue(make(1, 0, 0.0, 600.0, mail_cost_profile()));
+  const auto sel = s.select(slot(5.0, true), q);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].packet, 1);
+}
+
+TEST(EtrainScheduler, KLimitsHeartbeatBatch) {
+  EtrainScheduler s({.theta = 0.0, .k = 3});
+  WaitingQueues q(1);
+  for (PacketId id = 0; id < 10; ++id) {
+    q.enqueue(make(id, 0, 0.0, 60.0, weibo_cost_profile()));
+  }
+  EXPECT_EQ(s.select(slot(10.0, true), q).size(), 3u);
+}
+
+TEST(EtrainScheduler, ReliefValveSendsOnePacketPerSlot) {
+  EtrainScheduler s({.theta = 0.1, .k = 20, .drip_defer_window = 0.0});
+  WaitingQueues q(1);
+  for (PacketId id = 0; id < 5; ++id) {
+    q.enqueue(make(id, 0, 0.0, 60.0, weibo_cost_profile()));
+  }
+  // t=30: each packet costs 0.5, P = 2.5 >= 0.1, no heartbeat -> K = 1.
+  EXPECT_EQ(s.select(slot(30.0, false), q).size(), 1u);
+}
+
+TEST(EtrainScheduler, ReliefValveSkipsZeroCostPackets) {
+  EtrainScheduler s({.theta = 0.0, .k = 20, .drip_defer_window = 0.0});
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 600.0, mail_cost_profile()));   // cost 0
+  q.enqueue(make(2, 1, 0.0, 60.0, weibo_cost_profile()));   // cost > 0
+  const auto sel = s.select(slot(30.0, false), q);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].packet, 2);  // the mail packet keeps waiting for a train
+}
+
+TEST(EtrainScheduler, DripDeferredWhenTrainImminent) {
+  EtrainScheduler s({.theta = 0.1, .k = 20, .drip_defer_window = 60.0});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  // Cost gate open (P = 0.5 >= 0.1) but a train departs in 30 s: hold.
+  EXPECT_TRUE(s.select(slot(30.0, false, {60.0}), q).empty());
+  // Train 90 s away (beyond the 60 s window): the relief valve fires.
+  EXPECT_EQ(s.select(slot(30.0, false, {120.0}), q).size(), 1u);
+  // No prediction available: fires too (no train to wait for).
+  EXPECT_EQ(s.select(slot(30.0, false, {}), q).size(), 1u);
+}
+
+TEST(EtrainScheduler, GreedyPrefersHighestMarginalGain) {
+  EtrainScheduler s({.theta = 0.0, .k = 1});
+  WaitingQueues q(2);
+  // App 0: one packet at cost ~0.99 (older). App 1: one at ~0.16.
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));   // delay 59
+  q.enqueue(make(2, 1, 49.0, 60.0, weibo_cost_profile()));  // delay 10
+  const auto sel = s.select(slot(59.0, true), q);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].app, 0);
+  EXPECT_EQ(sel[0].packet, 1);
+}
+
+TEST(EtrainScheduler, GreedyOrderingWithinApp) {
+  // Within one app, Eq. (9)'s marginal gain (remaining - selected)*phi -
+  // phi^2/2 picks the largest phi first.
+  EtrainScheduler s({.theta = 0.0, .k = 2});
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 30.0, 60.0, weibo_cost_profile()));  // phi ~ 0.5
+  q.enqueue(make(2, 0, 0.0, 60.0, weibo_cost_profile()));   // phi ~ 1.0
+  q.enqueue(make(3, 0, 54.0, 60.0, weibo_cost_profile()));  // phi ~ 0.1
+  const auto sel = s.select(slot(60.0, true), q);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0].packet, 2);
+  EXPECT_EQ(sel[1].packet, 1);
+}
+
+TEST(EtrainScheduler, NeverSelectsSamePacketTwice) {
+  EtrainScheduler s({.theta = 0.0, .k = EtrainConfig::unlimited_k()});
+  WaitingQueues q(3);
+  for (PacketId id = 0; id < 30; ++id) {
+    q.enqueue(make(id, static_cast<CargoAppId>(id % 3), id * 1.0, 60.0,
+                   weibo_cost_profile()));
+  }
+  const auto sel = s.select(slot(100.0, true), q);
+  EXPECT_EQ(sel.size(), 30u);
+  std::set<PacketId> ids;
+  for (const auto& x : sel) ids.insert(x.packet);
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+// Property sweep: the number of selections never exceeds K(t) and all
+// selected packets exist in the queues.
+class SchedulerSelectionBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSelectionBound, RespectsK) {
+  const int k = GetParam();
+  EtrainScheduler s({.theta = 0.0, .k = static_cast<std::size_t>(k)});
+  WaitingQueues q(2);
+  for (PacketId id = 0; id < 25; ++id) {
+    q.enqueue(make(id, static_cast<CargoAppId>(id % 2), 0.0, 60.0,
+                   weibo_cost_profile()));
+  }
+  const auto on_train = s.select(slot(30.0, true), q);
+  EXPECT_LE(on_train.size(), static_cast<std::size_t>(k));
+  for (const auto& sel : on_train) {
+    EXPECT_NO_THROW(q.remove(sel.app, sel.packet));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SchedulerSelectionBound,
+                         ::testing::Values(1, 2, 3, 5, 10, 24, 25, 100));
+
+}  // namespace
+}  // namespace etrain::core

@@ -1,0 +1,166 @@
+#include "core/offline_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace etrain::core {
+namespace {
+
+QueuedPacket make(PacketId id, TimePoint arrival, Duration deadline,
+                  const CostProfile& profile = weibo_cost_profile(),
+                  Bytes bytes = 1000) {
+  Packet p;
+  p.id = id;
+  p.app = 0;
+  p.arrival = arrival;
+  p.deadline = deadline;
+  p.bytes = bytes;
+  return QueuedPacket{p, &profile};
+}
+
+OfflineProblem base_problem() {
+  OfflineProblem problem;
+  problem.heartbeat_times = {0.0, 300.0, 600.0, 900.0};
+  problem.horizon = 1200.0;
+  problem.model = radio::PowerModel::PaperUmts3G();
+  return problem;
+}
+
+TEST(OfflineSolver, CandidateGridContainsArrivalTrainsDeadline) {
+  const auto problem = base_problem();
+  const auto packet = make(0, 250.0, 400.0);  // window [250, 650]
+  const auto candidates = candidate_departures(problem, packet);
+  // arrival 250, trains 300 and 600, expiry 650.
+  ASSERT_EQ(candidates.size(), 4u);
+  EXPECT_DOUBLE_EQ(candidates[0], 250.0);
+  EXPECT_DOUBLE_EQ(candidates[1], 300.0);
+  EXPECT_DOUBLE_EQ(candidates[2], 600.0);
+  EXPECT_DOUBLE_EQ(candidates[3], 650.0);
+}
+
+TEST(OfflineSolver, EvaluateRejectsCausalityViolations) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 100.0, 60.0)};
+  EXPECT_THROW(evaluate_offline_schedule(problem, {50.0}),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_offline_schedule(problem, {}),
+               std::invalid_argument);
+}
+
+TEST(OfflineSolver, EmptyInstanceIsHeartbeatsOnly) {
+  const auto problem = base_problem();
+  const auto solution = solve_offline_exact(problem);
+  EXPECT_TRUE(solution.optimal);
+  // Four isolated heartbeats pay four full tails.
+  EXPECT_NEAR(solution.tail_energy,
+              4.0 * problem.model.full_tail_energy(), 1e-9);
+  EXPECT_DOUBLE_EQ(solution.total_delay_cost, 0.0);
+}
+
+TEST(OfflineSolver, SinglePacketRidesTheNextTrain) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 250.0, 120.0)};  // train at 300 is in window
+  const auto solution = solve_offline_exact(problem);
+  ASSERT_EQ(solution.departures.size(), 1u);
+  EXPECT_DOUBLE_EQ(solution.departures[0], 300.0);
+  // Riding the train adds no tail beyond the heartbeats' own.
+  EXPECT_NEAR(solution.tail_energy,
+              4.0 * problem.model.full_tail_energy(), 1e-6);
+}
+
+TEST(OfflineSolver, NoTrainInWindowDepartsAtDeadline) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 310.0, 60.0)};  // window [310, 370]: no train
+  const auto solution = solve_offline_exact(problem);
+  // All candidates pay one extra tail; the optimum is any of them. The
+  // solver must stay within the window.
+  EXPECT_GE(solution.departures[0], 310.0);
+  EXPECT_LE(solution.departures[0], 370.0);
+  // One extra (possibly truncated) tail beyond the heartbeats'.
+  EXPECT_GT(solution.tail_energy, 4.0 * problem.model.full_tail_energy());
+}
+
+TEST(OfflineSolver, TwoPacketsAggregateOnOneTrain) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 220.0, 120.0), make(1, 260.0, 120.0)};
+  const auto solution = solve_offline_exact(problem);
+  EXPECT_DOUBLE_EQ(solution.departures[0], 300.0);
+  EXPECT_DOUBLE_EQ(solution.departures[1], 300.0);
+  EXPECT_NEAR(solution.tail_energy,
+              4.0 * problem.model.full_tail_energy(), 1e-6);
+}
+
+TEST(OfflineSolver, TightBudgetForcesEarlierDepartures) {
+  auto problem = base_problem();
+  // Weibo profile: waiting until the train at 300 costs (300-250)/120 each.
+  problem.packets = {make(0, 250.0, 120.0), make(1, 255.0, 120.0)};
+  const auto relaxed = solve_offline_exact(problem);
+  EXPECT_DOUBLE_EQ(relaxed.departures[0], 300.0);
+
+  problem.delay_cost_budget = 0.1;  // cannot afford the wait
+  const auto tight = solve_offline_exact(problem);
+  EXPECT_LE(tight.total_delay_cost, 0.1 + 1e-9);
+  EXPECT_LT(tight.departures[0], 300.0);
+  // Energy must be no better than the relaxed optimum.
+  EXPECT_GE(tight.tail_energy, relaxed.tail_energy - 1e-9);
+}
+
+TEST(OfflineSolver, InfeasibleBudgetThrows) {
+  auto problem = base_problem();
+  // Mail profile is 0 within the deadline, so cost 0 is achievable; use a
+  // packet whose cheapest candidate still has positive cost: arrival after
+  // every train with the weibo ramp means waiting even 0 s costs 0 — so
+  // build infeasibility via a negative budget instead.
+  problem.packets = {make(0, 100.0, 60.0)};
+  problem.delay_cost_budget = -1.0;
+  EXPECT_THROW(solve_offline_exact(problem), std::runtime_error);
+}
+
+TEST(OfflineSolver, GreedyMatchesExactOnEasyInstances) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 100.0, 250.0), make(1, 400.0, 250.0),
+                     make(2, 700.0, 250.0)};
+  const auto exact = solve_offline_exact(problem);
+  const auto greedy = solve_offline_greedy(problem);
+  EXPECT_NEAR(greedy.tail_energy, exact.tail_energy, 1e-6);
+  EXPECT_FALSE(greedy.optimal);
+  EXPECT_TRUE(exact.optimal);
+}
+
+TEST(OfflineSolver, GreedyNeverBeatsExact) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto problem = base_problem();
+    const int n = 1 + trial % 5;
+    for (int i = 0; i < n; ++i) {
+      problem.packets.push_back(make(i, rng.uniform(0.0, 900.0),
+                                     rng.uniform(30.0, 300.0)));
+    }
+    const auto exact = solve_offline_exact(problem);
+    const auto greedy = solve_offline_greedy(problem);
+    EXPECT_GE(greedy.tail_energy, exact.tail_energy - 1e-6) << trial;
+  }
+}
+
+TEST(OfflineSolver, OversizedInstanceRejected) {
+  auto problem = base_problem();
+  problem.heartbeat_times.clear();
+  for (int i = 0; i < 40; ++i) {
+    problem.heartbeat_times.push_back(i * 30.0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    problem.packets.push_back(make(i, 0.0, 1200.0));
+  }
+  EXPECT_THROW(solve_offline_exact(problem, 10'000), std::invalid_argument);
+}
+
+TEST(OfflineSolver, ExactReportsSearchEffort) {
+  auto problem = base_problem();
+  problem.packets = {make(0, 100.0, 300.0), make(1, 200.0, 300.0)};
+  const auto solution = solve_offline_exact(problem);
+  EXPECT_GT(solution.nodes_explored, 2u);
+}
+
+}  // namespace
+}  // namespace etrain::core

@@ -1,0 +1,106 @@
+#include "core/queues.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::core {
+namespace {
+
+QueuedPacket make(PacketId id, CargoAppId app, TimePoint arrival,
+                  Duration deadline, const CostProfile& profile,
+                  Bytes bytes = 1000) {
+  Packet p;
+  p.id = id;
+  p.app = app;
+  p.arrival = arrival;
+  p.deadline = deadline;
+  p.bytes = bytes;
+  return QueuedPacket{p, &profile};
+}
+
+TEST(WaitingQueues, StartsEmpty) {
+  WaitingQueues q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_size(), 0u);
+  EXPECT_EQ(q.app_count(), 3);
+  EXPECT_DOUBLE_EQ(q.instantaneous_cost(100.0), 0.0);
+}
+
+TEST(WaitingQueues, EnqueueAndSizeAccounting) {
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile(), 500));
+  q.enqueue(make(2, 1, 0.0, 60.0, weibo_cost_profile(), 700));
+  q.enqueue(make(3, 1, 0.0, 60.0, weibo_cost_profile(), 300));
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.total_size(), 3u);
+  EXPECT_EQ(q.total_bytes(), 1500);
+  EXPECT_EQ(q.queue(0).size(), 1u);
+  EXPECT_EQ(q.queue(1).size(), 2u);
+}
+
+TEST(WaitingQueues, RejectsBadEnqueue) {
+  WaitingQueues q(1);
+  EXPECT_THROW(q.enqueue(make(1, 5, 0.0, 60.0, weibo_cost_profile())),
+               std::invalid_argument);
+  Packet p;
+  p.app = 0;
+  EXPECT_THROW(q.enqueue(QueuedPacket{p, nullptr}), std::invalid_argument);
+}
+
+TEST(WaitingQueues, InstantaneousCostSumsProfiles) {
+  WaitingQueues q(2);
+  // Weibo f2 at delay 30/60 -> 0.5; cloud f3 at delay 30/120 -> 0.25.
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  q.enqueue(make(2, 1, 0.0, 120.0, cloud_cost_profile()));
+  EXPECT_DOUBLE_EQ(q.app_cost(0, 30.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.app_cost(1, 30.0), 0.25);
+  EXPECT_DOUBLE_EQ(q.instantaneous_cost(30.0), 0.75);
+}
+
+TEST(WaitingQueues, SpeculativeCostUsesNextSlot) {
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 10.0, 60.0, weibo_cost_profile()));
+  // At t=40 the cost is 30/60 = 0.5; speculative (next slot at 41) = 31/60.
+  EXPECT_DOUBLE_EQ(q.app_cost(0, 40.0), 0.5);
+  EXPECT_NEAR(q.app_speculative_cost(0, 41.0), 31.0 / 60.0, 1e-12);
+}
+
+TEST(WaitingQueues, RemoveSpecificPacket) {
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  q.enqueue(make(2, 0, 5.0, 60.0, weibo_cost_profile()));
+  const QueuedPacket removed = q.remove(0, 1);
+  EXPECT_EQ(removed.packet.id, 1);
+  EXPECT_EQ(q.total_size(), 1u);
+  EXPECT_EQ(q.queue(0).front().packet.id, 2);
+}
+
+TEST(WaitingQueues, RemoveMissingThrows) {
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  EXPECT_THROW(q.remove(0, 99), std::invalid_argument);
+  q.remove(0, 1);
+  EXPECT_THROW(q.remove(0, 1), std::invalid_argument);  // already removed
+}
+
+TEST(WaitingQueues, DrainAllEmptiesEverything) {
+  WaitingQueues q(3);
+  for (PacketId id = 0; id < 9; ++id) {
+    q.enqueue(make(id, static_cast<CargoAppId>(id % 3), 0.0, 60.0,
+                   weibo_cost_profile()));
+  }
+  const auto drained = q.drain_all();
+  EXPECT_EQ(drained.size(), 9u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitingQueues, OldestArrival) {
+  WaitingQueues q(2);
+  EXPECT_EQ(q.oldest_arrival(0), kTimeInfinity);
+  q.enqueue(make(1, 0, 50.0, 60.0, weibo_cost_profile()));
+  q.enqueue(make(2, 0, 20.0, 60.0, weibo_cost_profile()));
+  EXPECT_DOUBLE_EQ(q.oldest_arrival(0), 20.0);
+  EXPECT_EQ(q.oldest_arrival(1), kTimeInfinity);
+}
+
+}  // namespace
+}  // namespace etrain::core

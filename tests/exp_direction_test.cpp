@@ -1,0 +1,147 @@
+// Tests for the download/prefetch path: Direction::kDownlink cargo rides
+// the downlink bandwidth end to end.
+#include <gtest/gtest.h>
+
+#include "apps/cargo_app.h"
+#include "core/etrain_scheduler.h"
+#include "baselines/baseline_policy.h"
+#include "exp/slotted_sim.h"
+#include "net/radio_link.h"
+#include "radio/energy_meter.h"
+
+namespace etrain::experiments {
+namespace {
+
+TEST(Direction, DefaultIsUplink) {
+  core::Packet p;
+  EXPECT_EQ(p.direction, core::Direction::kUplink);
+}
+
+TEST(Direction, GeneratorMixesDirectionsPerFraction) {
+  auto spec = apps::weibo_spec();
+  spec.download_fraction = 0.5;
+  Rng rng(5);
+  const auto packets = apps::generate_arrivals(spec, 0, 200000.0, rng);
+  std::size_t downloads = 0;
+  for (const auto& p : packets) {
+    if (p.direction == core::Direction::kDownlink) ++downloads;
+  }
+  const double fraction =
+      static_cast<double>(downloads) / static_cast<double>(packets.size());
+  EXPECT_NEAR(fraction, 0.5, 0.03);
+}
+
+TEST(Direction, ZeroFractionIsAllUplink) {
+  Rng rng(6);
+  const auto packets =
+      apps::generate_arrivals(apps::mail_spec(), 0, 50000.0, rng);
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.direction, core::Direction::kUplink);
+  }
+}
+
+TEST(Direction, SlottedSimUsesDownlinkBandwidth) {
+  Scenario s;
+  s.horizon = 100.0;
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::BandwidthTrace::constant(1000.0, 10);
+  s.downlink_trace = net::BandwidthTrace::constant(10000.0, 10);
+  s.profiles = {&core::weibo_cost_profile()};
+
+  core::Packet up;
+  up.id = 0;
+  up.app = 0;
+  up.arrival = 10.0;
+  up.bytes = 10000;
+  up.deadline = 60.0;
+  core::Packet down = up;
+  down.id = 1;
+  down.arrival = 50.0;
+  down.direction = core::Direction::kDownlink;
+  s.packets = {up, down};
+
+  baselines::BaselinePolicy policy;
+  const auto m = run_slotted(s, policy);
+  ASSERT_EQ(m.log.count(radio::TxKind::kData), 2u);
+  // Uplink: 10000 B at 1000 B/s = 10 s. Downlink: at 10000 B/s = 1 s.
+  const auto& entries = m.log.entries();
+  EXPECT_NEAR(entries[0].duration, 10.0, 1e-9);
+  EXPECT_NEAR(entries[1].duration, 1.0, 1e-9);
+}
+
+TEST(Direction, MakeScenarioBuildsTripleRateDownlink) {
+  ScenarioConfig cfg;
+  cfg.horizon = 600.0;
+  const Scenario s = make_scenario(cfg);
+  ASSERT_EQ(s.downlink_trace.samples().size(), s.trace.samples().size());
+  for (std::size_t i = 0; i < s.trace.samples().size(); ++i) {
+    EXPECT_NEAR(s.downlink_trace.samples()[i], 3.0 * s.trace.samples()[i],
+                1e-9);
+  }
+}
+
+TEST(Direction, RadioLinkRoutesDownloads) {
+  sim::Simulator simulator;
+  const auto model = radio::PowerModel::PaperUmts3G();
+  const auto up = net::BandwidthTrace::constant(1000.0, 10);
+  const auto down = net::BandwidthTrace::constant(5000.0, 10);
+  net::RadioLink link(simulator, model, up, &down);
+  simulator.schedule_at(0.0, [&] {
+    link.submit({.bytes = 5000, .kind = radio::TxKind::kData,
+                 .direction = core::Direction::kDownlink});
+    link.submit({.bytes = 5000, .kind = radio::TxKind::kData,
+                 .direction = core::Direction::kUplink});
+  });
+  simulator.run_until(100.0);
+  ASSERT_EQ(link.log().size(), 2u);
+  EXPECT_NEAR(link.log()[0].duration, 1.0, 1e-9);  // 5000 B at 5000 B/s
+  EXPECT_NEAR(link.log()[1].duration, 5.0, 1e-9);  // 5000 B at 1000 B/s
+}
+
+TEST(Direction, RadioLinkWithoutDownlinkFallsBackToUplink) {
+  sim::Simulator simulator;
+  const auto model = radio::PowerModel::PaperUmts3G();
+  const auto up = net::BandwidthTrace::constant(1000.0, 10);
+  net::RadioLink link(simulator, model, up);
+  simulator.schedule_at(0.0, [&] {
+    link.submit({.bytes = 2000, .kind = radio::TxKind::kData,
+                 .direction = core::Direction::kDownlink});
+  });
+  simulator.run_until(100.0);
+  ASSERT_EQ(link.log().size(), 1u);
+  EXPECT_NEAR(link.log()[0].duration, 2.0, 1e-9);
+}
+
+TEST(Direction, DownloadsStillPiggybackOnTrains) {
+  // Energy semantics are direction-agnostic: a download right after a
+  // heartbeat truncates the same tail an upload would.
+  Scenario s;
+  s.horizon = 700.0;
+  s.model = radio::PowerModel::PaperUmts3G();
+  s.trace = net::BandwidthTrace::constant(120e3, 10);
+  s.downlink_trace = net::BandwidthTrace::constant(360e3, 10);
+  s.trains = apps::build_train_schedule({apps::qq_spec()}, s.horizon);
+  s.profiles = {&core::mail_cost_profile()};
+  core::Packet p;
+  p.id = 0;
+  p.app = 0;
+  p.arrival = 100.0;
+  p.bytes = 40000;
+  p.deadline = 400.0;
+  p.direction = core::Direction::kDownlink;
+  s.packets = {p};
+
+  core::EtrainScheduler etrain({.theta = 10.0, .k = 20});
+  const auto m = run_slotted(s, etrain);
+  ASSERT_EQ(m.outcomes.size(), 1u);
+  // Arrival 100, trains at 0/300/600: the download departs with the 300 s
+  // train.
+  EXPECT_NEAR(m.outcomes[0].sent, 300.0, 1.5);
+  // Total tails = one per train (the download's tail merges with its
+  // train's).
+  EXPECT_NEAR(m.energy.tail_energy(),
+              3.0 * s.model.full_tail_energy(), 1.0);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

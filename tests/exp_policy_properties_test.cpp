@@ -1,0 +1,210 @@
+// Cross-policy property suite: invariants every scheduling policy must
+// uphold when run through the slotted simulator, checked over a matrix of
+// (policy, workload) combinations via parameterized tests.
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+
+namespace etrain::experiments {
+namespace {
+
+using PolicyFactory =
+    std::function<std::unique_ptr<core::SchedulingPolicy>()>;
+
+struct Case {
+  std::string name;
+  PolicyFactory make;
+};
+
+std::vector<Case> all_policies() {
+  return {
+      {"baseline", [] { return std::make_unique<baselines::BaselinePolicy>(); }},
+      {"etrain",
+       [] {
+         return std::make_unique<core::EtrainScheduler>(
+             core::EtrainConfig{.theta = 0.5, .k = 20});
+       }},
+      {"etrain_literal",
+       [] {
+         return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
+             .theta = 0.5, .k = 20, .drip_defer_window = 0.0});
+       }},
+      {"etrain_unbounded",
+       [] {
+         return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
+             .theta = 2.0, .k = core::EtrainConfig::unlimited_k()});
+       }},
+      {"peres",
+       [] {
+         return std::make_unique<baselines::PerESPolicy>(
+             baselines::PerESConfig{.omega = 0.5});
+       }},
+      {"etime",
+       [] {
+         return std::make_unique<baselines::ETimePolicy>(
+             baselines::ETimeConfig{.v = 1.0});
+       }},
+      {"tailender",
+       [] { return std::make_unique<baselines::TailEnderPolicy>(); }},
+      {"oracle", [] { return std::make_unique<baselines::OraclePolicy>(); }},
+  };
+}
+
+class PolicyProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  Scenario scenario() const {
+    ScenarioConfig cfg;
+    cfg.lambda = 0.10;
+    cfg.horizon = 2400.0;
+    cfg.model = radio::PowerModel::PaperSimulation();
+    return make_scenario(cfg);
+  }
+};
+
+TEST_P(PolicyProperties, EveryPacketSentExactlyOnce) {
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  std::set<core::PacketId> ids;
+  for (const auto& o : m.outcomes) ids.insert(o.id);
+  EXPECT_EQ(ids.size(), s.packets.size());
+}
+
+TEST_P(PolicyProperties, Causality) {
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  for (const auto& o : m.outcomes) {
+    ASSERT_GE(o.sent, o.arrival - 1e-9) << GetParam().name;
+  }
+}
+
+TEST_P(PolicyProperties, RadioSerialized) {
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  for (std::size_t i = 1; i < m.log.size(); ++i) {
+    ASSERT_GE(m.log[i].start, m.log[i - 1].end() - 1e-9) << GetParam().name;
+  }
+}
+
+TEST_P(PolicyProperties, HeartbeatsNeverRescheduled) {
+  // Every policy leaves heartbeats alone: the heartbeat count and nominal
+  // times in the log match the train schedule (modulo link serialization
+  // pushing a start later while the link is busy).
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  EXPECT_EQ(m.log.count(radio::TxKind::kHeartbeat), s.trains.size());
+  std::size_t i = 0;
+  for (const auto& tx : m.log.entries()) {
+    if (tx.kind != radio::TxKind::kHeartbeat) continue;
+    ASSERT_GE(tx.start, s.trains[i].time - 1e-9) << GetParam().name;
+    ++i;
+  }
+}
+
+TEST_P(PolicyProperties, EnergyDominatesIdealLowerBound) {
+  // No schedule can beat: transmission energy of all bytes at the fastest
+  // rate plus a single shared tail.
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  EXPECT_GT(m.network_energy(), s.model.full_tail_energy());
+  // And no tail counting can exceed one full tail per transmission.
+  EXPECT_LE(m.energy.tail_energy(),
+            static_cast<double>(m.log.size()) * s.model.full_tail_energy() +
+                1e-6);
+}
+
+TEST_P(PolicyProperties, ReportInternallyConsistent) {
+  const Scenario s = scenario();
+  const auto policy = GetParam().make();
+  const auto m = run_slotted(s, *policy);
+  EXPECT_NEAR(m.energy.network_energy(),
+              m.energy.tx_energy + m.energy.setup_energy +
+                  m.energy.tail_energy(),
+              1e-6);
+  EXPECT_EQ(m.energy.transmissions, m.log.size());
+  EXPECT_LE(m.energy.full_tails + m.energy.truncated_tails, m.log.size());
+  EXPECT_GE(m.violation_ratio, 0.0);
+  EXPECT_LE(m.violation_ratio, 1.0);
+}
+
+TEST_P(PolicyProperties, DeterministicRerun) {
+  const Scenario s = scenario();
+  const auto p1 = GetParam().make();
+  const auto p2 = GetParam().make();
+  const auto a = run_slotted(s, *p1);
+  const auto b = run_slotted(s, *p2);
+  EXPECT_DOUBLE_EQ(a.network_energy(), b.network_energy());
+  EXPECT_DOUBLE_EQ(a.normalized_delay, b.normalized_delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperties,
+                         ::testing::ValuesIn(all_policies()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+// Energy ordering properties that define the paper's story.
+TEST(PolicyOrdering, EtrainBeatsBaselineAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    ScenarioConfig cfg;
+    cfg.lambda = 0.08;
+    cfg.horizon = 3600.0;
+    cfg.workload_seed = seed;
+    cfg.model = radio::PowerModel::PaperSimulation();
+    const Scenario s = make_scenario(cfg);
+    baselines::BaselinePolicy baseline;
+    core::EtrainScheduler etrain({.theta = 1.0, .k = 20});
+    const auto mb = run_slotted(s, baseline);
+    const auto me = run_slotted(s, etrain);
+    EXPECT_LT(me.network_energy(), mb.network_energy()) << "seed " << seed;
+  }
+}
+
+TEST(PolicyOrdering, OracleNearOrBelowEtrain) {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 3600.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const Scenario s = make_scenario(cfg);
+  baselines::OraclePolicy oracle;
+  core::EtrainScheduler etrain({.theta = 1.0, .k = 20});
+  const auto mo = run_slotted(s, oracle);
+  const auto me = run_slotted(s, etrain);
+  // The clairvoyant schedule should not lose to the online one by much.
+  EXPECT_LT(mo.network_energy(), me.network_energy() * 1.1);
+}
+
+TEST(PolicyOrdering, DeferWindowMonotoneInEnergy) {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 3600.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const Scenario s = make_scenario(cfg);
+  double prev = 1e18;
+  for (const double window : {0.0, 30.0, 60.0, 90.0}) {
+    core::EtrainScheduler p(
+        {.theta = 1.0, .k = 20, .drip_defer_window = window});
+    const auto m = run_slotted(s, p);
+    EXPECT_LE(m.network_energy(), prev * 1.02) << "window " << window;
+    prev = m.network_energy();
+  }
+}
+
+}  // namespace
+}  // namespace etrain::experiments

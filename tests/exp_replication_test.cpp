@@ -1,0 +1,78 @@
+#include "exp/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "core/etrain_scheduler.h"
+
+namespace etrain::experiments {
+namespace {
+
+TEST(ReplicateMetric, BasicStatistics) {
+  const auto r = replicate_metric({10.0, 12.0, 14.0, 8.0, 16.0});
+  EXPECT_DOUBLE_EQ(r.mean, 12.0);
+  EXPECT_EQ(r.runs, 5u);
+  EXPECT_DOUBLE_EQ(r.min, 8.0);
+  EXPECT_DOUBLE_EQ(r.max, 16.0);
+  EXPECT_GT(r.ci95_half_width, 0.0);
+  EXPECT_LT(r.ci95_half_width, r.stddev * 2.0);
+}
+
+TEST(ReplicateMetric, SingleSampleHasNoInterval) {
+  const auto r = replicate_metric({5.0});
+  EXPECT_DOUBLE_EQ(r.mean, 5.0);
+  EXPECT_DOUBLE_EQ(r.ci95_half_width, 0.0);
+}
+
+TEST(ReplicateMetric, EmptyThrows) {
+  EXPECT_THROW(replicate_metric({}), std::invalid_argument);
+}
+
+TEST(Replicate, DefaultSeeds) {
+  const auto seeds = default_seeds(4);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_EQ(seeds[0], 1u);
+  EXPECT_EQ(seeds[3], 4u);
+}
+
+TEST(Replicate, RunsAcrossSeedsAndAggregates) {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 1200.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const auto metrics = replicate(cfg, default_seeds(4), [] {
+    return std::make_unique<baselines::BaselinePolicy>();
+  });
+  EXPECT_EQ(metrics.energy.runs, 4u);
+  EXPECT_GT(metrics.energy.mean, 0.0);
+  EXPECT_GT(metrics.energy.stddev, 0.0);  // seeds genuinely differ
+  EXPECT_LT(metrics.delay.mean, 2.0);     // baseline is immediate
+}
+
+TEST(Replicate, OrderingHoldsInExpectation) {
+  // The headline ordering must survive averaging over seeds.
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 2400.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const auto seeds = default_seeds(5);
+  const auto baseline = replicate(cfg, seeds, [] {
+    return std::make_unique<baselines::BaselinePolicy>();
+  });
+  const auto etrain = replicate(cfg, seeds, [] {
+    return std::make_unique<core::EtrainScheduler>(
+        core::EtrainConfig{.theta = 1.0, .k = 20});
+  });
+  EXPECT_LT(etrain.energy.mean + etrain.energy.ci95_half_width,
+            baseline.energy.mean - baseline.energy.ci95_half_width);
+}
+
+TEST(Replicate, NoSeedsThrows) {
+  ScenarioConfig cfg;
+  EXPECT_THROW(replicate(cfg, {}, [] {
+    return std::make_unique<baselines::BaselinePolicy>();
+  }), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

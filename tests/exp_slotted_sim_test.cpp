@@ -1,0 +1,200 @@
+#include "exp/slotted_sim.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/oracle_policy.h"
+#include "core/etrain_scheduler.h"
+#include "exp/sweeps.h"
+
+namespace etrain::experiments {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 1800.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  return cfg;
+}
+
+TEST(Scenario, MakeScenarioShapes) {
+  const Scenario s = make_scenario(small_config());
+  EXPECT_DOUBLE_EQ(s.horizon, 1800.0);
+  EXPECT_EQ(s.profiles.size(), 3u);
+  EXPECT_FALSE(s.packets.empty());
+  EXPECT_FALSE(s.trains.empty());
+  // QQ + WeChat + WhatsApp over 1800 s: 6 + 7 + 8 beats (offsets 0/5/10).
+  EXPECT_EQ(s.trains.size(), 6u + 7u + 8u);
+  for (std::size_t i = 1; i < s.packets.size(); ++i) {
+    EXPECT_LE(s.packets[i - 1].arrival, s.packets[i].arrival);
+  }
+}
+
+TEST(Scenario, TrainCountControlsTrains) {
+  auto cfg = small_config();
+  cfg.train_count = 0;
+  EXPECT_TRUE(make_scenario(cfg).trains.empty());
+  cfg.train_count = 1;
+  const auto s = make_scenario(cfg);
+  for (const auto& e : s.trains) EXPECT_EQ(e.train, 0);
+  cfg.train_count = 7;
+  EXPECT_THROW(make_scenario(cfg), std::invalid_argument);
+}
+
+TEST(Scenario, SharedDeadlineOverride) {
+  auto cfg = small_config();
+  cfg.shared_deadline = 42.0;
+  const auto s = make_scenario(cfg);
+  for (const auto& p : s.packets) EXPECT_DOUBLE_EQ(p.deadline, 42.0);
+}
+
+TEST(SlottedSim, EveryPacketTransmittedExactlyOnce) {
+  const Scenario s = make_scenario(small_config());
+  core::EtrainScheduler policy({.theta = 0.2, .k = 20});
+  const RunMetrics m = run_slotted(s, policy);
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  std::set<core::PacketId> ids;
+  for (const auto& o : m.outcomes) ids.insert(o.id);
+  EXPECT_EQ(ids.size(), s.packets.size());
+  EXPECT_EQ(m.log.count(radio::TxKind::kData), s.packets.size());
+  EXPECT_EQ(m.log.count(radio::TxKind::kHeartbeat), s.trains.size());
+}
+
+TEST(SlottedSim, CausalityNoPacketSentBeforeArrival) {
+  const Scenario s = make_scenario(small_config());
+  for (const auto run_policy : {0, 1}) {
+    std::unique_ptr<core::SchedulingPolicy> policy;
+    if (run_policy == 0) {
+      policy = std::make_unique<baselines::BaselinePolicy>();
+    } else {
+      policy = std::make_unique<core::EtrainScheduler>(
+          core::EtrainConfig{.theta = 0.5, .k = 20});
+    }
+    const RunMetrics m = run_slotted(s, *policy);
+    for (const auto& o : m.outcomes) {
+      EXPECT_GE(o.sent, o.arrival) << m.policy_name;
+      EXPECT_GE(o.delay, 0.0) << m.policy_name;
+    }
+  }
+}
+
+TEST(SlottedSim, LogSerializedAndOrdered) {
+  const Scenario s = make_scenario(small_config());
+  core::EtrainScheduler policy({.theta = 0.2, .k = 20});
+  const RunMetrics m = run_slotted(s, policy);
+  for (std::size_t i = 1; i < m.log.size(); ++i) {
+    EXPECT_GE(m.log[i].start, m.log[i - 1].end() - 1e-9);
+  }
+}
+
+TEST(SlottedSim, BaselineHasNearZeroDelayAndNoViolations) {
+  const Scenario s = make_scenario(small_config());
+  baselines::BaselinePolicy policy;
+  const RunMetrics m = run_slotted(s, policy);
+  EXPECT_LT(m.normalized_delay, 2.0);
+  EXPECT_DOUBLE_EQ(m.violation_ratio, 0.0);
+}
+
+TEST(SlottedSim, EtrainSavesEnergyVersusBaseline) {
+  // The headline claim, in miniature.
+  const Scenario s = make_scenario(small_config());
+  baselines::BaselinePolicy baseline;
+  core::EtrainScheduler etrain({.theta = 1.0, .k = 20});
+  const auto mb = run_slotted(s, baseline);
+  const auto me = run_slotted(s, etrain);
+  EXPECT_LT(me.network_energy(), mb.network_energy() * 0.8);
+  EXPECT_GT(me.normalized_delay, mb.normalized_delay);
+}
+
+TEST(SlottedSim, OracleNeverViolatesDeadlines) {
+  const Scenario s = make_scenario(small_config());
+  baselines::OraclePolicy oracle;
+  const auto m = run_slotted(s, oracle);
+  EXPECT_DOUBLE_EQ(m.violation_ratio, 0.0);
+}
+
+TEST(SlottedSim, DeterministicAcrossRuns) {
+  const Scenario s = make_scenario(small_config());
+  core::EtrainScheduler p1({.theta = 0.5, .k = 20});
+  core::EtrainScheduler p2({.theta = 0.5, .k = 20});
+  const auto a = run_slotted(s, p1);
+  const auto b = run_slotted(s, p2);
+  EXPECT_DOUBLE_EQ(a.network_energy(), b.network_energy());
+  EXPECT_DOUBLE_EQ(a.normalized_delay, b.normalized_delay);
+  EXPECT_EQ(a.log.size(), b.log.size());
+}
+
+TEST(SlottedSim, MetricsConsistentWithOutcomes) {
+  const Scenario s = make_scenario(small_config());
+  core::EtrainScheduler policy({.theta = 0.5, .k = 20});
+  const auto m = run_slotted(s, policy);
+  double delay_sum = 0.0;
+  std::size_t violations = 0;
+  for (const auto& o : m.outcomes) {
+    delay_sum += o.delay;
+    violations += o.violated ? 1 : 0;
+  }
+  EXPECT_NEAR(m.normalized_delay,
+              delay_sum / static_cast<double>(m.outcomes.size()), 1e-9);
+  EXPECT_NEAR(m.violation_ratio,
+              static_cast<double>(violations) /
+                  static_cast<double>(m.outcomes.size()),
+              1e-9);
+}
+
+TEST(SlottedSim, EnergyBreakdownAddsUp) {
+  const Scenario s = make_scenario(small_config());
+  core::EtrainScheduler policy({.theta = 0.5, .k = 20});
+  const auto m = run_slotted(s, policy);
+  EXPECT_NEAR(m.network_energy(), m.data_energy() + m.heartbeat_energy() +
+                                      m.energy.setup_energy,
+              1e-6);
+  EXPECT_GT(m.energy.idle_baseline, 0.0);
+  EXPECT_NEAR(m.energy.total_energy(),
+              m.energy.idle_baseline + m.network_energy(), 1e-6);
+}
+
+TEST(Sweeps, LinspaceStep) {
+  const auto v = linspace_step(0.0, 3.0, 0.5);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_THROW(linspace_step(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Sweeps, SweepProducesOnePointPerParam) {
+  const Scenario s = make_scenario(small_config());
+  const auto frontier = sweep(
+      s,
+      [](double theta) {
+        return std::make_unique<core::EtrainScheduler>(
+            core::EtrainConfig{.theta = theta, .k = 20});
+      },
+      {0.0, 1.0, 2.0});
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_DOUBLE_EQ(frontier[0].param, 0.0);
+  // Larger theta: less energy, more delay (the Fig. 7(a) tradeoff).
+  EXPECT_GT(frontier[0].energy, frontier[2].energy);
+  EXPECT_LT(frontier[0].delay, frontier[2].delay);
+}
+
+TEST(Sweeps, FrontierInterpolation) {
+  const std::vector<EDPoint> frontier = {
+      {1.0, 1000.0, 10.0, 0.0},
+      {2.0, 600.0, 30.0, 0.1},
+  };
+  const auto mid = frontier_at_delay(frontier, 20.0);
+  EXPECT_DOUBLE_EQ(mid.energy, 800.0);
+  EXPECT_DOUBLE_EQ(mid.param, 1.5);
+  EXPECT_NEAR(mid.violation, 0.05, 1e-12);
+  // Clamping outside the range.
+  EXPECT_DOUBLE_EQ(frontier_at_delay(frontier, 5.0).energy, 1000.0);
+  EXPECT_DOUBLE_EQ(frontier_at_delay(frontier, 50.0).energy, 600.0);
+  EXPECT_THROW(frontier_at_delay({}, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

@@ -1,0 +1,123 @@
+// Stress and soak tests: an adversarial random policy hammering the
+// harness invariants, and long-horizon / high-rate runs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+
+namespace etrain::experiments {
+namespace {
+
+/// An adversarial policy: each slot it flips coins about which packets to
+/// release (sometimes none, sometimes everything, in scrambled order, some
+/// flagged for Wi-Fi even when none exists). The harness must keep every
+/// invariant regardless.
+class RandomPolicy final : public core::SchedulingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::vector<core::Selection> select(
+      const core::SlotContext& /*ctx*/,
+      const core::WaitingQueues& queues) override {
+    std::vector<core::Selection> out;
+    for (int app = 0; app < queues.app_count(); ++app) {
+      for (const auto& p : queues.queue(app)) {
+        const double roll = rng_.uniform(0.0, 1.0);
+        if (roll < 0.15) {
+          out.push_back(core::Selection{app, p.packet.id,
+                                        /*via_wifi=*/roll < 0.05});
+        }
+      }
+    }
+    // Scramble the order.
+    for (std::size_t i = out.size(); i > 1; --i) {
+      std::swap(out[i - 1],
+                out[static_cast<std::size_t>(rng_.uniform_int(
+                    0, static_cast<std::int64_t>(i) - 1))]);
+    }
+    return out;
+  }
+  std::string name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+TEST(StressRandomPolicy, InvariantsSurviveChaos) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    ScenarioConfig cfg;
+    cfg.lambda = 0.12;
+    cfg.horizon = 1800.0;
+    cfg.workload_seed = seed;
+    cfg.model = radio::PowerModel::PaperSimulation();
+    const Scenario s = make_scenario(cfg);
+    RandomPolicy policy(seed * 77);
+    const auto m = run_slotted(s, policy);
+
+    // Exactly-once delivery.
+    EXPECT_EQ(m.outcomes.size(), s.packets.size());
+    std::set<core::PacketId> ids;
+    for (const auto& o : m.outcomes) {
+      ids.insert(o.id);
+      EXPECT_GE(o.sent, o.arrival - 1e-9);
+    }
+    EXPECT_EQ(ids.size(), s.packets.size());
+    // Serialized radio.
+    for (std::size_t i = 1; i < m.log.size(); ++i) {
+      EXPECT_GE(m.log[i].start, m.log[i - 1].end() - 1e-9);
+    }
+    // No Wi-Fi in the scenario: via_wifi flags must have been ignored.
+    EXPECT_EQ(m.wifi_log.size(), 0u);
+  }
+}
+
+TEST(Soak, TwentyFourHourHighRateRun) {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.2;  // well above the paper's heaviest workload
+  cfg.horizon = 24.0 * 3600.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const Scenario s = make_scenario(cfg);
+  EXPECT_GT(s.packets.size(), 15000u);
+
+  core::EtrainScheduler policy({.theta = 2.0, .k = 200});
+  const auto m = run_slotted(s, policy);
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  EXPECT_GT(m.network_energy(), 0.0);
+  EXPECT_LT(m.violation_ratio, 0.5);
+  // Energy per hour must stay bounded (no runaway accounting).
+  EXPECT_LT(m.network_energy() / 24.0, 2000.0);
+}
+
+TEST(Soak, ManyAppsScenario) {
+  // 12 cargo apps instead of 3: queue handling scales.
+  Scenario s;
+  s.horizon = 3600.0;
+  s.model = radio::PowerModel::PaperSimulation();
+  s.trace = net::BandwidthTrace::constant(120e3, 60);
+  s.trains = apps::build_train_schedule(apps::default_train_specs(),
+                                        s.horizon);
+  Rng rng(5);
+  std::vector<apps::CargoAppSpec> specs;
+  for (int i = 0; i < 12; ++i) {
+    auto spec = apps::weibo_spec();
+    spec.mean_interarrival = 40.0 + 10.0 * i;
+    specs.push_back(spec);
+  }
+  s.packets = apps::generate_workload(specs, s.horizon, rng);
+  for (const auto& spec : specs) s.profiles.push_back(spec.profile);
+
+  core::EtrainScheduler policy({.theta = 1.0, .k = 50});
+  const auto m = run_slotted(s, policy);
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  bool seen_high_app = false;
+  for (const auto& o : m.outcomes) {
+    if (o.app == 11) seen_high_app = true;
+  }
+  EXPECT_TRUE(seen_high_app);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

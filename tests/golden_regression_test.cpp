@@ -1,0 +1,90 @@
+// Golden regression pins: exact metric values for the standard 1-hour
+// scenario at the default seed. Every model in the pipeline — workload
+// generation, bandwidth synthesis, the schedulers, the energy meter — feeds
+// these numbers, so any unintended behavioural change trips a pin.
+//
+// If you change behaviour ON PURPOSE (new model parameter, scheduler fix),
+// re-derive the constants by running the corresponding scenario and update
+// them together with an EXPERIMENTS.md note; never loosen the tolerance.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+#include "core/etrain_scheduler.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+
+namespace etrain::experiments {
+namespace {
+
+class GoldenRegression : public ::testing::Test {
+ protected:
+  static const Scenario& scenario() {
+    static const Scenario s = [] {
+      ScenarioConfig cfg;
+      cfg.lambda = 0.08;
+      cfg.horizon = 3600.0;
+      cfg.model = radio::PowerModel::PaperSimulation();
+      return make_scenario(cfg);
+    }();
+    return s;
+  }
+
+  static void expect_golden(core::SchedulingPolicy& policy, double energy,
+                            double delay, double violation) {
+    const auto m = run_slotted(scenario(), policy);
+    EXPECT_NEAR(m.network_energy(), energy, 1e-4);
+    EXPECT_NEAR(m.normalized_delay, delay, 1e-4);
+    EXPECT_NEAR(m.violation_ratio, violation, 1e-6);
+  }
+};
+
+TEST_F(GoldenRegression, WorkloadShape) {
+  EXPECT_EQ(scenario().packets.size(), 274u);
+  EXPECT_EQ(scenario().trains.size(), 41u);
+}
+
+TEST_F(GoldenRegression, Baseline) {
+  baselines::BaselinePolicy p;
+  expect_golden(p, 1151.858098, 0.486261, 0.0);
+}
+
+TEST_F(GoldenRegression, Etrain) {
+  core::EtrainScheduler p({.theta = 1.0, .k = 20});
+  expect_golden(p, 373.689316, 52.648528, 0.007299);
+}
+
+TEST_F(GoldenRegression, PerES) {
+  baselines::PerESPolicy p({.omega = 0.5});
+  expect_golden(p, 562.705028, 82.459890, 0.051095);
+}
+
+TEST_F(GoldenRegression, ETime) {
+  baselines::ETimePolicy p({.v = 1.0});
+  expect_golden(p, 435.561709, 45.108070, 0.0);
+}
+
+TEST_F(GoldenRegression, Oracle) {
+  baselines::OraclePolicy p;
+  expect_golden(p, 328.442462, 57.975911, 0.0);
+}
+
+TEST_F(GoldenRegression, TailEnder) {
+  baselines::TailEnderPolicy p;
+  expect_golden(p, 385.054781, 67.593250, 0.0);
+}
+
+TEST_F(GoldenRegression, WuhanTraceFingerprint) {
+  const auto t = net::wuhan_trace();
+  EXPECT_EQ(t.samples().size(), 7200u);
+  // Pin a few samples and the mean so trace-generator changes are caught.
+  EXPECT_NEAR(t.mean(), 150421.08, 1.0);
+  EXPECT_NEAR(t.samples()[0], 60812.82, 1.0);
+  EXPECT_NEAR(t.samples()[3600], 166416.17, 1.0);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

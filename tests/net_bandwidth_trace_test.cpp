@@ -1,0 +1,99 @@
+#include "net/bandwidth_trace.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace etrain::net {
+namespace {
+
+TEST(BandwidthTrace, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(BandwidthTrace({}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace({100.0, -5.0}), std::invalid_argument);
+}
+
+TEST(BandwidthTrace, LookupPerSecondBuckets) {
+  const BandwidthTrace t({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(t.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.at(0.999), 10.0);
+  EXPECT_DOUBLE_EQ(t.at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(2.5), 30.0);
+}
+
+TEST(BandwidthTrace, WrapsAroundPastTheEnd) {
+  const BandwidthTrace t({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(t.at(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.at(3.5), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(100.0), 10.0);
+}
+
+TEST(BandwidthTrace, ConstantTransferDuration) {
+  const auto t = BandwidthTrace::constant(1000.0, 100);
+  EXPECT_DOUBLE_EQ(t.transfer_duration(500, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.transfer_duration(2500, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(t.transfer_duration(0, 0.0), 0.0);
+}
+
+TEST(BandwidthTrace, TransferSpansRateChange) {
+  // 1000 B/s for one second, then 2000 B/s: 1500 bytes starting at t=0.5
+  // consumes 500 B in [0.5,1.0) and 1000 B in [1.0,1.5) -> duration 1.0.
+  const BandwidthTrace t({1000.0, 2000.0, 2000.0});
+  EXPECT_NEAR(t.transfer_duration(1500, 0.5), 1.0, 1e-9);
+}
+
+TEST(BandwidthTrace, TransferStartingMidSecond) {
+  const BandwidthTrace t({1000.0, 1000.0});
+  EXPECT_NEAR(t.transfer_duration(250, 0.9), 0.25, 1e-9);
+}
+
+TEST(BandwidthTrace, LargeTransferWrapsTrace) {
+  const BandwidthTrace t({1000.0, 3000.0});  // mean 2000 B/s over the cycle
+  // 8000 bytes = two full 2-second cycles.
+  EXPECT_NEAR(t.transfer_duration(8000, 0.0), 4.0, 1e-9);
+}
+
+TEST(BandwidthTrace, Statistics) {
+  const BandwidthTrace t({10.0, 20.0, 60.0});
+  EXPECT_DOUBLE_EQ(t.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(t.min(), 10.0);
+  EXPECT_DOUBLE_EQ(t.max(), 60.0);
+  EXPECT_DOUBLE_EQ(t.length(), 3.0);
+}
+
+TEST(BandwidthTrace, CsvRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "etrain_net";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "trace.csv").string();
+  const BandwidthTrace original({120000.0, 95000.5, 143000.25});
+  original.save_csv(path);
+  const auto loaded = BandwidthTrace::load_csv(path);
+  ASSERT_EQ(loaded.samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.samples()[0], 120000.0);
+  EXPECT_DOUBLE_EQ(loaded.samples()[1], 95000.5);
+  EXPECT_DOUBLE_EQ(loaded.samples()[2], 143000.25);
+}
+
+// Property: transfer_duration is additive — moving A+B bytes takes exactly
+// as long as moving A bytes and then B bytes back-to-back.
+class TransferAdditivity
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TransferAdditivity, SplitEqualsWhole) {
+  const BandwidthTrace t({800.0, 2400.0, 500.0, 1200.0});
+  const auto [a, b] = GetParam();
+  const double start = 0.3;
+  const double d_whole = t.transfer_duration(a + b, start);
+  const double d_a = t.transfer_duration(a, start);
+  const double d_b = t.transfer_duration(b, start + d_a);
+  EXPECT_NEAR(d_whole, d_a + d_b, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, TransferAdditivity,
+    ::testing::Values(std::pair{100, 100}, std::pair{1, 9999},
+                      std::pair{5000, 5000}, std::pair{123, 4567},
+                      std::pair{0, 777}));
+
+}  // namespace
+}  // namespace etrain::net

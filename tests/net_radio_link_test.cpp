@@ -1,0 +1,148 @@
+#include "net/radio_link.h"
+
+#include "radio/energy_meter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace etrain::net {
+namespace {
+
+struct LinkFixture {
+  sim::Simulator simulator;
+  radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+  BandwidthTrace trace = BandwidthTrace::constant(1000.0, 60);
+  RadioLink link{simulator, model, trace};
+};
+
+TEST(RadioLink, SingleTransmissionDurationFollowsBandwidth) {
+  LinkFixture f;
+  TimePoint completed = -1;
+  f.simulator.schedule_at(10.0, [&] {
+    f.link.submit({.bytes = 2500,
+                   .kind = radio::TxKind::kData,
+                   .app_id = 0,
+                   .packet_id = 1,
+                   .on_complete = [&](const radio::Transmission& tx) {
+                     completed = tx.end();
+                   }});
+  });
+  f.simulator.run_until(100.0);
+  EXPECT_DOUBLE_EQ(completed, 12.5);  // 2500 B at 1000 B/s
+  ASSERT_EQ(f.link.log().size(), 1u);
+  EXPECT_DOUBLE_EQ(f.link.log()[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(f.link.log()[0].duration, 2.5);
+}
+
+TEST(RadioLink, SerializesConcurrentSubmissions) {
+  LinkFixture f;
+  std::vector<std::int64_t> completion_order;
+  f.simulator.schedule_at(5.0, [&] {
+    for (std::int64_t id = 0; id < 3; ++id) {
+      f.link.submit({.bytes = 1000,
+                     .kind = radio::TxKind::kData,
+                     .app_id = 0,
+                     .packet_id = id,
+                     .on_complete = [&completion_order, id](const radio::Transmission&) {
+                       completion_order.push_back(id);
+                     }});
+    }
+    EXPECT_TRUE(f.link.busy());
+    EXPECT_EQ(f.link.queued(), 2u);
+  });
+  f.simulator.run_until(100.0);
+  ASSERT_EQ(completion_order.size(), 3u);
+  EXPECT_EQ(completion_order, (std::vector<std::int64_t>{0, 1, 2}));
+  // Back-to-back: 5-6, 6-7, 7-8.
+  EXPECT_DOUBLE_EQ(f.link.log()[1].start, 6.0);
+  EXPECT_DOUBLE_EQ(f.link.log()[2].start, 7.0);
+  EXPECT_FALSE(f.link.busy());
+}
+
+TEST(RadioLink, LogNeverOverlaps) {
+  LinkFixture f;
+  for (int i = 0; i < 20; ++i) {
+    f.simulator.schedule_at(i * 0.4, [&] {
+      f.link.submit({.bytes = 700, .kind = radio::TxKind::kData});
+    });
+  }
+  f.simulator.run_until(1000.0);
+  ASSERT_EQ(f.link.log().size(), 20u);
+  for (std::size_t i = 1; i < f.link.log().size(); ++i) {
+    EXPECT_GE(f.link.log()[i].start, f.link.log()[i - 1].end() - 1e-9);
+  }
+}
+
+TEST(RadioLink, PromotionDelayInsertedFromIdle) {
+  sim::Simulator simulator;
+  const auto model = radio::PowerModel::Realistic3G();
+  const auto trace = BandwidthTrace::constant(1000.0, 60);
+  RadioLink link(simulator, model, trace);
+  simulator.schedule_at(10.0, [&] {
+    link.submit({.bytes = 1000, .kind = radio::TxKind::kData});
+  });
+  simulator.run_until(100.0);
+  ASSERT_EQ(link.log().size(), 1u);
+  EXPECT_DOUBLE_EQ(link.log()[0].setup, 2.0);  // IDLE -> DCH
+  EXPECT_DOUBLE_EQ(link.log()[0].end(), 13.0);
+}
+
+TEST(RadioLink, NoPromotionDelayInsideTail) {
+  sim::Simulator simulator;
+  const auto model = radio::PowerModel::Realistic3G();
+  const auto trace = BandwidthTrace::constant(1000.0, 60);
+  RadioLink link(simulator, model, trace);
+  simulator.schedule_at(10.0, [&] {
+    link.submit({.bytes = 1000, .kind = radio::TxKind::kHeartbeat});
+  });
+  // Second request lands 3 s after the first finished — within the DCH tail.
+  simulator.schedule_at(16.0, [&] {
+    link.submit({.bytes = 1000, .kind = radio::TxKind::kData});
+  });
+  simulator.run_until(100.0);
+  ASSERT_EQ(link.log().size(), 2u);
+  EXPECT_DOUBLE_EQ(link.log()[1].setup, 0.0);
+}
+
+TEST(RadioLink, CompletionCallbackOptional) {
+  LinkFixture f;
+  f.simulator.schedule_at(0.0, [&] {
+    f.link.submit({.bytes = 100, .kind = radio::TxKind::kData});
+  });
+  EXPECT_NO_THROW(f.simulator.run_until(50.0));
+  EXPECT_EQ(f.link.log().size(), 1u);
+}
+
+TEST(RadioLink, HeartbeatAndDataKindsRecorded) {
+  LinkFixture f;
+  f.simulator.schedule_at(0.0, [&] {
+    f.link.submit({.bytes = 378, .kind = radio::TxKind::kHeartbeat,
+                   .app_id = 2});
+    f.link.submit({.bytes = 5000, .kind = radio::TxKind::kData,
+                   .app_id = 1, .packet_id = 77});
+  });
+  f.simulator.run_until(100.0);
+  ASSERT_EQ(f.link.log().size(), 2u);
+  EXPECT_EQ(f.link.log()[0].kind, radio::TxKind::kHeartbeat);
+  EXPECT_EQ(f.link.log()[0].app_id, 2);
+  EXPECT_EQ(f.link.log()[1].packet_id, 77);
+}
+
+TEST(RadioLink, EnergyOfLinkLogMatchesMeter) {
+  LinkFixture f;
+  f.simulator.schedule_at(0.0, [&] {
+    f.link.submit({.bytes = 1000, .kind = radio::TxKind::kHeartbeat});
+  });
+  f.simulator.schedule_at(100.0, [&] {
+    f.link.submit({.bytes = 3000, .kind = radio::TxKind::kData});
+  });
+  f.simulator.run_until(200.0);
+  const auto report = radio::measure_energy(f.link.log(), f.model, 200.0);
+  // 1 s + 3 s of data, two full tails (gap 99 s and horizon-tail 97 s).
+  EXPECT_NEAR(report.tx_energy, f.model.tx_extra_power * 4.0, 1e-9);
+  EXPECT_NEAR(report.tail_energy(), 2.0 * f.model.full_tail_energy(), 1e-9);
+}
+
+}  // namespace
+}  // namespace etrain::net

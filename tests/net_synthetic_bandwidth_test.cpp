@@ -1,0 +1,95 @@
+#include "net/synthetic_bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace etrain::net {
+namespace {
+
+TEST(SyntheticBandwidth, DeterministicForSeed) {
+  const SyntheticBandwidthConfig config;
+  const auto a = generate_synthetic_trace(config, 99);
+  const auto b = generate_synthetic_trace(config, 99);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+}
+
+TEST(SyntheticBandwidth, DifferentSeedsDiffer) {
+  const SyntheticBandwidthConfig config;
+  const auto a = generate_synthetic_trace(config, 1);
+  const auto b = generate_synthetic_trace(config, 2);
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    if (a.samples()[i] == b.samples()[i]) ++equal;
+  }
+  EXPECT_LT(equal, a.samples().size() / 100);
+}
+
+TEST(SyntheticBandwidth, LengthMatchesConfig) {
+  SyntheticBandwidthConfig config;
+  config.length = 600.0;
+  const auto t = generate_synthetic_trace(config, 5);
+  EXPECT_DOUBLE_EQ(t.length(), 600.0);
+}
+
+TEST(SyntheticBandwidth, RespectsEnvelope) {
+  const SyntheticBandwidthConfig config;
+  const auto t = generate_synthetic_trace(config, 7);
+  EXPECT_GE(t.min(), config.floor_rate);
+  EXPECT_LE(t.max(), config.ceiling_rate);
+}
+
+TEST(SyntheticBandwidth, MeanInPlausible3GUplinkRange) {
+  // 2014-era TD-SCDMA/HSUPA uplink: tens to low hundreds of KB/s.
+  const auto t = wuhan_trace();
+  EXPECT_GT(t.mean(), 50.0e3);
+  EXPECT_LT(t.mean(), 250.0e3);
+}
+
+TEST(SyntheticBandwidth, WuhanTraceIsTwoHours) {
+  EXPECT_DOUBLE_EQ(wuhan_trace().length(), 7200.0);
+}
+
+TEST(SyntheticBandwidth, TemporallyCorrelated) {
+  // Lag-1 autocorrelation must be high (AR(1) shadowing): bandwidth
+  // prediction by EWMA is meaningful, as PerES/eTime assume.
+  const auto t = wuhan_trace();
+  const auto& s = t.samples();
+  RunningStats all;
+  for (const auto v : s) all.add(v);
+  double num = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    num += (s[i] - all.mean()) * (s[i - 1] - all.mean());
+  }
+  const double denom = all.variance() * static_cast<double>(s.size() - 1);
+  const double rho = num / denom;
+  EXPECT_GT(rho, 0.8);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(SyntheticBandwidth, HasSubstantialVariability) {
+  // A flat trace would make bandwidth-timing schedulers trivially optimal;
+  // the real Wuhan recording is strongly time-varying.
+  const auto t = wuhan_trace();
+  RunningStats s;
+  for (const auto v : t.samples()) s.add(v);
+  EXPECT_GT(s.stddev() / s.mean(), 0.3);  // coefficient of variation
+  EXPECT_GT(t.max() / t.min(), 5.0);
+}
+
+TEST(SyntheticBandwidth, ContainsDeepFades) {
+  const SyntheticBandwidthConfig config;
+  const auto t = wuhan_trace();
+  std::size_t faded = 0;
+  for (const auto v : t.samples()) {
+    if (v <= config.fade_rate) ++faded;
+  }
+  EXPECT_GT(faded, 5u);                         // fades do occur
+  EXPECT_LT(faded, t.samples().size() / 10);    // but are rare
+}
+
+}  // namespace
+}  // namespace etrain::net

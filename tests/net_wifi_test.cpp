@@ -1,0 +1,164 @@
+// Tests for Wi-Fi availability and the multi-interface policies.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/multi_interface_policy.h"
+#include "exp/slotted_sim.h"
+#include "net/wifi_availability.h"
+
+namespace etrain::net {
+namespace {
+
+TEST(WifiAvailability, NoneAndAlways) {
+  const auto none = WifiAvailability::none();
+  EXPECT_FALSE(none.available(0.0));
+  EXPECT_FALSE(none.available(1e6));
+  EXPECT_EQ(none.next_available(0.0), kTimeInfinity);
+  EXPECT_DOUBLE_EQ(none.coverage(100.0), 0.0);
+
+  const auto always = WifiAvailability::always(1000.0);
+  EXPECT_TRUE(always.available(0.0));
+  EXPECT_TRUE(always.available(999.9));
+  EXPECT_FALSE(always.available(1000.0));
+  EXPECT_DOUBLE_EQ(always.coverage(1000.0), 1.0);
+}
+
+TEST(WifiAvailability, EpisodeBoundaries) {
+  const WifiAvailability w({{100.0, 200.0}, {500.0, 700.0}});
+  EXPECT_FALSE(w.available(99.9));
+  EXPECT_TRUE(w.available(100.0));
+  EXPECT_TRUE(w.available(199.9));
+  EXPECT_FALSE(w.available(200.0));
+  EXPECT_TRUE(w.available(600.0));
+  EXPECT_FALSE(w.available(700.0));
+}
+
+TEST(WifiAvailability, NextAvailableAndCoveredUntil) {
+  const WifiAvailability w({{100.0, 200.0}, {500.0, 700.0}});
+  EXPECT_DOUBLE_EQ(w.next_available(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(w.next_available(150.0), 150.0);  // already covered
+  EXPECT_DOUBLE_EQ(w.next_available(300.0), 500.0);
+  EXPECT_EQ(w.next_available(800.0), kTimeInfinity);
+  EXPECT_DOUBLE_EQ(w.covered_until(150.0), 200.0);
+  EXPECT_DOUBLE_EQ(w.covered_until(300.0), 300.0);
+}
+
+TEST(WifiAvailability, CoverageFraction) {
+  const WifiAvailability w({{0.0, 250.0}, {500.0, 750.0}});
+  EXPECT_NEAR(w.coverage(1000.0), 0.5, 1e-12);
+  // Horizon cutting through an episode.
+  EXPECT_NEAR(w.coverage(600.0), 350.0 / 600.0, 1e-12);
+}
+
+TEST(WifiAvailability, RejectsMalformedEpisodes) {
+  EXPECT_THROW(WifiAvailability({{10.0, 5.0}}), std::invalid_argument);
+  EXPECT_THROW(WifiAvailability({{0.0, 10.0}, {5.0, 20.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(WifiAvailability({{100.0, 200.0}, {0.0, 50.0}}),
+               std::invalid_argument);
+}
+
+TEST(WifiPattern, CoverageApproximatesTarget) {
+  WifiPatternConfig config;
+  config.horizon = 400000.0;  // long horizon for tight statistics
+  config.coverage = 0.4;
+  config.episode_mean = 600.0;
+  const auto w = generate_wifi_pattern(config, 3);
+  EXPECT_NEAR(w.coverage(config.horizon), 0.4, 0.08);
+}
+
+TEST(WifiPattern, ExtremesAndValidation) {
+  WifiPatternConfig config;
+  config.coverage = 0.0;
+  EXPECT_DOUBLE_EQ(generate_wifi_pattern(config, 1).coverage(7200.0), 0.0);
+  config.coverage = 1.0;
+  EXPECT_DOUBLE_EQ(generate_wifi_pattern(config, 1).coverage(7200.0), 1.0);
+  config.coverage = 1.5;
+  EXPECT_THROW(generate_wifi_pattern(config, 1), std::invalid_argument);
+}
+
+TEST(WifiPattern, Deterministic) {
+  WifiPatternConfig config;
+  const auto a = generate_wifi_pattern(config, 9);
+  const auto b = generate_wifi_pattern(config, 9);
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  for (std::size_t i = 0; i < a.episodes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.episodes()[i].start, b.episodes()[i].start);
+  }
+}
+
+}  // namespace
+}  // namespace etrain::net
+
+namespace etrain::experiments {
+namespace {
+
+Scenario wifi_scenario(net::WifiAvailability wifi) {
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 1800.0;
+  cfg.model = radio::PowerModel::PaperUmts3G();
+  Scenario s = make_scenario(cfg);
+  s.wifi = std::move(wifi);
+  return s;
+}
+
+TEST(MultiInterface, WifiPacketsLandInWifiLog) {
+  const auto s = wifi_scenario(net::WifiAvailability::always(1800.0));
+  baselines::MultiInterfaceBaseline policy;
+  const auto m = run_slotted(s, policy);
+  EXPECT_EQ(m.wifi_log.size(), s.packets.size());
+  EXPECT_EQ(m.log.count(radio::TxKind::kData), 0u);
+  EXPECT_GT(m.wifi_energy.network_energy(), 0.0);
+  // Heartbeats stay cellular.
+  EXPECT_EQ(m.log.count(radio::TxKind::kHeartbeat), s.trains.size());
+}
+
+TEST(MultiInterface, WifiMuchCheaperThanCellular) {
+  const auto s = wifi_scenario(net::WifiAvailability::always(1800.0));
+  baselines::BaselinePolicy cellular_only;
+  baselines::MultiInterfaceBaseline offload;
+  const auto mc = run_slotted(s, cellular_only);
+  const auto mw = run_slotted(s, offload);
+  // Offloading the data leaves only heartbeat energy on cellular.
+  EXPECT_LT(mw.network_energy(), 0.5 * mc.network_energy());
+}
+
+TEST(MultiInterface, ViaWifiIgnoredWhenUnavailable) {
+  const auto s = wifi_scenario(net::WifiAvailability::none());
+  baselines::MultiInterfaceBaseline policy;
+  const auto m = run_slotted(s, policy);
+  EXPECT_EQ(m.wifi_log.size(), 0u);
+  EXPECT_EQ(m.log.count(radio::TxKind::kData), s.packets.size());
+}
+
+TEST(MultiInterface, EtrainHybridDelivershEverything) {
+  const auto s = wifi_scenario(net::generate_wifi_pattern(
+      net::WifiPatternConfig{.horizon = 1800.0, .coverage = 0.5,
+                             .episode_mean = 300.0},
+      4));
+  baselines::MultiInterfaceEtrain policy({.theta = 1.0, .k = 20});
+  const auto m = run_slotted(s, policy);
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  EXPECT_GT(m.wifi_log.size(), 0u);
+  EXPECT_GT(m.log.count(radio::TxKind::kData), 0u);
+  // Split adds up.
+  EXPECT_EQ(m.wifi_log.size() + m.log.count(radio::TxKind::kData),
+            s.packets.size());
+}
+
+TEST(MultiInterface, HybridBeatsCellularOnlyEtrain) {
+  const auto s = wifi_scenario(net::generate_wifi_pattern(
+      net::WifiPatternConfig{.horizon = 1800.0, .coverage = 0.5,
+                             .episode_mean = 300.0},
+      4));
+  core::EtrainScheduler cellular({.theta = 1.0, .k = 20});
+  baselines::MultiInterfaceEtrain hybrid({.theta = 1.0, .k = 20});
+  const auto mc = run_slotted(s, cellular);
+  const auto mh = run_slotted(s, hybrid);
+  EXPECT_LT(mh.network_energy(), mc.network_energy());
+  EXPECT_LE(mh.normalized_delay, mc.normalized_delay + 1e-9);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

@@ -1,0 +1,63 @@
+#include "radio/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::radio {
+namespace {
+
+TEST(Battery, PaperCapacity) {
+  // 1700 mAh * 3.7 V * 3600 s/h = 22,644 J.
+  const Battery b;
+  EXPECT_NEAR(b.capacity_joules(), 22644.0, 1e-6);
+}
+
+TEST(Battery, FractionOfCapacity) {
+  const Battery b;
+  EXPECT_NEAR(b.fraction_of_capacity(2264.4), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(b.fraction_of_capacity(0.0), 0.0);
+  EXPECT_THROW(b.fraction_of_capacity(-1.0), std::invalid_argument);
+}
+
+TEST(Battery, PaperSection2DArithmetic) {
+  // Sec. II-D: 12+ heartbeats per hour at ~10.91 J/tail over a 10-hour
+  // battery life should consume "at least 6% of its battery capacity".
+  const Battery b;
+  const Joules per_hour = 12.0 * 10.91;
+  const double fraction = b.fraction_of_capacity(per_hour * 10.0);
+  EXPECT_GE(fraction, 0.057);
+  EXPECT_LE(fraction, 0.08);
+}
+
+TEST(Battery, FractionForPower) {
+  const Battery b;
+  // 100 mW for 10 hours = 3600 J = ~15.9 % of the pack.
+  EXPECT_NEAR(b.fraction_for_power(0.1, hours(10.0)), 3600.0 / 22644.0,
+              1e-9);
+  EXPECT_THROW(b.fraction_for_power(-0.1, 10.0), std::invalid_argument);
+}
+
+TEST(Battery, LifetimeAtConstantDrain) {
+  const Battery b;
+  EXPECT_NEAR(b.lifetime_at(22644.0 / 3600.0), 3600.0, 1e-6);
+  EXPECT_THROW(b.lifetime_at(0.0), std::invalid_argument);
+}
+
+TEST(Battery, StandbyEquivalent) {
+  // The paper translates ~2000 J into "roughly 10 hours of standby time":
+  // implies a standby drain near 55 mW.
+  const Battery b;
+  EXPECT_NEAR(b.standby_equivalent(2000.0, 0.055), 2000.0 / 0.055, 1e-6);
+  EXPECT_NEAR(b.standby_equivalent(2000.0, 0.055) / 3600.0, 10.1, 0.2);
+  EXPECT_THROW(b.standby_equivalent(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.standby_equivalent(-1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Battery, CustomPack) {
+  const Battery big(3000.0, 3.85);
+  EXPECT_NEAR(big.capacity_joules(), 3.0 * 3.85 * 3600.0, 1e-6);
+  EXPECT_THROW(Battery(0.0, 3.7), std::invalid_argument);
+  EXPECT_THROW(Battery(1700.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace etrain::radio

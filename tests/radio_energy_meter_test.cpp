@@ -1,0 +1,238 @@
+#include "radio/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::radio {
+namespace {
+
+Transmission tx(TimePoint start, Duration duration, Bytes bytes = 1000,
+                TxKind kind = TxKind::kData, int app = 0,
+                std::int64_t packet = -1) {
+  Transmission t;
+  t.start = start;
+  t.duration = duration;
+  t.bytes = bytes;
+  t.kind = kind;
+  t.app_id = app;
+  t.packet_id = packet;
+  return t;
+}
+
+TEST(TransmissionLog, RejectsOutOfOrderAndOverlap) {
+  TransmissionLog log;
+  log.add(tx(10.0, 2.0));
+  EXPECT_THROW(log.add(tx(5.0, 1.0)), std::invalid_argument);   // out of order
+  EXPECT_THROW(log.add(tx(11.0, 1.0)), std::invalid_argument);  // overlap
+  log.add(tx(12.0, 1.0));  // exactly adjacent is fine
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(TransmissionLog, RejectsNegativeDurations) {
+  TransmissionLog log;
+  EXPECT_THROW(log.add(tx(0.0, -1.0)), std::invalid_argument);
+}
+
+TEST(TransmissionLog, ByteAndKindAccounting) {
+  TransmissionLog log;
+  log.add(tx(0.0, 1.0, 100, TxKind::kHeartbeat));
+  log.add(tx(10.0, 1.0, 5000, TxKind::kData));
+  log.add(tx(20.0, 1.0, 2000, TxKind::kData));
+  EXPECT_EQ(log.total_bytes(), 7100);
+  EXPECT_EQ(log.total_bytes(TxKind::kHeartbeat), 100);
+  EXPECT_EQ(log.total_bytes(TxKind::kData), 7000);
+  EXPECT_EQ(log.count(TxKind::kHeartbeat), 1u);
+  EXPECT_EQ(log.count(TxKind::kData), 2u);
+  EXPECT_DOUBLE_EQ(log.last_end(), 21.0);
+}
+
+TEST(EnergyMeter, EmptyLogIsPureIdle) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  const auto report = measure_energy(TransmissionLog{}, m, 1000.0);
+  EXPECT_DOUBLE_EQ(report.idle_baseline, m.idle_power * 1000.0);
+  EXPECT_DOUBLE_EQ(report.network_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(report.total_energy(), report.idle_baseline);
+  EXPECT_EQ(report.transmissions, 0u);
+}
+
+TEST(EnergyMeter, SingleTransmissionFullTail) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  TransmissionLog log;
+  log.add(tx(100.0, 2.0));
+  const auto report = measure_energy(log, m, 1000.0);
+  EXPECT_DOUBLE_EQ(report.tx_energy, m.tx_extra_power * 2.0);
+  EXPECT_DOUBLE_EQ(report.tail_energy(), m.full_tail_energy());
+  EXPECT_DOUBLE_EQ(report.dch_tail_energy, m.dch_extra_power * m.dch_tail);
+  EXPECT_DOUBLE_EQ(report.fach_tail_energy, m.fach_extra_power * m.fach_tail);
+  EXPECT_EQ(report.full_tails, 1u);
+  EXPECT_EQ(report.truncated_tails, 0u);
+}
+
+TEST(EnergyMeter, TailTruncatedByHorizon) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  TransmissionLog log;
+  log.add(tx(95.0, 2.0));  // ends at 97; only 3 s of tail fit before 100
+  const auto report = measure_energy(log, m, 100.0);
+  EXPECT_DOUBLE_EQ(report.tail_energy(), m.tail_energy(3.0));
+  EXPECT_EQ(report.full_tails, 0u);
+  EXPECT_EQ(report.truncated_tails, 1u);
+}
+
+TEST(EnergyMeter, GapBetweenTransmissionsUsesClosedForm) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  // Sweep gaps covering all four E_tail cases; meter must equal closed form.
+  for (const double gap : {0.0, 1.0, 5.0, 10.0, 12.0, 17.5, 20.0, 300.0}) {
+    TransmissionLog log;
+    log.add(tx(0.0, 1.0));
+    log.add(tx(1.0 + gap, 1.0));
+    const double horizon = 1.0 + gap + 1.0 + m.tail_time() + 100.0;
+    const auto report = measure_energy(log, m, horizon);
+    EXPECT_NEAR(report.tail_energy(),
+                m.tail_energy(gap) + m.full_tail_energy(), 1e-9)
+        << "gap=" << gap;
+  }
+}
+
+TEST(EnergyMeter, PiggybackedPacketSavesVersusScattered) {
+  // The paper's whole premise: one aggregated burst right after a heartbeat
+  // costs less than scattered transmissions each paying its own tail.
+  const PowerModel m = PowerModel::PaperUmts3G();
+  const double horizon = 600.0;
+
+  TransmissionLog scattered;
+  scattered.add(tx(0.0, 0.5, 400, TxKind::kHeartbeat));
+  for (int i = 1; i <= 5; ++i) {
+    scattered.add(tx(60.0 * i, 0.2, 5000, TxKind::kData, 0, i));
+  }
+
+  TransmissionLog piggybacked;
+  piggybacked.add(tx(0.0, 0.5, 400, TxKind::kHeartbeat));
+  double t = 0.5;
+  for (int i = 1; i <= 5; ++i) {
+    piggybacked.add(tx(t, 0.2, 5000, TxKind::kData, 0, i));
+    t += 0.2;
+  }
+
+  const auto rep_scattered = measure_energy(scattered, m, horizon);
+  const auto rep_piggy = measure_energy(piggybacked, m, horizon);
+  EXPECT_LT(rep_piggy.network_energy(), rep_scattered.network_energy());
+  // 6 tails collapse into 1: saving should be substantial (> 40 J here).
+  EXPECT_GT(rep_scattered.tail_energy() - rep_piggy.tail_energy(), 40.0);
+}
+
+TEST(EnergyMeter, PerKindAttribution) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  TransmissionLog log;
+  log.add(tx(0.0, 1.0, 400, TxKind::kHeartbeat));
+  log.add(tx(100.0, 2.0, 5000, TxKind::kData));
+  const auto report = measure_energy(log, m, 300.0);
+  const auto hb = static_cast<std::size_t>(TxKind::kHeartbeat);
+  const auto data = static_cast<std::size_t>(TxKind::kData);
+  EXPECT_DOUBLE_EQ(report.tx_energy_by_kind[hb], m.tx_extra_power * 1.0);
+  EXPECT_DOUBLE_EQ(report.tx_energy_by_kind[data], m.tx_extra_power * 2.0);
+  EXPECT_DOUBLE_EQ(report.tail_energy_by_kind[hb], m.full_tail_energy());
+  EXPECT_DOUBLE_EQ(report.tail_energy_by_kind[data], m.full_tail_energy());
+  EXPECT_DOUBLE_EQ(
+      report.tail_energy(),
+      report.tail_energy_by_kind[hb] + report.tail_energy_by_kind[data]);
+}
+
+TEST(EnergyMeter, SetupPhaseBilledAtDchPower) {
+  PowerModel m = PowerModel::Realistic3G();
+  TransmissionLog log;
+  Transmission t = tx(10.0, 1.0);
+  t.setup = 2.0;
+  log.add(t);
+  const auto report = measure_energy(log, m, 100.0);
+  EXPECT_DOUBLE_EQ(report.setup_energy, m.dch_extra_power * 2.0);
+  EXPECT_DOUBLE_EQ(report.tx_energy, m.tx_extra_power * 1.0);
+}
+
+TEST(EnergyMeter, PromotionAndColdStartCounting) {
+  const PowerModel m = PowerModel::Realistic3G();
+  TransmissionLog log;
+  Transmission a = tx(0.0, 1.0);
+  a.setup = 2.0;  // cold start with promotion
+  log.add(a);
+  log.add(tx(10.0, 1.0));    // inside the DCH tail: warm, no promotion
+  log.add(tx(500.0, 1.0));   // long gap: cold start (no setup recorded)
+  const auto report = measure_energy(log, m, 1000.0);
+  EXPECT_EQ(report.promotions, 1u);
+  EXPECT_EQ(report.cold_starts, 2u);
+}
+
+TEST(EnergyMeter, FastDormancyTradesTailForPromotions) {
+  // Fast dormancy (Sec. VII related work): 20 isolated transmissions.
+  TransmissionLog normal_log, fd_log;
+  const PowerModel normal = PowerModel::PaperUmts3G();
+  const PowerModel fd = PowerModel::FastDormancy3G();
+  for (int i = 0; i < 20; ++i) {
+    normal_log.add(tx(100.0 * i, 0.5));
+    Transmission t = tx(100.0 * i, 0.5);
+    t.setup = fd.idle_to_dch_delay;  // every send pays a promotion
+    fd_log.add(t);
+  }
+  const auto rep_normal = measure_energy(normal_log, normal, 2100.0);
+  const auto rep_fd = measure_energy(fd_log, fd, 2100.0);
+  // Fast dormancy slashes tail energy...
+  EXPECT_LT(rep_fd.tail_energy(), 0.1 * rep_normal.tail_energy());
+  // ...but pays promotion energy and signaling on every transmission.
+  EXPECT_EQ(rep_fd.promotions, 20u);
+  EXPECT_GT(rep_fd.setup_energy, 0.0);
+  EXPECT_EQ(rep_fd.cold_starts, 20u);
+}
+
+TEST(EnergyMeter, HorizonBeforeLastEndThrows) {
+  TransmissionLog log;
+  log.add(tx(0.0, 10.0));
+  EXPECT_THROW(measure_energy(log, PowerModel::PaperUmts3G(), 5.0),
+               std::invalid_argument);
+}
+
+TEST(EnergyMeter, PowerAtTracksStates) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  TransmissionLog log;
+  log.add(tx(100.0, 2.0));
+  EXPECT_DOUBLE_EQ(power_at(log, m, 0.0), m.idle_power);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 101.0), m.idle_power + m.tx_extra_power);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 105.0), m.idle_power + m.dch_extra_power);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 115.0),
+                   m.idle_power + m.fach_extra_power);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 200.0), m.idle_power);
+}
+
+TEST(EnergyMeter, PowerAtDuringSetupIsDch) {
+  const PowerModel m = PowerModel::Realistic3G();
+  TransmissionLog log;
+  Transmission t = tx(10.0, 1.0);
+  t.setup = 2.0;
+  log.add(t);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 11.0), m.idle_power + m.dch_extra_power);
+  EXPECT_DOUBLE_EQ(power_at(log, m, 12.5), m.idle_power + m.tx_extra_power);
+}
+
+// Property: total energy from the meter is invariant to how a fixed set of
+// transmissions is split between kinds, and network energy is monotone in
+// the number of transmissions added far apart.
+class EnergyMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyMonotonicity, MoreIsolatedTransmissionsMoreEnergy) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  const int n = GetParam();
+  TransmissionLog log;
+  for (int i = 0; i < n; ++i) {
+    log.add(tx(100.0 * i, 1.0));
+  }
+  const double horizon = 100.0 * n + 100.0;
+  const auto report = measure_energy(log, m, horizon);
+  // Isolated by 100 s >> 17.5 s tail, so each pays a full tail.
+  EXPECT_NEAR(report.tail_energy(), n * m.full_tail_energy(), 1e-9);
+  EXPECT_NEAR(report.network_energy(),
+              n * (m.full_tail_energy() + m.tx_extra_power * 1.0), 1e-9);
+  EXPECT_EQ(report.full_tails, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, EnergyMonotonicity,
+                         ::testing::Values(0, 1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace etrain::radio

@@ -1,0 +1,117 @@
+#include "radio/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::radio {
+namespace {
+
+// The paper's measured parameters (Sec. VI-A "other simulation settings").
+constexpr double kPd = 0.700;   // W above idle, DCH
+constexpr double kPf = 0.450;   // W above idle, FACH
+constexpr double kDd = 10.0;    // s, delta_D
+constexpr double kDf = 7.5;     // s, delta_F
+
+TEST(PowerModel, PaperPresetMatchesMeasuredParameters) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.dch_extra_power, kPd);
+  EXPECT_DOUBLE_EQ(m.fach_extra_power, kPf);
+  EXPECT_DOUBLE_EQ(m.dch_tail, kDd);
+  EXPECT_DOUBLE_EQ(m.fach_tail, kDf);
+  EXPECT_DOUBLE_EQ(m.idle_to_dch_delay, 0.0);
+  EXPECT_DOUBLE_EQ(m.fach_to_dch_delay, 0.0);
+}
+
+TEST(PowerModel, TailTimeIsSumOfTimers) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.tail_time(), 17.5);
+}
+
+TEST(PowerModel, FullTailEnergyMatchesPaperMagnitude) {
+  // 0.7*10 + 0.45*7.5 = 10.375 J; the paper reports a measured per-heartbeat
+  // tail of about 10.91 J (Sec. II-D) — same magnitude.
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.full_tail_energy(), 10.375);
+  EXPECT_NEAR(m.full_tail_energy(), 10.91, 0.6);
+}
+
+// --- the four cases of E_tail(Delta), Sec. III-A ---
+
+TEST(PowerModel, TailEnergyCase1_NonPositiveGapIsFree) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.tail_energy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.tail_energy(-3.0), 0.0);
+}
+
+TEST(PowerModel, TailEnergyCase2_WithinDchLinearInGap) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.tail_energy(1.0), kPd * 1.0);
+  EXPECT_DOUBLE_EQ(m.tail_energy(4.0), kPd * 4.0);
+  EXPECT_DOUBLE_EQ(m.tail_energy(kDd), kPd * kDd);  // boundary
+}
+
+TEST(PowerModel, TailEnergyCase3_WithinFach) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.tail_energy(12.0), kPd * kDd + kPf * 2.0);
+  EXPECT_DOUBLE_EQ(m.tail_energy(kDd + kDf), kPd * kDd + kPf * kDf);
+}
+
+TEST(PowerModel, TailEnergyCase4_BeyondTailSaturates) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.tail_energy(18.0), m.full_tail_energy());
+  EXPECT_DOUBLE_EQ(m.tail_energy(1e9), m.full_tail_energy());
+}
+
+TEST(PowerModel, TailEnergyContinuousAtBoundaries) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  const double eps = 1e-9;
+  EXPECT_NEAR(m.tail_energy(kDd - eps), m.tail_energy(kDd + eps), 1e-6);
+  EXPECT_NEAR(m.tail_energy(kDd + kDf - eps), m.tail_energy(kDd + kDf + eps),
+              1e-6);
+  EXPECT_NEAR(m.tail_energy(eps), 0.0, 1e-6);
+}
+
+// Property sweep: E_tail is nondecreasing and bounded by the full tail.
+class TailEnergyMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TailEnergyMonotonicity, NondecreasingAndBounded) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  const double gap = GetParam();
+  EXPECT_GE(m.tail_energy(gap), 0.0);
+  EXPECT_LE(m.tail_energy(gap), m.full_tail_energy() + 1e-12);
+  EXPECT_LE(m.tail_energy(gap), m.tail_energy(gap + 0.25) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(GapSweep, TailEnergyMonotonicity,
+                         ::testing::Values(-5.0, 0.0, 0.1, 1.0, 2.5, 5.0, 7.5,
+                                           9.99, 10.0, 10.01, 12.0, 15.0, 17.4,
+                                           17.5, 17.6, 30.0, 600.0));
+
+TEST(PowerModel, ExtraPowerPerState) {
+  const PowerModel m = PowerModel::PaperUmts3G();
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kIdle), 0.0);
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kFach), kPf);
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kDch), kPd);
+}
+
+TEST(PowerModel, RealisticPresetHasPromotionDelays) {
+  const PowerModel m = PowerModel::Realistic3G();
+  EXPECT_GT(m.idle_to_dch_delay, 0.0);
+  EXPECT_GT(m.fach_to_dch_delay, 0.0);
+  EXPECT_GT(m.idle_to_dch_delay, m.fach_to_dch_delay);
+}
+
+TEST(PowerModel, LtePresetHasShorterTailThan3G) {
+  const PowerModel lte = PowerModel::LteDrx();
+  const PowerModel umts = PowerModel::PaperUmts3G();
+  EXPECT_LT(lte.tail_time(), umts.tail_time());
+  EXPECT_GT(lte.tail_energy(lte.tail_time()), 0.0);
+}
+
+TEST(PowerModel, StateNames) {
+  EXPECT_EQ(to_string(RrcState::kIdle), "IDLE");
+  EXPECT_EQ(to_string(RrcState::kFach), "FACH");
+  EXPECT_EQ(to_string(RrcState::kDch), "DCH");
+}
+
+}  // namespace
+}  // namespace etrain::radio

@@ -1,0 +1,96 @@
+// Invariants that must hold for every shipped radio parameter set.
+#include <gtest/gtest.h>
+
+#include "radio/power_model.h"
+
+namespace etrain::radio {
+namespace {
+
+struct NamedModel {
+  const char* name;
+  PowerModel model;
+};
+
+std::vector<NamedModel> all_presets() {
+  return {
+      {"PaperUmts3G", PowerModel::PaperUmts3G()},
+      {"PaperSimulation", PowerModel::PaperSimulation()},
+      {"Realistic3G", PowerModel::Realistic3G()},
+      {"FastDormancy3G", PowerModel::FastDormancy3G()},
+      {"LteDrx", PowerModel::LteDrx()},
+      {"WifiPsm", PowerModel::WifiPsm()},
+  };
+}
+
+class RadioPresets : public ::testing::TestWithParam<NamedModel> {};
+
+TEST_P(RadioPresets, PowersNonNegativeAndOrdered) {
+  const PowerModel& m = GetParam().model;
+  EXPECT_GE(m.idle_power, 0.0);
+  EXPECT_GT(m.dch_extra_power, 0.0);
+  EXPECT_GE(m.fach_extra_power, 0.0);
+  // Active transmission burns at least as much as camping on DCH.
+  EXPECT_GE(m.tx_extra_power, m.dch_extra_power);
+  // DCH is the most expensive non-transmitting state.
+  EXPECT_GE(m.dch_extra_power, m.fach_extra_power);
+}
+
+TEST_P(RadioPresets, TimersNonNegative) {
+  const PowerModel& m = GetParam().model;
+  EXPECT_GT(m.dch_tail, 0.0);
+  EXPECT_GE(m.fach_tail, 0.0);
+  EXPECT_GE(m.idle_to_dch_delay, 0.0);
+  EXPECT_GE(m.fach_to_dch_delay, 0.0);
+  // Waking from deeper sleep cannot be faster than from shallow sleep.
+  EXPECT_GE(m.idle_to_dch_delay, m.fach_to_dch_delay);
+}
+
+TEST_P(RadioPresets, TailEnergyClosedFormConsistency) {
+  const PowerModel& m = GetParam().model;
+  EXPECT_DOUBLE_EQ(m.tail_energy(0.0), 0.0);
+  EXPECT_NEAR(m.tail_energy(m.tail_time()), m.full_tail_energy(), 1e-12);
+  EXPECT_NEAR(m.tail_energy(m.tail_time() * 10.0), m.full_tail_energy(),
+              1e-12);
+  // Monotone nondecreasing over a dense sweep.
+  double prev = -1.0;
+  for (double g = 0.0; g <= m.tail_time() * 1.5; g += m.tail_time() / 64.0) {
+    const double e = m.tail_energy(g);
+    EXPECT_GE(e, prev - 1e-12) << GetParam().name << " at gap " << g;
+    prev = e;
+  }
+}
+
+TEST_P(RadioPresets, ExtraPowerMatchesStateTable) {
+  const PowerModel& m = GetParam().model;
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kIdle), 0.0);
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kDch), m.dch_extra_power);
+  EXPECT_DOUBLE_EQ(m.extra_power(RrcState::kFach), m.fach_extra_power);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, RadioPresets,
+                         ::testing::ValuesIn(all_presets()),
+                         [](const ::testing::TestParamInfo<NamedModel>& i) {
+                           return i.param.name;
+                         });
+
+TEST(RadioPresetRelations, SimulationTailIsShorterThanDevice) {
+  EXPECT_LT(PowerModel::PaperSimulation().full_tail_energy(),
+            PowerModel::PaperUmts3G().full_tail_energy());
+  EXPECT_DOUBLE_EQ(PowerModel::PaperSimulation().tail_time(), 10.0);
+}
+
+TEST(RadioPresetRelations, FastDormancyTradesTailForPromotions) {
+  const auto fd = PowerModel::FastDormancy3G();
+  const auto normal = PowerModel::PaperUmts3G();
+  EXPECT_LT(fd.full_tail_energy(), 0.1 * normal.full_tail_energy());
+  EXPECT_GT(fd.idle_to_dch_delay, 0.0);
+}
+
+TEST(RadioPresetRelations, WifiTailIsTiny) {
+  const auto wifi = PowerModel::WifiPsm();
+  EXPECT_LT(wifi.full_tail_energy(), 0.2);
+  EXPECT_DOUBLE_EQ(wifi.idle_power, 0.0);
+}
+
+}  // namespace
+}  // namespace etrain::radio

@@ -1,0 +1,137 @@
+#include "radio/rrc_machine.h"
+
+#include <gtest/gtest.h>
+
+namespace etrain::radio {
+namespace {
+
+RrcStateMachine paper_machine() {
+  return RrcStateMachine(PowerModel::PaperUmts3G());
+}
+
+TEST(RrcMachine, StartsIdle) {
+  auto m = paper_machine();
+  EXPECT_EQ(m.state_at(0.0), RrcState::kIdle);
+  EXPECT_FALSE(m.transmitting());
+  EXPECT_FALSE(m.last_activity_end().has_value());
+}
+
+TEST(RrcMachine, DchDuringTransmission) {
+  auto m = paper_machine();
+  m.on_transmission_start(100.0);
+  EXPECT_TRUE(m.transmitting());
+  EXPECT_EQ(m.state_at(100.0), RrcState::kDch);
+  EXPECT_EQ(m.state_at(105.0), RrcState::kDch);
+}
+
+TEST(RrcMachine, TailProgressionAfterTransmission) {
+  auto m = paper_machine();
+  m.on_transmission_start(0.0);
+  m.on_transmission_end(2.0);
+  // delta_D = 10 s of DCH, then delta_F = 7.5 s of FACH, then IDLE.
+  EXPECT_EQ(m.state_at(2.0), RrcState::kDch);
+  EXPECT_EQ(m.state_at(11.9), RrcState::kDch);
+  EXPECT_EQ(m.state_at(12.0), RrcState::kFach);
+  EXPECT_EQ(m.state_at(19.4), RrcState::kFach);
+  EXPECT_EQ(m.state_at(19.5), RrcState::kIdle);
+  EXPECT_EQ(m.state_at(1000.0), RrcState::kIdle);
+}
+
+TEST(RrcMachine, PiggybackWindowHasZeroPromotionDelay) {
+  // eTrain's core exploit: inside the tail the radio is already up.
+  auto m = RrcStateMachine(PowerModel::Realistic3G());
+  m.on_transmission_start(0.0);
+  m.on_transmission_end(1.0);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(5.0), 0.0);          // in DCH tail
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(12.0), 1.5);         // in FACH
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(30.0), 2.0);         // back in IDLE
+}
+
+TEST(RrcMachine, PaperModelPromotionsAreFree) {
+  auto m = paper_machine();
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(0.0), 0.0);
+  m.on_transmission_start(0.0);
+  m.on_transmission_end(1.0);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(100.0), 0.0);
+}
+
+TEST(RrcMachine, PowerLevelsMatchModel) {
+  const PowerModel pm = PowerModel::PaperUmts3G();
+  RrcStateMachine m(pm);
+  EXPECT_DOUBLE_EQ(m.power_at(0.0), pm.idle_power);
+  m.on_transmission_start(10.0);
+  EXPECT_DOUBLE_EQ(m.power_at(10.5), pm.idle_power + pm.tx_extra_power);
+  m.on_transmission_end(11.0);
+  EXPECT_DOUBLE_EQ(m.power_at(15.0), pm.idle_power + pm.dch_extra_power);
+  EXPECT_DOUBLE_EQ(m.power_at(25.0), pm.idle_power + pm.fach_extra_power);
+  EXPECT_DOUBLE_EQ(m.power_at(50.0), pm.idle_power);
+}
+
+TEST(RrcMachine, BackToBackTransmissionsKeepDch) {
+  auto m = paper_machine();
+  m.on_transmission_start(0.0);
+  m.on_transmission_end(1.0);
+  m.on_transmission_start(5.0);  // within the DCH tail
+  EXPECT_EQ(m.state_at(5.0), RrcState::kDch);
+  m.on_transmission_end(6.0);
+  EXPECT_EQ(m.state_at(10.0), RrcState::kDch);  // tail restarts from 6.0
+  EXPECT_EQ(m.state_at(15.9), RrcState::kDch);
+  EXPECT_EQ(m.state_at(16.1), RrcState::kFach);
+}
+
+TEST(RrcMachine, DoubleStartThrows) {
+  auto m = paper_machine();
+  m.on_transmission_start(0.0);
+  EXPECT_THROW(m.on_transmission_start(1.0), std::logic_error);
+}
+
+TEST(RrcMachine, EndWithoutStartThrows) {
+  auto m = paper_machine();
+  EXPECT_THROW(m.on_transmission_end(1.0), std::logic_error);
+}
+
+TEST(RrcMachine, TimeMovingBackwardsThrows) {
+  auto m = paper_machine();
+  m.on_transmission_start(10.0);
+  m.on_transmission_end(12.0);
+  EXPECT_THROW(m.on_transmission_start(5.0), std::invalid_argument);
+  EXPECT_THROW(m.state_at(5.0), std::invalid_argument);
+}
+
+TEST(RrcMachine, EndBeforeStartThrows) {
+  auto m = paper_machine();
+  m.on_transmission_start(10.0);
+  EXPECT_THROW(m.on_transmission_end(9.0), std::invalid_argument);
+}
+
+TEST(RrcMachine, ZeroLengthTransmissionStillTriggersTail) {
+  auto m = paper_machine();
+  m.on_transmission_start(5.0);
+  m.on_transmission_end(5.0);
+  EXPECT_EQ(m.state_at(5.0), RrcState::kDch);
+  EXPECT_EQ(m.state_at(22.4), RrcState::kFach);
+  EXPECT_EQ(m.state_at(22.5), RrcState::kIdle);
+}
+
+// Property: for any end time, the state sequence is DCH -> FACH -> IDLE with
+// the configured durations.
+class TailTimingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TailTimingProperty, StateBoundariesFollowTimers) {
+  const double end = GetParam();
+  const PowerModel pm = PowerModel::PaperUmts3G();
+  RrcStateMachine m(pm);
+  m.on_transmission_start(end > 1.0 ? end - 1.0 : 0.0);
+  m.on_transmission_end(end);
+  EXPECT_EQ(m.state_at(end + pm.dch_tail * 0.5), RrcState::kDch);
+  EXPECT_EQ(m.state_at(end + pm.dch_tail + pm.fach_tail * 0.5),
+            RrcState::kFach);
+  EXPECT_EQ(m.state_at(end + pm.tail_time() + 0.001), RrcState::kIdle);
+}
+
+INSTANTIATE_TEST_SUITE_P(EndTimes, TailTimingProperty,
+                         ::testing::Values(0.0, 1.0, 17.5, 100.0, 12345.6,
+                                           7200.0));
+
+}  // namespace
+}  // namespace etrain::radio

@@ -1,0 +1,154 @@
+#include "sim/simulator.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace etrain::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run_to_exhaustion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.run_to_exhaustion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  TimePoint seen = -1;
+  s.schedule_at(7.5, [&] { seen = s.now(); });
+  s.run_to_exhaustion();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(10.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  // The 10.0 event still pending, fires on a later run.
+  s.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+}
+
+TEST(Simulator, EventExactlyAtHorizonFires) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(5.0, [&] { fired = true; });
+  s.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  TimePoint inner = -1;
+  s.schedule_at(2.0, [&] {
+    s.schedule_after(3.0, [&] { inner = s.now(); });
+  });
+  s.run_to_exhaustion();
+  EXPECT_DOUBLE_EQ(inner, 5.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> periodic = [&] {
+    ++count;
+    if (count < 5) s.schedule_after(10.0, periodic);
+  };
+  s.schedule_at(0.0, periodic);
+  s.run_to_exhaustion();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 40.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  s.schedule_at(10.0, [] {});
+  s.run_until(10.0);
+  EXPECT_THROW(s.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_to_exhaustion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelAfterExecutionReturnsFalse) {
+  Simulator s;
+  const EventId id = s.schedule_at(1.0, [] {});
+  s.run_to_exhaustion();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(99999));
+}
+
+TEST(Simulator, PendingEventsAccounting) {
+  Simulator s;
+  const EventId a = s.schedule_at(1.0, [] {});
+  s.schedule_at(2.0, [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_to_exhaustion();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator s;
+  std::vector<double> times;
+  // Schedule in a scrambled order; execution must be sorted.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 733) % 997);
+    s.schedule_at(t, [&times, t] { times.push_back(t); });
+  }
+  s.run_to_exhaustion();
+  ASSERT_EQ(times.size(), 1000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace etrain::sim

@@ -1,0 +1,154 @@
+// Focused tests of the EtrainService broadcast protocol and its defensive
+// behaviour (malformed intents, unknown apps, scheduler ticking).
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_trace.h"
+#include "net/radio_link.h"
+#include "system/etrain_service.h"
+#include "system/protocol.h"
+
+namespace etrain::system {
+namespace {
+
+struct ServiceFixture {
+  sim::Simulator simulator;
+  android::BroadcastBus bus{simulator};
+  android::AlarmManager alarms{simulator};
+  android::XposedRegistry xposed;
+  EtrainService service{
+      EtrainService::Config{.scheduler = {.theta = 0.2, .k = 20}},
+      simulator, bus, alarms, xposed};
+
+  void register_app(int app, const std::string& profile) {
+    android::Intent reg(kActionRegister);
+    reg.put(kExtraApp, static_cast<std::int64_t>(app));
+    reg.put(kExtraProfile, profile);
+    bus.send_broadcast(reg);
+  }
+
+  void submit(int app, std::int64_t packet, std::int64_t bytes,
+              double deadline, double arrival) {
+    android::Intent intent(kActionSubmit);
+    intent.put(kExtraApp, static_cast<std::int64_t>(app));
+    intent.put(kExtraPacket, packet);
+    intent.put(kExtraBytes, bytes);
+    intent.put(kExtraDeadline, deadline);
+    intent.put(kExtraArrival, arrival);
+    bus.send_broadcast(intent);
+  }
+};
+
+TEST(EtrainService, RegisterAndSubmitEnqueues) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] {
+    f.register_app(0, "f2-weibo");
+  });
+  f.simulator.schedule_at(0.2, [&] { f.submit(0, 7, 2000, 60.0, 0.2); });
+  f.simulator.run_until(0.5);
+  EXPECT_EQ(f.service.queues().total_size(), 1u);
+  EXPECT_EQ(f.service.queues().queue(0).front().packet.id, 7);
+}
+
+TEST(EtrainService, SubmitFromUnregisteredAppDropped) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] { f.submit(3, 1, 1000, 60.0, 0.1); });
+  f.simulator.run_until(0.5);
+  EXPECT_EQ(f.service.queues().total_size(), 0u);
+}
+
+TEST(EtrainService, MalformedSubmitDropped) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] { f.register_app(0, "f2-weibo"); });
+  f.simulator.schedule_at(0.2, [&] {
+    android::Intent intent(kActionSubmit);
+    intent.put(kExtraApp, std::int64_t{0});
+    // Missing packet/bytes/deadline/arrival.
+    f.bus.send_broadcast(intent);
+  });
+  f.simulator.run_until(0.5);
+  EXPECT_EQ(f.service.queues().total_size(), 0u);
+}
+
+TEST(EtrainService, UnknownProfileThrowsOnDelivery) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] { f.register_app(0, "f9-nonsense"); });
+  EXPECT_THROW(f.simulator.run_until(0.5), std::invalid_argument);
+}
+
+TEST(EtrainService, OutOfRangeAppIdThrows) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.schedule_at(0.1, [&] { f.register_app(999, "f2-weibo"); });
+  EXPECT_THROW(f.simulator.run_until(0.5), std::out_of_range);
+}
+
+TEST(EtrainService, FlushesWhenNoTrainRuns) {
+  // Sec. V-3: with no train app running, queued cargo must not wait.
+  ServiceFixture f;
+  f.service.start();
+  std::vector<std::int64_t> decisions;
+  f.bus.register_receiver(kActionTransmit, [&](const android::Intent& i) {
+    decisions.push_back(*i.get_int(kExtraPacket));
+  });
+  f.simulator.schedule_at(0.1, [&] { f.register_app(0, "f1-mail"); });
+  f.simulator.schedule_at(0.2, [&] { f.submit(0, 42, 5000, 600.0, 0.2); });
+  f.simulator.run_until(5.0);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0], 42);
+  EXPECT_EQ(f.service.queues().total_size(), 0u);
+}
+
+TEST(EtrainService, DefersForTrainWhenOneIsActive) {
+  ServiceFixture f;
+  f.service.start();
+  std::vector<TimePoint> decision_times;
+  f.bus.register_receiver(kActionTransmit, [&](const android::Intent&) {
+    decision_times.push_back(f.simulator.now());
+  });
+  // Hook a fake train app and beat twice so the monitor learns a 300 s
+  // cycle with the next beat predicted at 610.
+  f.service.hook_train_app("fake/Train", "sendHeartbeat", 0);
+  const auto beat = [&](TimePoint t) {
+    f.simulator.schedule_at(t, [&f, t] {
+      android::MethodCall call;
+      call.class_name = "fake/Train";
+      call.method_name = "sendHeartbeat";
+      call.time = t;
+      f.xposed.invoke(call);
+    });
+  };
+  beat(10.0);
+  beat(310.0);
+  f.simulator.schedule_at(311.0, [&] { f.register_app(0, "f1-mail"); });
+  // Mail packet with a long deadline arrives mid-cycle: it should wait for
+  // the predicted 610 s train rather than leave immediately.
+  f.simulator.schedule_at(350.0, [&] { f.submit(0, 1, 5000, 600.0, 350.0); });
+  beat(610.0);
+  f.simulator.run_until(700.0);
+  ASSERT_EQ(decision_times.size(), 1u);
+  EXPECT_GT(decision_times[0], 609.0);
+  EXPECT_LT(decision_times[0], 613.0);
+}
+
+TEST(EtrainService, TickCountsAdvance) {
+  ServiceFixture f;
+  f.service.start();
+  f.simulator.run_until(10.0);
+  EXPECT_GE(f.service.ticks(), 9u);
+}
+
+TEST(EtrainService, DuplicateStartIsIdempotent) {
+  ServiceFixture f;
+  f.service.start();
+  f.service.start();
+  f.simulator.run_until(3.0);
+  // A duplicated tick alarm would double the tick count.
+  EXPECT_LE(f.service.ticks(), 3u);
+}
+
+}  // namespace
+}  // namespace etrain::system

@@ -1,0 +1,96 @@
+// Unit tests for the simulated train-app daemons (AlarmManager-driven
+// heartbeat loops, incl. NetEase's doubling cycle) on the DES kernel.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_trace.h"
+#include "system/train_app.h"
+
+namespace etrain::system {
+namespace {
+
+struct Fixture {
+  sim::Simulator simulator;
+  android::AlarmManager alarms{simulator};
+  android::XposedRegistry xposed;
+  radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+  net::BandwidthTrace trace = net::BandwidthTrace::constant(120e3, 60);
+  net::RadioLink link{simulator, model, trace};
+};
+
+TEST(TrainAppProcess, FixedCycleBeatsOnSchedule) {
+  Fixture f;
+  TrainAppProcess app(0, apps::wechat_spec(), 10.0, f.alarms, f.xposed,
+                      f.link);
+  std::vector<TimePoint> observed;
+  f.xposed.hook_method(app.hook_class(), TrainAppProcess::hook_method(),
+                       [&](const android::MethodCall& c) {
+                         observed.push_back(c.time);
+                       });
+  app.start();
+  f.simulator.run_until(1000.0);
+  // 270 s cycle from 10: beats at 10, 280, 550, 820.
+  ASSERT_EQ(observed.size(), 4u);
+  EXPECT_DOUBLE_EQ(observed[0], 10.0);
+  EXPECT_DOUBLE_EQ(observed[3], 820.0);
+  EXPECT_EQ(app.beats_sent(), 4);
+  EXPECT_EQ(f.link.log().count(radio::TxKind::kHeartbeat), 4u);
+}
+
+TEST(TrainAppProcess, DoublingCycleFollowsDiscipline) {
+  Fixture f;
+  TrainAppProcess app(0, apps::netease_spec(), 0.0, f.alarms, f.xposed,
+                      f.link);
+  std::vector<TimePoint> observed;
+  f.xposed.hook_method(app.hook_class(), TrainAppProcess::hook_method(),
+                       [&](const android::MethodCall& c) {
+                         observed.push_back(c.time);
+                       });
+  app.start();
+  f.simulator.run_until(1000.0);
+  // NetEase: 60 s gaps for the first six, then 120 s.
+  ASSERT_GE(observed.size(), 9u);
+  EXPECT_DOUBLE_EQ(observed[1] - observed[0], 60.0);
+  EXPECT_DOUBLE_EQ(observed[6] - observed[5], 60.0);
+  EXPECT_DOUBLE_EQ(observed[7] - observed[6], 120.0);
+  EXPECT_DOUBLE_EQ(observed[8] - observed[7], 120.0);
+}
+
+TEST(TrainAppProcess, StopCancelsFutureBeats) {
+  Fixture f;
+  TrainAppProcess app(0, apps::qq_spec(), 0.0, f.alarms, f.xposed, f.link);
+  app.start();
+  f.simulator.run_until(350.0);  // beats at 0, 300
+  EXPECT_EQ(app.beats_sent(), 2);
+  app.stop();
+  f.simulator.run_until(2000.0);
+  EXPECT_EQ(app.beats_sent(), 2);
+}
+
+TEST(TrainAppProcess, StartIsIdempotent) {
+  Fixture f;
+  TrainAppProcess app(0, apps::qq_spec(), 0.0, f.alarms, f.xposed, f.link);
+  app.start();
+  app.start();
+  f.simulator.run_until(10.0);
+  EXPECT_EQ(app.beats_sent(), 1);  // not doubled
+}
+
+TEST(TrainAppProcess, HeartbeatBytesMatchSpec) {
+  Fixture f;
+  TrainAppProcess app(0, apps::qq_spec(), 0.0, f.alarms, f.xposed, f.link);
+  app.start();
+  f.simulator.run_until(10.0);
+  ASSERT_EQ(f.link.log().size(), 1u);
+  EXPECT_EQ(f.link.log()[0].bytes, 378);
+  EXPECT_EQ(f.link.log()[0].kind, radio::TxKind::kHeartbeat);
+}
+
+TEST(TrainAppProcess, HookClassNamesPerApp) {
+  Fixture f;
+  TrainAppProcess a(0, apps::qq_spec(), 0.0, f.alarms, f.xposed, f.link);
+  TrainAppProcess b(1, apps::wechat_spec(), 0.0, f.alarms, f.xposed, f.link);
+  EXPECT_NE(a.hook_class(), b.hook_class());
+}
+
+}  // namespace
+}  // namespace etrain::system
