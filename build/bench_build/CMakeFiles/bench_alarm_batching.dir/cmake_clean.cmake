@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_alarm_batching"
+  "../bench/bench_alarm_batching.pdb"
+  "CMakeFiles/bench_alarm_batching.dir/bench_alarm_batching.cpp.o"
+  "CMakeFiles/bench_alarm_batching.dir/bench_alarm_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alarm_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

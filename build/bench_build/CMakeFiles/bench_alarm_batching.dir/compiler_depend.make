@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_alarm_batching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_alarm_batching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_power_states.cpp" "bench_build/CMakeFiles/bench_fig04_power_states.dir/bench_fig04_power_states.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig04_power_states.dir/bench_fig04_power_states.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/etrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

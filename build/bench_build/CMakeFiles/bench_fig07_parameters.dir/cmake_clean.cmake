@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_parameters"
+  "../bench/bench_fig07_parameters.pdb"
+  "CMakeFiles/bench_fig07_parameters.dir/bench_fig07_parameters.cpp.o"
+  "CMakeFiles/bench_fig07_parameters.dir/bench_fig07_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_controlled"
+  "../bench/bench_fig10_controlled.pdb"
+  "CMakeFiles/bench_fig10_controlled.dir/bench_fig10_controlled.cpp.o"
+  "CMakeFiles/bench_fig10_controlled.dir/bench_fig10_controlled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

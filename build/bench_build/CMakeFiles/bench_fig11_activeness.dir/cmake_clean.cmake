@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_activeness"
+  "../bench/bench_fig11_activeness.pdb"
+  "CMakeFiles/bench_fig11_activeness.dir/bench_fig11_activeness.cpp.o"
+  "CMakeFiles/bench_fig11_activeness.dir/bench_fig11_activeness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_activeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multi_interface"
+  "../bench/bench_multi_interface.pdb"
+  "CMakeFiles/bench_multi_interface.dir/bench_multi_interface.cpp.o"
+  "CMakeFiles/bench_multi_interface.dir/bench_multi_interface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

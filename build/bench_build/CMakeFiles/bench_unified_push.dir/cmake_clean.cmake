@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unified_push"
+  "../bench/bench_unified_push.pdb"
+  "CMakeFiles/bench_unified_push.dir/bench_unified_push.cpp.o"
+  "CMakeFiles/bench_unified_push.dir/bench_unified_push.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_capture.dir/analyze_capture.cpp.o"
+  "CMakeFiles/analyze_capture.dir/analyze_capture.cpp.o.d"
+  "analyze_capture"
+  "analyze_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

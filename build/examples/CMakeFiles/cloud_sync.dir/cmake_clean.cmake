@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_sync.dir/cloud_sync.cpp.o"
+  "CMakeFiles/cloud_sync.dir/cloud_sync.cpp.o.d"
+  "cloud_sync"
+  "cloud_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

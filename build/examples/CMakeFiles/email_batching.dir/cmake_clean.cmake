@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_batching.dir/email_batching.cpp.o"
+  "CMakeFiles/email_batching.dir/email_batching.cpp.o.d"
+  "email_batching"
+  "email_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

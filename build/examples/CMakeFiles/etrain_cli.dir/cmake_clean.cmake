@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_cli.dir/etrain_cli.cpp.o"
+  "CMakeFiles/etrain_cli.dir/etrain_cli.cpp.o.d"
+  "etrain_cli"
+  "etrain_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_news.dir/prefetch_news.cpp.o"
+  "CMakeFiles/prefetch_news.dir/prefetch_news.cpp.o.d"
+  "prefetch_news"
+  "prefetch_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

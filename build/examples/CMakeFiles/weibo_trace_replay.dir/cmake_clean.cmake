@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weibo_trace_replay.dir/weibo_trace_replay.cpp.o"
+  "CMakeFiles/weibo_trace_replay.dir/weibo_trace_replay.cpp.o.d"
+  "weibo_trace_replay"
+  "weibo_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weibo_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/alarm_manager.cc" "src/android/CMakeFiles/etrain_android.dir/alarm_manager.cc.o" "gcc" "src/android/CMakeFiles/etrain_android.dir/alarm_manager.cc.o.d"
+  "/root/repo/src/android/broadcast_bus.cc" "src/android/CMakeFiles/etrain_android.dir/broadcast_bus.cc.o" "gcc" "src/android/CMakeFiles/etrain_android.dir/broadcast_bus.cc.o.d"
+  "/root/repo/src/android/heartbeat_monitor.cc" "src/android/CMakeFiles/etrain_android.dir/heartbeat_monitor.cc.o" "gcc" "src/android/CMakeFiles/etrain_android.dir/heartbeat_monitor.cc.o.d"
+  "/root/repo/src/android/pcap.cc" "src/android/CMakeFiles/etrain_android.dir/pcap.cc.o" "gcc" "src/android/CMakeFiles/etrain_android.dir/pcap.cc.o.d"
+  "/root/repo/src/android/xposed.cc" "src/android/CMakeFiles/etrain_android.dir/xposed.cc.o" "gcc" "src/android/CMakeFiles/etrain_android.dir/xposed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/etrain_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_android.dir/alarm_manager.cc.o"
+  "CMakeFiles/etrain_android.dir/alarm_manager.cc.o.d"
+  "CMakeFiles/etrain_android.dir/broadcast_bus.cc.o"
+  "CMakeFiles/etrain_android.dir/broadcast_bus.cc.o.d"
+  "CMakeFiles/etrain_android.dir/heartbeat_monitor.cc.o"
+  "CMakeFiles/etrain_android.dir/heartbeat_monitor.cc.o.d"
+  "CMakeFiles/etrain_android.dir/pcap.cc.o"
+  "CMakeFiles/etrain_android.dir/pcap.cc.o.d"
+  "CMakeFiles/etrain_android.dir/xposed.cc.o"
+  "CMakeFiles/etrain_android.dir/xposed.cc.o.d"
+  "libetrain_android.a"
+  "libetrain_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cargo_app.cc" "src/apps/CMakeFiles/etrain_apps.dir/cargo_app.cc.o" "gcc" "src/apps/CMakeFiles/etrain_apps.dir/cargo_app.cc.o.d"
+  "/root/repo/src/apps/heartbeat_spec.cc" "src/apps/CMakeFiles/etrain_apps.dir/heartbeat_spec.cc.o" "gcc" "src/apps/CMakeFiles/etrain_apps.dir/heartbeat_spec.cc.o.d"
+  "/root/repo/src/apps/train_schedule.cc" "src/apps/CMakeFiles/etrain_apps.dir/train_schedule.cc.o" "gcc" "src/apps/CMakeFiles/etrain_apps.dir/train_schedule.cc.o.d"
+  "/root/repo/src/apps/user_trace.cc" "src/apps/CMakeFiles/etrain_apps.dir/user_trace.cc.o" "gcc" "src/apps/CMakeFiles/etrain_apps.dir/user_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_apps.dir/cargo_app.cc.o"
+  "CMakeFiles/etrain_apps.dir/cargo_app.cc.o.d"
+  "CMakeFiles/etrain_apps.dir/heartbeat_spec.cc.o"
+  "CMakeFiles/etrain_apps.dir/heartbeat_spec.cc.o.d"
+  "CMakeFiles/etrain_apps.dir/train_schedule.cc.o"
+  "CMakeFiles/etrain_apps.dir/train_schedule.cc.o.d"
+  "CMakeFiles/etrain_apps.dir/user_trace.cc.o"
+  "CMakeFiles/etrain_apps.dir/user_trace.cc.o.d"
+  "libetrain_apps.a"
+  "libetrain_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/baseline_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/baseline_policy.cc.o.d"
+  "/root/repo/src/baselines/etime_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/etime_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/etime_policy.cc.o.d"
+  "/root/repo/src/baselines/multi_interface_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/multi_interface_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/multi_interface_policy.cc.o.d"
+  "/root/repo/src/baselines/oracle_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/oracle_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/oracle_policy.cc.o.d"
+  "/root/repo/src/baselines/peres_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/peres_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/peres_policy.cc.o.d"
+  "/root/repo/src/baselines/tailender_policy.cc" "src/baselines/CMakeFiles/etrain_baselines.dir/tailender_policy.cc.o" "gcc" "src/baselines/CMakeFiles/etrain_baselines.dir/tailender_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

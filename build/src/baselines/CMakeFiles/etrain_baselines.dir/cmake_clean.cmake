@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_baselines.dir/baseline_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/baseline_policy.cc.o.d"
+  "CMakeFiles/etrain_baselines.dir/etime_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/etime_policy.cc.o.d"
+  "CMakeFiles/etrain_baselines.dir/multi_interface_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/multi_interface_policy.cc.o.d"
+  "CMakeFiles/etrain_baselines.dir/oracle_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/oracle_policy.cc.o.d"
+  "CMakeFiles/etrain_baselines.dir/peres_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/peres_policy.cc.o.d"
+  "CMakeFiles/etrain_baselines.dir/tailender_policy.cc.o"
+  "CMakeFiles/etrain_baselines.dir/tailender_policy.cc.o.d"
+  "libetrain_baselines.a"
+  "libetrain_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_common.dir/csv.cc.o"
+  "CMakeFiles/etrain_common.dir/csv.cc.o.d"
+  "CMakeFiles/etrain_common.dir/rng.cc.o"
+  "CMakeFiles/etrain_common.dir/rng.cc.o.d"
+  "CMakeFiles/etrain_common.dir/stats.cc.o"
+  "CMakeFiles/etrain_common.dir/stats.cc.o.d"
+  "CMakeFiles/etrain_common.dir/table.cc.o"
+  "CMakeFiles/etrain_common.dir/table.cc.o.d"
+  "CMakeFiles/etrain_common.dir/time.cc.o"
+  "CMakeFiles/etrain_common.dir/time.cc.o.d"
+  "libetrain_common.a"
+  "libetrain_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

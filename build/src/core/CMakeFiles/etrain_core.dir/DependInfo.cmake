@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_profile.cc" "src/core/CMakeFiles/etrain_core.dir/cost_profile.cc.o" "gcc" "src/core/CMakeFiles/etrain_core.dir/cost_profile.cc.o.d"
+  "/root/repo/src/core/etrain_scheduler.cc" "src/core/CMakeFiles/etrain_core.dir/etrain_scheduler.cc.o" "gcc" "src/core/CMakeFiles/etrain_core.dir/etrain_scheduler.cc.o.d"
+  "/root/repo/src/core/offline_solver.cc" "src/core/CMakeFiles/etrain_core.dir/offline_solver.cc.o" "gcc" "src/core/CMakeFiles/etrain_core.dir/offline_solver.cc.o.d"
+  "/root/repo/src/core/queues.cc" "src/core/CMakeFiles/etrain_core.dir/queues.cc.o" "gcc" "src/core/CMakeFiles/etrain_core.dir/queues.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_core.dir/cost_profile.cc.o"
+  "CMakeFiles/etrain_core.dir/cost_profile.cc.o.d"
+  "CMakeFiles/etrain_core.dir/etrain_scheduler.cc.o"
+  "CMakeFiles/etrain_core.dir/etrain_scheduler.cc.o.d"
+  "CMakeFiles/etrain_core.dir/offline_solver.cc.o"
+  "CMakeFiles/etrain_core.dir/offline_solver.cc.o.d"
+  "CMakeFiles/etrain_core.dir/queues.cc.o"
+  "CMakeFiles/etrain_core.dir/queues.cc.o.d"
+  "libetrain_core.a"
+  "libetrain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/figure_export.cc" "src/exp/CMakeFiles/etrain_exp.dir/figure_export.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/figure_export.cc.o.d"
+  "/root/repo/src/exp/metrics.cc" "src/exp/CMakeFiles/etrain_exp.dir/metrics.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/metrics.cc.o.d"
+  "/root/repo/src/exp/replication.cc" "src/exp/CMakeFiles/etrain_exp.dir/replication.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/replication.cc.o.d"
+  "/root/repo/src/exp/scenario.cc" "src/exp/CMakeFiles/etrain_exp.dir/scenario.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/scenario.cc.o.d"
+  "/root/repo/src/exp/slotted_sim.cc" "src/exp/CMakeFiles/etrain_exp.dir/slotted_sim.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/slotted_sim.cc.o.d"
+  "/root/repo/src/exp/sweeps.cc" "src/exp/CMakeFiles/etrain_exp.dir/sweeps.cc.o" "gcc" "src/exp/CMakeFiles/etrain_exp.dir/sweeps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/etrain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/etrain_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etrain_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

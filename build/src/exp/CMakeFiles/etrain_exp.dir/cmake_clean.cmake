@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_exp.dir/figure_export.cc.o"
+  "CMakeFiles/etrain_exp.dir/figure_export.cc.o.d"
+  "CMakeFiles/etrain_exp.dir/metrics.cc.o"
+  "CMakeFiles/etrain_exp.dir/metrics.cc.o.d"
+  "CMakeFiles/etrain_exp.dir/replication.cc.o"
+  "CMakeFiles/etrain_exp.dir/replication.cc.o.d"
+  "CMakeFiles/etrain_exp.dir/scenario.cc.o"
+  "CMakeFiles/etrain_exp.dir/scenario.cc.o.d"
+  "CMakeFiles/etrain_exp.dir/slotted_sim.cc.o"
+  "CMakeFiles/etrain_exp.dir/slotted_sim.cc.o.d"
+  "CMakeFiles/etrain_exp.dir/sweeps.cc.o"
+  "CMakeFiles/etrain_exp.dir/sweeps.cc.o.d"
+  "libetrain_exp.a"
+  "libetrain_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

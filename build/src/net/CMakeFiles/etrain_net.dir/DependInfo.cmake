@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_trace.cc" "src/net/CMakeFiles/etrain_net.dir/bandwidth_trace.cc.o" "gcc" "src/net/CMakeFiles/etrain_net.dir/bandwidth_trace.cc.o.d"
+  "/root/repo/src/net/radio_link.cc" "src/net/CMakeFiles/etrain_net.dir/radio_link.cc.o" "gcc" "src/net/CMakeFiles/etrain_net.dir/radio_link.cc.o.d"
+  "/root/repo/src/net/synthetic_bandwidth.cc" "src/net/CMakeFiles/etrain_net.dir/synthetic_bandwidth.cc.o" "gcc" "src/net/CMakeFiles/etrain_net.dir/synthetic_bandwidth.cc.o.d"
+  "/root/repo/src/net/wifi_availability.cc" "src/net/CMakeFiles/etrain_net.dir/wifi_availability.cc.o" "gcc" "src/net/CMakeFiles/etrain_net.dir/wifi_availability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/etrain_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etrain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/etrain_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_net.dir/bandwidth_trace.cc.o"
+  "CMakeFiles/etrain_net.dir/bandwidth_trace.cc.o.d"
+  "CMakeFiles/etrain_net.dir/radio_link.cc.o"
+  "CMakeFiles/etrain_net.dir/radio_link.cc.o.d"
+  "CMakeFiles/etrain_net.dir/synthetic_bandwidth.cc.o"
+  "CMakeFiles/etrain_net.dir/synthetic_bandwidth.cc.o.d"
+  "CMakeFiles/etrain_net.dir/wifi_availability.cc.o"
+  "CMakeFiles/etrain_net.dir/wifi_availability.cc.o.d"
+  "libetrain_net.a"
+  "libetrain_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/battery.cc" "src/radio/CMakeFiles/etrain_radio.dir/battery.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/battery.cc.o.d"
+  "/root/repo/src/radio/energy_meter.cc" "src/radio/CMakeFiles/etrain_radio.dir/energy_meter.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/energy_meter.cc.o.d"
+  "/root/repo/src/radio/power_model.cc" "src/radio/CMakeFiles/etrain_radio.dir/power_model.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/power_model.cc.o.d"
+  "/root/repo/src/radio/power_monitor.cc" "src/radio/CMakeFiles/etrain_radio.dir/power_monitor.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/power_monitor.cc.o.d"
+  "/root/repo/src/radio/rrc_machine.cc" "src/radio/CMakeFiles/etrain_radio.dir/rrc_machine.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/rrc_machine.cc.o.d"
+  "/root/repo/src/radio/transmission_log.cc" "src/radio/CMakeFiles/etrain_radio.dir/transmission_log.cc.o" "gcc" "src/radio/CMakeFiles/etrain_radio.dir/transmission_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etrain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_radio.dir/battery.cc.o"
+  "CMakeFiles/etrain_radio.dir/battery.cc.o.d"
+  "CMakeFiles/etrain_radio.dir/energy_meter.cc.o"
+  "CMakeFiles/etrain_radio.dir/energy_meter.cc.o.d"
+  "CMakeFiles/etrain_radio.dir/power_model.cc.o"
+  "CMakeFiles/etrain_radio.dir/power_model.cc.o.d"
+  "CMakeFiles/etrain_radio.dir/power_monitor.cc.o"
+  "CMakeFiles/etrain_radio.dir/power_monitor.cc.o.d"
+  "CMakeFiles/etrain_radio.dir/rrc_machine.cc.o"
+  "CMakeFiles/etrain_radio.dir/rrc_machine.cc.o.d"
+  "CMakeFiles/etrain_radio.dir/transmission_log.cc.o"
+  "CMakeFiles/etrain_radio.dir/transmission_log.cc.o.d"
+  "libetrain_radio.a"
+  "libetrain_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_sim.dir/simulator.cc.o"
+  "CMakeFiles/etrain_sim.dir/simulator.cc.o.d"
+  "libetrain_sim.a"
+  "libetrain_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etrain_system.dir/cargo_app_client.cc.o"
+  "CMakeFiles/etrain_system.dir/cargo_app_client.cc.o.d"
+  "CMakeFiles/etrain_system.dir/etrain_service.cc.o"
+  "CMakeFiles/etrain_system.dir/etrain_service.cc.o.d"
+  "CMakeFiles/etrain_system.dir/etrain_system.cc.o"
+  "CMakeFiles/etrain_system.dir/etrain_system.cc.o.d"
+  "CMakeFiles/etrain_system.dir/train_app.cc.o"
+  "CMakeFiles/etrain_system.dir/train_app.cc.o.d"
+  "libetrain_system.a"
+  "libetrain_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etrain_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

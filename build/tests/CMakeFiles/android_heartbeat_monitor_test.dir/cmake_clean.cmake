@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_heartbeat_monitor_test.dir/android_heartbeat_monitor_test.cpp.o"
+  "CMakeFiles/android_heartbeat_monitor_test.dir/android_heartbeat_monitor_test.cpp.o.d"
+  "android_heartbeat_monitor_test"
+  "android_heartbeat_monitor_test.pdb"
+  "android_heartbeat_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_heartbeat_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_pcap_test.dir/android_pcap_test.cpp.o"
+  "CMakeFiles/android_pcap_test.dir/android_pcap_test.cpp.o.d"
+  "android_pcap_test"
+  "android_pcap_test.pdb"
+  "android_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

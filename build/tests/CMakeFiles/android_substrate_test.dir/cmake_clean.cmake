@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_substrate_test.dir/android_substrate_test.cpp.o"
+  "CMakeFiles/android_substrate_test.dir/android_substrate_test.cpp.o.d"
+  "android_substrate_test"
+  "android_substrate_test.pdb"
+  "android_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

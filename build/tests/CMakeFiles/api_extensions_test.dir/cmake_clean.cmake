@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_extensions_test.dir/api_extensions_test.cpp.o"
+  "CMakeFiles/api_extensions_test.dir/api_extensions_test.cpp.o.d"
+  "api_extensions_test"
+  "api_extensions_test.pdb"
+  "api_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

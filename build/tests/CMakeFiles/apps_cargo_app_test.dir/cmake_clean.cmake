@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_cargo_app_test.dir/apps_cargo_app_test.cpp.o"
+  "CMakeFiles/apps_cargo_app_test.dir/apps_cargo_app_test.cpp.o.d"
+  "apps_cargo_app_test"
+  "apps_cargo_app_test.pdb"
+  "apps_cargo_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cargo_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_heartbeat_spec_test.dir/apps_heartbeat_spec_test.cpp.o"
+  "CMakeFiles/apps_heartbeat_spec_test.dir/apps_heartbeat_spec_test.cpp.o.d"
+  "apps_heartbeat_spec_test"
+  "apps_heartbeat_spec_test.pdb"
+  "apps_heartbeat_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_heartbeat_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_user_trace_test.dir/apps_user_trace_test.cpp.o"
+  "CMakeFiles/apps_user_trace_test.dir/apps_user_trace_test.cpp.o.d"
+  "apps_user_trace_test"
+  "apps_user_trace_test.pdb"
+  "apps_user_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_user_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

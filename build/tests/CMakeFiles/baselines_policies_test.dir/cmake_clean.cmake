@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_policies_test.dir/baselines_policies_test.cpp.o"
+  "CMakeFiles/baselines_policies_test.dir/baselines_policies_test.cpp.o.d"
+  "baselines_policies_test"
+  "baselines_policies_test.pdb"
+  "baselines_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

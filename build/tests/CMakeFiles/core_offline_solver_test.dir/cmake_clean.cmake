@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_offline_solver_test.dir/core_offline_solver_test.cpp.o"
+  "CMakeFiles/core_offline_solver_test.dir/core_offline_solver_test.cpp.o.d"
+  "core_offline_solver_test"
+  "core_offline_solver_test.pdb"
+  "core_offline_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_offline_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_queues_test.dir/core_queues_test.cpp.o"
+  "CMakeFiles/core_queues_test.dir/core_queues_test.cpp.o.d"
+  "core_queues_test"
+  "core_queues_test.pdb"
+  "core_queues_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

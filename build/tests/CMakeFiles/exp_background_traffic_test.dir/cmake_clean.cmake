@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_background_traffic_test.dir/exp_background_traffic_test.cpp.o"
+  "CMakeFiles/exp_background_traffic_test.dir/exp_background_traffic_test.cpp.o.d"
+  "exp_background_traffic_test"
+  "exp_background_traffic_test.pdb"
+  "exp_background_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_background_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

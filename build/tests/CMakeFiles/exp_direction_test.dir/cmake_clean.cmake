@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_direction_test.dir/exp_direction_test.cpp.o"
+  "CMakeFiles/exp_direction_test.dir/exp_direction_test.cpp.o.d"
+  "exp_direction_test"
+  "exp_direction_test.pdb"
+  "exp_direction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_direction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

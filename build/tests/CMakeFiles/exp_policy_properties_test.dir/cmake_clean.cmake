@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_policy_properties_test.dir/exp_policy_properties_test.cpp.o"
+  "CMakeFiles/exp_policy_properties_test.dir/exp_policy_properties_test.cpp.o.d"
+  "exp_policy_properties_test"
+  "exp_policy_properties_test.pdb"
+  "exp_policy_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_policy_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_replication_test.dir/exp_replication_test.cpp.o"
+  "CMakeFiles/exp_replication_test.dir/exp_replication_test.cpp.o.d"
+  "exp_replication_test"
+  "exp_replication_test.pdb"
+  "exp_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

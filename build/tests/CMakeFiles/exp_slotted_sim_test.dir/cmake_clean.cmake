@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_slotted_sim_test.dir/exp_slotted_sim_test.cpp.o"
+  "CMakeFiles/exp_slotted_sim_test.dir/exp_slotted_sim_test.cpp.o.d"
+  "exp_slotted_sim_test"
+  "exp_slotted_sim_test.pdb"
+  "exp_slotted_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_slotted_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

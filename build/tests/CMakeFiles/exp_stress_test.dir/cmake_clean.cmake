@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_stress_test.dir/exp_stress_test.cpp.o"
+  "CMakeFiles/exp_stress_test.dir/exp_stress_test.cpp.o.d"
+  "exp_stress_test"
+  "exp_stress_test.pdb"
+  "exp_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_synthetic_bandwidth_test.dir/net_synthetic_bandwidth_test.cpp.o"
+  "CMakeFiles/net_synthetic_bandwidth_test.dir/net_synthetic_bandwidth_test.cpp.o.d"
+  "net_synthetic_bandwidth_test"
+  "net_synthetic_bandwidth_test.pdb"
+  "net_synthetic_bandwidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_synthetic_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

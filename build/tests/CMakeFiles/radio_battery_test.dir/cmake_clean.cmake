@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_battery_test.dir/radio_battery_test.cpp.o"
+  "CMakeFiles/radio_battery_test.dir/radio_battery_test.cpp.o.d"
+  "radio_battery_test"
+  "radio_battery_test.pdb"
+  "radio_battery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_battery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_energy_meter_test.dir/radio_energy_meter_test.cpp.o"
+  "CMakeFiles/radio_energy_meter_test.dir/radio_energy_meter_test.cpp.o.d"
+  "radio_energy_meter_test"
+  "radio_energy_meter_test.pdb"
+  "radio_energy_meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_energy_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_power_model_test.dir/radio_power_model_test.cpp.o"
+  "CMakeFiles/radio_power_model_test.dir/radio_power_model_test.cpp.o.d"
+  "radio_power_model_test"
+  "radio_power_model_test.pdb"
+  "radio_power_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_power_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_presets_test.dir/radio_presets_test.cpp.o"
+  "CMakeFiles/radio_presets_test.dir/radio_presets_test.cpp.o.d"
+  "radio_presets_test"
+  "radio_presets_test.pdb"
+  "radio_presets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_integration_test.dir/system_integration_test.cpp.o"
+  "CMakeFiles/system_integration_test.dir/system_integration_test.cpp.o.d"
+  "system_integration_test"
+  "system_integration_test.pdb"
+  "system_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

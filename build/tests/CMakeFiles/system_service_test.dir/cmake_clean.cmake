@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_service_test.dir/system_service_test.cpp.o"
+  "CMakeFiles/system_service_test.dir/system_service_test.cpp.o.d"
+  "system_service_test"
+  "system_service_test.pdb"
+  "system_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

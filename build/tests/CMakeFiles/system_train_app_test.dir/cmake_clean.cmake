@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_train_app_test.dir/system_train_app_test.cpp.o"
+  "CMakeFiles/system_train_app_test.dir/system_train_app_test.cpp.o.d"
+  "system_train_app_test"
+  "system_train_app_test.pdb"
+  "system_train_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_train_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
