@@ -17,6 +17,7 @@
 #include "baselines/oracle_policy.h"
 #include "baselines/peres_policy.h"
 #include "baselines/tailender_policy.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/sweeps.h"
@@ -33,27 +34,47 @@ Scenario standard_scenario(radio::PowerModel model) {
   return make_scenario(cfg);
 }
 
-void run_and_report(Table& table, const Scenario& s,
-                    core::SchedulingPolicy& policy, const std::string& label) {
-  const auto m = run_slotted(s, policy);
+void add_report_row(Table& table, const experiments::RunMetrics& m,
+                    const std::string& label) {
   table.add_row({label, Table::num(m.network_energy(), 1),
                  Table::num(m.data_energy(), 1),
                  Table::num(m.normalized_delay, 1),
                  Table::num(m.violation_ratio, 3)});
 }
 
+/// Runs one labelled policy variant per entry concurrently and reports the
+/// rows in entry order — the shape every ablation section shares.
+struct Variant {
+  std::string label;
+  std::function<std::unique_ptr<core::SchedulingPolicy>()> make;
+};
+
+void run_variants(Table& table, const Scenario& s,
+                  const std::vector<Variant>& variants) {
+  const auto runs = parallel_map(variants, [&](const Variant& v) {
+    const auto policy = v.make();
+    return run_slotted(s, *policy);
+  });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    add_report_row(table, runs[i], variants[i].label);
+  }
+}
+
 void ablate_deferral(const Scenario& s) {
   print_banner("ablation 1: relief-valve deferral to the next train");
   Table table({"variant", "energy_J", "data_J", "delay_s", "violation"});
+  std::vector<Variant> variants;
   for (const double window : {0.0, 30.0, 60.0, 90.0}) {
-    core::EtrainScheduler p(
-        {.theta = 1.0, .k = 20, .drip_defer_window = window});
-    run_and_report(table, s, p,
-                   window == 0.0
-                       ? "literal Algorithm 1 (no deferral)"
-                       : "defer drips when train < " +
-                             Table::num(window, 0) + " s away");
+    variants.push_back(
+        {window == 0.0 ? "literal Algorithm 1 (no deferral)"
+                       : "defer drips when train < " + Table::num(window, 0) +
+                             " s away",
+         [window] {
+           return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
+               .theta = 1.0, .k = 20, .drip_defer_window = window});
+         }});
   }
+  run_variants(table, s, variants);
   table.print();
   std::printf(
       "deferring the relief valve to an imminent train (Sec. V-1's "
@@ -63,33 +84,44 @@ void ablate_deferral(const Scenario& s) {
 void ablate_k(const Scenario& s) {
   print_banner("ablation 2: the heartbeat batch limit k");
   Table table({"variant", "energy_J", "data_J", "delay_s", "violation"});
+  std::vector<Variant> variants;
   for (const std::size_t k :
        {std::size_t{1}, std::size_t{4}, std::size_t{20},
         core::EtrainConfig::unlimited_k()}) {
-    core::EtrainScheduler p({.theta = 1.0, .k = k});
-    const std::string label = (k == core::EtrainConfig::unlimited_k())
-                                  ? "k = infinity (deployed setting)"
-                                  : "k = " + std::to_string(k);
-    run_and_report(table, s, p, label);
+    variants.push_back({(k == core::EtrainConfig::unlimited_k())
+                            ? "k = infinity (deployed setting)"
+                            : "k = " + std::to_string(k),
+                        [k] {
+                          return std::make_unique<core::EtrainScheduler>(
+                              core::EtrainConfig{.theta = 1.0, .k = k});
+                        }});
   }
+  run_variants(table, s, variants);
   table.print();
 }
 
 void ablate_heartbeat_awareness(const Scenario& s) {
   print_banner("ablation 3: heartbeat awareness");
   Table table({"variant", "energy_J", "data_J", "delay_s", "violation"});
-  baselines::BaselinePolicy baseline;
-  run_and_report(table, s, baseline, "Baseline (no batching at all)");
-  baselines::TailEnderPolicy tailender;
-  run_and_report(table, s, tailender,
-                 "TailEnder (deadline batching, train-blind)");
-  core::EtrainScheduler etrain({.theta = 1.0, .k = 20});
-  run_and_report(table, s, etrain, "eTrain (train-aware, Theta=1)");
-  core::EtrainScheduler etrain_patient({.theta = 5.0, .k = 20});
-  run_and_report(table, s, etrain_patient,
-                 "eTrain (train-aware, Theta=5, TailEnder-like delay)");
-  baselines::OraclePolicy oracle;
-  run_and_report(table, s, oracle, "Oracle (clairvoyant bound)");
+  const std::vector<Variant> variants = {
+      {"Baseline (no batching at all)",
+       [] { return std::make_unique<baselines::BaselinePolicy>(); }},
+      {"TailEnder (deadline batching, train-blind)",
+       [] { return std::make_unique<baselines::TailEnderPolicy>(); }},
+      {"eTrain (train-aware, Theta=1)",
+       [] {
+         return std::make_unique<core::EtrainScheduler>(
+             core::EtrainConfig{.theta = 1.0, .k = 20});
+       }},
+      {"eTrain (train-aware, Theta=5, TailEnder-like delay)",
+       [] {
+         return std::make_unique<core::EtrainScheduler>(
+             core::EtrainConfig{.theta = 5.0, .k = 20});
+       }},
+      {"Oracle (clairvoyant bound)",
+       [] { return std::make_unique<baselines::OraclePolicy>(); }},
+  };
+  run_variants(table, s, variants);
   table.print();
   std::printf(
       "riding the already-paid heartbeat tails is what separates eTrain "
@@ -103,16 +135,20 @@ void ablate_radio_model() {
     const char* name;
     radio::PowerModel model;
   };
-  for (const auto& [name, model] :
-       {Named{"measured Galaxy S4 3G (delta_D=10, delta_F=7.5)",
-              radio::PowerModel::PaperUmts3G()},
-        Named{"paper simulation set (delta_D=2.5, delta_F=7.5)",
-              radio::PowerModel::PaperSimulation()},
-        Named{"3G with promotion delays", radio::PowerModel::Realistic3G()},
-        Named{"LTE DRX", radio::PowerModel::LteDrx()}}) {
-    const Scenario s = standard_scenario(model);
+  const std::vector<Named> models = {
+      Named{"measured Galaxy S4 3G (delta_D=10, delta_F=7.5)",
+            radio::PowerModel::PaperUmts3G()},
+      Named{"paper simulation set (delta_D=2.5, delta_F=7.5)",
+            radio::PowerModel::PaperSimulation()},
+      Named{"3G with promotion delays", radio::PowerModel::Realistic3G()},
+      Named{"LTE DRX", radio::PowerModel::LteDrx()}};
+  const auto runs = parallel_map(models, [](const Named& named) {
+    const Scenario s = standard_scenario(named.model);
     core::EtrainScheduler p({.theta = 1.0, .k = 20});
-    run_and_report(table, s, p, name);
+    return run_slotted(s, p);
+  });
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    add_report_row(table, runs[i], models[i].name);
   }
   table.print();
   std::printf(
@@ -134,15 +170,15 @@ void ablate_fast_dormancy() {
     radio::PowerModel model;
     bool etrain;
   };
-  for (const auto& cfg :
-       {Config{"normal radio + Baseline", radio::PowerModel::Realistic3G(),
-               false},
-        Config{"fast dormancy + Baseline",
-               radio::PowerModel::FastDormancy3G(), false},
-        Config{"normal radio + eTrain", radio::PowerModel::Realistic3G(),
-               true},
-        Config{"fast dormancy + eTrain",
-               radio::PowerModel::FastDormancy3G(), true}}) {
+  const std::vector<Config> configs = {
+      Config{"normal radio + Baseline", radio::PowerModel::Realistic3G(),
+             false},
+      Config{"fast dormancy + Baseline", radio::PowerModel::FastDormancy3G(),
+             false},
+      Config{"normal radio + eTrain", radio::PowerModel::Realistic3G(), true},
+      Config{"fast dormancy + eTrain", radio::PowerModel::FastDormancy3G(),
+             true}};
+  const auto runs = parallel_map(configs, [](const Config& cfg) {
     const Scenario s = standard_scenario(cfg.model);
     std::unique_ptr<core::SchedulingPolicy> policy;
     if (cfg.etrain) {
@@ -151,8 +187,11 @@ void ablate_fast_dormancy() {
     } else {
       policy = std::make_unique<baselines::BaselinePolicy>();
     }
-    const auto m = run_slotted(s, *policy);
-    table.add_row({cfg.name, Table::num(m.network_energy(), 1),
+    return run_slotted(s, *policy);
+  });
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& m = runs[i];
+    table.add_row({configs[i].name, Table::num(m.network_energy(), 1),
                    Table::num(m.energy.tail_energy(), 1),
                    Table::num(m.energy.setup_energy, 1),
                    Table::integer(static_cast<long long>(
@@ -175,40 +214,49 @@ void ablate_prediction_accuracy() {
   // estimates: even a perfect oracle estimate barely moves them, because
   // tails — not transmission timing — dominate the bill.
   Table table({"policy", "estimate", "energy_J", "delay_s", "violation"});
+  struct Cell {
+    const char* policy;
+    double sigma;
+    std::function<std::unique_ptr<core::SchedulingPolicy>()> make;
+  };
+  std::vector<Cell> cells;
   for (const double sigma : {0.25, 0.0}) {
+    cells.push_back({"PerES", sigma, [] {
+                       return std::make_unique<baselines::PerESPolicy>(
+                           baselines::PerESConfig{.omega = 0.5});
+                     }});
+    cells.push_back({"eTime", sigma, [] {
+                       return std::make_unique<baselines::ETimePolicy>(
+                           baselines::ETimeConfig{.v = 2.0});
+                     }});
+    cells.push_back({"eTrain (oblivious)", sigma, [] {
+                       return std::make_unique<core::EtrainScheduler>(
+                           core::EtrainConfig{.theta = 2.0, .k = 20});
+                     }});
+  }
+  const auto runs = parallel_map(cells, [](const Cell& cell) {
     Scenario s = standard_scenario(radio::PowerModel::PaperSimulation());
-    s.estimate_noise_sigma = sigma;
-    const char* label = sigma > 0.0 ? "noisy (default)" : "perfect";
-    {
-      baselines::PerESPolicy p({.omega = 0.5});
-      const auto m = run_slotted(s, p);
-      table.add_row({"PerES", label, Table::num(m.network_energy(), 1),
-                     Table::num(m.normalized_delay, 1),
-                     Table::num(m.violation_ratio, 3)});
-    }
-    {
-      baselines::ETimePolicy p({.v = 2.0});
-      const auto m = run_slotted(s, p);
-      table.add_row({"eTime", label, Table::num(m.network_energy(), 1),
-                     Table::num(m.normalized_delay, 1),
-                     Table::num(m.violation_ratio, 3)});
-    }
-    {
-      core::EtrainScheduler p({.theta = 2.0, .k = 20});
-      const auto m = run_slotted(s, p);
-      table.add_row({"eTrain (oblivious)", label,
-                     Table::num(m.network_energy(), 1),
-                     Table::num(m.normalized_delay, 1),
-                     Table::num(m.violation_ratio, 3)});
-    }
+    s.estimate_noise_sigma = cell.sigma;
+    const auto policy = cell.make();
+    return run_slotted(s, *policy);
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& m = runs[i];
+    table.add_row({cells[i].policy,
+                   cells[i].sigma > 0.0 ? "noisy (default)" : "perfect",
+                   Table::num(m.network_energy(), 1),
+                   Table::num(m.normalized_delay, 1),
+                   Table::num(m.violation_ratio, 3)});
   }
   table.print();
 }
 
 }  // namespace
 
-int main() {
-  std::printf("=== eTrain ablation studies (extension) ===\n");
+int main(int argc, char** argv) {
+  set_default_jobs(parse_jobs_flag(argc, argv));
+  std::printf("=== eTrain ablation studies (extension, %zu jobs) ===\n",
+              default_jobs());
   const Scenario s = standard_scenario(radio::PowerModel::PaperSimulation());
   ablate_deferral(s);
   ablate_k(s);

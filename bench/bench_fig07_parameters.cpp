@@ -10,6 +10,7 @@
 //       (~30 J) — diminishing returns justify k = infinity in deployment.
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/figure_export.h"
@@ -30,21 +31,19 @@ Scenario standard_scenario() {
 void fig7a(const Scenario& scenario) {
   print_banner("Fig. 7(a): impact of the cost bound Theta (k = 20)");
   Table table({"theta", "energy_J", "delay_s", "violation"});
-  std::vector<EDPoint> frontier;
-  EDPoint first{}, last{};
-  for (const double theta : linspace_step(0.0, 3.0, 0.2)) {
-    core::EtrainScheduler policy(
-        {.theta = theta, .k = 20, .drip_defer_window = 60.0});
-    const auto m = run_slotted(scenario, policy);
-    table.add_row({Table::num(theta, 1), Table::num(m.network_energy(), 1),
-                   Table::num(m.normalized_delay, 1),
-                   Table::num(m.violation_ratio, 3)});
-    const EDPoint p{theta, m.network_energy(), m.normalized_delay,
-                    m.violation_ratio};
-    frontier.push_back(p);
-    if (theta == 0.0) first = p;
-    last = p;
+  const auto frontier = sweep(
+      scenario,
+      [](double theta) {
+        return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
+            .theta = theta, .k = 20, .drip_defer_window = 60.0});
+      },
+      linspace_step(0.0, 3.0, 0.2));
+  for (const auto& p : frontier) {
+    table.add_row({Table::num(p.param, 1), Table::num(p.energy, 1),
+                   Table::num(p.delay, 1), Table::num(p.violation, 3)});
   }
+  const EDPoint first = frontier.front();
+  const EDPoint last = frontier.back();
   table.print();
   export_frontier(ensure_results_dir(), "fig07a_theta_sweep", frontier);
   std::printf(
@@ -96,13 +95,15 @@ void fig7b(const Scenario& scenario) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  set_default_jobs(parse_jobs_flag(argc, argv));
   std::printf(
       "=== eTrain reproduction: Fig. 7 — scheduler parameter analysis ===\n");
   const Scenario scenario = standard_scenario();
-  std::printf("workload: %zu cargo packets, %zu heartbeats over %.0f s\n",
+  std::printf("workload: %zu cargo packets, %zu heartbeats over %.0f s "
+              "(%zu jobs)\n",
               scenario.packets.size(), scenario.trains.size(),
-              scenario.horizon);
+              scenario.horizon, default_jobs());
   fig7a(scenario);
   fig7b(scenario);
   return 0;

@@ -12,6 +12,7 @@
 #include "baselines/baseline_policy.h"
 #include "baselines/etime_policy.h"
 #include "baselines/peres_policy.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/figure_export.h"
@@ -99,7 +100,10 @@ void fig8b() {
   const double target_delay = 55.0;
   Table table({"lambda", "Baseline_J", "eTrain_J", "eTime_J", "PerES_J",
                "eTrain saving_J", "eTrain viol", "eTime viol", "PerES viol"});
-  for (const double lambda : {0.04, 0.06, 0.08, 0.10, 0.12}) {
+  // One row per lambda; each row's three sweeps fan out internally, so the
+  // outer loop stays serial (nested pools would oversubscribe).
+  const std::vector<double> lambdas = {0.04, 0.06, 0.08, 0.10, 0.12};
+  for (const double lambda : lambdas) {
     const Scenario s = scenario_for(lambda);
     baselines::BaselinePolicy baseline;
     const auto mb = run_slotted(s, baseline);
@@ -174,10 +178,12 @@ void fig8_replicated() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  set_default_jobs(parse_jobs_flag(argc, argv));
   std::printf(
       "=== eTrain reproduction: Fig. 8 — comparison with Baseline, PerES, "
-      "eTime ===\n");
+      "eTime (%zu jobs) ===\n",
+      default_jobs());
   fig8a();
   fig8b();
   fig8_replicated();

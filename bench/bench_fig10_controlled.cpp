@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "apps/cargo_app.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "net/synthetic_bandwidth.h"
 #include "system/etrain_system.h"
@@ -64,27 +65,35 @@ experiments::RunMetrics run_system(const BuildOptions& opt) {
 
 void fig10a() {
   print_banner("Fig. 10(a): impact of the number of train apps");
-  // NULL: cargo only, no trains (the service flushes, so delay ~ 0).
+  // 7 independent full-system runs — NULL (cargo only) plus a
+  // heartbeat-only and a full run per train count — fan out together.
+  std::vector<BuildOptions> configs;
   BuildOptions null_opt;
   null_opt.train_count = 0;
-  const auto null_run = run_system(null_opt);
-  const Joules null_energy = null_run.network_energy();
+  configs.push_back(null_opt);  // configs[0]: NULL, no trains
+  for (int trains = 1; trains <= 3; ++trains) {
+    BuildOptions hb_only;
+    hb_only.train_count = trains;
+    hb_only.with_cargo = false;
+    configs.push_back(hb_only);  // configs[2*trains - 1]
+    BuildOptions full;
+    full.train_count = trains;
+    configs.push_back(full);  // configs[2*trains]
+  }
+  const auto runs = parallel_map(
+      configs, [](const BuildOptions& opt) { return run_system(opt); });
 
+  const auto& null_run = runs[0];
+  const Joules null_energy = null_run.network_energy();
   Table table({"setting", "heartbeat-only_J (red)", "cargo additional_J (blue)",
                "cargo saving vs NULL", "total_J", "total saving", "delay_s"});
   table.add_row({"NULL (no trains)", "0.0", Table::num(null_energy, 1), "-",
                  Table::num(null_energy, 1), "-",
                  Table::num(null_run.normalized_delay, 1)});
   for (int trains = 1; trains <= 3; ++trains) {
-    BuildOptions hb_only;
-    hb_only.train_count = trains;
-    hb_only.with_cargo = false;
-    const auto hb_run = run_system(hb_only);
+    const auto& hb_run = runs[2 * trains - 1];
     const Joules hb_energy = hb_run.network_energy();
-
-    BuildOptions full;
-    full.train_count = trains;
-    const auto full_run = run_system(full);
+    const auto& full_run = runs[2 * trains];
     const Joules additional = full_run.network_energy() - hb_energy;
     // "Total" compares against what the same workload would cost without
     // eTrain: NULL cargo energy plus the inevitable heartbeats.
@@ -107,21 +116,23 @@ void fig10a() {
 void fig10b() {
   print_banner("Fig. 10(b): impact of the cost bound Theta (3 trains)");
   Table table({"theta", "total_J", "delay_s", "violation"});
-  double e_first = 0, e_last = 0, d_first = 0, d_last = 0;
-  for (const double theta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+  const std::vector<double> thetas = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const auto runs = parallel_map(thetas, [](double theta) {
     BuildOptions opt;
     opt.scheduler = {.theta = theta, .k = 20};
-    const auto m = run_system(opt);
-    table.add_row({Table::num(theta, 1), Table::num(m.network_energy(), 1),
+    return run_system(opt);
+  });
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const auto& m = runs[i];
+    table.add_row({Table::num(thetas[i], 1),
+                   Table::num(m.network_energy(), 1),
                    Table::num(m.normalized_delay, 1),
                    Table::num(m.violation_ratio, 3)});
-    if (theta == 0.1) {
-      e_first = m.network_energy();
-      d_first = m.normalized_delay;
-    }
-    e_last = m.network_energy();
-    d_last = m.normalized_delay;
   }
+  const double e_first = runs.front().network_energy();
+  const double d_first = runs.front().normalized_delay;
+  const double e_last = runs.back().network_energy();
+  const double d_last = runs.back().normalized_delay;
   table.print();
   std::printf(
       "theta 0.1 -> 0.5: energy %.0f -> %.0f J (%.0f %%), delay %.0f -> %.0f "
@@ -132,11 +143,17 @@ void fig10b() {
 void fig10c() {
   print_banner("Fig. 10(c): impact of a shared deadline (3 trains)");
   Table table({"deadline_s", "total_J", "delay_s", "violation"});
-  for (const double deadline : {10.0, 30.0, 60.0, 90.0, 120.0, 180.0}) {
+  const std::vector<double> deadlines = {10.0, 30.0, 60.0,
+                                         90.0, 120.0, 180.0};
+  const auto runs = parallel_map(deadlines, [](double deadline) {
     BuildOptions opt;
     opt.shared_deadline = deadline;
-    const auto m = run_system(opt);
-    table.add_row({Table::num(deadline, 0), Table::num(m.network_energy(), 1),
+    return run_system(opt);
+  });
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    const auto& m = runs[i];
+    table.add_row({Table::num(deadlines[i], 0),
+                   Table::num(m.network_energy(), 1),
                    Table::num(m.normalized_delay, 1),
                    Table::num(m.violation_ratio, 3)});
   }
@@ -162,10 +179,12 @@ void fig9_measurement_check() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  set_default_jobs(parse_jobs_flag(argc, argv));
   std::printf(
       "=== eTrain reproduction: Fig. 10 — controlled experiments on the "
-      "full system ===\n");
+      "full system (%zu jobs) ===\n",
+      default_jobs());
   fig9_measurement_check();
   fig10a();
   fig10b();

@@ -8,6 +8,7 @@
 
 #include "apps/user_trace.h"
 #include "baselines/baseline_policy.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/slotted_sim.h"
@@ -56,9 +57,12 @@ Scenario activeness_scenario(apps::Activeness klass, int users,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  set_default_jobs(parse_jobs_flag(argc, argv));
   std::printf(
-      "=== eTrain reproduction: Fig. 11 — impact of user activeness ===\n");
+      "=== eTrain reproduction: Fig. 11 — impact of user activeness "
+      "(%zu jobs) ===\n",
+      default_jobs());
   const int users = 20;
   Table table({"class", "uploads", "without eTrain_J (blue)",
                "with eTrain_J", "saved_J (green)", "saved %", "delay_s"});
@@ -66,23 +70,36 @@ int main() {
     const char* name;
     apps::Activeness klass;
   };
-  for (const Row row : {Row{"active", apps::Activeness::kActive},
-                        Row{"moderate", apps::Activeness::kModerate},
-                        Row{"inactive", apps::Activeness::kInactive}}) {
+  struct ClassResult {
+    std::size_t uploads = 0;
+    RunMetrics without, with_etrain;
+  };
+  const std::vector<Row> rows = {Row{"active", apps::Activeness::kActive},
+                                 Row{"moderate", apps::Activeness::kModerate},
+                                 Row{"inactive", apps::Activeness::kInactive}};
+  // Each activeness class synthesizes its own scenario (seeded Rng) and
+  // runs both policies against it; the classes fan out concurrently.
+  const auto results = parallel_map(rows, [users](const Row& row) {
     const Scenario s = activeness_scenario(row.klass, users, 7);
     baselines::BaselinePolicy baseline;
     core::EtrainScheduler etrain(
         {.theta = 0.2, .k = 20, .drip_defer_window = 60.0});
-    const auto m_without = run_slotted(s, baseline);
-    const auto m_with = run_slotted(s, etrain);
-    const double without = m_without.network_energy();
-    const double with = m_with.network_energy();
-    table.add_row({row.name,
-                   Table::integer(static_cast<long long>(s.packets.size())),
+    ClassResult r;
+    r.uploads = s.packets.size();
+    r.without = run_slotted(s, baseline);
+    r.with_etrain = run_slotted(s, etrain);
+    return r;
+  });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = results[i];
+    const double without = r.without.network_energy();
+    const double with = r.with_etrain.network_energy();
+    table.add_row({rows[i].name,
+                   Table::integer(static_cast<long long>(r.uploads)),
                    Table::num(without, 1), Table::num(with, 1),
                    Table::num(without - with, 1),
                    Table::num(100.0 * (1.0 - with / without), 1) + " %",
-                   Table::num(m_with.normalized_delay, 1)});
+                   Table::num(r.with_etrain.normalized_delay, 1)});
   }
   table.print();
   std::printf(

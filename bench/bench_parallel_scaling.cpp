@@ -1,0 +1,166 @@
+// Parallel experiment engine: scaling and determinism check.
+//
+// Runs the Fig. 7(b) sweep grid — k in {2, 4, 8, 16} x Theta in 0..3 step
+// 0.5, i.e. 28 independent 2-hour simulations — through parallel_map at
+// 1 / 2 / 4 / hardware_concurrency() threads, reporting wall-clock and
+// speedup per thread count, and asserts that every parallel frontier is
+// *bit-identical* to the serial one (FNV-1a checksum over the raw bytes of
+// every EDPoint field).
+//
+// Exit status is non-zero when any checksum diverges, so this bench doubles
+// as the determinism smoke test scripts/check.sh runs with ETRAIN_JOBS=2.
+// Speedup depends on the machine: on a single-core container every row
+// reports ~1x (the checksums must still agree); on an N-core box the grid
+// should approach min(N, 28)x.
+//
+// Flags: --quick shortens the horizon to 1800 s (smoke-test mode);
+// --jobs N only caps the `auto` row (explicit thread counts are always
+// measured).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/etrain_scheduler.h"
+#include "exp/sweeps.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+struct GridCell {
+  std::size_t k = 0;
+  double theta = 0.0;
+};
+
+std::vector<GridCell> fig7b_grid() {
+  std::vector<GridCell> grid;
+  for (const std::size_t k : {2, 4, 8, 16}) {
+    for (const double theta : linspace_step(0.0, 3.0, 0.5)) {
+      grid.push_back({k, theta});
+    }
+  }
+  return grid;
+}
+
+/// FNV-1a over the raw bytes of every result field: any single-bit
+/// divergence between a serial and a parallel run changes the digest.
+class Fnv1a {
+ public:
+  void add(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (bits >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// One grid cell's simulation result plus a per-task random draw: the draw
+/// is seeded from task_seed(base, index), so the checksum covers both the
+/// simulation outputs and the deterministic seed-derivation scheme.
+struct Sample {
+  EDPoint point;
+  double task_draw = 0.0;
+};
+
+std::uint64_t checksum(const std::vector<Sample>& samples) {
+  Fnv1a fnv;
+  for (const auto& s : samples) {
+    fnv.add(s.point.param);
+    fnv.add(s.point.energy);
+    fnv.add(s.point.delay);
+    fnv.add(s.point.violation);
+    fnv.add(s.task_draw);
+  }
+  return fnv.value();
+}
+
+std::vector<Sample> run_grid(const Scenario& scenario,
+                             const std::vector<GridCell>& grid,
+                             std::size_t jobs) {
+  constexpr std::uint64_t kBaseSeed = 2015;
+  return parallel_map(
+      grid,
+      [&](const GridCell& cell, std::size_t index) {
+        core::EtrainScheduler policy({.theta = cell.theta, .k = cell.k});
+        const RunMetrics m = run_slotted(scenario, policy);
+        Rng rng(task_seed(kBaseSeed, index));
+        return Sample{EDPoint{cell.theta, m.network_energy(),
+                              m.normalized_delay, m.violation_ratio},
+                      rng.uniform(0.0, 1.0)};
+      },
+      jobs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  set_default_jobs(parse_jobs_flag(argc, argv));
+
+  std::printf(
+      "=== parallel experiment engine: scaling on the Fig. 7(b) grid ===\n");
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  if (quick) cfg.horizon = 1800.0;
+  const Scenario scenario = make_scenario(cfg);
+  const auto grid = fig7b_grid();
+  std::printf("grid: %zu (k, Theta) simulations x %.0f s horizon%s\n",
+              grid.size(), scenario.horizon, quick ? " (--quick)" : "");
+
+  // Serial reference first: its checksum is the ground truth.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto serial = run_grid(scenario, grid, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serial_s = std::chrono::duration<double>(t1 - t0).count();
+  const std::uint64_t want = checksum(serial);
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  const std::size_t n = default_jobs();
+  if (n > 4) thread_counts.push_back(n);
+
+  Table table({"threads", "wall_s", "speedup", "checksum", "bit-identical"});
+  table.add_row({"1 (reference)", Table::num(serial_s, 3), "1.00x",
+                 std::to_string(want), "yes"});
+  bool all_identical = true;
+  for (const std::size_t jobs : thread_counts) {
+    if (jobs == 1) continue;
+    const auto a = std::chrono::steady_clock::now();
+    const auto frontier = run_grid(scenario, grid, jobs);
+    const auto b = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(b - a).count();
+    const std::uint64_t got = checksum(frontier);
+    const bool same = got == want;
+    all_identical = all_identical && same;
+    table.add_row({std::to_string(jobs), Table::num(secs, 3),
+                   Table::num(serial_s / secs, 2) + "x",
+                   std::to_string(got), same ? "yes" : "NO"});
+  }
+  table.print();
+
+  if (!all_identical) {
+    std::printf("FAIL: a parallel run diverged from the serial reference\n");
+    return 1;
+  }
+  std::printf(
+      "all parallel runs byte-identical to serial (hardware_concurrency = "
+      "%u; speedup is hardware-bound and ~1x on a single-core container).\n",
+      std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# One-command gate: configure, build, run the test suite, then smoke-test
+# the parallel experiment engine's determinism guarantee (serial-vs-parallel
+# checksums must match bit for bit; see docs/determinism.md).
+#
+# Usage: scripts/check.sh [build-dir]        (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cd "$(dirname "$0")/.."
+
+# Only pick a generator on first configure; an existing cache keeps its own.
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B "$BUILD_DIR" -S . -G Ninja
+else
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+# bench_parallel_scaling exits non-zero if any thread count produces a
+# result that differs from the serial reference.
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_parallel_scaling" --quick
+
+echo "check.sh: all green"

@@ -1,0 +1,131 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace etrain {
+
+namespace {
+
+std::atomic<std::size_t> g_jobs_override{0};
+
+std::size_t parse_jobs_value(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != text.size() || text.empty() || value == 0) {
+    throw std::invalid_argument(std::string(what) + ": expected a positive " +
+                                "integer, got '" + text + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index) {
+  // Mix the index through the finalizer before xor-ing so that nearby
+  // (base, index) pairs land far apart, then mix again: two avalanche
+  // rounds decorrelate even base seeds that differ in a single bit.
+  return splitmix64(base_seed ^ splitmix64(task_index));
+}
+
+std::size_t default_jobs() {
+  const std::size_t override = g_jobs_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  if (const char* env = std::getenv("ETRAIN_JOBS")) {
+    return parse_jobs_value(env, "ETRAIN_JOBS");
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void set_default_jobs(std::size_t jobs) {
+  g_jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+std::size_t parse_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--jobs: missing value");
+      }
+      return parse_jobs_value(argv[i + 1], "--jobs");
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      return parse_jobs_value(arg.substr(7), "--jobs");
+    }
+    if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      return parse_jobs_value(arg.substr(2), "-j");
+    }
+  }
+  return 0;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace etrain

@@ -1,0 +1,166 @@
+// Parallel experiment execution with deterministic replay.
+//
+// Every evaluation artifact in this repo — the E–D frontier sweeps, the
+// multi-seed replicate() runs, the bench_* drivers — is a set of
+// *independent* (scenario, policy, knob, seed) simulations, so they are
+// embarrassingly parallel. This module provides the one primitive they all
+// share:
+//
+//   parallel_map(items, fn)  — apply fn to every item on a small fixed-size
+//                              thread pool and return the results *in input
+//                              order*, rethrowing the lowest-index exception
+//                              if any task failed.
+//
+// Determinism is a feature (see docs/determinism.md): nothing here may make
+// results depend on thread scheduling. Each task writes only its own result
+// slot, items are never chunked or reordered, and tasks that need their own
+// randomness derive it as Rng(task_seed(base_seed, index)) — a pure
+// splitmix64 mix of the base seed and the task index — so serial
+// (ETRAIN_JOBS=1) and parallel runs are byte-identical.
+//
+// Concurrency degree, in priority order:
+//   1. the explicit `jobs` argument to parallel_map, when non-zero;
+//   2. set_default_jobs(n) (the --jobs flag helper calls this);
+//   3. the ETRAIN_JOBS environment variable;
+//   4. std::thread::hardware_concurrency().
+// With an effective degree of 1 (or a single item) parallel_map runs inline
+// on the calling thread — no pool, no synchronization — which is the
+// debugging escape hatch: ETRAIN_JOBS=1 makes any run single-threaded.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace etrain {
+
+/// The splitmix64 finalizer (Steele et al.): a bijective avalanche mix.
+/// Used to derive statistically independent seeds from correlated inputs
+/// (base seed, small task indices).
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic per-task seed: a pure function of the base seed and the
+/// task index, independent of thread count and scheduling. Tasks inside a
+/// parallel_map that need randomness must seed from this (never from a
+/// shared generator, whose draw order would depend on scheduling).
+std::uint64_t task_seed(std::uint64_t base_seed, std::uint64_t task_index);
+
+/// Effective parallelism for parallel_map calls that do not pass an explicit
+/// `jobs`: set_default_jobs() override, else ETRAIN_JOBS, else
+/// hardware_concurrency(). Always >= 1.
+std::size_t default_jobs();
+
+/// Process-wide override of default_jobs(); 0 restores automatic selection
+/// (ETRAIN_JOBS / hardware_concurrency).
+void set_default_jobs(std::size_t jobs);
+
+/// Scans argv for `--jobs N` / `--jobs=N` / `-jN` and returns the value, or
+/// 0 (= automatic) when absent. Benches call
+/// `set_default_jobs(parse_jobs_flag(argc, argv))` first thing in main().
+/// Throws std::invalid_argument on a malformed value.
+std::size_t parse_jobs_flag(int argc, char** argv);
+
+/// A minimal fixed-size thread pool: one shared FIFO queue, no work
+/// stealing. Tasks must not throw (parallel_map catches per task before
+/// submitting); an escaping exception would terminate the process.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue — every submitted task still runs — then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks on task execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals workers: work or shutdown
+  std::condition_variable idle_cv_;  ///< signals wait_idle: all done
+  std::size_t running_ = 0;          ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+namespace detail {
+
+/// Calls fn(item, index) when the callable accepts the index, fn(item)
+/// otherwise — so simple maps stay simple while seed-deriving tasks can see
+/// their own index.
+template <typename Fn, typename Item>
+decltype(auto) invoke_map(Fn& fn, const Item& item, std::size_t index) {
+  if constexpr (std::is_invocable_v<Fn&, const Item&, std::size_t>) {
+    return fn(item, index);
+  } else {
+    return fn(item);
+  }
+}
+
+}  // namespace detail
+
+/// Applies `fn` to every element of `items` with up to `jobs` concurrent
+/// tasks (0 = default_jobs()) and returns the results in input order.
+///
+/// - The result type must be default-constructible (every experiment result
+///   struct in this repo is).
+/// - `fn` is shared by all workers: it must be safe to call concurrently.
+/// - If any invocation throws, the exception thrown by the *lowest index*
+///   is rethrown after all tasks finish — deterministic regardless of
+///   completion order.
+template <typename Item, typename Fn>
+auto parallel_map(const std::vector<Item>& items, Fn&& fn,
+                  std::size_t jobs = 0)
+    -> std::vector<std::decay_t<decltype(detail::invoke_map(
+        fn, items.front(), std::size_t{0}))>> {
+  using Result = std::decay_t<decltype(detail::invoke_map(
+      fn, items.front(), std::size_t{0}))>;
+  if (jobs == 0) jobs = default_jobs();
+
+  std::vector<Result> results(items.size());
+  if (jobs <= 1 || items.size() <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      results[i] = detail::invoke_map(fn, items[i], i);
+    }
+    return results;
+  }
+
+  std::vector<std::exception_ptr> errors(items.size());
+  {
+    ThreadPool pool(std::min(jobs, items.size()));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = detail::invoke_map(fn, items[i], i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace etrain

@@ -1,7 +1,10 @@
 #include "exp/replication.h"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/parallel.h"
 
 namespace etrain::experiments {
 
@@ -31,16 +34,24 @@ ReplicatedMetrics replicate(
   if (seeds.empty()) {
     throw std::invalid_argument("replicate: no seeds");
   }
-  std::vector<double> energies, delays, violations;
-  for (const std::uint64_t seed : seeds) {
+  // Each seed builds its own scenario and policy, so replications run
+  // concurrently (ETRAIN_JOBS-bounded) with byte-identical aggregates: the
+  // per-seed metrics come back in `seeds` order and the Welford accumulator
+  // below consumes them in that same order regardless of thread count.
+  const auto runs = parallel_map(seeds, [&](std::uint64_t seed) {
     ScenarioConfig cfg = config;
     cfg.workload_seed = seed;
     const Scenario scenario = make_scenario(cfg);
     const auto policy = make_policy();
     const RunMetrics m = run_slotted(scenario, *policy);
-    energies.push_back(m.network_energy());
-    delays.push_back(m.normalized_delay);
-    violations.push_back(m.violation_ratio);
+    return std::array<double, 3>{m.network_energy(), m.normalized_delay,
+                                 m.violation_ratio};
+  });
+  std::vector<double> energies, delays, violations;
+  for (const auto& run : runs) {
+    energies.push_back(run[0]);
+    delays.push_back(run[1]);
+    violations.push_back(run[2]);
   }
   return ReplicatedMetrics{replicate_metric(energies),
                            replicate_metric(delays),

@@ -33,6 +33,10 @@ struct ReplicatedMetrics {
 
 /// Runs `make_policy()` against `seeds.size()` freshly generated scenarios
 /// (identical config except the workload seed) and aggregates the metrics.
+/// Seeds run concurrently on up to default_jobs() threads (ETRAIN_JOBS /
+/// --jobs / core count; see common/parallel.h): `make_policy` must be safe
+/// to call concurrently, and the aggregates are byte-identical to a serial
+/// run because per-seed metrics are folded in `seeds` order.
 ReplicatedMetrics replicate(
     const ScenarioConfig& config, const std::vector<std::uint64_t>& seeds,
     const std::function<std::unique_ptr<core::SchedulingPolicy>()>&

@@ -4,21 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel.h"
+
 namespace etrain::experiments {
 
 std::vector<EDPoint> sweep(const Scenario& scenario,
                            const PolicyFactory& factory,
                            const std::vector<double>& params) {
-  std::vector<EDPoint> frontier;
-  frontier.reserve(params.size());
-  for (const double param : params) {
+  // One independent simulation per knob value: the shared scenario is
+  // read-only and each task owns its policy instance, so the runs are
+  // byte-identical to the serial loop regardless of ETRAIN_JOBS.
+  return parallel_map(params, [&](double param) {
     const auto policy = factory(param);
     const RunMetrics metrics = run_slotted(scenario, *policy);
-    frontier.push_back(EDPoint{param, metrics.network_energy(),
-                               metrics.normalized_delay,
-                               metrics.violation_ratio});
-  }
-  return frontier;
+    return EDPoint{param, metrics.network_energy(),
+                   metrics.normalized_delay, metrics.violation_ratio};
+  });
 }
 
 EDPoint frontier_at_delay(const std::vector<EDPoint>& frontier,

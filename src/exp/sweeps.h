@@ -25,11 +25,16 @@ struct EDPoint {
   double violation = 0.0;   ///< deadline violation ratio
 };
 
-/// Builds a policy for a given knob value.
+/// Builds a policy for a given knob value. Called concurrently from the
+/// sweep's worker threads, so it must be thread-safe (the stateless lambdas
+/// the benches use trivially are).
 using PolicyFactory =
     std::function<std::unique_ptr<core::SchedulingPolicy>(double)>;
 
-/// Runs the scenario once per knob value.
+/// Runs the scenario once per knob value. Knob values run concurrently on
+/// up to default_jobs() threads (ETRAIN_JOBS / --jobs / core count; see
+/// common/parallel.h); the returned frontier is always in `params` order
+/// and byte-identical to a serial run.
 std::vector<EDPoint> sweep(const Scenario& scenario,
                            const PolicyFactory& factory,
                            const std::vector<double>& params);

@@ -1,0 +1,224 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace etrain {
+namespace {
+
+/// Restores automatic job selection when a test overrides it.
+struct JobsGuard {
+  ~JobsGuard() { set_default_jobs(0); }
+};
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // First output of the reference splitmix64 stream seeded with 0.
+  EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFULL);
+  // Bijective finalizer: distinct inputs give distinct outputs.
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(TaskSeed, PureAndDistinct) {
+  EXPECT_EQ(task_seed(42, 7), task_seed(42, 7));  // pure function
+  // Nearby indices and nearby base seeds decorrelate.
+  EXPECT_NE(task_seed(42, 0), task_seed(42, 1));
+  EXPECT_NE(task_seed(42, 0), task_seed(43, 0));
+  // Index is mixed before xor: task_seed(a, b) != task_seed(b, a) in
+  // general, i.e. base and index are not interchangeable.
+  EXPECT_NE(task_seed(1, 2), task_seed(2, 1));
+}
+
+TEST(DefaultJobs, EnvAndOverridePriority) {
+  JobsGuard guard;
+  ASSERT_EQ(unsetenv("ETRAIN_JOBS"), 0);
+  set_default_jobs(0);
+  EXPECT_GE(default_jobs(), 1u);  // hardware fallback
+
+  ASSERT_EQ(setenv("ETRAIN_JOBS", "3", 1), 0);
+  EXPECT_EQ(default_jobs(), 3u);
+
+  set_default_jobs(2);  // explicit override beats the environment
+  EXPECT_EQ(default_jobs(), 2u);
+
+  set_default_jobs(0);
+  EXPECT_EQ(default_jobs(), 3u);  // back to the environment
+  ASSERT_EQ(unsetenv("ETRAIN_JOBS"), 0);
+}
+
+TEST(DefaultJobs, RejectsMalformedEnv) {
+  ASSERT_EQ(setenv("ETRAIN_JOBS", "banana", 1), 0);
+  EXPECT_THROW(default_jobs(), std::invalid_argument);
+  ASSERT_EQ(setenv("ETRAIN_JOBS", "0", 1), 0);
+  EXPECT_THROW(default_jobs(), std::invalid_argument);
+  ASSERT_EQ(unsetenv("ETRAIN_JOBS"), 0);
+}
+
+TEST(ParseJobsFlag, AcceptedSpellings) {
+  const char* argv1[] = {"bench", "--jobs", "4"};
+  EXPECT_EQ(parse_jobs_flag(3, const_cast<char**>(argv1)), 4u);
+  const char* argv2[] = {"bench", "--jobs=8"};
+  EXPECT_EQ(parse_jobs_flag(2, const_cast<char**>(argv2)), 8u);
+  const char* argv3[] = {"bench", "-j2"};
+  EXPECT_EQ(parse_jobs_flag(2, const_cast<char**>(argv3)), 2u);
+  const char* argv4[] = {"bench", "--quick"};
+  EXPECT_EQ(parse_jobs_flag(2, const_cast<char**>(argv4)), 0u);  // absent
+  const char* argv5[] = {"bench"};
+  EXPECT_EQ(parse_jobs_flag(1, const_cast<char**>(argv5)), 0u);
+}
+
+TEST(ParseJobsFlag, MalformedThrows) {
+  const char* argv1[] = {"bench", "--jobs"};
+  EXPECT_THROW(parse_jobs_flag(2, const_cast<char**>(argv1)),
+               std::invalid_argument);
+  const char* argv2[] = {"bench", "--jobs=zero"};
+  EXPECT_THROW(parse_jobs_flag(2, const_cast<char**>(argv2)),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after an idle period.
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // No wait_idle(): shutdown itself must run everything.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  std::vector<int> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  // Early items sleep longest so completion order inverts input order.
+  const auto results = parallel_map(
+      items,
+      [](int v) {
+        std::this_thread::sleep_for(std::chrono::microseconds(640 - 10 * v));
+        return v * v;
+      },
+      8);
+  ASSERT_EQ(results.size(), items.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelMap, IndexAwareCallable) {
+  const std::vector<int> items = {10, 20, 30};
+  const auto results = parallel_map(
+      items, [](int v, std::size_t i) { return v + static_cast<int>(i); },
+      2);
+  EXPECT_EQ(results, (std::vector<int>{10, 21, 32}));
+}
+
+TEST(ParallelMap, EmptyAndSingleItem) {
+  const std::vector<int> empty;
+  EXPECT_TRUE(parallel_map(empty, [](int v) { return v; }, 4).empty());
+  const std::vector<int> one = {7};
+  EXPECT_EQ(parallel_map(one, [](int v) { return v * 2; }, 4),
+            (std::vector<int>{14}));
+}
+
+TEST(ParallelMap, PropagatesExceptions) {
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  EXPECT_THROW(parallel_map(
+                   items,
+                   [](int v) {
+                     if (v == 5) throw std::runtime_error("task 5 failed");
+                     return v;
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, LowestIndexExceptionWins) {
+  // Two failing tasks; regardless of which finishes first, the rethrown
+  // exception must be the lower-index one.
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  try {
+    parallel_map(
+        items,
+        [](int v) {
+          if (v == 3) {
+            // Give the later failure a head start.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            throw std::runtime_error("failure at 3");
+          }
+          if (v == 12) throw std::runtime_error("failure at 12");
+          return v;
+        },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "failure at 3");
+  }
+}
+
+TEST(ParallelMap, TaskSeedDeterministicAcrossJobCounts) {
+  // The canonical deterministic-replay pattern: every task seeds its own
+  // Rng from task_seed(base, index). Serial and 4-way parallel execution
+  // must produce bit-identical draws.
+  std::vector<int> items(32);
+  std::iota(items.begin(), items.end(), 0);
+  const auto draw = [](int /*item*/, std::size_t index) {
+    Rng rng(task_seed(20150629, index));
+    return rng.uniform(0.0, 1.0) + rng.normal(0.0, 1.0);
+  };
+  const auto serial = parallel_map(items, draw, 1);
+  const auto parallel4 = parallel_map(items, draw, 4);
+  ASSERT_EQ(serial.size(), parallel4.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel4[i]) << "draw " << i << " diverged";
+  }
+}
+
+TEST(ParallelMap, UsesDefaultJobsWhenUnspecified) {
+  JobsGuard guard;
+  set_default_jobs(4);
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  const auto results = parallel_map(items, [](int v) { return v + 1; });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace etrain

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baseline_policy.h"
+#include "common/parallel.h"
 #include "core/etrain_scheduler.h"
 
 namespace etrain::experiments {
@@ -65,6 +66,37 @@ TEST(Replicate, OrderingHoldsInExpectation) {
   });
   EXPECT_LT(etrain.energy.mean + etrain.energy.ci95_half_width,
             baseline.energy.mean - baseline.energy.ci95_half_width);
+}
+
+TEST(Replicate, SerialAndParallelAreByteIdentical) {
+  // The parallel experiment engine's core guarantee: ETRAIN_JOBS must not
+  // change a single bit of any aggregate.
+  ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 1200.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const auto seeds = default_seeds(6);
+  const auto make_policy = [] {
+    return std::make_unique<core::EtrainScheduler>(
+        core::EtrainConfig{.theta = 1.0, .k = 20});
+  };
+  set_default_jobs(1);
+  const auto serial = replicate(cfg, seeds, make_policy);
+  set_default_jobs(4);
+  const auto parallel = replicate(cfg, seeds, make_policy);
+  set_default_jobs(0);
+
+  const auto expect_identical = [](const Replicated& a, const Replicated& b) {
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.ci95_half_width, b.ci95_half_width);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.runs, b.runs);
+  };
+  expect_identical(serial.energy, parallel.energy);
+  expect_identical(serial.delay, parallel.delay);
+  expect_identical(serial.violation, parallel.violation);
 }
 
 TEST(Replicate, NoSeedsThrows) {

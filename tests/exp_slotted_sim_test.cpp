@@ -6,6 +6,7 @@
 
 #include "baselines/baseline_policy.h"
 #include "baselines/oracle_policy.h"
+#include "common/parallel.h"
 #include "core/etrain_scheduler.h"
 #include "exp/sweeps.h"
 
@@ -179,6 +180,29 @@ TEST(Sweeps, SweepProducesOnePointPerParam) {
   // Larger theta: less energy, more delay (the Fig. 7(a) tradeoff).
   EXPECT_GT(frontier[0].energy, frontier[2].energy);
   EXPECT_LT(frontier[0].delay, frontier[2].delay);
+}
+
+TEST(Sweeps, SerialAndParallelAreByteIdentical) {
+  // ETRAIN_JOBS must not change a single bit of the frontier: the points
+  // come back in params order with exactly the serial loop's values.
+  const Scenario s = make_scenario(small_config());
+  const auto factory = [](double theta) {
+    return std::make_unique<core::EtrainScheduler>(
+        core::EtrainConfig{.theta = theta, .k = 20});
+  };
+  const std::vector<double> thetas = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5};
+  set_default_jobs(1);
+  const auto serial = sweep(s, factory, thetas);
+  set_default_jobs(4);
+  const auto parallel = sweep(s, factory, thetas);
+  set_default_jobs(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].param, parallel[i].param);
+    EXPECT_EQ(serial[i].energy, parallel[i].energy);
+    EXPECT_EQ(serial[i].delay, parallel[i].delay);
+    EXPECT_EQ(serial[i].violation, parallel[i].violation);
+  }
 }
 
 TEST(Sweeps, FrontierInterpolation) {
