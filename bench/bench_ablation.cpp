@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/sweeps.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -254,15 +255,20 @@ void ablate_prediction_accuracy() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf("=== eTrain ablation studies (extension, %zu jobs) ===\n",
               default_jobs());
   const Scenario s = standard_scenario(radio::PowerModel::PaperSimulation());
-  ablate_deferral(s);
-  ablate_k(s);
-  ablate_heartbeat_awareness(s);
-  ablate_radio_model();
-  ablate_fast_dormancy();
-  ablate_prediction_accuracy();
+  if (!opts.quick) {
+    ablate_deferral(s);
+    ablate_k(s);
+    ablate_heartbeat_awareness(s);
+    ablate_radio_model();
+    ablate_fast_dormancy();
+    ablate_prediction_accuracy();
+  }
+  benchutil::maybe_export_traced_run(
+      opts, s, core::EtrainConfig{.theta = 1.0, .k = 20,
+                                  .drip_defer_window = 60.0});
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/etrain_scheduler.h"
 #include "exp/figure_export.h"
 #include "exp/sweeps.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -96,7 +97,7 @@ void fig7b(const Scenario& scenario) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 7 — scheduler parameter analysis ===\n");
   const Scenario scenario = standard_scenario();
@@ -104,7 +105,12 @@ int main(int argc, char** argv) {
               "(%zu jobs)\n",
               scenario.packets.size(), scenario.trains.size(),
               scenario.horizon, default_jobs());
-  fig7a(scenario);
-  fig7b(scenario);
+  if (!opts.quick) {
+    fig7a(scenario);
+    fig7b(scenario);
+  }
+  benchutil::maybe_export_traced_run(
+      opts, scenario,
+      core::EtrainConfig{.theta = 1.0, .k = 20, .drip_defer_window = 60.0});
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "exp/figure_export.h"
 #include "exp/replication.h"
 #include "exp/sweeps.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -179,13 +180,17 @@ void fig8_replicated() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 8 — comparison with Baseline, PerES, "
       "eTime (%zu jobs) ===\n",
       default_jobs());
-  fig8a();
-  fig8b();
-  fig8_replicated();
+  if (!opts.quick) {
+    fig8a();
+    fig8b();
+    fig8_replicated();
+  }
+  benchutil::maybe_export_traced_run(opts, scenario_for(0.08),
+                                     core::EtrainConfig{.theta = 1.0, .k = 20});
   return 0;
 }

@@ -19,6 +19,8 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "net/synthetic_bandwidth.h"
+#include "obs/bench_options.h"
+#include "obs/trace_buffer.h"
 #include "system/etrain_system.h"
 
 namespace {
@@ -32,6 +34,9 @@ struct BuildOptions {
   std::optional<Duration> shared_deadline;
   Duration horizon = 7200.0;
   std::uint64_t seed = 42;
+  /// Observability hooks for this run (kept null in the parallel sweeps;
+  /// the --trace/--timeline run attaches a buffer + registry here).
+  obs::Observers observers;
 };
 
 experiments::RunMetrics run_system(const BuildOptions& opt) {
@@ -39,6 +44,7 @@ experiments::RunMetrics run_system(const BuildOptions& opt) {
   cfg.horizon = opt.horizon;
   cfg.model = radio::PowerModel::PaperUmts3G();
   cfg.service.scheduler = opt.scheduler;
+  cfg.observers = opt.observers;
   cfg.attach_power_monitor = true;  // the Fig. 9 lab setup
   system::EtrainSystem sys(cfg, net::wuhan_trace());
   const auto trains = apps::default_train_specs();
@@ -177,17 +183,47 @@ void fig9_measurement_check() {
           m.energy.total_energy());
 }
 
+// One fully observed default run (3 trains, cargo, Theta = 0.2): DES
+// EventFire, scheduler gates/selections, RRC transitions, heartbeat starts
+// and TailCharge records all land in one buffer, exported per the flags.
+void traced_run(const obs::BenchOptions& opts) {
+  print_banner("traced run: default configuration, full observability");
+  obs::TraceBuffer buffer;
+  obs::Registry registry;
+  BuildOptions opt;
+  opt.observers = obs::Observers{&buffer, &registry};
+  const auto m = run_system(opt);
+
+  obs::RunSummary summary;
+  summary.tail_energy_joules = m.energy.tail_energy();
+  summary.network_energy_joules = m.network_energy();
+  summary.transmissions = m.log.size();
+  obs::export_traced_run(opts, buffer, m.log, radio::PowerModel::PaperUmts3G(),
+                         m.energy.horizon, summary);
+  std::printf(
+      "traced run: %s network energy, %llu transmissions, %llu scheduler "
+      "slots, %llu flush selections\n",
+      format_joules(m.network_energy()).c_str(),
+      static_cast<unsigned long long>(m.log.size()),
+      static_cast<unsigned long long>(m.observed.counter("scheduler.slots")),
+      static_cast<unsigned long long>(
+          m.observed.counter("service.flush_selections")));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 10 — controlled experiments on the "
       "full system (%zu jobs) ===\n",
       default_jobs());
   fig9_measurement_check();
-  fig10a();
-  fig10b();
-  fig10c();
+  if (!opts.quick) {
+    fig10a();
+    fig10b();
+    fig10c();
+  }
+  if (opts.tracing()) traced_run(opts);
   return 0;
 }

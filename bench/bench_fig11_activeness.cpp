@@ -11,6 +11,7 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
+#include "traced_run.h"
 #include "exp/slotted_sim.h"
 #include "net/synthetic_bandwidth.h"
 
@@ -58,7 +59,7 @@ Scenario activeness_scenario(apps::Activeness klass, int users,
 }  // namespace
 
 int main(int argc, char** argv) {
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 11 — impact of user activeness "
       "(%zu jobs) ===\n",
@@ -108,5 +109,8 @@ int main(int argc, char** argv) {
       "(19.4 %%), inactive 63.23 J (13.3 %%) — more uploads give eTrain more "
       "cargo to piggyback, so savings grow with activeness.\n",
       users);
+  benchutil::maybe_export_traced_run(
+      opts, activeness_scenario(apps::Activeness::kActive, users, 7),
+      core::EtrainConfig{.theta = 0.2, .k = 20, .drip_defer_window = 60.0});
   return 0;
 }

@@ -1,20 +1,31 @@
 // Microbenchmarks (google-benchmark): the hot paths a phone-side deployment
 // cares about — Algorithm 1's per-slot selection, energy-meter replay,
 // heartbeat-cycle prediction, and bandwidth-trace integration.
+//
+// Also houses the tracing-overhead guard: with no sink attached, the
+// instrumented scheduler must stay within 2 % of a frozen pre-observability
+// copy of the selection loop; the binary exits nonzero on regression.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <unordered_set>
+#include <vector>
 
 #include "android/heartbeat_monitor.h"
 #include "core/etrain_scheduler.h"
 #include "exp/slotted_sim.h"
 #include "net/synthetic_bandwidth.h"
+#include "obs/trace_buffer.h"
 #include "radio/energy_meter.h"
 
 namespace {
 
 using namespace etrain;
 
-void BM_SchedulerSelect(benchmark::State& state) {
-  const auto n = static_cast<int>(state.range(0));
+core::WaitingQueues make_queues(int n) {
   core::WaitingQueues queues(3);
   for (int i = 0; i < n; ++i) {
     core::Packet p;
@@ -25,6 +36,12 @@ void BM_SchedulerSelect(benchmark::State& state) {
     p.bytes = 2000;
     queues.enqueue(core::QueuedPacket{p, &core::weibo_cost_profile()});
   }
+  return queues;
+}
+
+void BM_SchedulerSelect(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const core::WaitingQueues queues = make_queues(n);
   core::EtrainScheduler scheduler(
       {.theta = 0.0, .k = core::EtrainConfig::unlimited_k()});
   core::SlotContext ctx;
@@ -37,6 +54,30 @@ void BM_SchedulerSelect(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_SchedulerSelect)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+// The same selection with a live TraceBuffer and Registry attached — the
+// price of *enabled* observability, for comparison against the plain case.
+void BM_SchedulerSelectTraced(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const core::WaitingQueues queues = make_queues(n);
+  core::EtrainScheduler scheduler(
+      {.theta = 0.0, .k = core::EtrainConfig::unlimited_k()});
+  obs::TraceBuffer buffer(1 << 16);
+  obs::Registry registry;
+  scheduler.attach_observability(&buffer, &registry);
+  core::SlotContext ctx;
+  ctx.slot_start = 1000.0;
+  ctx.heartbeat_now = true;
+  for (auto _ : state) {
+    auto selections = scheduler.select(ctx, queues);
+    benchmark::DoNotOptimize(selections);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SchedulerSelectTraced)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
 
 void BM_EnergyMeterReplay(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,6 +142,159 @@ void BM_FullSlottedRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSlottedRun)->Arg(1800)->Arg(7200)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Tracing-overhead guard.
+//
+// A frozen copy of the selection loop exactly as it shipped before the obs
+// subsystem existed (PR 1). EtrainScheduler::select must match this within
+// 2 % when no sink/registry is attached — the ETRAIN_TRACE null checks and
+// `counting_` branches are the only additions, and they must stay free.
+// noinline: the real select() is an out-of-line library call, so the
+// reference must be one too — otherwise the comparison measures inlining,
+// not instrumentation.
+__attribute__((noinline)) std::vector<core::Selection> reference_select(
+    const core::EtrainConfig& config, const core::SlotContext& ctx,
+    const core::WaitingQueues& queues) {
+  std::vector<core::Selection> chosen;
+  if (queues.empty()) return chosen;
+
+  const TimePoint t = ctx.slot_start;
+  const TimePoint next_slot = t + ctx.slot_length;
+
+  const double total_cost = queues.instantaneous_cost(t);
+  if (total_cost < config.theta && !ctx.heartbeat_now) return chosen;
+
+  if (!ctx.heartbeat_now && config.drip_defer_window > 0.0) {
+    const TimePoint next_train = ctx.next_heartbeat();
+    if (next_train - t <= config.drip_defer_window) return chosen;
+  }
+
+  if (!ctx.heartbeat_now && config.channel_aware &&
+      total_cost < config.panic_factor * config.theta &&
+      ctx.bandwidth_long_term > 0.0 &&
+      ctx.bandwidth_estimate <
+          config.channel_threshold * ctx.bandwidth_long_term) {
+    return chosen;
+  }
+
+  const std::size_t k_limit = ctx.heartbeat_now ? config.k : 1;
+
+  const int apps = queues.app_count();
+  std::vector<double> selected_cost(apps, 0.0);
+  std::vector<double> queue_spec_cost(apps, 0.0);
+  for (int i = 0; i < apps; ++i) {
+    queue_spec_cost[i] = queues.app_speculative_cost(i, next_slot);
+  }
+  std::unordered_set<core::PacketId> taken;
+
+  while (chosen.size() < k_limit && chosen.size() < queues.total_size()) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    int best_app = -1;
+    core::PacketId best_packet = -1;
+    for (int i = 0; i < apps; ++i) {
+      const double remaining = queue_spec_cost[i] - selected_cost[i];
+      for (const core::QueuedPacket& p : queues.queue(i)) {
+        if (taken.contains(p.packet.id)) continue;
+        const double phi = p.speculative_cost(next_slot);
+        if (!ctx.heartbeat_now && phi <= 0.0) continue;
+        const double gain = remaining * phi - phi * phi / 2.0;
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && best_packet >= 0 &&
+             p.packet.id < best_packet)) {
+          best_gain = gain;
+          best_app = i;
+          best_packet = p.packet.id;
+        }
+      }
+    }
+    if (best_app < 0) break;
+    const auto& q = queues.queue(best_app);
+    const auto it = std::find_if(
+        q.begin(), q.end(), [best_packet](const core::QueuedPacket& p) {
+          return p.packet.id == best_packet;
+        });
+    selected_cost[best_app] += it->speculative_cost(next_slot);
+    taken.insert(best_packet);
+    chosen.push_back(core::Selection{best_app, best_packet});
+  }
+  return chosen;
+}
+
+/// Minimum wall time of `iters` calls to `fn`, over one rep.
+template <typename Fn>
+double rep_seconds(Fn&& fn, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Returns true when the detached-observability scheduler stays within the
+/// 2 % budget. Each rep times the two variants back to back (order
+/// alternating per rep, so cache/branch warm-up bias cancels) and takes the
+/// paired ratio; the median over reps is immune to whole-machine slowdowns
+/// that hit an entire rep, which min-of-reps across variants is not.
+bool tracing_overhead_guard() {
+  constexpr int kPackets = 256;
+  constexpr int kIters = 200;
+  constexpr int kReps = 41;
+  constexpr double kBudget = 1.02;
+
+  const core::WaitingQueues queues = make_queues(kPackets);
+  const core::EtrainConfig config{.theta = 0.0,
+                                  .k = core::EtrainConfig::unlimited_k()};
+  core::EtrainScheduler scheduler(config);  // no sink, no registry
+  core::SlotContext ctx;
+  ctx.slot_start = 1000.0;
+  ctx.heartbeat_now = true;
+
+  const auto run_reference = [&] {
+    auto s = reference_select(config, ctx, queues);
+    benchmark::DoNotOptimize(s);
+  };
+  const auto run_instrumented = [&] {
+    auto s = scheduler.select(ctx, queues);
+    benchmark::DoNotOptimize(s);
+  };
+
+  // Warm both paths before timing anything.
+  rep_seconds(run_reference, kIters / 4);
+  rep_seconds(run_instrumented, kIters / 4);
+
+  std::vector<double> ratios;
+  ratios.reserve(kReps);
+  double ref_min = std::numeric_limits<double>::infinity();
+  double cur_min = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    double ref = 0.0;
+    double cur = 0.0;
+    if (rep % 2 == 0) {
+      ref = rep_seconds(run_reference, kIters);
+      cur = rep_seconds(run_instrumented, kIters);
+    } else {
+      cur = rep_seconds(run_instrumented, kIters);
+      ref = rep_seconds(run_reference, kIters);
+    }
+    ratios.push_back(cur / ref);
+    ref_min = std::min(ref_min, ref);
+    cur_min = std::min(cur_min, cur);
+  }
+  std::nth_element(ratios.begin(), ratios.begin() + kReps / 2, ratios.end());
+  const double ratio = ratios[kReps / 2];
+  std::printf(
+      "tracing-overhead guard: reference min %.3f ms, instrumented "
+      "(detached) min %.3f ms, median paired ratio %.4f (budget %.2f) — %s\n",
+      1e3 * ref_min, 1e3 * cur_min, ratio, kBudget,
+      ratio <= kBudget ? "OK" : "REGRESSION");
+  return ratio <= kBudget;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return tracing_overhead_guard() ? 0 : 1;
+}

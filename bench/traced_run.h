@@ -1,0 +1,57 @@
+// Shared --trace/--timeline handling for the slotted-simulation benches
+// (Figs. 7, 8, 11 and the ablation study).
+//
+// The sweeps themselves stay untraced (tracing inside parallel_map would
+// need one buffer per task and nobody reads thousands of near-identical
+// traces); instead, when the flags ask for it, the bench performs ONE
+// representative eTrain run with a TraceBuffer + Registry attached and
+// exports that run's Chrome trace and power timeline.
+#pragma once
+
+#include <cstdio>
+
+#include "core/etrain_scheduler.h"
+#include "exp/scenario.h"
+#include "exp/slotted_sim.h"
+#include "obs/bench_options.h"
+#include "obs/trace_buffer.h"
+
+namespace etrain::benchutil {
+
+/// When opts asks for artifacts, runs `scenario` once under an eTrain
+/// scheduler configured with `config`, with full observability attached,
+/// and exports the requested files. No-op otherwise.
+inline void maybe_export_traced_run(const obs::BenchOptions& opts,
+                                    const experiments::Scenario& scenario,
+                                    const core::EtrainConfig& config) {
+  if (!opts.tracing()) return;
+  obs::TraceBuffer buffer;
+  obs::Registry registry;
+  core::EtrainScheduler policy(config);
+  policy.attach_observability(&buffer, &registry);
+  const auto metrics = experiments::run_slotted(
+      scenario, policy, obs::Observers{&buffer, &registry});
+
+  obs::RunSummary summary;
+  summary.tail_energy_joules =
+      metrics.energy.tail_energy() + metrics.wifi_energy.tail_energy();
+  summary.network_energy_joules = metrics.network_energy();
+  summary.transmissions = metrics.log.size() + metrics.wifi_log.size();
+  obs::export_traced_run(opts, buffer, metrics.log, scenario.model,
+                         metrics.energy.horizon, summary);
+
+  const auto& snap = metrics.observed;
+  std::printf(
+      "traced run: %llu slots, gate open %llu (heartbeat %llu / drip %llu), "
+      "piggybacked %llu, dripped %llu packets\n",
+      static_cast<unsigned long long>(snap.counter("scheduler.slots")),
+      static_cast<unsigned long long>(snap.counter("scheduler.gate_opens")),
+      static_cast<unsigned long long>(snap.counter("scheduler.gate_heartbeat")),
+      static_cast<unsigned long long>(snap.counter("scheduler.gate_drip")),
+      static_cast<unsigned long long>(
+          snap.counter("scheduler.packets_piggybacked")),
+      static_cast<unsigned long long>(
+          snap.counter("scheduler.packets_dripped")));
+}
+
+}  // namespace etrain::benchutil

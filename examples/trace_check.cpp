@@ -1,0 +1,35 @@
+// Validates Chrome-trace JSON files produced by the --trace bench flag:
+// well-formed JSON, required trace_event fields, non-decreasing timestamps,
+// and (when a RunSummary is present) that the TailCharge events re-sum to
+// the reported tail energy within 1e-9 J. scripts/check.sh runs this over
+// the traced fig10 smoke run; it is also registered as a ctest.
+//
+//   trace_check <trace.json> [more.json ...]    exit 0 iff all pass
+#include <cstdio>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: trace_check <trace.json> [more.json ...]\n");
+    std::printf(
+        "validates Chrome trace_event JSON written by the bench --trace "
+        "flag\n");
+    return 0;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto result = etrain::obs::check_chrome_trace_file(argv[i]);
+    if (result.ok) {
+      std::printf("%s: OK — %zu events, %zu tail charges (%.6f J%s)\n",
+                  argv[i], result.events, result.tail_charges,
+                  result.tail_charge_sum,
+                  result.reported_tail.has_value() ? ", matches summary"
+                                                   : "");
+    } else {
+      std::printf("%s: FAIL — %s\n", argv[i], result.error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

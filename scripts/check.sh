@@ -24,4 +24,13 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 # result that differs from the serial reference.
 ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_parallel_scaling" --quick
 
+# Observability smoke: one traced fig10 run, then validate the Chrome
+# trace (well-formed JSON, monotone timestamps, TailCharge sum matches the
+# reported tail energy) — see docs/observability.md.
+mkdir -p results
+"./$BUILD_DIR/bench/bench_fig10_controlled" --quick \
+  --trace results/fig10.trace.json \
+  --timeline results/fig10.power_timeline.csv
+"./$BUILD_DIR/examples/trace_check" results/fig10.trace.json
+
 echo "check.sh: all green"

@@ -15,6 +15,28 @@ EtrainScheduler::EtrainScheduler(EtrainConfig config) : config_(config) {
   }
 }
 
+void EtrainScheduler::attach_observability(obs::TraceSink* trace,
+                                           obs::Registry* registry) {
+  trace_ = trace;
+  counting_ = registry != nullptr;
+  if (registry == nullptr) {
+    stats_ = Stats{};
+    return;
+  }
+  stats_.slots = &registry->counter("scheduler.slots");
+  stats_.gate_opens = &registry->counter("scheduler.gate_opens");
+  stats_.gate_heartbeat = &registry->counter("scheduler.gate_heartbeat");
+  stats_.gate_drip = &registry->counter("scheduler.gate_drip");
+  stats_.drip_deferrals = &registry->counter("scheduler.drip_deferrals");
+  stats_.channel_holds = &registry->counter("scheduler.channel_holds");
+  stats_.packets_piggybacked =
+      &registry->counter("scheduler.packets_piggybacked");
+  stats_.packets_dripped = &registry->counter("scheduler.packets_dripped");
+  stats_.queue_cost = &registry->histogram(
+      "scheduler.queue_cost",
+      {0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0});
+}
+
 std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
                                                const WaitingQueues& queues) {
   std::vector<Selection> chosen;
@@ -25,6 +47,10 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
 
   // Line 1: P(t) from Eq. (6).
   const double total_cost = queues.instantaneous_cost(t);
+  if (counting_) {
+    stats_.slots->increment();
+    stats_.queue_cost->add(total_cost);
+  }
 
   // Line 3: gate on the cost bound or a departing train.
   if (total_cost < config_.theta && !ctx.heartbeat_now) return chosen;
@@ -34,7 +60,10 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
   // for free instead of paying a fresh one now.
   if (!ctx.heartbeat_now && config_.drip_defer_window > 0.0) {
     const TimePoint next_train = ctx.next_heartbeat();
-    if (next_train - t <= config_.drip_defer_window) return chosen;
+    if (next_train - t <= config_.drip_defer_window) {
+      if (counting_) stats_.drip_deferrals->increment();
+      return chosen;
+    }
   }
 
   // Channel-aware drips (future-work variant): a forced off-train send
@@ -45,7 +74,16 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
       ctx.bandwidth_long_term > 0.0 &&
       ctx.bandwidth_estimate <
           config_.channel_threshold * ctx.bandwidth_long_term) {
+    if (counting_) stats_.channel_holds->increment();
     return chosen;
+  }
+
+  ETRAIN_TRACE(trace_, obs::TraceEvent::gate_open(t, ctx.heartbeat_now,
+                                                  total_cost, config_.theta));
+  if (counting_) {
+    stats_.gate_opens->increment();
+    (ctx.heartbeat_now ? stats_.gate_heartbeat : stats_.gate_drip)
+        ->increment();
   }
 
   // Lines 4-8: K(t) modulation.
@@ -97,6 +135,13 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
     selected_cost[best_app] += it->speculative_cost(next_slot);
     taken.insert(best_packet);
     chosen.push_back(Selection{best_app, best_packet});
+    ETRAIN_TRACE(trace_, obs::TraceEvent::packet_select(
+                             t, best_app, best_packet, best_gain,
+                             it->speculative_cost(next_slot)));
+  }
+  if (counting_ && !chosen.empty()) {
+    (ctx.heartbeat_now ? stats_.packets_piggybacked : stats_.packets_dripped)
+        ->increment(chosen.size());
   }
   return chosen;
 }

@@ -18,6 +18,8 @@
 #include <limits>
 
 #include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace etrain::core {
 
@@ -67,8 +69,36 @@ class EtrainScheduler final : public SchedulingPolicy {
 
   const EtrainConfig& config() const { return config_; }
 
+  /// Attaches observability (either pointer may be null; null/null
+  /// detaches). With a trace sink, every gate opening emits GateOpen{P,
+  /// Theta} and every greedy pick emits PacketSelect{app, pkt, Eq. 9
+  /// score}. With a registry, the scheduler maintains:
+  ///   scheduler.slots / .gate_opens / .gate_heartbeat / .gate_drip
+  ///   scheduler.drip_deferrals / .channel_holds
+  ///   scheduler.packets_piggybacked / .packets_dripped
+  ///   scheduler.queue_cost (histogram of per-slot P(t))
+  /// The untraced hot path pays only a few null checks (bench_micro's
+  /// overhead guard enforces <2% vs. the frozen PR-1 loop).
+  void attach_observability(obs::TraceSink* trace, obs::Registry* registry);
+
  private:
   EtrainConfig config_;
+  obs::TraceSink* trace_ = nullptr;
+
+  /// Pre-resolved registry slots (name lookups happen once, at attach).
+  struct Stats {
+    obs::Counter* slots = nullptr;
+    obs::Counter* gate_opens = nullptr;
+    obs::Counter* gate_heartbeat = nullptr;
+    obs::Counter* gate_drip = nullptr;
+    obs::Counter* drip_deferrals = nullptr;
+    obs::Counter* channel_holds = nullptr;
+    obs::Counter* packets_piggybacked = nullptr;
+    obs::Counter* packets_dripped = nullptr;
+    obs::Histogram* queue_cost = nullptr;
+  };
+  Stats stats_;
+  bool counting_ = false;
 };
 
 }  // namespace etrain::core

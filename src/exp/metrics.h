@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/packet.h"
+#include "obs/metrics.h"
 #include "radio/energy_meter.h"
 #include "radio/transmission_log.h"
 
@@ -45,6 +46,10 @@ struct RunMetrics {
   /// the energy it recovered by integrating its 0.1 s current samples —
   /// the lab-style measurement, cross-checking the analytic meter.
   std::optional<Joules> monsoon_energy;
+
+  /// Observability counters/histograms of this run (empty unless an
+  /// obs::Registry was attached — see docs/observability.md).
+  obs::MetricsSnapshot observed;
 
   /// Average t_s(u) - t_a(u) over all cargo packets ("normalized delay").
   double normalized_delay = 0.0;

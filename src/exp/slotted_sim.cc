@@ -63,11 +63,25 @@ class Uplink {
 }  // namespace
 
 RunMetrics run_slotted(const Scenario& scenario,
-                       core::SchedulingPolicy& policy) {
+                       core::SchedulingPolicy& policy,
+                       const obs::Observers& observers) {
   policy.reset();
 
   RunMetrics metrics;
   metrics.policy_name = policy.name();
+
+  obs::TraceSink* const trace = observers.trace;
+  // Policy-agnostic run counters: what any scheduler did with the slots it
+  // was given, measured identically across policies.
+  obs::Counter* heartbeats_counter = nullptr;
+  obs::Counter* piggybacked_counter = nullptr;
+  obs::Counter* dripped_counter = nullptr;
+  if (observers.metrics != nullptr) {
+    heartbeats_counter = &observers.metrics->counter("run.heartbeats");
+    piggybacked_counter =
+        &observers.metrics->counter("run.packets_piggybacked");
+    dripped_counter = &observers.metrics->counter("run.packets_dripped");
+  }
 
   const Duration slot = policy.preferred_slot_length();
   if (slot <= 0.0) {
@@ -162,6 +176,9 @@ RunMetrics run_slotted(const Scenario& scenario,
            scenario.trains[next_train].time <= t) {
       const auto& hb = scenario.trains[next_train];
       uplink.transmit(t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1);
+      ETRAIN_TRACE(trace, obs::TraceEvent::heartbeat_tx(t, hb.train,
+                                                        hb.bytes));
+      if (heartbeats_counter != nullptr) heartbeats_counter->increment();
       heartbeat_now = true;
       ++next_train;
     }
@@ -196,7 +213,20 @@ RunMetrics run_slotted(const Scenario& scenario,
     ctx.bandwidth_long_term = long_term.mean();
     ctx.wifi_available = scenario.wifi.available(t);
 
+    // Only slots with something to decide are interesting on the trace;
+    // quiescent 1 s ticks would bury the signal.
+    if (trace != nullptr && (!queues.empty() || heartbeat_now)) {
+      trace->record(obs::TraceEvent::slot_begin(
+          t, static_cast<std::int32_t>(queues.total_size()),
+          queues.instantaneous_cost(t)));
+    }
+
     const auto selections = policy.select(ctx, queues);
+    if (!selections.empty()) {
+      obs::Counter* const bucket =
+          heartbeat_now ? piggybacked_counter : dripped_counter;
+      if (bucket != nullptr) bucket->increment(selections.size());
+    }
     std::unordered_set<core::PacketId> seen;
     for (const auto& sel : selections) {
       if (!seen.insert(sel.packet).second) {
@@ -213,6 +243,9 @@ RunMetrics run_slotted(const Scenario& scenario,
       const auto& hb = scenario.trains[next_train];
       uplink.transmit(hb.time, hb.bytes, radio::TxKind::kHeartbeat, hb.train,
                       -1);
+      ETRAIN_TRACE(trace, obs::TraceEvent::heartbeat_tx(hb.time, hb.train,
+                                                        hb.bytes));
+      if (heartbeats_counter != nullptr) heartbeats_counter->increment();
       ++next_train;
     }
     flush_background_until(slot_end - 1e-12);
@@ -238,14 +271,17 @@ RunMetrics run_slotted(const Scenario& scenario,
       std::max(scenario.horizon, metrics.log.last_end()) +
       scenario.model.tail_time();
   metrics.energy = radio::measure_energy(metrics.log, scenario.model,
-                                         energy_horizon);
+                                         energy_horizon, trace);
   const Duration wifi_horizon =
       std::max(scenario.horizon, metrics.wifi_log.last_end()) +
       scenario.wifi_model.tail_time();
   metrics.wifi_energy = radio::measure_energy(metrics.wifi_log,
                                               scenario.wifi_model,
-                                              wifi_horizon);
+                                              wifi_horizon, trace);
   finalize_metrics(metrics);
+  if (observers.metrics != nullptr) {
+    metrics.observed = observers.metrics->snapshot();
+  }
   return metrics;
 }
 

@@ -20,6 +20,7 @@
 #include "core/policy.h"
 #include "exp/metrics.h"
 #include "exp/scenario.h"
+#include "obs/metrics.h"
 
 namespace etrain::experiments {
 
@@ -27,7 +28,17 @@ namespace etrain::experiments {
 /// honoured (1 s for eTrain/PerES/Baseline, 60 s for eTime, per the paper).
 /// Packets still queued when the horizon is reached are force-flushed at the
 /// horizon so no policy can hide delay or energy by never transmitting.
+///
+/// `observers` (both members optional) attaches observability to the run
+/// itself: SlotBegin/HeartbeatTx trace events, TailCharge events from the
+/// energy-meter replay, and policy-agnostic run.* counters; the snapshot of
+/// the registry lands in RunMetrics::observed. Policy-internal events
+/// (GateOpen, PacketSelect) are the policy's own business — attach the same
+/// sink to the EtrainScheduler before calling. One run per sink/registry:
+/// both are thread-confined, so parallel_map fan-outs need per-task
+/// instances (docs/observability.md shows the pattern).
 RunMetrics run_slotted(const Scenario& scenario,
-                       core::SchedulingPolicy& policy);
+                       core::SchedulingPolicy& policy,
+                       const obs::Observers& observers = {});
 
 }  // namespace etrain::experiments

@@ -35,6 +35,10 @@ void RadioLink::start_next() {
 
   transmitting_ = true;
   rrc_.on_transmission_start(now);
+  if (request.kind == radio::TxKind::kHeartbeat) {
+    ETRAIN_TRACE(trace_sink_, obs::TraceEvent::heartbeat_tx(
+                                  now, request.app_id, request.bytes));
+  }
 
   radio::Transmission tx;
   tx.start = now;

@@ -13,6 +13,7 @@
 
 #include "core/packet.h"
 #include "net/bandwidth_trace.h"
+#include "obs/trace.h"
 #include "radio/rrc_machine.h"
 #include "radio/transmission_log.h"
 #include "sim/simulator.h"
@@ -52,6 +53,17 @@ class RadioLink {
   const radio::TransmissionLog& log() const { return log_; }
   const radio::RrcStateMachine& rrc() const { return rrc_; }
 
+  /// Attaches a trace sink (nullptr detaches): heartbeat starts emit
+  /// HeartbeatTx here, and the owned RRC machine emits its RrcTransition
+  /// events into the same sink.
+  void set_trace_sink(obs::TraceSink* sink) {
+    trace_sink_ = sink;
+    rrc_.set_trace_sink(sink);
+  }
+
+  /// Emits the RRC tail demotions that are final by time t (end of run).
+  void flush_trace(TimePoint t) { rrc_.flush_tail_transitions(t); }
+
  private:
   void start_next();
 
@@ -63,6 +75,7 @@ class RadioLink {
   radio::TransmissionLog log_;
   std::deque<Request> pending_;
   bool transmitting_ = false;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace etrain::net

@@ -1,0 +1,72 @@
+#include "obs/bench_options.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/parallel.h"
+
+namespace etrain::obs {
+
+namespace {
+
+/// Returns the value of `--flag <v>` / `--flag=<v>`, or empty when absent.
+std::string parse_string_flag(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + " requires a value");
+      }
+      return argv[i + 1];
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::string value = arg.substr(prefix.size());
+      if (value.empty()) {
+        throw std::invalid_argument(flag + " requires a value");
+      }
+      return value;
+    }
+  }
+  return "";
+}
+
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  opts.jobs = parse_jobs_flag(argc, argv);
+  set_default_jobs(opts.jobs);
+  opts.trace_path = parse_string_flag(argc, argv, "--trace");
+  opts.timeline_path = parse_string_flag(argc, argv, "--timeline");
+  opts.quick = has_flag(argc, argv, "--quick");
+  return opts;
+}
+
+void export_traced_run(const BenchOptions& opts, const TraceBuffer& buffer,
+                       const radio::TransmissionLog& log,
+                       const radio::PowerModel& model, Duration horizon,
+                       const RunSummary& summary) {
+  if (!opts.trace_path.empty()) {
+    const auto events = buffer.events();
+    write_chrome_trace_file(opts.trace_path, events, &log, &summary);
+    std::printf("trace: %zu events (%llu dropped) -> %s\n", events.size(),
+                static_cast<unsigned long long>(buffer.dropped()),
+                opts.trace_path.c_str());
+  }
+  if (!opts.timeline_path.empty()) {
+    write_power_timeline_file(opts.timeline_path, log, model, horizon);
+    std::printf("timeline: %.1f s at 0.1 s -> %s\n", horizon,
+                opts.timeline_path.c_str());
+  }
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,60 @@
+// Shared command-line plumbing for the bench binaries.
+//
+// Every figure bench accepts the same observability flags on top of the
+// parallel engine's --jobs:
+//
+//   --trace <out.json>      export a Chrome trace of one representative
+//                           traced run (chrome://tracing / Perfetto)
+//   --timeline <out.csv>    export that run's power/RRC-state timeline CSV
+//   --quick                 shrink the bench to a smoke-sized subset
+//                           (bench-specific; fig10 runs only the Fig. 9
+//                           methodology check)
+//
+// parse_bench_options() also parses --jobs (via parse_jobs_flag) and
+// applies it with set_default_jobs(), so a bench main reduces to:
+//
+//   const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+//   ...
+//   if (opts.tracing()) { /* run one traced run, then */
+//     obs::export_traced_run(opts, buffer, log, model, horizon, summary); }
+//
+// Naming convention (docs/experiments.md): traces land under results/ as
+// <bench>.trace.json and <bench>.power_timeline.csv; both patterns are
+// git-ignored.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/exporters.h"
+#include "obs/trace_buffer.h"
+
+namespace etrain::obs {
+
+struct BenchOptions {
+  std::string trace_path;     ///< empty = no Chrome-trace export
+  std::string timeline_path;  ///< empty = no timeline export
+  bool quick = false;
+  std::size_t jobs = 0;  ///< 0 = automatic (already applied globally)
+
+  /// True when the bench should perform its traced representative run.
+  bool tracing() const {
+    return !trace_path.empty() || !timeline_path.empty();
+  }
+};
+
+/// Parses the shared flags (and --jobs, which it applies via
+/// set_default_jobs). Throws std::invalid_argument on a malformed or
+/// value-less flag.
+BenchOptions parse_bench_options(int argc, char** argv);
+
+/// Writes the artifacts the flags asked for: the Chrome trace of `buffer`'s
+/// events (with transmission spans from `log` and a RunSummary) to
+/// opts.trace_path, and the power timeline of (`log`, `model`) over
+/// [0, horizon] to opts.timeline_path. Prints one line per file written.
+void export_traced_run(const BenchOptions& opts, const TraceBuffer& buffer,
+                       const radio::TransmissionLog& log,
+                       const radio::PowerModel& model, Duration horizon,
+                       const RunSummary& summary);
+
+}  // namespace etrain::obs

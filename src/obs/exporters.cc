@@ -1,0 +1,254 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "radio/energy_meter.h"
+
+namespace etrain::obs {
+
+namespace {
+
+/// Track ids of the Chrome export; see the header comment.
+enum Track : int {
+  kTrackScheduler = 1,
+  kTrackRadio = 2,
+  kTrackHeartbeats = 3,
+  kTrackKernel = 4,
+  kTrackMeter = 5,
+};
+
+int track_of(EventType type) {
+  switch (type) {
+    case EventType::kSlotBegin:
+    case EventType::kGateOpen:
+    case EventType::kPacketSelect:
+      return kTrackScheduler;
+    case EventType::kRrcTransition:
+      return kTrackRadio;
+    case EventType::kHeartbeatTx:
+      return kTrackHeartbeats;
+    case EventType::kEventFire:
+      return kTrackKernel;
+    case EventType::kTailCharge:
+      return kTrackMeter;
+  }
+  return kTrackKernel;
+}
+
+/// Seconds -> integer microseconds (trace_event's ts unit). Rounding keeps
+/// equal simulated times equal in the export.
+long long micros(TimePoint t) {
+  return static_cast<long long>(t * 1e6 + (t >= 0 ? 0.5 : -0.5));
+}
+
+void write_thread_name(std::ostream& out, int tid, const char* name) {
+  out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+      << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+/// Formats a double with enough digits to round-trip (the checker re-sums
+/// TailCharge joules to 1e-9 J).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_event(std::ostream& out, const TraceEvent& e) {
+  out << "{\"name\":\"" << to_string(e.type)
+      << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << track_of(e.type)
+      << ",\"ts\":" << micros(e.time) << ",\"args\":{";
+  switch (e.type) {
+    case EventType::kSlotBegin:
+      out << "\"queued\":" << e.a << ",\"cost\":" << num(e.x);
+      break;
+    case EventType::kGateOpen:
+      out << "\"heartbeat\":" << e.a << ",\"P\":" << num(e.x)
+          << ",\"theta\":" << num(e.y);
+      break;
+    case EventType::kPacketSelect:
+      out << "\"app\":" << e.a << ",\"packet\":" << e.b
+          << ",\"gain\":" << num(e.x) << ",\"phi\":" << num(e.y);
+      break;
+    case EventType::kHeartbeatTx:
+      out << "\"train\":" << e.a << ",\"bytes\":" << e.b;
+      break;
+    case EventType::kRrcTransition:
+      out << "\"from\":\""
+          << radio::to_string(static_cast<radio::RrcState>(e.a))
+          << "\",\"to\":\""
+          << radio::to_string(static_cast<radio::RrcState>(e.b)) << "\"";
+      break;
+    case EventType::kTailCharge:
+      out << "\"kind\":\"" << (e.a == 0 ? "heartbeat" : "data")
+          << "\",\"joules\":" << num(e.x) << ",\"gap_s\":" << num(e.y);
+      break;
+    case EventType::kEventFire:
+      out << "\"event_id\":" << e.b;
+      break;
+  }
+  out << "}}";
+}
+
+void write_transmission_span(std::ostream& out,
+                             const radio::Transmission& tx) {
+  out << "{\"name\":\""
+      << (tx.kind == radio::TxKind::kHeartbeat ? "heartbeat_tx" : "data_tx")
+      << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << kTrackRadio
+      << ",\"ts\":" << micros(tx.start)
+      << ",\"dur\":" << micros(tx.setup + tx.duration)
+      << ",\"args\":{\"bytes\":" << tx.bytes << ",\"app\":" << tx.app_id
+      << ",\"packet\":" << tx.packet_id << ",\"setup_s\":" << num(tx.setup)
+      << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const radio::TransmissionLog* log,
+                        const RunSummary* summary) {
+  // Sinks record in emission order, which is not globally chronological
+  // (the energy meter bills tails after the run; the RRC machine emits
+  // demotions retroactively). Sort by time, stable so same-instant events
+  // keep their emission order.
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"etrain\"}}";
+  out << ",";
+  write_thread_name(out, kTrackScheduler, "scheduler");
+  out << ",";
+  write_thread_name(out, kTrackRadio, "radio");
+  out << ",";
+  write_thread_name(out, kTrackHeartbeats, "heartbeats");
+  out << ",";
+  write_thread_name(out, kTrackKernel, "kernel");
+  out << ",";
+  write_thread_name(out, kTrackMeter, "meter");
+
+  // Transmission spans merge into the same stream: the checker (and some
+  // trace viewers) want file order to be non-decreasing in ts, so instants
+  // and spans interleave chronologically rather than forming two blocks.
+  std::vector<radio::Transmission> spans;
+  if (log != nullptr) {
+    spans = log->entries();
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const radio::Transmission& a,
+                        const radio::Transmission& b) {
+                       return a.start < b.start;
+                     });
+  }
+
+  double tail_sum = 0.0;
+  TimePoint last_time = 0.0;
+  std::size_t ei = 0;
+  std::size_t ti = 0;
+  while (ei < sorted.size() || ti < spans.size()) {
+    out << ",";
+    const bool take_event =
+        ei < sorted.size() &&
+        (ti >= spans.size() || sorted[ei].time <= spans[ti].start);
+    if (take_event) {
+      const TraceEvent& e = sorted[ei++];
+      write_event(out, e);
+      if (e.type == EventType::kTailCharge) tail_sum += e.x;
+      last_time = std::max(last_time, e.time);
+    } else {
+      const radio::Transmission& tx = spans[ti++];
+      write_transmission_span(out, tx);
+      last_time = std::max(last_time, tx.end());
+    }
+  }
+  if (summary != nullptr) {
+    out << ",{\"name\":\"RunSummary\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,"
+        << "\"tid\":" << kTrackMeter << ",\"ts\":" << micros(last_time)
+        << ",\"args\":{\"tail_charge_sum_J\":" << num(tail_sum)
+        << ",\"reported_tail_J\":" << num(summary->tail_energy_joules)
+        << ",\"network_energy_J\":" << num(summary->network_energy_joules)
+        << ",\"transmissions\":" << summary->transmissions << "}}";
+  }
+  out << "]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const radio::TransmissionLog* log,
+                             const RunSummary* summary) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  }
+  write_chrome_trace(out, events, log, summary);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace_file: write failed: " + path);
+  }
+}
+
+radio::RrcState state_at(const radio::TransmissionLog& log,
+                         const radio::PowerModel& model, TimePoint t) {
+  const auto& entries = log.entries();
+  const auto it = std::upper_bound(
+      entries.begin(), entries.end(), t,
+      [](TimePoint v, const radio::Transmission& tx) { return v < tx.start; });
+  if (it == entries.begin()) return radio::RrcState::kIdle;
+  const radio::Transmission& prev = *std::prev(it);
+  if (t < prev.end()) return radio::RrcState::kDch;  // setup or data phase
+  const Duration elapsed = t - prev.end();
+  if (elapsed < model.dch_tail) return radio::RrcState::kDch;
+  if (elapsed < model.tail_time()) return radio::RrcState::kFach;
+  return radio::RrcState::kIdle;
+}
+
+void write_power_timeline(std::ostream& out, const radio::TransmissionLog& log,
+                          const radio::PowerModel& model, Duration horizon,
+                          Duration dt) {
+  if (dt <= 0.0) {
+    throw std::invalid_argument("write_power_timeline: non-positive dt");
+  }
+  out << "time_s,power_W,rrc_state,transmitting\n";
+  const auto& entries = log.entries();
+  std::size_t next_tx = 0;
+  char line[128];
+  for (TimePoint t = 0.0; t <= horizon + 1e-12; t += dt) {
+    // A transmission is "in flight" at t when some entry's data phase
+    // covers t; advance the cursor instead of re-searching per sample.
+    while (next_tx < entries.size() && entries[next_tx].end() <= t) {
+      ++next_tx;
+    }
+    const bool transmitting = next_tx < entries.size() &&
+                              entries[next_tx].data_start() <= t &&
+                              t < entries[next_tx].end();
+    const Watts p = radio::power_at(log, model, t);
+    std::snprintf(line, sizeof(line), "%.3f,%.6f,%s,%d\n", t, p,
+                  radio::to_string(state_at(log, model, t)).c_str(),
+                  transmitting ? 1 : 0);
+    out << line;
+  }
+}
+
+void write_power_timeline_file(const std::string& path,
+                               const radio::TransmissionLog& log,
+                               const radio::PowerModel& model,
+                               Duration horizon, Duration dt) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_power_timeline_file: cannot open " + path);
+  }
+  write_power_timeline(out, log, model, horizon, dt);
+  if (!out) {
+    throw std::runtime_error("write_power_timeline_file: write failed: " +
+                             path);
+  }
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,70 @@
+// Trace exporters: Chrome trace_event JSON (loadable in chrome://tracing
+// and Perfetto) and the CSV power/RRC-state timeline that reconstructs the
+// paper's Fig. 3/4-style plots from any finished run.
+//
+// The Chrome export lays components out as one named track each:
+//   tid 1 "scheduler"  — SlotBegin / GateOpen / PacketSelect instants
+//   tid 2 "radio"      — transmissions as complete ("X") spans (from the
+//                        TransmissionLog) plus RrcTransition instants
+//   tid 3 "heartbeats" — HeartbeatTx instants
+//   tid 4 "kernel"     — DES EventFire instants
+//   tid 5 "meter"      — TailCharge instants and the final RunSummary
+// Timestamps are simulated seconds scaled to microseconds (the trace_event
+// unit); events are sorted by time before writing, so the checker can
+// assert monotonicity.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "radio/power_model.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::obs {
+
+/// End-of-run totals embedded in the trace as a RunSummary event. The
+/// checker cross-validates summed TailCharge joules against
+/// `tail_energy_joules` (must agree to 1e-9 J).
+struct RunSummary {
+  Joules tail_energy_joules = 0.0;
+  Joules network_energy_joules = 0.0;
+  std::size_t transmissions = 0;
+};
+
+/// Writes `events` (plus optional transmission spans and the run summary)
+/// as Chrome trace_event JSON. `log`/`summary` may be null.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const radio::TransmissionLog* log = nullptr,
+                        const RunSummary* summary = nullptr);
+
+/// write_chrome_trace to `path`; throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const radio::TransmissionLog* log = nullptr,
+                             const RunSummary* summary = nullptr);
+
+/// Writes the per-run power timeline as CSV with header
+/// `time_s,power_W,rrc_state,transmitting`: the instantaneous total power
+/// and RRC state sampled every `dt` seconds over [0, horizon], derived by
+/// replaying `log` against `model` — i.e. exactly what the Monsoon monitor
+/// of Fig. 9 sees, in a form gnuplot/matplotlib can turn back into a
+/// Fig. 3-style figure (recipe in docs/observability.md).
+void write_power_timeline(std::ostream& out, const radio::TransmissionLog& log,
+                          const radio::PowerModel& model, Duration horizon,
+                          Duration dt = 0.1);
+
+/// write_power_timeline to `path`; throws std::runtime_error on I/O failure.
+void write_power_timeline_file(const std::string& path,
+                               const radio::TransmissionLog& log,
+                               const radio::PowerModel& model,
+                               Duration horizon, Duration dt = 0.1);
+
+/// RRC state of a finished log at time t (the offline counterpart of
+/// RrcStateMachine::state_at; the timeline exporter's third column).
+radio::RrcState state_at(const radio::TransmissionLog& log,
+                         const radio::PowerModel& model, TimePoint t);
+
+}  // namespace etrain::obs

@@ -1,0 +1,170 @@
+// Counters and histograms for per-run metrics.
+//
+// Instrumented components register named Counters/Histograms in a Registry
+// once (at attach time) and then bump them through stable pointers — the
+// hot path never does a name lookup. After a run, Registry::snapshot()
+// freezes everything into a MetricsSnapshot, which rides along inside
+// RunMetrics so sweeps and benches can report piggyback rates, gate-open
+// counts and queue-cost distributions next to the energy numbers.
+//
+// Header-only and allocation-stable (deque storage), so any layer may
+// include it without linking etrain_obs. Like TraceSink, a Registry is
+// confined to one run on one thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace etrain::obs {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A fixed-bucket histogram over doubles. Bucket i counts samples with
+/// value <= bounds[i] (first matching bucket); samples beyond the last
+/// bound land in the implicit overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void add(double value) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// The frozen contents of a Registry. Default-constructible and copyable so
+/// it can live inside RunMetrics and flow through parallel_map.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  /// Value of a counter by name; 0 when absent.
+  std::uint64_t counter(const std::string& name) const {
+    for (const auto& c : counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  }
+
+  const HistogramSnapshot* histogram(const std::string& name) const {
+    for (const auto& h : histograms) {
+      if (h.name == name) return &h;
+    }
+    return nullptr;
+  }
+};
+
+/// Owns named counters and histograms. References returned by counter() /
+/// histogram() stay valid for the registry's lifetime (deque storage never
+/// reallocates elements).
+class Registry {
+ public:
+  /// Returns the counter named `name`, creating it on first use.
+  Counter& counter(const std::string& name) {
+    for (auto& e : counters_) {
+      if (e.name == name) return e.counter;
+    }
+    counters_.push_back(NamedCounter{name, Counter{}});
+    return counters_.back().counter;
+  }
+
+  /// Returns the histogram named `name`, creating it with `upper_bounds` on
+  /// first use (later calls ignore the bounds argument).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds) {
+    for (auto& e : histograms_) {
+      if (e.name == name) return e.histogram;
+    }
+    histograms_.push_back(NamedHistogram{name, Histogram(std::move(upper_bounds))});
+    return histograms_.back().histogram;
+  }
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& e : counters_) {
+      snap.counters.push_back(CounterSnapshot{e.name, e.counter.value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& e : histograms_) {
+      const Histogram& h = e.histogram;
+      snap.histograms.push_back(HistogramSnapshot{
+          e.name, h.bounds(), h.counts(), h.count(), h.sum(), h.min(),
+          h.max()});
+    }
+    return snap;
+  }
+
+ private:
+  struct NamedCounter {
+    std::string name;
+    Counter counter;
+  };
+  struct NamedHistogram {
+    std::string name;
+    Histogram histogram;
+  };
+  std::deque<NamedCounter> counters_;
+  std::deque<NamedHistogram> histograms_;
+};
+
+/// The observability hooks a run accepts: both optional, both may be null.
+/// Passed by value (two pointers) through run_slotted / EtrainSystem.
+struct Observers {
+  TraceSink* trace = nullptr;
+  Registry* metrics = nullptr;
+};
+
+}  // namespace etrain::obs

@@ -1,0 +1,144 @@
+// Tracing primitives: typed events, the sink interface, and the
+// ETRAIN_TRACE recording macro.
+//
+// The paper's whole argument is *where energy goes over time* (the Fig. 3/4
+// power timelines and the tail-energy accounting), so the instrumented
+// layers — DES kernel, RRC machine, energy meter, Algorithm 1, slotted sim,
+// system service — emit typed TraceEvents describing exactly that: when a
+// gate opened, which packet boarded which heartbeat, which gap was billed
+// how many joules of tail.
+//
+// Cost model, from cheapest to most expensive:
+//   * compiled out        — building with -DETRAIN_OBS_DISABLED makes every
+//                           ETRAIN_TRACE(...) expand to ((void)0); the
+//                           argument expressions are never evaluated;
+//   * null sink (default) — one pointer null-check per site; no payload is
+//                           constructed (the macro short-circuits before
+//                           evaluating the event expression);
+//   * recording           — a TraceBuffer write: bump an index, copy a POD.
+// bench_micro's tracing-overhead guard holds the null-sink path to <2% of
+// the frozen PR-1 hot loop.
+//
+// Everything in this header is header-only on purpose: lower layers (sim,
+// radio, core, net) include it without gaining a link dependency; only the
+// exporters/checker live in the compiled etrain_obs library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace etrain::obs {
+
+/// Every kind of event the instrumented layers emit. The payload fields of
+/// TraceEvent are interpreted per type; see the factory functions below for
+/// the authoritative mapping (also documented in docs/observability.md).
+enum class EventType : std::uint8_t {
+  kSlotBegin,      ///< slotted sim: a slot with work started
+  kGateOpen,       ///< Algorithm 1 line 3: P(t) >= Theta or heartbeat
+  kPacketSelect,   ///< Algorithm 1 lines 9-13: one greedy pick (Eq. 9)
+  kHeartbeatTx,    ///< a train app's keep-alive hit the uplink
+  kRrcTransition,  ///< the radio changed RRC state
+  kTailCharge,     ///< the energy meter billed one inter-tx gap's tail
+  kEventFire,      ///< the DES kernel dispatched an event
+};
+
+inline const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kSlotBegin: return "SlotBegin";
+    case EventType::kGateOpen: return "GateOpen";
+    case EventType::kPacketSelect: return "PacketSelect";
+    case EventType::kHeartbeatTx: return "HeartbeatTx";
+    case EventType::kRrcTransition: return "RrcTransition";
+    case EventType::kTailCharge: return "TailCharge";
+    case EventType::kEventFire: return "EventFire";
+  }
+  return "?";
+}
+
+/// One recorded event. A flat POD (40 bytes) so a preallocated ring buffer
+/// can hold millions without touching the allocator; the generic payload
+/// fields (a, b, x, y) carry different meanings per EventType — always
+/// construct through the factories so call sites stay self-documenting.
+struct TraceEvent {
+  TimePoint time = 0.0;
+  EventType type = EventType::kSlotBegin;
+  std::int32_t a = 0;
+  std::int64_t b = -1;
+  double x = 0.0;
+  double y = 0.0;
+
+  /// a = queued packets, x = instantaneous queue cost P(t).
+  static TraceEvent slot_begin(TimePoint t, std::int32_t queued,
+                               double cost) {
+    return {t, EventType::kSlotBegin, queued, -1, cost, 0.0};
+  }
+  /// a = 1 when opened by a departing heartbeat (0 = cost drip),
+  /// x = P(t), y = Theta.
+  static TraceEvent gate_open(TimePoint t, bool heartbeat, double cost,
+                              double theta) {
+    return {t, EventType::kGateOpen, heartbeat ? 1 : 0, -1, cost, theta};
+  }
+  /// a = app id, b = packet id, x = Eq. 9 gain, y = phi_u (speculative
+  /// cost of the picked packet).
+  static TraceEvent packet_select(TimePoint t, std::int32_t app,
+                                  std::int64_t packet, double gain,
+                                  double phi) {
+    return {t, EventType::kPacketSelect, app, packet, gain, phi};
+  }
+  /// a = train id, b = bytes.
+  static TraceEvent heartbeat_tx(TimePoint t, std::int32_t train,
+                                 std::int64_t bytes) {
+    return {t, EventType::kHeartbeatTx, train, bytes, 0.0, 0.0};
+  }
+  /// a = from state, b = to state (radio::RrcState values).
+  static TraceEvent rrc_transition(TimePoint t, std::int32_t from,
+                                   std::int64_t to) {
+    return {t, EventType::kRrcTransition, from, to, 0.0, 0.0};
+  }
+  /// a = TxKind of the transmission that produced the tail, x = joules
+  /// billed for this gap, y = gap length in seconds. Summing x over all
+  /// TailCharge events reproduces EnergyReport::tail_energy() exactly.
+  static TraceEvent tail_charge(TimePoint t, std::int32_t kind,
+                                double joules, double gap) {
+    return {t, EventType::kTailCharge, kind, -1, joules, gap};
+  }
+  /// b = the kernel's EventId. Cancelled events never fire and never emit.
+  static TraceEvent event_fire(TimePoint t, std::int64_t id) {
+    return {t, EventType::kEventFire, 0, id, 0.0, 0.0};
+  }
+};
+
+/// Where events go. Implementations must be cheap: record() sits on the DES
+/// and scheduler hot paths. Sinks are deliberately not thread-safe — one
+/// sink per run, runs confined to one thread; parallel_map fan-outs give
+/// each task its own sink (see docs/observability.md).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Accepts and discards everything. Useful for measuring the cost of the
+/// virtual dispatch itself; production code paths pass nullptr instead,
+/// which short-circuits before the call.
+class NullSink final : public TraceSink {
+ public:
+  void record(const TraceEvent&) override {}
+};
+
+}  // namespace etrain::obs
+
+// Records `event_expr` into `sink_ptr` when tracing is compiled in and the
+// sink is non-null. The event expression is NOT evaluated when the sink is
+// null, so payload computation is free on the untraced path.
+#if defined(ETRAIN_OBS_DISABLED)
+#define ETRAIN_TRACE(sink_ptr, event_expr) ((void)0)
+#else
+#define ETRAIN_TRACE(sink_ptr, event_expr)       \
+  do {                                           \
+    if ((sink_ptr) != nullptr) {                 \
+      (sink_ptr)->record(event_expr);            \
+    }                                            \
+  } while (0)
+#endif

@@ -1,0 +1,75 @@
+// A preallocated ring-buffer TraceSink.
+//
+// The buffer allocates its full capacity up front and never touches the
+// allocator again: record() is an index bump plus a 40-byte POD copy, so it
+// is safe on the DES and scheduler hot paths. When more events arrive than
+// fit, the oldest are overwritten (a trace's recent past is worth more than
+// its distant past); overflowed() reports whether that happened and
+// dropped() how many events were lost.
+//
+// Thread-confinement contract: a TraceBuffer serves exactly one simulation
+// run on one thread. Fan-outs over parallel_map give each task its own
+// buffer (tasks own their slot, nothing is shared), which keeps recording
+// lock-free and replay deterministic — see obs_trace_buffer_test for the
+// canonical per-task pattern.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace etrain::obs {
+
+class TraceBuffer final : public TraceSink {
+ public:
+  /// Preallocates room for `capacity` events (at least 1). The default of
+  /// 2^20 events (~40 MB) comfortably holds a two-hour full-system run,
+  /// which emits well under 10^6 events.
+  explicit TraceBuffer(std::size_t capacity = std::size_t{1} << 20)
+      : events_(capacity < 1 ? 1 : capacity) {}
+
+  void record(const TraceEvent& event) override {
+    events_[next_] = event;
+    next_ = (next_ + 1) % events_.size();
+    ++recorded_;
+  }
+
+  std::size_t capacity() const { return events_.size(); }
+  /// Events currently held (min(recorded, capacity)).
+  std::size_t size() const {
+    return recorded_ < events_.size() ? recorded_ : events_.size();
+  }
+  /// Total record() calls, including overwritten ones.
+  std::uint64_t total_recorded() const { return recorded_; }
+  bool overflowed() const { return recorded_ > events_.size(); }
+  std::uint64_t dropped() const {
+    return overflowed() ? recorded_ - events_.size() : 0;
+  }
+
+  /// The retained events in recording order (oldest first). Copies; call
+  /// once per run, after the run.
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(size());
+    if (!overflowed()) {
+      out.insert(out.end(), events_.begin(), events_.begin() + next_);
+    } else {
+      out.insert(out.end(), events_.begin() + next_, events_.end());
+      out.insert(out.end(), events_.begin(), events_.begin() + next_);
+    }
+    return out;
+  }
+
+  void clear() {
+    next_ = 0;
+    recorded_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t next_ = 0;      ///< next write slot
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace etrain::obs

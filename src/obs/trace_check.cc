@@ -1,0 +1,301 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace etrain::obs {
+
+namespace {
+
+/// A minimal recursive-descent JSON reader: just enough to verify
+/// well-formedness and pull out the handful of fields the checks need.
+/// Throws std::string error messages; check_chrome_trace catches them.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            pos_ += 4;  // validated but not decoded; names are ASCII
+            out += '?';
+            break;
+          default: fail("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number: " + token);
+    return value;
+  }
+
+  /// Skips any JSON value, validating structure.
+  void skip_value() {
+    const char c = peek();
+    if (c == '{') {
+      skip_object();
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      parse_number();
+    }
+  }
+
+  /// Iterates an object's members, calling on_member(key) positioned at the
+  /// member's value; on_member must consume exactly that value.
+  template <typename Fn>
+  void parse_object(Fn&& on_member) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = parse_string();
+      expect(':');
+      on_member(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  void skip_object() {
+    parse_object([this](const std::string&) { skip_value(); });
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw message + " at offset " + std::to_string(pos_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// The fields of one traceEvents entry the checks care about.
+struct EventFields {
+  std::string name;
+  std::string ph;
+  bool has_ts = false, has_pid = false, has_tid = false;
+  double ts = 0.0;
+  double joules = 0.0;
+  bool has_joules = false;
+  std::optional<double> reported_tail;
+};
+
+EventFields parse_event(JsonReader& reader) {
+  EventFields ev;
+  reader.parse_object([&](const std::string& key) {
+    if (key == "name") {
+      ev.name = reader.parse_string();
+    } else if (key == "ph") {
+      ev.ph = reader.parse_string();
+    } else if (key == "ts") {
+      ev.ts = reader.parse_number();
+      ev.has_ts = true;
+    } else if (key == "pid") {
+      reader.parse_number();
+      ev.has_pid = true;
+    } else if (key == "tid") {
+      reader.parse_number();
+      ev.has_tid = true;
+    } else if (key == "args") {
+      reader.parse_object([&](const std::string& arg) {
+        if (arg == "joules") {
+          ev.joules = reader.parse_number();
+          ev.has_joules = true;
+        } else if (arg == "reported_tail_J") {
+          ev.reported_tail = reader.parse_number();
+        } else {
+          reader.skip_value();
+        }
+      });
+    } else {
+      reader.skip_value();
+    }
+  });
+  return ev;
+}
+
+}  // namespace
+
+TraceCheckResult check_chrome_trace(const std::string& json) {
+  TraceCheckResult result;
+  JsonReader reader(json);
+  try {
+    bool saw_trace_events = false;
+    double last_ts = -1.0;
+    reader.parse_object([&](const std::string& key) {
+      if (key != "traceEvents") {
+        reader.skip_value();
+        return;
+      }
+      saw_trace_events = true;
+      reader.expect('[');
+      if (reader.consume(']')) return;
+      do {
+        const EventFields ev = parse_event(reader);
+        ++result.events;
+        if (ev.name.empty()) reader.fail("event without name");
+        if (ev.ph.empty()) reader.fail("event without ph");
+        if (!ev.has_pid) {
+          reader.fail("event '" + ev.name + "' without pid");
+        }
+        if (ev.ph != "M") {
+          // Metadata entries like process_name legitimately omit tid;
+          // every real event needs a track.
+          if (!ev.has_tid) {
+            reader.fail("event '" + ev.name + "' without tid");
+          }
+          if (!ev.has_ts) reader.fail("event '" + ev.name + "' without ts");
+          if (ev.ts < 0.0) reader.fail("negative ts");
+          if (ev.ts < last_ts) {
+            reader.fail("non-monotone ts in event '" + ev.name + "'");
+          }
+          last_ts = ev.ts;
+        }
+        if (ev.name == "TailCharge") {
+          if (!ev.has_joules) reader.fail("TailCharge without joules");
+          ++result.tail_charges;
+          result.tail_charge_sum += ev.joules;
+        }
+        if (ev.name == "RunSummary" && ev.reported_tail.has_value()) {
+          result.reported_tail = ev.reported_tail;
+        }
+      } while (reader.consume(','));
+      reader.expect(']');
+    });
+    if (!reader.at_end()) reader.fail("trailing garbage after trace object");
+    if (!saw_trace_events) {
+      result.error = "no traceEvents array";
+      return result;
+    }
+    if (result.events == 0) {
+      result.error = "empty traceEvents array";
+      return result;
+    }
+    if (result.reported_tail.has_value() &&
+        std::fabs(result.tail_charge_sum - *result.reported_tail) > 1e-9) {
+      std::ostringstream msg;
+      msg.precision(17);
+      msg << "TailCharge sum " << result.tail_charge_sum
+          << " J != reported tail " << *result.reported_tail << " J";
+      result.error = msg.str();
+      return result;
+    }
+  } catch (const std::string& error) {
+    result.error = error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+TraceCheckResult check_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    TraceCheckResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return check_chrome_trace(buffer.str());
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,41 @@
+// A small validator for exported Chrome traces.
+//
+// Checks what the importers (chrome://tracing, Perfetto's TraceProcessor)
+// actually require of the JSON trace_event format, plus the invariants our
+// own exporter promises:
+//   * well-formed JSON object with a "traceEvents" array of objects
+//     (brace/bracket balance, string escaping, no trailing garbage);
+//   * every event has "name", "ph", "pid", "tid" and a numeric "ts" >= 0;
+//   * non-metadata timestamps are monotonically non-decreasing in file
+//     order (the exporter sorts before writing);
+//   * when a RunSummary event is present, the sum of all TailCharge
+//     "joules" args equals its "reported_tail_J" to within 1e-9 J — the
+//     end-to-end guarantee that the trace and the EnergyMeter agree.
+//
+// Used both as a ctest (obs_exporters_test / obs_integration_test) and by
+// the `trace_check` CLI that scripts/check.sh runs on a real traced bench.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace etrain::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;          ///< empty when ok
+  std::size_t events = 0;     ///< traceEvents entries (metadata included)
+  std::size_t tail_charges = 0;
+  double tail_charge_sum = 0.0;
+  std::optional<double> reported_tail;  ///< RunSummary's reported_tail_J
+};
+
+/// Validates the JSON text of one exported trace.
+TraceCheckResult check_chrome_trace(const std::string& json);
+
+/// Reads and validates a trace file; a missing/unreadable file fails.
+TraceCheckResult check_chrome_trace_file(const std::string& path);
+
+}  // namespace etrain::obs

@@ -28,7 +28,8 @@ TailSplit split_tail(const PowerModel& model, Duration gap) {
 }  // namespace
 
 EnergyReport measure_energy(const TransmissionLog& log,
-                            const PowerModel& model, Duration horizon) {
+                            const PowerModel& model, Duration horizon,
+                            obs::TraceSink* trace) {
   if (horizon < log.last_end() - 1e-9) {
     throw std::invalid_argument(
         "measure_energy: horizon ends before the last transmission");
@@ -64,6 +65,11 @@ EnergyReport measure_energy(const TransmissionLog& log,
     report.fach_tail_energy += split.fach;
     report.tail_energy_by_kind[static_cast<std::size_t>(tx.kind)] +=
         split.dch + split.fach;
+    if (split.dch + split.fach > 0.0) {
+      ETRAIN_TRACE(trace, obs::TraceEvent::tail_charge(
+                              tx.end(), static_cast<std::int32_t>(tx.kind),
+                              split.dch + split.fach, gap));
+    }
     if (gap >= model.tail_time()) {
       ++report.full_tails;
     } else if (gap > 0.0) {

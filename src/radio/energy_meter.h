@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/trace.h"
 #include "radio/power_model.h"
 #include "radio/transmission_log.h"
 
@@ -63,8 +64,14 @@ struct EnergyReport {
 /// Requirements: log entries ordered and non-overlapping (TransmissionLog
 /// enforces this) and horizon >= log.last_end(). The tail that follows the
 /// final transmission is truncated at `horizon`.
+///
+/// When `trace` is non-null, every gap with a non-zero tail emits one
+/// TailCharge event, timestamped at the transmission end that opened the
+/// gap; the sum of their joules equals the report's tail_energy() (the
+/// trace checker asserts this to 1e-9 J).
 EnergyReport measure_energy(const TransmissionLog& log,
-                            const PowerModel& model, Duration horizon);
+                            const PowerModel& model, Duration horizon,
+                            obs::TraceSink* trace = nullptr);
 
 /// Instantaneous total power at time `t` for a finished log — the quantity
 /// the Monsoon power monitor samples. O(log n) lookup.

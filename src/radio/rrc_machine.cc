@@ -8,13 +8,41 @@ void RrcStateMachine::check_monotone(TimePoint t) const {
   }
 }
 
+void RrcStateMachine::trace_transition(TimePoint t, RrcState to) {
+  if (to == traced_state_) return;
+  ETRAIN_TRACE(trace_, obs::TraceEvent::rrc_transition(
+                           t, static_cast<std::int32_t>(traced_state_),
+                           static_cast<std::int64_t>(to)));
+  traced_state_ = to;
+}
+
+void RrcStateMachine::flush_tail_transitions(TimePoint t) {
+  if (trace_ == nullptr || tx_start_.has_value() || !last_end_.has_value()) {
+    return;
+  }
+  // The demotion instants are fixed by the last transmission's end; emit
+  // the ones already in the past at time t.
+  const TimePoint fach_at = *last_end_ + model_.dch_tail;
+  const TimePoint idle_at = *last_end_ + model_.tail_time();
+  if (traced_state_ == RrcState::kDch && t >= fach_at) {
+    trace_transition(fach_at, RrcState::kFach);
+  }
+  if (traced_state_ == RrcState::kFach && t >= idle_at) {
+    trace_transition(idle_at, RrcState::kIdle);
+  }
+}
+
 void RrcStateMachine::on_transmission_start(TimePoint t) {
   check_monotone(t);
   if (tx_start_.has_value()) {
     throw std::logic_error("RrcStateMachine: transmission already active");
   }
+  // Retroactively announce the tail demotions that elapsed since the last
+  // transmission, then the promotion this transmission causes.
+  flush_tail_transitions(t);
   tx_start_ = t;
   last_event_ = t;
+  trace_transition(t, RrcState::kDch);
 }
 
 void RrcStateMachine::on_transmission_end(TimePoint t) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "radio/power_model.h"
 
 namespace etrain::radio {
@@ -44,13 +45,29 @@ class RrcStateMachine {
 
   const PowerModel& model() const { return model_; }
 
+  /// Attaches a trace sink (nullptr detaches). Every state change emits an
+  /// RrcTransition event: promotions at their exact instant, tail demotions
+  /// (DCH->FACH->IDLE) retroactively — their timestamps are only known to
+  /// be final once the next transmission arrives, or when
+  /// flush_tail_transitions() is called at end of run.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Emits the tail demotions that have already happened by time t (end of
+  /// run / end of metering window). Idempotent per demotion.
+  void flush_tail_transitions(TimePoint t);
+
  private:
   PowerModel model_;
   std::optional<TimePoint> tx_start_;
   std::optional<TimePoint> last_end_;
   TimePoint last_event_ = kTimeZero;
+  obs::TraceSink* trace_ = nullptr;
+  /// The state most recently announced on the trace; demotions emitted by
+  /// flush_tail_transitions advance it so they are never emitted twice.
+  RrcState traced_state_ = RrcState::kIdle;
 
   void check_monotone(TimePoint t) const;
+  void trace_transition(TimePoint t, RrcState to);
 };
 
 }  // namespace etrain::radio

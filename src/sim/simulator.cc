@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -11,7 +12,8 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
   const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  heap_.push_back(Event{when, next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_ids_.insert(id);
   return id;
 }
@@ -28,25 +30,37 @@ bool Simulator::cancel(EventId id) {
   if (it == pending_ids_.end()) return false;
   pending_ids_.erase(it);
   cancelled_ids_.insert(id);
+  // Keep the heap from filling up with corpses: once cancelled entries are
+  // the majority, sweep them out. Amortized O(1) per cancel — a sweep of n
+  // entries only happens after >= n/2 cancels.
+  if (cancelled_ids_.size() > heap_.size() / 2 && heap_.size() >= 64) {
+    compact();
+  }
   return true;
 }
 
+void Simulator::compact() {
+  std::erase_if(heap_, [this](const Event& ev) {
+    return cancelled_ids_.contains(ev.id);
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_ids_.clear();
+}
+
 void Simulator::run_until(TimePoint horizon) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > horizon) break;
-    if (cancelled_ids_.erase(top.id) > 0) {
-      queue_.pop();
-      continue;
-    }
-    // Move the event out before popping; fn may schedule more events,
-    // which mutates the queue.
-    Event ev{top.when, top.seq, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
+  while (!heap_.empty()) {
+    if (heap_.front().when > horizon) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (cancelled_ids_.erase(ev.id) > 0) continue;
     pending_ids_.erase(ev.id);
     assert(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
+    ETRAIN_TRACE(trace_, obs::TraceEvent::event_fire(ev.when,
+                                                     static_cast<std::int64_t>(
+                                                         ev.id)));
     ev.fn();
   }
   if (now_ < horizon && horizon < kTimeInfinity) now_ = horizon;

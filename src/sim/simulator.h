@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
+#include "obs/trace.h"
 
 namespace etrain::sim {
 
@@ -59,8 +59,18 @@ class Simulator {
   /// Number of events currently pending (excluding cancelled ones still in
   /// the heap awaiting lazy removal).
   std::size_t pending_events() const {
-    return queue_.size() - cancelled_ids_.size();
+    return heap_.size() - cancelled_ids_.size();
   }
+
+  /// Raw heap occupancy, *including* cancelled-but-unpopped entries —
+  /// strictly bookkeeping-facing (the compaction regression test asserts
+  /// cancelled entries cannot pile up unboundedly). Always >=
+  /// pending_events().
+  std::size_t queue_depth() const { return heap_.size(); }
+
+  /// Attaches a trace sink (nullptr detaches). Each dispatched event emits
+  /// an EventFire record; cancelled events never fire and never emit.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
   struct Event {
@@ -76,14 +86,24 @@ class Simulator {
     }
   };
 
+  /// Rebuilds the heap without the cancelled entries. Called by cancel()
+  /// once cancelled entries dominate the heap, keeping memory and
+  /// pop-side skip work bounded by the number of *live* events.
+  void compact();
+
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Lazy cancellation: ids are dropped when they reach the top of the heap.
+  // A binary heap managed with std::push_heap/std::pop_heap (not a
+  // std::priority_queue) so compact() can filter the underlying storage
+  // in place.
+  std::vector<Event> heap_;
+  // Lazy cancellation: ids are dropped when they reach the top of the heap
+  // or when compact() sweeps them out.
   std::unordered_set<EventId> cancelled_ids_;
   std::unordered_set<EventId> pending_ids_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace etrain::sim

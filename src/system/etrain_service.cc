@@ -109,6 +109,15 @@ void EtrainService::on_submit(const android::Intent& intent) {
   queues_.enqueue(core::QueuedPacket{p, profiles_[id]});
 }
 
+void EtrainService::attach_observability(obs::TraceSink* trace,
+                                         obs::Registry* registry) {
+  trace_ = trace;
+  scheduler_.attach_observability(trace, registry);
+  flush_counter_ = registry == nullptr
+                       ? nullptr
+                       : &registry->counter("service.flush_selections");
+}
+
 void EtrainService::on_tick() {
   ++ticks_;
   const TimePoint t = simulator_.now();
@@ -120,7 +129,15 @@ void EtrainService::on_tick() {
     for (int app = 0; app < queues_.app_count(); ++app) {
       for (const auto& qp : queues_.queue(app)) {
         selections.push_back(core::Selection{app, qp.packet.id});
+        // A flush is a forced selection with no Eq. 9 score; traced with
+        // gain 0 so the timeline still shows when each packet left.
+        ETRAIN_TRACE(trace_, obs::TraceEvent::packet_select(
+                                 t, app, qp.packet.id, 0.0,
+                                 qp.speculative_cost(t)));
       }
+    }
+    if (flush_counter_ != nullptr && !selections.empty()) {
+      flush_counter_->increment(selections.size());
     }
   } else {
     core::SlotContext ctx;

@@ -58,6 +58,12 @@ class EtrainService {
   /// scheduler tick. Call once.
   void start();
 
+  /// Attaches observability (either pointer may be null). Forwards to the
+  /// embedded EtrainScheduler (GateOpen/PacketSelect events, scheduler.*
+  /// counters) and additionally traces the no-train flush path's decisions
+  /// and the service.flush_selections counter.
+  void attach_observability(obs::TraceSink* trace, obs::Registry* registry);
+
   const android::HeartbeatMonitor& monitor() const { return monitor_; }
   const core::WaitingQueues& queues() const { return queues_; }
   std::uint64_t decisions_broadcast() const { return decisions_; }
@@ -84,6 +90,8 @@ class EtrainService {
   bool started_ = false;
   std::uint64_t decisions_ = 0;
   std::uint64_t ticks_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* flush_counter_ = nullptr;
 };
 
 }  // namespace etrain::system

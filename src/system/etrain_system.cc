@@ -16,6 +16,10 @@ EtrainSystem::EtrainSystem(Config config, net::BandwidthTrace trace)
                                          : nullptr);
   service_ = std::make_unique<EtrainService>(config_.service, simulator_,
                                              *bus_, *alarms_, xposed_);
+  simulator_.set_trace_sink(config_.observers.trace);
+  link_->set_trace_sink(config_.observers.trace);
+  service_->attach_observability(config_.observers.trace,
+                                 config_.observers.metrics);
 }
 
 void EtrainSystem::add_train_app(const apps::HeartbeatSpec& spec,
@@ -73,8 +77,12 @@ experiments::RunMetrics EtrainSystem::run() {
   const Duration energy_horizon =
       std::max(config_.horizon, metrics.log.last_end()) +
       config_.model.tail_time();
-  metrics.energy =
-      radio::measure_energy(metrics.log, config_.model, energy_horizon);
+  // Close out the trace: demote the radio through its final tail, then let
+  // the meter replay bill every gap as TailCharge events.
+  link_->flush_trace(energy_horizon);
+  metrics.energy = radio::measure_energy(metrics.log, config_.model,
+                                         energy_horizon,
+                                         config_.observers.trace);
   if (config_.attach_power_monitor) {
     // The controlled-experiment harness: a Monsoon monitor samples the
     // device current at 0.1 s / 3.7 V and integrates (Sec. VI-D, Fig. 9).
@@ -83,6 +91,9 @@ experiments::RunMetrics EtrainSystem::run() {
         monitor.sample(metrics.log, config_.model, energy_horizon));
   }
   experiments::finalize_metrics(metrics);
+  if (config_.observers.metrics != nullptr) {
+    metrics.observed = config_.observers.metrics->snapshot();
+  }
   return metrics;
 }
 

@@ -28,6 +28,13 @@ class EtrainSystem {
     /// When true (the paper's controlled-experiment harness), a simulated
     /// Monsoon power monitor samples the run at 0.1 s for the report.
     bool attach_power_monitor = false;
+
+    /// Observability hooks (both optional, thread-confined to this system's
+    /// run): the trace sink receives DES EventFire, RRC transitions,
+    /// heartbeat starts, the scheduler's gate/selection events and the
+    /// energy meter's TailCharge records; the registry's snapshot lands in
+    /// RunMetrics::observed.
+    obs::Observers observers;
   };
 
   EtrainSystem(Config config, net::BandwidthTrace trace);

@@ -1,0 +1,206 @@
+#include "obs/exporters.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "radio/power_model.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::obs {
+namespace {
+
+std::string export_to_string(const std::vector<TraceEvent>& events,
+                             const radio::TransmissionLog* log = nullptr,
+                             const RunSummary* summary = nullptr) {
+  std::ostringstream out;
+  write_chrome_trace(out, events, log, summary);
+  return out.str();
+}
+
+// Golden export of a minimal trace: the exact bytes are part of the
+// contract (external tools parse this), so a formatting change must be a
+// conscious decision here.
+TEST(ChromeTrace, GoldenMinimalExport) {
+  const std::vector<TraceEvent> events = {
+      TraceEvent::gate_open(1.0, true, 0.5, 0.25),
+  };
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"etrain\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"scheduler\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"radio\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"heartbeats\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":4,"
+      "\"args\":{\"name\":\"kernel\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":5,"
+      "\"args\":{\"name\":\"meter\"}},"
+      "{\"name\":\"GateOpen\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,"
+      "\"ts\":1000000,\"args\":{\"heartbeat\":1,\"P\":0.5,\"theta\":0.25}}"
+      "]}\n";
+  EXPECT_EQ(export_to_string(events), expected);
+}
+
+TEST(ChromeTrace, EventsSortedAndSpansInterleaved) {
+  // Recorded out of chronological order (the meter bills tails at the end
+  // of a run): the export must come out sorted, with transmission spans
+  // merged chronologically rather than appended as a block.
+  std::vector<TraceEvent> events = {
+      TraceEvent::tail_charge(30.0, 0, 1.5, 12.0),
+      TraceEvent::event_fire(2.0, 7),
+      TraceEvent::slot_begin(10.0, 3, 0.125),
+  };
+  radio::TransmissionLog log;
+  radio::Transmission hb;
+  hb.start = 5.0;
+  hb.duration = 0.5;
+  hb.bytes = 300;
+  hb.kind = radio::TxKind::kHeartbeat;
+  log.add(hb);
+  radio::Transmission data;
+  data.start = 20.0;
+  data.setup = 1.5;
+  data.duration = 2.0;
+  data.bytes = 4000;
+  data.kind = radio::TxKind::kData;
+  data.app_id = 1;
+  data.packet_id = 42;
+  log.add(data);
+
+  const std::string json = export_to_string(events, &log);
+  const auto pos = [&json](const std::string& needle) {
+    const auto p = json.find(needle);
+    EXPECT_NE(p, std::string::npos) << needle;
+    return p;
+  };
+  const auto fire = pos("\"EventFire\"");
+  const auto heartbeat = pos("\"heartbeat_tx\"");
+  const auto slot = pos("\"SlotBegin\"");
+  const auto span = pos("\"data_tx\"");
+  const auto tail = pos("\"TailCharge\"");
+  EXPECT_LT(fire, heartbeat);
+  EXPECT_LT(heartbeat, slot);
+  EXPECT_LT(slot, span);
+  EXPECT_LT(span, tail);
+  // The data span: ts at 20 s, duration = setup + data = 3.5 s.
+  pos("\"ts\":20000000,\"dur\":3500000");
+  pos("\"bytes\":4000,\"app\":1,\"packet\":42,\"setup_s\":1.5");
+  // And the whole thing satisfies the checker.
+  const auto result = check_chrome_trace(json);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tail_charges, 1u);
+  EXPECT_DOUBLE_EQ(result.tail_charge_sum, 1.5);
+}
+
+TEST(ChromeTrace, SummaryAgreesWithTailCharges) {
+  const std::vector<TraceEvent> events = {
+      TraceEvent::tail_charge(10.0, 0, 1.25, 17.5),
+      TraceEvent::tail_charge(40.0, 1, 2.5, 17.5),
+  };
+  RunSummary summary;
+  summary.tail_energy_joules = 3.75;
+  summary.network_energy_joules = 9.0;
+  summary.transmissions = 2;
+  const std::string json = export_to_string(events, nullptr, &summary);
+  const auto result = check_chrome_trace(json);
+  EXPECT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.reported_tail.has_value());
+  EXPECT_DOUBLE_EQ(*result.reported_tail, 3.75);
+  EXPECT_DOUBLE_EQ(result.tail_charge_sum, 3.75);
+}
+
+TEST(ChromeTrace, CheckerRejectsMismatchedSummary) {
+  const std::vector<TraceEvent> events = {
+      TraceEvent::tail_charge(10.0, 0, 1.0, 5.0),
+  };
+  RunSummary summary;
+  summary.tail_energy_joules = 2.0;  // off by 1 J, way past 1e-9
+  const std::string json = export_to_string(events, nullptr, &summary);
+  const auto result = check_chrome_trace(json);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ChromeTrace, CheckerRejectsCorruptAndNonMonotoneInput) {
+  EXPECT_FALSE(check_chrome_trace("").ok);
+  EXPECT_FALSE(check_chrome_trace("not json").ok);
+  EXPECT_FALSE(check_chrome_trace("{\"traceEvents\":{}}").ok);
+  EXPECT_FALSE(check_chrome_trace("[1,2,3]").ok);
+  // A truncated file (the classic crash artifact).
+  const std::string good = export_to_string({TraceEvent::event_fire(1.0, 1)});
+  EXPECT_FALSE(check_chrome_trace(good.substr(0, good.size() / 2)).ok);
+  // Timestamps going backwards in file order.
+  const std::string non_monotone =
+      "{\"traceEvents\":["
+      "{\"name\":\"A\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":2000},"
+      "{\"name\":\"B\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"ts\":1000}]}";
+  const auto result = check_chrome_trace(non_monotone);
+  EXPECT_FALSE(result.ok);
+  // A missing required field.
+  EXPECT_FALSE(check_chrome_trace("{\"traceEvents\":[{\"name\":\"A\"}]}").ok);
+}
+
+TEST(PowerTimeline, ReconstructsStatesAndPower) {
+  radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+  radio::TransmissionLog log;
+  radio::Transmission tx;
+  tx.start = 1.0;
+  tx.duration = 1.0;
+  tx.bytes = 1000;
+  log.add(tx);
+
+  std::ostringstream out;
+  write_power_timeline(out, log, model, 30.0, 1.0);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "time_s,power_W,rrc_state,transmitting");
+  std::vector<std::string> rows;
+  while (std::getline(in, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 31u);  // t = 0..30 inclusive
+  // t=0: before any transmission — idle.
+  EXPECT_NE(rows[0].find("IDLE,0"), std::string::npos) << rows[0];
+  // t=1: data phase [1, 2) — DCH and transmitting.
+  EXPECT_NE(rows[1].find("DCH,1"), std::string::npos) << rows[1];
+  // t=4: inside the 10 s DCH tail.
+  EXPECT_NE(rows[4].find("DCH,0"), std::string::npos) << rows[4];
+  // t=14: DCH tail over (ends at 12), inside the FACH tail (ends at 19.5).
+  EXPECT_NE(rows[14].find("FACH,0"), std::string::npos) << rows[14];
+  // t=25: all tails over — idle again.
+  EXPECT_NE(rows[25].find("IDLE,0"), std::string::npos) << rows[25];
+}
+
+TEST(PowerTimeline, RejectsNonPositiveStep) {
+  radio::TransmissionLog log;
+  std::ostringstream out;
+  EXPECT_THROW(
+      write_power_timeline(out, log, radio::PowerModel::PaperUmts3G(), 1.0,
+                           0.0),
+      std::invalid_argument);
+}
+
+TEST(StateAt, MatchesTailBoundaries) {
+  const radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+  radio::TransmissionLog log;
+  radio::Transmission tx;
+  tx.start = 0.0;
+  tx.duration = 2.0;
+  log.add(tx);
+  EXPECT_EQ(state_at(log, model, 1.0), radio::RrcState::kDch);
+  EXPECT_EQ(state_at(log, model, 2.0 + model.dch_tail * 0.5),
+            radio::RrcState::kDch);
+  EXPECT_EQ(state_at(log, model, 2.0 + model.dch_tail + 0.1),
+            radio::RrcState::kFach);
+  EXPECT_EQ(state_at(log, model, 2.0 + model.tail_time() + 0.1),
+            radio::RrcState::kIdle);
+}
+
+}  // namespace
+}  // namespace etrain::obs

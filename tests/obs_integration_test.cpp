@@ -1,0 +1,147 @@
+// Cross-layer observability checks: a fully traced slotted run and a fully
+// traced system (DES) run, verifying the invariants the checker relies on —
+// the billed TailCharge events reproduce the meter's tail energy exactly,
+// the kernel's EventFire stream matches its executed count, and the export
+// round-trips through check_chrome_trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/etrain_scheduler.h"
+#include "exp/scenario.h"
+#include "exp/slotted_sim.h"
+#include "net/synthetic_bandwidth.h"
+#include "obs/exporters.h"
+#include "obs/trace_buffer.h"
+#include "obs/trace_check.h"
+#include "system/etrain_system.h"
+
+namespace etrain {
+namespace {
+
+using experiments::RunMetrics;
+
+experiments::Scenario small_scenario() {
+  experiments::ScenarioConfig cfg;
+  cfg.lambda = 0.08;
+  cfg.horizon = 1800.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  return experiments::make_scenario(cfg);
+}
+
+double traced_tail_sum(const obs::TraceBuffer& buffer) {
+  double sum = 0.0;
+  for (const auto& e : buffer.events()) {
+    if (e.type == obs::EventType::kTailCharge) sum += e.x;
+  }
+  return sum;
+}
+
+std::size_t count_type(const obs::TraceBuffer& buffer, obs::EventType type) {
+  std::size_t n = 0;
+  for (const auto& e : buffer.events()) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+TEST(ObsIntegration, SlottedRunTailChargesMatchMeter) {
+  const auto scenario = small_scenario();
+  obs::TraceBuffer buffer;
+  obs::Registry registry;
+  core::EtrainScheduler policy({.theta = 0.2, .k = 20});
+  policy.attach_observability(&buffer, &registry);
+  const RunMetrics m = experiments::run_slotted(
+      scenario, policy, obs::Observers{&buffer, &registry});
+
+  const double reported =
+      m.energy.tail_energy() + m.wifi_energy.tail_energy();
+  EXPECT_GT(reported, 0.0);
+  EXPECT_NEAR(traced_tail_sum(buffer), reported, 1e-9);
+
+  // The scheduler's own counters flowed into the run's snapshot.
+  EXPECT_FALSE(m.observed.empty());
+  EXPECT_GT(m.observed.counter("scheduler.slots"), 0u);
+  EXPECT_GT(m.observed.counter("scheduler.gate_opens"), 0u);
+  EXPECT_EQ(m.observed.counter("run.heartbeats"),
+            m.log.count(radio::TxKind::kHeartbeat));
+  // Policy-selected packets; stragglers force-flushed at the horizon are
+  // transmitted outside any slot decision and are not counted.
+  EXPECT_GT(m.observed.counter("run.packets_piggybacked"), 0u);
+  EXPECT_LE(m.observed.counter("run.packets_piggybacked") +
+                m.observed.counter("run.packets_dripped"),
+            m.outcomes.size());
+  EXPECT_GT(count_type(buffer, obs::EventType::kHeartbeatTx), 0u);
+  EXPECT_GT(count_type(buffer, obs::EventType::kPacketSelect), 0u);
+}
+
+TEST(ObsIntegration, ObserversAreOptionalAndChangeNothing) {
+  const auto scenario = small_scenario();
+  core::EtrainScheduler plain({.theta = 0.2, .k = 20});
+  const RunMetrics base = experiments::run_slotted(scenario, plain);
+
+  obs::TraceBuffer buffer;
+  obs::Registry registry;
+  core::EtrainScheduler traced({.theta = 0.2, .k = 20});
+  traced.attach_observability(&buffer, &registry);
+  const RunMetrics observed = experiments::run_slotted(
+      scenario, traced, obs::Observers{&buffer, &registry});
+
+  // Observation must not perturb the simulation.
+  EXPECT_DOUBLE_EQ(base.network_energy(), observed.network_energy());
+  EXPECT_DOUBLE_EQ(base.normalized_delay, observed.normalized_delay);
+  EXPECT_EQ(base.log.size(), observed.log.size());
+  EXPECT_TRUE(base.observed.empty());
+}
+
+TEST(ObsIntegration, SystemRunTraceIsCheckerClean) {
+  obs::TraceBuffer buffer;
+  obs::Registry registry;
+  system::EtrainSystem::Config cfg;
+  cfg.horizon = 1800.0;
+  cfg.observers = obs::Observers{&buffer, &registry};
+  system::EtrainSystem sys(cfg, net::wuhan_trace());
+  const auto trains = apps::default_train_specs();
+  sys.add_train_app(trains[0], 0.0);
+  Rng rng(7);
+  auto cargo = apps::default_cargo_specs();
+  Rng stream = rng.fork();
+  auto packets =
+      apps::generate_arrivals(cargo[0], 0, cfg.horizon, stream, 0);
+  sys.add_cargo_app(0, *cargo[0].profile, std::move(packets));
+  const RunMetrics m = sys.run();
+
+  // (1) The meter's TailCharge events reproduce its reported tail energy.
+  EXPECT_GT(m.energy.tail_energy(), 0.0);
+  EXPECT_NEAR(traced_tail_sum(buffer), m.energy.tail_energy(), 1e-9);
+
+  // (2) Every executed kernel event produced exactly one EventFire.
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_EQ(count_type(buffer, obs::EventType::kEventFire),
+            sys.simulator().events_executed());
+
+  // (3) The RRC story is present: every transmission promoted to DCH.
+  EXPECT_GT(count_type(buffer, obs::EventType::kRrcTransition), 0u);
+  EXPECT_GT(count_type(buffer, obs::EventType::kHeartbeatTx), 0u);
+
+  // (4) The export passes the checker, RunSummary included.
+  obs::RunSummary summary;
+  summary.tail_energy_joules = m.energy.tail_energy();
+  summary.network_energy_joules = m.network_energy();
+  summary.transmissions = m.log.size();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, buffer.events(), &m.log, &summary);
+  const auto result = obs::check_chrome_trace(out.str());
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.tail_charges,
+            count_type(buffer, obs::EventType::kTailCharge));
+  ASSERT_TRUE(result.reported_tail.has_value());
+  EXPECT_NEAR(*result.reported_tail, m.energy.tail_energy(), 1e-12);
+
+  // (5) Counters from both the scheduler and the service registries.
+  EXPECT_GT(m.observed.counter("scheduler.slots"), 0u);
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,142 @@
+#include "obs/trace_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/trace.h"
+
+namespace etrain::obs {
+namespace {
+
+TEST(TraceBuffer, RecordsInOrderBelowCapacity) {
+  TraceBuffer buffer(8);
+  for (int i = 0; i < 5; ++i) {
+    buffer.record(TraceEvent::event_fire(static_cast<double>(i), i));
+  }
+  EXPECT_EQ(buffer.size(), 5u);
+  EXPECT_EQ(buffer.total_recorded(), 5u);
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_EQ(buffer.dropped(), 0u);
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].type, EventType::kEventFire);
+    EXPECT_EQ(events[i].b, i);
+    EXPECT_DOUBLE_EQ(events[i].time, static_cast<double>(i));
+  }
+}
+
+TEST(TraceBuffer, WraparoundKeepsTheMostRecentEvents) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 11; ++i) {
+    buffer.record(TraceEvent::event_fire(static_cast<double>(i), i));
+  }
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_recorded(), 11u);
+  EXPECT_TRUE(buffer.overflowed());
+  EXPECT_EQ(buffer.dropped(), 7u);
+  // The survivors are the last 4 records, oldest first.
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].b, 7 + i);
+  }
+}
+
+TEST(TraceBuffer, WraparoundLandingExactlyOnCapacity) {
+  TraceBuffer buffer(4);
+  for (int i = 0; i < 8; ++i) {
+    buffer.record(TraceEvent::event_fire(0.0, i));
+  }
+  // next_ wrapped back to 0: events() must still return all four.
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i].b, 4 + i);
+  EXPECT_EQ(buffer.dropped(), 4u);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer buffer(2);
+  buffer.record(TraceEvent::event_fire(1.0, 1));
+  buffer.record(TraceEvent::event_fire(2.0, 2));
+  buffer.record(TraceEvent::event_fire(3.0, 3));
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.overflowed());
+  EXPECT_TRUE(buffer.events().empty());
+  buffer.record(TraceEvent::event_fire(4.0, 4));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  EXPECT_EQ(buffer.events()[0].b, 4);
+}
+
+TEST(TraceBuffer, MinimumCapacityIsOne) {
+  TraceBuffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  buffer.record(TraceEvent::event_fire(1.0, 1));
+  buffer.record(TraceEvent::event_fire(2.0, 2));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  EXPECT_EQ(buffer.events()[0].b, 2);
+}
+
+// The canonical fan-out pattern: one buffer per task, created inside the
+// task, so recording stays lock-free and each task's trace is its own.
+TEST(TraceBuffer, PerTaskBuffersUnderParallelMap) {
+  const std::vector<int> tasks = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto traces = parallel_map(tasks, [](int task) {
+    TraceBuffer buffer(128);
+    for (int i = 0; i < 10 * (task + 1); ++i) {
+      buffer.record(TraceEvent::event_fire(static_cast<double>(i), task));
+    }
+    return buffer.events();
+  });
+  ASSERT_EQ(traces.size(), tasks.size());
+  for (std::size_t task = 0; task < tasks.size(); ++task) {
+    ASSERT_EQ(traces[task].size(), 10u * (task + 1));
+    for (const auto& e : traces[task]) {
+      EXPECT_EQ(e.b, static_cast<std::int64_t>(task));
+    }
+  }
+}
+
+TEST(TraceMacro, NullSinkSkipsPayloadConstruction) {
+  TraceSink* sink = nullptr;
+  int evaluations = 0;
+  const auto make = [&evaluations] {
+    ++evaluations;
+    return TraceEvent::event_fire(0.0, 0);
+  };
+  ETRAIN_TRACE(sink, make());
+  EXPECT_EQ(evaluations, 0);
+  TraceBuffer buffer(4);
+  sink = &buffer;
+  ETRAIN_TRACE(sink, make());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(TraceEventFactories, PayloadMapping) {
+  const auto gate = TraceEvent::gate_open(12.5, true, 0.8, 0.5);
+  EXPECT_EQ(gate.type, EventType::kGateOpen);
+  EXPECT_EQ(gate.a, 1);
+  EXPECT_DOUBLE_EQ(gate.x, 0.8);
+  EXPECT_DOUBLE_EQ(gate.y, 0.5);
+
+  const auto sel = TraceEvent::packet_select(3.0, 2, 41, 1.5, 0.25);
+  EXPECT_EQ(sel.type, EventType::kPacketSelect);
+  EXPECT_EQ(sel.a, 2);
+  EXPECT_EQ(sel.b, 41);
+  EXPECT_DOUBLE_EQ(sel.x, 1.5);
+  EXPECT_DOUBLE_EQ(sel.y, 0.25);
+
+  const auto tail = TraceEvent::tail_charge(9.0, 1, 2.25, 12.0);
+  EXPECT_EQ(tail.type, EventType::kTailCharge);
+  EXPECT_EQ(tail.a, 1);
+  EXPECT_DOUBLE_EQ(tail.x, 2.25);
+  EXPECT_DOUBLE_EQ(tail.y, 12.0);
+}
+
+}  // namespace
+}  // namespace etrain::obs

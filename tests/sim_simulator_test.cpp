@@ -1,9 +1,12 @@
 #include "sim/simulator.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "obs/trace_buffer.h"
 
 namespace etrain::sim {
 namespace {
@@ -133,6 +136,72 @@ TEST(Simulator, PendingEventsAccounting) {
   s.run_to_exhaustion();
   EXPECT_EQ(s.pending_events(), 0u);
   EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulator, CancelledEventsAreCompactedOutOfTheHeap) {
+  Simulator s;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        s.schedule_at(static_cast<double>(i), [&fired] { ++fired; }));
+  }
+  // Cancel 600: pending count reflects it immediately, and once cancelled
+  // entries dominate, the heap itself is swept rather than carrying them
+  // until pop.
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(s.cancel(ids[i]));
+  }
+  EXPECT_EQ(s.pending_events(), 400u);
+  EXPECT_LT(s.queue_depth(), 1000u);
+  EXPECT_GE(s.queue_depth(), s.pending_events());
+  s.run_to_exhaustion();
+  EXPECT_EQ(fired, 400);
+  EXPECT_EQ(s.events_executed(), 400u);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.queue_depth(), 0u);
+}
+
+TEST(Simulator, EventFireTraceExcludesCancelledEvents) {
+  Simulator s;
+  obs::TraceBuffer buffer(64);
+  s.set_trace_sink(&buffer);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(s.schedule_at(static_cast<double>(i), [] {}));
+  }
+  std::set<std::int64_t> cancelled;
+  for (int i = 0; i < 10; i += 2) {  // cancel every other one
+    s.cancel(ids[i]);
+    cancelled.insert(static_cast<std::int64_t>(ids[i]));
+  }
+  s.run_to_exhaustion();
+  const auto events = buffer.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (const auto& e : events) {
+    ASSERT_EQ(e.type, obs::EventType::kEventFire);
+    EXPECT_FALSE(cancelled.contains(e.b))
+        << "cancelled event id " << e.b << " was traced";
+  }
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Simulator, CompactionPreservesExecutionOrder) {
+  Simulator s;
+  std::vector<double> times;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>((i * 733) % 997);
+    ids.push_back(s.schedule_at(t, [&times, t] { times.push_back(t); }));
+  }
+  // Cancel enough scrambled entries to trigger the sweep mid-stream.
+  for (int i = 0; i < 200; i += 3) s.cancel(ids[i]);
+  for (int i = 1; i < 200; i += 3) s.cancel(ids[i]);
+  s.run_to_exhaustion();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+  EXPECT_EQ(times.size(), s.events_executed());
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
