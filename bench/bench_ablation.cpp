@@ -12,14 +12,11 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/baseline_policy.h"
-#include "baselines/etime_policy.h"
-#include "baselines/oracle_policy.h"
-#include "baselines/peres_policy.h"
-#include "baselines/tailender_policy.h"
+#include "baselines/registry.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
+#include "exp/scenario_builder.h"
 #include "exp/sweeps.h"
 #include "traced_run.h"
 
@@ -29,10 +26,7 @@ using namespace etrain;
 using namespace etrain::experiments;
 
 Scenario standard_scenario(radio::PowerModel model) {
-  ScenarioConfig cfg;
-  cfg.lambda = 0.08;
-  cfg.model = model;
-  return make_scenario(cfg);
+  return ScenarioBuilder().lambda(0.08).model(model).build();
 }
 
 void add_report_row(Table& table, const experiments::RunMetrics& m,
@@ -71,8 +65,9 @@ void ablate_deferral(const Scenario& s) {
                        : "defer drips when train < " + Table::num(window, 0) +
                              " s away",
          [window] {
-           return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
-               .theta = 1.0, .k = 20, .drip_defer_window = window});
+           return baselines::make_policy(
+               "etrain:theta=1,k=20,drip_defer_window=" +
+               std::to_string(window));
          }});
   }
   run_variants(table, s, variants);
@@ -86,15 +81,13 @@ void ablate_k(const Scenario& s) {
   print_banner("ablation 2: the heartbeat batch limit k");
   Table table({"variant", "energy_J", "data_J", "delay_s", "violation"});
   std::vector<Variant> variants;
-  for (const std::size_t k :
-       {std::size_t{1}, std::size_t{4}, std::size_t{20},
-        core::EtrainConfig::unlimited_k()}) {
-    variants.push_back({(k == core::EtrainConfig::unlimited_k())
-                            ? "k = infinity (deployed setting)"
-                            : "k = " + std::to_string(k),
+  // In registry specs k = 0 means unlimited (the deployed setting).
+  for (const int k : {1, 4, 20, 0}) {
+    variants.push_back({k == 0 ? "k = infinity (deployed setting)"
+                               : "k = " + std::to_string(k),
                         [k] {
-                          return std::make_unique<core::EtrainScheduler>(
-                              core::EtrainConfig{.theta = 1.0, .k = k});
+                          return baselines::make_policy(
+                              "etrain:theta=1,k=" + std::to_string(k));
                         }});
   }
   run_variants(table, s, variants);
@@ -106,21 +99,15 @@ void ablate_heartbeat_awareness(const Scenario& s) {
   Table table({"variant", "energy_J", "data_J", "delay_s", "violation"});
   const std::vector<Variant> variants = {
       {"Baseline (no batching at all)",
-       [] { return std::make_unique<baselines::BaselinePolicy>(); }},
+       [] { return baselines::make_policy("baseline"); }},
       {"TailEnder (deadline batching, train-blind)",
-       [] { return std::make_unique<baselines::TailEnderPolicy>(); }},
+       [] { return baselines::make_policy("tailender"); }},
       {"eTrain (train-aware, Theta=1)",
-       [] {
-         return std::make_unique<core::EtrainScheduler>(
-             core::EtrainConfig{.theta = 1.0, .k = 20});
-       }},
+       [] { return baselines::make_policy("etrain:theta=1,k=20"); }},
       {"eTrain (train-aware, Theta=5, TailEnder-like delay)",
-       [] {
-         return std::make_unique<core::EtrainScheduler>(
-             core::EtrainConfig{.theta = 5.0, .k = 20});
-       }},
+       [] { return baselines::make_policy("etrain:theta=5,k=20"); }},
       {"Oracle (clairvoyant bound)",
-       [] { return std::make_unique<baselines::OraclePolicy>(); }},
+       [] { return baselines::make_policy("oracle"); }},
   };
   run_variants(table, s, variants);
   table.print();
@@ -145,8 +132,8 @@ void ablate_radio_model() {
       Named{"LTE DRX", radio::PowerModel::LteDrx()}};
   const auto runs = parallel_map(models, [](const Named& named) {
     const Scenario s = standard_scenario(named.model);
-    core::EtrainScheduler p({.theta = 1.0, .k = 20});
-    return run_slotted(s, p);
+    const auto p = baselines::make_policy("etrain:theta=1,k=20");
+    return run_slotted(s, *p);
   });
   for (std::size_t i = 0; i < models.size(); ++i) {
     add_report_row(table, runs[i], models[i].name);
@@ -181,13 +168,8 @@ void ablate_fast_dormancy() {
              true}};
   const auto runs = parallel_map(configs, [](const Config& cfg) {
     const Scenario s = standard_scenario(cfg.model);
-    std::unique_ptr<core::SchedulingPolicy> policy;
-    if (cfg.etrain) {
-      policy = std::make_unique<core::EtrainScheduler>(
-          core::EtrainConfig{.theta = 1.0, .k = 20});
-    } else {
-      policy = std::make_unique<baselines::BaselinePolicy>();
-    }
+    const auto policy =
+        baselines::make_policy(cfg.etrain ? "etrain:theta=1,k=20" : "baseline");
     return run_slotted(s, *policy);
   });
   for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -223,16 +205,13 @@ void ablate_prediction_accuracy() {
   std::vector<Cell> cells;
   for (const double sigma : {0.25, 0.0}) {
     cells.push_back({"PerES", sigma, [] {
-                       return std::make_unique<baselines::PerESPolicy>(
-                           baselines::PerESConfig{.omega = 0.5});
+                       return baselines::make_policy("peres:omega=0.5");
                      }});
     cells.push_back({"eTime", sigma, [] {
-                       return std::make_unique<baselines::ETimePolicy>(
-                           baselines::ETimeConfig{.v = 2.0});
+                       return baselines::make_policy("etime:v=2");
                      }});
     cells.push_back({"eTrain (oblivious)", sigma, [] {
-                       return std::make_unique<core::EtrainScheduler>(
-                           core::EtrainConfig{.theta = 2.0, .k = 20});
+                       return baselines::make_policy("etrain:theta=2,k=20");
                      }});
   }
   const auto runs = parallel_map(cells, [](const Cell& cell) {

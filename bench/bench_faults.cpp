@@ -1,0 +1,218 @@
+// Fault sweep (extension): the energy/delay story under an imperfect
+// network. The paper's evaluation assumes every transfer succeeds and
+// every heartbeat departs on schedule; docs/faults.md describes the seeded
+// FaultPlan this bench sweeps — per-attempt transfer loss x coverage-outage
+// duty — against every policy in the registry.
+//
+// Two headline questions:
+//   1. does eTrain's saving survive retransmissions and outages, or do the
+//      failed-attempt joules (billed, never delivered) erase it?
+//   2. how much delay do recovery (requeue + backoff) and outage deferral
+//      add for each policy?
+//
+// Like bench_parallel_scaling, the whole grid runs twice — serially and
+// through parallel_map — and the FNV-1a digests over every result field
+// must match bit-for-bit: fault draws are hashed, not stateful, so the
+// schedule of worker threads must not change a single bit. Exit status is
+// non-zero on divergence, which makes this bench double as the fault-
+// determinism smoke test scripts/check.sh runs.
+//
+// Flags: --quick shrinks the grid and the horizon to 1800 s; --jobs N caps
+// the parallel run's thread count.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "exp/scenario_builder.h"
+#include "exp/slotted_sim.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+struct Cell {
+  double loss = 0.0;
+  double outage_duty = 0.0;
+  std::string policy;
+};
+
+struct Sample {
+  double energy = 0.0;
+  double delay = 0.0;
+  double violation = 0.0;
+  double failed_airtime = 0.0;
+  std::uint64_t failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t heartbeats_dropped = 0;
+};
+
+/// FNV-1a over the raw bytes of every Sample field; any single-bit
+/// divergence between the serial and parallel sweep changes the digest.
+class Fnv1a {
+ public:
+  void add(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  void add(std::uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (bits >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::uint64_t checksum(const std::vector<Sample>& samples) {
+  Fnv1a fnv;
+  for (const auto& s : samples) {
+    fnv.add(s.energy);
+    fnv.add(s.delay);
+    fnv.add(s.violation);
+    fnv.add(s.failed_airtime);
+    fnv.add(s.failures);
+    fnv.add(s.retries);
+    fnv.add(s.recovered);
+    fnv.add(s.deferrals);
+    fnv.add(s.heartbeats_dropped);
+  }
+  return fnv.value();
+}
+
+Scenario cell_scenario(const Cell& cell, Duration horizon) {
+  ScenarioBuilder builder;
+  builder.lambda(0.08)
+      .model(radio::PowerModel::PaperSimulation())
+      .horizon(horizon)
+      .loss(cell.loss)
+      .heartbeat_jitter(cell.loss > 0.0 ? 5.0 : 0.0)
+      .heartbeat_drops(cell.loss > 0.0 ? cell.loss / 2.0 : 0.0)
+      .fault_seed(7);
+  if (cell.outage_duty > 0.0) builder.outages(cell.outage_duty);
+  return builder.build();
+}
+
+std::vector<Sample> run_grid(const std::vector<Cell>& grid, Duration horizon,
+                             std::size_t jobs) {
+  return parallel_map(
+      grid,
+      [horizon](const Cell& cell) {
+        const Scenario s = cell_scenario(cell, horizon);
+        const auto policy = baselines::make_policy(cell.policy);
+        obs::Registry registry;  // per-task: registries are thread-confined
+        const RunMetrics m =
+            run_slotted(s, *policy, obs::Observers{nullptr, &registry});
+        Sample out;
+        out.energy = m.network_energy();
+        out.delay = m.normalized_delay;
+        out.violation = m.violation_ratio;
+        out.failed_airtime = m.log.failed_airtime();
+        out.failures = m.observed.counter("run.tx_failures");
+        out.retries = m.observed.counter("run.tx_retries");
+        out.recovered = m.observed.counter("run.packets_recovered");
+        out.deferrals = m.observed.counter("run.outage_deferrals");
+        out.heartbeats_dropped = m.observed.counter("run.heartbeats_dropped");
+        return out;
+      },
+      jobs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  set_default_jobs(parse_jobs_flag(argc, argv));
+
+  const Duration horizon = quick ? 1800.0 : 7200.0;
+  const std::vector<double> losses =
+      quick ? std::vector<double>{0.0, 0.15}
+            : std::vector<double>{0.0, 0.05, 0.15, 0.3};
+  const std::vector<double> duties = quick ? std::vector<double>{0.0, 0.25}
+                                           : std::vector<double>{0.0, 0.1,
+                                                                 0.25};
+  const std::vector<std::string> policies = baselines::builtin_registry()
+                                                .names();
+  std::vector<Cell> grid;
+  for (const double loss : losses) {
+    for (const double duty : duties) {
+      for (const auto& p : policies) grid.push_back({loss, duty, p});
+    }
+  }
+  std::printf(
+      "=== eTrain extension: fault sweep — loss x outage duty x %zu "
+      "policies (%zu cells, %.0f s horizon, %zu jobs%s) ===\n",
+      policies.size(), grid.size(), horizon, default_jobs(),
+      quick ? ", --quick" : "");
+
+  // Serial reference first: its digest is the ground truth the parallel
+  // sweep must reproduce bit-for-bit.
+  const auto serial = run_grid(grid, horizon, 1);
+  const auto parallel = run_grid(grid, horizon, default_jobs());
+  const std::uint64_t want = checksum(serial);
+  const std::uint64_t got = checksum(parallel);
+
+  Table table({"loss", "outage", "policy", "energy_J", "delay_s", "violation",
+               "failed", "retries", "recovered", "deferred", "hb dropped",
+               "wasted_s"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& c = grid[i];
+    const auto& s = serial[i];
+    table.add_row({Table::num(c.loss, 2), Table::num(c.outage_duty, 2),
+                   c.policy, Table::num(s.energy, 1), Table::num(s.delay, 1),
+                   Table::num(s.violation, 3),
+                   Table::integer(static_cast<long long>(s.failures)),
+                   Table::integer(static_cast<long long>(s.retries)),
+                   Table::integer(static_cast<long long>(s.recovered)),
+                   Table::integer(static_cast<long long>(s.deferrals)),
+                   Table::integer(
+                       static_cast<long long>(s.heartbeats_dropped)),
+                   Table::num(s.failed_airtime, 1)});
+  }
+  table.print();
+
+  // Sanity: a fault-free cell must record zero fault activity — the plan
+  // is inert, not merely quiet (the bit-identity guarantee of FaultPlan::
+  // none()).
+  bool clean_ok = true;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].loss > 0.0 || grid[i].outage_duty > 0.0) continue;
+    const auto& s = serial[i];
+    clean_ok = clean_ok && s.failures == 0 && s.retries == 0 &&
+               s.recovered == 0 && s.deferrals == 0 &&
+               s.heartbeats_dropped == 0 && s.failed_airtime == 0.0;
+  }
+
+  std::printf("serial digest   %llu\nparallel digest %llu (%s)\n",
+              static_cast<unsigned long long>(want),
+              static_cast<unsigned long long>(got),
+              want == got ? "bit-identical" : "DIVERGED");
+  if (!clean_ok) {
+    std::printf("FAIL: a fault-free cell recorded fault activity\n");
+    return 1;
+  }
+  if (want != got) {
+    std::printf("FAIL: parallel sweep diverged from the serial reference\n");
+    return 1;
+  }
+  std::printf(
+      "failed attempts are billed but never delivered, so loss inflates "
+      "every policy's bill; eTrain's piggybacking still prices under the "
+      "Baseline because retries, too, prefer to ride paid tails.\n");
+  return 0;
+}

@@ -10,10 +10,12 @@
 //       (~30 J) — diminishing returns justify k = infinity in deployment.
 #include <cstdio>
 
+#include "baselines/registry.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/figure_export.h"
+#include "exp/scenario_builder.h"
 #include "exp/sweeps.h"
 #include "traced_run.h"
 
@@ -23,22 +25,18 @@ using namespace etrain;
 using namespace etrain::experiments;
 
 Scenario standard_scenario() {
-  ScenarioConfig cfg;
-  cfg.lambda = 0.08;
-  cfg.model = radio::PowerModel::PaperSimulation();
-  return make_scenario(cfg);
+  return ScenarioBuilder()
+      .lambda(0.08)
+      .model(radio::PowerModel::PaperSimulation())
+      .build();
 }
 
 void fig7a(const Scenario& scenario) {
   print_banner("Fig. 7(a): impact of the cost bound Theta (k = 20)");
   Table table({"theta", "energy_J", "delay_s", "violation"});
-  const auto frontier = sweep(
-      scenario,
-      [](double theta) {
-        return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
-            .theta = theta, .k = 20, .drip_defer_window = 60.0});
-      },
-      linspace_step(0.0, 3.0, 0.2));
+  const auto frontier =
+      sweep(scenario, baselines::sweep_factory("etrain", "theta"),
+            linspace_step(0.0, 3.0, 0.2));
   for (const auto& p : frontier) {
     table.add_row({Table::num(p.param, 1), Table::num(p.energy, 1),
                    Table::num(p.delay, 1), Table::num(p.violation, 3)});
@@ -62,8 +60,9 @@ void fig7b(const Scenario& scenario) {
     auto frontier = sweep(
         scenario,
         [k](double theta) {
-          return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
-              .theta = theta, .k = static_cast<std::size_t>(k)});
+          return baselines::make_policy("etrain:theta=" +
+                                        std::to_string(theta) +
+                                        ",k=" + std::to_string(k));
         },
         linspace_step(0.0, 3.0, 0.5));
     for (const auto& p : frontier) {

@@ -9,14 +9,13 @@
 //       and eTime out-saves PerES.
 #include <cstdio>
 
-#include "baselines/baseline_policy.h"
-#include "baselines/etime_policy.h"
-#include "baselines/peres_policy.h"
+#include "baselines/registry.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/figure_export.h"
 #include "exp/replication.h"
+#include "exp/scenario_builder.h"
 #include "exp/sweeps.h"
 #include "traced_run.h"
 
@@ -26,32 +25,20 @@ using namespace etrain;
 using namespace etrain::experiments;
 
 Scenario scenario_for(double lambda) {
-  ScenarioConfig cfg;
-  cfg.lambda = lambda;
-  cfg.model = radio::PowerModel::PaperSimulation();
-  return make_scenario(cfg);
+  return ScenarioBuilder()
+      .lambda(lambda)
+      .model(radio::PowerModel::PaperSimulation())
+      .build();
 }
 
+// Each algorithm's knob sweep comes straight from the policy registry.
 PolicyFactory etrain_factory() {
-  return [](double theta) {
-    return std::make_unique<core::EtrainScheduler>(
-        core::EtrainConfig{.theta = theta, .k = 20});
-  };
+  return baselines::sweep_factory("etrain", "theta");
 }
-
 PolicyFactory peres_factory() {
-  return [](double omega) {
-    return std::make_unique<baselines::PerESPolicy>(
-        baselines::PerESConfig{.omega = omega});
-  };
+  return baselines::sweep_factory("peres", "omega");
 }
-
-PolicyFactory etime_factory() {
-  return [](double v) {
-    return std::make_unique<baselines::ETimePolicy>(
-        baselines::ETimeConfig{.v = v});
-  };
-}
+PolicyFactory etime_factory() { return baselines::sweep_factory("etime", "v"); }
 
 const std::vector<double> kThetas = {0.0, 0.2, 0.5, 1.0, 1.5, 2.0, 2.5,
                                      3.0, 3.5, 4.0, 4.5, 5.0, 5.5, 6.0,
@@ -64,8 +51,8 @@ void fig8a() {
   print_banner("Fig. 8(a): E-D panel of all algorithms, lambda = 0.08");
   const Scenario s = scenario_for(0.08);
 
-  baselines::BaselinePolicy baseline;
-  const auto mb = run_slotted(s, baseline);
+  const auto baseline = baselines::make_policy("baseline");
+  const auto mb = run_slotted(s, *baseline);
   std::printf("Baseline: energy %.1f J at delay %.1f s (single point)\n",
               mb.network_energy(), mb.normalized_delay);
 
@@ -106,8 +93,8 @@ void fig8b() {
   const std::vector<double> lambdas = {0.04, 0.06, 0.08, 0.10, 0.12};
   for (const double lambda : lambdas) {
     const Scenario s = scenario_for(lambda);
-    baselines::BaselinePolicy baseline;
-    const auto mb = run_slotted(s, baseline);
+    const auto baseline = baselines::make_policy("baseline");
+    const auto mb = run_slotted(s, *baseline);
     const auto etrain =
         frontier_at_delay(sweep(s, etrain_factory(), kThetas), target_delay);
     const auto etime =
@@ -144,23 +131,12 @@ void fig8_replicated() {
     std::function<std::unique_ptr<core::SchedulingPolicy>()> make;
   };
   const Row rows[] = {
-      {"Baseline",
-       [] { return std::make_unique<baselines::BaselinePolicy>(); }},
+      {"Baseline", [] { return baselines::make_policy("baseline"); }},
       {"eTrain (Theta=2)",
-       [] {
-         return std::make_unique<core::EtrainScheduler>(
-             core::EtrainConfig{.theta = 2.0, .k = 20});
-       }},
+       [] { return baselines::make_policy("etrain:theta=2"); }},
       {"PerES (Omega=0.5)",
-       [] {
-         return std::make_unique<baselines::PerESPolicy>(
-             baselines::PerESConfig{.omega = 0.5});
-       }},
-      {"eTime (V=2)",
-       [] {
-         return std::make_unique<baselines::ETimePolicy>(
-             baselines::ETimeConfig{.v = 2.0});
-       }},
+       [] { return baselines::make_policy("peres:omega=0.5"); }},
+      {"eTime (V=2)", [] { return baselines::make_policy("etime:v=2"); }},
   };
   for (const auto& row : rows) {
     const auto r = replicate(cfg, seeds, row.make);

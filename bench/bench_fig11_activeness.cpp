@@ -7,11 +7,12 @@
 #include <cstdio>
 
 #include "apps/user_trace.h"
-#include "baselines/baseline_policy.h"
+#include "baselines/registry.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "traced_run.h"
+#include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
 #include "net/synthetic_bandwidth.h"
 
@@ -24,18 +25,14 @@ using namespace etrain::experiments;
 // back-to-back (with idle gaps), against the 3 default trains.
 Scenario activeness_scenario(apps::Activeness klass, int users,
                              std::uint64_t seed) {
-  Scenario s;
-  s.model = radio::PowerModel::PaperUmts3G();
   const Duration session = 600.0;
   const Duration gap = 60.0;
-  s.horizon = users * (session + gap);
+  const Duration horizon = users * (session + gap);
   net::SyntheticBandwidthConfig bw;
-  bw.length = s.horizon;
-  s.trace = net::generate_synthetic_trace(bw, 20141208);
-  s.trains = apps::build_train_schedule(apps::default_train_specs(),
-                                        s.horizon);
-  s.profiles = {&core::weibo_cost_profile()};
+  bw.length = horizon;
 
+  std::vector<core::Packet> packets;
+  std::vector<apps::TrainEvent> background;
   Rng rng(seed);
   core::PacketId next_id = 0;
   for (int u = 0; u < users; ++u) {
@@ -43,17 +40,25 @@ Scenario activeness_scenario(apps::Activeness klass, int users,
     trace.truncate(session);  // the paper truncates to 10 minutes
     const TimePoint start = u * (session + gap);
     // Uploads become cargo with the paper's 30 s Weibo deadline.
-    auto packets = apps::replay_uploads(trace, 0, start, 30.0, next_id);
-    next_id += static_cast<core::PacketId>(packets.size());
-    s.packets.insert(s.packets.end(), packets.begin(), packets.end());
+    auto uploads = apps::replay_uploads(trace, 0, start, 30.0, next_id);
+    next_id += static_cast<core::PacketId>(uploads.size());
+    packets.insert(packets.end(), uploads.begin(), uploads.end());
     // Interactive traffic replays verbatim, outside eTrain's control.
     for (const auto& e : trace.events) {
       if (e.behavior == apps::BehaviorType::kUpload) continue;
-      s.background.push_back(
+      background.push_back(
           apps::TrainEvent{start + e.time, /*train=*/0, e.bytes});
     }
   }
-  return s;
+  return ScenarioBuilder()
+      .horizon(horizon)
+      .model(radio::PowerModel::PaperUmts3G())
+      .trace(net::generate_synthetic_trace(bw, 20141208))
+      .timetable(
+          apps::build_train_schedule(apps::default_train_specs(), horizon))
+      .packets(std::move(packets), {&core::weibo_cost_profile()})
+      .background(std::move(background))
+      .build();
 }
 
 }  // namespace
@@ -82,13 +87,12 @@ int main(int argc, char** argv) {
   // runs both policies against it; the classes fan out concurrently.
   const auto results = parallel_map(rows, [users](const Row& row) {
     const Scenario s = activeness_scenario(row.klass, users, 7);
-    baselines::BaselinePolicy baseline;
-    core::EtrainScheduler etrain(
-        {.theta = 0.2, .k = 20, .drip_defer_window = 60.0});
+    const auto baseline = baselines::make_policy("baseline");
+    const auto etrain = baselines::make_policy("etrain:theta=0.2,k=20");
     ClassResult r;
     r.uploads = s.packets.size();
-    r.without = run_slotted(s, baseline);
-    r.with_etrain = run_slotted(s, etrain);
+    r.without = run_slotted(s, *baseline);
+    r.with_etrain = run_slotted(s, *etrain);
     return r;
   });
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -3,11 +3,11 @@
 // piggybacking compose — Wi-Fi absorbs cargo while associated, eTrain rides
 // trains in the cellular-only stretches.
 #include <cstdio>
+#include <memory>
 
-#include "baselines/baseline_policy.h"
-#include "baselines/multi_interface_policy.h"
+#include "baselines/registry.h"
 #include "common/table.h"
-#include "core/etrain_scheduler.h"
+#include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
 #include "net/synthetic_bandwidth.h"
 
@@ -22,39 +22,35 @@ int main() {
   std::printf(
       "=== eTrain extension: Wi-Fi offload x heartbeat piggybacking ===\n");
 
-  ScenarioConfig cfg;
-  cfg.lambda = 0.08;
-  cfg.model = radio::PowerModel::PaperUmts3G();
-  const Scenario base = make_scenario(cfg);
+  ScenarioBuilder builder;
+  builder.lambda(0.08).model(radio::PowerModel::PaperUmts3G());
+  const Scenario base = builder.build();
 
   Table table({"WiFi target", "realized", "policy", "energy_J",
                "cellular_J", "wifi_J", "wifi pkts", "delay_s"});
   for (const double coverage : {0.0, 0.25, 0.5, 0.75}) {
-    Scenario s = base;
-    s.wifi = net::generate_wifi_pattern(
-        net::WifiPatternConfig{.horizon = s.horizon,
-                               .coverage = coverage,
-                               .episode_mean = 300.0},
-        /*seed=*/static_cast<std::uint64_t>(100.0 * coverage) + 11);
+    ScenarioBuilder b = builder;
+    const Scenario s =
+        b.wifi(net::generate_wifi_pattern(
+                   net::WifiPatternConfig{.horizon = base.horizon,
+                                          .coverage = coverage,
+                                          .episode_mean = 300.0},
+                   /*seed=*/static_cast<std::uint64_t>(100.0 * coverage) + 11))
+            .build();
 
     struct Named {
       const char* name;
-      std::unique_ptr<core::SchedulingPolicy> policy;
+      const char* spec;
     };
-    std::vector<Named> policies;
-    policies.push_back(
-        {"Baseline", std::make_unique<baselines::BaselinePolicy>()});
-    policies.push_back(
-        {"Baseline+WiFi",
-         std::make_unique<baselines::MultiInterfaceBaseline>()});
-    policies.push_back({"eTrain", std::make_unique<core::EtrainScheduler>(
-                                      core::EtrainConfig{.theta = 1.0,
-                                                         .k = 20})});
-    policies.push_back(
-        {"eTrain+WiFi", std::make_unique<baselines::MultiInterfaceEtrain>(
-                            core::EtrainConfig{.theta = 1.0, .k = 20})});
+    const std::vector<Named> policies = {
+        {"Baseline", "baseline"},
+        {"Baseline+WiFi", "baseline+wifi"},
+        {"eTrain", "etrain:theta=1,k=20"},
+        {"eTrain+WiFi", "etrain+wifi:theta=1,k=20"},
+    };
 
-    for (auto& [name, policy] : policies) {
+    for (const auto& [name, spec] : policies) {
+      const auto policy = baselines::make_policy(spec);
       const auto m = run_slotted(s, *policy);
       table.add_row({Table::num(100.0 * coverage, 0) + " %",
                      Table::num(100.0 * s.wifi.coverage(s.horizon), 0) + " %",

@@ -4,36 +4,40 @@
 // standard scenario with every knob exposed, print the metric summary, and
 // optionally dump per-packet outcomes and the transmission log as CSV.
 //
-//   ./build/examples/etrain_cli --policy=etrain --theta=1.0 --lambda=0.08
-//   ./build/examples/etrain_cli --policy=etime --v=2 --radio=sim
+//   ./build/examples/etrain_cli --policy=etrain:theta=1 --lambda=0.08
+//   ./build/examples/etrain_cli --policy=etime:v=2 --radio=sim
 //   ./build/examples/etrain_cli --policy=baseline --csv=/tmp/run
+//   ./build/examples/etrain_cli --policy=etrain --loss=0.05 --outage-duty=0.1
 //
 // Flags (all optional):
-//   --policy=etrain|baseline|peres|etime|tailender|oracle   (etrain)
+//   --policy=<spec>        a PolicyRegistry spec: a name optionally
+//                          followed by knobs, e.g. etrain:theta=2,k=3 or
+//                          peres:omega=0.8; --list-policies shows all
 //   --lambda=<pkts/s>      total cargo arrival rate          (0.08)
 //   --trains=<0..3>        number of train apps              (3)
 //   --horizon=<s>          simulated seconds                 (7200)
 //   --seed=<n>             workload seed                     (42)
 //   --radio=device|sim|realistic|lte|fastdormancy            (device)
 //   --deadline=<s>         shared deadline override          (per-app)
-//   --theta=, --k=         eTrain knobs                      (0.2, 20)
-//   --omega=               PerES knob                        (0.5)
-//   --v=                   eTime knob                        (1.0)
 //   --csv=<prefix>         write <prefix>_outcomes.csv and <prefix>_log.csv
+// Fault injection (docs/faults.md):
+//   --loss=<p>             per-attempt transfer loss probability  (0)
+//   --outage-duty=<f>      fraction of the horizon in coverage outage (0)
+//   --outage-mean=<s>      mean outage episode length        (120)
+//   --hb-jitter=<s>        heartbeat departure jitter sigma  (0)
+//   --hb-drop=<p>          heartbeat drop probability        (0)
+//   --fault-seed=<n>       seed for every fault draw         (1)
+// Legacy knob flags --theta/--k/--omega/--v are still honoured.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
 
-#include "baselines/baseline_policy.h"
-#include "baselines/etime_policy.h"
-#include "baselines/oracle_policy.h"
-#include "baselines/peres_policy.h"
-#include "baselines/tailender_policy.h"
+#include "baselines/registry.h"
 #include "common/csv.h"
 #include "common/table.h"
-#include "core/etrain_scheduler.h"
+#include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
 
 namespace {
@@ -82,30 +86,35 @@ radio::PowerModel radio_by_name(const std::string& name) {
   std::exit(2);
 }
 
-std::unique_ptr<core::SchedulingPolicy> policy_by_name(
-    const std::string& name,
-    const std::map<std::string, std::string>& flags) {
-  if (name == "etrain") {
-    return std::make_unique<core::EtrainScheduler>(core::EtrainConfig{
-        .theta = flag_num(flags, "theta", 0.2),
-        .k = static_cast<std::size_t>(flag_num(flags, "k", 20)),
-        .drip_defer_window = flag_num(flags, "defer", 60.0)});
+/// Builds the policy through the registry. The spec carries its own knobs
+/// (--policy=etrain:theta=2,k=3); the legacy standalone flags --theta, --k,
+/// --defer, --omega and --v are appended for backwards compatibility when
+/// the spec itself does not set them.
+std::unique_ptr<core::SchedulingPolicy> policy_from_flags(
+    std::string spec, const std::map<std::string, std::string>& flags) {
+  core::PolicyParams params;
+  const std::string name = core::PolicyRegistry::parse_spec(spec, &params);
+  const auto append_legacy = [&](const char* flag, const char* knob) {
+    const auto it = flags.find(flag);
+    if (it == flags.end() || params.has(knob)) return;
+    spec += (spec.find(':') == std::string::npos ? ":" : ",");
+    spec += std::string(knob) + "=" + it->second;
+  };
+  if (name == "etrain" || name == "etrain+wifi") {
+    append_legacy("theta", "theta");
+    append_legacy("k", "k");
+    append_legacy("defer", "drip_defer_window");
+  } else if (name == "peres") {
+    append_legacy("omega", "omega");
+  } else if (name == "etime") {
+    append_legacy("v", "v");
   }
-  if (name == "baseline") return std::make_unique<baselines::BaselinePolicy>();
-  if (name == "peres") {
-    return std::make_unique<baselines::PerESPolicy>(
-        baselines::PerESConfig{.omega = flag_num(flags, "omega", 0.5)});
+  try {
+    return baselines::make_policy(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
   }
-  if (name == "etime") {
-    return std::make_unique<baselines::ETimePolicy>(
-        baselines::ETimeConfig{.v = flag_num(flags, "v", 1.0)});
-  }
-  if (name == "tailender") {
-    return std::make_unique<baselines::TailEnderPolicy>();
-  }
-  if (name == "oracle") return std::make_unique<baselines::OraclePolicy>();
-  std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
-  std::exit(2);
 }
 
 void dump_csv(const RunMetrics& m, const std::string& prefix) {
@@ -145,20 +154,35 @@ int main(int argc, char** argv) {
     std::printf("see the header comment of examples/etrain_cli.cpp\n");
     return 0;
   }
-
-  ScenarioConfig cfg;
-  cfg.lambda = flag_num(flags, "lambda", 0.08);
-  cfg.train_count = static_cast<int>(flag_num(flags, "trains", 3));
-  cfg.horizon = flag_num(flags, "horizon", 7200.0);
-  cfg.workload_seed = static_cast<std::uint64_t>(flag_num(flags, "seed", 42));
-  cfg.model = radio_by_name(flag_str(flags, "radio", "device"));
-  if (flags.contains("deadline")) {
-    cfg.shared_deadline = flag_num(flags, "deadline", 60.0);
+  if (flags.contains("list-policies")) {
+    const auto& registry = baselines::builtin_registry();
+    for (const auto& name : registry.names()) {
+      std::printf("%-14s %s\n", name.c_str(), registry.help(name).c_str());
+    }
+    return 0;
   }
-  const Scenario scenario = make_scenario(cfg);
 
-  const std::string policy_name = flag_str(flags, "policy", "etrain");
-  const auto policy = policy_by_name(policy_name, flags);
+  ScenarioBuilder builder;
+  builder.lambda(flag_num(flags, "lambda", 0.08))
+      .trains(static_cast<int>(flag_num(flags, "trains", 3)))
+      .horizon(flag_num(flags, "horizon", 7200.0))
+      .workload_seed(static_cast<std::uint64_t>(flag_num(flags, "seed", 42)))
+      .model(radio_by_name(flag_str(flags, "radio", "device")));
+  if (flags.contains("deadline")) {
+    builder.shared_deadline(flag_num(flags, "deadline", 60.0));
+  }
+  builder.loss(flag_num(flags, "loss", 0.0))
+      .heartbeat_jitter(flag_num(flags, "hb-jitter", 0.0))
+      .heartbeat_drops(flag_num(flags, "hb-drop", 0.0))
+      .fault_seed(static_cast<std::uint64_t>(flag_num(flags, "fault-seed", 1)));
+  if (flags.contains("outage-duty")) {
+    builder.outages(flag_num(flags, "outage-duty", 0.0),
+                    flag_num(flags, "outage-mean", 120.0));
+  }
+  const Scenario scenario = builder.build();
+
+  const std::string policy_spec = flag_str(flags, "policy", "etrain");
+  const auto policy = policy_from_flags(policy_spec, flags);
   const RunMetrics m = run_slotted(scenario, *policy);
 
   Table table({"metric", "value"});
@@ -168,6 +192,12 @@ int main(int argc, char** argv) {
   table.add_row({"heartbeats",
                  Table::integer(static_cast<long long>(
                      m.log.count(radio::TxKind::kHeartbeat)))});
+  if (scenario.faults.enabled()) {
+    table.add_row({"failed attempts", Table::integer(static_cast<long long>(
+                                          m.log.failed_count()))});
+    table.add_row(
+        {"failed airtime", Table::num(m.log.failed_airtime(), 2) + " s"});
+  }
   table.add_row({"network energy", format_joules(m.network_energy())});
   table.add_row({"  heartbeat share", format_joules(m.heartbeat_energy())});
   table.add_row({"  cargo share", format_joules(m.data_energy())});

@@ -24,6 +24,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j
 # result that differs from the serial reference.
 ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_parallel_scaling" --quick
 
+# Fault-injection smoke: the loss x outage sweep re-checks the same
+# serial-vs-parallel bit-identity under hashed fault draws, and that
+# fault-free cells record zero fault activity (see docs/faults.md).
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_faults" --quick
+
 # Observability smoke: one traced fig10 run, then validate the Chrome
 # trace (well-formed JSON, monotone timestamps, TailCharge sum matches the
 # reported tail energy) — see docs/observability.md.
@@ -32,5 +37,21 @@ mkdir -p results
   --trace results/fig10.trace.json \
   --timeline results/fig10.power_timeline.csv
 "./$BUILD_DIR/examples/trace_check" results/fig10.trace.json
+
+# One AddressSanitizer pass over the fault-injection tests: the new
+# failure/retry/teardown paths juggle completion callbacks and requeue
+# buffers — exactly the code ASan exists for. Separate build dir: never mix
+# instrumented and plain objects in one cache.
+ASAN_DIR="${BUILD_DIR}-asan"
+if [ ! -f "$ASAN_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B "$ASAN_DIR" -S . -G Ninja -DETRAIN_SANITIZE=address
+else
+  cmake -B "$ASAN_DIR" -S . -DETRAIN_SANITIZE=address
+fi
+cmake --build "$ASAN_DIR" -j --target \
+  net_radio_link_test net_fault_plan_test exp_faults_test
+"./$ASAN_DIR/tests/net_radio_link_test"
+"./$ASAN_DIR/tests/net_fault_plan_test"
+"./$ASAN_DIR/tests/exp_faults_test"
 
 echo "check.sh: all green"

@@ -75,6 +75,23 @@ std::optional<Duration> HeartbeatMonitor::estimated_cycle(int app) const {
                                   });
   if (stable) return med;
 
+  // Jittery-but-unimodal cycle (OS alarm noise, fault-injected departure
+  // jitter): deviations exceed the 5% band yet scatter symmetrically
+  // around one value. Distinguish that from a real regime change via the
+  // median absolute deviation: when the spread is moderate and the latest
+  // gap sits within the noise cloud, the median is the cycle and the last
+  // gap is just one noisy sample.
+  std::vector<Duration> deviations;
+  deviations.reserve(recent.size());
+  for (const Duration g : recent) deviations.push_back(std::abs(g - med));
+  const Duration mad = median_of(deviations);
+  // 1.4826 * MAD estimates sigma for Gaussian noise; 3.5 sigma covers the
+  // cloud. The 5%-of-median floor keeps a tight cluster from flagging
+  // every sample as a regime change when MAD ~ 0.
+  const Duration tolerance = std::max(3.5 * 1.4826 * mad, 0.05 * med);
+  const bool unimodal = mad <= 0.25 * med;
+  if (unimodal && std::abs(last - med) <= tolerance) return med;
+
   // Changing cycle (doubling discipline or app restart): the most recent
   // gap is the best predictor of the next one.
   return last;

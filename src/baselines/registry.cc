@@ -1,0 +1,126 @@
+#include "baselines/registry.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "baselines/baseline_policy.h"
+#include "baselines/etime_policy.h"
+#include "baselines/multi_interface_policy.h"
+#include "baselines/oracle_policy.h"
+#include "baselines/peres_policy.h"
+#include "baselines/tailender_policy.h"
+#include "core/etrain_scheduler.h"
+
+namespace etrain::baselines {
+
+namespace {
+
+/// The k knob is a count with "unlimited" as a special case: 0 (or any
+/// non-positive / non-finite value) means unlimited, matching the paper's
+/// final "k <- inf" configuration.
+std::size_t parse_k(double value) {
+  if (!(value > 0.0) || !std::isfinite(value) ||
+      value >= static_cast<double>(std::numeric_limits<std::size_t>::max())) {
+    return core::EtrainConfig::unlimited_k();
+  }
+  return static_cast<std::size_t>(value);
+}
+
+core::EtrainConfig etrain_config(const core::PolicyParams& p) {
+  core::EtrainConfig config;
+  config.theta = p.get("theta", config.theta);
+  if (p.has("k")) config.k = parse_k(p.get("k", 0.0));
+  config.drip_defer_window =
+      p.get("drip_defer_window", config.drip_defer_window);
+  config.channel_aware = p.get("channel_aware", 0.0) != 0.0;
+  config.channel_threshold =
+      p.get("channel_threshold", config.channel_threshold);
+  config.panic_factor = p.get("panic_factor", config.panic_factor);
+  return config;
+}
+
+core::PolicyRegistry build_registry() {
+  core::PolicyRegistry r;
+  r.register_policy(
+      "etrain",
+      "knobs: theta, k (0 = unlimited), drip_defer_window, channel_aware, "
+      "channel_threshold, panic_factor",
+      [](const core::PolicyParams& p) {
+        return std::make_unique<core::EtrainScheduler>(etrain_config(p));
+      });
+  r.register_policy("baseline", "knobs: none (immediate transmission)",
+                    [](const core::PolicyParams&) {
+                      return std::make_unique<BaselinePolicy>();
+                    });
+  r.register_policy(
+      "peres", "knobs: omega, v_initial, gain, v_min, v_max",
+      [](const core::PolicyParams& p) {
+        PerESConfig config;
+        config.omega = p.get("omega", config.omega);
+        config.v_initial = p.get("v_initial", config.v_initial);
+        config.gain = p.get("gain", config.gain);
+        config.v_min = p.get("v_min", config.v_min);
+        config.v_max = p.get("v_max", config.v_max);
+        return std::make_unique<PerESPolicy>(config);
+      });
+  r.register_policy(
+      "etime", "knobs: v, slot_length, backlog_scale",
+      [](const core::PolicyParams& p) {
+        ETimeConfig config;
+        config.v = p.get("v", config.v);
+        config.slot_length = p.get("slot_length", config.slot_length);
+        config.backlog_scale = static_cast<Bytes>(
+            p.get("backlog_scale", static_cast<double>(config.backlog_scale)));
+        return std::make_unique<ETimePolicy>(config);
+      });
+  r.register_policy("tailender", "knobs: guard",
+                    [](const core::PolicyParams& p) {
+                      TailEnderConfig config;
+                      config.guard = p.get("guard", config.guard);
+                      return std::make_unique<TailEnderPolicy>(config);
+                    });
+  r.register_policy("oracle", "knobs: none (offline clairvoyant bound)",
+                    [](const core::PolicyParams&) {
+                      return std::make_unique<OraclePolicy>();
+                    });
+  r.register_policy("baseline+wifi",
+                    "knobs: none (Wi-Fi preferred, else immediate cellular)",
+                    [](const core::PolicyParams&) {
+                      return std::make_unique<MultiInterfaceBaseline>();
+                    });
+  r.register_policy(
+      "etrain+wifi",
+      "knobs: theta, k (0 = unlimited), drip_defer_window, channel_aware, "
+      "channel_threshold, panic_factor",
+      [](const core::PolicyParams& p) {
+        return std::make_unique<MultiInterfaceEtrain>(etrain_config(p));
+      });
+  return r;
+}
+
+}  // namespace
+
+const core::PolicyRegistry& builtin_registry() {
+  static const core::PolicyRegistry registry = build_registry();
+  return registry;
+}
+
+std::unique_ptr<core::SchedulingPolicy> make_policy(const std::string& spec) {
+  return builtin_registry().make(spec);
+}
+
+std::function<std::unique_ptr<core::SchedulingPolicy>(double)> sweep_factory(
+    const std::string& name, const std::string& knob) {
+  if (!builtin_registry().contains(name)) {
+    builtin_registry().make(name);  // throws with the known-policy list
+  }
+  return [name, knob](double value) {
+    std::ostringstream spec;
+    spec.precision(17);
+    spec << name << ':' << knob << '=' << value;
+    return make_policy(spec.str());
+  };
+}
+
+}  // namespace etrain::baselines

@@ -1,0 +1,31 @@
+// The process-wide PolicyRegistry with every built-in policy registered.
+//
+// Entry points (benches, the CLI, tests) construct policies through this
+// registry instead of hand-rolled name switches, so the spec grammar —
+// "etrain:theta=2,k=3", "peres:omega=0.8", "etime:v=1" — works uniformly
+// everywhere and new policies become available to every tool by adding
+// one registration here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/policy_registry.h"
+
+namespace etrain::baselines {
+
+/// The registry, populated on first use. Thread-safe initialization;
+/// callers must not mutate it (register extra policies on a copy instead).
+const core::PolicyRegistry& builtin_registry();
+
+/// Shorthand for builtin_registry().make(spec).
+std::unique_ptr<core::SchedulingPolicy> make_policy(const std::string& spec);
+
+/// Adapter for one-knob sweeps (the figure benches sweep theta / omega /
+/// v): returns a factory that builds `name` with `knob` bound to the
+/// sweep value, e.g. sweep_factory("etrain", "theta")(2.0).
+std::function<std::unique_ptr<core::SchedulingPolicy>(double)> sweep_factory(
+    const std::string& name, const std::string& knob);
+
+}  // namespace etrain::baselines

@@ -1,0 +1,135 @@
+#include "core/policy_registry.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace etrain::core {
+
+double PolicyParams::get(const std::string& key, double fallback) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool PolicyParams::has(const std::string& key) const {
+  consumed_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::vector<std::string> PolicyParams::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+void PolicyRegistry::register_policy(const std::string& name,
+                                     const std::string& help,
+                                     Factory factory) {
+  if (name.empty() || name.find(':') != std::string::npos ||
+      name.find(',') != std::string::npos ||
+      name.find('=') != std::string::npos) {
+    throw std::invalid_argument("PolicyRegistry: invalid policy name '" +
+                                name + "'");
+  }
+  if (!factory) {
+    throw std::invalid_argument("PolicyRegistry: null factory for '" + name +
+                                "'");
+  }
+  if (!entries_.emplace(name, Entry{help, std::move(factory)}).second) {
+    throw std::invalid_argument("PolicyRegistry: duplicate policy '" + name +
+                                "'");
+  }
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const std::string& PolicyRegistry::help(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("PolicyRegistry: unknown policy '" + name +
+                                "'");
+  }
+  return it->second.help;
+}
+
+std::string PolicyRegistry::parse_spec(const std::string& spec,
+                                       PolicyParams* params) {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  if (name.empty()) {
+    throw std::invalid_argument("policy spec '" + spec +
+                                "': missing policy name");
+  }
+  std::map<std::string, double> values;
+  if (colon != std::string::npos) {
+    std::string tail = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= tail.size()) {
+      const std::size_t comma = tail.find(',', pos);
+      const std::string item =
+          tail.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      pos = comma == std::string::npos ? tail.size() + 1 : comma + 1;
+      if (item.empty()) {
+        throw std::invalid_argument("policy spec '" + spec +
+                                    "': empty knob assignment");
+      }
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+        throw std::invalid_argument("policy spec '" + spec + "': knob '" +
+                                    item + "' is not of the form key=value");
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value_text = item.substr(eq + 1);
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        throw std::invalid_argument("policy spec '" + spec + "': knob '" +
+                                    key + "' has non-numeric value '" +
+                                    value_text + "'");
+      }
+      if (!values.emplace(key, value).second) {
+        throw std::invalid_argument("policy spec '" + spec +
+                                    "': duplicate knob '" + key + "'");
+      }
+    }
+  }
+  if (params != nullptr) *params = PolicyParams(std::move(values));
+  return name;
+}
+
+std::unique_ptr<SchedulingPolicy> PolicyRegistry::make(
+    const std::string& spec) const {
+  PolicyParams params;
+  const std::string name = parse_spec(spec, &params);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument("unknown policy '" + name + "' (known: " +
+                                known + ")");
+  }
+  auto policy = it->second.factory(params);
+  const auto leftover = params.unconsumed();
+  if (!leftover.empty()) {
+    std::string text;
+    for (const auto& k : leftover) text += text.empty() ? k : ", " + k;
+    throw std::invalid_argument("policy '" + name + "': unknown knob(s) " +
+                                text + " — " + it->second.help);
+  }
+  return policy;
+}
+
+}  // namespace etrain::core

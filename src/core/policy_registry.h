@@ -1,0 +1,89 @@
+// Unified policy construction: one string spec -> one SchedulingPolicy.
+//
+// Every CLI flag parser, figure bench and sweep used to hand-roll its own
+// name -> constructor switch with its own subset of knobs. The registry
+// replaces those: a policy is named once, with a factory that reads its
+// knobs from a parsed parameter bag, and every entry point accepts the
+// same spec grammar:
+//
+//   "etrain"                        defaults
+//   "etrain:theta=2,k=3"            knob overrides
+//   "peres:omega=0.8"               any registered policy, any knob
+//
+// Unknown policy names, malformed specs and unknown / unconsumed knobs
+// all throw std::invalid_argument with a descriptive message — a typo'd
+// knob fails loudly instead of being silently ignored.
+//
+// The registry itself is pure mechanism (core cannot depend on the
+// baselines library); baselines::builtin_registry() returns a process-wide
+// instance pre-populated with every built-in policy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace etrain::core {
+
+/// Numeric knobs parsed from a spec's "k1=v1,k2=v2" tail. Factories read
+/// knobs with get(); the registry rejects the spec if any knob was never
+/// read (catching typos like "thta=2").
+class PolicyParams {
+ public:
+  PolicyParams() = default;
+  explicit PolicyParams(std::map<std::string, double> values)
+      : values_(std::move(values)) {}
+
+  /// The knob's value, or `fallback` when absent. Marks the knob consumed.
+  double get(const std::string& key, double fallback) const;
+  /// True when the spec set this knob. Marks it consumed.
+  bool has(const std::string& key) const;
+
+  /// Knobs present in the spec but never read by the factory.
+  std::vector<std::string> unconsumed() const;
+  bool empty() const { return values_.empty(); }
+
+ private:
+  std::map<std::string, double> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+class PolicyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<SchedulingPolicy>(const PolicyParams&)>;
+
+  /// Registers a factory under `name` (lowercase by convention) with a
+  /// one-line `help` text listing its knobs. Throws on duplicates.
+  void register_policy(const std::string& name, const std::string& help,
+                       Factory factory);
+
+  bool contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// The help line for `name`; throws on unknown names.
+  const std::string& help(const std::string& name) const;
+
+  /// Builds a policy from a spec ("name" or "name:knob=v,knob=v").
+  /// Throws std::invalid_argument for unknown names, malformed specs and
+  /// unknown (unconsumed) knobs.
+  std::unique_ptr<SchedulingPolicy> make(const std::string& spec) const;
+
+  /// Splits a spec into its name and parameter bag without building
+  /// anything (exposed for flag parsers that need the name early).
+  static std::string parse_spec(const std::string& spec, PolicyParams* params);
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace etrain::core

@@ -1,5 +1,7 @@
 #include "exp/scenario.h"
 
+#include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -78,6 +80,34 @@ void validate_scenario(const Scenario& scenario) {
   };
   check_sorted(scenario.trains, "trains");
   check_sorted(scenario.background, "background traffic");
+  scenario.faults.validate();
+}
+
+std::vector<apps::TrainEvent> apply_heartbeat_faults(
+    const std::vector<apps::TrainEvent>& trains, const net::FaultPlan& plan) {
+  if (!plan.affects_heartbeats()) return trains;
+  std::vector<apps::TrainEvent> out;
+  out.reserve(trains.size());
+  // Per-train beat indices: the timetable is time-sorted, so each train's
+  // events appear in beat order and the (train << 32 | index) key matches
+  // the DES TrainAppProcess draw for the same plan.
+  std::map<int, int> beat_index;
+  for (const auto& event : trains) {
+    const int index = beat_index[event.train]++;
+    const std::int64_t entity =
+        (static_cast<std::int64_t>(event.train) << 32) |
+        static_cast<std::int64_t>(index);
+    if (plan.drops_heartbeat(entity)) continue;
+    apps::TrainEvent faulted = event;
+    faulted.time =
+        std::max<TimePoint>(0.0, event.time + plan.heartbeat_jitter(entity));
+    out.push_back(faulted);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const apps::TrainEvent& a, const apps::TrainEvent& b) {
+              return a.time < b.time;
+            });
+  return out;
 }
 
 }  // namespace etrain::experiments

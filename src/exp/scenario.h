@@ -16,6 +16,7 @@
 #include "core/cost_profile.h"
 #include "core/packet.h"
 #include "net/bandwidth_trace.h"
+#include "net/fault_plan.h"
 #include "net/wifi_availability.h"
 #include "radio/power_model.h"
 
@@ -54,6 +55,12 @@ struct Scenario {
   /// in reality; eTrain ignores the estimate, PerES/eTime depend on it).
   double estimate_noise_sigma = 0.25;
   std::uint64_t noise_seed = 7;
+
+  /// Fault injection (transfer loss, coverage outages, heartbeat jitter /
+  /// drops). The default FaultPlan::none() makes every run bit-identical
+  /// to the pre-fault-injection behaviour; run_slotted and the DES system
+  /// share the same plan semantics. See docs/faults.md.
+  net::FaultPlan faults;
 };
 
 /// Declarative description of the paper's standard setup.
@@ -77,8 +84,16 @@ Scenario make_scenario(const ScenarioConfig& config);
 
 /// Structural validation with descriptive errors: packets sorted by
 /// arrival with unique ids and in-range app indices, trains/background
-/// sorted, horizon positive. run_slotted() calls this before simulating;
-/// hand-built scenarios can call it directly.
+/// sorted, horizon positive, fault plan well-formed. run_slotted() calls
+/// this before simulating; hand-built scenarios can call it directly.
 void validate_scenario(const Scenario& scenario);
+
+/// Applies a FaultPlan's heartbeat faults to a merged timetable: each beat
+/// is jittered by plan.heartbeat_jitter and dropped per
+/// plan.heartbeat_drop_probability, keyed by (train id, per-train beat
+/// index) exactly like the DES TrainAppProcess, then re-sorted by time.
+/// Returns `trains` untouched when the plan has no heartbeat faults.
+std::vector<apps::TrainEvent> apply_heartbeat_faults(
+    const std::vector<apps::TrainEvent>& trains, const net::FaultPlan& plan);
 
 }  // namespace etrain::experiments

@@ -1,0 +1,154 @@
+#include "exp/scenario_builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace etrain::experiments {
+
+ScenarioBuilder& ScenarioBuilder::lambda(double packets_per_second) {
+  config_.lambda = packets_per_second;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trains(int count) {
+  config_.train_count = count;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::horizon(Duration seconds) {
+  config_.horizon = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload_seed(std::uint64_t seed) {
+  config_.workload_seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::bandwidth_seed(std::uint64_t seed) {
+  config_.bandwidth_seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::shared_deadline(Duration seconds) {
+  config_.shared_deadline = seconds;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::model(const radio::PowerModel& model) {
+  config_.model = model;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::faults(net::FaultPlan plan) {
+  faults_ = std::move(plan);
+  outage_duty_.reset();
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::loss(double probability) {
+  faults_.loss_probability = probability;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::outages(double duty, Duration episode_mean) {
+  outage_duty_ = duty;
+  outage_episode_mean_ = episode_mean;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::outage_episodes(
+    std::vector<net::OutageEpisode> episodes) {
+  faults_.outages = std::move(episodes);
+  outage_duty_.reset();
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::heartbeat_jitter(Duration sigma) {
+  faults_.heartbeat_jitter_sigma = sigma;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::heartbeat_drops(double probability) {
+  faults_.heartbeat_drop_probability = probability;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_seed(std::uint64_t seed) {
+  faults_.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::wifi(net::WifiAvailability availability) {
+  wifi_ = std::move(availability);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::estimate_noise(double sigma) {
+  estimate_noise_ = sigma;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::noise_seed(std::uint64_t seed) {
+  noise_seed_ = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::trace(net::BandwidthTrace trace) {
+  trace_ = std::move(trace);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::downlink_trace(net::BandwidthTrace trace) {
+  downlink_trace_ = std::move(trace);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::timetable(
+    std::vector<apps::TrainEvent> events) {
+  timetable_ = std::move(events);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::packets(
+    std::vector<core::Packet> packets,
+    std::vector<const core::CostProfile*> profiles) {
+  packets_ = std::move(packets);
+  profiles_ = std::move(profiles);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::background(
+    std::vector<apps::TrainEvent> events) {
+  background_ = std::move(events);
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  Scenario s = make_scenario(config_);
+  if (trace_.has_value()) s.trace = *trace_;
+  if (downlink_trace_.has_value()) s.downlink_trace = *downlink_trace_;
+  if (timetable_.has_value()) s.trains = *timetable_;
+  if (packets_.has_value()) {
+    s.packets = *packets_;
+    s.profiles = *profiles_;
+  }
+  if (background_.has_value()) s.background = *background_;
+  if (wifi_.has_value()) s.wifi = *wifi_;
+  if (estimate_noise_.has_value()) s.estimate_noise_sigma = *estimate_noise_;
+  if (noise_seed_.has_value()) s.noise_seed = *noise_seed_;
+
+  s.faults = faults_;
+  if (outage_duty_.has_value()) {
+    net::OutagePatternConfig pattern;
+    pattern.horizon = s.horizon;
+    pattern.duty = *outage_duty_;
+    pattern.episode_mean = outage_episode_mean_;
+    s.faults.outages = net::generate_outages(pattern, s.faults.seed);
+  }
+
+  validate_scenario(s);
+  return s;
+}
+
+}  // namespace etrain::experiments

@@ -1,0 +1,104 @@
+// Fluent assembly of experiment scenarios.
+//
+// make_scenario(ScenarioConfig) covers the paper's standard setup, but the
+// benches and examples used to poke Scenario's fields directly whenever
+// they needed a variation (a custom trace, a deadline sweep, faults...).
+// ScenarioBuilder is the one supported way to express those variations:
+//
+//   const Scenario s = ScenarioBuilder()
+//                          .lambda(0.08)
+//                          .trains(3)
+//                          .horizon(7200.0)
+//                          .loss(0.05)
+//                          .outages(0.1, 120.0)
+//                          .build();
+//
+// build() derives everything underneath from the standard generator, then
+// layers the explicitly-set overrides on top and validates the result, so
+// a builder with no calls produces exactly make_scenario(ScenarioConfig{}).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace etrain::experiments {
+
+class ScenarioBuilder {
+ public:
+  /// --- standard-generator knobs (forwarded to ScenarioConfig) ---
+
+  /// Total cargo arrival rate, packets/second.
+  ScenarioBuilder& lambda(double packets_per_second);
+  /// Number of train apps (0..3: QQ, WeChat, WhatsApp in order).
+  ScenarioBuilder& trains(int count);
+  ScenarioBuilder& horizon(Duration seconds);
+  ScenarioBuilder& workload_seed(std::uint64_t seed);
+  ScenarioBuilder& bandwidth_seed(std::uint64_t seed);
+  /// Overrides every cargo app's deadline (Fig. 10(c) sweep).
+  ScenarioBuilder& shared_deadline(Duration seconds);
+  ScenarioBuilder& model(const radio::PowerModel& model);
+
+  /// --- fault injection ---
+
+  /// Installs a complete plan (replaces any fault knobs set so far).
+  ScenarioBuilder& faults(net::FaultPlan plan);
+  /// Per-attempt transfer loss probability.
+  ScenarioBuilder& loss(double probability);
+  /// Generated coverage-outage pattern: `duty` fraction of the horizon in
+  /// outage, mean episode length `episode_mean` (resolved at build(), after
+  /// the horizon is known).
+  ScenarioBuilder& outages(double duty, Duration episode_mean = 120.0);
+  /// Explicit outage episodes (sorted, disjoint); replaces outages().
+  ScenarioBuilder& outage_episodes(std::vector<net::OutageEpisode> episodes);
+  /// Gaussian heartbeat departure jitter, seconds.
+  ScenarioBuilder& heartbeat_jitter(Duration sigma);
+  /// Per-beat heartbeat drop probability.
+  ScenarioBuilder& heartbeat_drops(double probability);
+  /// Seed for every hashed fault decision (and the outage generator).
+  ScenarioBuilder& fault_seed(std::uint64_t seed);
+
+  /// --- multi-interface / estimation knobs ---
+
+  ScenarioBuilder& wifi(net::WifiAvailability availability);
+  ScenarioBuilder& estimate_noise(double sigma);
+  ScenarioBuilder& noise_seed(std::uint64_t seed);
+
+  /// --- escape hatches: replace generated pieces wholesale ---
+
+  ScenarioBuilder& trace(net::BandwidthTrace trace);
+  ScenarioBuilder& downlink_trace(net::BandwidthTrace trace);
+  /// Replaces the generated heartbeat timetable.
+  ScenarioBuilder& timetable(std::vector<apps::TrainEvent> events);
+  /// Replaces the generated cargo workload. `profiles[app]` must outlive
+  /// the scenario (they are borrowed, matching Scenario's contract).
+  ScenarioBuilder& packets(std::vector<core::Packet> packets,
+                           std::vector<const core::CostProfile*> profiles);
+  /// Interactive foreground traffic (Fig. 11 user-trace replay).
+  ScenarioBuilder& background(std::vector<apps::TrainEvent> events);
+
+  /// Assembles and validates the scenario; throws std::invalid_argument on
+  /// inconsistent knobs. The builder is reusable: build() does not mutate.
+  Scenario build() const;
+
+ private:
+  ScenarioConfig config_;
+  net::FaultPlan faults_;
+  std::optional<double> outage_duty_;
+  Duration outage_episode_mean_ = 120.0;
+
+  std::optional<net::WifiAvailability> wifi_;
+  std::optional<double> estimate_noise_;
+  std::optional<std::uint64_t> noise_seed_;
+
+  std::optional<net::BandwidthTrace> trace_;
+  std::optional<net::BandwidthTrace> downlink_trace_;
+  std::optional<std::vector<apps::TrainEvent>> timetable_;
+  std::optional<std::vector<core::Packet>> packets_;
+  std::optional<std::vector<const core::CostProfile*>> profiles_;
+  std::optional<std::vector<apps::TrainEvent>> background_;
+};
+
+}  // namespace etrain::experiments

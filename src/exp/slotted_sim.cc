@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "android/heartbeat_monitor.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -12,33 +14,115 @@ namespace etrain::experiments {
 
 namespace {
 
-/// Serialized-uplink bookkeeping shared by heartbeat and data transmission.
+/// Fault-injection counters the uplink reports into (all optional).
+struct FaultCounters {
+  obs::Counter* failures = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* outage_deferrals = nullptr;
+};
+
+/// Serialized-uplink bookkeeping shared by heartbeat and data transmission,
+/// with the same fault semantics as net::RadioLink: coverage outages defer
+/// transfer starts (no energy) and truncate in-flight transfers (partial
+/// airtime billed, failed), hashed loss draws fail whole attempts, data
+/// retries with capped exponential backoff, heartbeats are fire-and-forget.
 class Uplink {
  public:
-  Uplink(const Scenario& scenario, radio::TransmissionLog& log)
-      : scenario_(scenario), log_(log) {}
+  /// Outcome of one transmit() call (a whole attempt chain for data).
+  struct Result {
+    /// Start of the delivering attempt; meaningless when !delivered.
+    TimePoint sent = 0.0;
+    bool delivered = true;
+    /// End of the last failed attempt — when the app learns of the final
+    /// failure and can requeue.
+    TimePoint failed_at = 0.0;
+    /// Last 1-based attempt number consumed (for fresh draws on requeue).
+    int last_attempt = 1;
+  };
 
-  /// Transmits `bytes` no earlier than `not_before`; returns the actual
-  /// start time (after any in-flight transmission and RRC promotion).
-  TimePoint transmit(TimePoint not_before, Bytes bytes, radio::TxKind kind,
-                     int app_id, core::PacketId packet_id,
-                     core::Direction direction = core::Direction::kUplink) {
-    const TimePoint start = std::max(not_before, free_at_);
+  Uplink(const Scenario& scenario, radio::TransmissionLog& log,
+         obs::TraceSink* trace, FaultCounters counters)
+      : scenario_(scenario),
+        faults_(scenario.faults),
+        log_(log),
+        trace_(trace),
+        counters_(counters) {}
+
+  /// The horizon force-flush must terminate even under loss_probability 1:
+  /// it runs faultless.
+  void disable_faults() { faults_ = net::FaultPlan::none(); }
+
+  /// Transmits `bytes` no earlier than `not_before`. `entity` keys the
+  /// fault draws (packet id for cargo, a timetable sequence number for
+  /// heartbeats); `first_attempt` continues a packet's draw sequence across
+  /// requeues so retries never replay the same coin flips.
+  Result transmit(TimePoint not_before, Bytes bytes, radio::TxKind kind,
+                  int app_id, core::PacketId packet_id,
+                  core::Direction direction = core::Direction::kUplink,
+                  std::int64_t entity = 0, int first_attempt = 1) {
     const net::BandwidthTrace& trace =
         direction == core::Direction::kDownlink ? scenario_.downlink_trace
                                                 : scenario_.trace;
-    radio::Transmission tx;
-    tx.start = start;
-    tx.setup = promotion_delay(start);
-    tx.duration = trace.transfer_duration(bytes, start + tx.setup);
-    tx.bytes = bytes;
-    tx.kind = kind;
-    tx.app_id = app_id;
-    tx.packet_id = packet_id;
-    log_.add(tx);
-    free_at_ = tx.end();
-    last_end_ = tx.end();
-    return start;
+    const bool faulty = faults_.affects_link();
+    int attempt = first_attempt;
+    TimePoint ready = not_before;
+    while (true) {
+      TimePoint start = std::max(ready, free_at_);
+      if (faulty && faults_.in_outage(start)) {
+        // No service: the transfer cannot begin. Waiting burns no airtime.
+        const TimePoint resume = faults_.outage_end_after(start);
+        ETRAIN_TRACE(trace_, obs::TraceEvent::outage_defer(
+                                 start, static_cast<std::int32_t>(kind),
+                                 entity, resume));
+        if (counters_.outage_deferrals != nullptr) {
+          counters_.outage_deferrals->increment();
+        }
+        start = resume;
+      }
+      radio::Transmission tx;
+      tx.start = start;
+      tx.setup = promotion_delay(start);
+      tx.duration = trace.transfer_duration(bytes, start + tx.setup);
+      tx.bytes = bytes;
+      tx.kind = kind;
+      tx.app_id = app_id;
+      tx.packet_id = packet_id;
+      tx.attempt = attempt;
+      if (faulty) {
+        const TimePoint cut = faults_.next_outage_start(start);
+        if (cut < tx.end()) {
+          // Coverage drops mid-flight: the stream dies at the boundary and
+          // only the airtime before it is billed.
+          tx.failed = true;
+          tx.setup = std::min(tx.setup, cut - start);
+          tx.duration = std::max(0.0, (cut - start) - tx.setup);
+        } else if (faults_.lose_transfer(entity, attempt)) {
+          tx.failed = true;  // lost in flight: full airtime, nothing moved
+        }
+      }
+      log_.add(tx);
+      free_at_ = tx.end();
+      last_end_ = tx.end();
+      if (!tx.failed) return Result{start, true, 0.0, attempt};
+
+      ETRAIN_TRACE(trace_, obs::TraceEvent::tx_failure(
+                               tx.end(), static_cast<std::int32_t>(kind),
+                               entity, attempt, tx.setup + tx.duration));
+      if (counters_.failures != nullptr) counters_.failures->increment();
+      const int used = attempt - first_attempt + 1;
+      if (kind == radio::TxKind::kHeartbeat || used > faults_.max_retries) {
+        // Heartbeats are fire-and-forget (the next cycle supersedes a lost
+        // one); data exhausts its retry budget and reports failure.
+        return Result{start, false, tx.end(), attempt};
+      }
+      const Duration backoff = faults_.backoff_delay(attempt);
+      ETRAIN_TRACE(trace_, obs::TraceEvent::tx_retry(
+                               tx.end(), static_cast<std::int32_t>(kind),
+                               entity, attempt + 1, backoff));
+      if (counters_.retries != nullptr) counters_.retries->increment();
+      ready = tx.end() + backoff;
+      ++attempt;
+    }
   }
 
   TimePoint free_at() const { return free_at_; }
@@ -55,7 +139,10 @@ class Uplink {
   }
 
   const Scenario& scenario_;
+  net::FaultPlan faults_;
   radio::TransmissionLog& log_;
+  obs::TraceSink* trace_;
+  FaultCounters counters_;
   TimePoint free_at_ = 0.0;
   TimePoint last_end_ = -1.0;
 };
@@ -76,11 +163,21 @@ RunMetrics run_slotted(const Scenario& scenario,
   obs::Counter* heartbeats_counter = nullptr;
   obs::Counter* piggybacked_counter = nullptr;
   obs::Counter* dripped_counter = nullptr;
+  obs::Counter* recovered_counter = nullptr;
+  obs::Counter* hb_dropped_counter = nullptr;
+  FaultCounters fault_counters;
   if (observers.metrics != nullptr) {
     heartbeats_counter = &observers.metrics->counter("run.heartbeats");
     piggybacked_counter =
         &observers.metrics->counter("run.packets_piggybacked");
     dripped_counter = &observers.metrics->counter("run.packets_dripped");
+    recovered_counter = &observers.metrics->counter("run.packets_recovered");
+    hb_dropped_counter =
+        &observers.metrics->counter("run.heartbeats_dropped");
+    fault_counters.failures = &observers.metrics->counter("run.tx_failures");
+    fault_counters.retries = &observers.metrics->counter("run.tx_retries");
+    fault_counters.outage_deferrals =
+        &observers.metrics->counter("run.outage_deferrals");
   }
 
   const Duration slot = policy.preferred_slot_length();
@@ -90,7 +187,33 @@ RunMetrics run_slotted(const Scenario& scenario,
   validate_scenario(scenario);
 
   core::WaitingQueues queues(static_cast<int>(scenario.profiles.size()));
-  Uplink uplink(scenario, metrics.log);
+  Uplink uplink(scenario, metrics.log, trace, fault_counters);
+
+  // Heartbeat faults perturb the timetable before the run (same hashed
+  // draws as the DES TrainAppProcess); without them `trains` aliases the
+  // scenario's timetable untouched.
+  const std::vector<apps::TrainEvent> trains =
+      apply_heartbeat_faults(scenario.trains, scenario.faults);
+  const bool faulted_heartbeats = scenario.faults.affects_heartbeats();
+  if (hb_dropped_counter != nullptr &&
+      trains.size() < scenario.trains.size()) {
+    hb_dropped_counter->increment(scenario.trains.size() - trains.size());
+  }
+  // Under heartbeat faults the exact future timetable is unknowable; the
+  // policies' lookahead comes from the HeartbeatMonitor's online cycle
+  // re-estimation instead (exactly what the eTrain service does on-device).
+  android::HeartbeatMonitor monitor;
+
+  // Packets whose transfer exhausted its retry budget: they rejoin their
+  // app queue (delay still accruing from the original arrival) once the
+  // failure is known, and their next chain continues the attempt numbering
+  // so the hashed draws stay fresh.
+  struct RetryEntry {
+    core::QueuedPacket qp;
+    TimePoint ready = 0.0;
+  };
+  std::vector<RetryEntry> retry_buffer;
+  std::unordered_map<core::PacketId, int> attempts_used;
 
   // Wi-Fi channel (multi-interface extension): independent serialization,
   // its own log; energy metered against the Wi-Fi power model afterwards.
@@ -117,8 +240,7 @@ RunMetrics run_slotted(const Scenario& scenario,
   Ewma short_term(0.3);
   RunningStats long_term;
 
-  const std::vector<TimePoint> departures =
-      apps::departure_times(scenario.trains);
+  const std::vector<TimePoint> departures = apps::departure_times(trains);
 
   std::size_t next_packet = 0;
   std::size_t next_train = 0;
@@ -127,30 +249,55 @@ RunMetrics run_slotted(const Scenario& scenario,
 
   // Interactive foreground transmissions happen at their own timestamps,
   // outside the policy's control; they are billed as data but carry the
-  // sentinel packet id -2 so they never join the outcome metrics.
+  // sentinel packet id -2 so they never join the outcome metrics. They see
+  // the same link faults as cargo (entity = a timetable sequence number);
+  // a finally-failed interactive fetch is simply abandoned.
   const auto flush_background_until = [&](TimePoint limit) {
     while (next_background < scenario.background.size() &&
            scenario.background[next_background].time <= limit) {
       const auto& e = scenario.background[next_background];
-      uplink.transmit(e.time, e.bytes, radio::TxKind::kData, e.train, -2);
+      uplink.transmit(e.time, e.bytes, radio::TxKind::kData, e.train, -2,
+                      core::Direction::kUplink,
+                      -1000000 - static_cast<std::int64_t>(next_background));
       ++next_background;
     }
   };
 
   const auto transmit_data = [&](core::QueuedPacket&& qp, TimePoint slot_start,
                                  bool via_wifi = false) {
-    const TimePoint sent =
-        via_wifi
-            ? transmit_wifi(qp, slot_start)
-            : uplink.transmit(slot_start, qp.packet.bytes,
-                              radio::TxKind::kData, qp.packet.app,
-                              qp.packet.id, qp.packet.direction);
+    if (via_wifi) {
+      // The Wi-Fi channel is outside the cellular fault domain.
+      const TimePoint sent = transmit_wifi(qp, slot_start);
+      PacketOutcome o;
+      o.id = qp.packet.id;
+      o.app = qp.packet.app;
+      o.arrival = qp.packet.arrival;
+      o.sent = sent;
+      o.delay = sent - qp.packet.arrival;
+      o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
+      o.violated = o.delay > qp.packet.deadline + 1e-9;
+      o.bytes = qp.packet.bytes;
+      metrics.outcomes.push_back(o);
+      return;
+    }
+    int& used = attempts_used[qp.packet.id];
+    const Uplink::Result result = uplink.transmit(
+        slot_start, qp.packet.bytes, radio::TxKind::kData, qp.packet.app,
+        qp.packet.id, qp.packet.direction, qp.packet.id, used + 1);
+    used = result.last_attempt;
+    if (!result.delivered) {
+      // Retry budget exhausted: the packet returns to its app queue once
+      // the failure is known; delay keeps accruing from the arrival.
+      if (recovered_counter != nullptr) recovered_counter->increment();
+      retry_buffer.push_back(RetryEntry{std::move(qp), result.failed_at});
+      return;
+    }
     PacketOutcome o;
     o.id = qp.packet.id;
     o.app = qp.packet.app;
     o.arrival = qp.packet.arrival;
-    o.sent = sent;
-    o.delay = sent - qp.packet.arrival;
+    o.sent = result.sent;
+    o.delay = result.sent - qp.packet.arrival;
     o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
     o.violated = o.delay > qp.packet.deadline + 1e-9;
     o.bytes = qp.packet.bytes;
@@ -160,22 +307,37 @@ RunMetrics run_slotted(const Scenario& scenario,
   for (TimePoint t = 0.0; t < scenario.horizon; t += slot) {
     const TimePoint slot_end = t + slot;
 
-    // (1) Arrivals from the previous slot join their queues.
+    // (1) Arrivals from the previous slot join their queues, as do packets
+    // whose transfer failure became known before this slot.
     while (next_packet < scenario.packets.size() &&
            scenario.packets[next_packet].arrival < t) {
       const core::Packet& p = scenario.packets[next_packet];
       queues.enqueue(core::QueuedPacket{p, scenario.profiles.at(p.app)});
       ++next_packet;
     }
+    if (!retry_buffer.empty()) {
+      auto pending = retry_buffer.begin();
+      for (auto it = retry_buffer.begin(); it != retry_buffer.end(); ++it) {
+        if (it->ready < t) {
+          queues.enqueue(std::move(it->qp));
+        } else {
+          if (pending != it) *pending = std::move(*it);
+          ++pending;
+        }
+      }
+      retry_buffer.erase(pending, retry_buffer.end());
+    }
 
     // (2) Heartbeats due at or before the slot start; interactive traffic
     // up to the slot start goes out as it happened.
     flush_background_until(t);
     bool heartbeat_now = false;
-    while (next_train < scenario.trains.size() &&
-           scenario.trains[next_train].time <= t) {
-      const auto& hb = scenario.trains[next_train];
-      uplink.transmit(t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1);
+    while (next_train < trains.size() && trains[next_train].time <= t) {
+      const auto& hb = trains[next_train];
+      uplink.transmit(t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1,
+                      core::Direction::kUplink,
+                      -1 - static_cast<std::int64_t>(next_train));
+      monitor.on_heartbeat(hb.train, hb.time);
       ETRAIN_TRACE(trace, obs::TraceEvent::heartbeat_tx(t, hb.train,
                                                         hb.bytes));
       if (heartbeats_counter != nullptr) heartbeats_counter->increment();
@@ -185,8 +347,7 @@ RunMetrics run_slotted(const Scenario& scenario,
     // Any heartbeat later within this slot still marks the slot as a train
     // departure for the policy (the paper treats heartbeats as firing at
     // slot boundaries).
-    if (next_train < scenario.trains.size() &&
-        scenario.trains[next_train].time < slot_end) {
+    if (next_train < trains.size() && trains[next_train].time < slot_end) {
       heartbeat_now = true;
     }
 
@@ -201,13 +362,23 @@ RunMetrics run_slotted(const Scenario& scenario,
     ctx.slot_start = t;
     ctx.slot_length = slot;
     ctx.heartbeat_now = heartbeat_now;
-    while (next_departure < departures.size() &&
-           departures[next_departure] < t) {
-      ++next_departure;
-    }
-    for (std::size_t i = next_departure;
-         i < departures.size() && i < next_departure + 16; ++i) {
-      ctx.upcoming_heartbeats.push_back(departures[i]);
+    if (faulted_heartbeats) {
+      // No oracle timetable under heartbeat faults: the lookahead is the
+      // monitor's online prediction from the beats actually observed.
+      ctx.upcoming_heartbeats =
+          monitor.predict_departures(t, scenario.horizon);
+      if (ctx.upcoming_heartbeats.size() > 16) {
+        ctx.upcoming_heartbeats.resize(16);
+      }
+    } else {
+      while (next_departure < departures.size() &&
+             departures[next_departure] < t) {
+        ++next_departure;
+      }
+      for (std::size_t i = next_departure;
+           i < departures.size() && i < next_departure + 16; ++i) {
+        ctx.upcoming_heartbeats.push_back(departures[i]);
+      }
     }
     ctx.bandwidth_estimate = short_term.value_or(measured);
     ctx.bandwidth_long_term = long_term.mean();
@@ -238,11 +409,12 @@ RunMetrics run_slotted(const Scenario& scenario,
 
     // (4) Heartbeats and interactive traffic later within the slot fire at
     // their exact times.
-    while (next_train < scenario.trains.size() &&
-           scenario.trains[next_train].time < slot_end) {
-      const auto& hb = scenario.trains[next_train];
+    while (next_train < trains.size() && trains[next_train].time < slot_end) {
+      const auto& hb = trains[next_train];
       uplink.transmit(hb.time, hb.bytes, radio::TxKind::kHeartbeat, hb.train,
-                      -1);
+                      -1, core::Direction::kUplink,
+                      -1 - static_cast<std::int64_t>(next_train));
+      monitor.on_heartbeat(hb.train, hb.time);
       ETRAIN_TRACE(trace, obs::TraceEvent::heartbeat_tx(hb.time, hb.train,
                                                         hb.bytes));
       if (heartbeats_counter != nullptr) heartbeats_counter->increment();
@@ -252,7 +424,13 @@ RunMetrics run_slotted(const Scenario& scenario,
   }
   flush_background_until(scenario.horizon);
 
-  // Force-flush stragglers at the horizon.
+  // Force-flush stragglers at the horizon — faultless, so the flush always
+  // terminates and delivers even under loss_probability 1.
+  uplink.disable_faults();
+  for (auto& entry : retry_buffer) {
+    queues.enqueue(std::move(entry.qp));
+  }
+  retry_buffer.clear();
   for (auto& qp : queues.drain_all()) {
     transmit_data(std::move(qp), scenario.horizon);
   }

@@ -1,0 +1,122 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.h"  // splitmix64
+#include "common/rng.h"
+
+namespace etrain::net {
+
+bool FaultPlan::in_outage(TimePoint t) const {
+  // First episode with end > t; covered iff it also starts at/before t.
+  const auto it = std::upper_bound(
+      outages.begin(), outages.end(), t,
+      [](TimePoint v, const OutageEpisode& e) { return v < e.end; });
+  return it != outages.end() && it->start <= t;
+}
+
+TimePoint FaultPlan::outage_end_after(TimePoint t) const {
+  const auto it = std::upper_bound(
+      outages.begin(), outages.end(), t,
+      [](TimePoint v, const OutageEpisode& e) { return v < e.end; });
+  if (it != outages.end() && it->start <= t) return it->end;
+  return t;
+}
+
+TimePoint FaultPlan::next_outage_start(TimePoint t) const {
+  const auto it = std::upper_bound(
+      outages.begin(), outages.end(), t,
+      [](TimePoint v, const OutageEpisode& e) { return v < e.start; });
+  return it == outages.end() ? kTimeInfinity : it->start;
+}
+
+double FaultPlan::uniform_draw(std::uint64_t stream, std::int64_t entity,
+                               int attempt) const {
+  // Three avalanche rounds decorrelate the structured inputs; the top 53
+  // bits give a uniform double in [0, 1).
+  std::uint64_t h = splitmix64(seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(entity));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Duration FaultPlan::backoff_delay(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  const double raw =
+      backoff_base * std::pow(backoff_factor, static_cast<double>(attempt - 1));
+  return std::max(0.0, std::min(raw, backoff_cap));
+}
+
+Duration FaultPlan::heartbeat_jitter(std::int64_t entity) const {
+  if (heartbeat_jitter_sigma <= 0.0) return 0.0;
+  // Box-Muller on two independent hashed uniforms; u1 is kept away from 0
+  // so the log is finite.
+  const double u1 =
+      std::max(uniform_draw(kStreamHeartbeatJitter, entity, 1), 1e-12);
+  const double u2 = uniform_draw(kStreamHeartbeatJitter, entity, 2);
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  return heartbeat_jitter_sigma * z;
+}
+
+void FaultPlan::validate() const {
+  const auto prob = [](double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " must be in [0, 1]");
+    }
+  };
+  prob(loss_probability, "loss_probability");
+  prob(heartbeat_drop_probability, "heartbeat_drop_probability");
+  if (heartbeat_jitter_sigma < 0.0) {
+    throw std::invalid_argument("FaultPlan: negative heartbeat_jitter_sigma");
+  }
+  if (max_retries < 0) {
+    throw std::invalid_argument("FaultPlan: negative max_retries");
+  }
+  if (backoff_base < 0.0 || backoff_cap < 0.0 || backoff_factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultPlan: backoff_base/cap must be >= 0 and backoff_factor >= 1");
+  }
+  TimePoint prev_end = -kTimeInfinity;
+  for (const auto& e : outages) {
+    if (e.end <= e.start) {
+      throw std::invalid_argument("FaultPlan: empty or inverted outage");
+    }
+    if (e.start < prev_end) {
+      throw std::invalid_argument(
+          "FaultPlan: outages must be sorted and disjoint");
+    }
+    prev_end = e.end;
+  }
+}
+
+std::vector<OutageEpisode> generate_outages(const OutagePatternConfig& config,
+                                            std::uint64_t seed) {
+  if (config.duty < 0.0 || config.duty >= 1.0) {
+    throw std::invalid_argument("generate_outages: duty must be in [0, 1)");
+  }
+  if (config.episode_mean <= 0.0) {
+    throw std::invalid_argument("generate_outages: non-positive episode_mean");
+  }
+  std::vector<OutageEpisode> out;
+  if (config.duty == 0.0 || config.horizon <= 0.0) return out;
+
+  // Alternating exponential dwells; mean covered dwell is set so the
+  // long-run uncovered fraction matches the duty.
+  const Duration covered_mean =
+      config.episode_mean * (1.0 - config.duty) / config.duty;
+  Rng rng(seed);
+  TimePoint t = rng.exponential_mean(covered_mean);  // start in coverage
+  while (t < config.horizon) {
+    const Duration gap = std::max(1.0, rng.exponential_mean(config.episode_mean));
+    const TimePoint end = std::min<TimePoint>(t + gap, config.horizon);
+    out.push_back({t, end});
+    t = end + std::max(1.0, rng.exponential_mean(covered_mean));
+  }
+  return out;
+}
+
+}  // namespace etrain::net

@@ -1,0 +1,147 @@
+// Seeded fault injection for the transmission layer (robustness extension).
+//
+// The paper's evaluation assumes every transfer succeeds and every
+// heartbeat departs on schedule; real IM deployments on cellular links see
+// failed uplink transfers, coverage gaps and OS-jittered/killed heartbeats
+// (Sec. III's premise). A FaultPlan describes that lossy world for one run:
+//
+//   * per-attempt transfer loss (the uplink TCP stream resets mid-flight),
+//   * coverage outages (disjoint episodes during which the radio has no
+//     service: transfers cannot start, and in-flight transfers die at the
+//     outage boundary),
+//   * heartbeat timing faults (Gaussian departure jitter and outright
+//     drops — the OS killed the daemon or delayed its alarm),
+//   * the capped-exponential-backoff retransmission policy both harnesses
+//     (net::RadioLink and exp/slotted_sim) apply to failed transfers.
+//
+// Every stochastic decision is a pure hash of (seed, entity, attempt) —
+// never a draw from shared mutable RNG state — so the same plan produces a
+// byte-identical failure/retry sequence regardless of execution order,
+// thread count (parallel_map) or which harness replays it. FaultPlan::none()
+// (the default everywhere) disables every dimension; runs under it are
+// bit-identical to the pre-fault-injection behaviour.
+//
+// docs/faults.md documents the model, the knobs and the API migration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::net {
+
+/// One coverage gap [start, end): the device has no cellular service.
+struct OutageEpisode {
+  TimePoint start = 0.0;
+  TimePoint end = 0.0;
+};
+
+struct FaultPlan {
+  /// Base seed for every hashed fault decision. Two plans with equal knobs
+  /// and equal seeds produce identical fault sequences.
+  std::uint64_t seed = 1;
+
+  /// Probability that one transfer *attempt* fails in flight (applied
+  /// per attempt, so a retried packet re-rolls). 0 = lossless.
+  double loss_probability = 0.0;
+
+  /// Disjoint, sorted coverage gaps. Transfers cannot start inside one and
+  /// are truncated (failed) when one begins mid-flight.
+  std::vector<OutageEpisode> outages;
+
+  /// Gaussian sigma (seconds) perturbing each heartbeat departure — daemon
+  /// scheduling noise, alarm batching, send-path latency. 0 = on schedule.
+  double heartbeat_jitter_sigma = 0.0;
+
+  /// Probability that one scheduled heartbeat never departs at all (the OS
+  /// killed/deferred the daemon). Dropped beats burn no energy.
+  double heartbeat_drop_probability = 0.0;
+
+  /// Retransmission policy: a failed attempt n (1-based) is retried after
+  /// min(backoff_base * backoff_factor^(n-1), backoff_cap) seconds, at most
+  /// `max_retries` times before the transfer is reported failed.
+  int max_retries = 4;
+  Duration backoff_base = 2.0;
+  double backoff_factor = 2.0;
+  Duration backoff_cap = 60.0;
+
+  /// The default everywhere: no faults, bit-identical to pre-fault runs.
+  static FaultPlan none() { return FaultPlan{}; }
+
+  /// Any fault dimension active?
+  bool enabled() const { return affects_link() || affects_heartbeats(); }
+
+  /// Transfer-level faults (loss or outages) active?
+  bool affects_link() const {
+    return loss_probability > 0.0 || !outages.empty();
+  }
+
+  /// Heartbeat timetable faults active?
+  bool affects_heartbeats() const {
+    return heartbeat_jitter_sigma > 0.0 || heartbeat_drop_probability > 0.0;
+  }
+
+  /// True when t falls inside a coverage gap.
+  bool in_outage(TimePoint t) const;
+
+  /// End of the episode covering t; t itself when t is covered by service.
+  TimePoint outage_end_after(TimePoint t) const;
+
+  /// Start of the first outage strictly after t; +inf when none.
+  TimePoint next_outage_start(TimePoint t) const;
+
+  /// Uniform [0,1) hash draw for (stream, entity, attempt). Streams keep
+  /// decision kinds independent (see the Stream constants below).
+  double uniform_draw(std::uint64_t stream, std::int64_t entity,
+                      int attempt) const;
+
+  /// Does transfer attempt `attempt` (1-based) of `entity` get lost?
+  /// `entity` must be stable across replays: the packet id for cargo, a
+  /// harness-assigned sequence number otherwise.
+  bool lose_transfer(std::int64_t entity, int attempt) const {
+    return loss_probability > 0.0 &&
+           uniform_draw(kStreamLoss, entity, attempt) < loss_probability;
+  }
+
+  /// Backoff before retrying after failed attempt `attempt` (1-based):
+  /// min(base * factor^(attempt-1), cap), never negative.
+  Duration backoff_delay(int attempt) const;
+
+  /// N(0, heartbeat_jitter_sigma) departure perturbation for heartbeat
+  /// `entity` (a stable beat index), via Box-Muller on hashed uniforms.
+  /// 0 when jitter is disabled.
+  Duration heartbeat_jitter(std::int64_t entity) const;
+
+  /// Does heartbeat `entity` get dropped (OS killed/deferred the daemon)?
+  bool drops_heartbeat(std::int64_t entity) const {
+    return heartbeat_drop_probability > 0.0 &&
+           uniform_draw(kStreamHeartbeatDrop, entity, 1) <
+               heartbeat_drop_probability;
+  }
+
+  /// Throws std::invalid_argument on malformed knobs (probabilities outside
+  /// [0,1], unsorted/overlapping outages, negative backoff ...).
+  void validate() const;
+
+  /// Decision streams for uniform_draw.
+  static constexpr std::uint64_t kStreamLoss = 0x10552001;
+  static constexpr std::uint64_t kStreamHeartbeatDrop = 0xd209b33f;
+  static constexpr std::uint64_t kStreamHeartbeatJitter = 0x31773e2a;
+};
+
+/// Seeded generator for realistic outage patterns: alternating covered /
+/// uncovered dwell times whose long-run uncovered fraction approximates
+/// `duty` (0 = no outages, 0.3 = out of coverage ~30 % of the time).
+struct OutagePatternConfig {
+  Duration horizon = 7200.0;
+  /// Target fraction of [0, horizon) spent in outage (0..1).
+  double duty = 0.1;
+  /// Mean length of one outage episode, seconds.
+  Duration episode_mean = 120.0;
+};
+
+std::vector<OutageEpisode> generate_outages(const OutagePatternConfig& config,
+                                            std::uint64_t seed);
+
+}  // namespace etrain::net

@@ -1,8 +1,27 @@
 #include "net/radio_link.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace etrain::net {
+
+namespace {
+
+/// Zero-duration record carrying a request's identity, used when a request
+/// is cancelled before (or between) attempts — there is no airtime to bill.
+radio::Transmission placeholder_tx(const RadioLink::Request& request,
+                                   TimePoint now, int attempt) {
+  radio::Transmission tx;
+  tx.start = now;
+  tx.bytes = request.bytes;
+  tx.kind = request.kind;
+  tx.app_id = request.app_id;
+  tx.packet_id = request.packet_id;
+  tx.attempt = attempt;
+  return tx;
+}
+
+}  // namespace
 
 RadioLink::RadioLink(sim::Simulator& simulator,
                      const radio::PowerModel& model,
@@ -14,50 +33,213 @@ RadioLink::RadioLink(sim::Simulator& simulator,
       downlink_(downlink),
       rrc_(model) {}
 
+void RadioLink::set_fault_plan(FaultPlan plan) {
+  if (transmitting_ || !pending_.empty() || !backoff_.empty()) {
+    throw std::logic_error(
+        "RadioLink::set_fault_plan: link already has traffic");
+  }
+  plan.validate();
+  plan_ = std::move(plan);
+}
+
+void RadioLink::attach_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    failures_counter_ = retries_counter_ = cancelled_counter_ =
+        outage_counter_ = nullptr;
+    return;
+  }
+  failures_counter_ = &registry->counter("link.tx_failures");
+  retries_counter_ = &registry->counter("link.tx_retries");
+  cancelled_counter_ = &registry->counter("link.tx_cancelled");
+  outage_counter_ = &registry->counter("link.outage_deferrals");
+}
+
 void RadioLink::submit(Request request) {
-  pending_.push_back(std::move(request));
+  if (torn_down_) {
+    throw std::logic_error("RadioLink::submit after teardown");
+  }
+  Active active;
+  active.entity =
+      request.packet_id >= 0 ? request.packet_id : next_sequence_--;
+  active.request = std::move(request);
+  pending_.push_back(std::move(active));
   if (!transmitting_) start_next();
 }
 
 void RadioLink::start_next() {
-  if (pending_.empty() || transmitting_) return;
-  Request request = std::move(pending_.front());
+  if (pending_.empty() || transmitting_ || torn_down_) return;
+  Active active = std::move(pending_.front());
   pending_.pop_front();
+  begin_attempt(std::move(active));
+}
 
+void RadioLink::begin_attempt(Active active) {
   const TimePoint now = simulator_.now();
+
+  // Coverage gap: the attempt cannot start; hold the link until service
+  // returns. No airtime is burned while searching for coverage.
+  if (plan_.affects_link() && plan_.in_outage(now)) {
+    const TimePoint resume = plan_.outage_end_after(now);
+    ETRAIN_TRACE(trace_sink_,
+                 obs::TraceEvent::outage_defer(
+                     now, static_cast<std::int32_t>(active.request.kind),
+                     active.entity, resume));
+    if (outage_counter_ != nullptr) outage_counter_->increment();
+    transmitting_ = true;
+    inflight_ = std::move(active);
+    inflight_tx_ = placeholder_tx(inflight_.request, now, inflight_.attempt);
+    inflight_is_attempt_ = false;
+    has_inflight_ = true;
+    inflight_event_ = simulator_.schedule_at(resume, [this]() {
+      has_inflight_ = false;
+      transmitting_ = false;
+      begin_attempt(std::move(inflight_));
+    });
+    return;
+  }
+
   const Duration setup = rrc_.promotion_delay_at(now);
   const BandwidthTrace& trace =
-      (request.direction == core::Direction::kDownlink && downlink_ != nullptr)
+      (active.request.direction == core::Direction::kDownlink &&
+       downlink_ != nullptr)
           ? *downlink_
           : trace_;
   const Duration duration =
-      trace.transfer_duration(request.bytes, now + setup);
+      trace.transfer_duration(active.request.bytes, now + setup);
+
+  // Fault decision for this attempt, fixed at start time: an outage
+  // beginning mid-flight truncates (and fails) the attempt at its onset; a
+  // loss draw fails it after the full airtime. Either way the occupied
+  // radio time is logged and billed — failure is wasted energy.
+  Duration actual_setup = setup;
+  Duration actual_duration = duration;
+  bool failed = false;
+  if (plan_.affects_link()) {
+    const TimePoint cut = plan_.next_outage_start(now);
+    if (cut < now + setup + duration) {
+      failed = true;
+      actual_setup = std::min(setup, cut - now);
+      actual_duration = std::max(0.0, (cut - now) - setup);
+    } else if (plan_.lose_transfer(active.entity, active.attempt)) {
+      failed = true;
+    }
+  }
 
   transmitting_ = true;
   rrc_.on_transmission_start(now);
-  if (request.kind == radio::TxKind::kHeartbeat) {
-    ETRAIN_TRACE(trace_sink_, obs::TraceEvent::heartbeat_tx(
-                                  now, request.app_id, request.bytes));
+  if (active.request.kind == radio::TxKind::kHeartbeat) {
+    ETRAIN_TRACE(trace_sink_,
+                 obs::TraceEvent::heartbeat_tx(now, active.request.app_id,
+                                               active.request.bytes));
   }
 
   radio::Transmission tx;
   tx.start = now;
-  tx.setup = setup;
-  tx.duration = duration;
-  tx.bytes = request.bytes;
-  tx.kind = request.kind;
-  tx.app_id = request.app_id;
-  tx.packet_id = request.packet_id;
+  tx.setup = actual_setup;
+  tx.duration = actual_duration;
+  tx.bytes = active.request.bytes;
+  tx.kind = active.request.kind;
+  tx.app_id = active.request.app_id;
+  tx.packet_id = active.request.packet_id;
+  tx.failed = failed;
+  tx.attempt = active.attempt;
 
-  simulator_.schedule_after(
-      setup + duration,
-      [this, tx, on_complete = std::move(request.on_complete)]() {
+  inflight_ = std::move(active);
+  inflight_tx_ = tx;
+  inflight_is_attempt_ = true;
+  has_inflight_ = true;
+  inflight_event_ =
+      simulator_.schedule_after(actual_setup + actual_duration, [this]() {
+        has_inflight_ = false;
+        Active done = std::move(inflight_);
+        const radio::Transmission tx_done = inflight_tx_;
         rrc_.on_transmission_end(simulator_.now());
-        log_.add(tx);
+        log_.add(tx_done);
         transmitting_ = false;
-        if (on_complete) on_complete(tx);
+        finish_attempt(std::move(done), tx_done, tx_done.failed);
         start_next();
       });
+}
+
+void RadioLink::finish_attempt(Active active, radio::Transmission tx,
+                               bool failed) {
+  if (!failed) {
+    complete(std::move(active), tx, TxOutcome::kSuccess);
+    return;
+  }
+  const TimePoint now = simulator_.now();
+  ETRAIN_TRACE(trace_sink_,
+               obs::TraceEvent::tx_failure(
+                   now, static_cast<std::int32_t>(tx.kind), active.entity,
+                   active.attempt, tx.setup + tx.duration));
+  if (failures_counter_ != nullptr) failures_counter_->increment();
+
+  // Heartbeats are fire-and-forget (the next cycle's beat supersedes a
+  // lost one); data retries until the budget is exhausted.
+  if (active.request.kind == radio::TxKind::kHeartbeat ||
+      active.attempt > plan_.max_retries) {
+    complete(std::move(active), tx, TxOutcome::kFailed);
+    return;
+  }
+
+  const Duration backoff = plan_.backoff_delay(active.attempt);
+  active.attempt += 1;
+  ETRAIN_TRACE(trace_sink_,
+               obs::TraceEvent::tx_retry(
+                   now, static_cast<std::int32_t>(tx.kind), active.entity,
+                   active.attempt, backoff));
+  if (retries_counter_ != nullptr) retries_counter_->increment();
+
+  const std::uint64_t token = next_backoff_token_++;
+  const sim::EventId id = simulator_.schedule_after(backoff, [this, token]() {
+    const auto it = backoff_.find(token);
+    Active ready = std::move(it->second.active);
+    backoff_.erase(it);
+    pending_.push_back(std::move(ready));
+    if (!transmitting_) start_next();
+  });
+  backoff_.emplace(token, BackoffEntry{id, std::move(active)});
+}
+
+void RadioLink::complete(Active active, const radio::Transmission& tx,
+                         TxOutcome outcome) {
+  if (outcome == TxOutcome::kCancelled && cancelled_counter_ != nullptr) {
+    cancelled_counter_->increment();
+  }
+  if (active.request.on_complete) active.request.on_complete(tx, outcome);
+}
+
+void RadioLink::teardown() {
+  if (torn_down_) return;
+  torn_down_ = true;
+  const TimePoint now = simulator_.now();
+
+  if (has_inflight_) {
+    simulator_.cancel(inflight_event_);
+    has_inflight_ = false;
+    transmitting_ = false;
+    if (inflight_is_attempt_) {
+      // The radio was mid-attempt; close the RRC bookkeeping at the
+      // teardown instant. The aborted attempt is not logged: it never
+      // reached a completion the meter could bill consistently.
+      rrc_.on_transmission_end(now);
+    }
+    complete(std::move(inflight_), inflight_tx_, TxOutcome::kCancelled);
+  }
+  for (auto& [token, entry] : backoff_) {
+    simulator_.cancel(entry.event);
+    const radio::Transmission tx =
+        placeholder_tx(entry.active.request, now, entry.active.attempt);
+    complete(std::move(entry.active), tx, TxOutcome::kCancelled);
+  }
+  backoff_.clear();
+  while (!pending_.empty()) {
+    Active active = std::move(pending_.front());
+    pending_.pop_front();
+    const radio::Transmission tx =
+        placeholder_tx(active.request, now, active.attempt);
+    complete(std::move(active), tx, TxOutcome::kCancelled);
+  }
 }
 
 }  // namespace etrain::net

@@ -5,14 +5,25 @@
 // busy queue FIFO (the paper's Q_TX drains "whenever Q_TX is not empty and
 // there is radio resource available"). Transfer duration follows the
 // bandwidth trace; RRC promotions are inserted per the PowerModel.
+//
+// Fault injection (set_fault_plan): with an active FaultPlan, transfer
+// attempts can be lost in flight or truncated by coverage outages. Failed
+// data attempts still occupy the radio (the airtime is logged and billed —
+// wasted energy), then requeue under the plan's capped exponential backoff
+// until delivery or retry exhaustion. Heartbeats are fire-and-forget: a
+// lost heartbeat burns its airtime and is reported kFailed without retries,
+// matching how IM keep-alives behave (the next cycle's beat supersedes it).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 
 #include "core/packet.h"
 #include "net/bandwidth_trace.h"
+#include "net/fault_plan.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "radio/rrc_machine.h"
 #include "radio/transmission_log.h"
@@ -20,12 +31,37 @@
 
 namespace etrain::net {
 
+/// Final disposition of one submitted request.
+enum class TxOutcome {
+  kSuccess,    ///< the last byte was acknowledged
+  kFailed,     ///< every attempt failed (loss/outage, retries exhausted)
+  kCancelled,  ///< the link was torn down while the request was pending
+};
+
+inline const char* to_string(TxOutcome o) {
+  switch (o) {
+    case TxOutcome::kSuccess: return "success";
+    case TxOutcome::kFailed: return "failed";
+    case TxOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 class RadioLink {
  public:
-  /// Completion callback: invoked at the simulated instant the last byte is
-  /// acknowledged, with the full transmission record (start, setup,
-  /// duration, ...).
-  using CompletionFn = std::function<void(const radio::Transmission&)>;
+  /// Completion callback. CONTRACT (tested by net_radio_link_test):
+  /// invoked exactly once per submitted request —
+  ///   * kSuccess: at the simulated instant the last byte is acknowledged;
+  ///     the Transmission describes the successful attempt.
+  ///   * kFailed: when the final permitted attempt fails; the Transmission
+  ///     describes that last failed attempt (failed = true).
+  ///   * kCancelled: synchronously from teardown(); the Transmission is the
+  ///     in-flight attempt for the active request, or a zero-duration
+  ///     placeholder carrying the request's ids for queued/backing-off ones.
+  /// Intermediate failed attempts that will be retried do NOT invoke the
+  /// callback; they only emit TxFailure/TxRetry trace events.
+  using CompletionFn =
+      std::function<void(const radio::Transmission&, TxOutcome)>;
 
   struct Request {
     Bytes bytes = 0;
@@ -47,25 +83,60 @@ class RadioLink {
   /// Submits a transmission request at the current simulated time.
   void submit(Request request);
 
+  /// Tears the link down: the in-flight attempt (if any) is abandoned, and
+  /// its request plus every queued or backing-off request completes
+  /// immediately with kCancelled. Further submissions throw. Idempotent.
+  void teardown();
+
+  /// Attaches fault injection. Must be called before the first submit();
+  /// the plan is validated. FaultPlan::none() (the default) restores
+  /// fault-free behaviour.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return plan_; }
+
   bool busy() const { return transmitting_; }
   std::size_t queued() const { return pending_.size(); }
+  /// Requests waiting out a backoff delay before their next attempt.
+  std::size_t backing_off() const { return backoff_.size(); }
 
   const radio::TransmissionLog& log() const { return log_; }
   const radio::RrcStateMachine& rrc() const { return rrc_; }
 
   /// Attaches a trace sink (nullptr detaches): heartbeat starts emit
-  /// HeartbeatTx here, and the owned RRC machine emits its RrcTransition
-  /// events into the same sink.
+  /// HeartbeatTx here, fault injection emits TxFailure / TxRetry /
+  /// OutageDefer, and the owned RRC machine emits its RrcTransition events
+  /// into the same sink.
   void set_trace_sink(obs::TraceSink* sink) {
     trace_sink_ = sink;
     rrc_.set_trace_sink(sink);
   }
 
+  /// Attaches counters (nullptr detaches): link.tx_failures,
+  /// link.tx_retries, link.tx_cancelled, link.outage_deferrals.
+  void attach_metrics(obs::Registry* registry);
+
   /// Emits the RRC tail demotions that are final by time t (end of run).
   void flush_trace(TimePoint t) { rrc_.flush_tail_transitions(t); }
 
  private:
+  struct Active {
+    Request request;
+    int attempt = 1;  ///< 1-based
+    std::int64_t entity = 0;  ///< loss-draw key (packet id or sequence)
+  };
+  /// One request waiting out its backoff delay, keyed by a token its
+  /// kernel wakeup captures; teardown() cancels the wakeup and completes
+  /// the request with kCancelled.
+  struct BackoffEntry {
+    sim::EventId event = 0;
+    Active active;
+  };
+
   void start_next();
+  void begin_attempt(Active active);
+  void finish_attempt(Active active, radio::Transmission tx, bool failed);
+  void complete(Active active, const radio::Transmission& tx,
+                TxOutcome outcome);
 
   sim::Simulator& simulator_;
   radio::PowerModel model_;
@@ -73,9 +144,26 @@ class RadioLink {
   const BandwidthTrace* downlink_;
   radio::RrcStateMachine rrc_;
   radio::TransmissionLog log_;
-  std::deque<Request> pending_;
+  std::deque<Active> pending_;
+  FaultPlan plan_ = FaultPlan::none();
   bool transmitting_ = false;
+  bool torn_down_ = false;
+  /// Sequence for id-less requests' loss draws; negative so it can never
+  /// collide with real packet ids.
+  std::int64_t next_sequence_ = -1000;
+  /// In-flight bookkeeping so teardown() can cancel exactly once.
+  sim::EventId inflight_event_ = 0;
+  Active inflight_;
+  radio::Transmission inflight_tx_;
+  bool inflight_is_attempt_ = false;  ///< false during a coverage wait
+  bool has_inflight_ = false;
+  std::map<std::uint64_t, BackoffEntry> backoff_;
+  std::uint64_t next_backoff_token_ = 0;
   obs::TraceSink* trace_sink_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+  obs::Counter* outage_counter_ = nullptr;
 };
 
 }  // namespace etrain::net

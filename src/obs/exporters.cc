@@ -28,6 +28,9 @@ int track_of(EventType type) {
     case EventType::kPacketSelect:
       return kTrackScheduler;
     case EventType::kRrcTransition:
+    case EventType::kTxFailure:
+    case EventType::kTxRetry:
+    case EventType::kOutageDefer:
       return kTrackRadio;
     case EventType::kHeartbeatTx:
       return kTrackHeartbeats;
@@ -89,6 +92,21 @@ void write_event(std::ostream& out, const TraceEvent& e) {
       break;
     case EventType::kEventFire:
       out << "\"event_id\":" << e.b;
+      break;
+    case EventType::kTxFailure:
+      out << "\"kind\":\"" << (e.a == 0 ? "heartbeat" : "data")
+          << "\",\"entity\":" << e.b << ",\"attempt\":" << num(e.x)
+          << ",\"airtime_s\":" << num(e.y);
+      break;
+    case EventType::kTxRetry:
+      out << "\"kind\":\"" << (e.a == 0 ? "heartbeat" : "data")
+          << "\",\"entity\":" << e.b << ",\"attempt\":" << num(e.x)
+          << ",\"backoff_s\":" << num(e.y);
+      break;
+    case EventType::kOutageDefer:
+      out << "\"kind\":\"" << (e.a == 0 ? "heartbeat" : "data")
+          << "\",\"entity\":" << e.b << ",\"until_s\":" << num(e.x)
+          << ",\"wait_s\":" << num(e.y);
       break;
   }
   out << "}}";

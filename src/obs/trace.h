@@ -41,6 +41,9 @@ enum class EventType : std::uint8_t {
   kRrcTransition,  ///< the radio changed RRC state
   kTailCharge,     ///< the energy meter billed one inter-tx gap's tail
   kEventFire,      ///< the DES kernel dispatched an event
+  kTxFailure,      ///< a transfer attempt failed (loss or outage truncation)
+  kTxRetry,        ///< a failed transfer re-queued after backoff
+  kOutageDefer,    ///< a transfer start deferred to the end of an outage
 };
 
 inline const char* to_string(EventType t) {
@@ -52,6 +55,9 @@ inline const char* to_string(EventType t) {
     case EventType::kRrcTransition: return "RrcTransition";
     case EventType::kTailCharge: return "TailCharge";
     case EventType::kEventFire: return "EventFire";
+    case EventType::kTxFailure: return "TxFailure";
+    case EventType::kTxRetry: return "TxRetry";
+    case EventType::kOutageDefer: return "OutageDefer";
   }
   return "?";
 }
@@ -106,6 +112,29 @@ struct TraceEvent {
   /// b = the kernel's EventId. Cancelled events never fire and never emit.
   static TraceEvent event_fire(TimePoint t, std::int64_t id) {
     return {t, EventType::kEventFire, 0, id, 0.0, 0.0};
+  }
+  /// a = TxKind, b = packet id (or request sequence for id-less requests),
+  /// x = attempt number (1-based), y = airtime seconds billed to the
+  /// failed attempt.
+  static TraceEvent tx_failure(TimePoint t, std::int32_t kind,
+                               std::int64_t entity, int attempt,
+                               double airtime) {
+    return {t, EventType::kTxFailure, kind, entity,
+            static_cast<double>(attempt), airtime};
+  }
+  /// a = TxKind, b = packet id / request sequence, x = next attempt number
+  /// (1-based), y = backoff delay in seconds.
+  static TraceEvent tx_retry(TimePoint t, std::int32_t kind,
+                             std::int64_t entity, int next_attempt,
+                             double backoff) {
+    return {t, EventType::kTxRetry, kind, entity,
+            static_cast<double>(next_attempt), backoff};
+  }
+  /// a = TxKind, b = packet id / request sequence, x = time the transfer
+  /// resumes (end of the outage), y = seconds of coverage wait.
+  static TraceEvent outage_defer(TimePoint t, std::int32_t kind,
+                                 std::int64_t entity, TimePoint until) {
+    return {t, EventType::kOutageDefer, kind, entity, until, until - t};
   }
 };
 

@@ -39,6 +39,22 @@ Bytes TransmissionLog::total_bytes(TxKind kind) const {
   return sum;
 }
 
+std::size_t TransmissionLog::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& t : entries_) {
+    if (t.failed) ++n;
+  }
+  return n;
+}
+
+Duration TransmissionLog::failed_airtime() const {
+  Duration sum = 0.0;
+  for (const auto& t : entries_) {
+    if (t.failed) sum += t.setup + t.duration;
+  }
+  return sum;
+}
+
 std::size_t TransmissionLog::count(TxKind kind) const {
   std::size_t n = 0;
   for (const auto& t : entries_) {

@@ -37,6 +37,14 @@ struct Transmission {
   /// Unique packet identifier for joining with delay metrics; -1 for
   /// heartbeats.
   std::int64_t packet_id = -1;
+  /// Fault injection: true when this interval is a *failed* attempt — the
+  /// radio burned the airtime but delivered nothing. The energy meter bills
+  /// failed attempts like any other occupancy (that is the point: loss
+  /// wastes energy); delivery metrics must skip them.
+  bool failed = false;
+  /// 1-based attempt number under the retransmission policy (1 = first
+  /// try; only ever > 1 when a FaultPlan is active).
+  int attempt = 1;
 
   /// Start of the data phase.
   TimePoint data_start() const { return start + setup; }
@@ -63,6 +71,12 @@ class TransmissionLog {
   Bytes total_bytes() const;
   Bytes total_bytes(TxKind kind) const;
   std::size_t count(TxKind kind) const;
+
+  /// Failed attempts in the log (0 without fault injection).
+  std::size_t failed_count() const;
+  /// Airtime (setup + duration) of failed attempts — the paper's "wasted
+  /// energy" story, in seconds of radio occupancy that moved no data.
+  Duration failed_airtime() const;
 
  private:
   std::vector<Transmission> entries_;

@@ -76,17 +76,33 @@ void CargoAppClient::transmit(const core::Packet& p) {
       .app_id = p.app,
       .packet_id = p.id,
       .direction = p.direction,
-      .on_complete = [this, p](const radio::Transmission& tx) {
-        experiments::PacketOutcome o;
-        o.id = p.id;
-        o.app = p.app;
-        o.arrival = p.arrival;
-        o.sent = tx.start;
-        o.delay = tx.start - p.arrival;
-        o.cost = profile_.cost(o.delay, p.deadline);
-        o.violated = o.delay > p.deadline + 1e-9;
-        o.bytes = p.bytes;
-        outcomes_.push_back(o);
+      .on_complete = [this, p](const radio::Transmission& tx,
+                               net::TxOutcome outcome) {
+        switch (outcome) {
+          case net::TxOutcome::kSuccess: {
+            experiments::PacketOutcome o;
+            o.id = p.id;
+            o.app = p.app;
+            o.arrival = p.arrival;
+            o.sent = tx.start;
+            o.delay = tx.start - p.arrival;
+            o.cost = profile_.cost(o.delay, p.deadline);
+            o.violated = o.delay > p.deadline + 1e-9;
+            o.bytes = p.bytes;
+            outcomes_.push_back(o);
+            break;
+          }
+          case net::TxOutcome::kFailed:
+            // Graceful degradation: the packet goes back to its app queue
+            // by re-SUBMITting to the service (delay keeps accruing from
+            // the original arrival); the scheduler will re-decide it.
+            ++recovered_failures_;
+            submit(p);
+            break;
+          case net::TxOutcome::kCancelled:
+            // Link torn down — nothing left to do for this packet.
+            break;
+        }
       }});
 }
 

@@ -42,6 +42,11 @@ class CargoAppClient {
     return outcomes_;
   }
 
+  /// Link-level delivery failures this app recovered from (the packet went
+  /// back to the service's queue and was re-decided later). 0 without
+  /// fault injection.
+  std::uint64_t recovered_failures() const { return recovered_failures_; }
+
   core::CargoAppId app_id() const { return app_id_; }
 
  private:
@@ -58,6 +63,7 @@ class CargoAppClient {
 
   std::unordered_map<core::PacketId, core::Packet> pending_;
   std::vector<experiments::PacketOutcome> outcomes_;
+  std::uint64_t recovered_failures_ = 0;
   bool started_ = false;
 };
 

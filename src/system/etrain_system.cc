@@ -14,6 +14,8 @@ EtrainSystem::EtrainSystem(Config config, net::BandwidthTrace trace)
       simulator_, config_.model, trace_,
       config_.downlink_trace.has_value() ? &*config_.downlink_trace
                                          : nullptr);
+  link_->set_fault_plan(config_.faults);
+  link_->attach_metrics(config_.observers.metrics);
   service_ = std::make_unique<EtrainService>(config_.service, simulator_,
                                              *bus_, *alarms_, xposed_);
   simulator_.set_trace_sink(config_.observers.trace);
@@ -27,6 +29,7 @@ void EtrainSystem::add_train_app(const apps::HeartbeatSpec& spec,
   const int train_id = static_cast<int>(trains_.size());
   auto process = std::make_unique<TrainAppProcess>(
       train_id, spec, first_beat, *alarms_, xposed_, *link_);
+  process->set_fault_plan(&config_.faults);
   service_->hook_train_app(process->hook_class(),
                            TrainAppProcess::hook_method(), train_id);
   trains_.push_back(std::move(process));

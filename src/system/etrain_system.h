@@ -29,6 +29,13 @@ class EtrainSystem {
     /// Monsoon power monitor samples the run at 0.1 s for the report.
     bool attach_power_monitor = false;
 
+    /// Fault injection (default: none, bit-identical to fault-free runs).
+    /// Link-level faults (loss, outages, backoff retransmission) go to the
+    /// RadioLink; heartbeat jitter/drops go to every TrainAppProcess. The
+    /// same plan drives the slotted harness via Scenario::faults, keeping
+    /// DES and slotted results comparable. See docs/faults.md.
+    net::FaultPlan faults;
+
     /// Observability hooks (both optional, thread-confined to this system's
     /// run): the trace sink receives DES EventFire, RRC transitions,
     /// heartbeat starts, the scheduler's gate/selection events and the

@@ -25,8 +25,9 @@ std::string TrainAppProcess::hook_class() const {
 void TrainAppProcess::start() {
   if (started_) return;
   started_ = true;
-  pending_alarm_ = alarms_.set_exact(
-      first_beat_, [this] { send_heartbeat(first_beat_); });
+  const TimePoint when = departure_time(0, 0.0);
+  pending_alarm_ =
+      alarms_.set_exact(when, [this, when] { send_heartbeat(when); });
   alarm_armed_ = true;
 }
 
@@ -37,8 +38,34 @@ void TrainAppProcess::stop() {
   }
 }
 
+std::int64_t TrainAppProcess::beat_entity(int index) const {
+  // Stable across replays and harnesses: train id in the high bits, beat
+  // index in the low. Matches exp/scenario.cc's apply_heartbeat_faults.
+  return (static_cast<std::int64_t>(train_id_) << 32) |
+         static_cast<std::int64_t>(index);
+}
+
+TimePoint TrainAppProcess::departure_time(int index, TimePoint not_before) const {
+  TimePoint when = spec_.beat_time(index, first_beat_);
+  if (faults_ != nullptr && faults_->affects_heartbeats()) {
+    when += faults_->heartbeat_jitter(beat_entity(index));
+    if (when < not_before) when = not_before;
+  }
+  return when;
+}
+
 void TrainAppProcess::send_heartbeat(TimePoint now) {
   alarm_armed_ = false;
+  const int index = beat_index_++;
+  const bool dropped = faults_ != nullptr && faults_->affects_heartbeats() &&
+                       faults_->drops_heartbeat(beat_entity(index));
+  if (dropped) {
+    // The OS killed/deferred the daemon: no radio traffic, no Xposed hook
+    // fire (eTrain never observes the beat), but the alarm cadence goes on.
+    ++beats_dropped_;
+    arm_next(now);
+    return;
+  }
   ++beats_sent_;
   link_.submit(net::RadioLink::Request{.bytes = spec_.heartbeat_bytes,
                                        .kind = radio::TxKind::kHeartbeat,
@@ -53,12 +80,14 @@ void TrainAppProcess::send_heartbeat(TimePoint now) {
   call.arg = spec_.heartbeat_bytes;
   xposed_.invoke(call);
 
-  arm_next();
+  arm_next(now);
 }
 
-void TrainAppProcess::arm_next() {
+void TrainAppProcess::arm_next(TimePoint now) {
   // Gap to the next beat; for doubling apps this grows per the discipline.
-  const TimePoint when = spec_.beat_time(beats_sent_, first_beat_);
+  // Jitter perturbs each departure independently off the nominal schedule
+  // (no drift accumulation), clamped so the daemon never goes back in time.
+  const TimePoint when = departure_time(beat_index_, now);
   pending_alarm_ =
       alarms_.set_exact(when, [this, when] { send_heartbeat(when); });
   alarm_armed_ = true;

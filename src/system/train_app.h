@@ -13,6 +13,7 @@
 #include "android/alarm_manager.h"
 #include "android/xposed.h"
 #include "apps/heartbeat_spec.h"
+#include "net/fault_plan.h"
 #include "net/radio_link.h"
 
 namespace etrain::system {
@@ -35,7 +36,15 @@ class TrainAppProcess {
   void stop();
 
   int beats_sent() const { return beats_sent_; }
+  /// Heartbeats the fault plan suppressed (daemon killed / alarm deferred).
+  int beats_dropped() const { return beats_dropped_; }
   const apps::HeartbeatSpec& spec() const { return spec_; }
+
+  /// Attaches heartbeat timing faults (jitter / drops). `plan` may be null
+  /// (no faults) and must outlive this process. Call before start(); with a
+  /// null plan or a plan where affects_heartbeats() is false, behaviour is
+  /// bit-identical to the fault-free daemon.
+  void set_fault_plan(const net::FaultPlan* plan) { faults_ = plan; }
 
   /// The (class, method) eTrain hooks — the paper locates it by its
   /// AlarmManager/BroadcastReceiver call sites in the decompiled APK.
@@ -44,7 +53,12 @@ class TrainAppProcess {
 
  private:
   void send_heartbeat(TimePoint now);
-  void arm_next();
+  void arm_next(TimePoint now);
+  /// Stable fault-draw key for scheduled beat `index` of this train.
+  std::int64_t beat_entity(int index) const;
+  /// Departure time of scheduled beat `index` with fault jitter applied,
+  /// clamped to never run backwards past `not_before`.
+  TimePoint departure_time(int index, TimePoint not_before) const;
 
   int train_id_;
   apps::HeartbeatSpec spec_;
@@ -52,9 +66,14 @@ class TrainAppProcess {
   android::AlarmManager& alarms_;
   android::XposedRegistry& xposed_;
   net::RadioLink& link_;
+  const net::FaultPlan* faults_ = nullptr;
 
   bool started_ = false;
   int beats_sent_ = 0;
+  int beats_dropped_ = 0;
+  /// Index of the next *scheduled* beat (counts dropped beats too, so the
+  /// doubling discipline keeps its cadence when a beat is suppressed).
+  int beat_index_ = 0;
   android::AlarmId pending_alarm_ = 0;
   bool alarm_armed_ = false;
 };

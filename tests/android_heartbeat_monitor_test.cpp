@@ -1,8 +1,11 @@
 #include "android/heartbeat_monitor.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "apps/heartbeat_spec.h"
+#include "net/fault_plan.h"
 
 namespace etrain::android {
 namespace {
@@ -129,6 +132,40 @@ TEST(HeartbeatMonitor, HistoryBounded) {
 
 TEST(HeartbeatMonitor, TinyHistoryRejected) {
   EXPECT_THROW(HeartbeatMonitor(1), std::invalid_argument);
+}
+
+TEST(HeartbeatMonitor, ReEstimatesCycleUnderFaultJitter) {
+  // A 300 s cycle with ~10% fault-injected departure jitter: individual
+  // gaps violate the 5% stability band, but the deviations are unimodal —
+  // the estimate must stay near the true cycle (median), not chase the
+  // last noisy gap.
+  net::FaultPlan plan;
+  plan.seed = 99;
+  plan.heartbeat_jitter_sigma = 30.0;
+  HeartbeatMonitor m;
+  TimePoint last = 0.0;
+  for (int j = 0; j < 12; ++j) {
+    const TimePoint t =
+        std::max(last, 300.0 * j + plan.heartbeat_jitter(j));
+    m.on_heartbeat(0, t);
+    last = t;
+  }
+  ASSERT_TRUE(m.estimated_cycle(0).has_value());
+  // A last-gap estimator is off by up to ~2 sigma of the *gap* noise
+  // (sqrt(2)*30 ~ 42 s); the robust median stays within one sigma.
+  EXPECT_NEAR(*m.estimated_cycle(0), 300.0, 30.0);
+}
+
+TEST(HeartbeatMonitor, JitterRobustnessDoesNotBreakDoublingDetection) {
+  // After a stretch of 60 s gaps, a 120 s gap is a regime change (the
+  // doubling discipline), not noise — the estimate must follow it.
+  HeartbeatMonitor m;
+  TimePoint t = 0.0;
+  m.on_heartbeat(0, t);
+  for (int j = 0; j < 6; ++j) m.on_heartbeat(0, t += 60.0);
+  m.on_heartbeat(0, t += 120.0);
+  ASSERT_TRUE(m.estimated_cycle(0).has_value());
+  EXPECT_DOUBLE_EQ(*m.estimated_cycle(0), 120.0);
 }
 
 // Property: for every fixed-cycle app in the catalog, the monitor's

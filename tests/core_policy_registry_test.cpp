@@ -1,0 +1,148 @@
+// PolicyRegistry: spec parsing, loud failures on typos, and the builtin
+// registry + sweep factories the benches construct every policy through.
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "baselines/registry.h"
+
+namespace etrain {
+namespace {
+
+class DummyPolicy : public core::SchedulingPolicy {
+ public:
+  explicit DummyPolicy(double gain) : gain_(gain) {}
+  std::vector<core::Selection> select(const core::SlotContext&,
+                                      const core::WaitingQueues&) override {
+    return {};
+  }
+  std::string name() const override { return "dummy"; }
+  double gain() const { return gain_; }
+
+ private:
+  double gain_;
+};
+
+TEST(PolicyParamsTest, GetAndHasMarkKnobsConsumed) {
+  core::PolicyParams params({{"theta", 2.0}, {"k", 3.0}, {"typo", 1.0}});
+  EXPECT_DOUBLE_EQ(params.get("theta", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(params.get("absent", 9.5), 9.5);
+  EXPECT_TRUE(params.has("k"));
+  EXPECT_FALSE(params.has("absent"));
+  const auto leftover = params.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover.front(), "typo");
+}
+
+TEST(PolicyRegistryTest, ParseSpecSplitsNameAndKnobs) {
+  core::PolicyParams params;
+  EXPECT_EQ(core::PolicyRegistry::parse_spec("etrain", &params), "etrain");
+  EXPECT_TRUE(params.empty());
+
+  core::PolicyParams knobs;
+  EXPECT_EQ(core::PolicyRegistry::parse_spec("etrain:theta=2,k=3", &knobs),
+            "etrain");
+  EXPECT_DOUBLE_EQ(knobs.get("theta", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(knobs.get("k", 0.0), 3.0);
+}
+
+TEST(PolicyRegistryTest, ParseSpecRejectsMalformedInput) {
+  core::PolicyParams params;
+  EXPECT_THROW(core::PolicyRegistry::parse_spec("", &params),
+               std::invalid_argument);
+  EXPECT_THROW(core::PolicyRegistry::parse_spec("etrain:theta", &params),
+               std::invalid_argument);
+  EXPECT_THROW(core::PolicyRegistry::parse_spec("etrain:theta=abc", &params),
+               std::invalid_argument);
+  EXPECT_THROW(core::PolicyRegistry::parse_spec("etrain:=2", &params),
+               std::invalid_argument);
+  EXPECT_THROW(
+      core::PolicyRegistry::parse_spec("etrain:theta=1,theta=2", &params),
+      std::invalid_argument);
+}
+
+TEST(PolicyRegistryTest, MakeBuildsThroughTheFactoryWithKnobs) {
+  core::PolicyRegistry registry;
+  registry.register_policy(
+      "dummy", "gain (test knob)", [](const core::PolicyParams& p) {
+        return std::make_unique<DummyPolicy>(p.get("gain", 1.0));
+      });
+  ASSERT_TRUE(registry.contains("dummy"));
+
+  const auto with_default = registry.make("dummy");
+  EXPECT_DOUBLE_EQ(static_cast<DummyPolicy&>(*with_default).gain(), 1.0);
+  const auto with_knob = registry.make("dummy:gain=2.5");
+  EXPECT_DOUBLE_EQ(static_cast<DummyPolicy&>(*with_knob).gain(), 2.5);
+}
+
+TEST(PolicyRegistryTest, UnknownNameListsKnownPolicies) {
+  core::PolicyRegistry registry;
+  registry.register_policy("dummy", "gain", [](const core::PolicyParams& p) {
+    return std::make_unique<DummyPolicy>(p.get("gain", 1.0));
+  });
+  try {
+    registry.make("nope:x=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dummy"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistryTest, TypoedKnobFailsLoudly) {
+  core::PolicyRegistry registry;
+  registry.register_policy("dummy", "gain", [](const core::PolicyParams& p) {
+    return std::make_unique<DummyPolicy>(p.get("gain", 1.0));
+  });
+  try {
+    registry.make("dummy:gian=2");  // typo never consumed by the factory
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("gian"), std::string::npos);
+  }
+}
+
+TEST(PolicyRegistryTest, DuplicateRegistrationThrows) {
+  core::PolicyRegistry registry;
+  const auto factory = [](const core::PolicyParams& p) {
+    return std::make_unique<DummyPolicy>(p.get("gain", 1.0));
+  };
+  registry.register_policy("dummy", "gain", factory);
+  EXPECT_THROW(registry.register_policy("dummy", "gain", factory),
+               std::invalid_argument);
+}
+
+TEST(BuiltinRegistryTest, ContainsEveryPaperPolicy) {
+  const auto& registry = baselines::builtin_registry();
+  for (const char* name :
+       {"baseline", "etrain", "peres", "etime", "tailender", "oracle",
+        "baseline+wifi", "etrain+wifi"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_FALSE(registry.help(name).empty()) << name;
+  }
+}
+
+TEST(BuiltinRegistryTest, SpecsBuildNamedPolicies) {
+  EXPECT_EQ(baselines::make_policy("baseline")->name(), "Baseline");
+  const auto etrain = baselines::make_policy("etrain:theta=2,k=3");
+  EXPECT_NE(etrain->name().find("eTrain"), std::string::npos);
+  EXPECT_NE(baselines::make_policy("peres:omega=0.5"), nullptr);
+  EXPECT_NE(baselines::make_policy("etime:v=2"), nullptr);
+}
+
+TEST(BuiltinRegistryTest, SweepFactoryVariesExactlyOneKnob) {
+  const auto factory = baselines::sweep_factory("etrain", "theta");
+  const auto low = factory(0.5);
+  const auto high = factory(2.5);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  // The knob value must survive the spec round-trip with full precision.
+  const auto precise = baselines::sweep_factory("peres", "omega")(0.1);
+  EXPECT_NE(precise, nullptr);
+}
+
+}  // namespace
+}  // namespace etrain

@@ -1,0 +1,184 @@
+// End-to-end fault semantics in the slotted harness: bit-identity under
+// FaultPlan::none(), seed determinism, recovery/requeue with delay still
+// accruing, heartbeat drops, and outage deferral.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/registry.h"
+#include "exp/scenario_builder.h"
+#include "exp/slotted_sim.h"
+#include "obs/metrics.h"
+
+namespace etrain::experiments {
+namespace {
+
+Scenario base_scenario() {
+  return ScenarioBuilder()
+      .lambda(0.08)
+      .horizon(1800.0)
+      .model(radio::PowerModel::PaperSimulation())
+      .build();
+}
+
+RunMetrics run_with_registry(const Scenario& s, const std::string& spec,
+                             obs::Registry* registry) {
+  const auto policy = baselines::make_policy(spec);
+  return run_slotted(s, *policy, obs::Observers{nullptr, registry});
+}
+
+void expect_identical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_DOUBLE_EQ(a.network_energy(), b.network_energy());
+  EXPECT_DOUBLE_EQ(a.normalized_delay, b.normalized_delay);
+  EXPECT_DOUBLE_EQ(a.violation_ratio, b.violation_ratio);
+  ASSERT_EQ(a.log.entries().size(), b.log.entries().size());
+  for (std::size_t i = 0; i < a.log.entries().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.log.entries()[i].start, b.log.entries()[i].start);
+    EXPECT_DOUBLE_EQ(a.log.entries()[i].duration,
+                     b.log.entries()[i].duration);
+    EXPECT_EQ(a.log.entries()[i].failed, b.log.entries()[i].failed);
+  }
+}
+
+TEST(ExpFaultsTest, ExplicitNonePlanIsBitIdenticalToDefault) {
+  Scenario plain = base_scenario();
+  Scenario with_none = base_scenario();
+  with_none.faults = net::FaultPlan::none();
+  const auto policy_a = baselines::make_policy("etrain:theta=1,k=20");
+  const auto policy_b = baselines::make_policy("etrain:theta=1,k=20");
+  expect_identical(run_slotted(plain, *policy_a),
+                   run_slotted(with_none, *policy_b));
+}
+
+TEST(ExpFaultsTest, FaultRunsAreSeedDeterministic) {
+  const Scenario s = ScenarioBuilder()
+                         .lambda(0.08)
+                         .horizon(1800.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .loss(0.2)
+                         .outages(0.15)
+                         .heartbeat_jitter(5.0)
+                         .heartbeat_drops(0.1)
+                         .fault_seed(77)
+                         .build();
+  const auto first = run_with_registry(s, "etrain:theta=1,k=20", nullptr);
+  const auto second = run_with_registry(s, "etrain:theta=1,k=20", nullptr);
+  expect_identical(first, second);
+  // Faults actually fired: some attempts are marked failed in the log.
+  const auto failed =
+      std::count_if(first.log.entries().begin(), first.log.entries().end(),
+                    [](const auto& tx) { return tx.failed; });
+  EXPECT_GT(failed, 0);
+}
+
+TEST(ExpFaultsTest, DifferentFaultSeedsGiveDifferentFailureSequences) {
+  ScenarioBuilder builder;
+  builder.lambda(0.08)
+      .horizon(1800.0)
+      .model(radio::PowerModel::PaperSimulation())
+      .loss(0.25);
+  ScenarioBuilder b1 = builder;
+  ScenarioBuilder b2 = builder;
+  const Scenario s1 = b1.fault_seed(1).build();
+  const Scenario s2 = b2.fault_seed(2).build();
+  obs::Registry r1, r2;
+  run_with_registry(s1, "baseline", &r1);
+  run_with_registry(s2, "baseline", &r2);
+  const auto f1 = r1.snapshot().counter("run.tx_failures");
+  const auto f2 = r2.snapshot().counter("run.tx_failures");
+  EXPECT_GT(f1, 0u);
+  EXPECT_GT(f2, 0u);
+  // Independent hashed draws: the two sequences should not coincide.
+  EXPECT_NE(f1, f2);
+}
+
+TEST(ExpFaultsTest, EveryPacketIsDeliveredDespiteTotalLoss) {
+  // loss = 1.0: every live attempt fails, every chain exhausts its retry
+  // budget and requeues. The horizon force-flush then delivers faultlessly,
+  // so no packet is ever silently dropped — delay keeps accruing instead.
+  Scenario s = ScenarioBuilder()
+                   .lambda(0.04)
+                   .horizon(1800.0)
+                   .model(radio::PowerModel::PaperSimulation())
+                   .loss(1.0)
+                   .build();
+  obs::Registry registry;
+  const auto m = run_with_registry(s, "etrain:theta=1,k=20", &registry);
+  const Scenario clean = ScenarioBuilder()
+                             .lambda(0.04)
+                             .horizon(1800.0)
+                             .model(radio::PowerModel::PaperSimulation())
+                             .build();
+  obs::Registry clean_registry;
+  const auto clean_m =
+      run_with_registry(clean, "etrain:theta=1,k=20", &clean_registry);
+
+  // Same workload in, same packet count out.
+  EXPECT_EQ(m.outcomes.size(), clean_m.outcomes.size());
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter("run.packets_recovered"), 0u);
+  EXPECT_GT(snap.counter("run.tx_retries"), 0u);
+  // Recovery is not free: delay accrues across the failed chains.
+  EXPECT_GT(m.normalized_delay, clean_m.normalized_delay);
+  // Failed attempts are billed: the log carries failed airtime.
+  EXPECT_GT(m.log.failed_airtime(), 0.0);
+}
+
+TEST(ExpFaultsTest, HeartbeatDropsThinTheTimetable) {
+  ScenarioBuilder builder;
+  builder.lambda(0.08).horizon(1800.0).model(
+      radio::PowerModel::PaperSimulation());
+  ScenarioBuilder faulty = builder;
+  const Scenario clean = builder.build();
+  const Scenario dropped =
+      faulty.heartbeat_drops(0.5).fault_seed(3).build();
+
+  obs::Registry clean_reg, drop_reg;
+  const auto clean_m = run_with_registry(clean, "baseline", &clean_reg);
+  const auto drop_m = run_with_registry(dropped, "baseline", &drop_reg);
+
+  const auto clean_beats = clean_m.log.count(radio::TxKind::kHeartbeat);
+  const auto dropped_beats = drop_m.log.count(radio::TxKind::kHeartbeat);
+  EXPECT_LT(dropped_beats, clean_beats);
+  EXPECT_EQ(drop_reg.snapshot().counter("run.heartbeats_dropped"),
+            clean_beats - dropped_beats);
+}
+
+TEST(ExpFaultsTest, OutagesDeferTransmissionsOutOfTheGap) {
+  const Scenario s = ScenarioBuilder()
+                         .lambda(0.08)
+                         .horizon(1800.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .outage_episodes({{300.0, 500.0}, {900.0, 1000.0}})
+                         .build();
+  obs::Registry registry;
+  const auto m = run_with_registry(s, "baseline", &registry);
+  EXPECT_GT(registry.snapshot().counter("run.outage_deferrals"), 0u);
+  // Nothing successfully transmits inside a coverage gap.
+  for (const auto& tx : m.log.entries()) {
+    if (tx.failed) continue;
+    const bool inside = (tx.start >= 300.0 && tx.start < 500.0) ||
+                        (tx.start >= 900.0 && tx.start < 1000.0);
+    EXPECT_FALSE(inside) << "tx started at " << tx.start
+                         << " inside an outage";
+  }
+}
+
+TEST(ExpFaultsTest, HeartbeatJitterKeepsHarnessDeterministic) {
+  const Scenario s = ScenarioBuilder()
+                         .lambda(0.08)
+                         .horizon(1800.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .heartbeat_jitter(10.0)
+                         .fault_seed(21)
+                         .build();
+  const auto a = run_with_registry(s, "etrain:theta=1,k=20", nullptr);
+  const auto b = run_with_registry(s, "etrain:theta=1,k=20", nullptr);
+  expect_identical(a, b);
+  // Jittered beats still transmit (jitter perturbs, drop removes).
+  EXPECT_GT(a.log.count(radio::TxKind::kHeartbeat), 0u);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

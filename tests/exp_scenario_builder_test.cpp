@@ -1,0 +1,126 @@
+// ScenarioBuilder: the fluent scenario-assembly API the benches and
+// examples migrated to. A bare builder must reproduce make_scenario()
+// exactly; every knob must land in the built product; build() validates.
+#include "exp/scenario_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace etrain::experiments {
+namespace {
+
+TEST(ScenarioBuilderTest, DefaultBuildMatchesMakeScenario) {
+  const Scenario built = ScenarioBuilder().build();
+  const Scenario standard = make_scenario(ScenarioConfig{});
+
+  EXPECT_DOUBLE_EQ(built.horizon, standard.horizon);
+  ASSERT_EQ(built.packets.size(), standard.packets.size());
+  ASSERT_EQ(built.trains.size(), standard.trains.size());
+  for (std::size_t i = 0; i < built.packets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(built.packets[i].arrival, standard.packets[i].arrival);
+    EXPECT_EQ(built.packets[i].bytes, standard.packets[i].bytes);
+  }
+  EXPECT_FALSE(built.faults.enabled());
+}
+
+TEST(ScenarioBuilderTest, GeneratorKnobsForwardToScenarioConfig) {
+  const Scenario s = ScenarioBuilder()
+                         .lambda(0.04)
+                         .trains(1)
+                         .horizon(3600.0)
+                         .workload_seed(9)
+                         .shared_deadline(45.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .build();
+  EXPECT_DOUBLE_EQ(s.horizon, 3600.0);
+
+  ScenarioConfig cfg;
+  cfg.lambda = 0.04;
+  cfg.train_count = 1;
+  cfg.horizon = 3600.0;
+  cfg.workload_seed = 9;
+  cfg.shared_deadline = 45.0;
+  cfg.model = radio::PowerModel::PaperSimulation();
+  const Scenario expected = make_scenario(cfg);
+  ASSERT_EQ(s.packets.size(), expected.packets.size());
+  ASSERT_EQ(s.trains.size(), expected.trains.size());
+  for (const auto& p : s.packets) {
+    EXPECT_LE(p.arrival, 3600.0);
+  }
+}
+
+TEST(ScenarioBuilderTest, FaultKnobsComposeIntoThePlan) {
+  const Scenario s = ScenarioBuilder()
+                         .loss(0.1)
+                         .heartbeat_jitter(5.0)
+                         .heartbeat_drops(0.02)
+                         .fault_seed(99)
+                         .build();
+  EXPECT_TRUE(s.faults.enabled());
+  EXPECT_DOUBLE_EQ(s.faults.loss_probability, 0.1);
+  EXPECT_DOUBLE_EQ(s.faults.heartbeat_jitter_sigma, 5.0);
+  EXPECT_DOUBLE_EQ(s.faults.heartbeat_drop_probability, 0.02);
+  EXPECT_EQ(s.faults.seed, 99u);
+}
+
+TEST(ScenarioBuilderTest, FaultsPlanOverrideReplacesIndividualKnobs) {
+  net::FaultPlan plan;
+  plan.loss_probability = 0.3;
+  plan.max_retries = 1;
+  const Scenario s = ScenarioBuilder().loss(0.05).faults(plan).build();
+  EXPECT_DOUBLE_EQ(s.faults.loss_probability, 0.3);
+  EXPECT_EQ(s.faults.max_retries, 1);
+}
+
+TEST(ScenarioBuilderTest, OutagesAreGeneratedAgainstTheBuiltHorizon) {
+  const Scenario s =
+      ScenarioBuilder().horizon(36000.0).outages(0.2, 120.0).build();
+  ASSERT_FALSE(s.faults.outages.empty());
+  Duration covered = 0.0;
+  for (const auto& e : s.faults.outages) {
+    ASSERT_LT(e.start, e.end);
+    ASSERT_LE(e.start, 36000.0);
+    covered += e.end - e.start;
+  }
+  EXPECT_NEAR(covered / 36000.0, 0.2, 0.08);
+}
+
+TEST(ScenarioBuilderTest, ExplicitOutageEpisodesWinOverGeneration) {
+  const Scenario s = ScenarioBuilder()
+                         .outage_episodes({{100.0, 200.0}})
+                         .build();
+  ASSERT_EQ(s.faults.outages.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.faults.outages.front().start, 100.0);
+}
+
+TEST(ScenarioBuilderTest, BuildValidatesAndThrowsOnBadKnobs) {
+  ScenarioBuilder bad;
+  bad.loss(1.5);
+  EXPECT_THROW(bad.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilderTest, BuilderIsReusableAndBuildDoesNotMutate) {
+  ScenarioBuilder builder;
+  builder.lambda(0.08).horizon(1800.0);
+  const Scenario a = builder.build();
+  const Scenario b = builder.build();
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.packets[i].arrival, b.packets[i].arrival);
+  }
+}
+
+TEST(ScenarioBuilderTest, EscapeHatchesReplaceGeneratedPieces) {
+  std::vector<apps::TrainEvent> timetable = {{300.0, 0, 128}, {600.0, 0, 128}};
+  const Scenario s = ScenarioBuilder()
+                         .horizon(1800.0)
+                         .timetable(timetable)
+                         .build();
+  ASSERT_EQ(s.trains.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.trains[0].time, 300.0);
+  EXPECT_DOUBLE_EQ(s.trains[1].time, 600.0);
+}
+
+}  // namespace
+}  // namespace etrain::experiments

@@ -1,0 +1,180 @@
+// FaultPlan: hashed draws, outage lookups, backoff policy, validation and
+// the seeded outage-pattern generator.
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace etrain::net {
+namespace {
+
+TEST(FaultPlanTest, NoneIsInert) {
+  const FaultPlan plan = FaultPlan::none();
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.affects_link());
+  EXPECT_FALSE(plan.affects_heartbeats());
+  for (int entity = 0; entity < 100; ++entity) {
+    EXPECT_FALSE(plan.lose_transfer(entity, 1));
+    EXPECT_FALSE(plan.drops_heartbeat(entity));
+    EXPECT_DOUBLE_EQ(plan.heartbeat_jitter(entity), 0.0);
+  }
+  EXPECT_FALSE(plan.in_outage(0.0));
+  EXPECT_DOUBLE_EQ(plan.outage_end_after(123.0), 123.0);
+}
+
+TEST(FaultPlanTest, DrawsArePureFunctionsOfSeedEntityAttempt) {
+  FaultPlan a;
+  a.seed = 7;
+  FaultPlan b;
+  b.seed = 7;
+  // Equal inputs => equal draws, regardless of call order or interleaving.
+  const double first = a.uniform_draw(FaultPlan::kStreamLoss, 42, 3);
+  b.uniform_draw(FaultPlan::kStreamLoss, 1, 1);  // unrelated draw between
+  EXPECT_DOUBLE_EQ(b.uniform_draw(FaultPlan::kStreamLoss, 42, 3), first);
+
+  // Different seed, entity, attempt or stream each give a different draw.
+  FaultPlan c;
+  c.seed = 8;
+  EXPECT_NE(c.uniform_draw(FaultPlan::kStreamLoss, 42, 3), first);
+  EXPECT_NE(a.uniform_draw(FaultPlan::kStreamLoss, 43, 3), first);
+  EXPECT_NE(a.uniform_draw(FaultPlan::kStreamLoss, 42, 4), first);
+  EXPECT_NE(a.uniform_draw(FaultPlan::kStreamHeartbeatDrop, 42, 3), first);
+}
+
+TEST(FaultPlanTest, DrawsAreUniformOnUnitInterval) {
+  FaultPlan plan;
+  plan.seed = 2015;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = plan.uniform_draw(FaultPlan::kStreamLoss, i, 1);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(FaultPlanTest, LossRateMatchesProbability) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.loss_probability = 0.2;
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (plan.lose_transfer(i, 1)) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.02);
+}
+
+TEST(FaultPlanTest, BackoffGrowsExponentiallyThenCaps) {
+  FaultPlan plan;  // base 2, factor 2, cap 60
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(1), 2.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(2), 4.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(3), 8.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(5), 32.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(6), 60.0);   // 64 capped
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(50), 60.0);  // stays at the cap
+}
+
+TEST(FaultPlanTest, OutageLookups) {
+  FaultPlan plan;
+  plan.outages = {{100.0, 200.0}, {500.0, 550.0}};
+  EXPECT_FALSE(plan.in_outage(99.9));
+  EXPECT_TRUE(plan.in_outage(100.0));
+  EXPECT_TRUE(plan.in_outage(199.9));
+  EXPECT_FALSE(plan.in_outage(200.0));  // [start, end)
+  EXPECT_TRUE(plan.in_outage(520.0));
+
+  EXPECT_DOUBLE_EQ(plan.outage_end_after(150.0), 200.0);
+  EXPECT_DOUBLE_EQ(plan.outage_end_after(300.0), 300.0);  // in service
+  EXPECT_DOUBLE_EQ(plan.next_outage_start(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(plan.next_outage_start(250.0), 500.0);
+  EXPECT_EQ(plan.next_outage_start(600.0), kTimeInfinity);
+}
+
+TEST(FaultPlanTest, HeartbeatJitterIsZeroMeanGaussian) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.heartbeat_jitter_sigma = 10.0;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Duration j = plan.heartbeat_jitter(i);
+    sum += j;
+    sum_sq += j * j;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.5);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 10.0, 0.5);
+  // Deterministic: the same entity re-draws the same jitter.
+  EXPECT_DOUBLE_EQ(plan.heartbeat_jitter(17), plan.heartbeat_jitter(17));
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedKnobs) {
+  FaultPlan plan;
+  EXPECT_NO_THROW(plan.validate());
+
+  FaultPlan bad_loss;
+  bad_loss.loss_probability = 1.5;
+  EXPECT_THROW(bad_loss.validate(), std::invalid_argument);
+
+  FaultPlan bad_drop;
+  bad_drop.heartbeat_drop_probability = -0.1;
+  EXPECT_THROW(bad_drop.validate(), std::invalid_argument);
+
+  FaultPlan bad_backoff;
+  bad_backoff.backoff_base = -1.0;
+  EXPECT_THROW(bad_backoff.validate(), std::invalid_argument);
+
+  FaultPlan bad_retries;
+  bad_retries.max_retries = -1;
+  EXPECT_THROW(bad_retries.validate(), std::invalid_argument);
+
+  FaultPlan unsorted;
+  unsorted.outages = {{500.0, 550.0}, {100.0, 200.0}};
+  EXPECT_THROW(unsorted.validate(), std::invalid_argument);
+
+  FaultPlan overlapping;
+  overlapping.outages = {{100.0, 200.0}, {150.0, 300.0}};
+  EXPECT_THROW(overlapping.validate(), std::invalid_argument);
+
+  FaultPlan empty_episode;
+  empty_episode.outages = {{200.0, 100.0}};
+  EXPECT_THROW(empty_episode.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, GeneratedOutagesApproximateDutyAndValidate) {
+  OutagePatternConfig config;
+  config.horizon = 100000.0;
+  config.duty = 0.25;
+  config.episode_mean = 120.0;
+  const auto episodes = generate_outages(config, /*seed=*/5);
+  ASSERT_FALSE(episodes.empty());
+
+  Duration covered = 0.0;
+  TimePoint prev_end = 0.0;
+  for (const auto& e : episodes) {
+    ASSERT_LT(e.start, e.end);
+    ASSERT_GE(e.start, prev_end);  // sorted and disjoint
+    prev_end = e.end;
+    covered += std::min(e.end, config.horizon) - e.start;
+  }
+  EXPECT_LE(episodes.front().start, config.horizon);
+  EXPECT_NEAR(covered / config.horizon, 0.25, 0.05);
+
+  FaultPlan plan;
+  plan.outages = episodes;
+  EXPECT_NO_THROW(plan.validate());
+
+  // Seeded: same seed same pattern, different seed different pattern.
+  const auto again = generate_outages(config, 5);
+  ASSERT_EQ(again.size(), episodes.size());
+  EXPECT_DOUBLE_EQ(again.front().start, episodes.front().start);
+  const auto other = generate_outages(config, 6);
+  EXPECT_NE(other.front().start, episodes.front().start);
+}
+
+}  // namespace
+}  // namespace etrain::net

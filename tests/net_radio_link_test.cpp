@@ -2,6 +2,9 @@
 
 #include "radio/energy_meter.h"
 
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -24,7 +27,9 @@ TEST(RadioLink, SingleTransmissionDurationFollowsBandwidth) {
                    .kind = radio::TxKind::kData,
                    .app_id = 0,
                    .packet_id = 1,
-                   .on_complete = [&](const radio::Transmission& tx) {
+                   .on_complete = [&](const radio::Transmission& tx,
+                                      TxOutcome outcome) {
+                     EXPECT_EQ(outcome, TxOutcome::kSuccess);
                      completed = tx.end();
                    }});
   });
@@ -44,7 +49,8 @@ TEST(RadioLink, SerializesConcurrentSubmissions) {
                      .kind = radio::TxKind::kData,
                      .app_id = 0,
                      .packet_id = id,
-                     .on_complete = [&completion_order, id](const radio::Transmission&) {
+                     .on_complete = [&completion_order, id](
+                                        const radio::Transmission&, TxOutcome) {
                        completion_order.push_back(id);
                      }});
     }
@@ -127,6 +133,197 @@ TEST(RadioLink, HeartbeatAndDataKindsRecorded) {
   EXPECT_EQ(f.link.log()[0].kind, radio::TxKind::kHeartbeat);
   EXPECT_EQ(f.link.log()[0].app_id, 2);
   EXPECT_EQ(f.link.log()[1].packet_id, 77);
+}
+
+TEST(RadioLink, LossyTransferRetriesWithBackoffThenSucceeds) {
+  LinkFixture f;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.loss_probability = 1.0;  // every attempt fails ...
+  plan.max_retries = 3;
+  plan.backoff_base = 4.0;
+  plan.backoff_factor = 2.0;
+  plan.backoff_cap = 1000.0;
+  f.link.set_fault_plan(plan);
+  int failures = 0;
+  TxOutcome final_outcome = TxOutcome::kSuccess;
+  f.simulator.schedule_at(0.0, [&] {
+    f.link.submit({.bytes = 1000,
+                   .kind = radio::TxKind::kData,
+                   .packet_id = 5,
+                   .on_complete = [&](const radio::Transmission& tx,
+                                      TxOutcome outcome) {
+                     final_outcome = outcome;
+                     failures += (outcome == TxOutcome::kFailed) ? 1 : 0;
+                   }});
+  });
+  f.simulator.run_until(2000.0);
+  // 1 initial + 3 retries, all lost -> exactly one kFailed callback.
+  EXPECT_EQ(final_outcome, TxOutcome::kFailed);
+  EXPECT_EQ(failures, 1);
+  ASSERT_EQ(f.link.log().size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.link.log()[i].failed);
+    EXPECT_EQ(f.link.log()[i].attempt, i + 1);
+  }
+  EXPECT_EQ(f.link.log().failed_count(), 4u);
+  // Backoff gaps between attempt ends and next starts: 4, 8, 16 s.
+  EXPECT_DOUBLE_EQ(f.link.log()[1].start - f.link.log()[0].end(), 4.0);
+  EXPECT_DOUBLE_EQ(f.link.log()[2].start - f.link.log()[1].end(), 8.0);
+  EXPECT_DOUBLE_EQ(f.link.log()[3].start - f.link.log()[2].end(), 16.0);
+}
+
+TEST(RadioLink, BackoffDelayIsCapped) {
+  FaultPlan plan;
+  plan.backoff_base = 2.0;
+  plan.backoff_factor = 2.0;
+  plan.backoff_cap = 10.0;
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(1), 2.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(2), 4.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(3), 8.0);
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(4), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(plan.backoff_delay(40), 10.0);
+}
+
+TEST(RadioLink, HeartbeatsAreFireAndForget) {
+  LinkFixture f;
+  FaultPlan plan;
+  plan.loss_probability = 1.0;
+  f.link.set_fault_plan(plan);
+  int callbacks = 0;
+  TxOutcome outcome = TxOutcome::kSuccess;
+  f.simulator.schedule_at(0.0, [&] {
+    f.link.submit({.bytes = 100,
+                   .kind = radio::TxKind::kHeartbeat,
+                   .on_complete = [&](const radio::Transmission&,
+                                      TxOutcome o) {
+                     ++callbacks;
+                     outcome = o;
+                   }});
+  });
+  f.simulator.run_until(500.0);
+  // No retransmission: the next cycle's beat supersedes a lost one.
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(outcome, TxOutcome::kFailed);
+  EXPECT_EQ(f.link.log().size(), 1u);
+}
+
+TEST(RadioLink, OutageDefersTransferStart) {
+  LinkFixture f;
+  FaultPlan plan;
+  plan.outages = {{5.0, 20.0}};
+  f.link.set_fault_plan(plan);
+  f.simulator.schedule_at(10.0, [&] {
+    f.link.submit({.bytes = 1000, .kind = radio::TxKind::kData});
+  });
+  f.simulator.run_until(100.0);
+  ASSERT_EQ(f.link.log().size(), 1u);
+  EXPECT_FALSE(f.link.log()[0].failed);
+  // Deferred to outage end; no airtime billed during the gap.
+  EXPECT_DOUBLE_EQ(f.link.log()[0].start, 20.0);
+}
+
+TEST(RadioLink, OutageTruncatesInFlightTransfer) {
+  LinkFixture f;
+  FaultPlan plan;
+  plan.outages = {{12.0, 1000.0}};  // begins mid-flight, ends past horizon
+  plan.max_retries = 0;             // fail immediately, no retry chain
+  f.link.set_fault_plan(plan);
+  TxOutcome outcome = TxOutcome::kSuccess;
+  f.simulator.schedule_at(10.0, [&] {
+    f.link.submit({.bytes = 10000,  // 10 s at 1000 B/s — would end at 20
+                   .kind = radio::TxKind::kData,
+                   .on_complete = [&](const radio::Transmission&,
+                                      TxOutcome o) { outcome = o; }});
+  });
+  f.simulator.run_until(500.0);
+  EXPECT_EQ(outcome, TxOutcome::kFailed);
+  ASSERT_EQ(f.link.log().size(), 1u);
+  EXPECT_TRUE(f.link.log()[0].failed);
+  // Partial airtime billed: the 2 s before the outage cut the stream.
+  EXPECT_DOUBLE_EQ(f.link.log()[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(f.link.log()[0].duration, 2.0);
+}
+
+TEST(RadioLink, TeardownCancelsQueuedAndInflightExactlyOnce) {
+  LinkFixture f;
+  FaultPlan plan;
+  plan.loss_probability = 1.0;  // force the first submission into backoff
+  plan.backoff_base = 50.0;
+  f.link.set_fault_plan(plan);
+  std::vector<TxOutcome> outcomes;
+  const auto record = [&](const radio::Transmission&, TxOutcome o) {
+    outcomes.push_back(o);
+  };
+  f.simulator.schedule_at(0.0, [&] {
+    // First: fails at ~1 s, sits in backoff until 51 s.
+    f.link.submit({.bytes = 1000, .kind = radio::TxKind::kData,
+                   .packet_id = 1, .on_complete = record});
+  });
+  f.simulator.schedule_at(2.0, [&] {
+    // In-flight at teardown time plus one queued behind it.
+    f.link.submit({.bytes = 50000, .kind = radio::TxKind::kData,
+                   .packet_id = 2, .on_complete = record});
+    f.link.submit({.bytes = 1000, .kind = radio::TxKind::kData,
+                   .packet_id = 3, .on_complete = record});
+  });
+  f.simulator.schedule_at(10.0, [&] { f.link.teardown(); });
+  f.simulator.run_until(200.0);
+  // Every submission resolves exactly once, all as kCancelled.
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (const auto o : outcomes) EXPECT_EQ(o, TxOutcome::kCancelled);
+  EXPECT_FALSE(f.link.busy());
+  EXPECT_EQ(f.link.queued(), 0u);
+  EXPECT_EQ(f.link.backing_off(), 0u);
+  // Submitting after teardown is a contract violation.
+  EXPECT_THROW(
+      f.link.submit({.bytes = 1, .kind = radio::TxKind::kData}),
+      std::logic_error);
+}
+
+TEST(RadioLink, FaultSequenceIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    LinkFixture f;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.loss_probability = 0.4;
+    plan.backoff_base = 1.0;
+    f.link.set_fault_plan(plan);
+    for (int i = 0; i < 30; ++i) {
+      f.simulator.schedule_at(i * 20.0, [&f, i] {
+        f.link.submit({.bytes = 2000, .kind = radio::TxKind::kData,
+                       .packet_id = i});
+      });
+    }
+    f.simulator.run_until(5000.0);
+    std::vector<std::pair<double, bool>> shape;
+    for (const auto& tx : f.link.log().entries()) {
+      shape.emplace_back(tx.start, tx.failed);
+    }
+    return shape;
+  };
+  EXPECT_EQ(run(11), run(11));      // same seed: byte-identical sequence
+  EXPECT_NE(run(11), run(12));      // different seed: different faults
+}
+
+TEST(RadioLink, NoFaultPlanMatchesNoneBitIdentically) {
+  const auto run = [](bool set_none) {
+    LinkFixture f;
+    if (set_none) f.link.set_fault_plan(FaultPlan::none());
+    for (int i = 0; i < 10; ++i) {
+      f.simulator.schedule_at(i * 7.0, [&f, i] {
+        f.link.submit({.bytes = 1500, .kind = radio::TxKind::kData,
+                       .packet_id = i});
+      });
+    }
+    f.simulator.run_until(1000.0);
+    std::vector<std::pair<double, double>> shape;
+    for (const auto& tx : f.link.log().entries()) {
+      shape.emplace_back(tx.start, tx.duration);
+    }
+    return shape;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(RadioLink, EnergyOfLinkLogMatchesMeter) {
