@@ -246,8 +246,12 @@ int main(int argc, char** argv) {
     ablate_fast_dormancy();
     ablate_prediction_accuracy();
   }
+  obs::RunReport base;
+  base.bench = "ablation";
+  base.add_provenance("policy_spec", "etrain:theta=1,k=20");
   benchutil::maybe_export_traced_run(
-      opts, s, core::EtrainConfig{.theta = 1.0, .k = 20,
-                                  .drip_defer_window = 60.0});
+      opts, s,
+      core::EtrainConfig{.theta = 1.0, .k = 20, .drip_defer_window = 60.0},
+      base.bench, std::move(base));
   return 0;
 }

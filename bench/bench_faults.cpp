@@ -31,6 +31,7 @@
 #include "common/table.h"
 #include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -133,11 +134,8 @@ std::vector<Sample> run_grid(const std::vector<Cell>& grid, Duration horizon,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-  }
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  const bool quick = opts.quick;
 
   const Duration horizon = quick ? 1800.0 : 7200.0;
   const std::vector<double> losses =
@@ -214,5 +212,16 @@ int main(int argc, char** argv) {
       "failed attempts are billed but never delivered, so loss inflates "
       "every policy's bill; eTrain's piggybacking still prices under the "
       "Baseline because retries, too, prefer to ride paid tails.\n");
+
+  // The representative artifact run uses the harshest grid cell, so the
+  // report's ledger carries nonzero failed-airtime rows and the provenance
+  // manifest records the full FaultPlan.
+  obs::RunReport base;
+  base.bench = "faults";
+  base.add_provenance("policy_spec", "etrain:theta=1,k=20");
+  benchutil::maybe_export_traced_run(
+      opts, cell_scenario(Cell{0.15, 0.25, "etrain:theta=1,k=20"}, horizon),
+      core::EtrainConfig{.theta = 1.0, .k = 20, .drip_defer_window = 60.0},
+      base.bench, std::move(base));
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "android/pcap.h"
 #include "common/table.h"
+#include "obs/bench_options.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -61,11 +63,33 @@ void netease_doubling() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 3 — heartbeat timing measurements "
       "===\n");
   fixed_apps_with_data();
   netease_doubling();
+  if (opts.reporting()) {
+    // No radio model runs here — the report carries the measured cycle
+    // medians as plain results (provenance + results sections only).
+    const android::PcapAnalyzer analyzer;
+    obs::RunReport report;
+    report.bench = "fig03_timing";
+    report.add_provenance("capture_horizon_s", "7200");
+    std::uint64_t seed = 100;
+    for (const auto& spec : {apps::qq_spec(), apps::wechat_spec(),
+                             apps::whatsapp_spec()}) {
+      Rng rng(seed++);
+      const auto busy =
+          android::synthesize_capture(spec, hours(2.0), rng, true);
+      const auto e = analyzer.analyze_flow(spec.app_name, busy);
+      report.add_result(std::string(spec.app_name) + "_median_cycle_s",
+                        e.median_cycle);
+      report.add_result(std::string(spec.app_name) + "_heartbeats",
+                        static_cast<double>(e.heartbeats));
+    }
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "common/table.h"
 #include "net/bandwidth_trace.h"
+#include "obs/bench_options.h"
+#include "obs/report.h"
 #include "radio/power_monitor.h"
 #include "radio/rrc_machine.h"
 
@@ -68,7 +70,8 @@ void trace_one_heartbeat(const radio::PowerModel& model, const char* label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 4 — radio power states across one "
       "heartbeat ===\n");
@@ -78,5 +81,35 @@ int main() {
                       "3G with RRC promotion delays (extension)");
   trace_one_heartbeat(radio::PowerModel::LteDrx(),
                       "LTE DRX parameter set (extension)");
+  if (opts.reporting()) {
+    // Re-price the single measured-device heartbeat so the report carries a
+    // full energy section + one-row ledger for the headline configuration.
+    const auto model = radio::PowerModel::PaperUmts3G();
+    const auto trace = net::BandwidthTrace::constant(120.0e3, 120);
+    radio::TransmissionLog log;
+    radio::Transmission tx;
+    tx.start = 10.0;
+    tx.setup = model.idle_to_dch_delay;
+    tx.duration = trace.transfer_duration(378, tx.start + tx.setup);
+    tx.bytes = 378;
+    tx.kind = radio::TxKind::kHeartbeat;
+    log.add(tx);
+    const auto rep = radio::measure_energy(log, model, 60.0);
+
+    obs::RunReport report;
+    report.bench = "fig04_power_states";
+    report.add_provenance("device_preset", model.name);
+    report.add_provenance("horizon_s", "60");
+    report.add_result("tail_time_s", model.tail_time());
+    report.add_result("full_tail_energy_J", model.full_tail_energy());
+    report.add_result("heartbeat_network_J", rep.network_energy());
+    obs::EnergySection energy;
+    energy.cellular = rep;
+    report.energy = energy;
+    obs::EnergyLedger ledger;
+    obs::append_ledger(ledger, "cellular", log, model, rep.horizon);
+    report.ledger = std::move(ledger);
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   return 0;
 }

@@ -5,9 +5,12 @@
 
 #include "common/table.h"
 #include "core/cost_profile.h"
+#include "obs/bench_options.h"
+#include "obs/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace etrain;
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Fig. 6 — delay cost profile functions ===\n");
   const double deadline = 60.0;
@@ -23,5 +26,21 @@ int main() {
   std::printf(
       "paper: f1 = 0 until the deadline then d/deadline - 1; f2 = d/deadline "
       "capped at 2; f3 = d/deadline then 3*(d/deadline) - 2.\n");
+  if (opts.reporting()) {
+    obs::RunReport report;
+    report.bench = "fig06_cost_profiles";
+    report.add_provenance("deadline_s", "60");
+    for (const double r : {1.0, 2.0, 3.0}) {
+      const double d = r * deadline;
+      const std::string suffix = "_at_" + Table::num(r, 0) + "x";
+      report.add_result("f1_mail" + suffix,
+                        core::mail_cost_profile().cost(d, deadline));
+      report.add_result("f2_weibo" + suffix,
+                        core::weibo_cost_profile().cost(d, deadline));
+      report.add_result("f3_cloud" + suffix,
+                        core::cloud_cost_profile().cost(d, deadline));
+    }
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   return 0;
 }

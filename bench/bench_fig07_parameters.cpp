@@ -108,8 +108,12 @@ int main(int argc, char** argv) {
     fig7a(scenario);
     fig7b(scenario);
   }
+  obs::RunReport base;
+  base.bench = "fig07_parameters";
+  base.add_provenance("policy_spec", "etrain:theta=1,k=20");
   benchutil::maybe_export_traced_run(
       opts, scenario,
-      core::EtrainConfig{.theta = 1.0, .k = 20, .drip_defer_window = 60.0});
+      core::EtrainConfig{.theta = 1.0, .k = 20, .drip_defer_window = 60.0},
+      base.bench, std::move(base));
   return 0;
 }

@@ -166,7 +166,11 @@ int main(int argc, char** argv) {
     fig8b();
     fig8_replicated();
   }
+  obs::RunReport base;
+  base.bench = "fig08_comparison";
+  base.add_provenance("policy_spec", "etrain:theta=1,k=20");
   benchutil::maybe_export_traced_run(opts, scenario_for(0.08),
-                                     core::EtrainConfig{.theta = 1.0, .k = 20});
+                                     core::EtrainConfig{.theta = 1.0, .k = 20},
+                                     base.bench, std::move(base));
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "apps/cargo_app.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "exp/run_report.h"
 #include "net/synthetic_bandwidth.h"
 #include "obs/bench_options.h"
 #include "obs/trace_buffer.h"
@@ -200,6 +201,21 @@ void traced_run(const obs::BenchOptions& opts) {
   summary.transmissions = m.log.size();
   obs::export_traced_run(opts, buffer, m.log, radio::PowerModel::PaperUmts3G(),
                          m.energy.horizon, summary);
+
+  if (opts.reporting()) {
+    obs::RunReport report;
+    report.bench = "fig10_controlled";
+    report.add_provenance("system", "des_android_substrate");
+    report.add_provenance("device_preset",
+                          radio::PowerModel::PaperUmts3G().name);
+    report.add_provenance("policy_spec", "etrain:theta=0.2,k=20");
+    report.add_provenance("horizon_s", "7200");
+    report.add_provenance("trains", "3");
+    report.add_provenance("workload_seed", "42");
+    experiments::fill_run_sections(report, radio::PowerModel::PaperUmts3G(),
+                                   radio::PowerModel::WifiPsm(), m);
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   std::printf(
       "traced run: %s network energy, %llu transmissions, %llu scheduler "
       "slots, %llu flush selections\n",
@@ -224,6 +240,6 @@ int main(int argc, char** argv) {
     fig10b();
     fig10c();
   }
-  if (opts.tracing()) traced_run(opts);
+  if (opts.tracing() || opts.reporting()) traced_run(opts);
   return 0;
 }

@@ -70,6 +70,18 @@ int main(int argc, char** argv) {
       "(%zu jobs) ===\n",
       default_jobs());
   const int users = 20;
+  if (opts.quick) {
+    obs::RunReport base;
+    base.bench = "fig11_activeness";
+    base.add_provenance("policy_spec", "etrain:theta=0.2,k=20");
+    base.add_provenance("activeness_class", "active");
+    base.add_provenance("users", std::to_string(users));
+    benchutil::maybe_export_traced_run(
+        opts, activeness_scenario(apps::Activeness::kActive, users, 7),
+        core::EtrainConfig{.theta = 0.2, .k = 20, .drip_defer_window = 60.0},
+        base.bench, std::move(base));
+    return 0;
+  }
   Table table({"class", "uploads", "without eTrain_J (blue)",
                "with eTrain_J", "saved_J (green)", "saved %", "delay_s"});
   struct Row {
@@ -113,8 +125,14 @@ int main(int argc, char** argv) {
       "(19.4 %%), inactive 63.23 J (13.3 %%) — more uploads give eTrain more "
       "cargo to piggyback, so savings grow with activeness.\n",
       users);
+  obs::RunReport base;
+  base.bench = "fig11_activeness";
+  base.add_provenance("policy_spec", "etrain:theta=0.2,k=20");
+  base.add_provenance("activeness_class", "active");
+  base.add_provenance("users", std::to_string(users));
   benchutil::maybe_export_traced_run(
       opts, activeness_scenario(apps::Activeness::kActive, users, 7),
-      core::EtrainConfig{.theta = 0.2, .k = 20, .drip_defer_window = 60.0});
+      core::EtrainConfig{.theta = 0.2, .k = 20, .drip_defer_window = 60.0},
+      base.bench, std::move(base));
   return 0;
 }

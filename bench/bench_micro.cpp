@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <limits>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -18,6 +19,9 @@
 #include "core/etrain_scheduler.h"
 #include "exp/slotted_sim.h"
 #include "net/synthetic_bandwidth.h"
+#include "obs/bench_options.h"
+#include "obs/profile.h"
+#include "obs/report.h"
 #include "obs/trace_buffer.h"
 #include "radio/energy_meter.h"
 
@@ -229,17 +233,54 @@ double rep_seconds(Fn&& fn, int iters) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-/// Returns true when the detached-observability scheduler stays within the
-/// 2 % budget. Each rep times the two variants back to back (order
-/// alternating per rep, so cache/branch warm-up bias cancels) and takes the
-/// paired ratio; the median over reps is immune to whole-machine slowdowns
-/// that hit an entire rep, which min-of-reps across variants is not.
-bool tracing_overhead_guard() {
-  constexpr int kPackets = 256;
-  constexpr int kIters = 200;
-  constexpr int kReps = 41;
-  constexpr double kBudget = 1.02;
+/// Shared paired-median harness for the overhead guards. Each rep times the
+/// two variants back to back (order alternating per rep, so cache/branch
+/// warm-up bias cancels) and takes the paired ratio; the median over reps is
+/// immune to whole-machine slowdowns that hit an entire rep, which
+/// min-of-reps across variants is not. Returns the median ratio.
+template <typename Ref, typename Cur>
+double paired_median_ratio(const char* label, Ref&& run_reference,
+                           Cur&& run_instrumented, double budget,
+                           int iters = 200, int reps = 41) {
+  // Warm both paths before timing anything.
+  rep_seconds(run_reference, iters / 4);
+  rep_seconds(run_instrumented, iters / 4);
 
+  std::vector<double> ratios;
+  ratios.reserve(reps);
+  double ref_min = std::numeric_limits<double>::infinity();
+  double cur_min = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    double ref = 0.0;
+    double cur = 0.0;
+    if (rep % 2 == 0) {
+      ref = rep_seconds(run_reference, iters);
+      cur = rep_seconds(run_instrumented, iters);
+    } else {
+      cur = rep_seconds(run_instrumented, iters);
+      ref = rep_seconds(run_reference, iters);
+    }
+    ratios.push_back(cur / ref);
+    ref_min = std::min(ref_min, ref);
+    cur_min = std::min(cur_min, cur);
+  }
+  std::nth_element(ratios.begin(), ratios.begin() + reps / 2, ratios.end());
+  const double ratio = ratios[reps / 2];
+  std::printf(
+      "%s: reference min %.3f ms, instrumented min %.3f ms, median paired "
+      "ratio %.4f (budget %.2f) — %s\n",
+      label, 1e3 * ref_min, 1e3 * cur_min, ratio, budget,
+      ratio <= budget ? "OK" : "REGRESSION");
+  return ratio;
+}
+
+constexpr double kOverheadBudget = 1.02;
+
+/// Detached-observability guard: the ETRAIN_TRACE null checks and
+/// `counting_` branches in the shipped select() must stay within 2 % of the
+/// frozen pre-observability copy.
+double tracing_overhead_ratio() {
+  constexpr int kPackets = 256;
   const core::WaitingQueues queues = make_queues(kPackets);
   const core::EtrainConfig config{.theta = 0.0,
                                   .k = core::EtrainConfig::unlimited_k()};
@@ -248,53 +289,91 @@ bool tracing_overhead_guard() {
   ctx.slot_start = 1000.0;
   ctx.heartbeat_now = true;
 
-  const auto run_reference = [&] {
-    auto s = reference_select(config, ctx, queues);
-    benchmark::DoNotOptimize(s);
-  };
-  const auto run_instrumented = [&] {
-    auto s = scheduler.select(ctx, queues);
-    benchmark::DoNotOptimize(s);
-  };
+  return paired_median_ratio(
+      "tracing-overhead guard",
+      [&] {
+        auto s = reference_select(config, ctx, queues);
+        benchmark::DoNotOptimize(s);
+      },
+      [&] {
+        auto s = scheduler.select(ctx, queues);
+        benchmark::DoNotOptimize(s);
+      },
+      kOverheadBudget);
+}
 
-  // Warm both paths before timing anything.
-  rep_seconds(run_reference, kIters / 4);
-  rep_seconds(run_instrumented, kIters / 4);
+/// Report/profiler guard: one OBS_PROFILE_SCOPE around the same frozen
+/// select kernel — the span price a reporting run pays per instrumented
+/// phase — must also stay within the 2 % budget.
+double profiling_overhead_ratio() {
+  constexpr int kPackets = 256;
+  const core::WaitingQueues queues = make_queues(kPackets);
+  const core::EtrainConfig config{.theta = 0.0,
+                                  .k = core::EtrainConfig::unlimited_k()};
+  core::SlotContext ctx;
+  ctx.slot_start = 1000.0;
+  ctx.heartbeat_now = true;
 
-  std::vector<double> ratios;
-  ratios.reserve(kReps);
-  double ref_min = std::numeric_limits<double>::infinity();
-  double cur_min = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < kReps; ++rep) {
-    double ref = 0.0;
-    double cur = 0.0;
-    if (rep % 2 == 0) {
-      ref = rep_seconds(run_reference, kIters);
-      cur = rep_seconds(run_instrumented, kIters);
-    } else {
-      cur = rep_seconds(run_instrumented, kIters);
-      ref = rep_seconds(run_reference, kIters);
-    }
-    ratios.push_back(cur / ref);
-    ref_min = std::min(ref_min, ref);
-    cur_min = std::min(cur_min, cur);
-  }
-  std::nth_element(ratios.begin(), ratios.begin() + kReps / 2, ratios.end());
-  const double ratio = ratios[kReps / 2];
-  std::printf(
-      "tracing-overhead guard: reference min %.3f ms, instrumented "
-      "(detached) min %.3f ms, median paired ratio %.4f (budget %.2f) — %s\n",
-      1e3 * ref_min, 1e3 * cur_min, ratio, kBudget,
-      ratio <= kBudget ? "OK" : "REGRESSION");
-  return ratio <= kBudget;
+  const double ratio = paired_median_ratio(
+      "report/profiler-overhead guard",
+      [&] {
+        auto s = reference_select(config, ctx, queues);
+        benchmark::DoNotOptimize(s);
+      },
+      [&] {
+        OBS_PROFILE_SCOPE("micro.profiled_select");
+        auto s = reference_select(config, ctx, queues);
+        benchmark::DoNotOptimize(s);
+      },
+      kOverheadBudget);
+  obs::profiler_reset();  // the guard's spans are not part of any report
+  return ratio;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // Pull out the shared bench flags (--report/--quick/--jobs/...) before
+  // google-benchmark sees the command line — it rejects flags it does not
+  // know. parse_bench_options tolerates benchmark's own --benchmark_* flags
+  // because it only matches the exact names it owns.
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") continue;
+    if (a == "--jobs" || a == "--trace" || a == "--timeline" ||
+        a == "--report") {
+      ++i;  // skip the flag's value too
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  if (!opts.quick) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return tracing_overhead_guard() ? 0 : 1;
+
+  const double tracing_ratio = tracing_overhead_ratio();
+  const double profiling_ratio = profiling_overhead_ratio();
+  const bool ok =
+      tracing_ratio <= kOverheadBudget && profiling_ratio <= kOverheadBudget;
+
+  if (opts.reporting()) {
+    obs::RunReport report;
+    report.bench = "micro";
+    report.add_provenance("select_kernel_packets", "256");
+    report.add_result("overhead_budget", kOverheadBudget);
+    report.add_result("guards_ok", ok ? 1.0 : 0.0);
+    // The measured ratios are wall-clock and vary run to run, so they live
+    // in the non-compared environment section (same rule as the profile).
+    report.add_environment("tracing_overhead_ratio", tracing_ratio);
+    report.add_environment("profiling_overhead_ratio", profiling_ratio);
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
+  return ok ? 0 : 1;
 }

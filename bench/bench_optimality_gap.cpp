@@ -17,6 +17,8 @@
 #include "core/etrain_scheduler.h"
 #include "core/offline_solver.h"
 #include "exp/slotted_sim.h"
+#include "obs/bench_options.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -76,7 +78,8 @@ Instance make_instance(std::uint64_t seed, int packet_count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain extension: online vs. exact offline optimum ===\n");
   Table table({"instance", "packets", "offline exact_J", "offline greedy_J",
@@ -118,5 +121,17 @@ int main() {
       "instances — the channel-oblivious online rule is near-optimal when "
       "trains are the dominant structure.\n",
       gaps.mean(), gaps.max(), gaps.count());
+
+  if (opts.reporting()) {
+    obs::RunReport report;
+    report.bench = "optimality_gap";
+    report.add_provenance("policy_spec", "etrain:theta=0.2,k=20");
+    report.add_provenance("instances", "10");
+    report.add_provenance("instance_horizon_s", "1200");
+    report.add_result("mean_gap", gaps.mean());
+    report.add_result("worst_gap", gaps.max());
+    report.add_result("instances", static_cast<double>(gaps.count()));
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   return 0;
 }

@@ -28,6 +28,7 @@
 #include "common/table.h"
 #include "core/etrain_scheduler.h"
 #include "exp/sweeps.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -107,11 +108,8 @@ std::vector<Sample> run_grid(const Scenario& scenario,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
-  }
-  set_default_jobs(parse_jobs_flag(argc, argv));
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  const bool quick = opts.quick;
 
   std::printf(
       "=== parallel experiment engine: scaling on the Fig. 7(b) grid ===\n");
@@ -162,5 +160,13 @@ int main(int argc, char** argv) {
       "all parallel runs byte-identical to serial (hardware_concurrency = "
       "%u; speedup is hardware-bound and ~1x on a single-core container).\n",
       std::thread::hardware_concurrency());
+
+  obs::RunReport base;
+  base.bench = "parallel_scaling";
+  base.add_provenance("policy_spec", "etrain:theta=1,k=20");
+  base.add_result("serial_checksum", static_cast<double>(want));
+  benchutil::maybe_export_traced_run(
+      opts, scenario, core::EtrainConfig{.theta = 1.0, .k = 20},
+      base.bench, std::move(base));
   return 0;
 }

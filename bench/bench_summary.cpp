@@ -2,6 +2,10 @@
 // reproduction's measurements, on the standard 2-hour scenario. Every
 // number here is produced live; the per-figure benches hold the full
 // tables.
+//
+// Honors the shared bench flags: --quick shortens the scenario to 30
+// minutes, --trace/--timeline export the representative eTrain run, and
+// --report emits the digest (one result per policy) as a RunReport.
 #include <cstdio>
 
 #include "baselines/baseline_policy.h"
@@ -12,6 +16,7 @@
 #include "core/etrain_scheduler.h"
 #include "exp/sweeps.h"
 #include "radio/battery.h"
+#include "traced_run.h"
 
 namespace {
 
@@ -20,7 +25,8 @@ using namespace etrain::experiments;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf("=== eTrain reproduction: headline digest ===\n\n");
 
   // 1. The motivating measurement.
@@ -35,13 +41,18 @@ int main() {
   ScenarioConfig cfg;
   cfg.lambda = 0.08;
   cfg.model = radio::PowerModel::PaperSimulation();
+  if (opts.quick) cfg.horizon = 1800.0;
   const Scenario s = make_scenario(cfg);
+
+  obs::RunReport digest;
+  digest.bench = "summary";
+  digest.add_provenance("policy_spec", "etrain:theta=2,k=20");
 
   Table table({"policy", "energy_J", "delay_s", "violation",
                "vs Baseline"});
   baselines::BaselinePolicy baseline;
   const auto mb = run_slotted(s, baseline);
-  const auto add = [&](core::SchedulingPolicy& p) {
+  const auto add = [&](core::SchedulingPolicy& p, const char* key) {
     const auto m = run_slotted(s, p);
     table.add_row({m.policy_name, Table::num(m.network_energy(), 1),
                    Table::num(m.normalized_delay, 1),
@@ -50,32 +61,44 @@ int main() {
                                                  mb.network_energy()),
                               1) +
                        " %"});
+    digest.add_result(std::string(key) + "_energy_J", m.network_energy());
+    digest.add_result(std::string(key) + "_delay_s", m.normalized_delay);
+    return m;
   };
   table.add_row({mb.policy_name, Table::num(mb.network_energy(), 1),
                  Table::num(mb.normalized_delay, 1), "0.000", "-"});
+  digest.add_result("baseline_energy_J", mb.network_energy());
+  digest.add_result("baseline_delay_s", mb.normalized_delay);
   core::EtrainScheduler etrain({.theta = 2.0, .k = 20});
-  add(etrain);
+  const auto me = add(etrain, "etrain");
   baselines::ETimePolicy etime({.v = 2.0});
-  add(etime);
+  add(etime, "etime");
   baselines::PerESPolicy peres({.omega = 0.5});
-  add(peres);
+  add(peres, "peres");
   baselines::OraclePolicy oracle;
-  add(oracle);
+  add(oracle, "oracle");
   table.print();
 
   // 3. The battery translation.
   const radio::Battery battery;
-  core::EtrainScheduler etrain2({.theta = 2.0, .k = 20});
-  const auto me = run_slotted(s, etrain2);
+  const double battery_pct = 100.0 * battery.fraction_of_capacity(
+                                         mb.network_energy() -
+                                         me.network_energy());
+  digest.add_result("battery_saving_pct", battery_pct);
   std::printf(
       "\nover 2 h at lambda = 0.08, eTrain returns %.2f %% of a 1700 mAh "
       "battery vs. sending immediately (paper: 12-33 %% of total energy in "
       "the controlled experiments).\n",
-      100.0 * battery.fraction_of_capacity(mb.network_energy() -
-                                           me.network_energy()));
+      battery_pct);
   std::printf(
       "paper headline: \"eTrain can achieve 12%%-33%% energy saving in "
       "various application scenarios\" — reproduced; see EXPERIMENTS.md for "
       "the per-figure comparison.\n");
+
+  // The digest's own results ride on top of the representative traced run's
+  // sections (scenario provenance, energy, ledger, metrics).
+  benchutil::maybe_export_traced_run(opts, s,
+                                     core::EtrainConfig{.theta = 2.0, .k = 20},
+                                     digest.bench, std::move(digest));
   return 0;
 }

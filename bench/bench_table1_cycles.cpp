@@ -7,6 +7,8 @@
 
 #include "android/pcap.h"
 #include "common/table.h"
+#include "obs/bench_options.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -20,7 +22,8 @@ std::string describe(const android::CycleEstimate& e) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
   std::printf(
       "=== eTrain reproduction: Table 1 — heartbeat cycles from captures "
       "===\n");
@@ -75,5 +78,24 @@ int main() {
                       Table::integer(static_cast<long long>(e.heartbeats))});
   }
   extended.print();
+
+  if (opts.reporting()) {
+    // Re-run the first Android device's captures with their original seeds
+    // so the reported cycles match the printed table's first row.
+    obs::RunReport report;
+    report.bench = "table1_cycles";
+    report.add_provenance("capture_horizon_s", "14400");
+    report.add_provenance("device", devices[0]);
+    std::uint64_t report_seed = 1;
+    for (const auto& spec : apps::android_catalog()) {
+      Rng rng(report_seed++);
+      const auto capture = android::synthesize_capture(
+          spec, horizon, rng, /*with_data_traffic=*/true);
+      const auto e = analyzer.analyze_flow(spec.app_name, capture);
+      report.add_result(std::string(spec.app_name) + "_median_cycle_s",
+                        e.median_cycle);
+    }
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
   return 0;
 }

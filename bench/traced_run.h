@@ -1,16 +1,21 @@
-// Shared --trace/--timeline handling for the slotted-simulation benches
-// (Figs. 7, 8, 11 and the ablation study).
+// Shared --trace/--timeline/--report handling for the slotted-simulation
+// benches (Figs. 7, 8, 11, the ablation study, faults, multi-interface...).
 //
 // The sweeps themselves stay untraced (tracing inside parallel_map would
 // need one buffer per task and nobody reads thousands of near-identical
 // traces); instead, when the flags ask for it, the bench performs ONE
 // representative eTrain run with a TraceBuffer + Registry attached and
-// exports that run's Chrome trace and power timeline.
+// exports that run's Chrome trace, power timeline and/or run report. The
+// trace and report come from the same run, so report_check's --trace
+// cross-validation compares like with like.
 #pragma once
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "core/etrain_scheduler.h"
+#include "exp/run_report.h"
 #include "exp/scenario.h"
 #include "exp/slotted_sim.h"
 #include "obs/bench_options.h"
@@ -23,8 +28,10 @@ namespace etrain::benchutil {
 /// and exports the requested files. No-op otherwise.
 inline void maybe_export_traced_run(const obs::BenchOptions& opts,
                                     const experiments::Scenario& scenario,
-                                    const core::EtrainConfig& config) {
-  if (!opts.tracing()) return;
+                                    const core::EtrainConfig& config,
+                                    const std::string& bench_name = "",
+                                    obs::RunReport base = {}) {
+  if (!opts.tracing() && !opts.reporting()) return;
   obs::TraceBuffer buffer;
   obs::Registry registry;
   core::EtrainScheduler policy(config);
@@ -39,6 +46,16 @@ inline void maybe_export_traced_run(const obs::BenchOptions& opts,
   summary.transmissions = metrics.log.size() + metrics.wifi_log.size();
   obs::export_traced_run(opts, buffer, metrics.log, scenario.model,
                          metrics.energy.horizon, summary);
+
+  if (opts.reporting()) {
+    obs::RunReport report = std::move(base);
+    if (report.bench.empty()) {
+      report.bench = bench_name.empty() ? "traced_run" : bench_name;
+    }
+    experiments::describe_scenario(report, scenario);
+    experiments::fill_run_sections(report, scenario, metrics);
+    obs::finalize_run_report(opts.report_path, std::move(report));
+  }
 
   const auto& snap = metrics.observed;
   std::printf(

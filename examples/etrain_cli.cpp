@@ -20,6 +20,8 @@
 //   --radio=device|sim|realistic|lte|fastdormancy            (device)
 //   --deadline=<s>         shared deadline override          (per-app)
 //   --csv=<prefix>         write <prefix>_outcomes.csv and <prefix>_log.csv
+//   --report=<path>        emit a RunReport (provenance + energy ledger +
+//                          metrics) validated by examples/report_check
 // Fault injection (docs/faults.md):
 //   --loss=<p>             per-attempt transfer loss probability  (0)
 //   --outage-duty=<f>      fraction of the horizon in coverage outage (0)
@@ -37,6 +39,7 @@
 #include "baselines/registry.h"
 #include "common/csv.h"
 #include "common/table.h"
+#include "exp/run_report.h"
 #include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
 
@@ -221,5 +224,11 @@ int main(int argc, char** argv) {
   }
 
   if (flags.contains("csv")) dump_csv(m, flag_str(flags, "csv", "etrain_run"));
+  if (flags.contains("report")) {
+    obs::RunReport report = report_for_run("etrain_cli", scenario, m);
+    report.add_provenance("policy_spec", policy_spec);
+    obs::finalize_run_report(flag_str(flags, "report", "etrain_run.json"),
+                             std::move(report));
+  }
   return 0;
 }

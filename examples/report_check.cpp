@@ -1,0 +1,101 @@
+// Validates RunReport JSON files produced by the --report bench flag:
+// schema and structure, ledger/energy self-consistency to 1e-9 J, and —
+// with the optional flags — cross-validation against the Chrome trace of
+// the same run and against the CSV artifacts the report lists.
+// scripts/check.sh runs this over every BENCH_*.json the quick bench suite
+// emits; the same checks back obs_report_test.
+//
+//   report_check <report.json> [more.json ...]
+//       [--trace <trace.json>]   compare against the trace's RunSummary
+//       [--csv-dir <dir>]        resolve artifact paths against <dir>
+//       [--artifacts]            re-read and re-sum the CSV artifacts
+//
+// Exit 0 iff every report (and every requested cross-check) passes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/report_check.h"
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> reports;
+  std::string trace_path;
+  std::string csv_dir;
+  bool check_artifacts = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::printf("--trace requires a value\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (arg == "--csv-dir") {
+      if (i + 1 >= argc) {
+        std::printf("--csv-dir requires a value\n");
+        return 2;
+      }
+      csv_dir = argv[++i];
+      check_artifacts = true;
+    } else if (arg == "--artifacts") {
+      check_artifacts = true;
+    } else {
+      reports.push_back(arg);
+    }
+  }
+  if (reports.empty()) {
+    std::printf(
+        "usage: report_check <report.json> [more.json ...] "
+        "[--trace <trace.json>] [--csv-dir <dir>] [--artifacts]\n");
+    std::printf(
+        "validates run-report JSON written by the bench --report flag\n");
+    return 0;
+  }
+
+  int failures = 0;
+  for (const std::string& path : reports) {
+    const auto result = etrain::obs::check_run_report_file(path);
+    if (!result.ok) {
+      std::printf("%s: FAIL — %s\n", path.c_str(), result.error.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf(
+        "%s: OK — bench '%s', %zu provenance entries, %zu results, "
+        "%zu ledger rows, %zu artifacts%s%s\n",
+        path.c_str(), result.bench.c_str(), result.provenance_entries,
+        result.results, result.ledger_rows, result.artifacts.size(),
+        result.metrics_present ? ", metrics" : "",
+        result.profile_present ? ", profile" : "");
+
+    if (!trace_path.empty()) {
+      const auto trace = etrain::obs::check_chrome_trace_file(trace_path);
+      const std::string mismatch =
+          etrain::obs::cross_check_trace(result, trace);
+      if (mismatch.empty()) {
+        std::printf("%s: trace cross-check OK against %s\n", path.c_str(),
+                    trace_path.c_str());
+      } else {
+        std::printf("%s: trace cross-check FAIL — %s\n", path.c_str(),
+                    mismatch.c_str());
+        ++failures;
+      }
+    }
+
+    if (check_artifacts) {
+      const std::string mismatch =
+          etrain::obs::cross_check_artifacts(result, csv_dir);
+      if (mismatch.empty()) {
+        std::printf("%s: %zu artifact(s) cross-check OK\n", path.c_str(),
+                    result.artifacts.size());
+      } else {
+        std::printf("%s: artifact cross-check FAIL — %s\n", path.c_str(),
+                    mismatch.c_str());
+        ++failures;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

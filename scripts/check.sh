@@ -35,8 +35,39 @@ ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_faults" --quick
 mkdir -p results
 "./$BUILD_DIR/bench/bench_fig10_controlled" --quick \
   --trace results/fig10.trace.json \
-  --timeline results/fig10.power_timeline.csv
+  --timeline results/fig10.power_timeline.csv \
+  --report results/fig10.report.json
 "./$BUILD_DIR/examples/trace_check" results/fig10.trace.json
+
+# Run-report gate (docs/observability.md): a quick bench suite emits
+# BENCH_*.json run reports, each schema-checked and cross-validated —
+# fig10 against its Chrome trace (same run: network/tail/transmission
+# totals must agree to 1e-9 J), fig07 against the CSV artifacts it wrote.
+"./$BUILD_DIR/examples/report_check" results/fig10.report.json \
+  --trace results/fig10.trace.json
+"./$BUILD_DIR/bench/bench_fig07_parameters" --quick \
+  --report results/fig07.report.json
+"./$BUILD_DIR/examples/report_check" results/fig07.report.json --artifacts
+"./$BUILD_DIR/bench/bench_summary" --quick \
+  --report results/summary.report.json
+"./$BUILD_DIR/examples/report_check" results/summary.report.json
+
+# Determinism, at the report level: the compared sections (everything
+# except the wall-clock `environment`/`profile` tail) of a serial and a
+# parallel run of the same bench must match exactly (tolerance 0).
+ETRAIN_JOBS=1 "./$BUILD_DIR/bench/bench_fig08_comparison" --quick \
+  --report results/fig08.serial.report.json
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_fig08_comparison" --quick \
+  --report results/fig08.parallel.report.json
+scripts/compare_reports results/fig08.serial.report.json \
+  results/fig08.parallel.report.json
+
+# Report/profile overhead gate: bench_micro --quick skips the
+# google-benchmark suite but still runs the paired-median overhead guards
+# (tracing and profiling must each stay within 2% of the frozen reference
+# select kernel) and exits nonzero on regression.
+"./$BUILD_DIR/bench/bench_micro" --quick --report results/micro.report.json
+"./$BUILD_DIR/examples/report_check" results/micro.report.json
 
 # One AddressSanitizer pass over the fault-injection tests: the new
 # failure/retry/teardown paths juggle completion callbacks and requeue
@@ -53,5 +84,23 @@ cmake --build "$ASAN_DIR" -j --target \
 "./$ASAN_DIR/tests/net_radio_link_test"
 "./$ASAN_DIR/tests/net_fault_plan_test"
 "./$ASAN_DIR/tests/exp_faults_test"
+
+# Observability-disabled build: with -DETRAIN_OBS_DISABLED=ON the trace
+# and profile hot paths compile out, but benches must still emit valid run
+# reports (manifest + energy + ledger, build.obs=false, no profile tree).
+# obs_report_test carries an extra DisabledBuildStillEmitsManifestAndEnergy
+# case in this configuration.
+NOOBS_DIR="${BUILD_DIR}-noobs"
+if [ ! -f "$NOOBS_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B "$NOOBS_DIR" -S . -G Ninja -DETRAIN_OBS_DISABLED=ON
+else
+  cmake -B "$NOOBS_DIR" -S . -DETRAIN_OBS_DISABLED=ON
+fi
+cmake --build "$NOOBS_DIR" -j --target \
+  obs_report_test bench_fig04_power_states report_check
+"./$NOOBS_DIR/tests/obs_report_test"
+"./$NOOBS_DIR/bench/bench_fig04_power_states" \
+  --report results/fig04.noobs.report.json
+"./$NOOBS_DIR/examples/report_check" results/fig04.noobs.report.json
 
 echo "check.sh: all green"

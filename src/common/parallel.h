@@ -39,6 +39,11 @@
 #include <type_traits>
 #include <vector>
 
+// Header-only, std-only — include does not invert the layering (same rule
+// that lets radio include obs/trace.h). Charges every pooled task to the
+// profiler so run reports can show where sweep wall-time went.
+#include "obs/profile.h"
+
 namespace etrain {
 
 /// The splitmix64 finalizer (Steele et al.): a bijective avalanche mix.
@@ -138,6 +143,7 @@ auto parallel_map(const std::vector<Item>& items, Fn&& fn,
   std::vector<Result> results(items.size());
   if (jobs <= 1 || items.size() <= 1) {
     for (std::size_t i = 0; i < items.size(); ++i) {
+      OBS_PROFILE_SCOPE("parallel_map.task");
       results[i] = detail::invoke_map(fn, items[i], i);
     }
     return results;
@@ -148,6 +154,7 @@ auto parallel_map(const std::vector<Item>& items, Fn&& fn,
     ThreadPool pool(std::min(jobs, items.size()));
     for (std::size_t i = 0; i < items.size(); ++i) {
       pool.submit([&, i] {
+        OBS_PROFILE_SCOPE("parallel_map.task");
         try {
           results[i] = detail::invoke_map(fn, items[i], i);
         } catch (...) {

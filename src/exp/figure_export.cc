@@ -1,11 +1,26 @@
 #include "exp/figure_export.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
 
 #include "common/csv.h"
+#include "obs/profile.h"
+#include "obs/report.h"
 
 namespace etrain::experiments {
+
+namespace {
+
+/// The value a CSV cell will round-trip to. Artifact column sums must be
+/// computed over these, not the original doubles: the file stores
+/// std::to_string's 6-decimal rendering, and report_check re-sums what it
+/// reads back.
+double as_written(const std::string& cell) {
+  return std::strtod(cell.c_str(), nullptr);
+}
+
+}  // namespace
 
 std::string ensure_results_dir(const std::string& dir) {
   std::error_code ec;
@@ -18,17 +33,33 @@ std::string ensure_results_dir(const std::string& dir) {
 
 void export_frontier(const std::string& dir, const std::string& name,
                      const std::vector<EDPoint>& frontier) {
-  CsvWriter w(dir + "/" + name + ".csv");
+  OBS_PROFILE_SCOPE("export.csv");
+  const std::string path = dir + "/" + name + ".csv";
+  obs::CsvArtifact artifact;
+  artifact.file = path;
+  artifact.rows = frontier.size();
+  artifact.column_sums = {
+      {"param", 0.0}, {"energy_J", 0.0}, {"delay_s", 0.0}, {"violation", 0.0}};
+
+  CsvWriter w(path);
   w.write_row({"param", "energy_J", "delay_s", "violation"});
   for (const auto& p : frontier) {
-    w.write_row({std::to_string(p.param), std::to_string(p.energy),
-                 std::to_string(p.delay), std::to_string(p.violation)});
+    const std::string cells[4] = {
+        std::to_string(p.param), std::to_string(p.energy),
+        std::to_string(p.delay), std::to_string(p.violation)};
+    w.write_row({cells[0], cells[1], cells[2], cells[3]});
+    for (int i = 0; i < 4; ++i) {
+      artifact.column_sums[static_cast<std::size_t>(i)].second +=
+          as_written(cells[i]);
+    }
   }
+  obs::ArtifactLog::global().record(std::move(artifact));
 }
 
 void export_series(const std::string& dir, const std::string& name,
                    const std::vector<std::string>& headers,
                    const std::vector<std::vector<double>>& columns) {
+  OBS_PROFILE_SCOPE("export.csv");
   if (columns.size() != headers.size()) {
     throw std::invalid_argument("export_series: header/column mismatch");
   }
@@ -37,15 +68,26 @@ void export_series(const std::string& dir, const std::string& name,
       throw std::invalid_argument("export_series: ragged columns");
     }
   }
-  CsvWriter w(dir + "/" + name + ".csv");
+  const std::string path = dir + "/" + name + ".csv";
+  obs::CsvArtifact artifact;
+  artifact.file = path;
+  artifact.rows = columns.empty() ? 0 : columns.front().size();
+  for (const auto& h : headers) artifact.column_sums.emplace_back(h, 0.0);
+
+  CsvWriter w(path);
   w.write_row(headers);
-  if (columns.empty()) return;
-  for (std::size_t row = 0; row < columns.front().size(); ++row) {
-    std::vector<std::string> cells;
-    cells.reserve(columns.size());
-    for (const auto& c : columns) cells.push_back(std::to_string(c[row]));
-    w.write_row(cells);
+  if (!columns.empty()) {
+    for (std::size_t row = 0; row < columns.front().size(); ++row) {
+      std::vector<std::string> cells;
+      cells.reserve(columns.size());
+      for (std::size_t col = 0; col < columns.size(); ++col) {
+        cells.push_back(std::to_string(columns[col][row]));
+        artifact.column_sums[col].second += as_written(cells.back());
+      }
+      w.write_row(cells);
+    }
   }
+  obs::ArtifactLog::global().record(std::move(artifact));
 }
 
 }  // namespace etrain::experiments

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "obs/profile.h"
 
 namespace etrain::experiments {
 
@@ -34,6 +35,7 @@ ReplicatedMetrics replicate(
   if (seeds.empty()) {
     throw std::invalid_argument("replicate: no seeds");
   }
+  OBS_PROFILE_SCOPE("simulate.replicate");
   // Each seed builds its own scenario and policy, so replications run
   // concurrently (ETRAIN_JOBS-bounded) with byte-identical aggregates: the
   // per-seed metrics come back in `seeds` order and the Welford accumulator

@@ -1,0 +1,135 @@
+#include "exp/run_report.h"
+
+#include <cstdio>
+
+namespace etrain::experiments {
+
+namespace {
+
+/// Deterministic string form of a double for provenance values (%.17g,
+/// same policy as the JSON writer).
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+void describe_scenario(obs::RunReport& report, const Scenario& scenario) {
+  report.add_provenance("device_preset", scenario.model.name);
+  report.add_provenance("horizon_s", fmt(scenario.horizon));
+  report.add_provenance("heartbeats",
+                        std::to_string(scenario.trains.size()));
+  report.add_provenance("background_events",
+                        std::to_string(scenario.background.size()));
+  report.add_provenance("packets", std::to_string(scenario.packets.size()));
+  report.add_provenance("cargo_apps",
+                        std::to_string(scenario.profiles.size()));
+  report.add_provenance("estimate_noise_sigma",
+                        fmt(scenario.estimate_noise_sigma));
+  report.add_provenance("noise_seed", fmt(scenario.noise_seed));
+
+  const net::FaultPlan& faults = scenario.faults;
+  report.add_provenance("faults",
+                        faults.enabled() ? "enabled" : "none");
+  if (faults.enabled()) {
+    report.add_provenance("fault_seed", fmt(faults.seed));
+    report.add_provenance("loss_probability",
+                          fmt(faults.loss_probability));
+    report.add_provenance("outages",
+                          std::to_string(faults.outages.size()));
+    report.add_provenance("heartbeat_jitter_sigma",
+                          fmt(faults.heartbeat_jitter_sigma));
+    report.add_provenance("heartbeat_drop_probability",
+                          fmt(faults.heartbeat_drop_probability));
+    report.add_provenance("max_retries",
+                          std::to_string(faults.max_retries));
+  }
+
+  const auto& wifi = scenario.wifi.episodes();
+  if (!wifi.empty()) {
+    report.add_provenance("wifi_episodes", std::to_string(wifi.size()));
+    report.add_provenance("wifi_coverage",
+                          fmt(scenario.wifi.coverage(scenario.horizon)));
+    report.add_provenance("wifi_preset", scenario.wifi_model.name);
+  }
+}
+
+void fill_run_sections(obs::RunReport& report,
+                       const radio::PowerModel& model,
+                       const radio::PowerModel& wifi_model,
+                       const RunMetrics& metrics) {
+  if (!metrics.policy_name.empty()) {
+    report.add_provenance("policy", metrics.policy_name);
+  }
+
+  report.add_result("network_energy_J", metrics.network_energy());
+  report.add_result("tail_energy_J", metrics.energy.tail_energy() +
+                                         metrics.wifi_energy.tail_energy());
+  report.add_result("heartbeat_energy_J", metrics.heartbeat_energy());
+  report.add_result("data_energy_J", metrics.data_energy());
+  report.add_result("normalized_delay_s", metrics.normalized_delay);
+  report.add_result("violation_ratio", metrics.violation_ratio);
+  report.add_result("total_delay_cost", metrics.total_delay_cost);
+  report.add_result(
+      "transmissions",
+      static_cast<double>(metrics.log.size() + metrics.wifi_log.size()));
+  report.add_result("failed_transmissions",
+                    static_cast<double>(metrics.log.failed_count() +
+                                        metrics.wifi_log.failed_count()));
+
+  // The Wi-Fi interface participates in the report only when it carried
+  // traffic; an idle second radio contributes zero to every total, and
+  // omitting it keeps cellular-only reports free of dead sections.
+  const bool has_wifi = !metrics.wifi_log.empty();
+
+  obs::EnergySection energy;
+  energy.cellular = metrics.energy;
+  if (has_wifi) energy.wifi = metrics.wifi_energy;
+  energy.monsoon_J = metrics.monsoon_energy;
+  report.energy = energy;
+
+  obs::DelaySection delay;
+  delay.packets = metrics.outcomes.size();
+  delay.normalized_delay_s = metrics.normalized_delay;
+  delay.violation_ratio = metrics.violation_ratio;
+  delay.total_delay_cost = metrics.total_delay_cost;
+  report.delay = delay;
+
+  // The ledger re-bills both logs with the meter's own rules against the
+  // horizons the meter actually used (EnergyReport records them), so the
+  // bucketed totals reproduce the meter's sums to 1e-9 J — report_check
+  // enforces the equality on every emitted report.
+  obs::EnergyLedger ledger;
+  obs::append_ledger(ledger, "cellular", metrics.log, model,
+                     metrics.energy.horizon);
+  if (has_wifi) {
+    obs::append_ledger(ledger, "wifi", metrics.wifi_log, wifi_model,
+                       metrics.wifi_energy.horizon);
+  }
+  report.ledger = std::move(ledger);
+
+  if (!metrics.observed.empty()) {
+    report.metrics = metrics.observed;
+  }
+}
+
+void fill_run_sections(obs::RunReport& report, const Scenario& scenario,
+                       const RunMetrics& metrics) {
+  fill_run_sections(report, scenario.model, scenario.wifi_model, metrics);
+}
+
+obs::RunReport report_for_run(const std::string& bench,
+                              const Scenario& scenario,
+                              const RunMetrics& metrics) {
+  obs::RunReport report;
+  report.bench = bench;
+  describe_scenario(report, scenario);
+  fill_run_sections(report, scenario, metrics);
+  return report;
+}
+
+}  // namespace etrain::experiments

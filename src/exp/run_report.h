@@ -1,0 +1,42 @@
+// Bridges experiment-layer objects (Scenario, RunMetrics) into obs-layer
+// RunReports. obs deliberately knows nothing above radio, so the
+// translation — scenario knobs into provenance strings, RunMetrics into
+// energy/delay/ledger sections — lives here in exp.
+#pragma once
+
+#include <string>
+
+#include "exp/metrics.h"
+#include "exp/scenario.h"
+#include "obs/report.h"
+
+namespace etrain::experiments {
+
+/// Appends `scenario`'s provenance manifest to the report: device preset,
+/// horizon, workload sizes, estimation-noise and fault knobs (with their
+/// seeds), Wi-Fi coverage. Everything a reader needs to reproduce the run,
+/// in deterministic key order.
+void describe_scenario(obs::RunReport& report, const Scenario& scenario);
+
+/// Fills the run sections from one finished run: headline results, the
+/// energy section (cellular + Wi-Fi + Monsoon when present), the delay
+/// section, the per-(interface, kind, app) energy-attribution ledger
+/// (rebuilt from the transmission logs with the meter's exact billing
+/// rules) and the MetricsSnapshot. Records "policy" provenance from
+/// metrics.policy_name. The power models must be the ones the run was
+/// billed with (the ledger re-bills against them).
+void fill_run_sections(obs::RunReport& report,
+                       const radio::PowerModel& model,
+                       const radio::PowerModel& wifi_model,
+                       const RunMetrics& metrics);
+
+/// Scenario convenience: models taken from the scenario.
+void fill_run_sections(obs::RunReport& report, const Scenario& scenario,
+                       const RunMetrics& metrics);
+
+/// Convenience: a complete report for one (scenario, policy) run.
+obs::RunReport report_for_run(const std::string& bench,
+                              const Scenario& scenario,
+                              const RunMetrics& metrics);
+
+}  // namespace etrain::experiments

@@ -7,10 +7,12 @@
 
 #include "common/rng.h"
 #include "net/synthetic_bandwidth.h"
+#include "obs/profile.h"
 
 namespace etrain::experiments {
 
 Scenario make_scenario(const ScenarioConfig& config) {
+  OBS_PROFILE_SCOPE("generate.scenario");
   if (config.train_count < 0 || config.train_count > 3) {
     throw std::invalid_argument("make_scenario: train_count must be 0..3");
   }

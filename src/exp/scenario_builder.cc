@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profile.h"
+
 namespace etrain::experiments {
 
 ScenarioBuilder& ScenarioBuilder::lambda(double packets_per_second) {
@@ -125,6 +127,7 @@ ScenarioBuilder& ScenarioBuilder::background(
 }
 
 Scenario ScenarioBuilder::build() const {
+  OBS_PROFILE_SCOPE("generate.scenario_builder");
   Scenario s = make_scenario(config_);
   if (trace_.has_value()) s.trace = *trace_;
   if (downlink_trace_.has_value()) s.downlink_trace = *downlink_trace_;

@@ -5,12 +5,14 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "obs/profile.h"
 
 namespace etrain::experiments {
 
 std::vector<EDPoint> sweep(const Scenario& scenario,
                            const PolicyFactory& factory,
                            const std::vector<double>& params) {
+  OBS_PROFILE_SCOPE("simulate.sweep");
   // One independent simulation per knob value: the shared scenario is
   // read-only and each task owns its policy instance, so the runs are
   // byte-identical to the serial loop regardless of ETRAIN_JOBS.

@@ -47,6 +47,7 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   set_default_jobs(opts.jobs);
   opts.trace_path = parse_string_flag(argc, argv, "--trace");
   opts.timeline_path = parse_string_flag(argc, argv, "--timeline");
+  opts.report_path = parse_string_flag(argc, argv, "--report");
   opts.quick = has_flag(argc, argv, "--quick");
   return opts;
 }

@@ -9,6 +9,9 @@
 //   --quick                 shrink the bench to a smoke-sized subset
 //                           (bench-specific; fig10 runs only the Fig. 9
 //                           methodology check)
+//   --report <out.json>     emit a RunReport (provenance manifest + digest
+//                           + energy ledger + metrics + profile) validated
+//                           by report_check; see docs/observability.md
 //
 // parse_bench_options() also parses --jobs (via parse_jobs_flag) and
 // applies it with set_default_jobs(), so a bench main reduces to:
@@ -19,7 +22,8 @@
 //     obs::export_traced_run(opts, buffer, log, model, horizon, summary); }
 //
 // Naming convention (docs/experiments.md): traces land under results/ as
-// <bench>.trace.json and <bench>.power_timeline.csv; both patterns are
+// <bench>.trace.json and <bench>.power_timeline.csv, reports as
+// BENCH_<name>.json or results/<bench>.report.json; all three patterns are
 // git-ignored.
 #pragma once
 
@@ -34,6 +38,7 @@ namespace etrain::obs {
 struct BenchOptions {
   std::string trace_path;     ///< empty = no Chrome-trace export
   std::string timeline_path;  ///< empty = no timeline export
+  std::string report_path;    ///< empty = no RunReport export
   bool quick = false;
   std::size_t jobs = 0;  ///< 0 = automatic (already applied globally)
 
@@ -41,6 +46,9 @@ struct BenchOptions {
   bool tracing() const {
     return !trace_path.empty() || !timeline_path.empty();
   }
+
+  /// True when the bench should emit a RunReport.
+  bool reporting() const { return !report_path.empty(); }
 };
 
 /// Parses the shared flags (and --jobs, which it applies via

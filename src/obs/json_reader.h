@@ -1,0 +1,198 @@
+// A minimal recursive-descent JSON reader shared by the validators
+// (trace_check, report_check): just enough to verify well-formedness and
+// pull out the handful of fields the checks need. Deliberately not a
+// general JSON library — the repo's no-dependency rule extends to not
+// growing one internally. Methods throw std::string error messages; the
+// check_* entry points catch them and turn them into result.error.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace etrain::obs::jsonio {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::size_t pos() const { return pos_; }
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            pos_ += 4;  // validated but not decoded; names are ASCII
+            out += '?';
+            break;
+          default: fail("invalid escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number: " + token);
+    return value;
+  }
+
+  bool parse_bool() {
+    const char c = peek();
+    if (c == 't') {
+      literal("true");
+      return true;
+    }
+    literal("false");
+    return false;
+  }
+
+  /// Consumes "null" when positioned on it; returns whether it did.
+  bool consume_null() {
+    if (peek() != 'n') return false;
+    literal("null");
+    return true;
+  }
+
+  /// Skips any JSON value, validating structure.
+  void skip_value() {
+    const char c = peek();
+    if (c == '{') {
+      skip_object();
+    } else if (c == '[') {
+      expect('[');
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      parse_string();
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      parse_number();
+    }
+  }
+
+  /// Iterates an object's members, calling on_member(key) positioned at the
+  /// member's value; on_member must consume exactly that value.
+  template <typename Fn>
+  void parse_object(Fn&& on_member) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = parse_string();
+      expect(':');
+      on_member(key);
+    } while (consume(','));
+    expect('}');
+  }
+
+  /// Iterates an array's elements, calling on_element() positioned at each
+  /// element; on_element must consume exactly that value.
+  template <typename Fn>
+  void parse_array(Fn&& on_element) {
+    expect('[');
+    if (consume(']')) return;
+    do {
+      on_element();
+    } while (consume(','));
+    expect(']');
+  }
+
+  void skip_object() {
+    parse_object([this](const std::string&) { skip_value(); });
+  }
+
+  [[noreturn]] void fail(const std::string& message) {
+    throw message + " at offset " + std::to_string(pos_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace etrain::obs::jsonio

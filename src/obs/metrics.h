@@ -23,6 +23,40 @@
 
 namespace etrain::obs {
 
+/// Quantile estimation over fixed histogram buckets (shared by Histogram
+/// and HistogramSnapshot). The q-th quantile is located by walking the
+/// cumulative counts to the bucket containing rank q * count, then
+/// interpolating linearly inside that bucket; the first bucket's lower
+/// edge and the overflow bucket's upper edge are tightened to the exact
+/// observed min/max, so single-bucket histograms still report exact
+/// values. Returns 0 for an empty histogram.
+inline double histogram_quantile(const std::vector<double>& bounds,
+                                 const std::vector<std::uint64_t>& counts,
+                                 std::uint64_t count, double min, double max,
+                                 double q) {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Bucket i spans (bounds[i-1], bounds[i]]; clamp its edges to the
+    // observed range (the overflow bucket i == bounds.size() has no upper
+    // bound of its own).
+    double lo = i == 0 ? min : std::max(min, bounds[i - 1]);
+    double hi = i < bounds.size() ? std::min(max, bounds[i]) : max;
+    if (hi < lo) hi = lo;
+    const double fraction =
+        (rank - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * fraction;
+  }
+  return max;
+}
+
 /// A monotonically increasing event count.
 class Counter {
  public:
@@ -58,6 +92,12 @@ class Histogram {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
 
+  /// Estimated q-th quantile (0 <= q <= 1) by bucket interpolation; exact
+  /// at q = 0 / q = 1 (observed min/max), 0 when empty.
+  double quantile(double q) const {
+    return histogram_quantile(bounds_, counts_, count_, min(), max(), q);
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
@@ -80,6 +120,12 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+  /// Same estimator as Histogram::quantile, over the frozen buckets.
+  double quantile(double q) const {
+    return histogram_quantile(bounds, counts, count, min, max, q);
+  }
 };
 
 /// The frozen contents of a Registry. Default-constructible and copyable so

@@ -1,0 +1,253 @@
+// Scoped-span wall-clock profiler for the bench pipelines.
+//
+// OBS_PROFILE_SCOPE("phase") charges the wall-clock time of the enclosing
+// lexical scope to a node in a hierarchical call tree: nesting scopes
+// produces child nodes, re-entering a scope accumulates into the same node.
+// The benches instrument their coarse phases (generate -> simulate ->
+// export) and parallel_map charges every pooled task, so a run report can
+// say where the wall time of a sweep went without a external profiler.
+//
+// Threading model: each thread owns its own live tree (thread_local), so
+// record-side cost is two steady_clock reads plus a short child scan — no
+// locks on any hot path. Worker trees are registered once with the global
+// Profiler under a mutex and stay owned by it after the thread exits;
+// profiler_snapshot() merges every thread's tree by scope name into one
+// deterministic-ordered ProfileNode tree. Take snapshots only when no
+// worker is actively recording (i.e. after parallel work has joined, which
+// is when the benches emit their reports).
+//
+// Wall-clock durations are inherently non-reproducible, which is why the
+// run report quarantines the profile tree in its non-compared section
+// (docs/determinism.md). Building with -DETRAIN_OBS_DISABLED compiles
+// every OBS_PROFILE_SCOPE to ((void)0) and profiler_snapshot() to nullopt.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace etrain::obs {
+
+/// One aggregated scope of the merged profile tree. `seconds` is the total
+/// wall time charged to the scope itself (children's time is included —
+/// scopes nest lexically); `calls` counts scope entries. Children are
+/// sorted by name so snapshots have a deterministic shape (their timing
+/// values still are not — see the header comment).
+struct ProfileNode {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  std::vector<ProfileNode> children;
+
+  const ProfileNode* child(const std::string& child_name) const {
+    for (const auto& c : children) {
+      if (c.name == child_name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+#if !defined(ETRAIN_OBS_DISABLED)
+
+namespace profile_detail {
+
+/// A live, single-thread tree node. Name pointers are the string literals
+/// passed to OBS_PROFILE_SCOPE, so they outlive everything.
+struct LiveNode {
+  const char* name = "";
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  std::vector<std::unique_ptr<LiveNode>> children;
+
+  LiveNode* child(const char* child_name) {
+    for (auto& c : children) {
+      if (c->name == child_name || std::strcmp(c->name, child_name) == 0) {
+        return c.get();
+      }
+    }
+    children.push_back(std::make_unique<LiveNode>());
+    children.back()->name = child_name;
+    return children.back().get();
+  }
+};
+
+}  // namespace profile_detail
+
+/// Process-wide collector of per-thread live trees. Use through
+/// OBS_PROFILE_SCOPE / profiler_snapshot() / profiler_reset() — the class
+/// itself only exists so tests can poke it directly.
+class Profiler {
+ public:
+  static Profiler& instance() {
+    static Profiler profiler;
+    return profiler;
+  }
+
+  /// Enters `name` under the calling thread's current scope and makes it
+  /// current. Returns the node to charge at exit.
+  profile_detail::LiveNode* enter(const char* name) {
+    ThreadState& state = tls();
+    if (state.root == nullptr || state.epoch != epoch_) {
+      state.root = register_root();
+      state.epoch = epoch_;
+      state.current = state.root.get();
+    }
+    profile_detail::LiveNode* node = state.current->child(name);
+    ++node->calls;
+    state.current = node;
+    return node;
+  }
+
+  /// Leaves `node`, charging `seconds` and restoring `parent` as current.
+  /// A null parent means the scope was the thread's outermost — current
+  /// returns to the thread root, not to null (the next top-level scope on
+  /// this thread enters under the root again).
+  void leave(profile_detail::LiveNode* node,
+             profile_detail::LiveNode* parent, double seconds) {
+    node->seconds += seconds;
+    ThreadState& state = tls();
+    state.current = parent != nullptr ? parent : state.root.get();
+  }
+
+  profile_detail::LiveNode* current() {
+    ThreadState& state = tls();
+    return state.root == nullptr || state.epoch != epoch_ ? nullptr
+                                                          : state.current;
+  }
+
+  /// Merges every registered thread tree into one ProfileNode tree rooted
+  /// at "run", children sorted by name. Call only while no other thread is
+  /// recording.
+  ProfileNode snapshot() const {
+    ProfileNode root;
+    root.name = "run";
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& live : roots_) {
+      merge_children(root, *live);
+    }
+    sort_tree(root);
+    return root;
+  }
+
+  /// Discards every recorded scope. Must not be called while any scope is
+  /// open on any thread (the benches never reset; tests reset between
+  /// cases on one thread).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    roots_.clear();
+    ++epoch_;
+  }
+
+ private:
+  struct ThreadState {
+    std::shared_ptr<profile_detail::LiveNode> root;
+    profile_detail::LiveNode* current = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
+  static ThreadState& tls() {
+    static thread_local ThreadState state;
+    return state;
+  }
+
+  std::shared_ptr<profile_detail::LiveNode> register_root() {
+    auto root = std::make_shared<profile_detail::LiveNode>();
+    root->name = "run";
+    std::lock_guard<std::mutex> lock(mutex_);
+    roots_.push_back(root);
+    return root;
+  }
+
+  static void merge_children(ProfileNode& into,
+                             const profile_detail::LiveNode& from) {
+    for (const auto& live_child : from.children) {
+      ProfileNode* target = nullptr;
+      for (auto& existing : into.children) {
+        if (existing.name == live_child->name) {
+          target = &existing;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        into.children.push_back(ProfileNode{live_child->name, 0.0, 0, {}});
+        target = &into.children.back();
+      }
+      target->seconds += live_child->seconds;
+      target->calls += live_child->calls;
+      merge_children(*target, *live_child);
+    }
+  }
+
+  static void sort_tree(ProfileNode& node) {
+    std::sort(node.children.begin(), node.children.end(),
+              [](const ProfileNode& a, const ProfileNode& b) {
+                return a.name < b.name;
+              });
+    for (auto& c : node.children) sort_tree(c);
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<profile_detail::LiveNode>> roots_;
+  std::uint64_t epoch_ = 1;
+};
+
+/// RAII guard behind OBS_PROFILE_SCOPE. `name` must be a string literal
+/// (or otherwise outlive the profiler).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : parent_(Profiler::instance().current()),
+        node_(Profiler::instance().enter(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ProfileScope() {
+    const auto end = std::chrono::steady_clock::now();
+    Profiler::instance().leave(
+        node_, parent_, std::chrono::duration<double>(end - start_).count());
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  profile_detail::LiveNode* parent_;  ///< current before entry (may be null)
+  profile_detail::LiveNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The merged profile tree, or nullopt when nothing was recorded.
+inline std::optional<ProfileNode> profiler_snapshot() {
+  ProfileNode root = Profiler::instance().snapshot();
+  if (root.children.empty()) return std::nullopt;
+  return root;
+}
+
+inline void profiler_reset() { Profiler::instance().reset(); }
+
+#else  // ETRAIN_OBS_DISABLED
+
+inline std::optional<ProfileNode> profiler_snapshot() { return std::nullopt; }
+inline void profiler_reset() {}
+
+#endif  // ETRAIN_OBS_DISABLED
+
+}  // namespace etrain::obs
+
+#define ETRAIN_OBS_PP_CAT2(a, b) a##b
+#define ETRAIN_OBS_PP_CAT(a, b) ETRAIN_OBS_PP_CAT2(a, b)
+
+// Charges the wall time of the enclosing scope to `name` in the calling
+// thread's profile tree. Compiles out under ETRAIN_OBS_DISABLED.
+#if defined(ETRAIN_OBS_DISABLED)
+#define OBS_PROFILE_SCOPE(name) ((void)0)
+#else
+#define OBS_PROFILE_SCOPE(name)             \
+  ::etrain::obs::ProfileScope ETRAIN_OBS_PP_CAT( \
+      obs_profile_scope_, __LINE__)(name)
+#endif

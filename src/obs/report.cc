@@ -1,0 +1,446 @@
+#include "obs/report.h"
+
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace etrain::obs {
+
+namespace {
+
+/// %.17g — shortest round-trippable form, same as the trace exporters, so
+/// equal doubles always serialize to equal bytes.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kind_name(radio::TxKind kind) {
+  return kind == radio::TxKind::kHeartbeat ? "heartbeat" : "data";
+}
+
+/// Row sort key: interface, then kind, then app. Cellular sorts before
+/// wifi alphabetically, which is also the natural reading order.
+auto row_key(const LedgerRow& row) {
+  return std::make_tuple(row.interface_name,
+                         static_cast<int>(row.kind), row.app);
+}
+
+}  // namespace
+
+Joules EnergyLedger::total() const {
+  Joules sum = 0.0;
+  for (const auto& row : rows) sum += row.total();
+  return sum;
+}
+
+Joules EnergyLedger::kind_total(radio::TxKind kind) const {
+  Joules sum = 0.0;
+  for (const auto& row : rows) {
+    if (row.kind == kind) sum += row.total();
+  }
+  return sum;
+}
+
+void append_ledger(EnergyLedger& ledger, const std::string& interface_name,
+                   const radio::TransmissionLog& log,
+                   const radio::PowerModel& model, Duration horizon) {
+  // Same contract as measure_energy — a ledger built from a log the meter
+  // would reject would not cross-check against anything.
+  if (horizon < log.last_end() - 1e-9) {
+    throw std::invalid_argument(
+        "append_ledger: horizon ends before the last transmission");
+  }
+
+  auto row_for = [&](radio::TxKind kind, int app) -> LedgerRow& {
+    for (auto& row : ledger.rows) {
+      if (row.interface_name == interface_name && row.kind == kind &&
+          row.app == app) {
+        return row;
+      }
+    }
+    LedgerRow row;
+    row.interface_name = interface_name;
+    row.kind = kind;
+    row.app = app;
+    ledger.rows.push_back(std::move(row));
+    return ledger.rows.back();
+  };
+
+  // This loop is measure_energy's billing restated per (kind, app) bucket:
+  // data-phase energy at tx_extra_power, promotion at dch_extra_power, and
+  // the gap after each transmission split into DCH/FACH tail components and
+  // billed to the transmission that opened it. obs_report_test asserts the
+  // bucketed sums reproduce the meter's by-kind totals to 1e-9 J, so the two
+  // implementations cannot drift apart unnoticed.
+  const auto& entries = log.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const radio::Transmission& tx = entries[i];
+    LedgerRow& row = row_for(tx.kind, tx.app_id);
+
+    const Joules data_energy = model.tx_extra_power * tx.duration;
+    const Joules setup_energy = model.dch_extra_power * tx.setup;
+    row.tx_J += data_energy;
+    row.setup_J += setup_energy;
+    row.transmissions += 1;
+    row.airtime_s += tx.setup + tx.duration;
+    if (tx.failed) {
+      row.failures += 1;
+      row.failed_airtime_J += data_energy + setup_energy;
+      row.failed_airtime_s += tx.setup + tx.duration;
+    }
+
+    const TimePoint gap_end =
+        (i + 1 < entries.size()) ? entries[i + 1].start : horizon;
+    const Duration gap = std::max(0.0, gap_end - tx.end());
+    if (gap > 0.0) {
+      const Duration dch_part = std::min(gap, model.dch_tail);
+      const Duration fach_part =
+          std::clamp(gap - model.dch_tail, 0.0, model.fach_tail);
+      row.tail_J += model.dch_extra_power * dch_part +
+                    model.fach_extra_power * fach_part;
+    }
+  }
+
+  std::sort(ledger.rows.begin(), ledger.rows.end(),
+            [](const LedgerRow& a, const LedgerRow& b) {
+              return row_key(a) < row_key(b);
+            });
+}
+
+struct ArtifactLog::Impl {
+  std::mutex mutex;
+  std::vector<CsvArtifact> artifacts;
+};
+
+ArtifactLog::Impl& ArtifactLog::impl() {
+  static Impl instance;
+  return instance;
+}
+
+ArtifactLog& ArtifactLog::global() {
+  static ArtifactLog log;
+  return log;
+}
+
+void ArtifactLog::record(CsvArtifact artifact) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.artifacts.push_back(std::move(artifact));
+}
+
+std::vector<CsvArtifact> ArtifactLog::snapshot() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.artifacts;
+}
+
+void ArtifactLog::clear() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.artifacts.clear();
+}
+
+BuildInfo current_build_info() {
+  BuildInfo info;
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+  info.cxx_standard = static_cast<long>(__cplusplus);
+#if defined(ETRAIN_OBS_DISABLED)
+  info.obs_enabled = false;
+#else
+  info.obs_enabled = true;
+#endif
+#if defined(NDEBUG)
+  info.assertions = false;
+#else
+  info.assertions = true;
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  info.sanitizer = "address";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  info.sanitizer = "address";
+#else
+  info.sanitizer = "none";
+#endif
+#else
+  info.sanitizer = "none";
+#endif
+  return info;
+}
+
+namespace {
+
+void write_energy_report(std::ostream& out,
+                         const radio::EnergyReport& report) {
+  out << "{\"horizon_s\":" << num(report.horizon)
+      << ",\"idle_baseline_J\":" << num(report.idle_baseline)
+      << ",\"tx_J\":" << num(report.tx_energy)
+      << ",\"setup_J\":" << num(report.setup_energy)
+      << ",\"dch_tail_J\":" << num(report.dch_tail_energy)
+      << ",\"fach_tail_J\":" << num(report.fach_tail_energy)
+      << ",\"tail_J\":" << num(report.tail_energy())
+      << ",\"network_J\":" << num(report.network_energy())
+      << ",\"tx_by_kind_J\":{\"heartbeat\":"
+      << num(report.tx_energy_by_kind[0])
+      << ",\"data\":" << num(report.tx_energy_by_kind[1])
+      << "},\"tail_by_kind_J\":{\"heartbeat\":"
+      << num(report.tail_energy_by_kind[0])
+      << ",\"data\":" << num(report.tail_energy_by_kind[1])
+      << "},\"transmissions\":" << report.transmissions
+      << ",\"full_tails\":" << report.full_tails
+      << ",\"truncated_tails\":" << report.truncated_tails
+      << ",\"promotions\":" << report.promotions
+      << ",\"cold_starts\":" << report.cold_starts << "}";
+}
+
+void write_energy_section(std::ostream& out, const EnergySection& energy) {
+  out << "{\"network_J\":" << num(energy.network_J())
+      << ",\"tail_J\":" << num(energy.tail_J())
+      << ",\"transmissions\":" << energy.transmissions()
+      << ",\"cellular\":";
+  write_energy_report(out, energy.cellular);
+  out << ",\"wifi\":";
+  if (energy.wifi.has_value()) {
+    write_energy_report(out, *energy.wifi);
+  } else {
+    out << "null";
+  }
+  out << ",\"monsoon_J\":";
+  if (energy.monsoon_J.has_value()) {
+    out << num(*energy.monsoon_J);
+  } else {
+    out << "null";
+  }
+  out << "}";
+}
+
+void write_delay_section(std::ostream& out, const DelaySection& delay) {
+  out << "{\"packets\":" << delay.packets
+      << ",\"normalized_delay_s\":" << num(delay.normalized_delay_s)
+      << ",\"violation_ratio\":" << num(delay.violation_ratio)
+      << ",\"total_delay_cost\":" << num(delay.total_delay_cost) << "}";
+}
+
+void write_ledger(std::ostream& out, const EnergyLedger& ledger) {
+  out << "{\"total_J\":" << num(ledger.total()) << ",\"heartbeat_J\":"
+      << num(ledger.kind_total(radio::TxKind::kHeartbeat))
+      << ",\"data_J\":" << num(ledger.kind_total(radio::TxKind::kData))
+      << ",\"rows\":[";
+  for (std::size_t i = 0; i < ledger.rows.size(); ++i) {
+    const LedgerRow& row = ledger.rows[i];
+    if (i > 0) out << ",";
+    out << "{\"interface\":\"" << escape(row.interface_name)
+        << "\",\"kind\":\"" << kind_name(row.kind)
+        << "\",\"app\":" << row.app << ",\"tx_J\":" << num(row.tx_J)
+        << ",\"setup_J\":" << num(row.setup_J)
+        << ",\"tail_J\":" << num(row.tail_J)
+        << ",\"total_J\":" << num(row.total())
+        << ",\"failed_airtime_J\":" << num(row.failed_airtime_J)
+        << ",\"transmissions\":" << row.transmissions
+        << ",\"failures\":" << row.failures
+        << ",\"airtime_s\":" << num(row.airtime_s)
+        << ",\"failed_airtime_s\":" << num(row.failed_airtime_s) << "}";
+  }
+  out << "]}";
+}
+
+void write_metrics(std::ostream& out, const MetricsSnapshot& metrics) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(metrics.counters[i].name)
+        << "\":" << metrics.counters[i].value;
+  }
+  out << "},\"histograms\":[";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const HistogramSnapshot& h = metrics.histograms[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << escape(h.name) << "\",\"count\":" << h.count
+        << ",\"sum\":" << num(h.sum) << ",\"min\":" << num(h.min)
+        << ",\"max\":" << num(h.max) << ",\"mean\":" << num(h.mean())
+        << ",\"p50\":" << num(h.quantile(0.50))
+        << ",\"p95\":" << num(h.quantile(0.95))
+        << ",\"p99\":" << num(h.quantile(0.99)) << ",\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) out << ",";
+      out << num(h.bounds[j]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) out << ",";
+      out << h.counts[j];
+    }
+    out << "]}";
+  }
+  out << "]}";
+}
+
+void write_artifact(std::ostream& out, const CsvArtifact& artifact) {
+  out << "{\"file\":\"" << escape(artifact.file)
+      << "\",\"rows\":" << artifact.rows << ",\"column_sums\":{";
+  for (std::size_t i = 0; i < artifact.column_sums.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(artifact.column_sums[i].first)
+        << "\":" << num(artifact.column_sums[i].second);
+  }
+  out << "}}";
+}
+
+void write_profile(std::ostream& out, const ProfileNode& node) {
+  out << "{\"name\":\"" << escape(node.name)
+      << "\",\"seconds\":" << num(node.seconds)
+      << ",\"calls\":" << node.calls << ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out << ",";
+    write_profile(out, node.children[i]);
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_run_report(std::ostream& out, const RunReport& report) {
+  out << "{\"schema\":\"" << kReportSchemaName
+      << "\",\"version\":" << kReportSchemaVersion << ",\"bench\":\""
+      << escape(report.bench) << "\",\"provenance\":{";
+  for (std::size_t i = 0; i < report.provenance.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(report.provenance[i].first) << "\":\""
+        << escape(report.provenance[i].second) << "\"";
+  }
+  out << "},\"build\":{\"compiler\":\"" << escape(report.build.compiler)
+      << "\",\"cxx\":" << report.build.cxx_standard << ",\"obs\":"
+      << (report.build.obs_enabled ? "true" : "false") << ",\"assertions\":"
+      << (report.build.assertions ? "true" : "false") << ",\"sanitizer\":\""
+      << escape(report.build.sanitizer) << "\"},\"results\":{";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(report.results[i].first)
+        << "\":" << num(report.results[i].second);
+  }
+  out << "},\"energy\":";
+  if (report.energy.has_value()) {
+    write_energy_section(out, *report.energy);
+  } else {
+    out << "null";
+  }
+  out << ",\"delay\":";
+  if (report.delay.has_value()) {
+    write_delay_section(out, *report.delay);
+  } else {
+    out << "null";
+  }
+  out << ",\"ledger\":";
+  if (report.ledger.has_value()) {
+    write_ledger(out, *report.ledger);
+  } else {
+    out << "null";
+  }
+  out << ",\"metrics\":";
+  if (report.metrics.has_value() && !report.metrics->empty()) {
+    write_metrics(out, *report.metrics);
+  } else {
+    out << "null";
+  }
+  out << ",\"artifacts\":[";
+  for (std::size_t i = 0; i < report.artifacts.size(); ++i) {
+    if (i > 0) out << ",";
+    write_artifact(out, report.artifacts[i]);
+  }
+  // Everything below this line is the non-compared zone: values here may
+  // differ between byte-identical runs (docs/determinism.md).
+  out << "],\"environment\":{";
+  for (std::size_t i = 0; i < report.environment.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << escape(report.environment[i].first)
+        << "\":" << num(report.environment[i].second);
+  }
+  out << "},\"profile\":";
+  if (report.profile.has_value()) {
+    write_profile(out, *report.profile);
+  } else {
+    out << "null";
+  }
+  out << "}\n";
+}
+
+void write_run_report_file(const std::string& path,
+                           const RunReport& report) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_run_report_file: cannot open " + path);
+  }
+  write_run_report(out, report);
+  if (!out) {
+    throw std::runtime_error("write_run_report_file: write failed for " +
+                             path);
+  }
+}
+
+void finalize_run_report(const std::string& path, RunReport report) {
+  bool has_jobs = false;
+  for (const auto& entry : report.environment) {
+    if (entry.first == "jobs") has_jobs = true;
+  }
+  if (!has_jobs) {
+    report.add_environment("jobs", static_cast<double>(default_jobs()));
+  }
+  if (report.artifacts.empty()) {
+    report.artifacts = ArtifactLog::global().snapshot();
+  }
+  if (!report.profile.has_value()) {
+    report.profile = profiler_snapshot();
+  }
+  write_run_report_file(path, report);
+  std::ostringstream line;
+  line << "report: " << report.bench << " -> " << path << "\n";
+  std::fputs(line.str().c_str(), stdout);
+}
+
+}  // namespace etrain::obs

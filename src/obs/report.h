@@ -1,0 +1,218 @@
+// End-of-run reports: the machine-readable record that makes two bench
+// runs mechanically comparable.
+//
+// PR 2 built the in-run primitives (TraceEvents, counters, histograms);
+// a RunReport is the layer above: one self-describing JSON document per
+// bench invocation that ties every metric to the exact provenance that
+// produced it — policy spec, scenario knobs, seeds, device preset, build
+// flags — in the spirit of measurement-first energy papers where every
+// joule claim is anchored to a reproducible record.
+//
+// Sections, in serialization order (docs/observability.md has the schema):
+//   schema/version/bench   self-description
+//   provenance             ordered key -> string manifest (policy spec from
+//                          core::PolicyRegistry, scenario description,
+//                          seeds, device preset...)
+//   build                  compiler / obs / sanitizer flags of the binary
+//   results                headline digest scalars (name -> double)
+//   energy                 the full EnergyReport decomposition (cellular +
+//                          optional Wi-Fi + optional Monsoon cross-check)
+//   delay                  normalized delay / violation / total cost
+//   ledger                 the per-interface / per-TxKind / per-app
+//                          energy-attribution ledger (Fig. 10(a)'s red and
+//                          blue bars in machine-readable form)
+//   metrics                the MetricsSnapshot with p50/p95/p99 quantiles
+//                          (null when observability is detached/disabled)
+//   artifacts              CSV files the bench exported, with row counts
+//                          and column sums for cross-validation
+//   environment            NON-COMPARED: jobs etc. (varies run to run)
+//   profile                NON-COMPARED: the wall-clock profiler tree
+//
+// Determinism contract (docs/determinism.md): everything above
+// `environment` must be byte-identical between serial and parallel runs of
+// the same bench; wall-clock and concurrency facts are quarantined below.
+// The writer serializes with fixed key order and %.17g doubles so equal
+// runs produce equal bytes.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "radio/energy_meter.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::obs {
+
+inline constexpr const char* kReportSchemaName = "etrain-run-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/// One (interface, kind, app) row of the energy-attribution ledger.
+/// tx/setup/tail mirror the EnergyMeter's attribution exactly: every
+/// attempt's data-phase and promotion energy lands in tx_J/setup_J (failed
+/// attempts included — loss wastes energy, that is the point), and the
+/// tail a transmission opens is billed to its row. failed_airtime_J is an
+/// *overlay*, not an addend: the share of tx_J + setup_J burned by failed
+/// attempts.
+struct LedgerRow {
+  std::string interface_name = "cellular";  ///< "cellular" | "wifi"
+  radio::TxKind kind = radio::TxKind::kData;
+  int app = 0;
+  Joules tx_J = 0.0;
+  Joules setup_J = 0.0;
+  Joules tail_J = 0.0;
+  Joules failed_airtime_J = 0.0;  ///< subset of tx_J + setup_J
+  std::size_t transmissions = 0;
+  std::size_t failures = 0;
+  Duration airtime_s = 0.0;
+  Duration failed_airtime_s = 0.0;
+
+  Joules total() const { return tx_J + setup_J + tail_J; }
+};
+
+/// The full attribution ledger. Rows are sorted by (interface, kind, app);
+/// total() equals RunMetrics::network_energy() to 1e-9 J (report_check and
+/// obs_report_test enforce this).
+struct EnergyLedger {
+  std::vector<LedgerRow> rows;
+
+  Joules total() const;
+  /// Sum of row totals for one kind across interfaces.
+  Joules kind_total(radio::TxKind kind) const;
+};
+
+/// Appends `log`'s attribution rows (replayed against `model` over
+/// [0, horizon] with exactly the EnergyMeter's billing rules) and keeps the
+/// ledger sorted. Horizon must satisfy the meter's contract
+/// (>= log.last_end()).
+void append_ledger(EnergyLedger& ledger, const std::string& interface_name,
+                   const radio::TransmissionLog& log,
+                   const radio::PowerModel& model, Duration horizon);
+
+/// The energy section: the cellular EnergyReport, the Wi-Fi one when the
+/// run used a second interface, and the simulated Monsoon integral when a
+/// power monitor was attached.
+struct EnergySection {
+  radio::EnergyReport cellular;
+  std::optional<radio::EnergyReport> wifi;
+  std::optional<Joules> monsoon_J;
+
+  Joules network_J() const {
+    return cellular.network_energy() +
+           (wifi.has_value() ? wifi->network_energy() : 0.0);
+  }
+  Joules tail_J() const {
+    return cellular.tail_energy() +
+           (wifi.has_value() ? wifi->tail_energy() : 0.0);
+  }
+  std::size_t transmissions() const {
+    return cellular.transmissions +
+           (wifi.has_value() ? wifi->transmissions : 0);
+  }
+};
+
+/// The delay side of the paper's evaluation triple.
+struct DelaySection {
+  std::size_t packets = 0;
+  double normalized_delay_s = 0.0;
+  double violation_ratio = 0.0;
+  double total_delay_cost = 0.0;
+};
+
+/// One CSV file a bench exported: its path as written, data-row count and
+/// per-column sums, letting report_check re-read the file and re-sum to
+/// 1e-9 — the report and the plot data can never drift apart silently.
+struct CsvArtifact {
+  std::string file;
+  std::size_t rows = 0;
+  std::vector<std::pair<std::string, double>> column_sums;
+};
+
+/// Process-global collector of exported CSV artifacts. The figure-export
+/// helpers record here as a side effect; finalize_run_report() drains the
+/// collection into the report. One bench process = one report, so a global
+/// is the honest scope; the mutex exists only for exports inside parallel
+/// sections.
+class ArtifactLog {
+ public:
+  static ArtifactLog& global();
+  void record(CsvArtifact artifact);
+  std::vector<CsvArtifact> snapshot() const;
+  void clear();
+
+ private:
+  struct Impl;
+  static Impl& impl();
+};
+
+/// Build facts of the reporting binary, recovered from predefined macros.
+struct BuildInfo {
+  std::string compiler;      ///< __VERSION__
+  long cxx_standard = 0;     ///< __cplusplus
+  bool obs_enabled = true;   ///< false under ETRAIN_OBS_DISABLED
+  bool assertions = true;    ///< false under NDEBUG
+  std::string sanitizer;     ///< "none" | "address" | "undefined"
+};
+
+/// The BuildInfo of this translation of the library.
+BuildInfo current_build_info();
+
+/// The complete report model. Benches fill bench/provenance/results and
+/// whatever run sections they have, then call write_run_report_file()
+/// (usually via finalize_run_report, which stamps build/environment/
+/// artifacts/profile automatically).
+struct RunReport {
+  std::string bench;
+
+  /// Ordered manifest entries; keys should be unique (first wins in
+  /// readers). add_provenance() appends.
+  std::vector<std::pair<std::string, std::string>> provenance;
+
+  /// Headline digest scalars, in insertion order. Deterministic values
+  /// only — wall-clock numbers belong in `environment`.
+  std::vector<std::pair<std::string, double>> results;
+
+  std::optional<EnergySection> energy;
+  std::optional<DelaySection> delay;
+  std::optional<EnergyLedger> ledger;
+  /// Null when the run had no Registry attached or observability is
+  /// compiled out — the manifest and energy sections survive either way.
+  std::optional<MetricsSnapshot> metrics;
+
+  std::vector<CsvArtifact> artifacts;
+
+  /// NON-COMPARED sections (see header comment).
+  std::vector<std::pair<std::string, double>> environment;
+  std::optional<ProfileNode> profile;
+
+  BuildInfo build = current_build_info();
+
+  void add_provenance(std::string key, std::string value) {
+    provenance.emplace_back(std::move(key), std::move(value));
+  }
+  void add_result(std::string name, double value) {
+    results.emplace_back(std::move(name), value);
+  }
+  void add_environment(std::string name, double value) {
+    environment.emplace_back(std::move(name), value);
+  }
+};
+
+/// Serializes the report as deterministic JSON (fixed key order, %.17g
+/// doubles, no whitespace variance).
+void write_run_report(std::ostream& out, const RunReport& report);
+
+/// write_run_report to `path`; throws std::runtime_error on I/O failure.
+void write_run_report_file(const std::string& path, const RunReport& report);
+
+/// Stamps the cross-cutting sections every bench report shares — jobs into
+/// `environment`, the drained ArtifactLog into `artifacts` (unless the
+/// bench already filled it) and the profiler snapshot into `profile` —
+/// then writes to `path` and prints one "report: ... -> path" line.
+void finalize_run_report(const std::string& path, RunReport report);
+
+}  // namespace etrain::obs

@@ -1,0 +1,619 @@
+#include "obs/report_check.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json_reader.h"
+#include "obs/report.h"
+
+namespace etrain::obs {
+
+namespace {
+
+using jsonio::JsonReader;
+
+constexpr double kJouleTolerance = 1e-9;
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+/// abs-difference check with a uniform error message.
+void require_close(JsonReader& reader, const std::string& what, double got,
+                   double expected) {
+  if (std::fabs(got - expected) > kJouleTolerance) {
+    reader.fail(what + ": " + fmt(got) + " != " + fmt(expected));
+  }
+}
+
+/// The by-kind decomposition of one parsed EnergyReport object.
+struct ParsedEnergyReport {
+  double tx = 0.0, setup = 0.0, dch_tail = 0.0, fach_tail = 0.0;
+  double tail = 0.0, network = 0.0;
+  double tx_by_kind[2] = {0.0, 0.0};
+  double tail_by_kind[2] = {0.0, 0.0};
+  double transmissions = 0.0;
+};
+
+ParsedEnergyReport parse_energy_report(JsonReader& reader) {
+  ParsedEnergyReport r;
+  reader.parse_object([&](const std::string& key) {
+    if (key == "tx_J") {
+      r.tx = reader.parse_number();
+    } else if (key == "setup_J") {
+      r.setup = reader.parse_number();
+    } else if (key == "dch_tail_J") {
+      r.dch_tail = reader.parse_number();
+    } else if (key == "fach_tail_J") {
+      r.fach_tail = reader.parse_number();
+    } else if (key == "tail_J") {
+      r.tail = reader.parse_number();
+    } else if (key == "network_J") {
+      r.network = reader.parse_number();
+    } else if (key == "tx_by_kind_J") {
+      reader.parse_object([&](const std::string& kind) {
+        if (kind == "heartbeat") {
+          r.tx_by_kind[0] = reader.parse_number();
+        } else if (kind == "data") {
+          r.tx_by_kind[1] = reader.parse_number();
+        } else {
+          reader.fail("unknown kind '" + kind + "' in tx_by_kind_J");
+        }
+      });
+    } else if (key == "tail_by_kind_J") {
+      reader.parse_object([&](const std::string& kind) {
+        if (kind == "heartbeat") {
+          r.tail_by_kind[0] = reader.parse_number();
+        } else if (kind == "data") {
+          r.tail_by_kind[1] = reader.parse_number();
+        } else {
+          reader.fail("unknown kind '" + kind + "' in tail_by_kind_J");
+        }
+      });
+    } else if (key == "transmissions") {
+      r.transmissions = reader.parse_number();
+    } else {
+      reader.skip_value();
+    }
+  });
+  // The decompositions must be self-consistent before any cross-section
+  // comparison is meaningful.
+  require_close(reader, "energy report tail_J != dch + fach", r.tail,
+                r.dch_tail + r.fach_tail);
+  require_close(reader, "energy report network_J != tx + setup + tail",
+                r.network, r.tx + r.setup + r.tail);
+  require_close(reader, "tx_by_kind_J does not sum to tx_J",
+                r.tx_by_kind[0] + r.tx_by_kind[1], r.tx);
+  require_close(reader, "tail_by_kind_J does not sum to tail_J",
+                r.tail_by_kind[0] + r.tail_by_kind[1], r.tail);
+  return r;
+}
+
+/// The per-kind ledger aggregates the cross-section checks compare.
+struct LedgerTotals {
+  double total = 0.0;
+  double declared_total = 0.0;
+  double declared_by_kind[2] = {0.0, 0.0};
+  double tx_by_kind[2] = {0.0, 0.0};
+  double tail_by_kind[2] = {0.0, 0.0};
+  double setup = 0.0;
+  double transmissions = 0.0;
+  std::size_t rows = 0;
+};
+
+LedgerTotals parse_ledger(JsonReader& reader) {
+  LedgerTotals totals;
+  // Previous row's sort key, for the ordering check.
+  std::string prev_interface;
+  int prev_kind = -1;
+  double prev_app = -1.0;
+  bool have_prev = false;
+
+  reader.parse_object([&](const std::string& key) {
+    if (key == "total_J") {
+      totals.declared_total = reader.parse_number();
+    } else if (key == "heartbeat_J") {
+      totals.declared_by_kind[0] = reader.parse_number();
+    } else if (key == "data_J") {
+      totals.declared_by_kind[1] = reader.parse_number();
+    } else if (key == "rows") {
+      reader.parse_array([&] {
+        std::string iface, kind_name;
+        double app = 0.0, tx = 0.0, setup = 0.0, tail = 0.0, total = 0.0;
+        double failed_airtime = 0.0, transmissions = 0.0, failures = 0.0;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "interface") {
+            iface = reader.parse_string();
+          } else if (field == "kind") {
+            kind_name = reader.parse_string();
+          } else if (field == "app") {
+            app = reader.parse_number();
+          } else if (field == "tx_J") {
+            tx = reader.parse_number();
+          } else if (field == "setup_J") {
+            setup = reader.parse_number();
+          } else if (field == "tail_J") {
+            tail = reader.parse_number();
+          } else if (field == "total_J") {
+            total = reader.parse_number();
+          } else if (field == "failed_airtime_J") {
+            failed_airtime = reader.parse_number();
+          } else if (field == "transmissions") {
+            transmissions = reader.parse_number();
+          } else if (field == "failures") {
+            failures = reader.parse_number();
+          } else {
+            reader.skip_value();
+          }
+        });
+        int kind;
+        if (kind_name == "heartbeat") {
+          kind = 0;
+        } else if (kind_name == "data") {
+          kind = 1;
+        } else {
+          reader.fail("ledger row with unknown kind '" + kind_name + "'");
+        }
+        require_close(reader, "ledger row total_J != tx + setup + tail",
+                      total, tx + setup + tail);
+        if (failed_airtime > tx + setup + kJouleTolerance) {
+          reader.fail("ledger row failed_airtime_J exceeds tx_J + setup_J");
+        }
+        if (failures > transmissions) {
+          reader.fail("ledger row failures exceed transmissions");
+        }
+        if (have_prev) {
+          const auto prev = std::make_tuple(prev_interface, prev_kind,
+                                            prev_app);
+          const auto cur = std::make_tuple(iface, kind, app);
+          if (!(prev < cur)) {
+            reader.fail("ledger rows not sorted by (interface, kind, app)");
+          }
+        }
+        prev_interface = iface;
+        prev_kind = kind;
+        prev_app = app;
+        have_prev = true;
+
+        totals.rows += 1;
+        totals.total += total;
+        totals.tx_by_kind[kind] += tx;
+        totals.tail_by_kind[kind] += tail;
+        totals.setup += setup;
+        totals.transmissions += transmissions;
+      });
+    } else {
+      reader.skip_value();
+    }
+  });
+  require_close(reader, "ledger total_J != sum of row totals",
+                totals.declared_total, totals.total);
+  require_close(
+      reader, "ledger heartbeat_J + data_J != total_J",
+      totals.declared_by_kind[0] + totals.declared_by_kind[1],
+      totals.declared_total);
+  return totals;
+}
+
+void check_metrics(JsonReader& reader) {
+  reader.parse_object([&](const std::string& key) {
+    if (key == "counters") {
+      reader.parse_object([&](const std::string&) {
+        const double value = reader.parse_number();
+        if (value < 0.0) reader.fail("negative counter value");
+      });
+    } else if (key == "histograms") {
+      reader.parse_array([&] {
+        std::string name;
+        double count = 0.0, min = 0.0, max = 0.0;
+        double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+        std::size_t bounds = 0;
+        double bucket_sum = 0.0;
+        std::size_t buckets = 0;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "name") {
+            name = reader.parse_string();
+          } else if (field == "count") {
+            count = reader.parse_number();
+          } else if (field == "min") {
+            min = reader.parse_number();
+          } else if (field == "max") {
+            max = reader.parse_number();
+          } else if (field == "p50") {
+            p50 = reader.parse_number();
+          } else if (field == "p95") {
+            p95 = reader.parse_number();
+          } else if (field == "p99") {
+            p99 = reader.parse_number();
+          } else if (field == "bounds") {
+            reader.parse_array([&] {
+              reader.parse_number();
+              ++bounds;
+            });
+          } else if (field == "counts") {
+            reader.parse_array([&] {
+              bucket_sum += reader.parse_number();
+              ++buckets;
+            });
+          } else {
+            reader.skip_value();
+          }
+        });
+        if (buckets != bounds + 1) {
+          reader.fail("histogram '" + name +
+                      "': counts length != bounds length + 1");
+        }
+        if (bucket_sum != count) {
+          reader.fail("histogram '" + name +
+                      "': bucket counts do not sum to count");
+        }
+        if (count > 0.0) {
+          if (!(p50 <= p95 && p95 <= p99)) {
+            reader.fail("histogram '" + name +
+                        "': quantiles not monotone (p50 <= p95 <= p99)");
+          }
+          if (p50 < min - kJouleTolerance || p99 > max + kJouleTolerance) {
+            reader.fail("histogram '" + name +
+                        "': quantiles outside [min, max]");
+          }
+        }
+      });
+    } else {
+      reader.skip_value();
+    }
+  });
+}
+
+void check_profile_node(JsonReader& reader, int depth) {
+  if (depth > 64) reader.fail("profile tree too deep");
+  bool has_name = false;
+  reader.parse_object([&](const std::string& field) {
+    if (field == "name") {
+      if (reader.parse_string().empty()) {
+        reader.fail("profile node with empty name");
+      }
+      has_name = true;
+    } else if (field == "seconds") {
+      if (reader.parse_number() < 0.0) {
+        reader.fail("profile node with negative seconds");
+      }
+    } else if (field == "calls") {
+      reader.parse_number();
+    } else if (field == "children") {
+      reader.parse_array([&] { check_profile_node(reader, depth + 1); });
+    } else {
+      reader.skip_value();
+    }
+  });
+  if (!has_name) reader.fail("profile node without name");
+}
+
+}  // namespace
+
+ReportCheckResult check_run_report(const std::string& json) {
+  ReportCheckResult result;
+  JsonReader reader(json);
+  try {
+    bool saw_schema = false, saw_build = false, saw_provenance = false;
+    std::optional<ParsedEnergyReport> cellular;
+    std::optional<ParsedEnergyReport> wifi;
+    std::optional<double> section_network, section_tail, section_tx_count;
+    std::optional<LedgerTotals> ledger;
+
+    reader.parse_object([&](const std::string& key) {
+      if (key == "schema") {
+        const std::string schema = reader.parse_string();
+        if (schema != kReportSchemaName) {
+          reader.fail("unknown schema '" + schema + "'");
+        }
+        saw_schema = true;
+      } else if (key == "version") {
+        result.version = static_cast<int>(reader.parse_number());
+        if (result.version != kReportSchemaVersion) {
+          reader.fail("unsupported report version " +
+                      std::to_string(result.version));
+        }
+      } else if (key == "bench") {
+        result.bench = reader.parse_string();
+        if (result.bench.empty()) reader.fail("empty bench name");
+      } else if (key == "provenance") {
+        saw_provenance = true;
+        reader.parse_object([&](const std::string&) {
+          reader.parse_string();
+          ++result.provenance_entries;
+        });
+      } else if (key == "build") {
+        saw_build = true;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "obs") {
+            result.obs_enabled = reader.parse_bool();
+          } else if (field == "compiler") {
+            if (reader.parse_string().empty()) {
+              reader.fail("empty build.compiler");
+            }
+          } else {
+            reader.skip_value();
+          }
+        });
+      } else if (key == "results") {
+        reader.parse_object([&](const std::string& name) {
+          const double value = reader.parse_number();
+          if (std::isnan(value)) {
+            reader.fail("result '" + name + "' is NaN");
+          }
+          ++result.results;
+        });
+      } else if (key == "energy") {
+        if (reader.consume_null()) return;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "network_J") {
+            section_network = reader.parse_number();
+          } else if (field == "tail_J") {
+            section_tail = reader.parse_number();
+          } else if (field == "transmissions") {
+            section_tx_count = reader.parse_number();
+          } else if (field == "cellular") {
+            cellular = parse_energy_report(reader);
+          } else if (field == "wifi") {
+            if (!reader.consume_null()) {
+              wifi = parse_energy_report(reader);
+            }
+          } else {
+            reader.skip_value();
+          }
+        });
+        if (!cellular.has_value()) {
+          reader.fail("energy section without cellular report");
+        }
+        const double wifi_network =
+            wifi.has_value() ? wifi->network : 0.0;
+        require_close(reader,
+                      "energy network_J != cellular + wifi network",
+                      section_network.value_or(-1.0),
+                      cellular->network + wifi_network);
+        require_close(reader, "energy tail_J != cellular + wifi tail",
+                      section_tail.value_or(-1.0),
+                      cellular->tail + (wifi.has_value() ? wifi->tail : 0.0));
+      } else if (key == "delay") {
+        if (reader.consume_null()) return;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "violation_ratio") {
+            const double v = reader.parse_number();
+            if (v < 0.0 || v > 1.0 + kJouleTolerance) {
+              reader.fail("violation_ratio outside [0, 1]");
+            }
+          } else {
+            reader.skip_value();
+          }
+        });
+      } else if (key == "ledger") {
+        if (reader.consume_null()) return;
+        ledger = parse_ledger(reader);
+        result.ledger_rows = ledger->rows;
+        result.ledger_total_J = ledger->declared_total;
+      } else if (key == "metrics") {
+        if (reader.consume_null()) return;
+        result.metrics_present = true;
+        check_metrics(reader);
+      } else if (key == "artifacts") {
+        reader.parse_array([&] {
+          ReportCheckResult::Artifact artifact;
+          reader.parse_object([&](const std::string& field) {
+            if (field == "file") {
+              artifact.file = reader.parse_string();
+            } else if (field == "rows") {
+              artifact.rows =
+                  static_cast<std::size_t>(reader.parse_number());
+            } else if (field == "column_sums") {
+              reader.parse_object([&](const std::string& column) {
+                artifact.column_sums.emplace_back(column,
+                                                  reader.parse_number());
+              });
+            } else {
+              reader.skip_value();
+            }
+          });
+          if (artifact.file.empty()) {
+            reader.fail("artifact without file name");
+          }
+          result.artifacts.push_back(std::move(artifact));
+        });
+      } else if (key == "environment") {
+        reader.parse_object(
+            [&](const std::string&) { reader.parse_number(); });
+      } else if (key == "profile") {
+        if (reader.consume_null()) return;
+        result.profile_present = true;
+        check_profile_node(reader, 0);
+      } else {
+        reader.skip_value();
+      }
+    });
+    if (!reader.at_end()) reader.fail("trailing garbage after report");
+    if (!saw_schema) reader.fail("missing schema field");
+    if (!saw_provenance) reader.fail("missing provenance section");
+    if (!saw_build) reader.fail("missing build section");
+    if (result.bench.empty()) reader.fail("missing bench field");
+
+    if (section_network.has_value()) {
+      result.network_J = section_network;
+      result.tail_J = section_tail;
+      result.transmissions = section_tx_count;
+    }
+
+    // The headline cross-section invariant: the attribution ledger is a
+    // *partition* of the run's network energy — every joule lands in
+    // exactly one (interface, kind, app) bucket.
+    if (ledger.has_value() && cellular.has_value()) {
+      const ParsedEnergyReport* reports[2] = {
+          &cellular.value(), wifi.has_value() ? &wifi.value() : nullptr};
+      double tx_by_kind[2] = {0.0, 0.0};
+      double tail_by_kind[2] = {0.0, 0.0};
+      double setup = 0.0;
+      double transmissions = 0.0;
+      for (const ParsedEnergyReport* r : reports) {
+        if (r == nullptr) continue;
+        for (int k = 0; k < 2; ++k) {
+          tx_by_kind[k] += r->tx_by_kind[k];
+          tail_by_kind[k] += r->tail_by_kind[k];
+        }
+        setup += r->setup;
+        transmissions += r->transmissions;
+      }
+      require_close(reader, "ledger total_J != energy network_J",
+                    ledger->declared_total, *section_network);
+      require_close(reader, "ledger heartbeat tx_J != meter by-kind tx",
+                    ledger->tx_by_kind[0], tx_by_kind[0]);
+      require_close(reader, "ledger data tx_J != meter by-kind tx",
+                    ledger->tx_by_kind[1], tx_by_kind[1]);
+      require_close(reader, "ledger heartbeat tail_J != meter by-kind tail",
+                    ledger->tail_by_kind[0], tail_by_kind[0]);
+      require_close(reader, "ledger data tail_J != meter by-kind tail",
+                    ledger->tail_by_kind[1], tail_by_kind[1]);
+      require_close(reader, "ledger setup_J != meter setup energy",
+                    ledger->setup, setup);
+      if (ledger->transmissions != transmissions) {
+        reader.fail("ledger transmissions != meter transmissions");
+      }
+    }
+  } catch (const std::string& error) {
+    result.error = error;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+ReportCheckResult check_run_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ReportCheckResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return check_run_report(buffer.str());
+}
+
+std::string cross_check_trace(const ReportCheckResult& report,
+                              const TraceCheckResult& trace) {
+  if (!report.ok) return "report failed validation: " + report.error;
+  if (!trace.ok) return "trace failed validation: " + trace.error;
+  if (!report.network_J.has_value()) {
+    return "report has no energy section to compare";
+  }
+  if (!trace.reported_network.has_value() ||
+      !trace.reported_tail.has_value()) {
+    return "trace has no RunSummary to compare";
+  }
+  if (std::fabs(*report.network_J - *trace.reported_network) >
+      kJouleTolerance) {
+    return "network energy mismatch: report " + fmt(*report.network_J) +
+           " J vs trace " + fmt(*trace.reported_network) + " J";
+  }
+  if (report.tail_J.has_value() &&
+      std::fabs(*report.tail_J - *trace.reported_tail) > kJouleTolerance) {
+    return "tail energy mismatch: report " + fmt(*report.tail_J) +
+           " J vs trace " + fmt(*trace.reported_tail) + " J";
+  }
+  if (report.transmissions.has_value() &&
+      trace.reported_transmissions.has_value() &&
+      *report.transmissions != *trace.reported_transmissions) {
+    return "transmission count mismatch: report " +
+           fmt(*report.transmissions) + " vs trace " +
+           fmt(*trace.reported_transmissions);
+  }
+  return "";
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+std::string cross_check_artifacts(const ReportCheckResult& report,
+                                  const std::string& base_dir) {
+  if (!report.ok) return "report failed validation: " + report.error;
+  for (const auto& artifact : report.artifacts) {
+    std::string path = artifact.file;
+    if (!base_dir.empty() && !path.empty() && path.front() != '/') {
+      path = base_dir + "/" + path;
+    }
+    std::ifstream in(path);
+    if (!in) return "artifact missing: " + path;
+
+    std::string line;
+    if (!std::getline(in, line)) return "artifact empty: " + path;
+    const std::vector<std::string> header = split_csv_line(line);
+
+    // Column index for every recorded sum.
+    std::vector<std::size_t> indices;
+    for (const auto& [column, sum] : artifact.column_sums) {
+      (void)sum;
+      std::size_t index = header.size();
+      for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == column) index = i;
+      }
+      if (index == header.size()) {
+        return "artifact " + path + " lost column '" + column + "'";
+      }
+      indices.push_back(index);
+    }
+
+    std::size_t rows = 0;
+    std::vector<double> sums(artifact.column_sums.size(), 0.0);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::vector<std::string> cells = split_csv_line(line);
+      if (cells.size() != header.size()) {
+        return "artifact " + path + " has a ragged row";
+      }
+      ++rows;
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        char* end = nullptr;
+        const double value = std::strtod(cells[indices[i]].c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+          return "artifact " + path + " has non-numeric cell '" +
+                 cells[indices[i]] + "'";
+        }
+        sums[i] += value;
+      }
+    }
+    if (rows != artifact.rows) {
+      return "artifact " + path + " row count " + std::to_string(rows) +
+             " != recorded " + std::to_string(artifact.rows);
+    }
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      if (std::fabs(sums[i] - artifact.column_sums[i].second) >
+          kJouleTolerance) {
+        return "artifact " + path + " column '" +
+               artifact.column_sums[i].first + "' sum " + fmt(sums[i]) +
+               " != recorded " + fmt(artifact.column_sums[i].second);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,89 @@
+// Validator for RunReport JSON files — the sibling of trace_check.
+//
+// Three layers of checking, each usable separately:
+//
+//   check_run_report(json)        structural + internal invariants: schema
+//                                 id and version, mandatory sections, every
+//                                 ledger row's total equals tx+setup+tail,
+//                                 ledger total equals the energy section's
+//                                 network_J, per-kind tx/tail sums across
+//                                 rows equal the EnergyReports' by-kind
+//                                 arrays, histogram bucket counts sum to
+//                                 the sample count and p50 <= p95 <= p99 —
+//                                 all joule comparisons to 1e-9.
+//   cross_check_trace(...)        the report agrees with the Chrome trace
+//                                 of the same run (RunSummary's
+//                                 network_energy_J / reported_tail_J /
+//                                 transmissions) to 1e-9 J.
+//   cross_check_artifacts(...)    every CSV artifact the report lists still
+//                                 exists, has the recorded row count, and
+//                                 re-summing each numeric column reproduces
+//                                 the recorded sums to 1e-9 — the report
+//                                 and the plot data cannot drift apart.
+//
+// Used as a ctest (obs_report_test) and by the `report_check` CLI that
+// scripts/check.sh runs on every BENCH_*.json the quick bench suite emits.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+namespace etrain::obs {
+
+/// What check_run_report extracted; valid (beyond `ok`/`error`) only when
+/// ok. The parsed artifact table rides along so cross_check_artifacts can
+/// re-verify files without re-parsing the JSON.
+struct ReportCheckResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+
+  std::string bench;
+  int version = 0;
+  std::size_t provenance_entries = 0;
+  std::size_t results = 0;
+  std::size_t ledger_rows = 0;
+  bool metrics_present = false;  ///< false is legal (detached/disabled runs)
+  bool profile_present = false;
+  bool obs_enabled = true;  ///< build.obs of the emitting binary
+
+  /// Energy section digest, when the report has one.
+  std::optional<double> network_J;
+  std::optional<double> tail_J;
+  std::optional<double> transmissions;
+  /// Ledger grand total, when the report has a ledger.
+  std::optional<double> ledger_total_J;
+
+  struct Artifact {
+    std::string file;
+    std::size_t rows = 0;
+    std::vector<std::pair<std::string, double>> column_sums;
+  };
+  std::vector<Artifact> artifacts;
+};
+
+/// Validates the JSON text of one run report.
+ReportCheckResult check_run_report(const std::string& json);
+
+/// Reads and validates a report file; a missing/unreadable file fails.
+ReportCheckResult check_run_report_file(const std::string& path);
+
+/// Cross-validates a checked report against the checked trace of the same
+/// run. Returns an empty string on agreement, else a description of the
+/// first mismatch. Either side lacking the compared quantity (report
+/// without an energy section, trace without a RunSummary) is a mismatch —
+/// a silent skip would make the check vacuous.
+std::string cross_check_trace(const ReportCheckResult& report,
+                              const TraceCheckResult& trace);
+
+/// Re-reads every CSV artifact listed in the report (paths resolved
+/// against `base_dir` unless absolute; "" = as recorded) and re-derives
+/// row counts and column sums. Returns "" on agreement, else the first
+/// discrepancy.
+std::string cross_check_artifacts(const ReportCheckResult& report,
+                                  const std::string& base_dir = "");
+
+}  // namespace etrain::obs

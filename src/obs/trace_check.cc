@@ -1,171 +1,16 @@
 #include "obs/trace_check.h"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "obs/json_reader.h"
 
 namespace etrain::obs {
 
 namespace {
 
-/// A minimal recursive-descent JSON reader: just enough to verify
-/// well-formedness and pull out the handful of fields the checks need.
-/// Throws std::string error messages; check_chrome_trace catches them.
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text) : text_(text) {}
-
-  std::size_t pos() const { return pos_; }
-  bool at_end() {
-    skip_ws();
-    return pos_ >= text_.size();
-  }
-
-  void expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u':
-            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-            pos_ += 4;  // validated but not decoded; names are ASCII
-            out += '?';
-            break;
-          default: fail("invalid escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  double parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected number");
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("malformed number: " + token);
-    return value;
-  }
-
-  /// Skips any JSON value, validating structure.
-  void skip_value() {
-    const char c = peek();
-    if (c == '{') {
-      skip_object();
-    } else if (c == '[') {
-      expect('[');
-      if (!consume(']')) {
-        do {
-          skip_value();
-        } while (consume(','));
-        expect(']');
-      }
-    } else if (c == '"') {
-      parse_string();
-    } else if (c == 't') {
-      literal("true");
-    } else if (c == 'f') {
-      literal("false");
-    } else if (c == 'n') {
-      literal("null");
-    } else {
-      parse_number();
-    }
-  }
-
-  /// Iterates an object's members, calling on_member(key) positioned at the
-  /// member's value; on_member must consume exactly that value.
-  template <typename Fn>
-  void parse_object(Fn&& on_member) {
-    expect('{');
-    if (consume('}')) return;
-    do {
-      const std::string key = parse_string();
-      expect(':');
-      on_member(key);
-    } while (consume(','));
-    expect('}');
-  }
-
-  void skip_object() {
-    parse_object([this](const std::string&) { skip_value(); });
-  }
-
-  [[noreturn]] void fail(const std::string& message) {
-    throw message + " at offset " + std::to_string(pos_);
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  void literal(const char* lit) {
-    skip_ws();
-    for (const char* p = lit; *p != '\0'; ++p) {
-      if (pos_ >= text_.size() || text_[pos_] != *p) fail("invalid literal");
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using jsonio::JsonReader;
 
 /// The fields of one traceEvents entry the checks care about.
 struct EventFields {
@@ -176,6 +21,8 @@ struct EventFields {
   double joules = 0.0;
   bool has_joules = false;
   std::optional<double> reported_tail;
+  std::optional<double> reported_network;
+  std::optional<double> reported_transmissions;
 };
 
 EventFields parse_event(JsonReader& reader) {
@@ -201,6 +48,10 @@ EventFields parse_event(JsonReader& reader) {
           ev.has_joules = true;
         } else if (arg == "reported_tail_J") {
           ev.reported_tail = reader.parse_number();
+        } else if (arg == "network_energy_J") {
+          ev.reported_network = reader.parse_number();
+        } else if (arg == "transmissions") {
+          ev.reported_transmissions = reader.parse_number();
         } else {
           reader.skip_value();
         }
@@ -254,8 +105,16 @@ TraceCheckResult check_chrome_trace(const std::string& json) {
           ++result.tail_charges;
           result.tail_charge_sum += ev.joules;
         }
-        if (ev.name == "RunSummary" && ev.reported_tail.has_value()) {
-          result.reported_tail = ev.reported_tail;
+        if (ev.name == "RunSummary") {
+          if (ev.reported_tail.has_value()) {
+            result.reported_tail = ev.reported_tail;
+          }
+          if (ev.reported_network.has_value()) {
+            result.reported_network = ev.reported_network;
+          }
+          if (ev.reported_transmissions.has_value()) {
+            result.reported_transmissions = ev.reported_transmissions;
+          }
         }
       } while (reader.consume(','));
       reader.expect(']');

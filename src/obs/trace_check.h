@@ -30,6 +30,10 @@ struct TraceCheckResult {
   std::size_t tail_charges = 0;
   double tail_charge_sum = 0.0;
   std::optional<double> reported_tail;  ///< RunSummary's reported_tail_J
+  /// RunSummary's network_energy_J / transmissions args, when present —
+  /// report_check cross-validates a run report against these.
+  std::optional<double> reported_network;
+  std::optional<double> reported_transmissions;
 };
 
 /// Validates the JSON text of one exported trace.

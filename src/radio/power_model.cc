@@ -33,10 +33,15 @@ Watts PowerModel::extra_power(RrcState s) const {
   return 0.0;
 }
 
-PowerModel PowerModel::PaperUmts3G() { return PowerModel{}; }
+PowerModel PowerModel::PaperUmts3G() {
+  PowerModel m;
+  m.name = "PaperUmts3G";
+  return m;
+}
 
 PowerModel PowerModel::PaperSimulation() {
   PowerModel m;
+  m.name = "PaperSimulation";
   m.dch_tail = 2.5;
   m.fach_tail = 7.5;
   return m;
@@ -44,6 +49,7 @@ PowerModel PowerModel::PaperSimulation() {
 
 PowerModel PowerModel::Realistic3G() {
   PowerModel m;
+  m.name = "Realistic3G";
   m.idle_to_dch_delay = 2.0;
   m.fach_to_dch_delay = 1.5;
   return m;
@@ -51,6 +57,7 @@ PowerModel PowerModel::Realistic3G() {
 
 PowerModel PowerModel::FastDormancy3G() {
   PowerModel m;
+  m.name = "FastDormancy3G";
   m.dch_tail = 0.3;
   m.fach_tail = 0.2;
   m.idle_to_dch_delay = 2.0;
@@ -60,6 +67,7 @@ PowerModel PowerModel::FastDormancy3G() {
 
 PowerModel PowerModel::WifiPsm() {
   PowerModel m;
+  m.name = "WifiPsm";
   m.idle_power = 0.0;  // doze overhead folded into the device baseline
   m.dch_extra_power = milliwatts(600.0);  // awake, post-exchange
   m.fach_extra_power = 0.0;
@@ -73,6 +81,7 @@ PowerModel PowerModel::WifiPsm() {
 
 PowerModel PowerModel::LteDrx() {
   PowerModel m;
+  m.name = "LteDrx";
   m.idle_power = milliwatts(25.0);
   m.dch_extra_power = milliwatts(1000.0);   // CONNECTED, continuous reception
   m.fach_extra_power = milliwatts(400.0);   // short-DRX

@@ -32,6 +32,11 @@ std::string to_string(RrcState s);
 /// All tunable physical parameters of the radio. Immutable value type;
 /// construct via the named factory presets below or designated initializers.
 struct PowerModel {
+  /// Preset name for provenance records (run reports, traces). The named
+  /// factories below fill it; hand-built models keep "custom". Purely
+  /// descriptive — no physics reads it.
+  std::string name = "custom";
+
   /// Absolute baseline power of the device with the radio idle and the
   /// screen off (everything else in the paper is measured relative to this).
   Watts idle_power = milliwatts(20.0);

@@ -1,0 +1,111 @@
+// Quantile estimation over fixed histogram buckets (obs/metrics.h): the
+// p50/p95/p99 numbers every RunReport embeds. The estimator interpolates
+// linearly inside the bucket containing the rank and tightens the edge
+// buckets to the observed min/max, so the checks here pin both the exact
+// cases (empty, single sample, q = 0/1) and the interpolated ones.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace etrain::obs {
+namespace {
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleIsExactAtEveryQuantile) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.add(1.7);
+  // One sample: min == max == 1.7, and the containing bucket's edges are
+  // clamped to the observed range, so every quantile collapses to 1.7.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.7);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.7);
+}
+
+TEST(HistogramQuantile, ExtremesAreObservedMinMax) {
+  Histogram h({10.0, 20.0, 30.0});
+  h.add(3.0);
+  h.add(12.0);
+  h.add(27.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 27.0);
+}
+
+TEST(HistogramQuantile, InterpolatesInsideOneBucket) {
+  // 10 samples all inside the (0, 10] bucket, uniformly placed. The
+  // estimator sees only "10 samples between min=1 and max=10", so p50 is
+  // the linear 50 % point of that range.
+  Histogram h({10.0, 20.0});
+  for (int i = 1; i <= 10; ++i) h.add(static_cast<double>(i));
+  const double p50 = h.quantile(0.5);
+  EXPECT_NEAR(p50, 1.0 + (10.0 - 1.0) * 0.5, 1e-12);
+}
+
+TEST(HistogramQuantile, WalksCumulativeCountsAcrossBuckets) {
+  // 90 samples in (0, 1], 10 samples in (1, 10]: p50 must land in the
+  // first bucket, p95 in the second, p99 above p95.
+  Histogram h({1.0, 10.0});
+  for (int i = 0; i < 90; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(5.0);
+  const double p50 = h.quantile(0.5);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, 1.0);
+  EXPECT_GT(p95, 1.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToObservedMax) {
+  // All samples beyond the last bound land in the overflow bucket, which
+  // has no upper bound of its own — the observed max bounds it.
+  Histogram h({1.0});
+  h.add(50.0);
+  h.add(100.0);
+  h.add(150.0);
+  EXPECT_LE(h.quantile(0.99), 150.0);
+  EXPECT_GE(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 150.0);
+}
+
+TEST(HistogramQuantile, SnapshotAgreesWithLiveHistogram) {
+  Registry registry;
+  auto& h = registry.histogram("delay", {1.0, 5.0, 25.0});
+  for (const double v : {0.5, 0.7, 2.0, 3.0, 4.0, 17.0, 90.0}) h.add(v);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hs.quantile(q), h.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(hs.mean(), h.mean());
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  Histogram h({0.1, 1.0, 10.0, 100.0});
+  double x = 0.03;
+  for (int i = 0; i < 200; ++i) {
+    h.add(x);
+    x *= 1.05;
+  }
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev - 1e-12) << "q=" << q;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace etrain::obs

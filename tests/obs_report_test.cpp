@@ -1,0 +1,296 @@
+// End-to-end tests for the RunReport subsystem: report building from real
+// runs, report_check validation, the ledger == meter invariant, the
+// determinism contract (compared sections byte-identical across runs and
+// jobs counts), degenerate runs, CSV artifact cross-validation, the trace
+// cross-check, and the golden fixture under tests/data/.
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/registry.h"
+#include "exp/figure_export.h"
+#include "exp/run_report.h"
+#include "exp/scenario_builder.h"
+#include "exp/slotted_sim.h"
+#include "obs/exporters.h"
+#include "obs/report_check.h"
+#include "obs/trace_buffer.h"
+#include "obs/trace_check.h"
+
+namespace etrain::obs {
+namespace {
+
+using experiments::Scenario;
+using experiments::ScenarioBuilder;
+using experiments::run_slotted;
+
+Scenario small_scenario() {
+  return ScenarioBuilder()
+      .lambda(0.08)
+      .horizon(1800.0)
+      .model(radio::PowerModel::PaperSimulation())
+      .build();
+}
+
+experiments::RunMetrics run_with_registry(const Scenario& s,
+                                          const std::string& spec) {
+  const auto policy = baselines::make_policy(spec);
+  Registry registry;
+  return run_slotted(s, *policy, Observers{nullptr, &registry});
+}
+
+std::string serialize(const RunReport& report) {
+  std::ostringstream out;
+  write_run_report(out, report);
+  return out.str();
+}
+
+/// The compared prefix: everything before the non-compared `environment`
+/// section (docs/determinism.md).
+std::string compared_prefix(const std::string& json) {
+  const auto pos = json.find("\"environment\"");
+  return pos == std::string::npos ? json : json.substr(0, pos);
+}
+
+TEST(RunReport, ValidatesAndLedgerMatchesMeter) {
+  const Scenario s = small_scenario();
+  const auto m = run_with_registry(s, "etrain:theta=1,k=20");
+  ASSERT_GT(m.log.size(), 0u);
+
+  const RunReport report =
+      experiments::report_for_run("report_test", s, m);
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.bench, "report_test");
+  EXPECT_EQ(result.version, kReportSchemaVersion);
+  EXPECT_TRUE(result.metrics_present);
+  EXPECT_GT(result.ledger_rows, 0u);
+
+  // The headline invariant: the attribution ledger re-bills the meter's
+  // totals exactly.
+  ASSERT_TRUE(report.ledger.has_value());
+  EXPECT_NEAR(report.ledger->total(), m.network_energy(), 1e-9);
+  EXPECT_NEAR(report.ledger->kind_total(radio::TxKind::kHeartbeat) +
+                  report.ledger->kind_total(radio::TxKind::kData),
+              m.network_energy(), 1e-9);
+  EXPECT_NEAR(*result.ledger_total_J, *result.network_J, 1e-9);
+}
+
+TEST(RunReport, ComparedSectionsAreByteIdenticalAcrossRuns) {
+  const Scenario s = small_scenario();
+  const auto m1 = run_with_registry(s, "etrain:theta=1,k=20");
+  const auto m2 = run_with_registry(s, "etrain:theta=1,k=20");
+
+  RunReport r1 = experiments::report_for_run("determinism", s, m1);
+  RunReport r2 = experiments::report_for_run("determinism", s, m2);
+  // Different environment / profile facts must not leak into the compared
+  // prefix: stamp them differently on purpose.
+  r1.add_environment("jobs", 1.0);
+  r2.add_environment("jobs", 8.0);
+
+  const std::string j1 = serialize(r1);
+  const std::string j2 = serialize(r2);
+  EXPECT_NE(j1, j2);  // the environment sections differ...
+  EXPECT_EQ(compared_prefix(j1), compared_prefix(j2));  // ...nothing else
+  EXPECT_NE(compared_prefix(j1).find("\"ledger\""), std::string::npos);
+}
+
+TEST(RunReport, ZeroTransmissionRunStillValidates) {
+  // No cargo, no trains: the meter bills nothing, the ledger is empty, and
+  // the report must still pass every check.
+  const Scenario s = ScenarioBuilder()
+                         .trains(0)
+                         .horizon(600.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .packets({}, {})
+                         .build();
+  const auto m = run_with_registry(s, "baseline");
+  EXPECT_EQ(m.log.size(), 0u);
+
+  const RunReport report = experiments::report_for_run("degenerate", s, m);
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.ledger_rows, 0u);
+  ASSERT_TRUE(result.network_J.has_value());
+  EXPECT_NEAR(*result.network_J, 0.0, 1e-12);
+}
+
+TEST(RunReport, TotalLossRunValidatesWithFailedAirtime) {
+  const Scenario s = ScenarioBuilder()
+                         .lambda(0.08)
+                         .horizon(1800.0)
+                         .model(radio::PowerModel::PaperSimulation())
+                         .loss(1.0)
+                         .fault_seed(7)
+                         .build();
+  const auto m = run_with_registry(s, "etrain:theta=1,k=20");
+
+  const RunReport report = experiments::report_for_run("total_loss", s, m);
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // Under loss = 1.0 every cargo attempt fails; the wasted joules must be
+  // visible in the ledger overlay and still reconcile with the meter.
+  ASSERT_TRUE(report.ledger.has_value());
+  double failed_airtime_J = 0.0;
+  for (const auto& row : report.ledger->rows) {
+    failed_airtime_J += row.failed_airtime_J;
+    EXPECT_LE(row.failed_airtime_J, row.tx_J + row.setup_J + 1e-9);
+  }
+  if (m.log.failed_count() > 0) {
+    EXPECT_GT(failed_airtime_J, 0.0);
+  }
+  EXPECT_NEAR(report.ledger->total(), m.network_energy(), 1e-9);
+}
+
+// The trace cross-checks need real TraceEvents; with observability
+// compiled out the sinks record nothing, so a trace carrying a nonzero
+// RunSummary cannot exist (TailCharge sum 0 != reported tail).
+#ifndef ETRAIN_OBS_DISABLED
+TEST(RunReport, TraceCrossCheckAgreesForSameRun) {
+  const Scenario s = small_scenario();
+  TraceBuffer buffer;
+  Registry registry;
+  const auto policy = baselines::make_policy("etrain:theta=1,k=20");
+  const auto m = run_slotted(s, *policy, Observers{&buffer, &registry});
+
+  RunSummary summary;
+  summary.tail_energy_joules =
+      m.energy.tail_energy() + m.wifi_energy.tail_energy();
+  summary.network_energy_joules = m.network_energy();
+  summary.transmissions = m.log.size() + m.wifi_log.size();
+  std::ostringstream trace_out;
+  write_chrome_trace(trace_out, buffer.events(), &m.log, &summary);
+  const auto trace = check_chrome_trace(trace_out.str());
+  ASSERT_TRUE(trace.ok) << trace.error;
+
+  const RunReport report = experiments::report_for_run("traced", s, m);
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(cross_check_trace(result, trace), "");
+}
+
+TEST(RunReport, TraceCrossCheckRejectsForeignTrace) {
+  const Scenario s = small_scenario();
+  const auto m_etrain = run_with_registry(s, "etrain:theta=1,k=20");
+
+  // A perfectly valid trace — but from a *different* policy's run.
+  TraceBuffer buffer;
+  const auto policy = baselines::make_policy("baseline");
+  const auto m_base = run_slotted(s, *policy, Observers{&buffer, nullptr});
+  ASSERT_NE(m_etrain.network_energy(), m_base.network_energy());
+
+  RunSummary summary;
+  summary.tail_energy_joules = m_base.energy.tail_energy();
+  summary.network_energy_joules = m_base.network_energy();
+  summary.transmissions = m_base.log.size();
+  std::ostringstream trace_out;
+  write_chrome_trace(trace_out, buffer.events(), &m_base.log, &summary);
+  const auto trace = check_chrome_trace(trace_out.str());
+  ASSERT_TRUE(trace.ok) << trace.error;
+
+  const auto result = check_run_report(
+      serialize(experiments::report_for_run("mismatch", s, m_etrain)));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(cross_check_trace(result, trace), "");
+}
+#endif  // !ETRAIN_OBS_DISABLED
+
+TEST(RunReport, ArtifactCrossCheckCatchesDrift) {
+  const std::string dir = ::testing::TempDir() + "report_artifacts";
+  ArtifactLog::global().clear();
+  const std::vector<experiments::EDPoint> frontier = {
+      {0.5, 900.25, 20.5, 0.01}, {1.0, 750.125, 40.25, 0.02}};
+  experiments::export_frontier(experiments::ensure_results_dir(dir),
+                               "frontier_test", frontier);
+
+  RunReport report;
+  report.bench = "artifact_test";
+  report.add_provenance("policy_spec", "etrain:theta=1");
+  report.artifacts = ArtifactLog::global().snapshot();
+  ArtifactLog::global().clear();
+  ASSERT_EQ(report.artifacts.size(), 1u);
+
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.artifacts.size(), 1u);
+  EXPECT_EQ(result.artifacts[0].rows, frontier.size());
+  EXPECT_EQ(cross_check_artifacts(result), "");
+
+  // Tamper with one cell: the re-summed column no longer matches.
+  {
+    std::ifstream in(report.artifacts[0].file);
+    std::stringstream content;
+    content << in.rdbuf();
+    std::string text = content.str();
+    const auto pos = text.find("900.25");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 6, "901.25");
+    std::ofstream out(report.artifacts[0].file);
+    out << text;
+  }
+  EXPECT_NE(cross_check_artifacts(result), "");
+}
+
+TEST(RunReport, RejectsCorruptedLedger) {
+  const Scenario s = small_scenario();
+  const auto m = run_with_registry(s, "etrain:theta=1,k=20");
+  RunReport report = experiments::report_for_run("corrupt", s, m);
+  ASSERT_TRUE(report.ledger.has_value());
+  ASSERT_FALSE(report.ledger->rows.empty());
+  report.ledger->rows[0].tail_J += 1.0;  // break tail attribution
+  const auto result = check_run_report(serialize(report));
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(RunReport, FileRoundTripAndFinalize) {
+  const Scenario s = small_scenario();
+  const auto m = run_with_registry(s, "etrain:theta=2,k=20");
+  RunReport report = experiments::report_for_run("roundtrip", s, m);
+  const std::string path = ::testing::TempDir() + "roundtrip_report.json";
+  finalize_run_report(path, std::move(report));
+  const auto result = check_run_report_file(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.bench, "roundtrip");
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, GoldenFixtureStillValidates) {
+  // A frozen report emitted by an earlier build: schema v1 files must keep
+  // validating forever (bump kReportSchemaVersion instead of breaking
+  // them).
+  const std::string path =
+      std::string(ETRAIN_TEST_DATA_DIR) + "/golden_report.json";
+  const auto result = check_run_report_file(path);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.version, 1);
+  EXPECT_FALSE(result.bench.empty());
+  EXPECT_GT(result.ledger_rows, 0u);
+  ASSERT_TRUE(result.network_J.has_value());
+  ASSERT_TRUE(result.ledger_total_J.has_value());
+  EXPECT_NEAR(*result.network_J, *result.ledger_total_J, 1e-9);
+}
+
+#ifdef ETRAIN_OBS_DISABLED
+TEST(RunReport, DisabledBuildStillEmitsManifestAndEnergy) {
+  // Under ETRAIN_OBS_DISABLED the profiler compiles out and registries are
+  // inert, but the provenance manifest, energy section and ledger must
+  // still be produced and validate.
+  const Scenario s = small_scenario();
+  const auto m = run_with_registry(s, "etrain:theta=1,k=20");
+  const RunReport report = experiments::report_for_run("disabled", s, m);
+  EXPECT_FALSE(report.profile.has_value());
+  const auto result = check_run_report(serialize(report));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(result.obs_enabled);
+  EXPECT_GT(result.ledger_rows, 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace etrain::obs
