@@ -1,0 +1,146 @@
+// Engine-throughput tracker: how many simulated slots (and scheduled
+// packets) per wall-clock second the slotted engine sustains under each
+// policy on the Fig. 8 headline scenario (lambda = 0.08, paper simulation
+// power model).
+//
+// Two phases, both under OBS_PROFILE_SCOPE so the emitted report's profile
+// section shows where the wall time went:
+//   validate — one run per policy through parallel_map; its deterministic
+//              outcomes (packet counts, energy, delay) land in the report's
+//              compared `results` section, so a serial and a parallel run
+//              of this bench must agree exactly (same contract as fig08);
+//   time     — best-of-reps serial timing per policy; the wall-clock
+//              slots/sec and packets/sec land in the non-compared
+//              `environment` section, where scripts/check.sh's perf gate
+//              reads them via `compare_reports --floor`.
+//
+// Emits BENCH_throughput.json by default (or wherever --report points).
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/parallel.h"
+#include "exp/run_report.h"
+#include "exp/scenario_builder.h"
+#include "exp/slotted_sim.h"
+#include "obs/bench_options.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+struct PolicyUnderTest {
+  const char* key;  // report-key-safe short name
+  const char* spec; // baselines::make_policy spec string
+};
+
+constexpr PolicyUnderTest kPolicies[] = {
+    {"etrain", "etrain:theta=1,k=20"},
+    {"baseline", "baseline"},
+    {"peres", "peres:omega=0.5"},
+    {"etime", "etime:v=1"},
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  // This bench exists to produce BENCH_throughput.json; --report only
+  // redirects it.
+  if (opts.report_path.empty()) opts.report_path = "BENCH_throughput.json";
+
+  const Duration horizon = opts.quick ? 1800.0 : 7200.0;
+  const int reps = opts.quick ? 2 : 3;
+  const Scenario scenario = ScenarioBuilder()
+                                .lambda(0.08)
+                                .horizon(horizon)
+                                .model(radio::PowerModel::PaperSimulation())
+                                .build();
+
+  std::printf(
+      "=== engine throughput: %zu-packet fig08 scenario, horizon %.0f s, "
+      "best of %d reps ===\n",
+      scenario.packets.size(), horizon, reps);
+
+  obs::RunReport report;
+  report.bench = "throughput";
+  describe_scenario(report, scenario);
+  report.add_provenance("reps", std::to_string(reps));
+  for (const auto& p : kPolicies) {
+    report.add_provenance(std::string("policy_spec_") + p.key, p.spec);
+  }
+
+  const std::vector<PolicyUnderTest> policies(std::begin(kPolicies),
+                                              std::end(kPolicies));
+
+  // Phase 1: correctness snapshot, fanned out over the experiment engine.
+  // Everything recorded here is deterministic — check.sh compares a serial
+  // and a parallel run of this phase bit for bit.
+  std::vector<RunMetrics> validation;
+  {
+    OBS_PROFILE_SCOPE("throughput.validate");
+    validation = parallel_map(
+        policies, [&](const PolicyUnderTest& p) {
+          const auto policy = baselines::make_policy(p.spec);
+          return run_slotted(scenario, *policy);
+        });
+  }
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const auto& m = validation[i];
+    const std::string key = policies[i].key;
+    report.add_result("packets_" + key,
+                      static_cast<double>(m.outcomes.size()));
+    report.add_result("energy_J_" + key, m.network_energy());
+    report.add_result("delay_s_" + key, m.normalized_delay);
+  }
+
+  // Phase 2: serial best-of-reps timing. Wall-clock rates are machine- and
+  // load-dependent, so they live in `environment` (never diffed, floor-
+  // gated only).
+  {
+    OBS_PROFILE_SCOPE("throughput.time");
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const auto policy = baselines::make_policy(policies[i].spec);
+      const double slots = horizon / policy->preferred_slot_length();
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto metrics = run_slotted(scenario, *policy);
+        const double elapsed = seconds_since(start);
+        best = std::min(best, elapsed);
+        if (metrics.outcomes.size() != validation[i].outcomes.size()) {
+          std::printf("throughput: %s timing rep diverged from validation\n",
+                      policies[i].key);
+          return 1;
+        }
+      }
+      const std::string key = policies[i].key;
+      const double slots_per_sec = slots / best;
+      const double packets_per_sec =
+          static_cast<double>(validation[i].outcomes.size()) / best;
+      report.add_environment("run_seconds_" + key, best);
+      report.add_environment("slots_per_sec_" + key, slots_per_sec);
+      report.add_environment("packets_per_sec_" + key, packets_per_sec);
+      std::printf(
+          "%-8s %8.0f slots in %6.3f s -> %10.0f slots/s, %7.0f packets/s "
+          "(%zu packets, %.1f J)\n",
+          policies[i].key, slots, best, slots_per_sec, packets_per_sec,
+          validation[i].outcomes.size(), validation[i].network_energy());
+    }
+  }
+
+  obs::finalize_run_report(opts.report_path, std::move(report));
+  return 0;
+}

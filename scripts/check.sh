@@ -69,6 +69,27 @@ scripts/compare_reports results/fig08.serial.report.json \
 "./$BUILD_DIR/bench/bench_micro" --quick --report results/micro.report.json
 "./$BUILD_DIR/examples/report_check" results/micro.report.json
 
+# Perf gate (docs/performance.md): bench_throughput validates every policy
+# serial-vs-parallel first, then times the engine. The deterministic
+# `results` section of a serial and a parallel run must match exactly, and
+# the wall-clock slots/sec must clear the committed conservative floors in
+# bench/baselines/ (0.9 x an already ~50%-of-measured baseline, so only a
+# real hot-path regression trips it, not scheduler jitter).
+ETRAIN_JOBS=1 "./$BUILD_DIR/bench/bench_throughput" --quick \
+  --report results/throughput.serial.report.json
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_throughput" --quick \
+  --report results/throughput.parallel.report.json
+"./$BUILD_DIR/examples/report_check" results/throughput.serial.report.json
+"./$BUILD_DIR/examples/report_check" results/throughput.parallel.report.json
+scripts/compare_reports results/throughput.serial.report.json \
+  results/throughput.parallel.report.json
+scripts/compare_reports bench/baselines/throughput.baseline.json \
+  results/throughput.serial.report.json --floors-only \
+  --floor slots_per_sec_etrain=0.9 \
+  --floor slots_per_sec_baseline=0.9 \
+  --floor slots_per_sec_peres=0.9 \
+  --floor slots_per_sec_etime=0.9
+
 # One AddressSanitizer pass over the fault-injection tests: the new
 # failure/retry/teardown paths juggle completion callbacks and requeue
 # buffers — exactly the code ASan exists for. Separate build dir: never mix

@@ -107,6 +107,13 @@ std::optional<TimePoint> HeartbeatMonitor::predict_next(int app) const {
 std::vector<TimePoint> HeartbeatMonitor::predict_departures(
     TimePoint from, TimePoint horizon) const {
   std::vector<TimePoint> out;
+  predict_departures(from, horizon, out);
+  return out;
+}
+
+void HeartbeatMonitor::predict_departures(TimePoint from, TimePoint horizon,
+                                          std::vector<TimePoint>& out) const {
+  out.clear();
   for (const auto& [app, state] : apps_) {
     const auto cycle = estimated_cycle(app);
     if (!cycle.has_value() || !state.last.has_value() || *cycle <= 0.0) {
@@ -117,7 +124,6 @@ std::vector<TimePoint> HeartbeatMonitor::predict_departures(
     for (; t <= horizon; t += *cycle) out.push_back(t);
   }
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 bool HeartbeatMonitor::any_train_active(TimePoint now,

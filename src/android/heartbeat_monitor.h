@@ -52,6 +52,12 @@ class HeartbeatMonitor {
   std::vector<TimePoint> predict_departures(TimePoint from,
                                             TimePoint horizon) const;
 
+  /// Allocation-aware variant: clears and fills `out` with the same
+  /// departures. The slotted harness calls this every faulted slot with a
+  /// reused buffer, keeping its hot loop off the heap.
+  void predict_departures(TimePoint from, TimePoint horizon,
+                          std::vector<TimePoint>& out) const;
+
   /// True when some app has beaten within `staleness` seconds of `now` —
   /// used by the scheduler to stop deferring when no train app is running
   /// (Sec. V-3: "In case when no train app is running, eTrain will stop its

@@ -11,6 +11,20 @@ double MailCostProfile::cost(Duration delay, Duration deadline) const {
   return delay / deadline - 1.0;
 }
 
+bool MailCostProfile::affine_segment(Duration delay, Duration deadline,
+                                     double* slope, Duration* span) const {
+  assert(deadline > 0.0);
+  if (delay < deadline) {
+    *slope = 0.0;
+    *span = deadline - delay;
+  } else {
+    // Continuous at the deadline: cost(deadline) = 0, then d/deadline - 1.
+    *slope = 1.0 / deadline;
+    *span = kTimeInfinity;
+  }
+  return true;
+}
+
 double WeiboCostProfile::cost(Duration delay, Duration deadline) const {
   assert(deadline > 0.0);
   if (delay <= 0.0) return 0.0;
@@ -18,11 +32,52 @@ double WeiboCostProfile::cost(Duration delay, Duration deadline) const {
   return 2.0;
 }
 
+bool WeiboCostProfile::affine_segment(Duration delay, Duration deadline,
+                                      double* slope, Duration* span) const {
+  assert(deadline > 0.0);
+  if (delay < 0.0) {
+    *slope = 0.0;
+    *span = -delay;
+  } else if (delay < deadline) {
+    // The ramp, ending at the deadline JUMP (1 -> 2): the span must stop
+    // there so the cache re-anchors on the far side.
+    *slope = 1.0 / deadline;
+    *span = deadline - delay;
+  } else if (delay == deadline) {
+    // On the discontinuity itself: cost here is 1 (the ramp endpoint) but
+    // every later instant costs 2, so no right-open affine window starts
+    // at this point. Refusing forces a recompute-per-query anchor until
+    // the queue moves past it.
+    return false;
+  } else {
+    *slope = 0.0;  // saturated at 2
+    *span = kTimeInfinity;
+  }
+  return true;
+}
+
 double CloudCostProfile::cost(Duration delay, Duration deadline) const {
   assert(deadline > 0.0);
   if (delay <= 0.0) return 0.0;
   if (delay <= deadline) return delay / deadline;
   return 3.0 * (delay / deadline) - 2.0;
+}
+
+bool CloudCostProfile::affine_segment(Duration delay, Duration deadline,
+                                      double* slope, Duration* span) const {
+  assert(deadline > 0.0);
+  if (delay < 0.0) {
+    *slope = 0.0;
+    *span = -delay;
+  } else if (delay < deadline) {
+    *slope = 1.0 / deadline;
+    *span = deadline - delay;
+  } else {
+    // Continuous at the deadline (both branches give 1), slope triples.
+    *slope = 3.0 / deadline;
+    *span = kTimeInfinity;
+  }
+  return true;
 }
 
 const CostProfile& mail_cost_profile() {

@@ -32,6 +32,23 @@ class CostProfile {
   /// Cost of a packet with the given (relative) deadline at delay d.
   virtual double cost(Duration delay, Duration deadline) const = 0;
 
+  /// Optional piecewise-affine contract powering WaitingQueues' incremental
+  /// cost cache. When the cost is affine in delay on [delay, delay + span) —
+  /// cost(delay + x) = cost(delay) + slope * x for 0 <= x < span — fill
+  /// *slope and *span (span may be kTimeInfinity) and return true. The
+  /// default returns false, which only disables incremental evaluation for
+  /// packets carrying this profile, never correctness. Implementations must
+  /// be conservative: end the span at (or before) the next breakpoint, jump
+  /// or curvature change.
+  virtual bool affine_segment(Duration delay, Duration deadline,
+                              double* slope, Duration* span) const {
+    (void)delay;
+    (void)deadline;
+    (void)slope;
+    (void)span;
+    return false;
+  }
+
   /// Human-readable name for tables and logs.
   virtual std::string name() const = 0;
 };
@@ -40,6 +57,8 @@ class CostProfile {
 class MailCostProfile final : public CostProfile {
  public:
   double cost(Duration delay, Duration deadline) const override;
+  bool affine_segment(Duration delay, Duration deadline, double* slope,
+                      Duration* span) const override;
   std::string name() const override { return "f1-mail"; }
 };
 
@@ -47,6 +66,8 @@ class MailCostProfile final : public CostProfile {
 class WeiboCostProfile final : public CostProfile {
  public:
   double cost(Duration delay, Duration deadline) const override;
+  bool affine_segment(Duration delay, Duration deadline, double* slope,
+                      Duration* span) const override;
   std::string name() const override { return "f2-weibo"; }
 };
 
@@ -54,6 +75,8 @@ class WeiboCostProfile final : public CostProfile {
 class CloudCostProfile final : public CostProfile {
  public:
   double cost(Duration delay, Duration deadline) const override;
+  bool affine_segment(Duration delay, Duration deadline, double* slope,
+                      Duration* span) const override;
   std::string name() const override { return "f3-cloud"; }
 };
 

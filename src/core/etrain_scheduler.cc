@@ -1,8 +1,6 @@
 #include "core/etrain_scheduler.h"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace etrain::core {
 
@@ -40,7 +38,15 @@ void EtrainScheduler::attach_observability(obs::TraceSink* trace,
 std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
                                                const WaitingQueues& queues) {
   std::vector<Selection> chosen;
-  if (queues.empty()) return chosen;
+  select_into(ctx, queues, chosen);
+  return chosen;
+}
+
+void EtrainScheduler::select_into(const SlotContext& ctx,
+                                  const WaitingQueues& queues,
+                                  std::vector<Selection>& out) {
+  out.clear();
+  if (queues.empty()) return;
 
   const TimePoint t = ctx.slot_start;
   const TimePoint next_slot = t + ctx.slot_length;
@@ -53,7 +59,7 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
   }
 
   // Line 3: gate on the cost bound or a departing train.
-  if (total_cost < config_.theta && !ctx.heartbeat_now) return chosen;
+  if (total_cost < config_.theta && !ctx.heartbeat_now) return;
 
   // Deferral to an imminent train: when the gate opened on cost alone but a
   // heartbeat departs soon, waiting is cheaper — the packets ride that tail
@@ -62,7 +68,7 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
     const TimePoint next_train = ctx.next_heartbeat();
     if (next_train - t <= config_.drip_defer_window) {
       if (counting_) stats_.drip_deferrals->increment();
-      return chosen;
+      return;
     }
   }
 
@@ -75,7 +81,7 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
       ctx.bandwidth_estimate <
           config_.channel_threshold * ctx.bandwidth_long_term) {
     if (counting_) stats_.channel_holds->increment();
-    return chosen;
+    return;
   }
 
   ETRAIN_TRACE(trace_, obs::TraceEvent::gate_open(t, ctx.heartbeat_now,
@@ -89,25 +95,44 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
   // Lines 4-8: K(t) modulation.
   const std::size_t k_limit = ctx.heartbeat_now ? config_.k : 1;
 
-  // Greedy subgradient iterations (lines 9-13). Track, per app, the
-  // speculative cost already claimed by Q*_i(t, r).
+  // Snapshot every packet's speculative cost once for this slot. The array
+  // is filled in app-major FIFO order — the exact order the naive
+  // formulation both summed \bar P_i(t) and scanned candidates — so the
+  // float accumulation, and therefore every epsilon tie-break downstream,
+  // is bit-identical to the reference loop.
   const int apps = queues.app_count();
-  std::vector<double> selected_cost(apps, 0.0);  // sum over Q*_i of varphi_q
-  std::vector<double> queue_spec_cost(apps, 0.0);  // \bar P_i(t)
+  candidates_.clear();
+  app_begin_.resize(apps + 1);
+  selected_cost_.assign(apps, 0.0);
+  queue_spec_cost_.resize(apps);
   for (int i = 0; i < apps; ++i) {
-    queue_spec_cost[i] = queues.app_speculative_cost(i, next_slot);
+    app_begin_[i] = candidates_.size();
+    double sum = 0.0;  // \bar P_i(t), accumulated like app_speculative_cost
+    for (const QueuedPacket& p : queues.queue(i)) {
+      const double phi = p.speculative_cost(next_slot);
+      sum += phi;
+      candidates_.push_back(
+          Candidate{phi, p.packet.arrival, p.packet.id, false});
+    }
+    queue_spec_cost_[i] = sum;
   }
-  std::unordered_set<PacketId> taken;
+  app_begin_[apps] = candidates_.size();
 
-  while (chosen.size() < k_limit && chosen.size() < queues.total_size()) {
+  // Greedy subgradient iterations (lines 9-13): index-based scans over the
+  // candidate array; per-app remaining cost maintained incrementally.
+  const std::size_t total = candidates_.size();
+  std::size_t picked = 0;
+  while (picked < k_limit && picked < total) {
     double best_gain = -std::numeric_limits<double>::infinity();
     int best_app = -1;
-    PacketId best_packet = -1;
+    std::ptrdiff_t best_idx = -1;
     for (int i = 0; i < apps; ++i) {
-      const double remaining = queue_spec_cost[i] - selected_cost[i];
-      for (const QueuedPacket& p : queues.queue(i)) {
-        if (taken.contains(p.packet.id)) continue;
-        const double phi = p.speculative_cost(next_slot);
+      const double remaining = queue_spec_cost_[i] - selected_cost_[i];
+      const std::size_t end = app_begin_[i + 1];
+      for (std::size_t c = app_begin_[i]; c < end; ++c) {
+        const Candidate& cand = candidates_[c];
+        if (cand.taken) continue;
+        const double phi = cand.phi;
         // Off-train slots are a relief valve, not a free ride: a packet
         // whose speculative cost is still zero (e.g. Mail before its
         // deadline) gains nothing from leaving now and would pay a fresh
@@ -116,34 +141,33 @@ std::vector<Selection> EtrainScheduler::select(const SlotContext& ctx,
         if (!ctx.heartbeat_now && phi <= 0.0) continue;
         // Eq. (9): marginal improvement of the drift objective.
         const double gain = remaining * phi - phi * phi / 2.0;
-        // Deterministic tie-break on (gain, older arrival, id).
+        // Deterministic ordering: gain descending, then arrival ascending,
+        // then id ascending. Gains within 1e-12 of the incumbent count as
+        // tied and fall through to the arrival/id keys.
         if (gain > best_gain + 1e-12 ||
-            (gain > best_gain - 1e-12 && best_packet >= 0 &&
-             p.packet.id < best_packet)) {
+            (best_idx >= 0 && gain > best_gain - 1e-12 &&
+             (cand.arrival < candidates_[best_idx].arrival ||
+              (cand.arrival == candidates_[best_idx].arrival &&
+               cand.id < candidates_[best_idx].id)))) {
           best_gain = gain;
           best_app = i;
-          best_packet = p.packet.id;
+          best_idx = static_cast<std::ptrdiff_t>(c);
         }
       }
     }
     if (best_app < 0) break;
-    const auto& q = queues.queue(best_app);
-    const auto it =
-        std::find_if(q.begin(), q.end(), [best_packet](const QueuedPacket& p) {
-          return p.packet.id == best_packet;
-        });
-    selected_cost[best_app] += it->speculative_cost(next_slot);
-    taken.insert(best_packet);
-    chosen.push_back(Selection{best_app, best_packet});
-    ETRAIN_TRACE(trace_, obs::TraceEvent::packet_select(
-                             t, best_app, best_packet, best_gain,
-                             it->speculative_cost(next_slot)));
+    Candidate& won = candidates_[best_idx];
+    won.taken = true;
+    selected_cost_[best_app] += won.phi;
+    ++picked;
+    out.push_back(Selection{best_app, won.id});
+    ETRAIN_TRACE(trace_, obs::TraceEvent::packet_select(t, best_app, won.id,
+                                                        best_gain, won.phi));
   }
-  if (counting_ && !chosen.empty()) {
+  if (counting_ && picked > 0) {
     (ctx.heartbeat_now ? stats_.packets_piggybacked : stats_.packets_dripped)
-        ->increment(chosen.size());
+        ->increment(picked);
   }
-  return chosen;
 }
 
 }  // namespace etrain::core

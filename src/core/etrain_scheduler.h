@@ -65,6 +65,18 @@ class EtrainScheduler final : public SchedulingPolicy {
 
   std::vector<Selection> select(const SlotContext& ctx,
                                 const WaitingQueues& queues) override;
+
+  /// The real kernel. Per slot it evaluates each packet's speculative cost
+  /// exactly once (cached in a per-slot candidate array), runs the greedy
+  /// rounds as index-based scans over that array, and maintains the per-app
+  /// remaining cost incrementally — all in reusable member buffers, so with
+  /// a warm scheduler and a reused `out` the steady state performs zero
+  /// heap allocations (core_select_equivalence_test counts them).
+  /// Byte-identical to the naive full-rescan formulation, tie-breaks
+  /// included (same test, randomized oracle comparison).
+  void select_into(const SlotContext& ctx, const WaitingQueues& queues,
+                   std::vector<Selection>& out) override;
+
   std::string name() const override { return "eTrain"; }
 
   const EtrainConfig& config() const { return config_; }
@@ -99,6 +111,23 @@ class EtrainScheduler final : public SchedulingPolicy {
   };
   Stats stats_;
   bool counting_ = false;
+
+  /// Per-slot snapshot of one waiting packet: its speculative cost
+  /// varphi_u(t) evaluated once (the naive loop re-evaluated the virtual
+  /// call every greedy round) plus the tie-break keys.
+  struct Candidate {
+    double phi = 0.0;
+    TimePoint arrival = 0.0;
+    PacketId id = -1;
+    bool taken = false;
+  };
+
+  /// Reusable scratch — cleared, never shrunk, so a warm scheduler's
+  /// select_into() performs no heap allocations.
+  std::vector<Candidate> candidates_;       // app-major, FIFO within app
+  std::vector<std::size_t> app_begin_;      // candidates_ range per app
+  std::vector<double> selected_cost_;       // sum over Q*_i of varphi_q
+  std::vector<double> queue_spec_cost_;     // \bar P_i(t)
 };
 
 }  // namespace etrain::core

@@ -72,6 +72,16 @@ class SchedulingPolicy {
   virtual std::vector<Selection> select(const SlotContext& ctx,
                                         const WaitingQueues& queues) = 0;
 
+  /// Allocation-aware variant: fills `out` (cleared first) with the same
+  /// Q*(t) select() would return. The slotted harness passes the same
+  /// buffer every slot, so a policy that overrides this can run its
+  /// steady-state hot path without touching the heap (EtrainScheduler
+  /// does). The default adapts select() and inherits its allocations.
+  virtual void select_into(const SlotContext& ctx, const WaitingQueues& queues,
+                           std::vector<Selection>& out) {
+    out = select(ctx, queues);
+  }
+
   /// Display name for tables.
   virtual std::string name() const = 0;
 

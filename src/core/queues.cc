@@ -19,6 +19,7 @@ void WaitingQueues::enqueue(QueuedPacket p) {
     throw std::invalid_argument("WaitingQueues: packet without cost profile");
   }
   queues_[p.packet.app].push_back(std::move(p));
+  ++version_;
 }
 
 const std::vector<QueuedPacket>& WaitingQueues::queue(CargoAppId app) const {
@@ -50,9 +51,45 @@ double WaitingQueues::app_cost(CargoAppId app, TimePoint t) const {
   return sum;
 }
 
-double WaitingQueues::instantaneous_cost(TimePoint t) const {
+double WaitingQueues::recompute_instantaneous_cost(TimePoint t) const {
   double sum = 0.0;
   for (int app = 0; app < app_count(); ++app) sum += app_cost(app, t);
+  return sum;
+}
+
+double WaitingQueues::instantaneous_cost(TimePoint t) const {
+  // Hot O(1) path: still the same structural state, inside the affine
+  // window -> extrapolate from the anchor.
+  if (cost_cache_.version == version_ && cost_cache_.affine &&
+      t >= cost_cache_.anchor && t < cost_cache_.valid_until) {
+    return cost_cache_.anchor_sum +
+           cost_cache_.slope_sum * (t - cost_cache_.anchor);
+  }
+
+  // Anchor: full recompute, plus one affine_segment probe per packet to
+  // learn the window on which the sum stays a straight line.
+  double sum = 0.0;
+  double slope_sum = 0.0;
+  TimePoint valid_until = kTimeInfinity;
+  bool affine = true;
+  for (const auto& q : queues_) {
+    for (const auto& p : q) {
+      const Duration delay = t - p.packet.arrival;
+      sum += p.profile->cost(delay, p.packet.deadline);
+      if (!affine) continue;
+      double slope = 0.0;
+      Duration span = 0.0;
+      if (p.profile->affine_segment(delay, p.packet.deadline, &slope,
+                                    &span) &&
+          span > 0.0) {
+        slope_sum += slope;
+        valid_until = std::min(valid_until, t + span);
+      } else {
+        affine = false;
+      }
+    }
+  }
+  cost_cache_ = CostCache{version_, t, sum, slope_sum, valid_until, affine};
   return sum;
 }
 
@@ -75,6 +112,7 @@ QueuedPacket WaitingQueues::remove(CargoAppId app, PacketId id) {
   }
   QueuedPacket out = std::move(*it);
   q.erase(it);
+  ++version_;
   return out;
 }
 
@@ -85,6 +123,7 @@ std::vector<QueuedPacket> WaitingQueues::drain_all() {
     for (auto& p : q) out.push_back(std::move(p));
     q.clear();
   }
+  ++version_;
   return out;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/cost_profile.h"
@@ -51,7 +52,24 @@ class WaitingQueues {
   double app_cost(CargoAppId app, TimePoint t) const;
 
   /// P(t) = sum over all apps of P_i(t) (Eq. 6).
+  ///
+  /// Incrementally maintained: the gate check runs every slot while the
+  /// queue contents change only on arrivals/selections, so the full sum
+  /// (one virtual CostProfile::cost call per packet) is recomputed only at
+  /// an *anchor* — a structural change or an affine breakpoint (deadline
+  /// crossing, jump) — and in between P(t) is extrapolated in O(1) as
+  /// anchor_sum + slope_sum * (t - anchor_t) via the profiles'
+  /// affine_segment contract. Packets whose profile does not implement
+  /// affine_segment disable the cache (every call recomputes). The
+  /// extrapolated value may differ from the recomputed sum by float
+  /// rounding only; core_queues_test pins the invariant at 1e-9.
+  /// Not thread-safe (the cache is mutable state); each simulation replica
+  /// owns its queues, which the parallel engine already guarantees.
   double instantaneous_cost(TimePoint t) const;
+
+  /// Reference O(n) recomputation of P(t), bypassing the incremental
+  /// cache — the oracle the invariant tests compare against.
+  double recompute_instantaneous_cost(TimePoint t) const;
 
   /// \bar P_i(t) = sum over Q_i of the speculative costs varphi_u(t).
   double app_speculative_cost(CargoAppId app,
@@ -69,7 +87,22 @@ class WaitingQueues {
   TimePoint oldest_arrival(CargoAppId app) const;
 
  private:
+  /// Incremental P(t) state. `version` ties the cache to the structural
+  /// state of the queues; any enqueue/remove/drain invalidates by bumping
+  /// version_. Valid while version matches, every packet's profile is
+  /// affine on the window, and t lies in [anchor, valid_until).
+  struct CostCache {
+    std::uint64_t version = 0;
+    TimePoint anchor = 0.0;
+    double anchor_sum = 0.0;
+    double slope_sum = 0.0;
+    TimePoint valid_until = 0.0;
+    bool affine = false;
+  };
+
   std::vector<std::vector<QueuedPacket>> queues_;
+  std::uint64_t version_ = 1;
+  mutable CostCache cost_cache_;
 };
 
 }  // namespace etrain::core

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "android/heartbeat_monitor.h"
 #include "common/rng.h"
@@ -304,6 +303,14 @@ RunMetrics run_slotted(const Scenario& scenario,
     metrics.outcomes.push_back(o);
   };
 
+  // Hot-loop scratch, hoisted so the steady state reuses capacity instead
+  // of reallocating every slot: the slot context (its heartbeat lookahead
+  // vector in particular), the policy's selection buffer, and the
+  // duplicate-selection guard.
+  core::SlotContext ctx;
+  std::vector<core::Selection> selections;
+  std::vector<core::PacketId> seen;
+
   for (TimePoint t = 0.0; t < scenario.horizon; t += slot) {
     const TimePoint slot_end = t + slot;
 
@@ -358,15 +365,15 @@ RunMetrics run_slotted(const Scenario& scenario,
     short_term.add(measured);
     long_term.add(measured);
 
-    core::SlotContext ctx;
     ctx.slot_start = t;
     ctx.slot_length = slot;
     ctx.heartbeat_now = heartbeat_now;
+    ctx.upcoming_heartbeats.clear();
     if (faulted_heartbeats) {
       // No oracle timetable under heartbeat faults: the lookahead is the
       // monitor's online prediction from the beats actually observed.
-      ctx.upcoming_heartbeats =
-          monitor.predict_departures(t, scenario.horizon);
+      monitor.predict_departures(t, scenario.horizon,
+                                 ctx.upcoming_heartbeats);
       if (ctx.upcoming_heartbeats.size() > 16) {
         ctx.upcoming_heartbeats.resize(16);
       }
@@ -392,17 +399,20 @@ RunMetrics run_slotted(const Scenario& scenario,
           queues.instantaneous_cost(t)));
     }
 
-    const auto selections = policy.select(ctx, queues);
+    policy.select_into(ctx, queues, selections);
     if (!selections.empty()) {
       obs::Counter* const bucket =
           heartbeat_now ? piggybacked_counter : dripped_counter;
       if (bucket != nullptr) bucket->increment(selections.size());
     }
-    std::unordered_set<core::PacketId> seen;
+    // Selections are at most K(t) per slot, so a linear scan over the
+    // reused scratch beats a freshly-allocated hash set.
+    seen.clear();
     for (const auto& sel : selections) {
-      if (!seen.insert(sel.packet).second) {
+      if (std::find(seen.begin(), seen.end(), sel.packet) != seen.end()) {
         throw std::logic_error("policy selected the same packet twice");
       }
+      seen.push_back(sel.packet);
       const bool via_wifi = sel.via_wifi && ctx.wifi_available;
       transmit_data(queues.remove(sel.app, sel.packet), t, via_wifi);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -11,11 +12,25 @@ EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  const EventId id = next_id_++;
-  heap_.push_back(Event{when, next_seq_++, id, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (pool_.size() > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::length_error("Simulator: event pool exhausted");
+    }
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  PoolSlot& s = pool_[slot];
+  assert(s.state == PoolSlot::State::kFree);
+  s.fn = std::move(fn);
+  s.state = PoolSlot::State::kPending;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_ids_.insert(id);
-  return id;
+  ++pending_count_;
+  return pack(slot, s.gen);
 }
 
 EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
@@ -26,42 +41,70 @@ EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = pending_ids_.find(id);
-  if (it == pending_ids_.end()) return false;
-  pending_ids_.erase(it);
-  cancelled_ids_.insert(id);
-  // Keep the heap from filling up with corpses: once cancelled entries are
-  // the majority, sweep them out. Amortized O(1) per cancel — a sweep of n
-  // entries only happens after >= n/2 cancels.
-  if (cancelled_ids_.size() > heap_.size() / 2 && heap_.size() >= 64) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= pool_.size()) return false;
+  PoolSlot& s = pool_[slot];
+  if (s.gen != gen || s.state != PoolSlot::State::kPending) return false;
+  s.state = PoolSlot::State::kCancelled;
+  // Destroy the callback now: whatever it captured (shared state, buffers)
+  // is freed at cancel time, not when the corpse finally leaves the heap.
+  s.fn = nullptr;
+  --pending_count_;
+  ++cancelled_count_;
+  // Keep the heap from filling up with corpses: once cancelled entries
+  // exceed the configured fraction, sweep them out. Amortized O(1) per
+  // cancel — a sweep of n entries only happens after O(n) cancels.
+  if (heap_.size() >= options_.compaction_min_heap &&
+      static_cast<double>(cancelled_count_) >
+          static_cast<double>(heap_.size()) * options_.compaction_fraction) {
     compact();
   }
   return true;
 }
 
+void Simulator::release_slot(std::uint32_t slot) {
+  PoolSlot& s = pool_[slot];
+  s.fn = nullptr;
+  s.state = PoolSlot::State::kFree;
+  ++s.gen;  // ids minted for the old occupant are now stale
+  free_slots_.push_back(slot);
+}
+
 void Simulator::compact() {
-  std::erase_if(heap_, [this](const Event& ev) {
-    return cancelled_ids_.contains(ev.id);
+  std::erase_if(heap_, [this](const HeapEntry& ev) {
+    if (pool_[ev.slot].state != PoolSlot::State::kCancelled) return false;
+    release_slot(ev.slot);
+    return true;
   });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_ids_.clear();
+  cancelled_count_ = 0;
 }
 
 void Simulator::run_until(TimePoint horizon) {
   while (!heap_.empty()) {
     if (heap_.front().when > horizon) break;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
+    const HeapEntry ev = heap_.back();
     heap_.pop_back();
-    if (cancelled_ids_.erase(ev.id) > 0) continue;
-    pending_ids_.erase(ev.id);
+    PoolSlot& s = pool_[ev.slot];
+    assert(s.gen == ev.gen);
+    if (s.state == PoolSlot::State::kCancelled) {
+      release_slot(ev.slot);
+      --cancelled_count_;
+      continue;
+    }
+    assert(s.state == PoolSlot::State::kPending);
+    std::function<void()> fn = std::move(s.fn);
+    release_slot(ev.slot);
+    --pending_count_;
     assert(ev.when >= now_);
     now_ = ev.when;
     ++executed_;
-    ETRAIN_TRACE(trace_, obs::TraceEvent::event_fire(ev.when,
-                                                     static_cast<std::int64_t>(
-                                                         ev.id)));
-    ev.fn();
+    ETRAIN_TRACE(trace_,
+                 obs::TraceEvent::event_fire(
+                     ev.when, static_cast<std::int64_t>(pack(ev.slot, ev.gen))));
+    fn();
   }
   if (now_ < horizon && horizon < kTimeInfinity) now_ = horizon;
 }

@@ -5,11 +5,17 @@
 // transmissions — as events on this kernel. Events fire in (time, sequence)
 // order: ties at the same simulated instant execute in scheduling order,
 // which makes every run deterministic.
+//
+// Storage is a slot pool + index heap: the heap orders lightweight
+// trivially-copyable entries while the std::function bodies live in pooled
+// slots recycled through a free list. Sift operations never move a
+// std::function, cancel() destroys the callback (and whatever it captured)
+// eagerly, and pending/cancelled bookkeeping is O(1) per event with no
+// hash sets on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
@@ -17,16 +23,35 @@
 
 namespace etrain::sim {
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event. Packs (generation << 32) |
+/// pool slot; a recycled slot bumps its generation, so stale handles from
+/// an earlier occupant of the same slot can never cancel the new one.
 using EventId = std::uint64_t;
+
+/// Kernel tuning knobs.
+struct SimulatorOptions {
+  /// cancel() sweeps cancelled entries out of the heap once they exceed
+  /// `compaction_fraction` of its occupancy — but never while the heap is
+  /// smaller than `compaction_min_heap`, so tiny simulations skip the
+  /// sweep machinery entirely. The defaults reproduce the kernel's
+  /// historical behavior (sweep when corpses form the majority of a heap
+  /// of at least 64). Raising the fraction trades memory for fewer
+  /// sweeps; the compaction regression test pins the resulting bound on
+  /// queue_depth() under cancel churn.
+  std::size_t compaction_min_heap = 64;
+  double compaction_fraction = 0.5;
+};
 
 /// The simulation executive. Not thread-safe: the entire simulation runs on
 /// one thread, as is standard for sequential DES.
 class Simulator {
  public:
   Simulator() = default;
+  explicit Simulator(SimulatorOptions options) : options_(options) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  const SimulatorOptions& options() const { return options_; }
 
   /// Current simulated time. 0 before any event has run.
   TimePoint now() const { return now_; }
@@ -40,7 +65,8 @@ class Simulator {
 
   /// Cancels a pending event. Returns true when the event was still pending
   /// (and is now guaranteed not to fire); false when it already ran, was
-  /// already cancelled, or never existed.
+  /// already cancelled, or never existed. The callback and everything it
+  /// captured are destroyed before cancel() returns.
   bool cancel(EventId id);
 
   /// Runs events until the queue empties or simulated time would exceed
@@ -58,9 +84,7 @@ class Simulator {
 
   /// Number of events currently pending (excluding cancelled ones still in
   /// the heap awaiting lazy removal).
-  std::size_t pending_events() const {
-    return heap_.size() - cancelled_ids_.size();
-  }
+  std::size_t pending_events() const { return pending_count_; }
 
   /// Raw heap occupancy, *including* cancelled-but-unpopped entries —
   /// strictly bookkeeping-facing (the compaction regression test asserts
@@ -73,36 +97,54 @@ class Simulator {
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
  private:
-  struct Event {
+  /// A pooled event body. `gen` is bumped every time the slot is released,
+  /// invalidating any EventId minted for a previous occupant.
+  struct PoolSlot {
+    enum class State : std::uint8_t { kFree, kPending, kCancelled };
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    State state = State::kFree;
+  };
+
+  /// What the heap actually sorts: 24 trivially-copyable bytes. Sifting
+  /// never touches the std::function in the pool.
+  struct HeapEntry {
     TimePoint when;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// Returns the slot to the free list and invalidates outstanding ids.
+  void release_slot(std::uint32_t slot);
+
   /// Rebuilds the heap without the cancelled entries. Called by cancel()
-  /// once cancelled entries dominate the heap, keeping memory and
-  /// pop-side skip work bounded by the number of *live* events.
+  /// once cancelled entries dominate the heap (per options_), keeping
+  /// memory and pop-side skip work bounded by the number of *live* events.
   void compact();
 
+  SimulatorOptions options_;
   TimePoint now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t pending_count_ = 0;
+  std::size_t cancelled_count_ = 0;  // corpses still in the heap
   // A binary heap managed with std::push_heap/std::pop_heap (not a
   // std::priority_queue) so compact() can filter the underlying storage
   // in place.
-  std::vector<Event> heap_;
-  // Lazy cancellation: ids are dropped when they reach the top of the heap
-  // or when compact() sweeps them out.
-  std::unordered_set<EventId> cancelled_ids_;
-  std::unordered_set<EventId> pending_ids_;
+  std::vector<HeapEntry> heap_;
+  std::vector<PoolSlot> pool_;
+  std::vector<std::uint32_t> free_slots_;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -137,6 +137,28 @@ TEST(EtrainScheduler, GreedyOrderingWithinApp) {
   EXPECT_EQ(sel[1].packet, 1);
 }
 
+TEST(EtrainScheduler, TieBreakOrdersByArrivalThenId) {
+  // Exactly tied gains resolve by (older arrival, then smaller id) — the
+  // documented deterministic ordering. Mail packets before their deadline
+  // all carry phi = 0, so on a heartbeat slot every gain ties at 0.
+  // Ids deliberately *disagree* with arrival order: the pre-fix comparator
+  // picked the smallest id among ties regardless of age (and its
+  // `best_packet >= 0` guard silently disabled tie-breaking against a
+  // best candidate that happened to carry a negative id).
+  EtrainScheduler s({.theta = 0.0, .k = 3});
+  WaitingQueues q(2);
+  q.enqueue(make(7, 0, 5.0, 1000.0, mail_cost_profile()));
+  q.enqueue(make(2, 0, 9.0, 1000.0, mail_cost_profile()));
+  q.enqueue(make(1, 1, 5.0, 1000.0, mail_cost_profile()));
+  const auto sel = s.select(slot(20.0, true), q);
+  ASSERT_EQ(sel.size(), 3u);
+  // Oldest arrival (5.0) first; within the 5.0 tie, id 1 beats id 7; the
+  // younger packet goes last even though its id (2) is the second-smallest.
+  EXPECT_EQ(sel[0].packet, 1);
+  EXPECT_EQ(sel[1].packet, 7);
+  EXPECT_EQ(sel[2].packet, 2);
+}
+
 TEST(EtrainScheduler, NeverSelectsSamePacketTwice) {
   EtrainScheduler s({.theta = 0.0, .k = EtrainConfig::unlimited_k()});
   WaitingQueues q(3);

@@ -102,5 +102,95 @@ TEST(WaitingQueues, OldestArrival) {
   EXPECT_EQ(q.oldest_arrival(1), kTimeInfinity);
 }
 
+// --------------------------------------------------------------------------
+// Incremental instantaneous_cost: the cached/extrapolated value must track
+// the reference full recomputation within 1e-9 through repeated gate-style
+// queries, affine breakpoints, and structural invalidation.
+
+TEST(WaitingQueuesIncrementalCost, MatchesRecomputeAcrossSlotScan) {
+  WaitingQueues q(3);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  q.enqueue(make(2, 1, 5.0, 120.0, cloud_cost_profile()));
+  q.enqueue(make(3, 2, 10.0, 30.0, mail_cost_profile()));
+  // Slot-by-slot scan like the scheduler's gate: every query extrapolated
+  // or re-anchored, always within 1e-9 of the reference sum.
+  for (TimePoint t = 10.0; t < 400.0; t += 1.0) {
+    EXPECT_NEAR(q.instantaneous_cost(t), q.recompute_instantaneous_cost(t),
+                1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(WaitingQueuesIncrementalCost, TracksWeiboJumpAtDeadline) {
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  // Anchor inside the ramp, then query past the deadline: the cached
+  // affine window must end at the jump, not extrapolate the ramp through
+  // it (f2 jumps from 1 to the constant 2 at the deadline).
+  EXPECT_NEAR(q.instantaneous_cost(30.0), 0.5, 1e-12);
+  EXPECT_NEAR(q.instantaneous_cost(59.0), 59.0 / 60.0, 1e-12);
+  EXPECT_NEAR(q.instantaneous_cost(61.0), 2.0, 1e-12);
+  EXPECT_NEAR(q.instantaneous_cost(300.0), 2.0, 1e-12);
+}
+
+TEST(WaitingQueuesIncrementalCost, TracksMailAndCloudBreakpoints) {
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 50.0, mail_cost_profile()));
+  q.enqueue(make(2, 1, 0.0, 50.0, cloud_cost_profile()));
+  for (const TimePoint t :
+       {1.0, 25.0, 49.0, 49.999, 50.0, 50.001, 60.0, 200.0}) {
+    EXPECT_NEAR(q.instantaneous_cost(t), q.recompute_instantaneous_cost(t),
+                1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(WaitingQueuesIncrementalCost, EnqueueAndRemoveInvalidate) {
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  EXPECT_NEAR(q.instantaneous_cost(30.0), 0.5, 1e-12);  // cache anchored
+  q.enqueue(make(2, 1, 0.0, 60.0, weibo_cost_profile()));
+  EXPECT_NEAR(q.instantaneous_cost(30.0), 1.0, 1e-12);  // sees the arrival
+  q.remove(0, 1);
+  EXPECT_NEAR(q.instantaneous_cost(30.0), 0.5, 1e-12);  // sees the removal
+  q.drain_all();
+  EXPECT_DOUBLE_EQ(q.instantaneous_cost(30.0), 0.0);
+}
+
+TEST(WaitingQueuesIncrementalCost, BackwardQueryReanchors) {
+  WaitingQueues q(1);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  EXPECT_NEAR(q.instantaneous_cost(40.0), 40.0 / 60.0, 1e-12);
+  // The cache extrapolates forward only; asking about an earlier time must
+  // re-anchor, never extrapolate with a negative offset... and still be
+  // exact.
+  EXPECT_NEAR(q.instantaneous_cost(10.0), 10.0 / 60.0, 1e-12);
+}
+
+/// A profile that opts out of the affine contract: quadratic growth, no
+/// affine_segment override. Queues holding it must fall back to full
+/// recomputation on every query — and stay correct.
+class QuadraticProfile final : public CostProfile {
+ public:
+  double cost(Duration delay, Duration deadline) const override {
+    if (delay <= 0.0) return 0.0;
+    const double x = delay / deadline;
+    return x * x;
+  }
+  std::string name() const override { return "quadratic-test"; }
+};
+
+TEST(WaitingQueuesIncrementalCost, NonAffineProfileDisablesCacheSafely) {
+  static const QuadraticProfile quad;
+  WaitingQueues q(2);
+  q.enqueue(make(1, 0, 0.0, 60.0, weibo_cost_profile()));
+  q.enqueue(make(2, 1, 0.0, 60.0, quad));
+  for (TimePoint t = 1.0; t < 150.0; t += 1.0) {
+    const double expect =
+        weibo_cost_profile().cost(t, 60.0) + quad.cost(t, 60.0);
+    EXPECT_NEAR(q.instantaneous_cost(t), expect, 1e-12) << "t=" << t;
+  }
+}
+
 }  // namespace
 }  // namespace etrain::core

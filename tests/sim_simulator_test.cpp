@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -202,6 +204,97 @@ TEST(Simulator, CompactionPreservesExecutionOrder) {
     EXPECT_LE(times[i - 1], times[i]);
   }
   EXPECT_EQ(times.size(), s.events_executed());
+}
+
+TEST(Simulator, DefaultOptionsMatchHistoricalCompactionPolicy) {
+  Simulator s;
+  EXPECT_EQ(s.options().compaction_min_heap, 64u);
+  EXPECT_DOUBLE_EQ(s.options().compaction_fraction, 0.5);
+}
+
+TEST(Simulator, CustomCompactionOptionsAreHonored) {
+  // An aggressive configuration sweeps sooner: min heap 8, any corpse
+  // fraction above a quarter triggers.
+  Simulator s(SimulatorOptions{.compaction_min_heap = 8,
+                               .compaction_fraction = 0.25});
+  EXPECT_EQ(s.options().compaction_min_heap, 8u);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(s.schedule_at(static_cast<double>(i), [] {}));
+  }
+  // 5 corpses out of 16 > 0.25 * 16: the default policy (min heap 64)
+  // would have left all five in the heap; this one must have swept.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(s.cancel(ids[i]));
+  EXPECT_EQ(s.queue_depth(), 11u);
+  EXPECT_EQ(s.pending_events(), 11u);
+}
+
+TEST(Simulator, HeapStaysBoundedUnderCancelChurn) {
+  // Regression for unbounded corpse accumulation: interleave scheduling
+  // and cancelling (the alarm-coalescing pattern — every new alarm cancels
+  // the previous one) far beyond the heap's live size. The raw heap
+  // occupancy must stay bounded by the live count plus the compaction
+  // threshold, no matter how many cancels have happened in total.
+  Simulator s;
+  constexpr int kLive = 40;
+  std::vector<EventId> ids;
+  for (int i = 0; i < kLive; ++i) {
+    ids.push_back(s.schedule_at(1e6 + i, [] {}));
+  }
+  std::size_t max_depth = 0;
+  for (int round = 0; round < 5000; ++round) {
+    const int victim = (round * 7919) % kLive;
+    ASSERT_TRUE(s.cancel(ids[victim]));
+    ids[victim] = s.schedule_at(1e6 + round, [] {});
+    max_depth = std::max(max_depth, s.queue_depth());
+  }
+  EXPECT_EQ(s.pending_events(), static_cast<std::size_t>(kLive));
+  // Sweep threshold: corpses may reach half the heap before compaction,
+  // and heaps under 64 entries never compact — so 2 * live + min-heap
+  // slack is a safe ceiling; 5000 churn rounds must never exceed it.
+  EXPECT_LE(max_depth, 2u * kLive + 64u);
+  s.run_to_exhaustion();
+  EXPECT_EQ(s.events_executed(), static_cast<std::uint64_t>(kLive));
+}
+
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  // Event ids pack (generation, pool slot): after A's slot is recycled
+  // into B, A's stale handle must not cancel B.
+  Simulator s;
+  int fired = 0;
+  const EventId a = s.schedule_at(1.0, [&fired] { ++fired; });
+  s.run_to_exhaustion();  // A fires; its slot returns to the free list
+  EXPECT_EQ(fired, 1);
+  const EventId b = s.schedule_at(2.0, [&fired] { ++fired; });
+  EXPECT_NE(a, b);  // same slot, bumped generation
+  EXPECT_FALSE(s.cancel(a));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_to_exhaustion();
+  EXPECT_EQ(fired, 2);
+
+  // Same via the cancel path: cancelling C must not invalidate D.
+  const EventId c = s.schedule_at(3.0, [&fired] { ++fired; });
+  ASSERT_TRUE(s.cancel(c));
+  s.run_to_exhaustion();  // pops C's corpse, recycles its slot
+  const EventId d = s.schedule_at(4.0, [&fired] { ++fired; });
+  EXPECT_FALSE(s.cancel(c));
+  EXPECT_NE(c, d);
+  s.run_to_exhaustion();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelDestroysCallbackEagerly) {
+  // The cancelled callback's captures are released at cancel() time, not
+  // when the corpse leaves the heap.
+  Simulator s;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = s.schedule_at(1.0, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // the pending event keeps it alive
+  ASSERT_TRUE(s.cancel(id));
+  EXPECT_TRUE(watch.expired());  // released immediately on cancel
+  s.run_to_exhaustion();
 }
 
 TEST(Simulator, ManyEventsStressOrdering) {
