@@ -1,0 +1,149 @@
+// Fleet-scale bench: how many simulated devices (and slots) per wall-clock
+// second the FleetHarness sustains on the canonical heterogeneous city
+// (FleetSpec::city — idle/light/regular/heavy activeness classes, paper
+// simulation power model).
+//
+// Two phases, mirroring bench_throughput:
+//   validate — one full fleet run; its deterministic outcomes (population
+//              totals, per-class energy/delay, the fleet ledger) land in
+//              the compared results/fleet/ledger sections, so a serial and
+//              a parallel run of this bench must agree byte for byte —
+//              check.sh diffs them with compare_reports;
+//   time     — best-of-reps timing of the same run; wall-clock devices/sec
+//              and slots/sec land in the non-compared `environment`
+//              section, floor-gated against
+//              bench/baselines/fleet.baseline.json.
+//
+// Flags: the shared --report/--quick/--jobs set (obs::BenchOptions) plus
+//   --devices N   population size   (default 100000; --quick 5000)
+//   --shards N    shard count       (default 0 = auto; byte-invariant)
+//
+// Emits BENCH_fleet.json by default (or wherever --report points).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "baselines/registry.h"
+#include "exp/fleet.h"
+#include "exp/run_report.h"
+#include "obs/bench_options.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+namespace {
+
+using namespace etrain;
+using namespace etrain::experiments;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// `--flag N` / `--flag=N`, or `fallback` when absent. BenchOptions
+/// deliberately ignores flags it does not know, so bench-specific knobs
+/// parse here without colliding with the shared set.
+std::size_t parse_size_flag(int argc, char** argv, const std::string& flag,
+                            std::size_t fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == flag && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else {
+      continue;
+    }
+    return static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  if (opts.report_path.empty()) opts.report_path = "BENCH_fleet.json";
+
+  // Quick mode trades population and per-device horizon for wall time —
+  // the check.sh gate runs it twice (serial + parallel) on every commit.
+  const std::size_t devices =
+      parse_size_flag(argc, argv, "--devices", opts.quick ? 5000 : 100000);
+  const Duration horizon = opts.quick ? 300.0 : 600.0;
+  // One rep of 100k devices already averages over millions of slots, so
+  // full mode times a single rep; quick mode takes the best of two.
+  const int reps = opts.quick ? 2 : 1;
+
+  FleetSpec spec = FleetSpec::city(devices, horizon);
+  spec.shards = parse_size_flag(argc, argv, "--shards", 0);
+  const FleetHarness harness(spec);
+  const auto& registry = baselines::builtin_registry();
+
+  std::printf(
+      "=== fleet throughput: %zu devices x %.0f s horizon, %zu classes, "
+      "%zu shards, best of %d reps ===\n",
+      spec.devices, horizon, spec.classes.size(), harness.shard_count(),
+      reps);
+
+  obs::RunReport report;
+  report.bench = "fleet";
+  describe_fleet(report, spec);
+  report.add_provenance("reps", std::to_string(reps));
+
+  // Phase 1: correctness snapshot. Everything recorded here is
+  // deterministic for ANY shard/job combination — check.sh compares a
+  // serial and a parallel run of this phase bit for bit.
+  FleetResult validation;
+  {
+    OBS_PROFILE_SCOPE("fleet.validate");
+    validation = harness.run(registry, opts.jobs);
+  }
+  fill_fleet_sections(report, validation);
+  for (const auto& agg : validation.classes) {
+    std::printf(
+        "%-8s %7zu devices %8zu packets  %12.1f J  %6.2f s avg delay\n",
+        agg.name.c_str(), agg.devices, agg.packets, agg.network_J,
+        agg.normalized_delay_s());
+  }
+
+  // Phase 2: best-of-reps timing of the identical run. Wall-clock rates
+  // are machine- and load-dependent, so they live in `environment` (never
+  // diffed, floor-gated only).
+  {
+    OBS_PROFILE_SCOPE("fleet.time");
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const FleetResult timed = harness.run(registry, opts.jobs);
+      const double elapsed = seconds_since(start);
+      best = std::min(best, elapsed);
+      if (timed.device_meter_total_J != validation.device_meter_total_J) {
+        std::printf("fleet: timing rep diverged from validation\n");
+        return 1;
+      }
+    }
+    const double devices_per_sec =
+        static_cast<double>(spec.devices) / best;
+    const double slots_per_sec =
+        static_cast<double>(validation.total_slots) / best;
+    report.add_environment("run_seconds", best);
+    report.add_environment("devices_per_sec", devices_per_sec);
+    report.add_environment("slots_per_sec", slots_per_sec);
+    report.add_environment("shards",
+                           static_cast<double>(harness.shard_count()));
+    std::printf(
+        "fleet    %7zu devices (%llu slots) in %6.3f s -> %8.0f devices/s, "
+        "%10.0f slots/s, %.1f J total\n",
+        spec.devices,
+        static_cast<unsigned long long>(validation.total_slots), best,
+        devices_per_sec, slots_per_sec, validation.device_meter_total_J);
+  }
+
+  obs::finalize_run_report(opts.report_path, std::move(report));
+  return 0;
+}

@@ -90,6 +90,29 @@ scripts/compare_reports bench/baselines/throughput.baseline.json \
   --floor slots_per_sec_peres=0.9 \
   --floor slots_per_sec_etime=0.9
 
+# Fleet gate (docs/fleet.md): bench_fleet simulates the heterogeneous
+# city; the compared sections (population totals, per-class aggregates,
+# the fleet ledger) must be byte-identical between a serial 1-shard run
+# and a parallel 8-shard run, each report must pass report_check's fleet
+# cross-checks (ledger re-bills the summed device meters), and the
+# wall-clock devices/sec must clear the committed floor.
+ETRAIN_JOBS=1 "./$BUILD_DIR/bench/bench_fleet" --quick --shards 1 \
+  --report results/fleet.serial.report.json
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_fleet" --quick --shards 8 \
+  --report results/fleet.parallel.report.json
+"./$BUILD_DIR/examples/report_check" results/fleet.serial.report.json
+"./$BUILD_DIR/examples/report_check" results/fleet.parallel.report.json
+scripts/compare_reports results/fleet.serial.report.json \
+  results/fleet.parallel.report.json
+scripts/compare_reports bench/baselines/fleet.baseline.json \
+  results/fleet.serial.report.json --floors-only \
+  --floor devices_per_sec=0.9 \
+  --floor slots_per_sec=0.9
+
+# Docs lint (docs/README.md): every intra-repo markdown link resolves and
+# every docs/*.md page is reachable from the README index.
+python3 scripts/check_docs.py
+
 # One AddressSanitizer pass over the fault-injection tests: the new
 # failure/retry/teardown paths juggle completion callbacks and requeue
 # buffers — exactly the code ASan exists for. Separate build dir: never mix

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Dependency-free docs lint (scripts/check.sh and the docs_lint ctest).
+
+Two checks over every tracked markdown file in the repo:
+
+  1. every intra-repo markdown link resolves to an existing file or
+     directory (http(s)/mailto and pure-anchor links are skipped);
+  2. every page under docs/ is reachable from README.md by following
+     intra-repo markdown links — an orphaned doc is a doc nobody finds.
+
+Exits 0 when clean; prints every violation and exits 1 otherwise.
+Stdlib only — no pip installs, runs anywhere python3 exists.
+"""
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren. Images
+# (![alt](target)) match too via the same pattern, which is what we want.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Inline code spans can contain bracket-paren sequences that are not
+# links; strip fenced code blocks and inline code before scanning.
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def markdown_files(root: str) -> list[str]:
+    """Every .md file in the repo, skipping build trees and dot-dirs."""
+    skip_dirs = {".git", "build", "results", "third_party"}
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in skip_dirs
+            and not d.startswith(".")
+            and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def extract_links(path: str) -> list[str]:
+    """Intra-repo link targets of one markdown file, code blocks excluded."""
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(INLINE_CODE_RE.sub("`", line)):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target = target.split("#", 1)[0]  # drop the anchor
+                if not target:  # pure same-page anchor
+                    continue
+                links.append(target)
+    return links
+
+
+def resolve(source: str, target: str, root: str) -> str:
+    """Absolute path a link points at (relative to its source file)."""
+    if target.startswith("/"):
+        return os.path.normpath(os.path.join(root, target.lstrip("/")))
+    return os.path.normpath(os.path.join(os.path.dirname(source), target))
+
+
+def main() -> int:
+    root = repo_root()
+    files = markdown_files(root)
+    errors = []
+
+    # Link graph over markdown files, for the reachability pass.
+    md_links: dict[str, set[str]] = {path: set() for path in files}
+
+    for path in files:
+        rel_source = os.path.relpath(path, root)
+        for target in extract_links(path):
+            resolved = resolve(path, target, root)
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{rel_source}: broken link -> {target}"
+                )
+                continue
+            if resolved.endswith(".md") and resolved in md_links:
+                md_links[path].add(resolved)
+
+    # Reachability: BFS over markdown links from README.md; every page
+    # under docs/ must be visited.
+    readme = os.path.join(root, "README.md")
+    if not os.path.exists(readme):
+        errors.append("README.md missing at repo root")
+    else:
+        seen = {readme}
+        frontier = [readme]
+        while frontier:
+            page = frontier.pop()
+            for target in md_links.get(page, ()):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        docs_dir = os.path.join(root, "docs")
+        for path in files:
+            if path.startswith(docs_dir + os.sep) and path not in seen:
+                errors.append(
+                    f"{os.path.relpath(path, root)}: not reachable from "
+                    "README.md via markdown links"
+                )
+
+    if errors:
+        for error in errors:
+            print(f"check_docs: {error}")
+        print(f"check_docs: {len(errors)} problem(s) in {len(files)} files")
+        return 1
+    print(f"check_docs: {len(files)} markdown files OK "
+          "(links resolve, docs/ reachable from README)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+#include "exp/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "exp/slotted_sim.h"
+#include "obs/profile.h"
+
+namespace etrain::experiments {
+
+namespace {
+
+/// A hashed uint64 mapped to [0, 1) — the same 53-bit construction
+/// common/rng.h uses, applied to an already-mixed value.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FleetArrays::LedgerColumns::resize(std::size_t n) {
+  tx_J.assign(n, 0.0);
+  setup_J.assign(n, 0.0);
+  tail_J.assign(n, 0.0);
+  failed_airtime_J.assign(n, 0.0);
+  airtime_s.assign(n, 0.0);
+  failed_airtime_s.assign(n, 0.0);
+  transmissions.assign(n, 0);
+  failures.assign(n, 0);
+}
+
+void FleetArrays::resize(std::size_t n) {
+  class_id.assign(n, 0);
+  meter_J.assign(n, 0.0);
+  delay_sum_s.assign(n, 0.0);
+  delay_cost.assign(n, 0.0);
+  packets.assign(n, 0);
+  violations.assign(n, 0);
+  slots.assign(n, 0);
+  cellular_heartbeat.resize(n);
+  cellular_data.resize(n);
+  wifi_heartbeat.resize(n);
+  wifi_data.resize(n);
+}
+
+void FleetSpec::validate() const {
+  if (devices == 0) {
+    throw std::invalid_argument("FleetSpec: zero devices");
+  }
+  if (classes.empty()) {
+    throw std::invalid_argument("FleetSpec: no activeness classes");
+  }
+  double total_weight = 0.0;
+  for (const auto& cls : classes) {
+    if (cls.name.empty()) {
+      throw std::invalid_argument("FleetSpec: class with empty name");
+    }
+    if (!(cls.weight >= 0.0)) {
+      throw std::invalid_argument("FleetSpec: class '" + cls.name +
+                                  "' has a negative or NaN weight");
+    }
+    if (cls.policy.empty()) {
+      throw std::invalid_argument("FleetSpec: class '" + cls.name +
+                                  "' has an empty policy spec");
+    }
+    total_weight += cls.weight;
+  }
+  if (!(total_weight > 0.0)) {
+    throw std::invalid_argument("FleetSpec: total class weight is zero");
+  }
+}
+
+FleetSpec FleetSpec::city(std::size_t devices, Duration horizon) {
+  FleetSpec spec;
+  spec.devices = devices;
+  const auto make_class = [&](const char* name, double weight, double lambda,
+                              int trains, const char* policy) {
+    FleetClass cls;
+    cls.name = name;
+    cls.weight = weight;
+    cls.policy = policy;
+    cls.scenario.lambda(lambda)
+        .trains(trains)
+        .horizon(horizon)
+        .model(radio::PowerModel::PaperSimulation());
+    return cls;
+  };
+  // Fig. 11's activeness axis as population shares: most users idle most
+  // of the day, a heavy-tail minority does most of the traffic. Heavy
+  // users get a looser cost gate (theta=2) — they tolerate less deferral.
+  spec.classes.push_back(
+      make_class("idle", 0.35, 0.01, 1, "etrain:theta=1,k=20"));
+  spec.classes.push_back(
+      make_class("light", 0.30, 0.04, 2, "etrain:theta=1,k=20"));
+  spec.classes.push_back(
+      make_class("regular", 0.25, 0.08, 3, "etrain:theta=1,k=20"));
+  spec.classes.push_back(
+      make_class("heavy", 0.10, 0.20, 3, "etrain:theta=2,k=20"));
+  return spec;
+}
+
+FleetHarness::FleetHarness(FleetSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  cumulative_weight_.reserve(spec_.classes.size());
+  double total = 0.0;
+  for (const auto& cls : spec_.classes) total += cls.weight;
+  double running = 0.0;
+  for (const auto& cls : spec_.classes) {
+    running += cls.weight / total;
+    cumulative_weight_.push_back(running);
+  }
+  cumulative_weight_.back() = 1.0;  // guard against float shortfall
+}
+
+std::size_t FleetHarness::class_of(std::uint64_t device) const {
+  const double u =
+      to_unit(task_seed(splitmix64(spec_.seed ^ kStreamClass), device));
+  const auto it = std::upper_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), u);
+  const std::size_t index =
+      static_cast<std::size_t>(it - cumulative_weight_.begin());
+  return std::min(index, spec_.classes.size() - 1);
+}
+
+std::uint64_t FleetHarness::device_seed(std::uint64_t device,
+                                        std::uint64_t stream) const {
+  return task_seed(splitmix64(spec_.seed ^ stream), device);
+}
+
+Scenario FleetHarness::device_scenario(std::uint64_t device) const {
+  // Copy the class prototype and claim its four seed knobs: per-device
+  // randomness is a pure function of (fleet seed, stream, device id),
+  // never of the shard or thread simulating the device.
+  ScenarioBuilder builder = spec_.classes[class_of(device)].scenario;
+  builder.workload_seed(device_seed(device, kStreamWorkload))
+      .bandwidth_seed(device_seed(device, kStreamBandwidth))
+      .noise_seed(device_seed(device, kStreamNoise))
+      .fault_seed(device_seed(device, kStreamFaults));
+  return builder.build();
+}
+
+std::size_t FleetHarness::shard_count() const {
+  if (spec_.shards != 0) return std::min(spec_.shards, spec_.devices);
+  // Auto: a few shards per worker so one slow shard cannot serialize the
+  // tail of the run. Any value is correct; this only shapes parallelism.
+  return std::min<std::size_t>(spec_.devices, 4 * default_jobs());
+}
+
+FleetResult FleetHarness::run(const core::PolicyRegistry& registry,
+                              std::size_t jobs) const {
+  OBS_PROFILE_SCOPE("fleet.run");
+  // Fail fast on a typo'd policy spec before any thread spawns.
+  for (const auto& cls : spec_.classes) (void)registry.make(cls.policy);
+
+  FleetResult result;
+  result.devices = spec_.devices;
+  result.arrays.resize(spec_.devices);
+  FleetArrays& arrays = result.arrays;
+
+  const std::size_t shards = shard_count();
+  std::vector<std::size_t> shard_ids(shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), std::size_t{0});
+
+  // Collapses one device's PR-4 ledger rows (already summed over cargo
+  // apps by bucket) into that device's SoA digest columns.
+  const auto digest_ledger = [&arrays](const obs::EnergyLedger& ledger,
+                                       std::size_t device) {
+    for (const auto& row : ledger.rows) {
+      const bool wifi = row.interface_name == "wifi";
+      const bool heartbeat = row.kind == radio::TxKind::kHeartbeat;
+      FleetArrays::LedgerColumns& columns =
+          wifi ? (heartbeat ? arrays.wifi_heartbeat : arrays.wifi_data)
+               : (heartbeat ? arrays.cellular_heartbeat
+                            : arrays.cellular_data);
+      columns.tx_J[device] += row.tx_J;
+      columns.setup_J[device] += row.setup_J;
+      columns.tail_J[device] += row.tail_J;
+      columns.failed_airtime_J[device] += row.failed_airtime_J;
+      columns.airtime_s[device] += row.airtime_s;
+      columns.failed_airtime_s[device] += row.failed_airtime_s;
+      columns.transmissions[device] +=
+          static_cast<std::uint32_t>(row.transmissions);
+      columns.failures[device] += static_cast<std::uint32_t>(row.failures);
+    }
+  };
+
+  // Phase 1: shard workers. Each writes only its own contiguous row
+  // range of the SoA columns; the fn's return value is just a sanity
+  // count. parallel_map's order preservation is irrelevant here — the
+  // columns are indexed by device id, not completion order.
+  parallel_map(
+      shard_ids,
+      [&](std::size_t shard) -> std::size_t {
+        OBS_PROFILE_SCOPE("fleet.shard");
+        const std::size_t begin = spec_.devices * shard / shards;
+        const std::size_t end = spec_.devices * (shard + 1) / shards;
+        // One policy instance per class, reused across the shard's
+        // devices (run_slotted resets it per run).
+        std::vector<std::unique_ptr<core::SchedulingPolicy>> policies(
+            spec_.classes.size());
+        for (std::size_t device = begin; device < end; ++device) {
+          const std::size_t cls = class_of(device);
+          arrays.class_id[device] = static_cast<std::uint32_t>(cls);
+          if (policies[cls] == nullptr) {
+            policies[cls] = registry.make(spec_.classes[cls].policy);
+          }
+          const Scenario scenario = device_scenario(device);
+          const RunMetrics metrics =
+              run_slotted(scenario, *policies[cls]);
+
+          arrays.meter_J[device] = metrics.network_energy();
+          double delay_sum = 0.0;
+          std::uint32_t violations = 0;
+          for (const auto& outcome : metrics.outcomes) {
+            delay_sum += outcome.delay;
+            if (outcome.violated) ++violations;
+          }
+          arrays.delay_sum_s[device] = delay_sum;
+          arrays.delay_cost[device] = metrics.total_delay_cost;
+          arrays.packets[device] =
+              static_cast<std::uint32_t>(metrics.outcomes.size());
+          arrays.violations[device] = violations;
+          arrays.slots[device] = static_cast<std::uint32_t>(std::ceil(
+              scenario.horizon / policies[cls]->preferred_slot_length() -
+              1e-12));
+
+          obs::EnergyLedger device_ledger;
+          obs::append_ledger(device_ledger, "cellular", metrics.log,
+                             scenario.model, metrics.energy.horizon);
+          if (!metrics.wifi_log.empty()) {
+            obs::append_ledger(device_ledger, "wifi", metrics.wifi_log,
+                               scenario.wifi_model,
+                               metrics.wifi_energy.horizon);
+          }
+          digest_ledger(device_ledger, device);
+        }
+        return end - begin;
+      },
+      jobs);
+
+  // Phase 2: the serial fold, in device-id order regardless of how the
+  // shards were cut — this is what makes every aggregate byte-identical
+  // across shard and job counts (float addition is not associative, so
+  // per-shard partial sums merged shard-wise would not be).
+  OBS_PROFILE_SCOPE("fleet.fold");
+  const std::size_t class_count = spec_.classes.size();
+  result.classes.resize(class_count);
+  for (std::size_t c = 0; c < class_count; ++c) {
+    result.classes[c].name = spec_.classes[c].name;
+  }
+  // Per-(class, bucket) ledger accumulators, folded in device order.
+  struct BucketAccumulator {
+    obs::LedgerRow row;
+    bool used = false;
+  };
+  const char* const interface_names[2] = {"cellular", "wifi"};
+  const radio::TxKind kinds[2] = {radio::TxKind::kHeartbeat,
+                                  radio::TxKind::kData};
+  std::vector<BucketAccumulator> buckets(class_count * 4);
+  const auto bucket_of = [&](std::size_t cls, std::size_t interface_index,
+                             std::size_t kind_index) -> BucketAccumulator& {
+    return buckets[cls * 4 + interface_index * 2 + kind_index];
+  };
+
+  for (std::size_t device = 0; device < spec_.devices; ++device) {
+    const std::size_t cls = arrays.class_id[device];
+    FleetClassAggregate& agg = result.classes[cls];
+    agg.devices += 1;
+    agg.packets += arrays.packets[device];
+    agg.violations += arrays.violations[device];
+    agg.delay_sum_s += arrays.delay_sum_s[device];
+    agg.delay_cost += arrays.delay_cost[device];
+    result.device_meter_total_J += arrays.meter_J[device];
+    result.total_slots += arrays.slots[device];
+    result.total_packets += arrays.packets[device];
+
+    const FleetArrays::LedgerColumns* groups[2][2] = {
+        {&arrays.cellular_heartbeat, &arrays.cellular_data},
+        {&arrays.wifi_heartbeat, &arrays.wifi_data}};
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        const FleetArrays::LedgerColumns& columns = *groups[i][k];
+        const double total = columns.tx_J[device] + columns.setup_J[device] +
+                             columns.tail_J[device];
+        if (columns.transmissions[device] == 0 && total == 0.0) continue;
+        BucketAccumulator& bucket = bucket_of(cls, i, k);
+        obs::LedgerRow& row = bucket.row;
+        if (!bucket.used) {
+          row.interface_name = interface_names[i];
+          row.kind = kinds[k];
+          row.app = static_cast<int>(cls);
+          bucket.used = true;
+        }
+        row.tx_J += columns.tx_J[device];
+        row.setup_J += columns.setup_J[device];
+        row.tail_J += columns.tail_J[device];
+        row.failed_airtime_J += columns.failed_airtime_J[device];
+        row.airtime_s += columns.airtime_s[device];
+        row.failed_airtime_s += columns.failed_airtime_s[device];
+        row.transmissions += columns.transmissions[device];
+        row.failures += columns.failures[device];
+        if (k == 0) {
+          agg.heartbeat_J += total;
+        } else {
+          agg.data_J += total;
+        }
+        agg.transmissions += columns.transmissions[device];
+        agg.failures += columns.failures[device];
+      }
+    }
+  }
+  for (auto& agg : result.classes) {
+    // The class energy is defined as the sum of its ledger-bucket totals,
+    // so heartbeat_J + data_J partitions it exactly.
+    agg.network_J = agg.heartbeat_J + agg.data_J;
+  }
+
+  // Emit rows in the ledger's canonical (interface, kind, app) order:
+  // "cellular" < "wifi", kHeartbeat < kData, class index ascending.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      for (std::size_t c = 0; c < class_count; ++c) {
+        const BucketAccumulator& bucket = bucket_of(c, i, k);
+        if (bucket.used) result.ledger.rows.push_back(bucket.row);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace etrain::experiments

@@ -1,0 +1,213 @@
+// Fleet-scale simulation: one run = a city of devices (ROADMAP item 1).
+//
+// A single-device Scenario answers "what does eTrain do to one phone?";
+// the paper's claim is population-level — millions of always-online
+// handsets wasting tail energy on heartbeats. FleetHarness simulates
+// 10k–1M+ heterogeneous devices in one run:
+//
+//   * a seeded FleetSpec describes the population as a distribution over
+//     *activeness classes* (Fig. 11's axis): each class is an ordinary
+//     ScenarioBuilder prototype (lambda, train apps, RRC preset, faults,
+//     deadlines...) plus a PolicyRegistry spec and a population weight;
+//   * every device is an independent single-device simulation through the
+//     unmodified exp::run_slotted engine — all PR-3 fault semantics and
+//     PR-5 hot-path guarantees hold per device;
+//   * devices are sharded (contiguous device-id ranges) across the
+//     common/parallel.h ThreadPool; per-device randomness derives from
+//     pure splitmix64 streams of (fleet seed, device id), never from the
+//     shard or thread that happened to run the device;
+//   * per-device results land in struct-of-arrays columns (FleetArrays):
+//     each worker writes only its shard's rows, and every aggregate is
+//     folded from the columns serially in device-id order afterwards —
+//     so the result is byte-identical for ANY shard count and ANY job
+//     count (docs/fleet.md states the contract, exp_fleet_test enforces
+//     1/2/8 shards x serial/parallel bit-equality);
+//   * energy is attributed through the PR-4 ledger machinery: each
+//     device's TransmissionLog is re-billed into (interface, kind) rows
+//     whose per-device digests are folded into a fleet-level EnergyLedger
+//     keyed by activeness class (row.app = class index). The fleet ledger
+//     re-bills the sum of the device meters — report_check validates the
+//     equality on every emitted fleet report.
+//
+// bench_fleet drives this at 100k+ devices with a committed devices/sec
+// floor (bench/baselines/fleet.baseline.json, enforced by check.sh).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.h"
+#include "exp/scenario_builder.h"
+#include "obs/report.h"
+
+namespace etrain::experiments {
+
+/// One activeness class: a slice of the population sharing a scenario
+/// prototype and a scheduling policy. Per-device heterogeneity inside a
+/// class comes from the harness overriding the prototype's four seeds
+/// (workload, bandwidth, noise, faults) with device-specific streams.
+struct FleetClass {
+  std::string name = "default";
+  /// Relative share of the population (normalized across classes).
+  double weight = 1.0;
+  /// Scenario prototype; seeds set here are ignored (the harness owns
+  /// them). Everything else — lambda, trains, horizon, model, faults,
+  /// deadlines, wifi — describes every device of the class.
+  ScenarioBuilder scenario;
+  /// PolicyRegistry spec (baselines::make_policy grammar).
+  std::string policy = "etrain:theta=1,k=20";
+};
+
+struct FleetSpec {
+  /// Population size. bench_fleet defaults to 100k; the SoA layout holds
+  /// ~30 doubles per device, so 1M devices is ~a quarter GB of columns.
+  std::size_t devices = 10000;
+  /// Base seed for every per-device stream (class assignment, workload,
+  /// bandwidth, noise, faults). Same spec + same seed = same fleet,
+  /// device by device.
+  std::uint64_t seed = 2015;
+  /// Shard count (contiguous device-id ranges fanned over the thread
+  /// pool). 0 = auto (a small multiple of default_jobs()). Results are
+  /// byte-identical for every value; this knob only shapes parallelism.
+  std::size_t shards = 0;
+  std::vector<FleetClass> classes;
+
+  /// Throws std::invalid_argument on an empty/degenerate spec (no
+  /// devices, no classes, non-positive total weight, empty policy spec).
+  void validate() const;
+
+  /// The canonical heterogeneous city: four activeness classes (idle /
+  /// light / regular / heavy — Fig. 11's axis) over the paper-simulation
+  /// RRC preset, each device living `horizon` seconds.
+  static FleetSpec city(std::size_t devices, Duration horizon = 600.0);
+};
+
+/// Struct-of-arrays per-device results: column i of every array belongs
+/// to device i. Workers write disjoint contiguous row ranges (their
+/// shard); nothing here depends on shard or thread count. The layout is
+/// relocatable (plain vectors, no pointers into rows), so shards can be
+/// re-partitioned freely and the columns stream well when the fold walks
+/// them in device order.
+struct FleetArrays {
+  /// Per-(interface, kind) ledger digest columns for one bucket: the
+  /// device's PR-4 ledger rows collapsed over cargo apps. Folding these
+  /// per class reproduces append_ledger's rows at fleet scale.
+  struct LedgerColumns {
+    std::vector<double> tx_J, setup_J, tail_J, failed_airtime_J;
+    std::vector<double> airtime_s, failed_airtime_s;
+    std::vector<std::uint32_t> transmissions, failures;
+    void resize(std::size_t n);
+  };
+
+  std::vector<std::uint32_t> class_id;
+  /// The device meter: RunMetrics::network_energy() (cellular + wifi).
+  std::vector<double> meter_J;
+  /// Delay side: per-device sums, folded into class aggregates.
+  std::vector<double> delay_sum_s, delay_cost;
+  std::vector<std::uint32_t> packets, violations;
+  std::vector<std::uint32_t> slots;
+
+  /// One column group per (interface, kind) ledger bucket. Wi-Fi groups
+  /// stay all-zero for cellular-only classes (the slotted harness never
+  /// routes heartbeats over Wi-Fi, but the bucket exists so no joule can
+  /// ever fall outside the fold).
+  LedgerColumns cellular_heartbeat, cellular_data;
+  LedgerColumns wifi_heartbeat, wifi_data;
+
+  std::size_t size() const { return class_id.size(); }
+  void resize(std::size_t n);
+};
+
+/// One activeness class's population aggregate. Energy quantities are
+/// ledger-row sums (tx + setup + tail), so heartbeat_J + data_J ==
+/// network_J exactly up to float associativity — the partition property
+/// report_check enforces on the serialized section.
+struct FleetClassAggregate {
+  std::string name;
+  std::size_t devices = 0;
+  std::size_t packets = 0;
+  std::size_t violations = 0;
+  std::size_t transmissions = 0;
+  std::size_t failures = 0;
+  Joules network_J = 0.0;
+  Joules heartbeat_J = 0.0;
+  Joules data_J = 0.0;
+  double delay_sum_s = 0.0;
+  double delay_cost = 0.0;
+
+  double normalized_delay_s() const {
+    return packets == 0 ? 0.0 : delay_sum_s / static_cast<double>(packets);
+  }
+  double violation_ratio() const {
+    return packets == 0
+               ? 0.0
+               : static_cast<double>(violations) / static_cast<double>(packets);
+  }
+};
+
+struct FleetResult {
+  std::size_t devices = 0;
+  /// Sum over devices of that device's slot count (horizon / slot).
+  std::uint64_t total_slots = 0;
+  std::size_t total_packets = 0;
+  /// Sum of the per-device energy meters, folded in device-id order —
+  /// the quantity the fleet ledger must re-bill.
+  Joules device_meter_total_J = 0.0;
+  /// Per-class aggregates, in class-declaration order.
+  std::vector<FleetClassAggregate> classes;
+  /// The fleet-level energy-attribution ledger: (interface, kind,
+  /// app = activeness-class index) rows folded from the per-device
+  /// digests. ledger.total() == device_meter_total_J (within the
+  /// device-scaled float tolerance; see docs/fleet.md).
+  obs::EnergyLedger ledger;
+  /// The raw per-device columns (kept: tests and downstream analysis
+  /// read them; ~250 B/device).
+  FleetArrays arrays;
+};
+
+/// Runs a fleet. Construction validates the spec; run() may be called
+/// repeatedly (and concurrently from one thread at a time per instance).
+class FleetHarness {
+ public:
+  explicit FleetHarness(FleetSpec spec);
+
+  const FleetSpec& spec() const { return spec_; }
+
+  /// Deterministic class of one device: a pure hash of (spec.seed,
+  /// device), weighted by FleetClass::weight. Exposed so tests can
+  /// reconstruct any single device independently of the fleet run.
+  std::size_t class_of(std::uint64_t device) const;
+
+  /// The per-device seed for one of the four streams below — again a
+  /// pure (spec.seed, stream, device) hash, independent of sharding.
+  std::uint64_t device_seed(std::uint64_t device, std::uint64_t stream) const;
+
+  /// Builds the exact Scenario device `device` simulates (class
+  /// prototype + the four per-device seed streams applied).
+  Scenario device_scenario(std::uint64_t device) const;
+
+  /// Simulates the whole fleet, constructing each class's policy through
+  /// `registry` (exp cannot depend on the baselines library — pass
+  /// baselines::builtin_registry(), mirroring replicate()'s decoupling).
+  /// `jobs` bounds the worker count (0 = default_jobs()); the result is
+  /// byte-identical for every jobs and shard value.
+  FleetResult run(const core::PolicyRegistry& registry,
+                  std::size_t jobs = 0) const;
+
+  /// Effective shard count run() will use (resolves spec.shards == 0).
+  std::size_t shard_count() const;
+
+  /// Seed streams (mixed into spec.seed per device).
+  static constexpr std::uint64_t kStreamClass = 0xf1ee7c1a55ULL;
+  static constexpr std::uint64_t kStreamWorkload = 0xf1ee70ad5eedULL;
+  static constexpr std::uint64_t kStreamBandwidth = 0xf1ee7ba2d51dULL;
+  static constexpr std::uint64_t kStreamNoise = 0xf1ee7201e5e0ULL;
+  static constexpr std::uint64_t kStreamFaults = 0xf1ee7fa0175eULL;
+
+ private:
+  FleetSpec spec_;
+  std::vector<double> cumulative_weight_;  ///< normalized, size = classes
+};
+
+}  // namespace etrain::experiments

@@ -19,6 +19,7 @@ std::string fmt(std::uint64_t v) { return std::to_string(v); }
 }  // namespace
 
 void describe_scenario(obs::RunReport& report, const Scenario& scenario) {
+  report.add_provenance("workload", "single-device");
   report.add_provenance("device_preset", scenario.model.name);
   report.add_provenance("horizon_s", fmt(scenario.horizon));
   report.add_provenance("heartbeats",
@@ -129,6 +130,78 @@ obs::RunReport report_for_run(const std::string& bench,
   report.bench = bench;
   describe_scenario(report, scenario);
   fill_run_sections(report, scenario, metrics);
+  return report;
+}
+
+void describe_fleet(obs::RunReport& report, const FleetSpec& spec) {
+  report.add_provenance("workload", "fleet");
+  report.add_provenance("fleet_devices", std::to_string(spec.devices));
+  report.add_provenance("fleet_seed", fmt(spec.seed));
+  report.add_provenance("fleet_classes",
+                        std::to_string(spec.classes.size()));
+  for (const FleetClass& cls : spec.classes) {
+    const std::string prefix = "class." + cls.name + ".";
+    const ScenarioConfig& config = cls.scenario.base_config();
+    report.add_provenance(prefix + "weight", fmt(cls.weight));
+    report.add_provenance(prefix + "policy", cls.policy);
+    report.add_provenance(prefix + "lambda", fmt(config.lambda));
+    report.add_provenance(prefix + "trains",
+                          std::to_string(config.train_count));
+    report.add_provenance(prefix + "horizon_s", fmt(config.horizon));
+    report.add_provenance(prefix + "device_preset", config.model.name);
+    const net::FaultPlan& faults = cls.scenario.fault_plan();
+    const bool faulty =
+        faults.enabled() || cls.scenario.has_generated_outages();
+    report.add_provenance(prefix + "faults", faulty ? "enabled" : "none");
+  }
+  // Deliberately absent: shards and jobs. The run is byte-identical across
+  // both, so they are non-compared environment facts, not provenance.
+}
+
+void fill_fleet_sections(obs::RunReport& report, const FleetResult& result) {
+  const double devices = static_cast<double>(result.devices);
+  report.add_result("devices", devices);
+  report.add_result("total_slots", static_cast<double>(result.total_slots));
+  report.add_result("total_packets",
+                    static_cast<double>(result.total_packets));
+  report.add_result("fleet_network_J", result.device_meter_total_J);
+  report.add_result("joules_per_device",
+                    devices == 0.0 ? 0.0
+                                   : result.device_meter_total_J / devices);
+
+  obs::FleetSection fleet;
+  fleet.devices = result.devices;
+  fleet.total_slots = result.total_slots;
+  fleet.packets = result.total_packets;
+  fleet.device_meter_total_J = result.device_meter_total_J;
+  fleet.classes.reserve(result.classes.size());
+  for (const FleetClassAggregate& agg : result.classes) {
+    obs::FleetClassStats stats;
+    stats.name = agg.name;
+    stats.devices = agg.devices;
+    stats.packets = agg.packets;
+    stats.violations = agg.violations;
+    stats.transmissions = agg.transmissions;
+    stats.failures = agg.failures;
+    stats.network_J = agg.network_J;
+    stats.heartbeat_J = agg.heartbeat_J;
+    stats.data_J = agg.data_J;
+    stats.normalized_delay_s = agg.normalized_delay_s();
+    stats.violation_ratio = agg.violation_ratio();
+    stats.delay_cost = agg.delay_cost;
+    fleet.classes.push_back(std::move(stats));
+  }
+  report.fleet = std::move(fleet);
+  report.ledger = result.ledger;
+}
+
+obs::RunReport report_for_fleet(const std::string& bench,
+                                const FleetSpec& spec,
+                                const FleetResult& result) {
+  obs::RunReport report;
+  report.bench = bench;
+  describe_fleet(report, spec);
+  fill_fleet_sections(report, result);
   return report;
 }
 

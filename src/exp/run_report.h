@@ -6,17 +6,27 @@
 
 #include <string>
 
+#include "exp/fleet.h"
 #include "exp/metrics.h"
 #include "exp/scenario.h"
 #include "obs/report.h"
 
 namespace etrain::experiments {
 
-/// Appends `scenario`'s provenance manifest to the report: device preset,
-/// horizon, workload sizes, estimation-noise and fault knobs (with their
-/// seeds), Wi-Fi coverage. Everything a reader needs to reproduce the run,
-/// in deterministic key order.
+/// Appends `scenario`'s provenance manifest to the report: the "workload"
+/// discriminator ("single-device"; fleet reports say "fleet"), device
+/// preset, horizon, workload sizes, estimation-noise and fault knobs (with
+/// their seeds), Wi-Fi coverage. Everything a reader needs to reproduce
+/// the run, in deterministic key order.
 void describe_scenario(obs::RunReport& report, const Scenario& scenario);
+
+/// Appends a fleet's provenance manifest: "workload"="fleet" (so
+/// scripts/compare_reports distinguishes fleet from single-device runs),
+/// population size, fleet seed, and each activeness class's name / weight /
+/// policy spec / generator knobs / fault summary. Shard and job counts are
+/// deliberately absent — they are non-compared facts (the report is
+/// byte-identical across them) and belong in `environment`.
+void describe_fleet(obs::RunReport& report, const FleetSpec& spec);
 
 /// Fills the run sections from one finished run: headline results, the
 /// energy section (cellular + Wi-Fi + Monsoon when present), the delay
@@ -38,5 +48,18 @@ void fill_run_sections(obs::RunReport& report, const Scenario& scenario,
 obs::RunReport report_for_run(const std::string& bench,
                               const Scenario& scenario,
                               const RunMetrics& metrics);
+
+/// Fills the fleet sections from one finished fleet run: headline results
+/// (devices, slots, packets, joules, per-device averages), the `fleet`
+/// section (population totals + per-class aggregates) and the fleet-level
+/// energy-attribution ledger (app = activeness-class index). report_check
+/// verifies ledger total == fleet.device_meter_total_J within the
+/// device-scaled tolerance.
+void fill_fleet_sections(obs::RunReport& report, const FleetResult& result);
+
+/// Convenience: a complete report for one fleet run.
+obs::RunReport report_for_fleet(const std::string& bench,
+                                const FleetSpec& spec,
+                                const FleetResult& result);
 
 }  // namespace etrain::experiments

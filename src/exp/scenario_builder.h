@@ -83,6 +83,19 @@ class ScenarioBuilder {
   /// inconsistent knobs. The builder is reusable: build() does not mutate.
   Scenario build() const;
 
+  /// --- inspection (fleet provenance reads the prototype's knobs) ---
+
+  /// The standard-generator knobs as set so far (lambda, trains, horizon,
+  /// seeds, model...). FleetHarness provenance reads these off each class
+  /// prototype without building a scenario.
+  const ScenarioConfig& base_config() const { return config_; }
+  /// The fault knobs as set so far. NOTE: when outages(duty, mean) was
+  /// used, the episodes are generated at build() — this plan's `outages`
+  /// list is empty until then; `has_generated_outages()` tells callers.
+  const net::FaultPlan& fault_plan() const { return faults_; }
+  /// True when outages(duty, mean) deferred episode generation to build().
+  bool has_generated_outages() const { return outage_duty_.has_value(); }
+
  private:
   ScenarioConfig config_;
   net::FaultPlan faults_;

@@ -290,6 +290,29 @@ void write_ledger(std::ostream& out, const EnergyLedger& ledger) {
   out << "]}";
 }
 
+void write_fleet_section(std::ostream& out, const FleetSection& fleet) {
+  out << "{\"devices\":" << fleet.devices
+      << ",\"total_slots\":" << fleet.total_slots
+      << ",\"packets\":" << fleet.packets << ",\"device_meter_total_J\":"
+      << num(fleet.device_meter_total_J) << ",\"classes\":[";
+  for (std::size_t i = 0; i < fleet.classes.size(); ++i) {
+    const FleetClassStats& cls = fleet.classes[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << escape(cls.name)
+        << "\",\"devices\":" << cls.devices << ",\"packets\":" << cls.packets
+        << ",\"violations\":" << cls.violations
+        << ",\"transmissions\":" << cls.transmissions
+        << ",\"failures\":" << cls.failures
+        << ",\"network_J\":" << num(cls.network_J)
+        << ",\"heartbeat_J\":" << num(cls.heartbeat_J)
+        << ",\"data_J\":" << num(cls.data_J)
+        << ",\"normalized_delay_s\":" << num(cls.normalized_delay_s)
+        << ",\"violation_ratio\":" << num(cls.violation_ratio)
+        << ",\"delay_cost\":" << num(cls.delay_cost) << "}";
+  }
+  out << "]}";
+}
+
 void write_metrics(std::ostream& out, const MetricsSnapshot& metrics) {
   out << "{\"counters\":{";
   for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
@@ -381,6 +404,12 @@ void write_run_report(std::ostream& out, const RunReport& report) {
     write_ledger(out, *report.ledger);
   } else {
     out << "null";
+  }
+  // The fleet section is written only when present so non-fleet reports —
+  // including the committed golden fixture — keep their exact byte layout.
+  if (report.fleet.has_value()) {
+    out << ",\"fleet\":";
+    write_fleet_section(out, *report.fleet);
   }
   out << ",\"metrics\":";
   if (report.metrics.has_value() && !report.metrics->empty()) {

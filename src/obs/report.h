@@ -21,6 +21,10 @@
 //   ledger                 the per-interface / per-TxKind / per-app
 //                          energy-attribution ledger (Fig. 10(a)'s red and
 //                          blue bars in machine-readable form)
+//   fleet                  fleet runs only (omitted otherwise): population
+//                          totals + per-activeness-class aggregates; the
+//                          ledger above is then the fleet ledger keyed by
+//                          class index (docs/fleet.md)
 //   metrics                the MetricsSnapshot with p50/p95/p99 quantiles
 //                          (null when observability is detached/disabled)
 //   artifacts              CSV files the bench exported, with row counts
@@ -35,6 +39,7 @@
 // runs produce equal bytes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -115,6 +120,40 @@ struct EnergySection {
   }
 };
 
+/// Per-activeness-class population aggregate of one fleet run (see
+/// exp::FleetHarness and docs/fleet.md). Energy quantities are fleet-ledger
+/// row sums, so heartbeat_J + data_J == network_J by construction.
+struct FleetClassStats {
+  std::string name;
+  std::size_t devices = 0;
+  std::size_t packets = 0;
+  std::size_t violations = 0;
+  std::size_t transmissions = 0;
+  std::size_t failures = 0;
+  Joules network_J = 0.0;
+  Joules heartbeat_J = 0.0;
+  Joules data_J = 0.0;
+  double normalized_delay_s = 0.0;
+  double violation_ratio = 0.0;
+  double delay_cost = 0.0;
+};
+
+/// The fleet section of a RunReport: population totals plus the per-class
+/// breakdown. Present only on fleet reports — single-run reports serialize
+/// no "fleet" key at all, keeping their byte format unchanged. When
+/// present, the report's `ledger` is the FLEET ledger (app = class index)
+/// and report_check enforces ledger.total() == device_meter_total_J within
+/// 1e-9 J x max(1, devices).
+struct FleetSection {
+  std::size_t devices = 0;
+  std::uint64_t total_slots = 0;
+  std::size_t packets = 0;
+  /// Sum of per-device RunMetrics::network_energy() meters, folded in
+  /// device-id order.
+  Joules device_meter_total_J = 0.0;
+  std::vector<FleetClassStats> classes;
+};
+
 /// The delay side of the paper's evaluation triple.
 struct DelaySection {
   std::size_t packets = 0;
@@ -179,6 +218,9 @@ struct RunReport {
   std::optional<EnergySection> energy;
   std::optional<DelaySection> delay;
   std::optional<EnergyLedger> ledger;
+  /// Fleet runs only; serialized (between "ledger" and "metrics") only
+  /// when present, so non-fleet reports keep their exact byte format.
+  std::optional<FleetSection> fleet;
   /// Null when the run had no Registry attached or observability is
   /// compiled out — the manifest and energy sections survive either way.
   std::optional<MetricsSnapshot> metrics;

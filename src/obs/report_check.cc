@@ -24,12 +24,19 @@ std::string fmt(double v) {
   return out.str();
 }
 
+/// abs-difference check with a uniform error message and explicit
+/// tolerance (fleet checks scale it with the population).
+void require_close_tol(JsonReader& reader, const std::string& what,
+                       double got, double expected, double tolerance) {
+  if (std::fabs(got - expected) > tolerance) {
+    reader.fail(what + ": " + fmt(got) + " != " + fmt(expected));
+  }
+}
+
 /// abs-difference check with a uniform error message.
 void require_close(JsonReader& reader, const std::string& what, double got,
                    double expected) {
-  if (std::fabs(got - expected) > kJouleTolerance) {
-    reader.fail(what + ": " + fmt(got) + " != " + fmt(expected));
-  }
+  require_close_tol(reader, what, got, expected, kJouleTolerance);
 }
 
 /// The by-kind decomposition of one parsed EnergyReport object.
@@ -201,6 +208,103 @@ LedgerTotals parse_ledger(JsonReader& reader) {
   return totals;
 }
 
+/// Digest of the fleet section: per-class invariants checked inline, the
+/// population sums kept for the post-parse cross-checks against the
+/// fleet-level totals and the ledger.
+struct ParsedFleet {
+  double devices = 0.0;
+  double packets = 0.0;
+  double meter_J = 0.0;
+  std::size_t classes = 0;
+  double class_devices = 0.0;
+  double class_packets = 0.0;
+  double class_network = 0.0;
+  double class_heartbeat = 0.0;
+  double class_data = 0.0;
+};
+
+ParsedFleet parse_fleet(JsonReader& reader) {
+  ParsedFleet fleet;
+  reader.parse_object([&](const std::string& key) {
+    if (key == "devices") {
+      fleet.devices = reader.parse_number();
+    } else if (key == "packets") {
+      fleet.packets = reader.parse_number();
+    } else if (key == "device_meter_total_J") {
+      fleet.meter_J = reader.parse_number();
+    } else if (key == "classes") {
+      reader.parse_array([&] {
+        std::string name;
+        double devices = 0.0, packets = 0.0, violations = 0.0;
+        double transmissions = 0.0, failures = 0.0;
+        double network = 0.0, heartbeat = 0.0, data = 0.0;
+        double violation_ratio = 0.0;
+        reader.parse_object([&](const std::string& field) {
+          if (field == "name") {
+            name = reader.parse_string();
+          } else if (field == "devices") {
+            devices = reader.parse_number();
+          } else if (field == "packets") {
+            packets = reader.parse_number();
+          } else if (field == "violations") {
+            violations = reader.parse_number();
+          } else if (field == "transmissions") {
+            transmissions = reader.parse_number();
+          } else if (field == "failures") {
+            failures = reader.parse_number();
+          } else if (field == "network_J") {
+            network = reader.parse_number();
+          } else if (field == "heartbeat_J") {
+            heartbeat = reader.parse_number();
+          } else if (field == "data_J") {
+            data = reader.parse_number();
+          } else if (field == "violation_ratio") {
+            violation_ratio = reader.parse_number();
+          } else {
+            reader.skip_value();
+          }
+        });
+        if (name.empty()) reader.fail("fleet class without name");
+        if (violations > packets) {
+          reader.fail("fleet class '" + name +
+                      "': violations exceed packets");
+        }
+        if (failures > transmissions) {
+          reader.fail("fleet class '" + name +
+                      "': failures exceed transmissions");
+        }
+        if (violation_ratio < 0.0 ||
+            violation_ratio > 1.0 + kJouleTolerance) {
+          reader.fail("fleet class '" + name +
+                      "': violation_ratio outside [0, 1]");
+        }
+        // The class energy is defined as its ledger-bucket sum, so the
+        // heartbeat/data split partitions it exactly (unscaled tolerance).
+        require_close(reader,
+                      "fleet class '" + name +
+                          "' heartbeat_J + data_J != network_J",
+                      heartbeat + data, network);
+        fleet.classes += 1;
+        fleet.class_devices += devices;
+        fleet.class_packets += packets;
+        fleet.class_network += network;
+        fleet.class_heartbeat += heartbeat;
+        fleet.class_data += data;
+      });
+    } else {
+      reader.skip_value();
+    }
+  });
+  if (fleet.classes == 0) reader.fail("fleet section without classes");
+  if (fleet.class_devices != fleet.devices) {
+    reader.fail("fleet class devices do not sum to fleet devices");
+  }
+  if (fleet.class_packets != fleet.packets) {
+    reader.fail("fleet class packets do not sum to fleet packets");
+  }
+  return fleet;
+}
+
 void check_metrics(JsonReader& reader) {
   reader.parse_object([&](const std::string& key) {
     if (key == "counters") {
@@ -305,6 +409,7 @@ ReportCheckResult check_run_report(const std::string& json) {
     std::optional<ParsedEnergyReport> wifi;
     std::optional<double> section_network, section_tail, section_tx_count;
     std::optional<LedgerTotals> ledger;
+    std::optional<ParsedFleet> fleet;
 
     reader.parse_object([&](const std::string& key) {
       if (key == "schema") {
@@ -397,6 +502,11 @@ ReportCheckResult check_run_report(const std::string& json) {
         ledger = parse_ledger(reader);
         result.ledger_rows = ledger->rows;
         result.ledger_total_J = ledger->declared_total;
+      } else if (key == "fleet") {
+        fleet = parse_fleet(reader);
+        result.fleet_present = true;
+        result.fleet_devices = fleet->devices;
+        result.fleet_meter_J = fleet->meter_J;
       } else if (key == "metrics") {
         if (reader.consume_null()) return;
         result.metrics_present = true;
@@ -481,6 +591,34 @@ ReportCheckResult check_run_report(const std::string& json) {
       if (ledger->transmissions != transmissions) {
         reader.fail("ledger transmissions != meter transmissions");
       }
+    }
+
+    // Fleet cross-checks: the fleet ledger must re-bill the sum of the
+    // per-device meters. Each device's ledger matches its meter to 1e-9 J
+    // (the single-run invariant above), so the population sum is compared
+    // at 1e-9 x max(1, devices).
+    if (fleet.has_value()) {
+      const double fleet_tolerance =
+          kJouleTolerance * std::max(1.0, fleet->devices);
+      if (!ledger.has_value()) {
+        reader.fail("fleet section without an energy ledger");
+      }
+      require_close_tol(reader,
+                        "fleet class network_J do not sum to "
+                        "device_meter_total_J",
+                        fleet->class_network, fleet->meter_J,
+                        fleet_tolerance);
+      require_close_tol(reader,
+                        "ledger total_J != fleet device_meter_total_J",
+                        ledger->declared_total, fleet->meter_J,
+                        fleet_tolerance);
+      require_close_tol(reader,
+                        "ledger heartbeat_J != fleet class heartbeat sum",
+                        ledger->declared_by_kind[0], fleet->class_heartbeat,
+                        fleet_tolerance);
+      require_close_tol(reader, "ledger data_J != fleet class data sum",
+                        ledger->declared_by_kind[1], fleet->class_data,
+                        fleet_tolerance);
     }
   } catch (const std::string& error) {
     result.error = error;

@@ -57,6 +57,14 @@ struct ReportCheckResult {
   /// Ledger grand total, when the report has a ledger.
   std::optional<double> ledger_total_J;
 
+  /// Fleet section digest, when the report has one (fleet runs). The
+  /// validator enforces ledger total == device_meter_total_J within
+  /// 1e-9 J x max(1, devices) — per-device re-billing accuracy summed over
+  /// the population (docs/fleet.md).
+  bool fleet_present = false;
+  std::optional<double> fleet_devices;
+  std::optional<double> fleet_meter_J;
+
   struct Artifact {
     std::string file;
     std::size_t rows = 0;

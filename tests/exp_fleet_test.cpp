@@ -1,0 +1,272 @@
+// Fleet-harness tests: the shards x jobs determinism contract (byte-
+// identical compared report prefix for 1/2/8 shards x serial/parallel),
+// the fleet-ledger == sum-of-device-meters invariant at 1e-9 J, device
+// reconstruction (any device of a fleet run can be re-simulated alone),
+// fleet provenance, and report_check's fleet-section validation.
+#include "exp/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "baselines/registry.h"
+#include "exp/run_report.h"
+#include "exp/slotted_sim.h"
+#include "obs/report.h"
+#include "obs/report_check.h"
+
+namespace etrain::experiments {
+namespace {
+
+/// Small enough to run many times in one test binary, large enough that
+/// every activeness class is populated and the parallel phase really
+/// interleaves shards.
+FleetSpec small_city(std::size_t devices = 200) {
+  return FleetSpec::city(devices, /*horizon=*/120.0);
+}
+
+std::string serialize(const obs::RunReport& report) {
+  std::ostringstream out;
+  obs::write_run_report(out, report);
+  return out.str();
+}
+
+/// The compared prefix: everything before the non-compared `environment`
+/// section (docs/determinism.md).
+std::string compared_prefix(const std::string& json) {
+  const auto pos = json.find("\"environment\"");
+  return pos == std::string::npos ? json : json.substr(0, pos);
+}
+
+TEST(FleetSpec, ValidateRejectsDegenerateSpecs) {
+  FleetSpec no_devices = small_city();
+  no_devices.devices = 0;
+  EXPECT_THROW(FleetHarness{no_devices}, std::invalid_argument);
+
+  FleetSpec no_classes = small_city();
+  no_classes.classes.clear();
+  EXPECT_THROW(FleetHarness{no_classes}, std::invalid_argument);
+
+  FleetSpec zero_weight = small_city();
+  for (auto& cls : zero_weight.classes) cls.weight = 0.0;
+  EXPECT_THROW(FleetHarness{zero_weight}, std::invalid_argument);
+
+  FleetSpec empty_policy = small_city();
+  empty_policy.classes[0].policy = "";
+  EXPECT_THROW(FleetHarness{empty_policy}, std::invalid_argument);
+}
+
+TEST(FleetHarness, RunRejectsUnknownPolicySpec) {
+  FleetSpec spec = small_city(10);
+  spec.classes[0].policy = "no-such-policy";
+  const FleetHarness harness(spec);
+  EXPECT_THROW(harness.run(baselines::builtin_registry(), 1),
+               std::invalid_argument);
+}
+
+TEST(FleetHarness, ClassAssignmentIsPureAndTracksWeights) {
+  const FleetHarness harness(small_city(4000));
+  std::vector<std::size_t> counts(harness.spec().classes.size(), 0);
+  for (std::uint64_t d = 0; d < 4000; ++d) {
+    const std::size_t cls = harness.class_of(d);
+    ASSERT_LT(cls, counts.size());
+    counts[cls] += 1;
+    // Pure function: asking again gives the same answer.
+    EXPECT_EQ(harness.class_of(d), cls);
+  }
+  // city()'s weights are 0.35 / 0.30 / 0.25 / 0.10; hashed assignment over
+  // 4000 devices should land within a loose +-5 % absolute band.
+  const double expected[4] = {0.35, 0.30, 0.25, 0.10};
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const double share = static_cast<double>(counts[c]) / 4000.0;
+    EXPECT_NEAR(share, expected[c], 0.05) << "class " << c;
+  }
+}
+
+TEST(FleetHarness, DeviceSeedsDifferAcrossDevicesAndStreams) {
+  const FleetHarness harness(small_city());
+  EXPECT_NE(harness.device_seed(0, FleetHarness::kStreamWorkload),
+            harness.device_seed(1, FleetHarness::kStreamWorkload));
+  EXPECT_NE(harness.device_seed(0, FleetHarness::kStreamWorkload),
+            harness.device_seed(0, FleetHarness::kStreamBandwidth));
+}
+
+TEST(FleetHarness, ShardsAndJobsAreByteInvariant) {
+  // The tentpole contract: same FleetSpec => byte-identical compared
+  // report prefix for every shard count x serial/parallel combination.
+  std::string reference;
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    for (const std::size_t jobs : {1u, 3u}) {
+      FleetSpec spec = small_city();
+      spec.shards = shards;
+      const FleetHarness harness(spec);
+      const FleetResult result =
+          harness.run(baselines::builtin_registry(), jobs);
+      const std::string json = compared_prefix(
+          serialize(report_for_fleet("fleet_invariance", spec, result)));
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference)
+            << "shards=" << shards << " jobs=" << jobs;
+      }
+    }
+  }
+  ASSERT_FALSE(reference.empty());
+}
+
+TEST(FleetHarness, LedgerRebillsSumOfDeviceMeters) {
+  const FleetSpec spec = small_city();
+  const FleetHarness harness(spec);
+  const FleetResult result = harness.run(baselines::builtin_registry());
+
+  // Every class populated, every device accounted for.
+  ASSERT_EQ(result.devices, spec.devices);
+  std::size_t class_devices = 0;
+  for (const auto& agg : result.classes) {
+    EXPECT_GT(agg.devices, 0u) << agg.name;
+    class_devices += agg.devices;
+  }
+  EXPECT_EQ(class_devices, spec.devices);
+
+  // The satellite invariant: the fleet ledger re-bills the sum of the
+  // per-device meters to 1e-9 J (a fleet this small accumulates no
+  // meaningful float error, so the unscaled tolerance holds).
+  EXPECT_GT(result.device_meter_total_J, 0.0);
+  EXPECT_NEAR(result.ledger.total(), result.device_meter_total_J, 1e-9);
+
+  // Per-class energies partition the ledger total.
+  double class_network = 0.0;
+  for (const auto& agg : result.classes) {
+    EXPECT_NEAR(agg.heartbeat_J + agg.data_J, agg.network_J, 1e-12);
+    class_network += agg.network_J;
+  }
+  EXPECT_NEAR(class_network, result.ledger.total(), 1e-9);
+}
+
+TEST(FleetHarness, AnyDeviceCanBeReconstructedIndependently) {
+  const FleetSpec spec = small_city();
+  const FleetHarness harness(spec);
+  const FleetResult result = harness.run(baselines::builtin_registry(), 3);
+
+  // Re-simulate a handful of devices alone; their meters must equal the
+  // fleet run's SoA columns exactly (same scenario, same policy, same
+  // engine — sharding must not leak into any device's trajectory).
+  for (const std::uint64_t device : {0ull, 7ull, 63ull, 199ull}) {
+    const std::size_t cls = harness.class_of(device);
+    const Scenario scenario = harness.device_scenario(device);
+    const auto policy =
+        baselines::make_policy(spec.classes[cls].policy);
+    const RunMetrics metrics = run_slotted(scenario, *policy);
+    EXPECT_EQ(metrics.network_energy(), result.arrays.meter_J[device])
+        << "device " << device;
+    EXPECT_EQ(metrics.outcomes.size(), result.arrays.packets[device])
+        << "device " << device;
+    EXPECT_EQ(cls, result.arrays.class_id[device]);
+  }
+}
+
+TEST(FleetProvenance, DistinguishesFleetFromSingleDeviceRuns) {
+  const FleetSpec spec = small_city();
+  obs::RunReport fleet_report;
+  describe_fleet(fleet_report, spec);
+
+  const auto find = [](const obs::RunReport& report,
+                       const std::string& key) -> std::string {
+    for (const auto& [k, v] : report.provenance) {
+      if (k == key) return v;
+    }
+    return "";
+  };
+  EXPECT_EQ(find(fleet_report, "workload"), "fleet");
+  EXPECT_EQ(find(fleet_report, "fleet_devices"), "200");
+  EXPECT_EQ(find(fleet_report, "fleet_seed"), "2015");
+  EXPECT_EQ(find(fleet_report, "fleet_classes"), "4");
+  EXPECT_EQ(find(fleet_report, "class.idle.policy"), "etrain:theta=1,k=20");
+  EXPECT_EQ(find(fleet_report, "class.heavy.policy"), "etrain:theta=2,k=20");
+  EXPECT_EQ(find(fleet_report, "class.idle.faults"), "none");
+  // Shard/job counts are byte-invariant facts and must NOT be provenance.
+  EXPECT_EQ(find(fleet_report, "shards"), "");
+  EXPECT_EQ(find(fleet_report, "jobs"), "");
+
+  // The single-device path declares itself too, so compare_reports can
+  // never mistake one for the other.
+  obs::RunReport single_report;
+  describe_scenario(single_report, ScenarioBuilder().horizon(60.0).build());
+  EXPECT_EQ(find(single_report, "workload"), "single-device");
+
+  // A faulty class advertises its faults.
+  FleetSpec faulty = small_city();
+  faulty.classes[1].scenario.loss(0.05);
+  obs::RunReport faulty_report;
+  describe_fleet(faulty_report, faulty);
+  EXPECT_EQ(find(faulty_report, "class.light.faults"), "enabled");
+}
+
+TEST(FleetReport, ValidatesAndTamperingIsRejected) {
+  const FleetSpec spec = small_city();
+  const FleetHarness harness(spec);
+  const FleetResult result = harness.run(baselines::builtin_registry());
+  const obs::RunReport report =
+      report_for_fleet("fleet_check", spec, result);
+
+  const auto ok = obs::check_run_report(serialize(report));
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_TRUE(ok.fleet_present);
+  ASSERT_TRUE(ok.fleet_devices.has_value());
+  EXPECT_EQ(*ok.fleet_devices, 200.0);
+  ASSERT_TRUE(ok.fleet_meter_J.has_value());
+  EXPECT_NEAR(*ok.fleet_meter_J, result.device_meter_total_J, 1e-12);
+  // A fleet report has no single-run energy section; its ledger is the
+  // fleet ledger.
+  EXPECT_FALSE(ok.network_J.has_value());
+  ASSERT_TRUE(ok.ledger_total_J.has_value());
+
+  // Tampered meter total: the ledger cross-check must catch it.
+  {
+    obs::RunReport tampered = report;
+    tampered.fleet->device_meter_total_J += 1.0;
+    const auto bad = obs::check_run_report(serialize(tampered));
+    EXPECT_FALSE(bad.ok);
+  }
+  // Tampered class split: heartbeat + data must partition network_J.
+  {
+    obs::RunReport tampered = report;
+    tampered.fleet->classes[0].heartbeat_J += 0.5;
+    const auto bad = obs::check_run_report(serialize(tampered));
+    EXPECT_FALSE(bad.ok);
+  }
+  // A fleet section without a ledger is structurally invalid.
+  {
+    obs::RunReport tampered = report;
+    tampered.ledger.reset();
+    const auto bad = obs::check_run_report(serialize(tampered));
+    EXPECT_FALSE(bad.ok);
+  }
+  // Non-fleet reports must not grow a fleet section (byte-format guard).
+  {
+    const std::string json = serialize(report);
+    EXPECT_NE(json.find("\"fleet\":"), std::string::npos);
+    obs::RunReport plain;
+    plain.bench = "plain";
+    plain.add_provenance("workload", "single-device");
+    EXPECT_EQ(serialize(plain).find("\"fleet\":"), std::string::npos);
+  }
+}
+
+TEST(FleetHarness, ShardCountResolvesAndClamps) {
+  FleetSpec spec = small_city(3);
+  spec.shards = 16;  // more shards than devices: clamped
+  EXPECT_EQ(FleetHarness(spec).shard_count(), 3u);
+  spec.shards = 2;
+  EXPECT_EQ(FleetHarness(spec).shard_count(), 2u);
+  spec.shards = 0;  // auto resolves to something sane
+  const std::size_t auto_shards = FleetHarness(spec).shard_count();
+  EXPECT_GE(auto_shards, 1u);
+  EXPECT_LE(auto_shards, 3u);
+}
+
+}  // namespace
+}  // namespace etrain::experiments
