@@ -1,0 +1,199 @@
+// Live gateway bench: how many loopback clients and scheduled packets per
+// wall-clock second the etrain_gatewayd event loop sustains, and the
+// enqueue->transmit batching latency distribution it delivers.
+//
+// Topology: the Gateway runs on a worker thread (epoll loop, WallClock
+// compressed by --time-scale); the seeded load generator (gateway/loadgen)
+// drives it from this thread over loopback TCP — connect+HELLO storm,
+// scripted HEARTBEAT/CARGO traffic paced at the same compression, BYE and
+// ACK drain. Every cargo packet must come back as an ACK (the shutdown
+// flush guarantees it), every client must connect, and the gateway's own
+// shutdown report must satisfy report_check's gateway invariants — the
+// bench exits nonzero otherwise.
+//
+// Wall-clock rates land in the non-compared `environment` section and are
+// floor-gated by check.sh against bench/baselines/gateway.baseline.json:
+//   connections_per_sec        connect+HELLO storm rate
+//   scheduled_packets_per_sec  ACKed cargo per wall second (drive+drain)
+//   p99_latency_inverse_per_s  1 / p99 batching latency — a floor on the
+//                              inverse bounds the latency from above
+//
+// Flags: the shared --report/--quick/--jobs set (obs::BenchOptions) plus
+//   --clients N       population size      (default 2000; --quick 1000)
+//   --duration S      clock seconds driven (default 180; --quick 90)
+//   --time-scale S    clock s per wall s   (default 60)
+//   --seed N          script seed          (default 42)
+//   --port N          gateway port         (default 0 = ephemeral)
+//
+// Emits BENCH_gateway.json by default (or wherever --report points).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "gateway/gateway.h"
+#include "gateway/loadgen.h"
+#include "obs/bench_options.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+namespace {
+
+using namespace etrain;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// `--flag N` / `--flag=N`, or `fallback` when absent (BenchOptions
+/// ignores unknown flags, so bench-specific knobs parse here).
+double parse_double_flag(int argc, char** argv, const std::string& flag,
+                         double fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == flag && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else {
+      continue;
+    }
+    return std::strtod(value.c_str(), nullptr);
+  }
+  return fallback;
+}
+
+/// Interpolation-free quantile of an already-sorted sample.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  if (opts.report_path.empty()) opts.report_path = "BENCH_gateway.json";
+
+  const int clients = static_cast<int>(
+      parse_double_flag(argc, argv, "--clients", opts.quick ? 1000 : 2000));
+  const double duration =
+      parse_double_flag(argc, argv, "--duration", opts.quick ? 90.0 : 180.0);
+  const double time_scale =
+      parse_double_flag(argc, argv, "--time-scale", 60.0);
+  const auto seed = static_cast<std::uint64_t>(
+      parse_double_flag(argc, argv, "--seed", 42.0));
+  const int port =
+      static_cast<int>(parse_double_flag(argc, argv, "--port", 0.0));
+
+  gateway::GatewayConfig config;
+  config.time_scale = time_scale;
+  config.port = port;
+  const auto& registry = etrain::baselines::builtin_registry();
+  gateway::Gateway gw(registry, config);
+  const int bound_port = gw.open();
+
+  std::printf(
+      "=== gateway: %d loopback clients x %.0f clock s at %.0fx "
+      "compression, port %d ===\n",
+      clients, duration, time_scale, bound_port);
+
+  std::exception_ptr gateway_error;
+  std::thread server([&] {
+    try {
+      gw.run();
+    } catch (...) {
+      gateway_error = std::current_exception();
+    }
+  });
+
+  gateway::LoadGenConfig load;
+  load.port = bound_port;
+  load.clients = clients;
+  load.duration = duration;
+  load.time_scale = time_scale;
+  load.seed = seed;
+
+  gateway::LoadGenResult result;
+  const auto load_start = std::chrono::steady_clock::now();
+  {
+    OBS_PROFILE_SCOPE("gateway.load");
+    result = gateway::run_load(load);
+  }
+  const double load_seconds = seconds_since(load_start);
+
+  gw.request_stop();
+  server.join();
+  if (gateway_error) std::rethrow_exception(gateway_error);
+
+  const gateway::GatewayStats& stats = gw.stats();
+  std::sort(result.latencies.begin(), result.latencies.end());
+  const double p50 = quantile(result.latencies, 0.50);
+  const double p95 = quantile(result.latencies, 0.95);
+  const double p99 = quantile(result.latencies, 0.99);
+  const double drive_drain_seconds = load_seconds - result.connect_seconds;
+  const double connections_per_sec =
+      static_cast<double>(result.clients_connected) /
+      std::max(1e-9, result.connect_seconds);
+  const double scheduled_per_sec =
+      static_cast<double>(result.acks_received) /
+      std::max(1e-9, drive_drain_seconds);
+
+  std::printf(
+      "gateway  %zu/%d clients in %.3f s (%.0f conn/s), %zu heartbeats, "
+      "%zu cargo -> %zu acks (%zu boarded) in %.3f s (%.0f pkts/s)\n",
+      result.clients_connected, clients, result.connect_seconds,
+      connections_per_sec, result.heartbeats_sent, result.cargos_sent,
+      result.acks_received, result.acks_boarded, drive_drain_seconds,
+      scheduled_per_sec);
+  std::printf(
+      "latency  p50 %.3f s  p95 %.3f s  p99 %.3f s (clock seconds)\n", p50,
+      p95, p99);
+
+  bool failed = false;
+  if (!result.all_connected(load)) {
+    std::printf("gateway: only %zu of %d clients connected\n",
+                result.clients_connected, clients);
+    failed = true;
+  }
+  if (result.acks_received != result.cargos_sent) {
+    std::printf("gateway: %zu cargo sent but %zu acks received\n",
+                result.cargos_sent, result.acks_received);
+    failed = true;
+  }
+  if (result.protocol_errors != 0 || stats.protocol_errors != 0) {
+    std::printf("gateway: protocol errors (client %zu, server %llu)\n",
+                result.protocol_errors,
+                static_cast<unsigned long long>(stats.protocol_errors));
+    failed = true;
+  }
+
+  obs::RunReport report = gw.build_report();
+  report.bench = "gateway";
+  report.add_provenance("clients", std::to_string(clients));
+  report.add_provenance("duration_s", std::to_string(duration));
+  report.add_provenance("seed", std::to_string(seed));
+  report.add_environment("connect_seconds", result.connect_seconds);
+  report.add_environment("drive_drain_seconds", drive_drain_seconds);
+  report.add_environment("connections_per_sec", connections_per_sec);
+  report.add_environment("scheduled_packets_per_sec", scheduled_per_sec);
+  report.add_environment("latency_p50_s", p50);
+  report.add_environment("latency_p95_s", p95);
+  report.add_environment("latency_p99_s", p99);
+  report.add_environment("p99_latency_inverse_per_s",
+                         1.0 / std::max(1e-9, p99));
+  obs::finalize_run_report(opts.report_path, std::move(report));
+  return failed ? 1 : 0;
+}

@@ -109,6 +109,22 @@ scripts/compare_reports bench/baselines/fleet.baseline.json \
   --floor devices_per_sec=0.9 \
   --floor slots_per_sec=0.9
 
+# Gateway gate (docs/gateway.md): a quick bench_gateway run — real epoll
+# loop on an ephemeral loopback port, 1000 seeded clients at 60x time
+# compression — must connect every client, ACK every cargo packet, and
+# write a manifest whose gateway section report_check validates (exact
+# client/packet partitions, ledger re-bills the client energy meter to
+# 1e-9 J x clients). The wall-clock rates then gate against the committed
+# floors; the latency floor is on 1/p99 so it bounds the p99 from above.
+"./$BUILD_DIR/bench/bench_gateway" --quick \
+  --report results/gateway.report.json
+"./$BUILD_DIR/examples/report_check" results/gateway.report.json
+scripts/compare_reports bench/baselines/gateway.baseline.json \
+  results/gateway.report.json --floors-only \
+  --floor connections_per_sec=0.9 \
+  --floor scheduled_packets_per_sec=0.9 \
+  --floor p99_latency_inverse_per_s=0.9
+
 # Docs lint (docs/README.md): every intra-repo markdown link resolves and
 # every docs/*.md page is reachable from the README index.
 python3 scripts/check_docs.py

@@ -1,0 +1,471 @@
+#include "gateway/gateway.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "radio/energy_meter.h"
+
+namespace etrain::gateway {
+
+namespace {
+
+/// The active gateway's self-pipe write end, for the signal handler. Only
+/// one Gateway installs handlers at a time (install_signal_handlers
+/// enforces it), so a single slot suffices. sig_atomic_t-free: an int
+/// store/load is a single word on every platform we build for, and the
+/// handler only reads it.
+volatile int g_signal_write_fd = -1;
+struct sigaction g_old_sigint;
+struct sigaction g_old_sigterm;
+
+void signal_to_pipe(int) {
+  const int fd = g_signal_write_fd;
+  if (fd < 0) return;
+  const char byte = 1;
+  // Best-effort; EAGAIN means a stop is already pending. Errno must be
+  // preserved for the interrupted code.
+  const int saved = errno;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  errno = saved;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("gateway: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+/// Upper bounds for the enqueue->transmit latency histogram, in clock
+/// seconds: sub-second drips up to multi-cycle waits.
+std::vector<double> latency_bounds() {
+  return {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+          30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0};
+}
+
+}  // namespace
+
+/// Per-connection state. Address-stable (held by unique_ptr) because the
+/// session's transmit callback captures a pointer to it.
+struct Gateway::Connection {
+  int fd = -1;
+  system::wire::FrameReader reader;
+  std::unique_ptr<ClientSession> session;
+  /// Outbound ACK bytes not yet accepted by the kernel.
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool want_write = false;
+
+  bool has_backlog() const { return out_off < outbuf.size(); }
+};
+
+Gateway::Gateway(const core::PolicyRegistry& registry, GatewayConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      clock_(config_.time_scale) {}
+
+Gateway::~Gateway() {
+  restore_signal_handlers();
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (pipe_read_fd_ >= 0) ::close(pipe_read_fd_);
+  if (pipe_write_fd_ >= 0) ::close(pipe_write_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+int Gateway::open() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw std::runtime_error("gateway: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw std::runtime_error("gateway: bind() failed");
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    throw std::runtime_error("gateway: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    throw std::runtime_error("gateway: getsockname() failed");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw std::runtime_error("gateway: pipe() failed");
+  }
+  pipe_read_fd_ = pipe_fds[0];
+  pipe_write_fd_ = pipe_fds[1];
+  set_nonblocking(pipe_read_fd_);
+  set_nonblocking(pipe_write_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("gateway: epoll_create1() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = pipe_read_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, pipe_read_fd_, &ev);
+
+  // Touch the metrics so the report always carries the same shape.
+  metrics_.histogram("gateway.latency_s", latency_bounds());
+  return port_;
+}
+
+void Gateway::request_stop() {
+  if (pipe_write_fd_ < 0) {
+    stop_ = true;
+    return;
+  }
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(pipe_write_fd_, &byte, 1);
+}
+
+void Gateway::install_signal_handlers() {
+  if (signals_installed_) return;
+  if (g_signal_write_fd >= 0) {
+    throw std::runtime_error(
+        "gateway: another Gateway already owns the signal handlers");
+  }
+  g_signal_write_fd = pipe_write_fd_;
+  struct sigaction sa{};
+  sa.sa_handler = signal_to_pipe;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, &g_old_sigint);
+  ::sigaction(SIGTERM, &sa, &g_old_sigterm);
+  signals_installed_ = true;
+}
+
+void Gateway::restore_signal_handlers() {
+  if (!signals_installed_) return;
+  ::sigaction(SIGINT, &g_old_sigint, nullptr);
+  ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
+  g_signal_write_fd = -1;
+  signals_installed_ = false;
+}
+
+int Gateway::wait_timeout_ms() const {
+  const std::optional<TimePoint> next = clock_.next_alarm();
+  if (!next.has_value()) return 1000;  // idle heartbeat of the loop itself
+  const double wait_s = clock_.real_seconds_until(*next);
+  if (wait_s <= 0.0) return 0;
+  // Round up so we never spin-wake just before the deadline; cap so a far
+  // alarm cannot make the loop unresponsive to anything epoll misses.
+  return static_cast<int>(std::min(1000.0, std::ceil(wait_s * 1000.0)));
+}
+
+void Gateway::run() {
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("gateway: run() before open()");
+  }
+  epoll_event events[128];
+  while (!stop_) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events, 128, wait_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("gateway: epoll_wait() failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == pipe_read_fd_) {
+        char drain[64];
+        while (::read(pipe_read_fd_, drain, sizeof(drain)) > 0) {
+        }
+        stop_ = true;
+      } else if (fd == listen_fd_) {
+        accept_ready();
+      } else {
+        const auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;  // closed earlier this batch
+        Connection& conn = *it->second;
+        if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_connection(fd, /*at_shutdown=*/false);
+          continue;
+        }
+        if ((mask & EPOLLOUT) != 0) handle_writable(conn);
+        if (connections_.find(fd) == connections_.end()) continue;
+        if ((mask & EPOLLIN) != 0) handle_readable(conn);
+      }
+    }
+    // Fire due session ticks after the socket work so a tick sees every
+    // frame that arrived before its deadline.
+    clock_.run_due();
+  }
+
+  // Graceful shutdown: flush every live session, fold its energy, close.
+  const std::vector<int> live = [this] {
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    return fds;
+  }();
+  for (const int fd : live) close_connection(fd, /*at_shutdown=*/true);
+
+  if (!config_.report_path.empty()) {
+    obs::finalize_run_report(config_.report_path, build_report());
+  }
+}
+
+void Gateway::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    ++stats_.clients_accepted;
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Gateway::handle_readable(Connection& conn) {
+  const int fd = conn.fd;
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (!dispatch_frames(conn)) {
+        ++stats_.protocol_errors;
+        close_connection(fd, /*at_shutdown=*/false);
+        return;
+      }
+      // A BYE inside the batch closed (and freed) the connection.
+      if (connections_.find(fd) == connections_.end()) return;
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;  // drained
+      continue;
+    }
+    if (n == 0) {  // orderly EOF without BYE: treat as disconnect
+      close_connection(fd, /*at_shutdown=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(fd, /*at_shutdown=*/false);
+    return;
+  }
+}
+
+bool Gateway::dispatch_frames(Connection& conn) {
+  using system::wire::FrameReader;
+  system::wire::Frame frame;
+  while (true) {
+    const FrameReader::Status status = conn.reader.next(frame);
+    if (status == FrameReader::Status::kNeedMore) return true;
+    if (status == FrameReader::Status::kError) return false;
+    switch (frame.type) {
+      case system::wire::FrameType::kHello: {
+        if (conn.session != nullptr) return false;  // double HELLO
+        system::wire::HelloFrame hello;
+        if (!system::wire::decode_hello(frame.payload, hello)) return false;
+        Connection* conn_ptr = &conn;
+        try {
+          conn.session = std::make_unique<ClientSession>(
+              hello, registry_, config_.session, clock_,
+              [this, conn_ptr](const ScheduledPacket& packet) {
+                queue_ack(*conn_ptr, packet);
+              });
+        } catch (const std::invalid_argument&) {
+          return false;  // bad registration (no apps / duplicates)
+        }
+        break;
+      }
+      case system::wire::FrameType::kHeartbeat: {
+        if (conn.session == nullptr) return false;
+        system::wire::HeartbeatFrame hb;
+        if (!system::wire::decode_heartbeat(frame.payload, hb)) return false;
+        if (!conn.session->on_heartbeat(hb.train_app, clock_.now())) {
+          return false;
+        }
+        break;
+      }
+      case system::wire::FrameType::kCargo: {
+        if (conn.session == nullptr) return false;
+        system::wire::CargoFrame cargo;
+        if (!system::wire::decode_cargo(frame.payload, cargo)) return false;
+        if (!conn.session->on_cargo(cargo, clock_.now())) return false;
+        break;
+      }
+      case system::wire::FrameType::kBye:
+        if (!frame.payload.empty()) return false;
+        close_connection(conn.fd, /*at_shutdown=*/false);
+        return true;  // conn is gone; stop dispatching
+      case system::wire::FrameType::kAck:
+        return false;  // clients never send ACK
+    }
+  }
+}
+
+void Gateway::queue_ack(Connection& conn, const ScheduledPacket& packet) {
+  metrics_.histogram("gateway.latency_s", latency_bounds())
+      .add(packet.latency());
+  system::wire::AckFrame ack;
+  ack.packet_id = packet.packet_id;
+  ack.latency_s = packet.latency();
+  ack.boarded = packet.piggybacked ? 1 : 0;
+  const bool was_idle = !conn.has_backlog();
+  conn.outbuf += system::wire::encode_ack(ack);
+  if (was_idle) {
+    // Opportunistic immediate write; EPOLLOUT only for the remainder.
+    handle_writable(conn);
+  } else {
+    update_write_interest(conn);
+  }
+}
+
+void Gateway::handle_writable(Connection& conn) {
+  while (conn.has_backlog()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer is gone; the read side will observe it too, but don't spin.
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    break;
+  }
+  if (!conn.has_backlog()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+  }
+  update_write_interest(conn);
+}
+
+void Gateway::update_write_interest(Connection& conn) {
+  const bool want = conn.has_backlog();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Gateway::close_connection(int fd, bool at_shutdown) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.session != nullptr) {
+    // Flush queued cargo through the modeled uplink (final ACKs are
+    // queued by the transmit callback), push what the kernel will take,
+    // then fold the session's radio bill into the gateway ledger.
+    conn.session->flush(clock_.now());
+    handle_writable(conn);
+    fold_session(*conn.session);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  if (at_shutdown) {
+    ++stats_.clients_at_shutdown;
+  } else {
+    ++stats_.clients_disconnected;
+  }
+}
+
+void Gateway::fold_session(ClientSession& session) {
+  const SessionCounters& counters = session.counters();
+  stats_.heartbeats += counters.heartbeats;
+  stats_.packets_enqueued += counters.enqueued;
+  stats_.packets_piggybacked += counters.piggybacked;
+  stats_.packets_dripped += counters.dripped;
+  stats_.packets_flushed += counters.flushed;
+  stats_.transmissions += session.log().size();
+  if (session.log().empty()) return;
+  const Duration horizon = session.energy_horizon(clock_.now());
+  stats_.meter_total_J +=
+      radio::measure_energy(session.log(), config_.session.model, horizon)
+          .network_energy();
+  obs::append_ledger(ledger_, "cellular", session.log(),
+                     config_.session.model, horizon);
+}
+
+obs::RunReport Gateway::build_report() const {
+  obs::RunReport report;
+  report.bench = config_.bench_name;
+  report.add_provenance("policy", config_.session.policy_spec);
+  report.add_provenance("power_model", config_.session.model.name);
+  report.add_provenance("time_scale", std::to_string(config_.time_scale));
+  report.add_provenance("tick_period_s",
+                        std::to_string(config_.session.tick_period));
+  report.add_provenance("bandwidth_Bps",
+                        std::to_string(config_.session.bandwidth));
+
+  report.add_result("clients_accepted",
+                    static_cast<double>(stats_.clients_accepted));
+  report.add_result("heartbeats", static_cast<double>(stats_.heartbeats));
+  report.add_result("packets_enqueued",
+                    static_cast<double>(stats_.packets_enqueued));
+  report.add_result("transmissions",
+                    static_cast<double>(stats_.transmissions));
+
+  obs::GatewaySection section;
+  section.clients_accepted = stats_.clients_accepted;
+  section.clients_disconnected = stats_.clients_disconnected;
+  section.clients_at_shutdown = stats_.clients_at_shutdown;
+  section.protocol_errors = stats_.protocol_errors;
+  section.heartbeats = stats_.heartbeats;
+  section.packets_enqueued = stats_.packets_enqueued;
+  section.packets_piggybacked = stats_.packets_piggybacked;
+  section.packets_dripped = stats_.packets_dripped;
+  section.packets_flushed = stats_.packets_flushed;
+  section.transmissions = stats_.transmissions;
+  section.client_meter_total_J = stats_.meter_total_J;
+  report.gateway = section;
+
+  report.ledger = ledger_;
+  report.metrics = metrics_.snapshot();
+  report.add_environment("port", static_cast<double>(port_));
+  report.add_environment("time_scale", config_.time_scale);
+  return report;
+}
+
+}  // namespace etrain::gateway

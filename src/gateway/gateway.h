@@ -1,0 +1,136 @@
+// The live gateway daemon core: a single-threaded, level-triggered epoll
+// event loop serving thousands of TCP clients that speak the wire protocol
+// of system/protocol.h (HELLO/HEARTBEAT/CARGO -> ACK), one ClientSession
+// (HeartbeatMonitor + scheduler + modeled RRC uplink) per connection.
+//
+// Threading model: open()/run()/build_report() belong to one thread.
+// request_stop() is the only cross-thread (and async-signal-safe) entry —
+// it writes one byte to a self-pipe the loop polls. SIGINT/SIGTERM can be
+// routed to it with install_signal_handlers().
+//
+// Shutdown is graceful: the loop stops accepting, flushes every live
+// session's waiting queues through the modeled uplink (sending final
+// ACKs best-effort), folds each session's transmission log into the
+// gateway-wide energy ledger and meter, and — when `report_path` is set —
+// writes a RunReport manifest with the `gateway` section report_check
+// validates (docs/gateway.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/policy_registry.h"
+#include "gateway/session.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "sim/clock.h"
+
+namespace etrain::gateway {
+
+struct GatewayConfig {
+  SessionConfig session;
+  /// Clock seconds per real second for the gateway's WallClock (> 0).
+  /// Load tests compress time; production runs at 1.
+  double time_scale = 1.0;
+  /// TCP port to listen on; 0 binds an ephemeral port (open() returns it).
+  int port = 0;
+  int listen_backlog = 4096;
+  /// When non-empty, run() writes a RunReport manifest here on shutdown.
+  std::string report_path;
+  /// Bench name stamped into the report.
+  std::string bench_name = "gateway";
+};
+
+/// Loop-wide totals. Client partition: accepted == disconnected +
+/// at_shutdown once run() returns. Packet partition: enqueued ==
+/// piggybacked + dripped + flushed (sessions are always flushed before
+/// they fold, so nothing is left waiting).
+struct GatewayStats {
+  std::uint64_t clients_accepted = 0;
+  std::uint64_t clients_disconnected = 0;
+  std::uint64_t clients_at_shutdown = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_piggybacked = 0;
+  std::uint64_t packets_dripped = 0;
+  std::uint64_t packets_flushed = 0;
+  std::uint64_t transmissions = 0;
+  /// Sum of per-session measure_energy network totals — the meter the
+  /// report's ledger must re-bill.
+  Joules meter_total_J = 0.0;
+};
+
+class Gateway {
+ public:
+  Gateway(const core::PolicyRegistry& registry, GatewayConfig config);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  /// Binds + listens and creates the epoll/self-pipe plumbing. Returns the
+  /// bound port. Throws std::runtime_error on any socket failure.
+  int open();
+  int port() const { return port_; }
+
+  /// Serves until request_stop(); then performs the graceful shutdown
+  /// described above (including the report when configured).
+  void run();
+
+  /// Stops the loop from any thread or signal handler (one pipe write).
+  void request_stop();
+
+  /// Routes SIGINT/SIGTERM to request_stop() for this instance, saving the
+  /// previous dispositions. At most one Gateway may have handlers
+  /// installed at a time.
+  void install_signal_handlers();
+  /// Restores the saved dispositions (idempotent; also run by ~Gateway).
+  void restore_signal_handlers();
+
+  const GatewayStats& stats() const { return stats_; }
+  const obs::EnergyLedger& ledger() const { return ledger_; }
+  sim::WallClock& clock() { return clock_; }
+  obs::Registry& metrics() { return metrics_; }
+
+  /// The shutdown manifest (also what run() writes to `report_path`).
+  /// Meaningful after run() returned.
+  obs::RunReport build_report() const;
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  /// Parses buffered frames; false = drop the connection (protocol error).
+  bool dispatch_frames(Connection& conn);
+  void queue_ack(Connection& conn, const ScheduledPacket& packet);
+  /// Flushes the session, folds its energy, closes the socket.
+  void close_connection(int fd, bool at_shutdown);
+  void fold_session(ClientSession& session);
+  void update_write_interest(Connection& conn);
+  int wait_timeout_ms() const;
+
+  const core::PolicyRegistry& registry_;
+  GatewayConfig config_;
+  sim::WallClock clock_;
+  obs::Registry metrics_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int pipe_read_fd_ = -1;
+  int pipe_write_fd_ = -1;
+  int port_ = 0;
+  bool stop_ = false;
+  bool signals_installed_ = false;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+
+  GatewayStats stats_;
+  obs::EnergyLedger ledger_;
+};
+
+}  // namespace etrain::gateway

@@ -1,0 +1,266 @@
+#include "gateway/loadgen.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "system/protocol.h"
+
+namespace etrain::gateway {
+
+namespace {
+
+using namespace system::wire;
+
+/// One scripted frame send: clock time, owning client, encoded bytes.
+struct Event {
+  double t = 0.0;
+  int client = 0;
+  std::string bytes;
+  bool heartbeat = false;
+};
+
+/// splitmix64-style per-client seed so adding a client never perturbs
+/// another client's script.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t i) {
+  std::uint64_t z = seed + (i + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct ClientState {
+  int fd = -1;
+  FrameReader reader;
+  bool closed = false;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point origin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin)
+      .count();
+}
+
+void send_all(int fd, std::string_view bytes,
+              const std::function<void()>& drain) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The gateway is busy ACKing us; make room by draining our side.
+      drain();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // peer dropped us; the read side will record it
+  }
+}
+
+}  // namespace
+
+LoadGenResult run_load(const LoadGenConfig& config) {
+  if (config.clients <= 0 || config.port <= 0) {
+    throw std::runtime_error("loadgen: need clients > 0 and a real port");
+  }
+  LoadGenResult result;
+
+  // -------------------------------------------------------------- script --
+  std::vector<Event> events;
+  std::vector<std::string> hellos(static_cast<std::size_t>(config.clients));
+  for (int c = 0; c < config.clients; ++c) {
+    Rng rng(mix_seed(config.seed, static_cast<std::uint64_t>(c)));
+
+    HelloFrame hello;
+    hello.client_id = static_cast<std::uint64_t>(c);
+    const std::uint32_t train_app = 1;
+    hello.train_apps.push_back(train_app);
+    for (std::uint32_t a = 0; a < 2; ++a) {
+      CargoAppSpec spec;
+      spec.app = 100 + a;
+      spec.profile = static_cast<ProfileCode>((c + static_cast<int>(a)) % 3);
+      hello.cargo_apps.push_back(spec);
+    }
+    hellos[static_cast<std::size_t>(c)] = encode_hello(hello);
+
+    const double period = rng.uniform(config.heartbeat_period_min,
+                                      config.heartbeat_period_max);
+    double t = rng.uniform(0.0, period);
+    std::uint32_t seq = 0;
+    while (t < config.duration) {
+      HeartbeatFrame hb;
+      hb.train_app = train_app;
+      hb.seq = seq++;
+      events.push_back(Event{t, c, encode_heartbeat(hb), true});
+      t += period;
+    }
+
+    double arrival = rng.exponential_mean(config.cargo_interarrival_mean);
+    std::uint64_t packet_seq = 0;
+    while (arrival < config.duration) {
+      CargoFrame cargo;
+      cargo.cargo_app = 100 + static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+      cargo.packet_id =
+          (static_cast<std::uint64_t>(c) << 20) | packet_seq++;
+      cargo.bytes = static_cast<std::uint64_t>(rng.uniform_int(500, 50000));
+      cargo.deadline_s =
+          rng.uniform(config.deadline_min, config.deadline_max);
+      events.push_back(Event{arrival, c, encode_cargo(cargo), false});
+      arrival += rng.exponential_mean(config.cargo_interarrival_mean);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.t < b.t; });
+
+  // ------------------------------------------------------------- connect --
+  std::vector<ClientState> clients(static_cast<std::size_t>(config.clients));
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) throw std::runtime_error("loadgen: epoll_create1 failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config.port));
+
+  const auto connect_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < config.clients; ++c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    cs.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (cs.fd < 0) {
+      cs.closed = true;
+      continue;
+    }
+    // Blocking connect: loopback completes as soon as the SYN lands in the
+    // gateway's (deep) listen backlog, not when it accepts.
+    if (::connect(cs.fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(cs.fd);
+      cs.fd = -1;
+      cs.closed = true;
+      continue;
+    }
+    send_all(cs.fd, hellos[static_cast<std::size_t>(c)], [] {});
+    const int flags = ::fcntl(cs.fd, F_GETFL, 0);
+    ::fcntl(cs.fd, F_SETFL, flags | O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(c);
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, cs.fd, &ev);
+    ++result.clients_connected;
+  }
+  result.connect_seconds = wall_seconds_since(connect_start);
+  if (result.clients_connected == 0) {
+    ::close(epoll_fd);
+    throw std::runtime_error("loadgen: no client could connect");
+  }
+
+  // ---------------------------------------------------------------- drive --
+  std::size_t live = result.clients_connected;
+  const auto on_ack = [&](const Frame& frame) {
+    AckFrame ack;
+    if (frame.type != FrameType::kAck ||
+        !decode_ack(frame.payload, ack)) {
+      ++result.protocol_errors;
+      return;
+    }
+    ++result.acks_received;
+    if (ack.boarded != 0) ++result.acks_boarded;
+    result.latencies.push_back(ack.latency_s);
+  };
+  const auto close_client = [&](ClientState& cs) {
+    if (cs.closed) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, cs.fd, nullptr);
+    ::close(cs.fd);
+    cs.fd = -1;
+    cs.closed = true;
+    --live;
+  };
+  const auto drain = [&](int timeout_ms) {
+    epoll_event ready[128];
+    const int n = ::epoll_wait(epoll_fd, ready, 128, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      ClientState& cs = clients[ready[i].data.u32];
+      if (cs.closed) continue;
+      char buf[65536];
+      while (true) {
+        const ssize_t r = ::recv(cs.fd, buf, sizeof(buf), 0);
+        if (r > 0) {
+          cs.reader.feed(
+              std::string_view(buf, static_cast<std::size_t>(r)));
+          Frame frame;
+          while (cs.reader.next(frame) == FrameReader::Status::kFrame) {
+            on_ack(frame);
+          }
+          if (cs.reader.errored()) {
+            ++result.protocol_errors;
+            close_client(cs);
+            break;
+          }
+          if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+          continue;
+        }
+        if (r == 0) {
+          close_client(cs);
+          break;
+        }
+        if (errno == EINTR) continue;
+        break;  // EAGAIN: drained
+      }
+    }
+  };
+
+  const auto drive_start = std::chrono::steady_clock::now();
+  for (const Event& event : events) {
+    ClientState& cs = clients[static_cast<std::size_t>(event.client)];
+    if (cs.closed) continue;
+    // Pace against wall time compressed by the gateway's own factor.
+    for (;;) {
+      const double clock_elapsed =
+          wall_seconds_since(drive_start) * config.time_scale;
+      if (clock_elapsed >= event.t) break;
+      const double wait_wall_s =
+          (event.t - clock_elapsed) / config.time_scale;
+      drain(static_cast<int>(
+          std::min(50.0, std::max(1.0, wait_wall_s * 1000.0))));
+    }
+    send_all(cs.fd, event.bytes, [&] { drain(0); });
+    if (event.heartbeat) {
+      ++result.heartbeats_sent;
+    } else {
+      ++result.cargos_sent;
+    }
+  }
+  result.drive_seconds = wall_seconds_since(drive_start);
+
+  // ---------------------------------------------------------------- drain --
+  const std::string bye = encode_bye();
+  for (ClientState& cs : clients) {
+    if (!cs.closed) send_all(cs.fd, bye, [&] { drain(0); });
+  }
+  const auto drain_start = std::chrono::steady_clock::now();
+  while (live > 0 &&
+         wall_seconds_since(drain_start) < config.drain_timeout_s) {
+    drain(50);
+  }
+  for (ClientState& cs : clients) close_client(cs);
+  ::close(epoll_fd);
+  return result;
+}
+
+}  // namespace etrain::gateway

@@ -1,0 +1,75 @@
+// In-process load generator for the live gateway: a seeded population of
+// loopback TCP clients that speak the wire protocol, each with its own
+// heartbeat rhythm and Poisson cargo arrivals, all scripted up-front from
+// one Rng seed so runs are reproducible.
+//
+// Phases (run() does all three):
+//   connect   every client connects and sends HELLO — timed, this is the
+//             connections/sec figure;
+//   drive     the pre-generated, time-sorted event script (HEARTBEAT and
+//             CARGO frames) is paced against wall time x time_scale — the
+//             same compression the gateway's WallClock uses — while ACKs
+//             are drained and their latencies recorded;
+//   drain     every client sends BYE and outstanding ACKs are collected
+//             until the gateway closes the sockets (bounded wait).
+//
+// The generator is single-threaded and epoll-driven; run it on a different
+// thread than the Gateway (bench_gateway does) or against an external
+// daemon via `port`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etrain::gateway {
+
+struct LoadGenConfig {
+  /// Loopback port of a listening gateway.
+  int port = 0;
+  int clients = 100;
+  /// Clock seconds of scripted traffic per client.
+  Duration duration = 120.0;
+  /// Clock seconds per real second while driving; MUST match the gateway's
+  /// time_scale or latencies and tick alignment are meaningless.
+  double time_scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Heartbeat period range, clock seconds (uniform per client).
+  Duration heartbeat_period_min = 20.0;
+  Duration heartbeat_period_max = 40.0;
+  /// Mean cargo inter-arrival per client, clock seconds (Poisson).
+  Duration cargo_interarrival_mean = 40.0;
+  /// Cargo deadline range, clock seconds (uniform per packet).
+  Duration deadline_min = 10.0;
+  Duration deadline_max = 120.0;
+  /// Wall-second cap on the final ACK drain.
+  double drain_timeout_s = 10.0;
+};
+
+struct LoadGenResult {
+  std::size_t clients_connected = 0;
+  std::size_t heartbeats_sent = 0;
+  std::size_t cargos_sent = 0;
+  std::size_t acks_received = 0;
+  std::size_t acks_boarded = 0;  ///< ACKs flagged piggybacked
+  std::size_t protocol_errors = 0;
+  /// Wall seconds of the connect+HELLO phase.
+  double connect_seconds = 0.0;
+  /// Wall seconds of the drive phase.
+  double drive_seconds = 0.0;
+  /// Enqueue->transmit latency of every ACK, clock seconds, in arrival
+  /// order. Sort to take quantiles.
+  std::vector<double> latencies;
+
+  bool all_connected(const LoadGenConfig& config) const {
+    return clients_connected == static_cast<std::size_t>(config.clients);
+  }
+};
+
+/// Runs the three phases against the gateway on config.port. Throws
+/// std::runtime_error when the connect phase cannot reach the gateway.
+LoadGenResult run_load(const LoadGenConfig& config);
+
+}  // namespace etrain::gateway

@@ -1,0 +1,206 @@
+#include "gateway/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace etrain::gateway {
+
+namespace {
+
+/// Profiles are immutable and stateless; every session shares these.
+const core::CostProfile* profile_for(system::wire::ProfileCode code) {
+  static const core::MailCostProfile mail;
+  static const core::WeiboCostProfile weibo;
+  static const core::CloudCostProfile cloud;
+  switch (code) {
+    case system::wire::ProfileCode::kMail: return &mail;
+    case system::wire::ProfileCode::kWeibo: return &weibo;
+    case system::wire::ProfileCode::kCloud: return &cloud;
+  }
+  return &mail;
+}
+
+}  // namespace
+
+ClientSession::ClientSession(const system::wire::HelloFrame& hello,
+                             const core::PolicyRegistry& registry,
+                             const SessionConfig& config, sim::Clock& clock,
+                             TransmitFn on_transmit)
+    : client_id_(hello.client_id),
+      config_(config),
+      clock_(clock),
+      on_transmit_(std::move(on_transmit)),
+      queues_(static_cast<int>(hello.cargo_apps.size())) {
+  if (hello.cargo_apps.empty() && hello.train_apps.empty()) {
+    throw std::invalid_argument("ClientSession: HELLO registers no apps");
+  }
+  for (const system::wire::CargoAppSpec& spec : hello.cargo_apps) {
+    const int index = static_cast<int>(cargo_index_.size());
+    if (!cargo_index_.emplace(spec.app, index).second) {
+      throw std::invalid_argument("ClientSession: duplicate cargo app id");
+    }
+    cargo_wire_ids_.push_back(spec.app);
+    profiles_.push_back(profile_for(spec.profile));
+  }
+  for (const std::uint32_t app : hello.train_apps) {
+    const int index = static_cast<int>(train_index_.size());
+    if (!train_index_.emplace(app, index).second) {
+      throw std::invalid_argument("ClientSession: duplicate train app id");
+    }
+  }
+  policy_ = registry.make(config_.policy_spec);
+  ctx_.slot_length = config_.tick_period;
+  ctx_.bandwidth_estimate = config_.bandwidth;
+  ctx_.bandwidth_long_term = config_.bandwidth;
+}
+
+ClientSession::~ClientSession() { disarm_tick(); }
+
+bool ClientSession::on_heartbeat(std::uint32_t train_app, TimePoint t) {
+  const auto it = train_index_.find(train_app);
+  if (it == train_index_.end()) return false;
+  t = std::max(t, last_input_);
+  last_input_ = t;
+  ++counters_.heartbeats;
+  transmit_on_uplink(t, config_.heartbeat_bytes, radio::TxKind::kHeartbeat,
+                     it->second, /*packet_id=*/-1);
+  monitor_.on_heartbeat(it->second, t);
+  evaluate(t, /*heartbeat_now=*/true);
+  return true;
+}
+
+bool ClientSession::on_cargo(const system::wire::CargoFrame& frame,
+                             TimePoint t) {
+  const auto it = cargo_index_.find(frame.cargo_app);
+  if (it == cargo_index_.end()) return false;
+  t = std::max(t, last_input_);
+  last_input_ = t;
+  core::QueuedPacket qp;
+  qp.packet.id = static_cast<core::PacketId>(frame.packet_id);
+  qp.packet.app = it->second;
+  qp.packet.bytes = static_cast<Bytes>(frame.bytes);
+  qp.packet.arrival = t;
+  qp.packet.deadline = std::max(frame.deadline_s, 1e-3);
+  qp.profile = profiles_[static_cast<std::size_t>(it->second)];
+  queues_.enqueue(qp);
+  ++counters_.enqueued;
+  evaluate(t, /*heartbeat_now=*/false);
+  return true;
+}
+
+void ClientSession::evaluate(TimePoint t, bool heartbeat_now) {
+  ctx_.slot_start = t;
+  ctx_.heartbeat_now = heartbeat_now;
+  monitor_.predict_departures(t, t + config_.prediction_horizon,
+                              ctx_.upcoming_heartbeats);
+  policy_->select_into(ctx_, queues_, selections_);
+  for (const core::Selection& sel : selections_) {
+    core::QueuedPacket qp = queues_.remove(sel.app, sel.packet);
+    const TimePoint start =
+        transmit_on_uplink(t, qp.packet.bytes, radio::TxKind::kData,
+                           qp.packet.app, qp.packet.id);
+    if (heartbeat_now) {
+      ++counters_.piggybacked;
+    } else {
+      ++counters_.dripped;
+    }
+    ScheduledPacket out;
+    out.packet_id = static_cast<std::uint64_t>(qp.packet.id);
+    out.wire_app =
+        cargo_wire_ids_[static_cast<std::size_t>(qp.packet.app)];
+    out.bytes = qp.packet.bytes;
+    out.enqueued = qp.packet.arrival;
+    out.transmitted = start;
+    out.piggybacked = heartbeat_now;
+    if (on_transmit_) on_transmit_(out);
+  }
+  // Keep a quantized tick armed while anything waits: the scheduler gets
+  // its next look at ceil(t / period) * period, an absolute grid point
+  // identical in virtual and wall time.
+  if (queues_.empty()) {
+    disarm_tick();
+  } else if (!tick_alarm_.has_value()) {
+    arm_tick(t);
+  }
+}
+
+TimePoint ClientSession::transmit_on_uplink(TimePoint t, Bytes bytes,
+                                            radio::TxKind kind, int app_index,
+                                            core::PacketId packet_id) {
+  const TimePoint start = std::max(t, free_at_);
+  // RRC promotion from the gap since the previous occupancy — the same
+  // rules as the slotted harness's uplink, so append_ledger re-bills this
+  // log with identical arithmetic.
+  Duration setup = config_.model.idle_to_dch_delay;
+  if (last_end_ >= 0.0) {
+    const Duration elapsed = start - last_end_;
+    if (elapsed < config_.model.dch_tail) {
+      setup = 0.0;
+    } else if (elapsed < config_.model.tail_time()) {
+      setup = config_.model.fach_to_dch_delay;
+    }
+  }
+  radio::Transmission tx;
+  tx.start = start;
+  tx.setup = setup;
+  tx.duration = static_cast<double>(bytes) / config_.bandwidth;
+  tx.bytes = bytes;
+  tx.kind = kind;
+  tx.app_id = app_index;
+  tx.packet_id = packet_id;
+  log_.add(tx);
+  free_at_ = tx.end();
+  last_end_ = tx.end();
+  return start;
+}
+
+void ClientSession::flush(TimePoint t) {
+  disarm_tick();
+  if (flushed_) return;
+  flushed_ = true;
+  t = std::max(t, last_input_);
+  last_input_ = t;
+  for (core::QueuedPacket& qp : queues_.drain_all()) {
+    const TimePoint start =
+        transmit_on_uplink(t, qp.packet.bytes, radio::TxKind::kData,
+                           qp.packet.app, qp.packet.id);
+    ++counters_.flushed;
+    ScheduledPacket out;
+    out.packet_id = static_cast<std::uint64_t>(qp.packet.id);
+    out.wire_app =
+        cargo_wire_ids_[static_cast<std::size_t>(qp.packet.app)];
+    out.bytes = qp.packet.bytes;
+    out.enqueued = qp.packet.arrival;
+    out.transmitted = start;
+    out.flushed = true;
+    if (on_transmit_) on_transmit_(out);
+  }
+}
+
+Duration ClientSession::energy_horizon(TimePoint t) const {
+  return std::max(t, log_.last_end()) + config_.model.tail_time();
+}
+
+void ClientSession::arm_tick(TimePoint after) {
+  // Next grid point strictly after `after`.
+  const double period = config_.tick_period;
+  TimePoint next = std::ceil(after / period) * period;
+  if (next <= after) next = next + period;
+  tick_alarm_ = clock_.schedule_at(next, [this, next] {
+    tick_alarm_.reset();
+    if (flushed_) return;
+    last_input_ = std::max(last_input_, next);
+    evaluate(next, /*heartbeat_now=*/false);
+  });
+}
+
+void ClientSession::disarm_tick() {
+  if (tick_alarm_.has_value()) {
+    clock_.cancel(*tick_alarm_);
+    tick_alarm_.reset();
+  }
+}
+
+}  // namespace etrain::gateway

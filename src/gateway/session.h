@@ -1,0 +1,166 @@
+// One connected client inside the live gateway: the paper's on-device
+// pipeline (HeartbeatMonitor -> EtrainScheduler -> serialized uplink with
+// RRC-aware billing) re-instantiated per TCP connection, driven by wire
+// frames instead of Android broadcasts and by a sim::Clock instead of the
+// slotted harness.
+//
+// Determinism contract: a session's decisions depend ONLY on the explicit
+// timestamps its callers pass (frame receipt times, quantized tick
+// deadlines) — never on Clock::now() sampled mid-callback. Feed the same
+// timed frame script through a VirtualClock run and a compressed-time
+// WallClock run and the session emits the identical ScheduledPacket
+// sequence (tests/sim_clock_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "android/heartbeat_monitor.h"
+#include "core/cost_profile.h"
+#include "core/policy.h"
+#include "core/policy_registry.h"
+#include "core/queues.h"
+#include "radio/power_model.h"
+#include "radio/transmission_log.h"
+#include "sim/clock.h"
+#include "system/protocol.h"
+
+namespace etrain::gateway {
+
+/// Knobs shared by every session of one gateway instance.
+struct SessionConfig {
+  /// PolicyRegistry spec constructing each session's scheduler.
+  std::string policy_spec = "etrain";
+  /// Scheduler evaluation quantum while cargo waits, in clock seconds.
+  /// Ticks land on multiples of this period (quantized), which is what
+  /// keeps virtual and wall runs aligned.
+  Duration tick_period = 1.0;
+  /// How far ahead the monitor predicts heartbeats for the scheduler.
+  Duration prediction_horizon = 600.0;
+  /// Radio model billing each session's transmission log.
+  radio::PowerModel model = radio::PowerModel::PaperSimulation();
+  /// Fixed modeled uplink rate (the live gateway has no bandwidth trace).
+  BytesPerSecond bandwidth = 100e3;
+  /// Modeled size of one heartbeat on the uplink.
+  Bytes heartbeat_bytes = 150;
+};
+
+/// One scheduler release, delivered to the owner (the daemon turns it into
+/// an ACK frame; the bench's latency histogram feeds from it).
+struct ScheduledPacket {
+  std::uint64_t packet_id = 0;
+  std::uint32_t wire_app = 0;  ///< the client's app id from the CARGO frame
+  Bytes bytes = 0;
+  TimePoint enqueued = 0.0;
+  /// Start of the packet's radio occupancy (after uplink serialization).
+  TimePoint transmitted = 0.0;
+  /// Released during a heartbeat evaluation — it boarded the train.
+  bool piggybacked = false;
+  /// Forced out by flush() (shutdown/disconnect), not chosen by the policy.
+  bool flushed = false;
+
+  Duration latency() const { return transmitted - enqueued; }
+};
+
+/// Per-session packet counters. enqueued == piggybacked + dripped +
+/// flushed + still-waiting; after flush() the partition is exact.
+struct SessionCounters {
+  std::uint64_t heartbeats = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t piggybacked = 0;
+  std::uint64_t dripped = 0;
+  std::uint64_t flushed = 0;
+};
+
+class ClientSession {
+ public:
+  using TransmitFn = std::function<void(const ScheduledPacket&)>;
+
+  /// Builds the per-client pipeline from its HELLO registration. Throws
+  /// std::invalid_argument on an invalid registration (no apps, duplicate
+  /// app ids) or an invalid policy spec.
+  ClientSession(const system::wire::HelloFrame& hello,
+                const core::PolicyRegistry& registry,
+                const SessionConfig& config, sim::Clock& clock,
+                TransmitFn on_transmit);
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  std::uint64_t client_id() const { return client_id_; }
+
+  /// A train app's heartbeat arrived at clock time `t`. Bills the
+  /// heartbeat on the modeled uplink, updates the monitor, and runs a
+  /// heartbeat-now scheduler evaluation (cargo boards here). Returns false
+  /// for an unregistered train app (protocol error; nothing changes).
+  bool on_heartbeat(std::uint32_t train_app, TimePoint t);
+
+  /// A cargo packet arrived at clock time `t`. Enqueues it, evaluates the
+  /// scheduler (no heartbeat), and keeps a quantized tick alarm armed
+  /// while anything waits. Returns false for an unregistered cargo app.
+  bool on_cargo(const system::wire::CargoFrame& frame, TimePoint t);
+
+  /// Drains every waiting packet through the modeled uplink at time `t`
+  /// (marked flushed) and disarms the tick alarm. Idempotent.
+  void flush(TimePoint t);
+
+  const SessionCounters& counters() const { return counters_; }
+  const radio::TransmissionLog& log() const { return log_; }
+  std::size_t waiting() const { return queues_.total_size(); }
+
+  /// Energy horizon for billing this session's log: the later of `t` and
+  /// the last radio occupancy, plus a full tail.
+  Duration energy_horizon(TimePoint t) const;
+
+ private:
+  /// Runs one scheduler evaluation at time `t` and transmits the selected
+  /// packets. Then (re)arms the tick alarm iff packets still wait.
+  void evaluate(TimePoint t, bool heartbeat_now);
+
+  /// Serialized modeled uplink: bills one occupancy starting no earlier
+  /// than `t`, with RRC promotion derived from the gap since the previous
+  /// one. Returns the occupancy start.
+  TimePoint transmit_on_uplink(TimePoint t, Bytes bytes, radio::TxKind kind,
+                               int app_index, core::PacketId packet_id);
+
+  void arm_tick(TimePoint after);
+  void disarm_tick();
+
+  std::uint64_t client_id_ = 0;
+  const SessionConfig& config_;
+  sim::Clock& clock_;
+  TransmitFn on_transmit_;
+
+  /// wire app id -> dense index (queues/monitor/ledger space).
+  std::map<std::uint32_t, int> cargo_index_;
+  std::map<std::uint32_t, int> train_index_;
+  std::vector<std::uint32_t> cargo_wire_ids_;
+  std::vector<const core::CostProfile*> profiles_;
+
+  core::WaitingQueues queues_;
+  std::unique_ptr<core::SchedulingPolicy> policy_;
+  android::HeartbeatMonitor monitor_;
+  radio::TransmissionLog log_;
+
+  /// Uplink serialization state (mirrors the slotted harness's Uplink).
+  TimePoint free_at_ = 0.0;
+  TimePoint last_end_ = -1.0;
+
+  std::optional<sim::AlarmId> tick_alarm_;
+  /// Time non-decrease guard for monitor + log inputs.
+  TimePoint last_input_ = 0.0;
+  bool flushed_ = false;
+
+  SessionCounters counters_;
+
+  /// Reused evaluation buffers (no steady-state allocation).
+  core::SlotContext ctx_;
+  std::vector<core::Selection> selections_;
+};
+
+}  // namespace etrain::gateway

@@ -313,6 +313,21 @@ void write_fleet_section(std::ostream& out, const FleetSection& fleet) {
   out << "]}";
 }
 
+void write_gateway_section(std::ostream& out, const GatewaySection& gw) {
+  out << "{\"clients_accepted\":" << gw.clients_accepted
+      << ",\"clients_disconnected\":" << gw.clients_disconnected
+      << ",\"clients_at_shutdown\":" << gw.clients_at_shutdown
+      << ",\"protocol_errors\":" << gw.protocol_errors
+      << ",\"heartbeats\":" << gw.heartbeats
+      << ",\"packets_enqueued\":" << gw.packets_enqueued
+      << ",\"packets_piggybacked\":" << gw.packets_piggybacked
+      << ",\"packets_dripped\":" << gw.packets_dripped
+      << ",\"packets_flushed\":" << gw.packets_flushed
+      << ",\"transmissions\":" << gw.transmissions
+      << ",\"client_meter_total_J\":" << num(gw.client_meter_total_J)
+      << "}";
+}
+
 void write_metrics(std::ostream& out, const MetricsSnapshot& metrics) {
   out << "{\"counters\":{";
   for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
@@ -410,6 +425,11 @@ void write_run_report(std::ostream& out, const RunReport& report) {
   if (report.fleet.has_value()) {
     out << ",\"fleet\":";
     write_fleet_section(out, *report.fleet);
+  }
+  // Same conditional-presence contract as `fleet` for gateway reports.
+  if (report.gateway.has_value()) {
+    out << ",\"gateway\":";
+    write_gateway_section(out, *report.gateway);
   }
   out << ",\"metrics\":";
   if (report.metrics.has_value() && !report.metrics->empty()) {

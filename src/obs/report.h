@@ -154,6 +154,31 @@ struct FleetSection {
   std::vector<FleetClassStats> classes;
 };
 
+/// The gateway section of a RunReport: the live daemon's shutdown totals
+/// (docs/gateway.md). Present only on gateway reports — like `fleet`, it
+/// serializes no key at all otherwise, keeping every existing report's
+/// byte format (and the golden v1 fixture) unchanged. report_check
+/// enforces two exact partitions — clients_accepted == disconnected +
+/// at_shutdown and packets_enqueued == piggybacked + dripped + flushed —
+/// plus transmissions == heartbeats + packets_enqueued, and that the
+/// report's ledger re-bills client_meter_total_J within
+/// 1e-9 J x max(1, clients_accepted).
+struct GatewaySection {
+  std::size_t clients_accepted = 0;
+  std::size_t clients_disconnected = 0;
+  std::size_t clients_at_shutdown = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t heartbeats = 0;
+  std::size_t packets_enqueued = 0;
+  std::size_t packets_piggybacked = 0;
+  std::size_t packets_dripped = 0;
+  std::size_t packets_flushed = 0;
+  std::size_t transmissions = 0;
+  /// Sum of per-session measure_energy network totals, folded in close
+  /// order — the meter the ledger must re-bill.
+  Joules client_meter_total_J = 0.0;
+};
+
 /// The delay side of the paper's evaluation triple.
 struct DelaySection {
   std::size_t packets = 0;
@@ -221,6 +246,9 @@ struct RunReport {
   /// Fleet runs only; serialized (between "ledger" and "metrics") only
   /// when present, so non-fleet reports keep their exact byte format.
   std::optional<FleetSection> fleet;
+  /// Gateway runs only; serialized (after "fleet", before "metrics") only
+  /// when present — same byte-compatibility contract as `fleet`.
+  std::optional<GatewaySection> gateway;
   /// Null when the run had no Registry attached or observability is
   /// compiled out — the manifest and energy sections survive either way.
   std::optional<MetricsSnapshot> metrics;

@@ -305,6 +305,70 @@ ParsedFleet parse_fleet(JsonReader& reader) {
   return fleet;
 }
 
+/// Digest of the gateway section: count invariants checked inline, the
+/// totals kept for the post-parse ledger cross-checks.
+struct ParsedGateway {
+  double clients_accepted = 0.0;
+  double clients_disconnected = 0.0;
+  double clients_at_shutdown = 0.0;
+  double heartbeats = 0.0;
+  double enqueued = 0.0;
+  double piggybacked = 0.0;
+  double dripped = 0.0;
+  double flushed = 0.0;
+  double transmissions = 0.0;
+  double meter_J = 0.0;
+};
+
+ParsedGateway parse_gateway(JsonReader& reader) {
+  ParsedGateway gw;
+  reader.parse_object([&](const std::string& key) {
+    if (key == "clients_accepted") {
+      gw.clients_accepted = reader.parse_number();
+    } else if (key == "clients_disconnected") {
+      gw.clients_disconnected = reader.parse_number();
+    } else if (key == "clients_at_shutdown") {
+      gw.clients_at_shutdown = reader.parse_number();
+    } else if (key == "heartbeats") {
+      gw.heartbeats = reader.parse_number();
+    } else if (key == "packets_enqueued") {
+      gw.enqueued = reader.parse_number();
+    } else if (key == "packets_piggybacked") {
+      gw.piggybacked = reader.parse_number();
+    } else if (key == "packets_dripped") {
+      gw.dripped = reader.parse_number();
+    } else if (key == "packets_flushed") {
+      gw.flushed = reader.parse_number();
+    } else if (key == "transmissions") {
+      gw.transmissions = reader.parse_number();
+    } else if (key == "client_meter_total_J") {
+      gw.meter_J = reader.parse_number();
+    } else {
+      reader.skip_value();
+    }
+  });
+  // Exact partitions — these are integer counters, so no tolerance.
+  if (gw.clients_accepted !=
+      gw.clients_disconnected + gw.clients_at_shutdown) {
+    reader.fail(
+        "gateway clients_accepted != disconnected + at_shutdown");
+  }
+  if (gw.enqueued != gw.piggybacked + gw.dripped + gw.flushed) {
+    reader.fail(
+        "gateway packets_enqueued != piggybacked + dripped + flushed");
+  }
+  // Every enqueued packet leaves exactly once and every heartbeat is one
+  // radio occupancy, so the log length is fully determined.
+  if (gw.transmissions != gw.heartbeats + gw.enqueued) {
+    reader.fail(
+        "gateway transmissions != heartbeats + packets_enqueued");
+  }
+  if (gw.meter_J < -kJouleTolerance) {
+    reader.fail("gateway client_meter_total_J is negative");
+  }
+  return gw;
+}
+
 void check_metrics(JsonReader& reader) {
   reader.parse_object([&](const std::string& key) {
     if (key == "counters") {
@@ -410,6 +474,7 @@ ReportCheckResult check_run_report(const std::string& json) {
     std::optional<double> section_network, section_tail, section_tx_count;
     std::optional<LedgerTotals> ledger;
     std::optional<ParsedFleet> fleet;
+    std::optional<ParsedGateway> gateway;
 
     reader.parse_object([&](const std::string& key) {
       if (key == "schema") {
@@ -507,6 +572,11 @@ ReportCheckResult check_run_report(const std::string& json) {
         result.fleet_present = true;
         result.fleet_devices = fleet->devices;
         result.fleet_meter_J = fleet->meter_J;
+      } else if (key == "gateway") {
+        gateway = parse_gateway(reader);
+        result.gateway_present = true;
+        result.gateway_clients = gateway->clients_accepted;
+        result.gateway_meter_J = gateway->meter_J;
       } else if (key == "metrics") {
         if (reader.consume_null()) return;
         result.metrics_present = true;
@@ -597,6 +667,24 @@ ReportCheckResult check_run_report(const std::string& json) {
     // per-device meters. Each device's ledger matches its meter to 1e-9 J
     // (the single-run invariant above), so the population sum is compared
     // at 1e-9 x max(1, devices).
+    // Gateway cross-checks: the gateway ledger must re-bill the sum of the
+    // per-session meters. Each session's log bills to 1e-9 J, so the
+    // population sum is compared at 1e-9 x max(1, clients).
+    if (gateway.has_value()) {
+      if (!ledger.has_value()) {
+        reader.fail("gateway section without an energy ledger");
+      }
+      const double gateway_tolerance =
+          kJouleTolerance * std::max(1.0, gateway->clients_accepted);
+      require_close_tol(reader,
+                        "ledger total_J != gateway client_meter_total_J",
+                        ledger->declared_total, gateway->meter_J,
+                        gateway_tolerance);
+      if (ledger->transmissions != gateway->transmissions) {
+        reader.fail("ledger transmissions != gateway transmissions");
+      }
+    }
+
     if (fleet.has_value()) {
       const double fleet_tolerance =
           kJouleTolerance * std::max(1.0, fleet->devices);

@@ -65,6 +65,16 @@ struct ReportCheckResult {
   std::optional<double> fleet_devices;
   std::optional<double> fleet_meter_J;
 
+  /// Gateway section digest, when the report has one (live gateway /
+  /// bench_gateway runs). The validator enforces the exact client and
+  /// packet partitions, transmissions == heartbeats + packets_enqueued,
+  /// and ledger total == client_meter_total_J within
+  /// 1e-9 J x max(1, clients_accepted) — per-session re-billing accuracy
+  /// summed over the client population (docs/gateway.md).
+  bool gateway_present = false;
+  std::optional<double> gateway_clients;
+  std::optional<double> gateway_meter_J;
+
   struct Artifact {
     std::string file;
     std::size_t rows = 0;

@@ -1,0 +1,120 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace etrain::sim {
+
+WallClock::WallClock(double time_scale)
+    : time_scale_(time_scale), origin_(std::chrono::steady_clock::now()) {
+  if (!(time_scale > 0.0)) {
+    throw std::invalid_argument("WallClock: time_scale must be > 0");
+  }
+}
+
+TimePoint WallClock::raw_now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return std::chrono::duration<double>(elapsed).count() * time_scale_;
+}
+
+TimePoint WallClock::now() const {
+  watermark_ = std::max(watermark_, raw_now());
+  return watermark_;
+}
+
+AlarmId WallClock::schedule_at(TimePoint when, std::function<void()> fn) {
+  // Unlike the Simulator, a past deadline is legal here: real time moves
+  // under our feet, so "schedule at T" where T just slipped by simply means
+  // "due on the next run_due()". Ordering among the already-due alarms is
+  // still (when, seq).
+  const AlarmId id = next_id_++;
+  pending_.emplace(id, std::move(fn));
+  heap_.push_back(HeapEntry{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+bool WallClock::cancel(AlarmId id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  // The callback dies now; the heap entry stays as a corpse and is skipped
+  // on pop. Sweep when corpses dominate, same policy as the Simulator.
+  pending_.erase(it);
+  // Keep the heap top live so next_alarm() stays O(1) — run_due() pops top
+  // corpses too, so between public calls a non-empty heap has a live top.
+  while (!heap_.empty() &&
+         pending_.find(heap_.front().id) == pending_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+  if (heap_.size() >= 64 && pending_.size() * 2 < heap_.size()) {
+    std::erase_if(heap_, [this](const HeapEntry& e) {
+      return pending_.find(e.id) == pending_.end();
+    });
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  return true;
+}
+
+std::optional<TimePoint> WallClock::next_alarm() const {
+  // cancel() and run_due() keep the top live, so this is O(1). A corpse at
+  // the top (impossible under that invariant, but harmless) would only make
+  // a loop wake early and clean it up in run_due().
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
+}
+
+double WallClock::real_seconds_until(TimePoint when) const {
+  const double clock_delta = when - raw_now();
+  if (clock_delta <= 0.0) return 0.0;
+  return clock_delta / time_scale_;
+}
+
+std::size_t WallClock::run_due() {
+  return run_due(std::numeric_limits<double>::infinity());
+}
+
+std::size_t WallClock::run_due(TimePoint limit) {
+  std::size_t fired_now = 0;
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const auto it = pending_.find(top.id);
+    if (it == pending_.end()) {
+      // Cancelled corpse.
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      continue;
+    }
+    if (top.when > now() || top.when > limit) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    std::function<void()> fn = std::move(it->second);
+    pending_.erase(it);
+    // Callbacks observe now() >= their deadline even when the OS woke us
+    // late for a whole batch: the watermark is already past `e.when`.
+    watermark_ = std::max(watermark_, e.when);
+    ++fired_;
+    ++fired_now;
+    fn();
+  }
+  return fired_now;
+}
+
+void WallClock::run_until(TimePoint horizon) {
+  for (;;) {
+    run_due(horizon);
+    const std::optional<TimePoint> next = next_alarm();
+    if (!next || *next > horizon) break;
+    const double wait_s = real_seconds_until(*next);
+    if (wait_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+  }
+  watermark_ = std::max(watermark_, std::min(horizon, raw_now()));
+}
+
+}  // namespace etrain::sim

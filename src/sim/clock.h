@@ -1,0 +1,168 @@
+// The Clock seam: one alarm/now() contract served by two time sources.
+//
+// The scheduler core (EtrainScheduler, HeartbeatMonitor, the gateway's
+// per-client session logic) only ever needs two things from time: a
+// monotonic now() and "call me back at deadline T". Code written against
+// Clock runs unchanged in
+//
+//   * virtual time  — VirtualClock adapts the discrete-event Simulator:
+//     alarms are simulator events, now() is simulated time, and a whole
+//     day of traffic replays in milliseconds with byte-identical results
+//     (the existing benches keep their determinism contract untouched);
+//   * real time     — WallClock reads the OS monotonic clock and keeps its
+//     own (deadline, seq) alarm heap for an event loop to drive. A
+//     `time_scale` factor compresses wall time: at scale S, one real
+//     second advances the clock S seconds, so the same scenario constants
+//     (heartbeat cycles, Theta windows, deadlines) work on compressed
+//     load-generator streams and the clock-determinism test can replay a
+//     virtual run against real sleeps in a fraction of the time.
+//
+// Alarm ordering is the Simulator's: (deadline, scheduling seq), FIFO among
+// equal deadlines. WallClock::run_due() fires every due alarm in exactly
+// that order even when a late wakeup finds several alarms expired, which is
+// what makes virtual and wall runs of the same deadline-quantized logic
+// produce identical event orders (tests/sim_clock_test.cpp pins this).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace etrain::sim {
+
+/// Handle used to cancel a scheduled alarm (clock-specific namespace; only
+/// ever pass it back to the clock that minted it).
+using AlarmId = std::uint64_t;
+
+/// Monotonic time + deadline alarms. Not thread-safe: a clock belongs to
+/// the thread driving it (the simulation thread or the event-loop thread),
+/// matching the Simulator's confinement rule.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in clock seconds. Monotonic non-decreasing.
+  virtual TimePoint now() const = 0;
+
+  /// Schedules `fn` to run at absolute clock time `when` (>= now()).
+  /// Returns an id usable with cancel().
+  virtual AlarmId schedule_at(TimePoint when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` to run `delay` clock seconds from now (delay >= 0).
+  AlarmId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// Cancels a pending alarm. True when it was still pending (and is now
+  /// guaranteed not to fire); false when it already fired, was already
+  /// cancelled, or never existed.
+  virtual bool cancel(AlarmId id) = 0;
+
+  /// Deadline of the earliest pending alarm; nullopt when none. Event
+  /// loops derive their poll timeout from this.
+  virtual std::optional<TimePoint> next_alarm() const = 0;
+};
+
+/// Virtual time: adapts the discrete-event Simulator. Alarms are ordinary
+/// simulator events, so anything else scheduled on the same simulator
+/// interleaves with them in the usual (time, seq) order and the replay
+/// stays deterministic.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Simulator& simulator) : simulator_(simulator) {}
+
+  TimePoint now() const override { return simulator_.now(); }
+  AlarmId schedule_at(TimePoint when, std::function<void()> fn) override {
+    return simulator_.schedule_at(when, std::move(fn));
+  }
+  bool cancel(AlarmId id) override { return simulator_.cancel(id); }
+  std::optional<TimePoint> next_alarm() const override {
+    return simulator_.next_event_time();
+  }
+
+  Simulator& simulator() { return simulator_; }
+
+ private:
+  Simulator& simulator_;
+};
+
+/// Real time: the OS monotonic clock, scaled, plus an alarm heap for an
+/// event loop (or run_until) to drive. now() never goes backwards and
+/// never runs ahead of the last fired alarm's deadline ordering.
+class WallClock final : public Clock {
+ public:
+  /// `time_scale`: clock seconds per real second (> 0). 1.0 = real time;
+  /// larger values compress wall time for load tests.
+  explicit WallClock(double time_scale = 1.0);
+
+  TimePoint now() const override;
+  AlarmId schedule_at(TimePoint when, std::function<void()> fn) override;
+  bool cancel(AlarmId id) override;
+  std::optional<TimePoint> next_alarm() const override;
+
+  double time_scale() const { return time_scale_; }
+
+  /// Real (wall) seconds from the real now until clock time `when`
+  /// reaches; 0 when `when` is already due. Event loops convert this to a
+  /// poll timeout.
+  double real_seconds_until(TimePoint when) const;
+
+  /// Fires every alarm with deadline <= now(), in (deadline, seq) order.
+  /// Callbacks may schedule or cancel alarms freely. Returns the number
+  /// fired.
+  std::size_t run_due();
+
+  /// Like run_due(), but never fires past `limit` even when real time has
+  /// already slipped beyond it — run_until() uses this so a loaded host
+  /// cannot drag alarms from beyond the horizon into the run.
+  std::size_t run_due(TimePoint limit);
+
+  /// Drives the clock without an event loop: sleeps until each alarm and
+  /// fires it, until no pending alarm has deadline <= `horizon`. Returns
+  /// when the alarm queue is empty or only holds later alarms; now() is
+  /// then at least min(horizon, last fired deadline).
+  void run_until(TimePoint horizon);
+
+  /// Alarms fired so far (diagnostics / tests).
+  std::uint64_t alarms_fired() const { return fired_; }
+  /// Alarms currently pending.
+  std::size_t pending_alarms() const { return pending_.size(); }
+
+ private:
+  struct HeapEntry {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among equal deadlines
+    AlarmId id;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Raw scaled monotonic reading, before the monotonicity clamp.
+  TimePoint raw_now() const;
+
+  double time_scale_;
+  std::chrono::steady_clock::time_point origin_;
+  /// Alarm bodies by id; an id absent here but still in the heap is a
+  /// cancelled corpse, skipped on pop.
+  std::unordered_map<AlarmId, std::function<void()>> pending_;
+  std::vector<HeapEntry> heap_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  /// Furthest time ever observed/fired — now() is clamped up to this so
+  /// callbacks firing late still see a monotone clock.
+  mutable TimePoint watermark_ = 0.0;
+};
+
+}  // namespace etrain::sim

@@ -81,6 +81,18 @@ void Simulator::compact() {
   cancelled_count_ = 0;
 }
 
+std::optional<TimePoint> Simulator::next_event_time() const {
+  // The heap top may be a cancelled corpse, so scan for the earliest live
+  // entry. O(heap) — callers poll this once per wait, not per event.
+  std::optional<TimePoint> best;
+  for (const HeapEntry& ev : heap_) {
+    const PoolSlot& s = pool_[ev.slot];
+    if (s.gen != ev.gen || s.state != PoolSlot::State::kPending) continue;
+    if (!best || ev.when < *best) best = ev.when;
+  }
+  return best;
+}
+
 void Simulator::run_until(TimePoint horizon) {
   while (!heap_.empty()) {
     if (heap_.front().when > horizon) break;

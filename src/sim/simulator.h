@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/time.h"
@@ -78,6 +79,11 @@ class Simulator {
   /// Runs all pending events to exhaustion. Only safe when the event graph
   /// is known to terminate (tests); periodic sources never terminate.
   void run_to_exhaustion();
+
+  /// Time of the earliest pending event (cancelled corpses excluded);
+  /// nullopt when nothing is pending. The Clock seam exposes this as
+  /// next_alarm() so event loops can compute wait deadlines.
+  std::optional<TimePoint> next_event_time() const;
 
   /// Number of events executed so far (diagnostics / tests).
   std::uint64_t events_executed() const { return executed_; }

@@ -8,9 +8,23 @@
 //             delivery, etc.".
 //   TRANSMIT  (eTrain -> cargo): the scheduler's decision that a specific
 //             packet should be transmitted now.
+//
+// The `wire` namespace below carries the same protocol over real sockets
+// for the live gateway (docs/gateway.md): explicit little-endian
+// fixed-width serialization — independent of host endianness and struct
+// layout — framed as [u32 payload_len][u8 type][payload]. Both the gateway
+// daemon and the bench_gateway load generator encode and decode through
+// these helpers, so a frame written by one side is by construction
+// readable by the other.
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
 
 namespace etrain::system {
 
@@ -27,4 +41,353 @@ inline const std::string kExtraDeadline = "deadline";
 inline const std::string kExtraArrival = "arrival";
 inline const std::string kExtraProfile = "profile";
 
+namespace wire {
+
+// ---------------------------------------------------------------------------
+// Little-endian fixed-width primitives. Writers append to a std::string;
+// readers consume via an explicit cursor and return false on truncation
+// (never reading past the buffer), which is what makes garbage input safe.
+// ---------------------------------------------------------------------------
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// IEEE-754 doubles travel as their little-endian bit pattern.
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline bool get_u8(std::string_view buf, std::size_t& pos, std::uint8_t& v) {
+  if (buf.size() - pos < 1 || pos > buf.size()) return false;
+  v = static_cast<std::uint8_t>(buf[pos]);
+  pos += 1;
+  return true;
+}
+
+inline bool get_u16(std::string_view buf, std::size_t& pos, std::uint16_t& v) {
+  if (pos > buf.size() || buf.size() - pos < 2) return false;
+  v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(buf[pos + static_cast<std::size_t>(i)])
+        << (8 * i));
+  }
+  pos += 2;
+  return true;
+}
+
+inline bool get_u32(std::string_view buf, std::size_t& pos, std::uint32_t& v) {
+  if (pos > buf.size() || buf.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(buf[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+inline bool get_u64(std::string_view buf, std::size_t& pos, std::uint64_t& v) {
+  if (pos > buf.size() || buf.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(buf[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+inline bool get_f64(std::string_view buf, std::size_t& pos, double& v) {
+  std::uint64_t bits = 0;
+  if (!get_u64(buf, pos, bits)) return false;
+  v = std::bit_cast<double>(bits);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frames. Every message is [u32 payload_len][u8 type][payload bytes].
+// ---------------------------------------------------------------------------
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // client -> gateway: REGISTER over the wire
+  kHeartbeat = 2,  // client -> gateway: a train app's keep-alive fired
+  kCargo = 3,      // client -> gateway: SUBMIT over the wire
+  kAck = 4,        // gateway -> client: TRANSMIT decision for one packet
+  kBye = 5,        // client -> gateway: orderly goodbye (flush me now)
+};
+
+/// Frame header size on the wire: u32 length + u8 type.
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Upper bound on payload length. Anything larger is a garbage or hostile
+/// frame; the reader rejects it without buffering.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64 * 1024;
+
+/// Hard cap on per-HELLO app registrations (both lists).
+inline constexpr std::size_t kMaxAppsPerClient = 64;
+
+/// Delay-cost profile of a registered cargo app (core/cost_profile.h).
+enum class ProfileCode : std::uint8_t { kMail = 0, kWeibo = 1, kCloud = 2 };
+
+struct CargoAppSpec {
+  std::uint32_t app = 0;
+  ProfileCode profile = ProfileCode::kMail;
+  bool operator==(const CargoAppSpec&) const = default;
+};
+
+/// REGISTER: the client announces its id, its cargo apps (with delay-cost
+/// profiles) and its heartbeat-bearing train apps.
+struct HelloFrame {
+  std::uint64_t client_id = 0;
+  std::vector<CargoAppSpec> cargo_apps;
+  std::vector<std::uint32_t> train_apps;
+  bool operator==(const HelloFrame&) const = default;
+};
+
+/// A train app's keep-alive fired on the device; the gateway observes it
+/// (timestamping at receipt) and may board waiting cargo on it.
+struct HeartbeatFrame {
+  std::uint32_t train_app = 0;
+  std::uint32_t seq = 0;
+  bool operator==(const HeartbeatFrame&) const = default;
+};
+
+/// SUBMIT: one cargo packet — size plus its delivery deadline, expressed
+/// in seconds from enqueue.
+struct CargoFrame {
+  std::uint32_t cargo_app = 0;
+  std::uint64_t packet_id = 0;
+  std::uint64_t bytes = 0;
+  double deadline_s = 0.0;
+  bool operator==(const CargoFrame&) const = default;
+};
+
+/// TRANSMIT: the scheduler released `packet_id`. `latency_s` is the
+/// enqueue->transmit batching latency in gateway clock seconds;
+/// `boarded` distinguishes heartbeat piggybacks from drip/flush sends.
+struct AckFrame {
+  std::uint64_t packet_id = 0;
+  double latency_s = 0.0;
+  std::uint8_t boarded = 0;
+  bool operator==(const AckFrame&) const = default;
+};
+
+inline void append_frame_header(std::string& out, FrameType type,
+                                std::uint32_t payload_len) {
+  put_u32(out, payload_len);
+  put_u8(out, static_cast<std::uint8_t>(type));
+}
+
+/// Appends a complete frame (header + payload) for `type` whose payload is
+/// written by `body(payload_string)`.
+template <typename Body>
+void append_frame(std::string& out, FrameType type, Body&& body) {
+  std::string payload;
+  body(payload);
+  append_frame_header(out, type, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+}
+
+inline std::string encode_hello(const HelloFrame& f) {
+  std::string out;
+  append_frame(out, FrameType::kHello, [&](std::string& p) {
+    put_u64(p, f.client_id);
+    put_u16(p, static_cast<std::uint16_t>(f.cargo_apps.size()));
+    for (const CargoAppSpec& a : f.cargo_apps) {
+      put_u32(p, a.app);
+      put_u8(p, static_cast<std::uint8_t>(a.profile));
+    }
+    put_u16(p, static_cast<std::uint16_t>(f.train_apps.size()));
+    for (std::uint32_t a : f.train_apps) put_u32(p, a);
+  });
+  return out;
+}
+
+inline std::string encode_heartbeat(const HeartbeatFrame& f) {
+  std::string out;
+  append_frame(out, FrameType::kHeartbeat, [&](std::string& p) {
+    put_u32(p, f.train_app);
+    put_u32(p, f.seq);
+  });
+  return out;
+}
+
+inline std::string encode_cargo(const CargoFrame& f) {
+  std::string out;
+  append_frame(out, FrameType::kCargo, [&](std::string& p) {
+    put_u32(p, f.cargo_app);
+    put_u64(p, f.packet_id);
+    put_u64(p, f.bytes);
+    put_f64(p, f.deadline_s);
+  });
+  return out;
+}
+
+inline std::string encode_ack(const AckFrame& f) {
+  std::string out;
+  append_frame(out, FrameType::kAck, [&](std::string& p) {
+    put_u64(p, f.packet_id);
+    put_f64(p, f.latency_s);
+    put_u8(p, f.boarded);
+  });
+  return out;
+}
+
+inline std::string encode_bye() {
+  std::string out;
+  append_frame_header(out, FrameType::kBye, 0);
+  return out;
+}
+
+/// Strict decoders: false on truncation, trailing bytes, or out-of-range
+/// values. A payload must be exactly its frame, nothing more.
+inline bool decode_hello(std::string_view payload, HelloFrame& out) {
+  std::size_t pos = 0;
+  out = HelloFrame{};
+  std::uint16_t n_cargo = 0;
+  if (!get_u64(payload, pos, out.client_id)) return false;
+  if (!get_u16(payload, pos, n_cargo)) return false;
+  if (n_cargo > kMaxAppsPerClient) return false;
+  out.cargo_apps.reserve(n_cargo);
+  for (std::uint16_t i = 0; i < n_cargo; ++i) {
+    CargoAppSpec spec;
+    std::uint8_t code = 0;
+    if (!get_u32(payload, pos, spec.app)) return false;
+    if (!get_u8(payload, pos, code)) return false;
+    if (code > static_cast<std::uint8_t>(ProfileCode::kCloud)) return false;
+    spec.profile = static_cast<ProfileCode>(code);
+    out.cargo_apps.push_back(spec);
+  }
+  std::uint16_t n_train = 0;
+  if (!get_u16(payload, pos, n_train)) return false;
+  if (n_train > kMaxAppsPerClient) return false;
+  out.train_apps.reserve(n_train);
+  for (std::uint16_t i = 0; i < n_train; ++i) {
+    std::uint32_t app = 0;
+    if (!get_u32(payload, pos, app)) return false;
+    out.train_apps.push_back(app);
+  }
+  return pos == payload.size();
+}
+
+inline bool decode_heartbeat(std::string_view payload, HeartbeatFrame& out) {
+  std::size_t pos = 0;
+  out = HeartbeatFrame{};
+  if (!get_u32(payload, pos, out.train_app)) return false;
+  if (!get_u32(payload, pos, out.seq)) return false;
+  return pos == payload.size();
+}
+
+inline bool decode_cargo(std::string_view payload, CargoFrame& out) {
+  std::size_t pos = 0;
+  out = CargoFrame{};
+  if (!get_u32(payload, pos, out.cargo_app)) return false;
+  if (!get_u64(payload, pos, out.packet_id)) return false;
+  if (!get_u64(payload, pos, out.bytes)) return false;
+  if (!get_f64(payload, pos, out.deadline_s)) return false;
+  return pos == payload.size();
+}
+
+inline bool decode_ack(std::string_view payload, AckFrame& out) {
+  std::size_t pos = 0;
+  out = AckFrame{};
+  if (!get_u64(payload, pos, out.packet_id)) return false;
+  if (!get_f64(payload, pos, out.latency_s)) return false;
+  if (!get_u8(payload, pos, out.boarded)) return false;
+  return pos == payload.size();
+}
+
+/// A decoded frame: type plus raw payload (decode_* parses the payload).
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::string payload;
+};
+
+/// Incremental frame scanner for a TCP byte stream. feed() arbitrary
+/// chunks, then drain frames with next(). A malformed header (oversized
+/// length, unknown type) poisons the reader permanently — the stream has
+/// lost sync, so the connection must be dropped.
+class FrameReader {
+ public:
+  enum class Status { kFrame, kNeedMore, kError };
+
+  void feed(std::string_view bytes) {
+    if (!error_) buffer_.append(bytes.data(), bytes.size());
+  }
+
+  Status next(Frame& out) {
+    if (error_) return Status::kError;
+    if (buffer_.size() - start_ < kFrameHeaderBytes) {
+      compact();
+      return Status::kNeedMore;
+    }
+    std::size_t pos = start_;
+    std::uint32_t len = 0;
+    std::uint8_t type = 0;
+    if (!get_u32(buffer_, pos, len) || !get_u8(buffer_, pos, type)) {
+      return fail();
+    }
+    if (len > kMaxPayloadBytes) return fail();
+    if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+        type > static_cast<std::uint8_t>(FrameType::kBye)) {
+      return fail();
+    }
+    if (buffer_.size() - pos < len) {
+      compact();
+      return Status::kNeedMore;
+    }
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(buffer_, pos, len);
+    start_ = pos + len;
+    return Status::kFrame;
+  }
+
+  bool errored() const { return error_; }
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t buffered() const { return buffer_.size() - start_; }
+
+ private:
+  Status fail() {
+    error_ = true;
+    buffer_.clear();
+    start_ = 0;
+    return Status::kError;
+  }
+
+  /// Drops consumed bytes once they dominate the buffer, keeping memory
+  /// proportional to the unconsumed tail.
+  void compact() {
+    if (start_ > 4096 && start_ * 2 > buffer_.size()) {
+      buffer_.erase(0, start_);
+      start_ = 0;
+    }
+  }
+
+  std::string buffer_;
+  std::size_t start_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace wire
 }  // namespace etrain::system

@@ -1,0 +1,197 @@
+// Live-daemon tests (gateway/gateway.h): an in-process Gateway served by
+// its epoll loop on a worker thread, driven over real loopback sockets.
+// Pins the graceful-shutdown contract — BYEs and SIGTERM-during-load both
+// end in a complete, report_check-clean RunReport manifest whose gateway
+// partitions hold exactly — and the protocol-error path (garbage bytes
+// drop the connection, and only that connection).
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "baselines/registry.h"
+#include "gateway/loadgen.h"
+#include "obs/report_check.h"
+#include "system/protocol.h"
+
+namespace {
+
+using namespace etrain;
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Validates a written manifest and returns the parsed digest.
+obs::ReportCheckResult checked(const std::string& path) {
+  const obs::ReportCheckResult result = obs::check_run_report_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.gateway_present);
+  return result;
+}
+
+TEST(GatewayDaemon, GracefulByesProduceACleanManifest) {
+  const std::string report_path = "gateway_daemon_graceful.report.json";
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.report_path = report_path;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  ASSERT_GT(port, 0);
+  std::thread server([&] { gw.run(); });
+
+  gateway::LoadGenConfig load;
+  load.port = port;
+  load.clients = 20;
+  load.duration = 20.0;
+  load.time_scale = config.time_scale;
+  const gateway::LoadGenResult result = gateway::run_load(load);
+
+  gw.request_stop();
+  server.join();
+
+  EXPECT_TRUE(result.all_connected(load));
+  EXPECT_EQ(result.protocol_errors, 0u);
+  // The shutdown flush guarantees every cargo packet came back as an ACK.
+  EXPECT_EQ(result.acks_received, result.cargos_sent);
+  EXPECT_EQ(result.latencies.size(), result.acks_received);
+
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_EQ(stats.clients_accepted, 20u);
+  EXPECT_EQ(stats.clients_disconnected, 20u);  // all left via BYE
+  EXPECT_EQ(stats.clients_at_shutdown, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.heartbeats, result.heartbeats_sent);
+  EXPECT_EQ(stats.packets_enqueued, result.cargos_sent);
+  EXPECT_EQ(stats.packets_enqueued, stats.packets_piggybacked +
+                                        stats.packets_dripped +
+                                        stats.packets_flushed);
+  EXPECT_EQ(stats.transmissions, stats.heartbeats + stats.packets_enqueued);
+
+  const obs::ReportCheckResult report = checked(report_path);
+  EXPECT_EQ(report.bench, "gateway");
+  EXPECT_EQ(report.gateway_clients, 20.0);
+  std::remove(report_path.c_str());
+}
+
+TEST(GatewayDaemon, SigtermDuringLoadFlushesAndWritesTheManifest) {
+  const std::string report_path = "gateway_daemon_sigterm.report.json";
+  gateway::GatewayConfig config;
+  config.time_scale = 50.0;
+  config.report_path = report_path;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  gw.install_signal_handlers();
+  std::thread server([&] { gw.run(); });
+
+  // SIGTERM lands mid-drive, while every client is still connected and
+  // cargo is still waiting in the gateway's queues.
+  std::thread killer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::raise(SIGTERM);
+  });
+
+  gateway::LoadGenConfig load;
+  load.port = port;
+  load.clients = 16;
+  load.duration = 60.0;
+  load.time_scale = config.time_scale;
+  load.drain_timeout_s = 5.0;
+  const gateway::LoadGenResult result = gateway::run_load(load);
+  killer.join();
+  server.join();
+  gw.restore_signal_handlers();
+
+  EXPECT_TRUE(result.all_connected(load));
+  const gateway::GatewayStats& stats = gw.stats();
+  // The signal, not BYEs, ended these sessions.
+  EXPECT_GT(stats.clients_at_shutdown, 0u);
+  EXPECT_EQ(stats.clients_accepted,
+            stats.clients_disconnected + stats.clients_at_shutdown);
+  EXPECT_EQ(stats.packets_enqueued, stats.packets_piggybacked +
+                                        stats.packets_dripped +
+                                        stats.packets_flushed);
+  EXPECT_EQ(stats.transmissions, stats.heartbeats + stats.packets_enqueued);
+
+  // The manifest survived the abrupt end: schema-complete, partitions
+  // exact, ledger re-bills the client meter (report_check enforces all).
+  const obs::ReportCheckResult report = checked(report_path);
+  EXPECT_EQ(report.gateway_clients, 16.0);
+  ASSERT_TRUE(report.gateway_meter_J.has_value());
+  ASSERT_TRUE(report.ledger_total_J.has_value());
+  EXPECT_NEAR(*report.ledger_total_J, *report.gateway_meter_J, 16 * 1e-9);
+  std::remove(report_path.c_str());
+}
+
+TEST(GatewayDaemon, GarbageBytesDropOnlyThatConnection) {
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  std::thread server([&] { gw.run(); });
+
+  // A well-behaved client HELLOs; a hostile one sends garbage.
+  const int good = connect_loopback(port);
+  const int bad = connect_loopback(port);
+  ASSERT_GE(good, 0);
+  ASSERT_GE(bad, 0);
+  system::wire::HelloFrame hello;
+  hello.client_id = 1;
+  hello.train_apps.push_back(1);
+  const std::string hello_bytes = system::wire::encode_hello(hello);
+  ASSERT_EQ(::send(good, hello_bytes.data(), hello_bytes.size(), 0),
+            static_cast<ssize_t>(hello_bytes.size()));
+  const std::string garbage(64, '\xff');
+  ASSERT_EQ(::send(bad, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+
+  // The gateway closes the hostile socket; recv sees EOF.
+  char byte = 0;
+  EXPECT_EQ(::recv(bad, &byte, 1, 0), 0);
+  // The good client still works: a heartbeat, then an orderly BYE. The
+  // EOF the gateway answers the BYE with doubles as the synchronization
+  // point — frames are processed in order, so once it arrives the
+  // heartbeat has been counted (stats are only read after join()).
+  const std::string hb =
+      system::wire::encode_heartbeat(system::wire::HeartbeatFrame{1, 0});
+  EXPECT_EQ(::send(good, hb.data(), hb.size(), 0),
+            static_cast<ssize_t>(hb.size()));
+  const std::string bye = system::wire::encode_bye();
+  EXPECT_EQ(::send(good, bye.data(), bye.size(), 0),
+            static_cast<ssize_t>(bye.size()));
+  EXPECT_EQ(::recv(good, &byte, 1, 0), 0);
+
+  gw.request_stop();
+  server.join();
+  ::close(good);
+  ::close(bad);
+
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  EXPECT_EQ(stats.heartbeats, 1u);
+  EXPECT_EQ(stats.clients_accepted, 2u);
+  EXPECT_EQ(stats.clients_disconnected, 2u);
+  EXPECT_EQ(stats.clients_at_shutdown, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// ClientSession tests (gateway/session.h): the per-connection eTrain
+// pipeline must classify every enqueued packet as exactly one of
+// piggybacked / dripped / flushed, keep its tick alarms on the quantized
+// grid, reject unregistered apps and malformed registrations, and produce
+// a transmission log whose append_ledger re-billing reproduces the
+// measure_energy meter to 1e-9 J — the invariant report_check enforces on
+// whole gateway runs.
+#include "gateway/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "obs/report.h"
+#include "radio/energy_meter.h"
+#include "sim/clock.h"
+#include "sim/simulator.h"
+#include "system/protocol.h"
+
+namespace {
+
+using namespace etrain;
+using gateway::ClientSession;
+using gateway::ScheduledPacket;
+using gateway::SessionConfig;
+using system::wire::CargoFrame;
+using system::wire::HelloFrame;
+using system::wire::ProfileCode;
+
+HelloFrame mail_hello() {
+  HelloFrame h;
+  h.client_id = 7;
+  h.cargo_apps.push_back({100, ProfileCode::kMail});
+  h.train_apps.push_back(1);
+  return h;
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  sim::VirtualClock clock{sim};
+  SessionConfig config;
+  std::vector<ScheduledPacket> releases;
+  std::unique_ptr<ClientSession> session;
+
+  explicit Fixture(const HelloFrame& hello = mail_hello(),
+                   const SessionConfig& overrides = SessionConfig{}) {
+    config = overrides;
+    session = std::make_unique<ClientSession>(
+        hello, baselines::builtin_registry(), config, clock,
+        [this](const ScheduledPacket& p) { releases.push_back(p); });
+  }
+};
+
+TEST(ClientSession, RejectsInvalidRegistrations) {
+  Fixture fx;
+  // Empty HELLO: no apps at all.
+  EXPECT_THROW(
+      ClientSession(HelloFrame{}, baselines::builtin_registry(), fx.config,
+                    fx.clock, nullptr),
+      std::invalid_argument);
+  // Duplicate cargo app ids.
+  HelloFrame dup = mail_hello();
+  dup.cargo_apps.push_back({100, ProfileCode::kCloud});
+  EXPECT_THROW(ClientSession(dup, baselines::builtin_registry(), fx.config,
+                             fx.clock, nullptr),
+               std::invalid_argument);
+  // Unknown policy spec.
+  SessionConfig bad = fx.config;
+  bad.policy_spec = "no-such-policy";
+  EXPECT_THROW(ClientSession(mail_hello(), baselines::builtin_registry(), bad,
+                             fx.clock, nullptr),
+               std::invalid_argument);
+}
+
+TEST(ClientSession, UnregisteredAppsAreProtocolErrors) {
+  Fixture fx;
+  EXPECT_FALSE(fx.session->on_heartbeat(999, 1.0));
+  EXPECT_FALSE(fx.session->on_cargo(CargoFrame{999, 1, 100, 10.0}, 1.0));
+  EXPECT_EQ(fx.session->counters().heartbeats, 0u);
+  EXPECT_EQ(fx.session->counters().enqueued, 0u);
+  EXPECT_TRUE(fx.session->log().empty());
+}
+
+TEST(ClientSession, PiggybackDripFlushPartitionIsExact) {
+  Fixture fx;
+  // Piggyback: cargo waits, then a heartbeat arrives — it boards.
+  ASSERT_TRUE(fx.session->on_cargo(CargoFrame{100, 1, 4096, 120.0}, 2.0));
+  ASSERT_TRUE(fx.session->on_heartbeat(1, 10.0));
+  // Drip: a Mail packet past its deadline has positive speculative cost,
+  // so the next quantized tick releases it without any train.
+  ASSERT_TRUE(fx.session->on_cargo(CargoFrame{100, 2, 2048, 2.0}, 20.5));
+  fx.sim.run_until(60.0);
+  // Flush: still waiting at shutdown.
+  ASSERT_TRUE(fx.session->on_cargo(CargoFrame{100, 3, 1024, 300.0}, 70.0));
+  fx.session->flush(75.0);
+
+  const gateway::SessionCounters& c = fx.session->counters();
+  EXPECT_EQ(c.heartbeats, 1u);
+  EXPECT_EQ(c.enqueued, 3u);
+  EXPECT_EQ(c.piggybacked, 1u);
+  EXPECT_EQ(c.dripped, 1u);
+  EXPECT_EQ(c.flushed, 1u);
+  EXPECT_EQ(c.enqueued, c.piggybacked + c.dripped + c.flushed);
+  EXPECT_EQ(fx.session->waiting(), 0u);
+  // Transmissions: one per heartbeat plus one per enqueued packet.
+  EXPECT_EQ(fx.session->log().size(), c.heartbeats + c.enqueued);
+
+  ASSERT_EQ(fx.releases.size(), 3u);
+  EXPECT_TRUE(fx.releases[0].piggybacked);
+  EXPECT_EQ(fx.releases[0].packet_id, 1u);
+  // Boards right behind the heartbeat's uplink occupancy: latency is the
+  // 8 s wait plus the heartbeat's own serialization time.
+  EXPECT_NEAR(fx.releases[0].latency(),
+              8.0 + 150.0 / fx.config.bandwidth, 1e-12);
+  EXPECT_FALSE(fx.releases[1].piggybacked);
+  EXPECT_FALSE(fx.releases[1].flushed);  // dripped
+  EXPECT_EQ(fx.releases[1].packet_id, 2u);
+  EXPECT_TRUE(fx.releases[2].flushed);
+  EXPECT_EQ(fx.releases[2].packet_id, 3u);
+
+  // Flush is idempotent: nothing new on a second call.
+  fx.session->flush(80.0);
+  EXPECT_EQ(fx.releases.size(), 3u);
+  EXPECT_EQ(fx.session->counters().flushed, 1u);
+}
+
+TEST(ClientSession, TickAlarmsLandOnTheQuantizedGrid) {
+  Fixture fx;
+  // Cargo at t=2.3 with a far deadline: nothing releases, but a tick must
+  // be armed at the next grid point — ceil(2.3 / 1.0) = 3.0 exactly.
+  ASSERT_TRUE(fx.session->on_cargo(CargoFrame{100, 1, 4096, 500.0}, 2.3));
+  ASSERT_TRUE(fx.clock.next_alarm().has_value());
+  EXPECT_DOUBLE_EQ(*fx.clock.next_alarm(), 3.0);
+  // An evaluation exactly ON a grid point arms the NEXT point, never
+  // itself (no zero-delay spin).
+  fx.sim.run_until(3.0);
+  ASSERT_TRUE(fx.clock.next_alarm().has_value());
+  EXPECT_DOUBLE_EQ(*fx.clock.next_alarm(), 4.0);
+  // Releasing the queue (here: flush) disarms the tick.
+  fx.session->flush(5.0);
+  EXPECT_FALSE(fx.clock.next_alarm().has_value());
+}
+
+TEST(ClientSession, LedgerRebillsTheMeterExactly) {
+  Fixture fx;
+  // A busy little life: heartbeats, boarding cargo, drips, a final flush.
+  double t = 0.0;
+  std::uint64_t id = 1;
+  for (int round = 0; round < 5; ++round) {
+    t += 7.5;
+    ASSERT_TRUE(
+        fx.session->on_cargo(CargoFrame{100, id++, 4096 * (round + 1),
+                                        round % 2 == 0 ? 4.0 : 200.0},
+                             t));
+    t += 22.5;
+    ASSERT_TRUE(fx.session->on_heartbeat(1, t));
+  }
+  fx.sim.run_until(t + 10.0);
+  fx.session->flush(t + 10.0);
+
+  const Duration horizon = fx.session->energy_horizon(t + 10.0);
+  const Joules meter =
+      radio::measure_energy(fx.session->log(), fx.config.model, horizon)
+          .network_energy();
+  obs::EnergyLedger ledger;
+  obs::append_ledger(ledger, "cellular", fx.session->log(), fx.config.model,
+                     horizon);
+  EXPECT_NEAR(ledger.total(), meter, 1e-9);
+  EXPECT_GT(meter, 0.0);
+  // The ledger splits heartbeat vs data rows; both kinds must be present.
+  EXPECT_GT(ledger.kind_total(radio::TxKind::kHeartbeat), 0.0);
+  EXPECT_GT(ledger.kind_total(radio::TxKind::kData), 0.0);
+}
+
+TEST(ClientSession, UplinkSerializesAndDerivesPromotions) {
+  // Realistic3G has nonzero promotion latencies, so the gap rules show.
+  SessionConfig with_promotions;
+  with_promotions.model = radio::PowerModel::Realistic3G();
+  Fixture fx(mail_hello(), with_promotions);
+  // Two back-to-back heartbeats: the second starts after the first ends
+  // (serialized) and, with a gap shorter than the DCH tail, pays no
+  // promotion setup.
+  ASSERT_TRUE(fx.session->on_heartbeat(1, 1.0));
+  ASSERT_TRUE(fx.session->on_heartbeat(1, 1.001));
+  const radio::TransmissionLog& log = fx.session->log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_GT(log[0].setup, 0.0);  // cold start: IDLE -> DCH promotion
+  EXPECT_GE(log[1].start, log[0].end());
+  EXPECT_EQ(log[1].setup, 0.0);  // still in DCH
+}
+
+}  // namespace

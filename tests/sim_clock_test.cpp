@@ -1,0 +1,208 @@
+// Clock-seam tests (sim/clock.h): VirtualClock is a faithful adapter of
+// the discrete-event Simulator, WallClock fires alarms in the Simulator's
+// (deadline, seq) order with a monotone now(), and — the seam's whole
+// point — the same timed frame script driven through a ClientSession
+// produces the IDENTICAL ScheduledPacket sequence under virtual time and
+// under compressed real time (docs/gateway.md, docs/determinism.md).
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "gateway/session.h"
+#include "sim/simulator.h"
+#include "system/protocol.h"
+
+namespace {
+
+using namespace etrain;
+using sim::Simulator;
+using sim::VirtualClock;
+using sim::WallClock;
+
+TEST(VirtualClock, DelegatesToSimulator) {
+  Simulator sim;
+  VirtualClock clock(sim);
+  EXPECT_EQ(clock.now(), 0.0);
+  EXPECT_FALSE(clock.next_alarm().has_value());
+
+  std::vector<int> order;
+  clock.schedule_at(5.0, [&] { order.push_back(2); });
+  const auto early = clock.schedule_at(1.0, [&] { order.push_back(1); });
+  const auto cancelled = clock.schedule_at(3.0, [&] { order.push_back(99); });
+  ASSERT_TRUE(clock.next_alarm().has_value());
+  EXPECT_EQ(*clock.next_alarm(), 1.0);
+  EXPECT_TRUE(clock.cancel(cancelled));
+  EXPECT_FALSE(clock.cancel(cancelled));
+
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(clock.now(), 10.0);
+  EXPECT_FALSE(clock.cancel(early));  // already fired
+  EXPECT_FALSE(clock.next_alarm().has_value());
+}
+
+TEST(WallClock, FiresDueAlarmsInDeadlineSeqOrder) {
+  // A large time_scale makes every deadline already due, so run_due()
+  // must fire the whole batch in (deadline, seq) order, exactly like a
+  // late epoll wakeup that slept through several deadlines.
+  WallClock clock(1e9);
+  std::vector<int> order;
+  clock.schedule_at(2.0, [&] { order.push_back(3); });
+  clock.schedule_at(1.0, [&] { order.push_back(1); });
+  clock.schedule_at(1.0, [&] { order.push_back(2); });  // FIFO on tie
+  while (clock.pending_alarms() > 0) clock.run_due();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.alarms_fired(), 3u);
+  // Callbacks observed a clock at/after their deadline, monotonically.
+  EXPECT_GE(clock.now(), 2.0);
+}
+
+TEST(WallClock, CancelAndNextAlarm) {
+  WallClock clock(1.0);
+  const auto a = clock.schedule_at(100.0, [] {});
+  const auto b = clock.schedule_at(50.0, [] {});
+  ASSERT_TRUE(clock.next_alarm().has_value());
+  EXPECT_EQ(*clock.next_alarm(), 50.0);
+  // Cancelling the earliest alarm must advance next_alarm() immediately —
+  // the event loop derives its poll timeout from it.
+  EXPECT_TRUE(clock.cancel(b));
+  EXPECT_EQ(*clock.next_alarm(), 100.0);
+  EXPECT_TRUE(clock.cancel(a));
+  EXPECT_FALSE(clock.next_alarm().has_value());
+  EXPECT_FALSE(clock.cancel(a));
+  EXPECT_EQ(clock.pending_alarms(), 0u);
+  // Past deadlines are legal (real time slips); they are simply due now.
+  clock.schedule_at(-1.0, [] {});
+  EXPECT_EQ(clock.run_due(), 1u);
+  EXPECT_THROW(WallClock(0.0), std::invalid_argument);
+}
+
+TEST(WallClock, RunUntilSleepsAndScalesTime) {
+  // 1000x compression: 5 clock seconds of alarms in ~5 real ms.
+  WallClock clock(1000.0);
+  std::vector<double> fired_at;
+  clock.schedule_at(2.0, [&] { fired_at.push_back(clock.now()); });
+  clock.schedule_at(5.0, [&] { fired_at.push_back(clock.now()); });
+  clock.run_until(10.0);
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_GE(fired_at[0], 2.0);
+  EXPECT_GE(fired_at[1], 5.0);
+  EXPECT_GE(clock.now(), fired_at[1]);  // monotone through the run
+}
+
+// ---------------------------------------------------------------------------
+// The determinism pin: one scripted client, two time sources, identical
+// scheduling decisions.
+// ---------------------------------------------------------------------------
+
+struct Release {
+  std::uint64_t packet_id;
+  double transmitted;
+  bool piggybacked;
+  bool flushed;
+  bool operator==(const Release&) const = default;
+};
+
+struct ScriptItem {
+  double t;
+  bool heartbeat;
+  system::wire::CargoFrame cargo;  // when !heartbeat
+};
+
+/// The timed frame script: heartbeats every 30 s, cargo arriving between
+/// them with mixed deadlines — some board the next train, some drip at
+/// deadline via quantized ticks, one is still waiting at the final flush.
+std::vector<ScriptItem> script() {
+  using system::wire::CargoFrame;
+  std::vector<ScriptItem> items;
+  for (int k = 0; k < 4; ++k) {
+    items.push_back({30.0 * (k + 1), true, {}});
+  }
+  items.push_back({5.0, false, CargoFrame{100, 1, 4096, 60.0}});
+  items.push_back({12.5, false, CargoFrame{101, 2, 20000, 8.0}});
+  items.push_back({47.0, false, CargoFrame{100, 3, 1500, 100.0}});
+  items.push_back({61.25, false, CargoFrame{101, 4, 50000, 3.5}});
+  // After the last heartbeat and with a deadline beyond the run's end:
+  // no train ever comes for this one, the final flush carries it out.
+  items.push_back({125.0, false, CargoFrame{100, 5, 9000, 90.0}});
+  std::sort(items.begin(), items.end(),
+            [](const ScriptItem& a, const ScriptItem& b) { return a.t < b.t; });
+  return items;
+}
+
+system::wire::HelloFrame hello() {
+  system::wire::HelloFrame h;
+  h.client_id = 1;
+  h.cargo_apps.push_back({100, system::wire::ProfileCode::kMail});
+  h.cargo_apps.push_back({101, system::wire::ProfileCode::kWeibo});
+  h.train_apps.push_back(1);
+  return h;
+}
+
+/// Runs the script against `clock`, delivering each frame at its scripted
+/// clock time via an alarm, then flushes at `end`.
+std::vector<Release> drive_session(sim::Clock& clock,
+                                   const std::function<void(double)>& advance,
+                                   double end) {
+  std::vector<Release> releases;
+  gateway::SessionConfig config;
+  gateway::ClientSession session(
+      hello(), baselines::builtin_registry(), config, clock,
+      [&](const gateway::ScheduledPacket& p) {
+        releases.push_back(Release{p.packet_id, p.transmitted, p.piggybacked,
+                                   p.flushed});
+      });
+  for (const ScriptItem& item : script()) {
+    clock.schedule_at(item.t, [&session, item] {
+      if (item.heartbeat) {
+        ASSERT_TRUE(session.on_heartbeat(1, item.t));
+      } else {
+        ASSERT_TRUE(session.on_cargo(item.cargo, item.t));
+      }
+    });
+  }
+  advance(end);
+  session.flush(end);
+  EXPECT_EQ(session.waiting(), 0u);
+  return releases;
+}
+
+TEST(ClockSeam, VirtualAndWallRunsAreIdentical) {
+  const double end = 130.0;
+
+  Simulator sim;
+  VirtualClock virtual_clock(sim);
+  const std::vector<Release> virtual_releases = drive_session(
+      virtual_clock, [&](double until) { sim.run_until(until); }, end);
+
+  // 2000x compression: the same 130 clock seconds in ~65 real ms.
+  WallClock wall_clock(2000.0);
+  const std::vector<Release> wall_releases = drive_session(
+      wall_clock, [&](double until) { wall_clock.run_until(until); }, end);
+
+  // Not almost equal — byte-for-byte the same decisions: same packets,
+  // same transmit times (uplink billing arithmetic on identical inputs),
+  // same piggyback/drip/flush classification.
+  ASSERT_EQ(virtual_releases.size(), wall_releases.size());
+  for (std::size_t i = 0; i < virtual_releases.size(); ++i) {
+    EXPECT_EQ(virtual_releases[i], wall_releases[i]) << "release " << i;
+  }
+  // The script is built so every class of release occurs at least once.
+  bool any_piggyback = false, any_flush = false;
+  for (const Release& r : virtual_releases) {
+    any_piggyback |= r.piggybacked;
+    any_flush |= r.flushed;
+  }
+  EXPECT_TRUE(any_piggyback);
+  EXPECT_TRUE(any_flush);
+}
+
+}  // namespace

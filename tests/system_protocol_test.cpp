@@ -1,0 +1,202 @@
+// Wire-protocol tests (system/protocol.h `wire` namespace): the frame
+// codecs must round-trip every message type, reject truncated or
+// trailing-garbage payloads without ever reading out of bounds, and the
+// incremental FrameReader must reassemble frames from arbitrary chunk
+// boundaries and poison itself permanently on a malformed header.
+#include "system/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace {
+
+using namespace etrain::system::wire;
+
+TEST(WirePrimitives, FixedWidthRoundTrip) {
+  std::string buf;
+  put_u8(buf, 0xAB);
+  put_u16(buf, 0xBEEF);
+  put_u32(buf, 0xDEADBEEFu);
+  put_u64(buf, 0x0123456789ABCDEFull);
+  put_f64(buf, -1234.5678);
+  EXPECT_EQ(buf.size(), 1u + 2u + 4u + 8u + 8u);
+
+  std::size_t pos = 0;
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  double e = 0.0;
+  EXPECT_TRUE(get_u8(buf, pos, a));
+  EXPECT_TRUE(get_u16(buf, pos, b));
+  EXPECT_TRUE(get_u32(buf, pos, c));
+  EXPECT_TRUE(get_u64(buf, pos, d));
+  EXPECT_TRUE(get_f64(buf, pos, e));
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xBEEF);
+  EXPECT_EQ(c, 0xDEADBEEFu);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(e, -1234.5678);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(WirePrimitives, LittleEndianOnTheWire) {
+  std::string buf;
+  put_u32(buf, 0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x04);
+}
+
+TEST(WirePrimitives, GettersRefuseTruncation) {
+  const std::string three = "abc";
+  std::size_t pos = 0;
+  std::uint32_t v32 = 0;
+  EXPECT_FALSE(get_u32(three, pos, v32));
+  EXPECT_EQ(pos, 0u);  // the cursor never moves on failure
+  std::uint64_t v64 = 0;
+  EXPECT_FALSE(get_u64(three, pos, v64));
+  double f = 0.0;
+  EXPECT_FALSE(get_f64(three, pos, f));
+  // NaN bit patterns still travel losslessly.
+  std::string nan_buf;
+  put_f64(nan_buf, std::numeric_limits<double>::quiet_NaN());
+  pos = 0;
+  EXPECT_TRUE(get_f64(nan_buf, pos, f));
+  EXPECT_TRUE(f != f);
+}
+
+TEST(WireFrames, HelloRoundTrip) {
+  HelloFrame hello;
+  hello.client_id = 77;
+  hello.cargo_apps.push_back({3, ProfileCode::kWeibo});
+  hello.cargo_apps.push_back({9, ProfileCode::kCloud});
+  hello.train_apps.push_back(1);
+  const std::string bytes = encode_hello(hello);
+
+  FrameReader reader;
+  reader.feed(bytes);
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kHello);
+  HelloFrame decoded;
+  ASSERT_TRUE(decode_hello(frame.payload, decoded));
+  EXPECT_EQ(decoded, hello);
+}
+
+TEST(WireFrames, HeartbeatCargoAckRoundTrip) {
+  const HeartbeatFrame hb{42, 7};
+  const CargoFrame cargo{5, 123456789ull, 20480, 35.5};
+  const AckFrame ack{123456789ull, 12.25, 1};
+
+  FrameReader reader;
+  reader.feed(encode_heartbeat(hb));
+  reader.feed(encode_cargo(cargo));
+  reader.feed(encode_ack(ack));
+
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  HeartbeatFrame hb2;
+  ASSERT_TRUE(decode_heartbeat(frame.payload, hb2));
+  EXPECT_EQ(hb2, hb);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  CargoFrame cargo2;
+  ASSERT_TRUE(decode_cargo(frame.payload, cargo2));
+  EXPECT_EQ(cargo2, cargo);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  AckFrame ack2;
+  ASSERT_TRUE(decode_ack(frame.payload, ack2));
+  EXPECT_EQ(ack2, ack);
+
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireFrames, DecodersRejectTruncatedAndTrailingBytes) {
+  const CargoFrame cargo{5, 1, 2048, 10.0};
+  const std::string bytes = encode_cargo(cargo);
+  const std::string payload = bytes.substr(kFrameHeaderBytes);
+
+  CargoFrame out;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_cargo(payload.substr(0, cut), out))
+        << "accepted a " << cut << "-byte truncation";
+  }
+  EXPECT_TRUE(decode_cargo(payload, out));
+  EXPECT_FALSE(decode_cargo(payload + "x", out)) << "accepted trailing bytes";
+}
+
+TEST(WireFrames, HelloRejectsBadProfileAndOversizedAppLists) {
+  HelloFrame hello;
+  hello.client_id = 1;
+  hello.cargo_apps.push_back({3, ProfileCode::kMail});
+  std::string payload = encode_hello(hello).substr(kFrameHeaderBytes);
+  // Corrupt the profile code (last byte of the single cargo spec).
+  payload[8 + 2 + 4] = 99;
+  HelloFrame out;
+  EXPECT_FALSE(decode_hello(payload, out));
+
+  // An app count beyond kMaxAppsPerClient is rejected before any
+  // allocation in its honor.
+  std::string huge;
+  put_u64(huge, 1);
+  put_u16(huge, static_cast<std::uint16_t>(kMaxAppsPerClient + 1));
+  EXPECT_FALSE(decode_hello(huge, out));
+}
+
+TEST(FrameReader, ReassemblesAcrossArbitraryChunks) {
+  std::string stream;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    stream += encode_heartbeat(HeartbeatFrame{1, i});
+  }
+  // Feed one byte at a time — the cruellest chunking TCP can produce.
+  FrameReader reader;
+  std::uint32_t seen = 0;
+  for (char byte : stream) {
+    reader.feed(std::string_view(&byte, 1));
+    Frame frame;
+    while (reader.next(frame) == FrameReader::Status::kFrame) {
+      HeartbeatFrame hb;
+      ASSERT_TRUE(decode_heartbeat(frame.payload, hb));
+      EXPECT_EQ(hb.seq, seen++);
+    }
+  }
+  EXPECT_EQ(seen, 10u);
+  EXPECT_FALSE(reader.errored());
+}
+
+TEST(FrameReader, GarbagePoisonsPermanently) {
+  // An oversized declared length means the stream lost sync.
+  std::string bad;
+  put_u32(bad, kMaxPayloadBytes + 1);
+  put_u8(bad, static_cast<std::uint8_t>(FrameType::kHello));
+  FrameReader reader;
+  reader.feed(bad);
+  Frame frame;
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+  EXPECT_TRUE(reader.errored());
+  // Feeding a perfectly good frame afterwards cannot resurrect it.
+  reader.feed(encode_bye());
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+}
+
+TEST(FrameReader, UnknownTypePoisons) {
+  std::string bad;
+  append_frame_header(bad, static_cast<FrameType>(0), 0);
+  FrameReader reader;
+  reader.feed(bad);
+  Frame frame;
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+
+  std::string bad_high;
+  append_frame_header(bad_high, static_cast<FrameType>(42), 0);
+  FrameReader reader2;
+  reader2.feed(bad_high);
+  EXPECT_EQ(reader2.next(frame), FrameReader::Status::kError);
+}
+
+}  // namespace
