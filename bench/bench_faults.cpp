@@ -144,8 +144,18 @@ int main(int argc, char** argv) {
   const std::vector<double> duties = quick ? std::vector<double>{0.0, 0.25}
                                            : std::vector<double>{0.0, 0.1,
                                                                  0.25};
-  const std::vector<std::string> policies = baselines::builtin_registry()
-                                                .names();
+  // Every registry policy that can be built from its bare name; parametric
+  // templates ("select" needs an interface list) are skipped — their
+  // concrete configurations are exercised by bench_multi_interface.
+  std::vector<std::string> policies;
+  for (const auto& name : baselines::builtin_registry().names()) {
+    try {
+      baselines::make_policy(name);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    policies.push_back(name);
+  }
   std::vector<Cell> grid;
   for (const double loss : losses) {
     for (const double duty : duties) {

@@ -1,9 +1,25 @@
 // Multi-interface study (extension): the paper confines every policy to
-// cellular; here we sweep Wi-Fi coverage and show offloading and heartbeat
-// piggybacking compose — Wi-Fi absorbs cargo while associated, eTrain rides
-// trains in the cellular-only stretches.
+// the one 3G uplink; here every interface mix is assembled purely from
+// ModelRegistry spec strings and per-packet routing comes from the
+// PolicyRegistry's composable "select:" layer. Three mixes anchor the
+// sweep:
+//
+//   c3g        the paper's 3G-only device (the control: the registry path
+//              must reproduce the classic eTrain-vs-baseline gap),
+//   wifi_cdrx  an LTE/5G CDRX primary with episodic Wi-Fi coverage —
+//              "select:wifi;fallback=..." offloads cargo while associated,
+//   lora       a 3G primary plus a LoRa-class link whose beacons form a
+//              second train source — "select:lora;fallback=etrain" rides
+//              the link's rx window when it is hot.
+//
+// Each mix runs an energy-vs-deadline sweep; the headline savings land in
+// the report as savings_pct_<mix> and check.sh floors them against the
+// committed bench/baselines/multi_interface.baseline.json.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "common/table.h"
@@ -18,77 +34,161 @@ namespace {
 using namespace etrain;
 using namespace etrain::experiments;
 
+struct PolicyUnderTest {
+  const char* key;   ///< report-key fragment
+  const char* spec;  ///< PolicyRegistry spec
+};
+
+struct Mix {
+  const char* key;    ///< report-key fragment
+  const char* title;  ///< table heading
+  const char* radio;  ///< primary-radio ModelRegistry spec
+  /// Extra always-on radio spec (slots 2+); nullptr = none.
+  const char* extra;
+  /// Target Wi-Fi coverage fraction; 0 = no Wi-Fi.
+  double wifi_coverage;
+  /// Policies under test; [0] is the reference the mix's savings_pct_*
+  /// metric compares the last entry against.
+  std::vector<PolicyUnderTest> policies;
+};
+
+Scenario build_mix_scenario(const Mix& mix, Duration horizon,
+                            Duration deadline) {
+  ScenarioBuilder b;
+  b.lambda(0.08).horizon(horizon).radio(mix.radio).shared_deadline(deadline);
+  if (mix.wifi_coverage > 0.0) {
+    b.wifi(net::generate_wifi_pattern(
+        net::WifiPatternConfig{.horizon = horizon,
+                               .coverage = mix.wifi_coverage,
+                               .episode_mean = 300.0},
+        /*seed=*/61));
+  }
+  if (mix.extra != nullptr) {
+    b.interfaces({mix.extra});
+  }
+  return b.build();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const obs::BenchOptions opts = obs::parse_bench_options(argc, argv);
+  const Duration horizon = opts.quick ? 3600.0 : 7200.0;
+  const std::vector<Duration> deadlines =
+      opts.quick ? std::vector<Duration>{60.0, 300.0}
+                 : std::vector<Duration>{30.0, 60.0, 120.0, 300.0};
+
+  const std::vector<Mix> mixes = {
+      {"c3g", "3G-only", "3g:paper", nullptr, 0.0,
+       {{"baseline", "baseline"}, {"etrain", "etrain:theta=1,k=20"}}},
+      {"wifi_cdrx", "Wi-Fi + LTE-CDRX",
+       "lte_cdrx:inactivity=10,drx_short=0.02,drx_long=1.28", nullptr, 0.5,
+       {{"baseline", "baseline"},
+        {"wifi_baseline", "select:wifi;fallback=baseline"},
+        {"wifi_etrain", "select:wifi;fallback=etrain:theta=1,k=20"}}},
+      {"lora", "3G + LoRa heartbeats", "3g:paper",
+       "lora:sf=7,heartbeat_period=30,rx_window=8", 0.0,
+       {{"baseline", "baseline"},
+        {"etrain", "etrain:theta=1,k=20"},
+        {"lora_etrain", "select:lora;fallback=etrain:theta=1,k=20"}}},
+  };
+
   std::printf(
-      "=== eTrain extension: Wi-Fi offload x heartbeat piggybacking ===\n");
+      "=== eTrain extension: interface mixes from registry specs, "
+      "energy vs deadline (horizon %.0f s) ===\n",
+      horizon);
 
-  ScenarioBuilder builder;
-  builder.lambda(0.08).model(radio::PowerModel::PaperUmts3G());
-  const Scenario base = builder.build();
+  obs::RunReport report;
+  report.bench = "multi_interface";
+  report.add_provenance("horizon_s", std::to_string(horizon));
+  for (const Mix& mix : mixes) {
+    const std::string prefix = std::string("mix.") + mix.key + ".";
+    report.add_provenance(prefix + "radio", mix.radio);
+    if (mix.extra != nullptr) {
+      report.add_provenance(prefix + "interfaces", mix.extra);
+    }
+    for (const auto& p : mix.policies) {
+      report.add_provenance(prefix + "policy_" + p.key, p.spec);
+    }
+  }
 
-  Table table({"WiFi target", "realized", "policy", "energy_J",
-               "cellular_J", "wifi_J", "wifi pkts", "delay_s"});
-  for (const double coverage : {0.0, 0.25, 0.5, 0.75}) {
-    ScenarioBuilder b = builder;
-    const Scenario s =
-        b.wifi(net::generate_wifi_pattern(
-                   net::WifiPatternConfig{.horizon = base.horizon,
-                                          .coverage = coverage,
-                                          .episode_mean = 300.0},
-                   /*seed=*/static_cast<std::uint64_t>(100.0 * coverage) + 11))
-            .build();
+  Table table({"mix", "deadline_s", "policy", "energy_J", "cellular_J",
+               "offload_J", "offload pkts", "delay_s", "violations"});
+  for (const Mix& mix : mixes) {
+    for (const Duration deadline : deadlines) {
+      const Scenario s = build_mix_scenario(mix, horizon, deadline);
+      Joules reference = 0.0;
+      Joules contender = 0.0;
+      for (const auto& [key, spec] : mix.policies) {
+        const auto policy = baselines::make_policy(spec);
+        const RunMetrics m = run_slotted(s, *policy);
 
-    struct Named {
-      const char* name;
-      const char* spec;
-    };
-    const std::vector<Named> policies = {
-        {"Baseline", "baseline"},
-        {"Baseline+WiFi", "baseline+wifi"},
-        {"eTrain", "etrain:theta=1,k=20"},
-        {"eTrain+WiFi", "etrain+wifi:theta=1,k=20"},
-    };
+        Joules offload_energy = m.wifi_energy.network_energy();
+        std::size_t offload_pkts = m.wifi_log.size();
+        for (const auto& extra : m.extras) {
+          offload_energy += extra.energy.network_energy();
+          offload_pkts += extra.log.count(radio::TxKind::kData);
+        }
+        table.add_row({mix.title, Table::num(deadline, 0), key,
+                       Table::num(m.network_energy(), 1),
+                       Table::num(m.energy.network_energy(), 1),
+                       Table::num(offload_energy, 1),
+                       Table::integer(static_cast<long long>(offload_pkts)),
+                       Table::num(m.normalized_delay, 1),
+                       Table::num(100.0 * m.violation_ratio, 1) + " %"});
 
-    for (const auto& [name, spec] : policies) {
-      const auto policy = baselines::make_policy(spec);
-      const auto m = run_slotted(s, *policy);
-      table.add_row({Table::num(100.0 * coverage, 0) + " %",
-                     Table::num(100.0 * s.wifi.coverage(s.horizon), 0) + " %",
-                     name,
-                     Table::num(m.network_energy(), 1),
-                     Table::num(m.energy.network_energy(), 1),
-                     Table::num(m.wifi_energy.network_energy(), 1),
-                     Table::integer(static_cast<long long>(
-                         m.wifi_log.size())),
-                     Table::num(m.normalized_delay, 1)});
+        const std::string suffix = std::string("_") + mix.key + "_" + key +
+                                   "_d" + Table::num(deadline, 0);
+        report.add_result("energy_J" + suffix, m.network_energy());
+        report.add_result("delay_s" + suffix, m.normalized_delay);
+        report.add_result("violation_pct" + suffix,
+                          100.0 * m.violation_ratio);
+        if (key == std::string(mix.policies.front().key)) {
+          reference = m.network_energy();
+        }
+        if (key == std::string(mix.policies.back().key)) {
+          contender = m.network_energy();
+        }
+      }
+      // The mix's headline: the smartest policy's savings over the mix's
+      // reference at the canonical 60 s deadline (present in quick and
+      // full sweeps alike) — the floor check.sh gates on.
+      if (deadline == 60.0 && reference > 0.0) {
+        report.add_result(std::string("savings_pct_") + mix.key,
+                          100.0 * (1.0 - contender / reference));
+      }
     }
   }
   table.print();
   std::printf(
-      "Wi-Fi absorbs cargo while associated (its ~0.2 s PSM tail is two "
-      "orders cheaper than the 3G tail); in the uncovered stretches eTrain's "
-      "train-riding still beats immediate sending — the combination "
-      "dominates at every coverage level.\n");
+      "Offloading composes with train-riding in every mix: Wi-Fi/LoRa "
+      "absorb cargo while their radio is hot or associated, and the "
+      "fallback policy still boards heartbeat trains on the cellular "
+      "stretches.\n");
 
   if (opts.reporting()) {
-    // Representative run for the report: eTrain+WiFi at 50 % target
-    // coverage, so the ledger carries both interfaces' rows.
-    ScenarioBuilder b = builder;
-    const Scenario s =
-        b.wifi(net::generate_wifi_pattern(
-                   net::WifiPatternConfig{.horizon = base.horizon,
-                                          .coverage = 0.5,
-                                          .episode_mean = 300.0},
-                   /*seed=*/61))
-            .build();
-    const auto policy = baselines::make_policy("etrain+wifi:theta=1,k=20");
-    const auto m = run_slotted(s, *policy);
-    obs::RunReport report = report_for_run("multi_interface", s, m);
-    report.add_provenance("policy_spec", "etrain+wifi:theta=1,k=20");
-    obs::finalize_run_report(opts.report_path, std::move(report));
+    // Representative full run for the ledger cross-checks: the LoRa mix,
+    // whose report carries two interfaces' energy sections and per-
+    // interface ledger rows (report_check re-bills both).
+    const Mix& mix = mixes.back();
+    const Scenario s = build_mix_scenario(mix, horizon, 60.0);
+    const auto policy = baselines::make_policy(mix.policies.back().spec);
+    const RunMetrics m = run_slotted(s, *policy);
+    obs::RunReport rep = report_for_run("multi_interface", s, m);
+    rep.add_provenance("policy_spec", mix.policies.back().spec);
+    // Fold the sweep's results into the representative report so one file
+    // carries both the ledger and the floors.
+    for (const auto& [key, value] : report.results) {
+      rep.add_result(key, value);
+    }
+    for (const auto& [key, value] : report.provenance) {
+      const auto exists = [&](const auto& kv) { return kv.first == key; };
+      if (std::find_if(rep.provenance.begin(), rep.provenance.end(),
+                       exists) == rep.provenance.end()) {
+        rep.add_provenance(key, value);
+      }
+    }
+    obs::finalize_run_report(opts.report_path, std::move(rep));
   }
   return 0;
 }

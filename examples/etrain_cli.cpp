@@ -5,9 +5,12 @@
 // optionally dump per-packet outcomes and the transmission log as CSV.
 //
 //   ./build/examples/etrain_cli --policy=etrain:theta=1 --lambda=0.08
-//   ./build/examples/etrain_cli --policy=etime:v=2 --radio=sim
+//   ./build/examples/etrain_cli --policy=etime:v=2 --radio=3g:sim
 //   ./build/examples/etrain_cli --policy=baseline --csv=/tmp/run
 //   ./build/examples/etrain_cli --policy=etrain --loss=0.05 --outage-duty=0.1
+//   ./build/examples/etrain_cli --radio=lte_cdrx:inactivity=5 \
+//       --interfaces=lora:sf=9,heartbeat_period=30 \
+//       --policy='select:lora;fallback=etrain'
 //
 // Flags (all optional):
 //   --policy=<spec>        a PolicyRegistry spec: a name optionally
@@ -17,7 +20,13 @@
 //   --trains=<0..3>        number of train apps              (3)
 //   --horizon=<s>          simulated seconds                 (7200)
 //   --seed=<n>             workload seed                     (42)
-//   --radio=device|sim|realistic|lte|fastdormancy            (device)
+//   --radio=<spec>         a ModelRegistry spec for the primary radio,
+//                          e.g. 3g:paper, lte_cdrx:inactivity=5 or
+//                          3g:sim,dch_tail=6; --list-radios shows all
+//                          (legacy names device/sim/realistic/lte/
+//                          fastdormancy still accepted)      (3g:paper)
+//   --interfaces=<specs>   ';'-separated extra radio specs attached on
+//                          interface slots 2+ (lora:sf=9,...)
 //   --deadline=<s>         shared deadline override          (per-app)
 //   --csv=<prefix>         write <prefix>_outcomes.csv and <prefix>_log.csv
 //   --report=<path>        emit a RunReport (provenance + energy ledger +
@@ -42,6 +51,7 @@
 #include "exp/run_report.h"
 #include "exp/scenario_builder.h"
 #include "exp/slotted_sim.h"
+#include "radio/model_registry.h"
 
 namespace {
 
@@ -79,14 +89,29 @@ std::string flag_str(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
-radio::PowerModel radio_by_name(const std::string& name) {
-  if (name == "device") return radio::PowerModel::PaperUmts3G();
-  if (name == "sim") return radio::PowerModel::PaperSimulation();
-  if (name == "realistic") return radio::PowerModel::Realistic3G();
-  if (name == "lte") return radio::PowerModel::LteDrx();
-  if (name == "fastdormancy") return radio::PowerModel::FastDormancy3G();
-  std::fprintf(stderr, "unknown radio model: %s\n", name.c_str());
-  std::exit(2);
+/// Maps the pre-registry --radio names onto their specs; anything else is
+/// already a ModelRegistry spec and passes through untouched.
+std::string radio_spec_for(const std::string& name) {
+  if (name == "device") return "3g:paper";
+  if (name == "sim") return "3g:sim";
+  if (name == "realistic") return "3g:realistic";
+  if (name == "lte") return "lte_drx";
+  if (name == "fastdormancy") return "3g:fast_dormancy";
+  return name;
+}
+
+std::vector<std::string> split_specs(const std::string& joined) {
+  std::vector<std::string> specs;
+  std::size_t pos = 0;
+  while (pos <= joined.size()) {
+    const std::size_t sep = joined.find(';', pos);
+    const std::string part = joined.substr(
+        pos, sep == std::string::npos ? std::string::npos : sep - pos);
+    if (!part.empty()) specs.push_back(part);
+    if (sep == std::string::npos) break;
+    pos = sep + 1;
+  }
+  return specs;
 }
 
 /// Builds the policy through the registry. The spec carries its own knobs
@@ -95,24 +120,31 @@ radio::PowerModel radio_by_name(const std::string& name) {
 /// the spec itself does not set them.
 std::unique_ptr<core::SchedulingPolicy> policy_from_flags(
     std::string spec, const std::map<std::string, std::string>& flags) {
-  core::PolicyParams params;
-  const std::string name = core::PolicyRegistry::parse_spec(spec, &params);
-  const auto append_legacy = [&](const char* flag, const char* knob) {
-    const auto it = flags.find(flag);
-    if (it == flags.end() || params.has(knob)) return;
-    spec += (spec.find(':') == std::string::npos ? ":" : ",");
-    spec += std::string(knob) + "=" + it->second;
-  };
-  if (name == "etrain" || name == "etrain+wifi") {
-    append_legacy("theta", "theta");
-    append_legacy("k", "k");
-    append_legacy("defer", "drip_defer_window");
-  } else if (name == "peres") {
-    append_legacy("omega", "omega");
-  } else if (name == "etime") {
-    append_legacy("v", "v");
-  }
   try {
+    // Raw specs ("select:wifi;fallback=etrain") do not follow the generic
+    // knob grammar, so only the legacy knob-bearing policies are
+    // pre-parsed here; everything else goes to the registry untouched.
+    const std::string name = spec.substr(0, spec.find(':'));
+    if (name == "etrain" || name == "etrain+wifi" || name == "peres" ||
+        name == "etime") {
+      core::PolicyParams params;
+      core::PolicyRegistry::parse_spec(spec, &params);
+      const auto append_legacy = [&](const char* flag, const char* knob) {
+        const auto it = flags.find(flag);
+        if (it == flags.end() || params.has(knob)) return;
+        spec += (spec.find(':') == std::string::npos ? ":" : ",");
+        spec += std::string(knob) + "=" + it->second;
+      };
+      if (name == "peres") {
+        append_legacy("omega", "omega");
+      } else if (name == "etime") {
+        append_legacy("v", "v");
+      } else {
+        append_legacy("theta", "theta");
+        append_legacy("k", "k");
+        append_legacy("defer", "drip_defer_window");
+      }
+    }
     return baselines::make_policy(spec);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
@@ -164,13 +196,28 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (flags.contains("list-radios")) {
+    const auto& registry = radio::builtin_model_registry();
+    for (const auto& name : registry.names()) {
+      std::printf("%-14s %s\n", name.c_str(), registry.help(name).c_str());
+    }
+    return 0;
+  }
 
   ScenarioBuilder builder;
   builder.lambda(flag_num(flags, "lambda", 0.08))
       .trains(static_cast<int>(flag_num(flags, "trains", 3)))
       .horizon(flag_num(flags, "horizon", 7200.0))
-      .workload_seed(static_cast<std::uint64_t>(flag_num(flags, "seed", 42)))
-      .model(radio_by_name(flag_str(flags, "radio", "device")));
+      .workload_seed(static_cast<std::uint64_t>(flag_num(flags, "seed", 42)));
+  try {
+    builder.radio(radio_spec_for(flag_str(flags, "radio", "3g:paper")));
+    if (flags.contains("interfaces")) {
+      builder.interfaces(split_specs(flag_str(flags, "interfaces", "")));
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   if (flags.contains("deadline")) {
     builder.shared_deadline(flag_num(flags, "deadline", 60.0));
   }
@@ -221,6 +268,10 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", radio::to_string(m.energy).c_str());
   if (m.wifi_log.size() > 0) {
     std::printf("wifi: %s\n", radio::to_string(m.wifi_energy).c_str());
+  }
+  for (const auto& extra : m.extras) {
+    std::printf("%s: %s\n", extra.name.c_str(),
+                radio::to_string(extra.energy).c_str());
   }
 
   if (flags.contains("csv")) dump_csv(m, flag_str(flags, "csv", "etrain_run"));

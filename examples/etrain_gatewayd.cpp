@@ -14,13 +14,16 @@
 // of the client energy meter).
 //
 // Usage:
-//   etrain_gatewayd [--port N] [--policy SPEC] [--time-scale S]
-//                   [--tick-period S] [--report out.json]
+//   etrain_gatewayd [--port N] [--policy SPEC] [--radio SPEC]
+//                   [--time-scale S] [--tick-period S] [--report out.json]
 //
 //   --port N         TCP port to bind on loopback (default 0 = ephemeral;
 //                    the bound port is printed either way)
 //   --policy SPEC    PolicyRegistry spec for every session (default
 //                    "etrain"; see etrain_cli --list for specs)
+//   --radio SPEC     ModelRegistry spec billing every session's uplink
+//                    (default "3g:sim"; e.g. lte_cdrx:inactivity=5 — see
+//                    etrain_cli --list-radios)
 //   --time-scale S   clock seconds per real second (default 1.0 = live)
 //   --tick-period S  scheduler evaluation quantum, clock s (default 1.0)
 //   --report PATH    write the shutdown RunReport manifest here
@@ -52,6 +55,14 @@ int main(int argc, char** argv) {
   }
   if (const char* v = flag_value(argc, argv, "--policy")) {
     config.session.policy_spec = v;
+  }
+  if (const char* v = flag_value(argc, argv, "--radio")) {
+    try {
+      config.session.set_radio(v);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "etrain_gatewayd: %s\n", e.what());
+      return 2;
+    }
   }
   if (const char* v = flag_value(argc, argv, "--time-scale")) {
     config.time_scale = std::strtod(v, nullptr);

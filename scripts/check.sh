@@ -109,6 +109,22 @@ scripts/compare_reports bench/baselines/fleet.baseline.json \
   --floor devices_per_sec=0.9 \
   --floor slots_per_sec=0.9
 
+# Multi-interface gate (docs/radios.md): bench_multi_interface assembles
+# its interface mixes purely from ModelRegistry spec strings (3G-only,
+# Wi-Fi + LTE-CDRX, 3G + a LoRa heartbeat source) and routes per packet
+# via the "select:" policy layer. The report's ledger carries every
+# interface's rows (report_check re-bills them), and each mix's headline
+# savings must clear the committed floor — a collapse means the registry
+# or the routing layer broke.
+"./$BUILD_DIR/bench/bench_multi_interface" --quick \
+  --report results/multi_interface.report.json
+"./$BUILD_DIR/examples/report_check" results/multi_interface.report.json
+scripts/compare_reports bench/baselines/multi_interface.baseline.json \
+  results/multi_interface.report.json --floors-only \
+  --floor savings_pct_c3g=0.9 \
+  --floor savings_pct_wifi_cdrx=0.9 \
+  --floor savings_pct_lora=0.9
+
 # Gateway gate (docs/gateway.md): a quick bench_gateway run — real epoll
 # loop on an ephemeral loopback port, 1000 seeded clients at 60x time
 # compression — must connect every client, ACK every cargo packet, and

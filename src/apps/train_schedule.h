@@ -15,6 +15,11 @@ struct TrainEvent {
   TimePoint time = 0.0;
   int train = 0;  ///< index into the spec list
   Bytes bytes = 0;
+  /// Interface slot the heartbeat departs on: 0 = the cellular uplink
+  /// (every classic train app), 2+ = one of the scenario's extra radios
+  /// (LoRa link heartbeats — the "second train source"). Never 1: Wi-Fi
+  /// has no heartbeat traffic.
+  int interface = 0;
 };
 
 /// Builds the merged, time-sorted departure list for [0, horizon). The

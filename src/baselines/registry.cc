@@ -6,9 +6,9 @@
 
 #include "baselines/baseline_policy.h"
 #include "baselines/etime_policy.h"
-#include "baselines/multi_interface_policy.h"
 #include "baselines/oracle_policy.h"
 #include "baselines/peres_policy.h"
+#include "baselines/select_policy.h"
 #include "baselines/tailender_policy.h"
 #include "core/etrain_scheduler.h"
 
@@ -85,16 +85,31 @@ core::PolicyRegistry build_registry() {
                       return std::make_unique<OraclePolicy>();
                     });
   r.register_policy("baseline+wifi",
-                    "knobs: none (Wi-Fi preferred, else immediate cellular)",
+                    "knobs: none (Wi-Fi preferred, else immediate cellular; "
+                    "alias for select:wifi)",
                     [](const core::PolicyParams&) {
-                      return std::make_unique<MultiInterfaceBaseline>();
+                      return std::make_unique<SelectPolicy>(
+                          std::vector<std::string>{"wifi"},
+                          std::make_unique<BaselinePolicy>(), "Baseline+WiFi");
                     });
   r.register_policy(
       "etrain+wifi",
       "knobs: theta, k (0 = unlimited), drip_defer_window, channel_aware, "
-      "channel_threshold, panic_factor",
+      "channel_threshold, panic_factor (alias for select:wifi;fallback="
+      "etrain)",
       [](const core::PolicyParams& p) {
-        return std::make_unique<MultiInterfaceEtrain>(etrain_config(p));
+        return std::make_unique<SelectPolicy>(
+            std::vector<std::string>{"wifi"},
+            std::make_unique<core::EtrainScheduler>(etrain_config(p)),
+            "eTrain+WiFi");
+      });
+  r.register_policy_raw(
+      "select",
+      "select:IF1>IF2;fallback=SPEC — flush every waiting packet over the "
+      "first available named interface, else delegate to SPEC (default "
+      "baseline)",
+      [](const std::string& tail, const core::PolicyRegistry& registry) {
+        return make_select_policy(tail, registry);
       });
   return r;
 }

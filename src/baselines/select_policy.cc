@@ -1,0 +1,154 @@
+#include "baselines/select_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace etrain::baselines {
+
+namespace {
+
+/// Flush everything over one interface slot, app-major in queue order.
+std::vector<core::Selection> flush_all(const core::WaitingQueues& queues,
+                                       int interface) {
+  std::vector<core::Selection> all;
+  for (int app = 0; app < queues.app_count(); ++app) {
+    for (const auto& p : queues.queue(app)) {
+      all.push_back(core::Selection{app, p.packet.id, interface});
+    }
+  }
+  return all;
+}
+
+std::vector<int> resolve(const std::vector<std::string>& preferences,
+                         const std::vector<std::string>& names,
+                         bool throw_on_unknown) {
+  std::vector<int> slots;
+  slots.reserve(preferences.size());
+  for (const std::string& pref : preferences) {
+    const auto it = std::find(names.begin(), names.end(), pref);
+    if (it == names.end()) {
+      if (throw_on_unknown) {
+        std::string known;
+        for (const auto& n : names) known += known.empty() ? n : ", " + n;
+        throw std::invalid_argument("SelectPolicy: interface '" + pref +
+                                    "' is not part of this run (have: " +
+                                    known + ")");
+      }
+      slots.push_back(-1);
+      continue;
+    }
+    slots.push_back(static_cast<int>(it - names.begin()));
+  }
+  return slots;
+}
+
+}  // namespace
+
+SelectPolicy::SelectPolicy(std::vector<std::string> preferences,
+                           std::unique_ptr<core::SchedulingPolicy> fallback,
+                           std::string display_name)
+    : preferences_(std::move(preferences)),
+      fallback_(std::move(fallback)),
+      display_name_(std::move(display_name)) {
+  if (preferences_.empty()) {
+    throw std::invalid_argument(
+        "SelectPolicy: empty interface preference list");
+  }
+  if (fallback_ == nullptr) {
+    throw std::invalid_argument("SelectPolicy: null fallback policy");
+  }
+  // Until the harness announces the layout, only the built-in slots
+  // resolve; unknown names stay unresolved (never available) rather than
+  // throwing, because extras are unknowable before bind_interfaces.
+  slots_ = resolve(preferences_, {"cellular", "wifi"},
+                   /*throw_on_unknown=*/false);
+}
+
+std::vector<core::Selection> SelectPolicy::select(
+    const core::SlotContext& ctx, const core::WaitingQueues& queues) {
+  if (queues.empty()) return {};
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const int slot = slots_[i];
+    if (slot <= core::kInterfaceCellular) continue;  // unresolved / cellular
+    if (ctx.interface_available(slot)) return flush_all(queues, slot);
+  }
+  return fallback_->select(ctx, queues);
+}
+
+std::string SelectPolicy::name() const {
+  if (!display_name_.empty()) return display_name_;
+  std::string prefs;
+  for (const auto& p : preferences_) prefs += prefs.empty() ? p : ">" + p;
+  return "Select[" + prefs + "; fallback=" + fallback_->name() + "]";
+}
+
+Duration SelectPolicy::preferred_slot_length() const {
+  return fallback_->preferred_slot_length();
+}
+
+void SelectPolicy::reset() { fallback_->reset(); }
+
+void SelectPolicy::bind_interfaces(const std::vector<std::string>& names) {
+  slots_ = resolve(preferences_, names, /*throw_on_unknown=*/true);
+  fallback_->bind_interfaces(names);
+}
+
+std::unique_ptr<core::SchedulingPolicy> make_select_policy(
+    const std::string& tail, const core::PolicyRegistry& registry) {
+  if (tail.empty()) {
+    throw std::invalid_argument(
+        "policy spec 'select': missing interface preference list "
+        "(want select:IF1>IF2;fallback=SPEC)");
+  }
+  std::vector<std::string> segments;
+  std::size_t pos = 0;
+  while (pos <= tail.size()) {
+    const std::size_t semi = tail.find(';', pos);
+    const std::size_t end = semi == std::string::npos ? tail.size() : semi;
+    segments.push_back(tail.substr(pos, end - pos));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  std::vector<std::string> preferences;
+  std::size_t ppos = 0;
+  const std::string& prefs = segments.front();
+  while (ppos <= prefs.size()) {
+    const std::size_t gt = prefs.find('>', ppos);
+    const std::size_t end = gt == std::string::npos ? prefs.size() : gt;
+    const std::string name = prefs.substr(ppos, end - ppos);
+    if (name.empty()) {
+      throw std::invalid_argument("policy spec 'select:" + tail +
+                                  "': empty interface name in '" + prefs +
+                                  "'");
+    }
+    preferences.push_back(name);
+    if (gt == std::string::npos) break;
+    ppos = gt + 1;
+  }
+  std::string fallback_spec = "baseline";
+  bool have_fallback = false;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const std::string& seg = segments[i];
+    constexpr const char* kPrefix = "fallback=";
+    if (seg.rfind(kPrefix, 0) != 0) {
+      throw std::invalid_argument("policy spec 'select:" + tail +
+                                  "': unknown option '" + seg +
+                                  "' (only fallback=SPEC is supported)");
+    }
+    if (have_fallback) {
+      throw std::invalid_argument("policy spec 'select:" + tail +
+                                  "': duplicate fallback option");
+    }
+    fallback_spec = seg.substr(std::string(kPrefix).size());
+    if (fallback_spec.empty()) {
+      throw std::invalid_argument("policy spec 'select:" + tail +
+                                  "': empty fallback spec");
+    }
+    have_fallback = true;
+  }
+  return std::make_unique<SelectPolicy>(std::move(preferences),
+                                        registry.make(fallback_spec));
+}
+
+}  // namespace etrain::baselines

@@ -1,0 +1,63 @@
+// Composable per-packet interface selection.
+//
+// SelectPolicy routes by interface *name*: it holds an ordered preference
+// list ("wifi", "lora", ...) plus a fallback scheduling policy for the
+// cellular uplink. Each slot it flushes every waiting packet over the
+// first preferred interface that is currently available, and otherwise
+// delegates the decision to the fallback — so offloading composes with any
+// registered policy:
+//
+//   "select:wifi"                              Wi-Fi preferred, else baseline
+//   "select:wifi;fallback=etrain:theta=2"      offloading + piggybacking
+//   "select:lora;fallback=etrain"              cargo rides LoRa heartbeats
+//   "select:wifi>lora;fallback=etrain"         ordered preferences
+//
+// The legacy "baseline+wifi" / "etrain+wifi" registry entries are thin
+// configurations of this class (same display names, same behaviour).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/policy_registry.h"
+
+namespace etrain::baselines {
+
+class SelectPolicy final : public core::SchedulingPolicy {
+ public:
+  /// `preferences`: interface names in priority order (must be non-empty).
+  /// `fallback`: the policy consulted when none is available (owns it).
+  /// `display_name`: optional fixed name() override for legacy entries.
+  SelectPolicy(std::vector<std::string> preferences,
+               std::unique_ptr<core::SchedulingPolicy> fallback,
+               std::string display_name = "");
+
+  std::vector<core::Selection> select(
+      const core::SlotContext& ctx,
+      const core::WaitingQueues& queues) override;
+  std::string name() const override;
+  Duration preferred_slot_length() const override;
+  void reset() override;
+  /// Resolves the preference names against the run's interface layout;
+  /// throws std::invalid_argument for a name the run does not provide.
+  /// Without a bind call only the built-in "cellular"/"wifi" slots
+  /// resolve.
+  void bind_interfaces(const std::vector<std::string>& names) override;
+
+ private:
+  std::vector<std::string> preferences_;
+  std::vector<int> slots_;  ///< parallel to preferences_; -1 = unresolved
+  std::unique_ptr<core::SchedulingPolicy> fallback_;
+  std::string display_name_;
+};
+
+/// Parses the raw tail of a "select:..." spec — "IF1>IF2;fallback=SPEC"
+/// (fallback defaults to "baseline"; nested fallback specs are resolved
+/// through `registry`). Throws std::invalid_argument with loud messages on
+/// malformed tails.
+std::unique_ptr<core::SchedulingPolicy> make_select_policy(
+    const std::string& tail, const core::PolicyRegistry& registry);
+
+}  // namespace etrain::baselines

@@ -1,0 +1,68 @@
+#include "common/spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace etrain::common {
+
+ParsedSpec parse_spec(const std::string& spec, const std::string& domain,
+                      bool allow_flags) {
+  ParsedSpec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) {
+    throw std::invalid_argument(domain + " spec '" + spec + "': missing " +
+                                domain + " name");
+  }
+  if (colon == std::string::npos) return out;
+
+  const std::string tail = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= tail.size()) {
+    const std::size_t comma = tail.find(',', pos);
+    const std::string item =
+        tail.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? tail.size() + 1 : comma + 1;
+    if (item.empty()) {
+      throw std::invalid_argument(domain + " spec '" + spec +
+                                  "': empty knob assignment");
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos && allow_flags) {
+      if (std::find(out.flags.begin(), out.flags.end(), item) !=
+          out.flags.end()) {
+        throw std::invalid_argument(domain + " spec '" + spec +
+                                    "': duplicate flag '" + item + "'");
+      }
+      out.flags.push_back(item);
+      continue;
+    }
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      throw std::invalid_argument(domain + " spec '" + spec + "': knob '" +
+                                  item + "' is not of the form key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value_text = item.substr(eq + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      throw std::invalid_argument(domain + " spec '" + spec + "': knob '" +
+                                  key + "' has non-numeric value '" +
+                                  value_text + "'");
+    }
+    if (!out.knobs.emplace(key, value).second) {
+      throw std::invalid_argument(domain + " spec '" + spec +
+                                  "': duplicate knob '" + key + "'");
+    }
+  }
+  return out;
+}
+
+bool valid_spec_name(const std::string& name) {
+  return !name.empty() && name.find(':') == std::string::npos &&
+         name.find(',') == std::string::npos &&
+         name.find('=') == std::string::npos;
+}
+
+}  // namespace etrain::common

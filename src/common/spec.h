@@ -1,0 +1,47 @@
+// Shared spec-string grammar for the construction registries.
+//
+// Both core::PolicyRegistry ("etrain:theta=2,k=3") and radio::ModelRegistry
+// ("3g:paper", "lte_cdrx:drx_short=0.02,inactivity=10") name an entry and
+// then override knobs. The grammar is parsed in exactly one place so both
+// registries reject malformed specs with the same loud messages:
+//
+//   spec  := name [":" item ("," item)*]
+//   item  := key "=" value          numeric knob override
+//          | flag                   bare token (only when flags are allowed)
+//
+// The `domain` string ("policy" / "radio") only flavours the error text, so
+// a typo'd policy spec still reads "policy spec '...': ..." exactly as it
+// did before the parser was shared.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace etrain::common {
+
+/// The decomposed form of one spec string.
+struct ParsedSpec {
+  std::string name;
+  /// key=value knob overrides, in spec order collapsed to a map (duplicates
+  /// are a parse error, so the map loses nothing).
+  std::map<std::string, double> knobs;
+  /// Bare flag tokens in spec order (empty unless `allow_flags`).
+  std::vector<std::string> flags;
+};
+
+/// Parses `spec` under the grammar above. `domain` names the registry in
+/// error messages ("policy", "radio"). With `allow_flags` false a bare
+/// token is rejected as "not of the form key=value" (the PolicyRegistry
+/// contract); with it true bare tokens collect into `flags` (the
+/// ModelRegistry presets: "3g:paper"). Throws std::invalid_argument on
+/// empty names, empty items, non-numeric values, and duplicate knobs or
+/// flags.
+ParsedSpec parse_spec(const std::string& spec, const std::string& domain,
+                      bool allow_flags);
+
+/// True when `name` is usable as a registry entry name: non-empty and free
+/// of the grammar's meta characters (':', ',', '=').
+bool valid_spec_name(const std::string& name);
+
+}  // namespace etrain::common

@@ -8,6 +8,7 @@
 // packets and do not interfere original heartbeat transmission".
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,14 +16,22 @@
 
 namespace etrain::core {
 
+/// Interface slot indices shared by Selection / SlotContext / the
+/// harnesses. 0 is always the cellular uplink, 1 the (optional) Wi-Fi
+/// link; 2+ are the scenario's extra interfaces in declaration order (the
+/// harness announces their names via bind_interfaces).
+inline constexpr int kInterfaceCellular = 0;
+inline constexpr int kInterfaceWifi = 1;
+inline constexpr int kInterfaceExtraBase = 2;
+
 /// A packet chosen for immediate transmission.
 struct Selection {
   CargoAppId app = 0;
   PacketId packet = -1;
-  /// Multi-interface extension: route this packet over Wi-Fi instead of
-  /// the cellular uplink. Ignored (treated as cellular) when the scenario
-  /// has no Wi-Fi or Wi-Fi is unavailable this slot.
-  bool via_wifi = false;
+  /// Interface slot to route this packet over (kInterfaceCellular by
+  /// default). A selection naming an interface that is absent or
+  /// unavailable this slot falls back to the cellular uplink.
+  int interface = kInterfaceCellular;
 };
 
 /// Everything a policy may observe at the start of a slot.
@@ -52,6 +61,21 @@ struct SlotContext {
   /// Multi-interface extension: true when a Wi-Fi network is associated
   /// this slot. Cellular-only scenarios always report false.
   bool wifi_available = false;
+
+  /// Availability bitmask of the extra interfaces (bit i-kInterfaceExtraBase
+  /// for interface slot i). An extra radio counts as available while it is
+  /// "hot" — inside the tail of its own recent activity (e.g. a LoRa link
+  /// heartbeat), when cargo can ride along for marginal energy.
+  std::uint32_t extra_available = 0;
+
+  /// Uniform availability check across interface slots.
+  bool interface_available(int interface) const {
+    if (interface == kInterfaceCellular) return true;
+    if (interface == kInterfaceWifi) return wifi_available;
+    const int bit = interface - kInterfaceExtraBase;
+    if (bit < 0 || bit >= 32) return false;
+    return (extra_available >> bit) & 1u;
+  }
 
   /// Time of the next predicted heartbeat strictly after slot_start;
   /// +inf when unknown or no trains run.
@@ -90,6 +114,16 @@ class SchedulingPolicy {
 
   /// Clears any cross-slot state before a fresh run.
   virtual void reset() {}
+
+  /// Announces the run's interface layout: names[i] is the interface bound
+  /// to Selection slot i (index 0 "cellular", 1 "wifi" when present, 2+ the
+  /// scenario's extras). Called by the harness after reset(), before the
+  /// first select(). Policies that route by interface *name* (SelectPolicy)
+  /// resolve their preferences here and throw std::invalid_argument for a
+  /// name the run does not provide; the default ignores the layout.
+  virtual void bind_interfaces(const std::vector<std::string>& names) {
+    (void)names;
+  }
 };
 
 }  // namespace etrain::core

@@ -1,7 +1,8 @@
 #include "core/policy_registry.h"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "common/spec.h"
 
 namespace etrain::core {
 
@@ -24,23 +25,31 @@ std::vector<std::string> PolicyParams::unconsumed() const {
   return out;
 }
 
-void PolicyRegistry::register_policy(const std::string& name,
-                                     const std::string& help,
-                                     Factory factory) {
-  if (name.empty() || name.find(':') != std::string::npos ||
-      name.find(',') != std::string::npos ||
-      name.find('=') != std::string::npos) {
+void PolicyRegistry::insert_entry(const std::string& name, Entry entry) {
+  if (!common::valid_spec_name(name)) {
     throw std::invalid_argument("PolicyRegistry: invalid policy name '" +
                                 name + "'");
   }
-  if (!factory) {
+  if (!entry.factory && !entry.raw_factory) {
     throw std::invalid_argument("PolicyRegistry: null factory for '" + name +
                                 "'");
   }
-  if (!entries_.emplace(name, Entry{help, std::move(factory)}).second) {
+  if (!entries_.emplace(name, std::move(entry)).second) {
     throw std::invalid_argument("PolicyRegistry: duplicate policy '" + name +
                                 "'");
   }
+}
+
+void PolicyRegistry::register_policy(const std::string& name,
+                                     const std::string& help,
+                                     Factory factory) {
+  insert_entry(name, Entry{help, std::move(factory), nullptr});
+}
+
+void PolicyRegistry::register_policy_raw(const std::string& name,
+                                         const std::string& help,
+                                         RawFactory factory) {
+  insert_entry(name, Entry{help, nullptr, std::move(factory)});
 }
 
 bool PolicyRegistry::contains(const std::string& name) const {
@@ -65,51 +74,30 @@ const std::string& PolicyRegistry::help(const std::string& name) const {
 
 std::string PolicyRegistry::parse_spec(const std::string& spec,
                                        PolicyParams* params) {
-  const auto colon = spec.find(':');
-  const std::string name = spec.substr(0, colon);
-  if (name.empty()) {
-    throw std::invalid_argument("policy spec '" + spec +
-                                "': missing policy name");
-  }
-  std::map<std::string, double> values;
-  if (colon != std::string::npos) {
-    std::string tail = spec.substr(colon + 1);
-    std::size_t pos = 0;
-    while (pos <= tail.size()) {
-      const std::size_t comma = tail.find(',', pos);
-      const std::string item =
-          tail.substr(pos, comma == std::string::npos ? comma : comma - pos);
-      pos = comma == std::string::npos ? tail.size() + 1 : comma + 1;
-      if (item.empty()) {
-        throw std::invalid_argument("policy spec '" + spec +
-                                    "': empty knob assignment");
-      }
-      const std::size_t eq = item.find('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
-        throw std::invalid_argument("policy spec '" + spec + "': knob '" +
-                                    item + "' is not of the form key=value");
-      }
-      const std::string key = item.substr(0, eq);
-      const std::string value_text = item.substr(eq + 1);
-      char* end = nullptr;
-      const double value = std::strtod(value_text.c_str(), &end);
-      if (end == value_text.c_str() || *end != '\0') {
-        throw std::invalid_argument("policy spec '" + spec + "': knob '" +
-                                    key + "' has non-numeric value '" +
-                                    value_text + "'");
-      }
-      if (!values.emplace(key, value).second) {
-        throw std::invalid_argument("policy spec '" + spec +
-                                    "': duplicate knob '" + key + "'");
-      }
-    }
-  }
-  if (params != nullptr) *params = PolicyParams(std::move(values));
-  return name;
+  common::ParsedSpec parsed =
+      common::parse_spec(spec, "policy", /*allow_flags=*/false);
+  if (params != nullptr) *params = PolicyParams(std::move(parsed.knobs));
+  return parsed.name;
 }
 
 std::unique_ptr<SchedulingPolicy> PolicyRegistry::make(
     const std::string& spec) const {
+  // Raw-tail entries own everything after "name:" — the tail is not a knob
+  // list (the select layer nests full policy specs in it), so the name is
+  // resolved before the grammar is applied.
+  const auto colon = spec.find(':');
+  const std::string raw_name = spec.substr(0, colon);
+  if (raw_name.empty()) {
+    throw std::invalid_argument("policy spec '" + spec +
+                                "': missing policy name");
+  }
+  if (const auto raw_it = entries_.find(raw_name);
+      raw_it != entries_.end() && raw_it->second.raw_factory) {
+    const std::string tail =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    return raw_it->second.raw_factory(tail, *this);
+  }
+
   PolicyParams params;
   const std::string name = parse_spec(spec, &params);
   const auto it = entries_.find(name);

@@ -58,10 +58,22 @@ class PolicyRegistry {
   using Factory =
       std::function<std::unique_ptr<SchedulingPolicy>(const PolicyParams&)>;
 
+  /// Factory for policies whose spec tail is not a knob list: the raw text
+  /// after "name:" is handed over verbatim (the composable "select:..."
+  /// interface-selection layer embeds full policy specs in its tail).
+  using RawFactory = std::function<std::unique_ptr<SchedulingPolicy>(
+      const std::string& tail, const PolicyRegistry& registry)>;
+
   /// Registers a factory under `name` (lowercase by convention) with a
   /// one-line `help` text listing its knobs. Throws on duplicates.
   void register_policy(const std::string& name, const std::string& help,
                        Factory factory);
+
+  /// Registers a raw-tail factory: make("name:ANYTHING") calls it with
+  /// "ANYTHING" unparsed (plus the registry itself, so the factory can
+  /// build nested policies). Shares the name space with register_policy.
+  void register_policy_raw(const std::string& name, const std::string& help,
+                           RawFactory factory);
 
   bool contains(const std::string& name) const;
   /// Registered names, sorted.
@@ -81,9 +93,12 @@ class PolicyRegistry {
  private:
   struct Entry {
     std::string help;
-    Factory factory;
+    Factory factory;        ///< exactly one of factory / raw_factory is set
+    RawFactory raw_factory;
   };
   std::map<std::string, Entry> entries_;
+
+  void insert_entry(const std::string& name, Entry entry);
 };
 
 }  // namespace etrain::core

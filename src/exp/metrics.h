@@ -29,6 +29,19 @@ struct PacketOutcome {
   Bytes bytes = 0;
 };
 
+/// Log + energy report of one extra radio interface (slot 2+).
+struct ExtraInterfaceMetrics {
+  /// Ledger / provenance interface name ("lora", "lte"...).
+  std::string name;
+  /// The registry spec the radio was built from (provenance).
+  std::string spec;
+  /// The power model the log was billed against (the report ledger re-bills
+  /// with it; its `name` is the preset provenance).
+  radio::PowerModel model;
+  radio::EnergyReport energy;
+  radio::TransmissionLog log;
+};
+
 struct RunMetrics {
   std::string policy_name;
   radio::EnergyReport energy;
@@ -41,6 +54,10 @@ struct RunMetrics {
   /// like any other.
   radio::EnergyReport wifi_energy;
   radio::TransmissionLog wifi_log;
+
+  /// Per-interface logs/reports of the scenario's extra radios, in
+  /// interface-slot order (empty when none are attached).
+  std::vector<ExtraInterfaceMetrics> extras;
 
   /// When a simulated Monsoon power monitor was attached (Fig. 9 setup),
   /// the energy it recovered by integrating its 0.1 s current samples —
@@ -59,10 +76,12 @@ struct RunMetrics {
   double total_delay_cost = 0.0;
 
   /// Radio energy above idle: transmissions + promotions + tails, for both
-  /// heartbeats and data, across both interfaces. The headline "total
+  /// heartbeats and data, across every interface. The headline "total
   /// energy" of the figures.
   Joules network_energy() const {
-    return energy.network_energy() + wifi_energy.network_energy();
+    Joules total = energy.network_energy() + wifi_energy.network_energy();
+    for (const auto& extra : extras) total += extra.energy.network_energy();
+    return total;
   }
 
   /// Energy attributable to cargo data only (tx + the tails their

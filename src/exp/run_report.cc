@@ -57,6 +57,14 @@ void describe_scenario(obs::RunReport& report, const Scenario& scenario) {
                           fmt(scenario.wifi.coverage(scenario.horizon)));
     report.add_provenance("wifi_preset", scenario.wifi_model.name);
   }
+
+  // Extra interfaces (slots 2+): record the preset each ledger row will be
+  // billed on and the exact registry spec that built it.
+  for (const auto& extra : scenario.extra_interfaces) {
+    const std::string prefix = "interface." + extra.radio.interface_name + ".";
+    report.add_provenance(prefix + "preset", extra.radio.power.name);
+    report.add_provenance(prefix + "spec", extra.radio.spec);
+  }
 }
 
 void fill_run_sections(obs::RunReport& report,
@@ -67,22 +75,29 @@ void fill_run_sections(obs::RunReport& report,
     report.add_provenance("policy", metrics.policy_name);
   }
 
+  Joules tail_total =
+      metrics.energy.tail_energy() + metrics.wifi_energy.tail_energy();
+  std::size_t tx_total = metrics.log.size() + metrics.wifi_log.size();
+  std::size_t failed_total =
+      metrics.log.failed_count() + metrics.wifi_log.failed_count();
+  for (const auto& extra : metrics.extras) {
+    tail_total += extra.energy.tail_energy();
+    tx_total += extra.log.size();
+    failed_total += extra.log.failed_count();
+  }
+
   report.add_result("network_energy_J", metrics.network_energy());
-  report.add_result("tail_energy_J", metrics.energy.tail_energy() +
-                                         metrics.wifi_energy.tail_energy());
+  report.add_result("tail_energy_J", tail_total);
   report.add_result("heartbeat_energy_J", metrics.heartbeat_energy());
   report.add_result("data_energy_J", metrics.data_energy());
   report.add_result("normalized_delay_s", metrics.normalized_delay);
   report.add_result("violation_ratio", metrics.violation_ratio);
   report.add_result("total_delay_cost", metrics.total_delay_cost);
-  report.add_result(
-      "transmissions",
-      static_cast<double>(metrics.log.size() + metrics.wifi_log.size()));
+  report.add_result("transmissions", static_cast<double>(tx_total));
   report.add_result("failed_transmissions",
-                    static_cast<double>(metrics.log.failed_count() +
-                                        metrics.wifi_log.failed_count()));
+                    static_cast<double>(failed_total));
 
-  // The Wi-Fi interface participates in the report only when it carried
+  // A secondary interface participates in the report only when it carried
   // traffic; an idle second radio contributes zero to every total, and
   // omitting it keeps cellular-only reports free of dead sections.
   const bool has_wifi = !metrics.wifi_log.empty();
@@ -90,6 +105,10 @@ void fill_run_sections(obs::RunReport& report,
   obs::EnergySection energy;
   energy.cellular = metrics.energy;
   if (has_wifi) energy.wifi = metrics.wifi_energy;
+  for (const auto& extra : metrics.extras) {
+    if (extra.log.empty()) continue;
+    energy.extra.emplace_back(extra.name, extra.energy);
+  }
   energy.monsoon_J = metrics.monsoon_energy;
   report.energy = energy;
 
@@ -110,6 +129,11 @@ void fill_run_sections(obs::RunReport& report,
   if (has_wifi) {
     obs::append_ledger(ledger, "wifi", metrics.wifi_log, wifi_model,
                        metrics.wifi_energy.horizon);
+  }
+  for (const auto& extra : metrics.extras) {
+    if (extra.log.empty()) continue;
+    obs::append_ledger(ledger, extra.name, extra.log, extra.model,
+                       extra.energy.horizon);
   }
   report.ledger = std::move(ledger);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "common/rng.h"
@@ -82,6 +83,29 @@ void validate_scenario(const Scenario& scenario) {
   };
   check_sorted(scenario.trains, "trains");
   check_sorted(scenario.background, "background traffic");
+  std::unordered_set<std::string> interface_names;
+  for (const auto& extra : scenario.extra_interfaces) {
+    const std::string& name = extra.radio.interface_name;
+    if (name.empty() || name == "cellular" || name == "wifi") {
+      throw std::invalid_argument(
+          "Scenario: extra interface name '" + name +
+          "' collides with a built-in interface slot");
+    }
+    if (!interface_names.insert(name).second) {
+      throw std::invalid_argument("Scenario: duplicate extra interface '" +
+                                  name + "'");
+    }
+  }
+  const int max_interface =
+      1 + static_cast<int>(scenario.extra_interfaces.size());
+  for (const auto& event : scenario.trains) {
+    if (event.interface == 1 || event.interface < 0 ||
+        event.interface > max_interface) {
+      throw std::invalid_argument(
+          "Scenario: train event on invalid interface slot " +
+          std::to_string(event.interface));
+    }
+  }
   scenario.faults.validate();
 }
 

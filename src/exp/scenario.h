@@ -18,9 +18,19 @@
 #include "net/bandwidth_trace.h"
 #include "net/fault_plan.h"
 #include "net/wifi_availability.h"
+#include "radio/model_registry.h"
 #include "radio/power_model.h"
 
 namespace etrain::experiments {
+
+/// One extra radio interface attached for the whole run (slot 2+). Unlike
+/// Wi-Fi's episodic coverage, an extra interface is "available" to
+/// policies while it is hot — within its own DCH-tail window after recent
+/// activity — so cargo can ride a radio heartbeat's tail.
+struct ScenarioInterface {
+  radio::RadioModel radio;
+  net::BandwidthTrace trace = net::BandwidthTrace::constant(1100.0, 1);
+};
 
 struct Scenario {
   Duration horizon = 7200.0;
@@ -49,6 +59,14 @@ struct Scenario {
   net::WifiAvailability wifi = net::WifiAvailability::none();
   radio::PowerModel wifi_model = radio::PowerModel::WifiPsm();
   net::BandwidthTrace wifi_trace = net::BandwidthTrace::constant(2.0e6, 1);
+
+  /// Extra always-attached radios beyond cellular/Wi-Fi (LoRa links, a
+  /// second cellular modem). Interface slot i of Selection/TrainEvent maps
+  /// to extra_interfaces[i - 2]. Each carries its own RadioModel (energy
+  /// billed separately, reported per interface) and bandwidth trace; a
+  /// model with lora link params gets ACK/retransmit semantics and, when
+  /// heartbeat_period > 0, contributes radio heartbeats to `trains`.
+  std::vector<ScenarioInterface> extra_interfaces;
 
   /// Lognormal noise applied to the per-slot bandwidth measurement policies
   /// receive (Sec. IV: application-layer bandwidth prediction is inaccurate

@@ -1,5 +1,6 @@
 #include "exp/scenario_builder.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -39,6 +40,25 @@ ScenarioBuilder& ScenarioBuilder::shared_deadline(Duration seconds) {
 
 ScenarioBuilder& ScenarioBuilder::model(const radio::PowerModel& model) {
   config_.model = model;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::radio(const std::string& spec) {
+  config_.model = radio::make_radio_model(spec).power;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::interfaces(
+    const std::vector<std::string>& specs) {
+  std::vector<ScenarioInterface> extras;
+  extras.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    ScenarioInterface extra;
+    extra.radio = radio::make_radio_model(spec);
+    extra.trace = net::BandwidthTrace::constant(extra.radio.bandwidth, 1);
+    extras.push_back(std::move(extra));
+  }
+  extra_interfaces_ = std::move(extras);
   return *this;
 }
 
@@ -138,6 +158,31 @@ Scenario ScenarioBuilder::build() const {
   }
   if (background_.has_value()) s.background = *background_;
   if (wifi_.has_value()) s.wifi = *wifi_;
+  s.extra_interfaces = extra_interfaces_;
+  // Radio heartbeats: a lora interface with a heartbeat period is a second
+  // train source — merge its link beacons into the timetable.
+  bool added_radio_beats = false;
+  for (std::size_t i = 0; i < s.extra_interfaces.size(); ++i) {
+    const auto& lora = s.extra_interfaces[i].radio.lora;
+    if (!lora.has_value() || lora->heartbeat_period <= 0.0) continue;
+    // Staggered first beats, like independently started daemons.
+    for (TimePoint t = 3.0 * (static_cast<double>(i) + 1.0); t < s.horizon;
+         t += lora->heartbeat_period) {
+      apps::TrainEvent beat;
+      beat.time = t;
+      beat.train = 100 + static_cast<int>(i);
+      beat.bytes = lora->heartbeat_bytes;
+      beat.interface = 2 + static_cast<int>(i);
+      s.trains.push_back(beat);
+      added_radio_beats = true;
+    }
+  }
+  if (added_radio_beats) {
+    std::stable_sort(s.trains.begin(), s.trains.end(),
+                     [](const apps::TrainEvent& a, const apps::TrainEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
   if (estimate_noise_.has_value()) s.estimate_noise_sigma = *estimate_noise_;
   if (noise_seed_.has_value()) s.noise_seed = *noise_seed_;
 

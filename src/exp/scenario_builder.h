@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "exp/scenario.h"
@@ -40,6 +41,10 @@ class ScenarioBuilder {
   /// Overrides every cargo app's deadline (Fig. 10(c) sweep).
   ScenarioBuilder& shared_deadline(Duration seconds);
   ScenarioBuilder& model(const radio::PowerModel& model);
+  /// Primary-radio registry spec ("3g:paper", "lte_cdrx:inactivity=5"...):
+  /// resolves via builtin_model_registry() and replaces the power model.
+  /// Throws std::invalid_argument immediately on a bad spec.
+  ScenarioBuilder& radio(const std::string& spec);
 
   /// --- fault injection ---
 
@@ -63,6 +68,13 @@ class ScenarioBuilder {
   /// --- multi-interface / estimation knobs ---
 
   ScenarioBuilder& wifi(net::WifiAvailability availability);
+  /// Attaches extra always-on radios (interface slots 2+), one registry
+  /// spec each ("lora:sf=9,heartbeat_period=30"). Each gets a constant
+  /// bandwidth trace at the model's rate; a lora model with a heartbeat
+  /// period contributes radio heartbeats to the train timetable at
+  /// build(). Replaces any previously set list. Throws immediately on a
+  /// bad spec.
+  ScenarioBuilder& interfaces(const std::vector<std::string>& specs);
   ScenarioBuilder& estimate_noise(double sigma);
   ScenarioBuilder& noise_seed(std::uint64_t seed);
 
@@ -103,6 +115,7 @@ class ScenarioBuilder {
   Duration outage_episode_mean_ = 120.0;
 
   std::optional<net::WifiAvailability> wifi_;
+  std::vector<ScenarioInterface> extra_interfaces_;
   std::optional<double> estimate_noise_;
   std::optional<std::uint64_t> noise_seed_;
 

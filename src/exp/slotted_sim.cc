@@ -129,12 +129,7 @@ class Uplink {
  private:
   Duration promotion_delay(TimePoint start) const {
     if (last_end_ < 0.0) return scenario_.model.idle_to_dch_delay;
-    const Duration elapsed = start - last_end_;
-    if (elapsed < scenario_.model.dch_tail) return 0.0;
-    if (elapsed < scenario_.model.tail_time()) {
-      return scenario_.model.fach_to_dch_delay;
-    }
-    return scenario_.model.idle_to_dch_delay;
+    return scenario_.model.promotion_delay_after_gap(start - last_end_);
   }
 
   const Scenario& scenario_;
@@ -142,6 +137,108 @@ class Uplink {
   radio::TransmissionLog& log_;
   obs::TraceSink* trace_;
   FaultCounters counters_;
+  TimePoint free_at_ = 0.0;
+  TimePoint last_end_ = -1.0;
+};
+
+/// One non-cellular radio channel: Wi-Fi (interface slot 1) or an extra
+/// interface (slots 2+). Independent serialization, its own log, promotion
+/// derived from the model's tail via promotion_delay_after_gap. LoRa-class
+/// channels add ACK-wait/retransmit link semantics on top.
+class SecondaryChannel {
+ public:
+  SecondaryChannel(const radio::PowerModel& model,
+                   const net::BandwidthTrace& trace,
+                   radio::TransmissionLog& log)
+      : model_(model), trace_(trace), log_(log) {}
+
+  struct Result {
+    TimePoint sent = 0.0;
+    bool delivered = true;
+    /// When !delivered: the moment the last ACK window closed and the
+    /// sender learned of the final loss.
+    TimePoint failed_at = 0.0;
+  };
+
+  /// One faultless transmission (Wi-Fi data, radio heartbeats); returns
+  /// the start time.
+  TimePoint transmit(TimePoint not_before, Bytes bytes, radio::TxKind kind,
+                     int app_id, core::PacketId packet_id) {
+    const radio::Transmission tx =
+        fill(std::max(not_before, free_at_), bytes, kind, app_id, packet_id,
+             /*attempt=*/1);
+    log_.add(tx);
+    free_at_ = last_end_ = tx.end();
+    return tx.start;
+  }
+
+  /// LoRa-style reliable datagram: every frame waits for an ACK; a hashed
+  /// loss draw kills the attempt, the sender retransmits when the ACK
+  /// window (`link.ack_timeout`) closes, at most link.max_retries times.
+  Result transmit_reliable(TimePoint not_before, Bytes bytes, int app_id,
+                           core::PacketId packet_id,
+                           const radio::LoraLinkParams& link,
+                           const net::FaultPlan& faults, std::int64_t entity,
+                           obs::TraceSink* trace, FaultCounters counters) {
+    const bool faulty = faults.affects_link();
+    int attempt = 1;
+    TimePoint ready = not_before;
+    while (true) {
+      radio::Transmission tx =
+          fill(std::max(ready, free_at_), bytes, radio::TxKind::kData, app_id,
+               packet_id, attempt);
+      tx.failed = faulty && faults.lose_transfer(entity, attempt);
+      log_.add(tx);
+      free_at_ = last_end_ = tx.end();
+      if (!tx.failed) return Result{tx.start, true, 0.0};
+
+      // The loss only becomes known when the ACK window closes.
+      const TimePoint known = tx.end() + link.ack_timeout;
+      ETRAIN_TRACE(trace, obs::TraceEvent::tx_failure(
+                              tx.end(),
+                              static_cast<std::int32_t>(radio::TxKind::kData),
+                              entity, attempt, tx.setup + tx.duration));
+      if (counters.failures != nullptr) counters.failures->increment();
+      if (attempt > link.max_retries) {
+        return Result{tx.start, false, known};
+      }
+      ETRAIN_TRACE(trace, obs::TraceEvent::tx_retry(
+                              tx.end(),
+                              static_cast<std::int32_t>(radio::TxKind::kData),
+                              entity, attempt + 1, link.ack_timeout));
+      if (counters.retries != nullptr) counters.retries->increment();
+      ready = known;
+      ++attempt;
+    }
+  }
+
+  /// True while the radio is inside the DCH-tail window of its own recent
+  /// activity — the moment cargo can ride along for marginal energy.
+  bool hot(TimePoint t) const {
+    return last_end_ >= 0.0 && t - last_end_ < model_.dch_tail;
+  }
+
+ private:
+  radio::Transmission fill(TimePoint start, Bytes bytes, radio::TxKind kind,
+                           int app_id, core::PacketId packet_id,
+                           int attempt) const {
+    radio::Transmission tx;
+    tx.start = start;
+    tx.setup = last_end_ < 0.0
+                   ? model_.idle_to_dch_delay
+                   : model_.promotion_delay_after_gap(start - last_end_);
+    tx.duration = trace_.transfer_duration(bytes, start + tx.setup);
+    tx.bytes = bytes;
+    tx.kind = kind;
+    tx.app_id = app_id;
+    tx.packet_id = packet_id;
+    tx.attempt = attempt;
+    return tx;
+  }
+
+  const radio::PowerModel& model_;
+  const net::BandwidthTrace& trace_;
+  radio::TransmissionLog& log_;
   TimePoint free_at_ = 0.0;
   TimePoint last_end_ = -1.0;
 };
@@ -216,30 +313,54 @@ RunMetrics run_slotted(const Scenario& scenario,
 
   // Wi-Fi channel (multi-interface extension): independent serialization,
   // its own log; energy metered against the Wi-Fi power model afterwards.
-  TimePoint wifi_free_at = 0.0;
-  const auto transmit_wifi = [&](const core::QueuedPacket& qp,
-                                 TimePoint not_before) -> TimePoint {
-    const TimePoint start = std::max(not_before, wifi_free_at);
-    radio::Transmission tx;
-    tx.start = start;
-    tx.setup = scenario.wifi_model.idle_to_dch_delay;
-    tx.duration =
-        scenario.wifi_trace.transfer_duration(qp.packet.bytes, start + tx.setup);
-    tx.bytes = qp.packet.bytes;
-    tx.kind = radio::TxKind::kData;
-    tx.app_id = qp.packet.app;
-    tx.packet_id = qp.packet.id;
-    metrics.wifi_log.add(tx);
-    wifi_free_at = tx.end();
-    return start;
-  };
+  SecondaryChannel wifi_channel(scenario.wifi_model, scenario.wifi_trace,
+                                metrics.wifi_log);
+
+  // Extra interfaces (slots 2+): one channel each, logged and metered per
+  // interface. Built before the channels so the log references are stable.
+  metrics.extras.reserve(scenario.extra_interfaces.size());
+  for (const auto& extra : scenario.extra_interfaces) {
+    ExtraInterfaceMetrics m;
+    m.name = extra.radio.interface_name;
+    m.spec = extra.radio.spec;
+    m.model = extra.radio.power;
+    metrics.extras.push_back(std::move(m));
+  }
+  std::vector<SecondaryChannel> extra_channels;
+  extra_channels.reserve(scenario.extra_interfaces.size());
+  for (std::size_t i = 0; i < scenario.extra_interfaces.size(); ++i) {
+    extra_channels.emplace_back(scenario.extra_interfaces[i].radio.power,
+                                scenario.extra_interfaces[i].trace,
+                                metrics.extras[i].log);
+  }
+
+  // Announce the interface layout so name-routing policies (SelectPolicy)
+  // can resolve their preferences to slots.
+  {
+    std::vector<std::string> interface_names{"cellular", "wifi"};
+    for (const auto& extra : scenario.extra_interfaces) {
+      interface_names.push_back(extra.radio.interface_name);
+    }
+    policy.bind_interfaces(interface_names);
+  }
 
   // Noisy bandwidth estimation the channel-dependent policies consume.
   Rng noise(scenario.noise_seed);
   Ewma short_term(0.3);
   RunningStats long_term;
 
-  const std::vector<TimePoint> departures = apps::departure_times(trains);
+  // The policies' train lookahead covers cellular departures only: an
+  // extra radio's heartbeat heats *that* radio, not the cellular tail.
+  std::vector<TimePoint> departures;
+  if (scenario.extra_interfaces.empty()) {
+    departures = apps::departure_times(trains);
+  } else {
+    std::vector<apps::TrainEvent> cellular_trains;
+    for (const auto& e : trains) {
+      if (e.interface == core::kInterfaceCellular) cellular_trains.push_back(e);
+    }
+    departures = apps::departure_times(cellular_trains);
+  }
 
   std::size_t next_packet = 0;
   std::size_t next_train = 0;
@@ -262,21 +383,57 @@ RunMetrics run_slotted(const Scenario& scenario,
     }
   };
 
+  const auto record_outcome = [&](const core::QueuedPacket& qp,
+                                  TimePoint sent) {
+    PacketOutcome o;
+    o.id = qp.packet.id;
+    o.app = qp.packet.app;
+    o.arrival = qp.packet.arrival;
+    o.sent = sent;
+    o.delay = sent - qp.packet.arrival;
+    o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
+    o.violated = o.delay > qp.packet.deadline + 1e-9;
+    o.bytes = qp.packet.bytes;
+    metrics.outcomes.push_back(o);
+  };
+
   const auto transmit_data = [&](core::QueuedPacket&& qp, TimePoint slot_start,
-                                 bool via_wifi = false) {
-    if (via_wifi) {
+                                 int interface = core::kInterfaceCellular) {
+    if (interface == core::kInterfaceWifi) {
       // The Wi-Fi channel is outside the cellular fault domain.
-      const TimePoint sent = transmit_wifi(qp, slot_start);
-      PacketOutcome o;
-      o.id = qp.packet.id;
-      o.app = qp.packet.app;
-      o.arrival = qp.packet.arrival;
-      o.sent = sent;
-      o.delay = sent - qp.packet.arrival;
-      o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
-      o.violated = o.delay > qp.packet.deadline + 1e-9;
-      o.bytes = qp.packet.bytes;
-      metrics.outcomes.push_back(o);
+      const TimePoint sent =
+          wifi_channel.transmit(slot_start, qp.packet.bytes,
+                                radio::TxKind::kData, qp.packet.app,
+                                qp.packet.id);
+      record_outcome(qp, sent);
+      return;
+    }
+    if (interface >= core::kInterfaceExtraBase) {
+      const std::size_t idx =
+          static_cast<std::size_t>(interface - core::kInterfaceExtraBase);
+      SecondaryChannel& channel = extra_channels[idx];
+      const auto& lora = scenario.extra_interfaces[idx].radio.lora;
+      if (lora.has_value()) {
+        // ACK-loss draws use a dedicated entity range so they never
+        // collide with the cellular link's per-packet draws.
+        const SecondaryChannel::Result result = channel.transmit_reliable(
+            slot_start, qp.packet.bytes, qp.packet.app, qp.packet.id, *lora,
+            scenario.faults, -3'000'000'000LL - qp.packet.id, trace,
+            fault_counters);
+        if (!result.delivered) {
+          // Link gave up: the packet rejoins its app queue once the loss
+          // is known and the cellular path takes over.
+          if (recovered_counter != nullptr) recovered_counter->increment();
+          retry_buffer.push_back(RetryEntry{std::move(qp), result.failed_at});
+          return;
+        }
+        record_outcome(qp, result.sent);
+        return;
+      }
+      const TimePoint sent =
+          channel.transmit(slot_start, qp.packet.bytes, radio::TxKind::kData,
+                           qp.packet.app, qp.packet.id);
+      record_outcome(qp, sent);
       return;
     }
     int& used = attempts_used[qp.packet.id];
@@ -291,16 +448,7 @@ RunMetrics run_slotted(const Scenario& scenario,
       retry_buffer.push_back(RetryEntry{std::move(qp), result.failed_at});
       return;
     }
-    PacketOutcome o;
-    o.id = qp.packet.id;
-    o.app = qp.packet.app;
-    o.arrival = qp.packet.arrival;
-    o.sent = result.sent;
-    o.delay = result.sent - qp.packet.arrival;
-    o.cost = qp.profile->cost(o.delay, qp.packet.deadline);
-    o.violated = o.delay > qp.packet.deadline + 1e-9;
-    o.bytes = qp.packet.bytes;
-    metrics.outcomes.push_back(o);
+    record_outcome(qp, result.sent);
   };
 
   // Hot-loop scratch, hoisted so the steady state reuses capacity instead
@@ -341,6 +489,15 @@ RunMetrics run_slotted(const Scenario& scenario,
     bool heartbeat_now = false;
     while (next_train < trains.size() && trains[next_train].time <= t) {
       const auto& hb = trains[next_train];
+      if (hb.interface >= core::kInterfaceExtraBase) {
+        // Radio heartbeat on an extra interface (a LoRa link beacon): it
+        // heats that radio's tail but is not a cellular train departure.
+        extra_channels[hb.interface - core::kInterfaceExtraBase].transmit(
+            t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1);
+        if (heartbeats_counter != nullptr) heartbeats_counter->increment();
+        ++next_train;
+        continue;
+      }
       uplink.transmit(t, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1,
                       core::Direction::kUplink,
                       -1 - static_cast<std::int64_t>(next_train));
@@ -351,11 +508,15 @@ RunMetrics run_slotted(const Scenario& scenario,
       heartbeat_now = true;
       ++next_train;
     }
-    // Any heartbeat later within this slot still marks the slot as a train
-    // departure for the policy (the paper treats heartbeats as firing at
-    // slot boundaries).
-    if (next_train < trains.size() && trains[next_train].time < slot_end) {
-      heartbeat_now = true;
+    // Any cellular heartbeat later within this slot still marks the slot
+    // as a train departure for the policy (the paper treats heartbeats as
+    // firing at slot boundaries).
+    for (std::size_t j = next_train;
+         j < trains.size() && trains[j].time < slot_end; ++j) {
+      if (trains[j].interface == core::kInterfaceCellular) {
+        heartbeat_now = true;
+        break;
+      }
     }
 
     // (3) Policy decision.
@@ -390,6 +551,12 @@ RunMetrics run_slotted(const Scenario& scenario,
     ctx.bandwidth_estimate = short_term.value_or(measured);
     ctx.bandwidth_long_term = long_term.mean();
     ctx.wifi_available = scenario.wifi.available(t);
+    ctx.extra_available = 0;
+    for (std::size_t i = 0; i < extra_channels.size() && i < 32; ++i) {
+      if (extra_channels[i].hot(t)) {
+        ctx.extra_available |= (std::uint32_t{1} << i);
+      }
+    }
 
     // Only slots with something to decide are interesting on the trace;
     // quiescent 1 s ticks would bury the signal.
@@ -413,14 +580,28 @@ RunMetrics run_slotted(const Scenario& scenario,
         throw std::logic_error("policy selected the same packet twice");
       }
       seen.push_back(sel.packet);
-      const bool via_wifi = sel.via_wifi && ctx.wifi_available;
-      transmit_data(queues.remove(sel.app, sel.packet), t, via_wifi);
+      // Selections naming an absent or currently-unavailable interface
+      // fall back to the cellular uplink (which is always attached).
+      int interface = sel.interface;
+      if (interface < 0 || !ctx.interface_available(interface) ||
+          interface >= core::kInterfaceExtraBase +
+                           static_cast<int>(extra_channels.size())) {
+        interface = core::kInterfaceCellular;
+      }
+      transmit_data(queues.remove(sel.app, sel.packet), t, interface);
     }
 
     // (4) Heartbeats and interactive traffic later within the slot fire at
     // their exact times.
     while (next_train < trains.size() && trains[next_train].time < slot_end) {
       const auto& hb = trains[next_train];
+      if (hb.interface >= core::kInterfaceExtraBase) {
+        extra_channels[hb.interface - core::kInterfaceExtraBase].transmit(
+            hb.time, hb.bytes, radio::TxKind::kHeartbeat, hb.train, -1);
+        if (heartbeats_counter != nullptr) heartbeats_counter->increment();
+        ++next_train;
+        continue;
+      }
       uplink.transmit(hb.time, hb.bytes, radio::TxKind::kHeartbeat, hb.train,
                       -1, core::Direction::kUplink,
                       -1 - static_cast<std::int64_t>(next_train));
@@ -466,6 +647,14 @@ RunMetrics run_slotted(const Scenario& scenario,
   metrics.wifi_energy = radio::measure_energy(metrics.wifi_log,
                                               scenario.wifi_model,
                                               wifi_horizon, trace);
+  for (std::size_t i = 0; i < metrics.extras.size(); ++i) {
+    auto& extra = metrics.extras[i];
+    const radio::PowerModel& model = scenario.extra_interfaces[i].radio.power;
+    const Duration extra_horizon =
+        std::max(scenario.horizon, extra.log.last_end()) + model.tail_time();
+    extra.energy =
+        radio::measure_energy(extra.log, model, extra_horizon, trace);
+  }
   finalize_metrics(metrics);
   if (observers.metrics != nullptr) {
     metrics.observed = observers.metrics->snapshot();

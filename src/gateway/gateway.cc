@@ -433,6 +433,7 @@ obs::RunReport Gateway::build_report() const {
   report.bench = config_.bench_name;
   report.add_provenance("policy", config_.session.policy_spec);
   report.add_provenance("power_model", config_.session.model.name);
+  report.add_provenance("radio", config_.session.radio_spec);
   report.add_provenance("time_scale", std::to_string(config_.time_scale));
   report.add_provenance("tick_period_s",
                         std::to_string(config_.session.tick_period));

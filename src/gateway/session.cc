@@ -5,7 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "radio/model_registry.h"
+
 namespace etrain::gateway {
+
+void SessionConfig::set_radio(const std::string& spec) {
+  const radio::RadioModel resolved = radio::make_radio_model(spec);
+  model = resolved.power;
+  radio_spec = resolved.spec;
+}
 
 namespace {
 
@@ -131,17 +139,12 @@ TimePoint ClientSession::transmit_on_uplink(TimePoint t, Bytes bytes,
                                             core::PacketId packet_id) {
   const TimePoint start = std::max(t, free_at_);
   // RRC promotion from the gap since the previous occupancy — the same
-  // rules as the slotted harness's uplink, so append_ledger re-bills this
-  // log with identical arithmetic.
-  Duration setup = config_.model.idle_to_dch_delay;
-  if (last_end_ >= 0.0) {
-    const Duration elapsed = start - last_end_;
-    if (elapsed < config_.model.dch_tail) {
-      setup = 0.0;
-    } else if (elapsed < config_.model.tail_time()) {
-      setup = config_.model.fach_to_dch_delay;
-    }
-  }
+  // rules as the slotted harness's uplink (including any CDRX extra tail
+  // phases), so append_ledger re-bills this log with identical arithmetic.
+  const Duration setup =
+      last_end_ < 0.0
+          ? config_.model.idle_to_dch_delay
+          : config_.model.promotion_delay_after_gap(start - last_end_);
   radio::Transmission tx;
   tx.start = start;
   tx.setup = setup;

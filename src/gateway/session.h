@@ -41,12 +41,20 @@ struct SessionConfig {
   Duration tick_period = 1.0;
   /// How far ahead the monitor predicts heartbeats for the scheduler.
   Duration prediction_horizon = 600.0;
-  /// Radio model billing each session's transmission log.
+  /// Radio model billing each session's transmission log. Prefer
+  /// set_radio() over assigning directly: it resolves a ModelRegistry spec
+  /// and keeps `radio_spec` (the report provenance) in step.
   radio::PowerModel model = radio::PowerModel::PaperSimulation();
+  /// The registry spec `model` came from (stamped into the report).
+  std::string radio_spec = "3g:sim";
   /// Fixed modeled uplink rate (the live gateway has no bandwidth trace).
   BytesPerSecond bandwidth = 100e3;
   /// Modeled size of one heartbeat on the uplink.
   Bytes heartbeat_bytes = 150;
+
+  /// Resolves `spec` through radio::builtin_model_registry() into `model`
+  /// (and `radio_spec`). Throws std::invalid_argument on a bad spec.
+  void set_radio(const std::string& spec);
 };
 
 /// One scheduler release, delivered to the owner (the daemon turns it into

@@ -140,6 +140,14 @@ void append_ledger(EnergyLedger& ledger, const std::string& interface_name,
           std::clamp(gap - model.dch_tail, 0.0, model.fach_tail);
       row.tail_J += model.dch_extra_power * dch_part +
                     model.fach_extra_power * fach_part;
+      // Extra tail phases (CDRX long-DRX windows) bill into the same tail
+      // bucket, mirroring the EnergyMeter's FACH-extension accounting.
+      Duration boundary = model.dch_tail + model.fach_tail;
+      for (const radio::TailPhase& p : model.extra_tail) {
+        if (gap <= boundary) break;
+        row.tail_J += p.extra_power * std::min(gap - boundary, p.length);
+        boundary += p.length;
+      }
     }
   }
 
@@ -250,6 +258,17 @@ void write_energy_section(std::ostream& out, const EnergySection& energy) {
     write_energy_report(out, *energy.wifi);
   } else {
     out << "null";
+  }
+  // The extra-interface map is written only when non-empty so existing
+  // single-interface reports keep their exact byte layout.
+  if (!energy.extra.empty()) {
+    out << ",\"extra\":{";
+    for (std::size_t i = 0; i < energy.extra.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << escape(energy.extra[i].first) << "\":";
+      write_energy_report(out, energy.extra[i].second);
+    }
+    out << "}";
   }
   out << ",\"monsoon_J\":";
   if (energy.monsoon_J.has_value()) {

@@ -64,7 +64,8 @@ inline constexpr int kReportSchemaVersion = 1;
 /// *overlay*, not an addend: the share of tx_J + setup_J burned by failed
 /// attempts.
 struct LedgerRow {
-  std::string interface_name = "cellular";  ///< "cellular" | "wifi"
+  /// "cellular" | "wifi" | an extra interface's registry name ("lora"...).
+  std::string interface_name = "cellular";
   radio::TxKind kind = radio::TxKind::kData;
   int app = 0;
   Joules tx_J = 0.0;
@@ -99,24 +100,34 @@ void append_ledger(EnergyLedger& ledger, const std::string& interface_name,
                    const radio::PowerModel& model, Duration horizon);
 
 /// The energy section: the cellular EnergyReport, the Wi-Fi one when the
-/// run used a second interface, and the simulated Monsoon integral when a
-/// power monitor was attached.
+/// run used a second interface, per-interface reports for any extra
+/// radios, and the simulated Monsoon integral when a power monitor was
+/// attached. The `extra` map is serialized only when non-empty, so
+/// single-interface (and Wi-Fi-only) reports keep their exact byte format.
 struct EnergySection {
   radio::EnergyReport cellular;
   std::optional<radio::EnergyReport> wifi;
+  /// (interface name, report) in interface-slot order.
+  std::vector<std::pair<std::string, radio::EnergyReport>> extra;
   std::optional<Joules> monsoon_J;
 
   Joules network_J() const {
-    return cellular.network_energy() +
-           (wifi.has_value() ? wifi->network_energy() : 0.0);
+    Joules total = cellular.network_energy() +
+                   (wifi.has_value() ? wifi->network_energy() : 0.0);
+    for (const auto& [name, report] : extra) total += report.network_energy();
+    return total;
   }
   Joules tail_J() const {
-    return cellular.tail_energy() +
-           (wifi.has_value() ? wifi->tail_energy() : 0.0);
+    Joules total = cellular.tail_energy() +
+                   (wifi.has_value() ? wifi->tail_energy() : 0.0);
+    for (const auto& [name, report] : extra) total += report.tail_energy();
+    return total;
   }
   std::size_t transmissions() const {
-    return cellular.transmissions +
-           (wifi.has_value() ? wifi->transmissions : 0);
+    std::size_t total = cellular.transmissions +
+                        (wifi.has_value() ? wifi->transmissions : 0);
+    for (const auto& [name, report] : extra) total += report.transmissions;
+    return total;
   }
 };
 

@@ -471,6 +471,7 @@ ReportCheckResult check_run_report(const std::string& json) {
     bool saw_schema = false, saw_build = false, saw_provenance = false;
     std::optional<ParsedEnergyReport> cellular;
     std::optional<ParsedEnergyReport> wifi;
+    std::vector<ParsedEnergyReport> extras;
     std::optional<double> section_network, section_tail, section_tx_count;
     std::optional<LedgerTotals> ledger;
     std::optional<ParsedFleet> fleet;
@@ -534,6 +535,17 @@ ReportCheckResult check_run_report(const std::string& json) {
             if (!reader.consume_null()) {
               wifi = parse_energy_report(reader);
             }
+          } else if (field == "extra") {
+            // Optional per-interface reports for extra radios, keyed by
+            // interface name; each must be a full EnergyReport.
+            reader.parse_object([&](const std::string& interface_name) {
+              if (interface_name.empty() || interface_name == "cellular" ||
+                  interface_name == "wifi") {
+                reader.fail("energy extra interface with reserved name '" +
+                            interface_name + "'");
+              }
+              extras.push_back(parse_energy_report(reader));
+            });
           } else {
             reader.skip_value();
           }
@@ -541,15 +553,19 @@ ReportCheckResult check_run_report(const std::string& json) {
         if (!cellular.has_value()) {
           reader.fail("energy section without cellular report");
         }
-        const double wifi_network =
-            wifi.has_value() ? wifi->network : 0.0;
+        double other_network = wifi.has_value() ? wifi->network : 0.0;
+        double other_tail = wifi.has_value() ? wifi->tail : 0.0;
+        for (const ParsedEnergyReport& r : extras) {
+          other_network += r.network;
+          other_tail += r.tail;
+        }
         require_close(reader,
-                      "energy network_J != cellular + wifi network",
+                      "energy network_J != sum of interface networks",
                       section_network.value_or(-1.0),
-                      cellular->network + wifi_network);
-        require_close(reader, "energy tail_J != cellular + wifi tail",
+                      cellular->network + other_network);
+        require_close(reader, "energy tail_J != sum of interface tails",
                       section_tail.value_or(-1.0),
-                      cellular->tail + (wifi.has_value() ? wifi->tail : 0.0));
+                      cellular->tail + other_tail);
       } else if (key == "delay") {
         if (reader.consume_null()) return;
         reader.parse_object([&](const std::string& field) {
@@ -631,14 +647,14 @@ ReportCheckResult check_run_report(const std::string& json) {
     // *partition* of the run's network energy — every joule lands in
     // exactly one (interface, kind, app) bucket.
     if (ledger.has_value() && cellular.has_value()) {
-      const ParsedEnergyReport* reports[2] = {
-          &cellular.value(), wifi.has_value() ? &wifi.value() : nullptr};
+      std::vector<const ParsedEnergyReport*> reports{&cellular.value()};
+      if (wifi.has_value()) reports.push_back(&wifi.value());
+      for (const ParsedEnergyReport& r : extras) reports.push_back(&r);
       double tx_by_kind[2] = {0.0, 0.0};
       double tail_by_kind[2] = {0.0, 0.0};
       double setup = 0.0;
       double transmissions = 0.0;
       for (const ParsedEnergyReport* r : reports) {
-        if (r == nullptr) continue;
         for (int k = 0; k < 2; ++k) {
           tx_by_kind[k] += r->tx_by_kind[k];
           tail_by_kind[k] += r->tail_by_kind[k];

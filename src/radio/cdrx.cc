@@ -1,0 +1,143 @@
+#include "radio/cdrx.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace etrain::radio {
+
+std::string to_string(CdrxState s) {
+  switch (s) {
+    case CdrxState::kActive: return "ACTIVE";
+    case CdrxState::kShortDrx: return "SHORT_DRX";
+    case CdrxState::kLongDrx: return "LONG_DRX";
+    case CdrxState::kIdle: return "IDLE";
+  }
+  return "?";
+}
+
+Watts CdrxParams::duty_extra_power(Duration cycle) const {
+  const Duration on = std::min(on_duration, cycle);
+  return (on * active_extra_power + (cycle - on) * sleep_extra_power) / cycle;
+}
+
+void CdrxParams::validate() const {
+  if (!(inactivity > 0.0)) {
+    throw std::invalid_argument("CdrxParams: inactivity must be positive");
+  }
+  if (!(on_duration > 0.0) || !(short_cycle > 0.0) || !(long_cycle > 0.0)) {
+    throw std::invalid_argument(
+        "CdrxParams: on_duration and cycle lengths must be positive");
+  }
+  if (on_duration > short_cycle || short_cycle > long_cycle) {
+    throw std::invalid_argument(
+        "CdrxParams: need on_duration <= short_cycle <= long_cycle");
+  }
+  if (short_window < 0.0 || long_window < 0.0) {
+    throw std::invalid_argument("CdrxParams: windows must be non-negative");
+  }
+  if (active_extra_power < sleep_extra_power || sleep_extra_power < 0.0) {
+    throw std::invalid_argument(
+        "CdrxParams: need active power >= sleep power >= 0");
+  }
+  if (short_wake_delay < 0.0 || long_wake_delay < 0.0 ||
+      idle_wake_delay < 0.0) {
+    throw std::invalid_argument(
+        "CdrxParams: wake delays must be non-negative");
+  }
+}
+
+PowerModel CdrxParams::to_power_model() const {
+  validate();
+  PowerModel m;
+  m.name = "LteCdrx";
+  m.idle_power = idle_power;
+  m.dch_extra_power = active_extra_power;
+  m.fach_extra_power = duty_extra_power(short_cycle);
+  m.tx_extra_power = tx_extra_power;
+  m.dch_tail = inactivity;
+  m.fach_tail = short_window;
+  m.idle_to_dch_delay = idle_wake_delay;
+  m.fach_to_dch_delay = short_wake_delay;
+  if (long_window > 0.0) {
+    m.extra_tail.push_back(TailPhase{long_window, duty_extra_power(long_cycle),
+                                     long_wake_delay});
+  }
+  return m;
+}
+
+CdrxStateMachine::CdrxStateMachine(const CdrxParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+void CdrxStateMachine::check_monotone(TimePoint t) {
+  if (t < last_event_) {
+    throw std::invalid_argument("CdrxStateMachine: time went backwards");
+  }
+  last_event_ = t;
+}
+
+void CdrxStateMachine::on_transmission_start(TimePoint t) {
+  check_monotone(t);
+  if (tx_start_.has_value()) {
+    throw std::logic_error("CdrxStateMachine: already transmitting");
+  }
+  tx_start_ = t;
+}
+
+void CdrxStateMachine::on_transmission_end(TimePoint t) {
+  check_monotone(t);
+  if (!tx_start_.has_value()) {
+    throw std::logic_error("CdrxStateMachine: no transmission in flight");
+  }
+  tx_start_.reset();
+  last_end_ = t;
+}
+
+CdrxState CdrxStateMachine::state_at(TimePoint t) const {
+  if (t < last_event_) {
+    throw std::invalid_argument("CdrxStateMachine: query before last event");
+  }
+  if (tx_start_.has_value()) return CdrxState::kActive;
+  if (!last_end_.has_value()) return CdrxState::kIdle;
+  const Duration elapsed = t - *last_end_;
+  if (elapsed < params_.inactivity) return CdrxState::kActive;
+  if (elapsed < params_.inactivity + params_.short_window) {
+    return CdrxState::kShortDrx;
+  }
+  if (elapsed <
+      params_.inactivity + params_.short_window + params_.long_window) {
+    return CdrxState::kLongDrx;
+  }
+  return CdrxState::kIdle;
+}
+
+Watts CdrxStateMachine::power_at(TimePoint t) const {
+  if (tx_start_.has_value() && t >= *tx_start_) {
+    return params_.idle_power + params_.tx_extra_power;
+  }
+  switch (state_at(t)) {
+    case CdrxState::kActive:
+      return params_.idle_power + params_.active_extra_power;
+    case CdrxState::kShortDrx:
+      return params_.idle_power +
+             params_.duty_extra_power(params_.short_cycle);
+    case CdrxState::kLongDrx:
+      return params_.idle_power + params_.duty_extra_power(params_.long_cycle);
+    case CdrxState::kIdle:
+      return params_.idle_power;
+  }
+  return params_.idle_power;
+}
+
+Duration CdrxStateMachine::promotion_delay_at(TimePoint t) const {
+  switch (state_at(t)) {
+    case CdrxState::kActive: return 0.0;
+    case CdrxState::kShortDrx: return params_.short_wake_delay;
+    case CdrxState::kLongDrx: return params_.long_wake_delay;
+    case CdrxState::kIdle: return params_.idle_wake_delay;
+  }
+  return params_.idle_wake_delay;
+}
+
+}  // namespace etrain::radio

@@ -1,0 +1,123 @@
+// LTE/5G connected-mode DRX (CDRX), expressed in the paper's piecewise-
+// linear tail formalism.
+//
+// After a transmission the radio holds continuous reception for the
+// inactivity timer, then cycles through short DRX (brief on-durations every
+// short cycle), then long DRX (same duty cycling at a longer period), and
+// finally releases the RRC connection. Energy-wise each stage is a
+// constant-average-power window — the duty-cycled stages at
+//
+//   P_avg(cycle) = (on * P_active + (cycle - on) * P_sleep) / cycle
+//
+// — so the whole ladder compiles down to a PowerModel: inactivity -> the
+// DCH window, the short-DRX window -> FACH, the long-DRX window -> one
+// extra TailPhase. The offline EnergyMeter then bills CDRX runs with zero
+// new code.
+//
+// Two implementations of the same semantics exist on purpose:
+// CdrxStateMachine answers online state/power/promotion queries straight
+// from the CdrxParams, while to_power_model() + EnergyMeter replay a
+// finished log. tests/radio_cdrx_test.cpp cross-checks them on random
+// transmission logs, mirroring the 3G RrcStateMachine/EnergyMeter pair.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "radio/power_model.h"
+
+namespace etrain::radio {
+
+/// CDRX sleep-ladder stages (the CDRX analogue of RrcState).
+enum class CdrxState {
+  kActive,    ///< continuous reception; inactivity timer running
+  kShortDrx,  ///< short DRX cycles
+  kLongDrx,   ///< long DRX cycles
+  kIdle,      ///< RRC released
+};
+
+std::string to_string(CdrxState s);
+
+/// All tunable CDRX parameters. Durations in seconds, powers in watts
+/// (constructed from the registry's *_mw knobs).
+struct CdrxParams {
+  /// Inactivity timer: continuous reception after the last activity.
+  Duration inactivity = 10.0;
+  /// On-duration per DRX cycle (shared by short and long cycles).
+  Duration on_duration = 0.01;
+  /// Short DRX cycle length and the total short-DRX window.
+  Duration short_cycle = 0.02;
+  Duration short_window = 0.64;
+  /// Long DRX cycle length and the total long-DRX window before release.
+  Duration long_cycle = 1.28;
+  Duration long_window = 10.24;
+
+  /// Absolute idle (RRC released) baseline power.
+  Watts idle_power = milliwatts(25.0);
+  /// Power above idle in continuous reception / during an on-duration.
+  Watts active_extra_power = milliwatts(1000.0);
+  /// Power above idle while dozing between on-durations.
+  Watts sleep_extra_power = milliwatts(10.0);
+  /// Power above idle with data in flight.
+  Watts tx_extra_power = milliwatts(1500.0);
+
+  /// Promotion latencies: resuming from short DRX (wait for the next
+  /// on-duration), from long DRX, and a full RRC setup from idle.
+  Duration short_wake_delay = 0.01;
+  Duration long_wake_delay = 0.05;
+  Duration idle_wake_delay = 0.26;
+
+  /// Duty-cycled average power (above idle) of a DRX stage with the given
+  /// cycle length.
+  Watts duty_extra_power(Duration cycle) const;
+
+  /// Throws std::invalid_argument on inconsistent parameters (non-positive
+  /// timers, on_duration longer than a cycle, short cycle longer than
+  /// long).
+  void validate() const;
+
+  /// Compiles the ladder to an equivalent PowerModel (name "LteCdrx"):
+  /// same piecewise-linear tail energy, same promotion delays via
+  /// promotion_delay_after_gap.
+  PowerModel to_power_model() const;
+};
+
+/// Online CDRX tracker: answers "what stage is the radio in at t", "what
+/// does it draw", and "how long until data can flow" as transmissions
+/// start and finish. The API mirrors RrcStateMachine.
+class CdrxStateMachine {
+ public:
+  explicit CdrxStateMachine(const CdrxParams& params);
+
+  /// Marks the start of (the data phase of) a transmission at time t.
+  /// Precondition: not already transmitting, t monotone.
+  void on_transmission_start(TimePoint t);
+  /// Marks the end of a transmission at time t (t >= matching start).
+  void on_transmission_end(TimePoint t);
+
+  bool transmitting() const { return tx_start_.has_value(); }
+
+  /// Stage at time t (>= the last recorded event); kActive while a
+  /// transmission is in flight.
+  CdrxState state_at(TimePoint t) const;
+
+  /// Average total power at time t (idle baseline + stage/tx extra).
+  Watts power_at(TimePoint t) const;
+
+  /// Promotion latency before data can flow for a transmission requested
+  /// at time t; zero in continuous reception.
+  Duration promotion_delay_at(TimePoint t) const;
+
+  std::optional<TimePoint> last_activity_end() const { return last_end_; }
+  const CdrxParams& params() const { return params_; }
+
+ private:
+  CdrxParams params_;
+  std::optional<TimePoint> tx_start_;
+  std::optional<TimePoint> last_end_;
+  TimePoint last_event_ = kTimeZero;
+
+  void check_monotone(TimePoint t);
+};
+
+}  // namespace etrain::radio

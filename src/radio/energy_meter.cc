@@ -22,6 +22,14 @@ TailSplit split_tail(const PowerModel& model, Duration gap) {
   const Duration fach_part =
       std::clamp(gap - model.dch_tail, 0.0, model.fach_tail);
   split.fach = model.fach_extra_power * fach_part;
+  // Extra tail phases (CDRX long-DRX windows) bill like FACH extensions,
+  // into the FACH bucket — the ledger keeps its two-way tail split.
+  Duration boundary = model.dch_tail + model.fach_tail;
+  for (const TailPhase& p : model.extra_tail) {
+    if (gap <= boundary) break;
+    split.fach += p.extra_power * std::min(gap - boundary, p.length);
+    boundary += p.length;
+  }
   return split;
 }
 
@@ -99,8 +107,13 @@ Watts power_at(const TransmissionLog& log, const PowerModel& model,
   if (elapsed < model.dch_tail) {
     return model.idle_power + model.dch_extra_power;
   }
-  if (elapsed < model.tail_time()) {
+  if (elapsed < model.dch_tail + model.fach_tail) {
     return model.idle_power + model.fach_extra_power;
+  }
+  Duration boundary = model.dch_tail + model.fach_tail;
+  for (const TailPhase& p : model.extra_tail) {
+    boundary += p.length;
+    if (elapsed < boundary) return model.idle_power + p.extra_power;
   }
   return model.idle_power;
 }

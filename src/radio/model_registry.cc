@@ -1,0 +1,336 @@
+#include "radio/model_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/spec.h"
+
+namespace etrain::radio {
+
+BytesPerSecond LoraLinkParams::data_rate() const {
+  // Airtime doubles per spreading-factor step (minus the sf chips-per-
+  // symbol gain); anchor the familiar mid-range SF9 at ~1.1 kB/s.
+  return 1100.0 * (spreading_factor / 9.0) *
+         std::pow(2.0, 9.0 - spreading_factor);
+}
+
+double RadioParams::get(const std::string& key, double fallback) const {
+  if (std::find(consumed_.begin(), consumed_.end(), key) == consumed_.end()) {
+    consumed_.push_back(key);
+  }
+  const auto it = knobs_.find(key);
+  return it == knobs_.end() ? fallback : it->second;
+}
+
+bool RadioParams::has(const std::string& key) const {
+  if (std::find(consumed_.begin(), consumed_.end(), key) == consumed_.end()) {
+    consumed_.push_back(key);
+  }
+  return knobs_.count(key) > 0;
+}
+
+std::vector<std::string> RadioParams::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : knobs_) {
+    if (std::find(consumed_.begin(), consumed_.end(), key) ==
+        consumed_.end()) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+void ModelRegistry::register_model(const std::string& name,
+                                   const std::string& help, Factory factory) {
+  if (!common::valid_spec_name(name)) {
+    throw std::invalid_argument("ModelRegistry: invalid radio name '" + name +
+                                "'");
+  }
+  if (!factory) {
+    throw std::invalid_argument("ModelRegistry: null factory for '" + name +
+                                "'");
+  }
+  if (!entries_.emplace(name, Entry{help, std::move(factory)}).second) {
+    throw std::invalid_argument("ModelRegistry: duplicate radio '" + name +
+                                "'");
+  }
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+const std::string& ModelRegistry::help(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("ModelRegistry: unknown radio '" + name +
+                                "'");
+  }
+  return it->second.help;
+}
+
+RadioModel ModelRegistry::make(const std::string& spec) const {
+  common::ParsedSpec parsed =
+      common::parse_spec(spec, "radio", /*allow_flags=*/true);
+  const auto it = entries_.find(parsed.name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument("unknown radio '" + parsed.name +
+                                "' (known: " + known + ")");
+  }
+  const RadioParams params(std::move(parsed.knobs), std::move(parsed.flags));
+  RadioModel model = it->second.factory(params);
+  const auto leftover = params.unconsumed();
+  if (!leftover.empty()) {
+    std::string text;
+    for (const auto& k : leftover) text += text.empty() ? k : ", " + k;
+    throw std::invalid_argument("radio '" + parsed.name +
+                                "': unknown knob(s) " + text + " — " +
+                                it->second.help);
+  }
+  model.spec = spec;
+  return model;
+}
+
+namespace {
+
+/// Exactly one (or zero -> `fallback`) flag out of `allowed`.
+std::string single_flag(const RadioParams& params, const std::string& radio,
+                        const std::vector<std::string>& allowed,
+                        const std::string& fallback) {
+  std::string chosen;
+  for (const std::string& flag : params.flags()) {
+    if (std::find(allowed.begin(), allowed.end(), flag) == allowed.end()) {
+      std::string known;
+      for (const auto& a : allowed) known += known.empty() ? a : ", " + a;
+      throw std::invalid_argument("radio '" + radio + "': unknown flag '" +
+                                  flag + "' (known: " +
+                                  (known.empty() ? "none" : known) + ")");
+    }
+    if (!chosen.empty()) {
+      throw std::invalid_argument("radio '" + radio +
+                                  "': conflicting flags '" + chosen +
+                                  "' and '" + flag + "'");
+    }
+    chosen = flag;
+  }
+  return chosen.empty() ? fallback : chosen;
+}
+
+/// Applies the shared PowerModel override knobs. Any override marks the
+/// preset name with a '*' so provenance never claims stock parameters for
+/// a tweaked radio.
+void apply_power_overrides(PowerModel& m, const RadioParams& params) {
+  // Fields are only written when the knob is present: presets must come out
+  // bit-identical to their raw parameter blocks (a mW round-trip of an
+  // untouched field would shift it by an ULP and break the byte-identity
+  // contract on existing reports).
+  bool touched = false;
+  const auto power_knob = [&](const char* key, Watts& field) {
+    if (!params.has(key)) return;
+    field = milliwatts(params.get(key, 0.0));
+    touched = true;
+  };
+  const auto time_knob = [&](const char* key, Duration& field) {
+    if (!params.has(key)) return;
+    field = params.get(key, 0.0);
+    touched = true;
+  };
+  power_knob("idle_mw", m.idle_power);
+  power_knob("dch_mw", m.dch_extra_power);
+  power_knob("fach_mw", m.fach_extra_power);
+  power_knob("tx_mw", m.tx_extra_power);
+  time_knob("dch_tail", m.dch_tail);
+  time_knob("fach_tail", m.fach_tail);
+  time_knob("idle_to_dch", m.idle_to_dch_delay);
+  time_knob("fach_to_dch", m.fach_to_dch_delay);
+  if (touched) m.name += "*";
+}
+
+constexpr const char* kPowerKnobHelp =
+    "idle_mw, dch_mw, fach_mw, tx_mw, dch_tail, fach_tail, idle_to_dch, "
+    "fach_to_dch";
+
+/// The raw 3G parameter blocks. PowerModel's named factories forward to
+/// these via the registry, so the numbers live here and nowhere else.
+PowerModel three_g_block(const std::string& preset) {
+  PowerModel m;  // field defaults ARE the paper's measured S4 parameters
+  if (preset == "paper") {
+    m.name = "PaperUmts3G";
+  } else if (preset == "sim") {
+    m.name = "PaperSimulation";
+    m.dch_tail = 2.5;
+    m.fach_tail = 7.5;
+  } else if (preset == "realistic") {
+    m.name = "Realistic3G";
+    m.idle_to_dch_delay = 2.0;
+    m.fach_to_dch_delay = 1.5;
+  } else {  // fast_dormancy
+    m.name = "FastDormancy3G";
+    m.dch_tail = 0.3;
+    m.fach_tail = 0.2;
+    m.idle_to_dch_delay = 2.0;
+    m.fach_to_dch_delay = 1.5;
+  }
+  return m;
+}
+
+ModelRegistry build_registry() {
+  ModelRegistry r;
+  r.register_model(
+      "3g",
+      std::string("flags: paper (default), sim, realistic, fast_dormancy; "
+                  "knobs: ") +
+          kPowerKnobHelp,
+      [](const RadioParams& p) {
+        RadioModel model;
+        model.interface_name = "cellular";
+        model.power = three_g_block(single_flag(
+            p, "3g", {"paper", "sim", "realistic", "fast_dormancy"},
+            "paper"));
+        apply_power_overrides(model.power, p);
+        model.bandwidth = p.get("bandwidth", 120.0e3);
+        return model;
+      });
+  r.register_model(
+      "wifi", std::string("knobs: bandwidth, ") + kPowerKnobHelp,
+      [](const RadioParams& p) {
+        RadioModel model;
+        model.interface_name = "wifi";
+        PowerModel m;
+        m.name = "WifiPsm";
+        m.idle_power = 0.0;  // doze overhead folded into the device baseline
+        m.dch_extra_power = milliwatts(600.0);  // awake, post-exchange
+        m.fach_extra_power = 0.0;
+        m.tx_extra_power = milliwatts(800.0);
+        m.dch_tail = 0.2;  // PSM timeout
+        m.fach_tail = 0.0;
+        m.idle_to_dch_delay = 0.05;  // doze wake-up / PS-poll
+        m.fach_to_dch_delay = 0.0;
+        apply_power_overrides(m, p);
+        model.power = m;
+        model.bandwidth = p.get("bandwidth", 2.0e6);
+        return model;
+      });
+  r.register_model(
+      "lte_drx",
+      std::string("legacy three-state LTE DRX approximation; knobs: "
+                  "bandwidth, ") +
+          kPowerKnobHelp,
+      [](const RadioParams& p) {
+        RadioModel model;
+        model.interface_name = "lte";
+        PowerModel m;
+        m.name = "LteDrx";
+        m.idle_power = milliwatts(25.0);
+        m.dch_extra_power = milliwatts(1000.0);  // CONNECTED, continuous rx
+        m.fach_extra_power = milliwatts(400.0);  // short-DRX
+        m.tx_extra_power = milliwatts(1500.0);
+        m.dch_tail = 6.0;   // inactivity timer before short DRX
+        m.fach_tail = 4.0;  // short DRX before RRC release
+        m.idle_to_dch_delay = 0.26;
+        m.fach_to_dch_delay = 0.1;
+        apply_power_overrides(m, p);
+        model.power = m;
+        model.bandwidth = p.get("bandwidth", 4.0e6);
+        return model;
+      });
+  r.register_model(
+      "lte_cdrx",
+      "knobs: inactivity, on_duration, drx_short, short_window, drx_long, "
+      "long_window, active_mw, sleep_mw, tx_mw, idle_mw, wake_short, "
+      "wake_long, wake_idle, bandwidth",
+      [](const RadioParams& p) {
+        CdrxParams c;
+        c.inactivity = p.get("inactivity", c.inactivity);
+        c.on_duration = p.get("on_duration", c.on_duration);
+        c.short_cycle = p.get("drx_short", c.short_cycle);
+        c.short_window = p.get("short_window", c.short_window);
+        c.long_cycle = p.get("drx_long", c.long_cycle);
+        c.long_window = p.get("long_window", c.long_window);
+        c.active_extra_power =
+            milliwatts(p.get("active_mw", c.active_extra_power * 1000.0));
+        c.sleep_extra_power =
+            milliwatts(p.get("sleep_mw", c.sleep_extra_power * 1000.0));
+        c.tx_extra_power =
+            milliwatts(p.get("tx_mw", c.tx_extra_power * 1000.0));
+        c.idle_power = milliwatts(p.get("idle_mw", c.idle_power * 1000.0));
+        c.short_wake_delay = p.get("wake_short", c.short_wake_delay);
+        c.long_wake_delay = p.get("wake_long", c.long_wake_delay);
+        c.idle_wake_delay = p.get("wake_idle", c.idle_wake_delay);
+        RadioModel model;
+        model.interface_name = "lte";
+        model.cdrx = c;
+        model.power = c.to_power_model();  // validates
+        model.bandwidth = p.get("bandwidth", 4.0e6);
+        return model;
+      });
+  r.register_model(
+      "lora",
+      "knobs: sf, ack_timeout, max_retries, heartbeat_period, "
+      "heartbeat_bytes, rx_window, rx_mw, tx_mw, wake",
+      [](const RadioParams& p) {
+        LoraLinkParams link;
+        link.spreading_factor = p.get("sf", link.spreading_factor);
+        if (link.spreading_factor < 5.0 || link.spreading_factor > 12.0) {
+          throw std::invalid_argument(
+              "radio 'lora': sf must be within [5, 12]");
+        }
+        link.ack_timeout = p.get("ack_timeout", link.ack_timeout);
+        link.max_retries =
+            static_cast<int>(p.get("max_retries", link.max_retries));
+        link.heartbeat_period =
+            p.get("heartbeat_period", link.heartbeat_period);
+        link.heartbeat_bytes = static_cast<Bytes>(p.get(
+            "heartbeat_bytes", static_cast<double>(link.heartbeat_bytes)));
+        if (link.ack_timeout <= 0.0 || link.max_retries < 0 ||
+            link.heartbeat_period < 0.0) {
+          throw std::invalid_argument(
+              "radio 'lora': ack_timeout must be positive, max_retries and "
+              "heartbeat_period non-negative");
+        }
+        RadioModel model;
+        model.interface_name = "lora";
+        model.lora = link;
+        PowerModel m;
+        m.name = "LoRaP2P";
+        m.idle_power = 0.0;  // second radio: baseline billed by cellular
+        // The post-transmission RX window (ACK wait / RX1+RX2 slots) plays
+        // the DCH-tail role; there is no FACH analogue.
+        m.dch_extra_power = milliwatts(p.get("rx_mw", 80.0));
+        m.fach_extra_power = 0.0;
+        m.tx_extra_power = milliwatts(p.get("tx_mw", 400.0));
+        m.dch_tail = p.get("rx_window", 1.0);
+        m.fach_tail = 0.0;
+        m.idle_to_dch_delay = p.get("wake", 0.05);  // wake + preamble
+        m.fach_to_dch_delay = 0.0;
+        model.power = m;
+        model.bandwidth = link.data_rate();
+        return model;
+      });
+  return r;
+}
+
+}  // namespace
+
+const ModelRegistry& builtin_model_registry() {
+  static const ModelRegistry registry = build_registry();
+  return registry;
+}
+
+RadioModel make_radio_model(const std::string& spec) {
+  return builtin_model_registry().make(spec);
+}
+
+}  // namespace etrain::radio

@@ -1,0 +1,132 @@
+// Unified radio construction: one string spec -> one RadioModel.
+//
+// The PolicyRegistry's spec grammar, applied to radios. Every entry point
+// that used to hard-code "the 3G PowerModel" (plus a special-cased Wi-Fi)
+// now accepts the same strings:
+//
+//   "3g:paper"                       preset flag (sim / realistic /
+//                                    fast_dormancy select the other blocks)
+//   "3g:paper,dch_tail=6"            preset + numeric knob overrides
+//   "lte_cdrx:drx_short=0.02,drx_long=1.28,inactivity=10"
+//   "lora:sf=9,heartbeat_period=30"  LoRa-class link with radio heartbeats
+//
+// A RadioModel is more than a PowerModel: it carries the ledger/provenance
+// interface name, the default link bandwidth, and — where the radio has
+// one — the CDRX sleep ladder or the LoRa link-protocol parameters that
+// the experiment harness wires into its per-interface channels.
+//
+// Unknown names, malformed specs and unknown knobs all throw
+// std::invalid_argument with the registry's loud messages (shared grammar:
+// common/spec.h). Like the PolicyRegistry, unknown-knob detection is
+// consumption-based: a factory that never reads "thta" fails the spec.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radio/cdrx.h"
+#include "radio/power_model.h"
+
+namespace etrain::radio {
+
+/// Link-protocol parameters of a LoRa-class interface, modeled on the
+/// LoRaSerial firmware's point-to-point mode: every data frame waits for
+/// an ACK and retransmits after a fixed timeout when it is lost, and the
+/// link emits its own periodic heartbeat datagrams (which the experiment
+/// harness feeds into the train timetable as a second train source).
+struct LoraLinkParams {
+  /// Spreading factor; the effective data rate scales as sf / 2^sf.
+  double spreading_factor = 9.0;
+  /// ACK wait before a retransmission.
+  Duration ack_timeout = 2.0;
+  /// Retransmissions per frame before the link reports failure.
+  int max_retries = 4;
+  /// Link heartbeat period (0 disables radio heartbeats).
+  Duration heartbeat_period = 0.0;
+  Bytes heartbeat_bytes = 12;
+
+  /// Effective payload rate for the spreading factor, bytes/second.
+  /// Anchored at sf=9 ~ 1.1 kB/s and halving (minus the sf gain) per step,
+  /// the familiar LoRa airtime scaling.
+  BytesPerSecond data_rate() const;
+};
+
+/// A fully-constructed radio interface model.
+struct RadioModel {
+  /// The spec string this model was built from (canonical provenance).
+  std::string spec;
+  /// Ledger / provenance interface key ("cellular", "wifi", "lte",
+  /// "lora"). Scenario builders may override for multi-instance setups.
+  std::string interface_name = "cellular";
+  /// The piecewise-linear energy model (EnergyMeter bills against this).
+  PowerModel power;
+  /// Default link bandwidth for interfaces that bring their own channel.
+  BytesPerSecond bandwidth = 120.0e3;
+  /// Present on lte_cdrx models: the sleep ladder `power` was compiled
+  /// from (the online CdrxStateMachine consumes this).
+  std::optional<CdrxParams> cdrx;
+  /// Present on lora models: the ACK/retransmit link protocol.
+  std::optional<LoraLinkParams> lora;
+};
+
+/// Knob bag handed to radio factories; same consumption-tracking contract
+/// as core::PolicyParams (an unread knob fails the spec).
+class RadioParams {
+ public:
+  RadioParams() = default;
+  RadioParams(std::map<std::string, double> knobs,
+              std::vector<std::string> flags)
+      : knobs_(std::move(knobs)), flags_(std::move(flags)) {}
+
+  double get(const std::string& key, double fallback) const;
+  bool has(const std::string& key) const;
+  /// The spec's flag tokens ("paper" in "3g:paper").
+  const std::vector<std::string>& flags() const { return flags_; }
+
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, double> knobs_;
+  std::vector<std::string> flags_;
+  mutable std::vector<std::string> consumed_;
+};
+
+class ModelRegistry {
+ public:
+  using Factory = std::function<RadioModel(const RadioParams&)>;
+
+  /// Registers a factory under `name` with a one-line help text listing
+  /// its flags and knobs. Throws on duplicates / invalid names.
+  void register_model(const std::string& name, const std::string& help,
+                      Factory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  const std::string& help(const std::string& name) const;
+
+  /// Builds a RadioModel from a spec ("name", "name:flag,knob=v"...).
+  /// Throws std::invalid_argument for unknown names, malformed specs,
+  /// unknown flags and unknown (unconsumed) knobs.
+  RadioModel make(const std::string& spec) const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-wide registry pre-populated with the built-in radios:
+/// 3g (flags paper / sim / realistic / fast_dormancy), wifi, lte_drx
+/// (the legacy three-state LTE approximation), lte_cdrx, lora.
+const ModelRegistry& builtin_model_registry();
+
+/// builtin_model_registry().make(spec).
+RadioModel make_radio_model(const std::string& spec);
+
+}  // namespace etrain::radio

@@ -1,6 +1,6 @@
 #include "radio/power_model.h"
 
-#include <algorithm>
+#include "radio/model_registry.h"
 
 namespace etrain::radio {
 
@@ -18,8 +18,17 @@ Joules PowerModel::tail_energy(Duration gap) const {
   if (gap <= dch_tail) {                           // (2) still in DCH
     return dch_extra_power * gap;
   }
-  if (gap <= tail_time()) {                        // (3) in FACH
+  if (gap <= dch_tail + fach_tail) {               // (3) in FACH
     return dch_extra_power * dch_tail + fach_extra_power * (gap - dch_tail);
+  }
+  Joules energy = dch_extra_power * dch_tail + fach_extra_power * fach_tail;
+  Duration boundary = dch_tail + fach_tail;
+  for (const TailPhase& p : extra_tail) {          // (3b) in an extra phase
+    if (gap <= boundary + p.length) {
+      return energy + p.extra_power * (gap - boundary);
+    }
+    energy += p.extra_power * p.length;
+    boundary += p.length;
   }
   return full_tail_energy();                       // (4) demoted to IDLE
 }
@@ -33,64 +42,40 @@ Watts PowerModel::extra_power(RrcState s) const {
   return 0.0;
 }
 
+Duration PowerModel::promotion_delay_after_gap(Duration elapsed) const {
+  if (elapsed < dch_tail) return 0.0;
+  if (elapsed < dch_tail + fach_tail) return fach_to_dch_delay;
+  Duration boundary = dch_tail + fach_tail;
+  for (const TailPhase& p : extra_tail) {
+    boundary += p.length;
+    if (elapsed < boundary) return p.wake_delay;
+  }
+  return idle_to_dch_delay;
+}
+
+// The preset factories are thin wrappers over the ModelRegistry (the
+// registry's spec strings are the public naming scheme; these stay for
+// source compatibility). The raw parameter blocks live in
+// model_registry.cc.
+
 PowerModel PowerModel::PaperUmts3G() {
-  PowerModel m;
-  m.name = "PaperUmts3G";
-  return m;
+  return make_radio_model("3g:paper").power;
 }
 
 PowerModel PowerModel::PaperSimulation() {
-  PowerModel m;
-  m.name = "PaperSimulation";
-  m.dch_tail = 2.5;
-  m.fach_tail = 7.5;
-  return m;
+  return make_radio_model("3g:sim").power;
 }
 
 PowerModel PowerModel::Realistic3G() {
-  PowerModel m;
-  m.name = "Realistic3G";
-  m.idle_to_dch_delay = 2.0;
-  m.fach_to_dch_delay = 1.5;
-  return m;
+  return make_radio_model("3g:realistic").power;
 }
 
 PowerModel PowerModel::FastDormancy3G() {
-  PowerModel m;
-  m.name = "FastDormancy3G";
-  m.dch_tail = 0.3;
-  m.fach_tail = 0.2;
-  m.idle_to_dch_delay = 2.0;
-  m.fach_to_dch_delay = 1.5;
-  return m;
+  return make_radio_model("3g:fast_dormancy").power;
 }
 
-PowerModel PowerModel::WifiPsm() {
-  PowerModel m;
-  m.name = "WifiPsm";
-  m.idle_power = 0.0;  // doze overhead folded into the device baseline
-  m.dch_extra_power = milliwatts(600.0);  // awake, post-exchange
-  m.fach_extra_power = 0.0;
-  m.tx_extra_power = milliwatts(800.0);
-  m.dch_tail = 0.2;  // PSM timeout
-  m.fach_tail = 0.0;
-  m.idle_to_dch_delay = 0.05;  // doze wake-up / PS-poll
-  m.fach_to_dch_delay = 0.0;
-  return m;
-}
+PowerModel PowerModel::WifiPsm() { return make_radio_model("wifi").power; }
 
-PowerModel PowerModel::LteDrx() {
-  PowerModel m;
-  m.name = "LteDrx";
-  m.idle_power = milliwatts(25.0);
-  m.dch_extra_power = milliwatts(1000.0);   // CONNECTED, continuous reception
-  m.fach_extra_power = milliwatts(400.0);   // short-DRX
-  m.tx_extra_power = milliwatts(1500.0);
-  m.dch_tail = 6.0;   // inactivity timer before short DRX
-  m.fach_tail = 4.0;  // short DRX before RRC release
-  m.idle_to_dch_delay = 0.26;
-  m.fach_to_dch_delay = 0.1;
-  return m;
-}
+PowerModel PowerModel::LteDrx() { return make_radio_model("lte_drx").power; }
 
 }  // namespace etrain::radio

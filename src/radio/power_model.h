@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/time.h"
 
@@ -28,6 +29,18 @@ enum class RrcState {
 };
 
 std::string to_string(RrcState s);
+
+/// One additional tail phase after the FACH window. The classic 3G model
+/// needs none; duty-cycled radios (LTE/5G CDRX long-DRX windows) compile
+/// their extra sleep stages down to these. Energy-wise an extra phase bills
+/// like a FACH extension: `extra_power` above idle for up to `length`
+/// seconds, and a transmission starting inside the phase pays `wake_delay`
+/// of promotion.
+struct TailPhase {
+  Duration length = 0.0;
+  Watts extra_power = 0.0;
+  Duration wake_delay = 0.0;
+};
 
 /// All tunable physical parameters of the radio. Immutable value type;
 /// construct via the named factory presets below or designated initializers.
@@ -67,12 +80,28 @@ struct PowerModel {
   Duration idle_to_dch_delay = 0.0;
   Duration fach_to_dch_delay = 0.0;
 
-  /// Total tail time T_tail = delta_D + delta_F.
-  Duration tail_time() const { return dch_tail + fach_tail; }
+  /// Extra tail phases after the FACH window (empty for the 3G presets —
+  /// every formula below reduces bit-for-bit to the classic two-phase model
+  /// when this is empty). CDRX models put their long-DRX window here.
+  std::vector<TailPhase> extra_tail;
+
+  /// Combined length of the extra phases (0 when none).
+  Duration extra_tail_time() const {
+    Duration sum = 0.0;
+    for (const TailPhase& p : extra_tail) sum += p.length;
+    return sum;
+  }
+
+  /// Total tail time T_tail = delta_D + delta_F (+ any extra phases).
+  Duration tail_time() const {
+    return dch_tail + fach_tail + extra_tail_time();
+  }
 
   /// Energy of one complete, uninterrupted tail.
   Joules full_tail_energy() const {
-    return dch_extra_power * dch_tail + fach_extra_power * fach_tail;
+    Joules extra = 0.0;
+    for (const TailPhase& p : extra_tail) extra += p.extra_power * p.length;
+    return dch_extra_power * dch_tail + fach_extra_power * fach_tail + extra;
   }
 
   /// The paper's tail-energy wastage function E_tail(Delta): the extra
@@ -82,6 +111,14 @@ struct PowerModel {
 
   /// Extra power (above idle) of the given state when not transmitting.
   Watts extra_power(RrcState s) const;
+
+  /// RRC promotion latency a transmission pays when it starts `elapsed`
+  /// seconds after the previous activity ended: zero inside the DCH
+  /// window, fach_to_dch_delay in the FACH window, each extra phase's
+  /// wake_delay inside it, idle_to_dch_delay past the whole tail. The
+  /// slotted harness's Uplink and the gateway's ClientSession both derive
+  /// their setup phases from this single function.
+  Duration promotion_delay_after_gap(Duration elapsed) const;
 
   /// Paper-faithful Samsung Galaxy S4 TD-SCDMA parameters as *measured* on
   /// the device (Sec. II-C/II-D, Fig. 4): delta_D = 10 s, delta_F = 7.5 s,

@@ -2,9 +2,16 @@
 
 #include <stdexcept>
 
+#include "radio/model_registry.h"
 #include "radio/power_monitor.h"
 
 namespace etrain::system {
+
+void EtrainSystem::Config::set_radio(const std::string& spec) {
+  const radio::RadioModel resolved = radio::make_radio_model(spec);
+  model = resolved.power;
+  radio_spec = resolved.spec;
+}
 
 EtrainSystem::EtrainSystem(Config config, net::BandwidthTrace trace)
     : config_(config), trace_(std::move(trace)) {

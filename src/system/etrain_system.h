@@ -19,7 +19,12 @@ namespace etrain::system {
 class EtrainSystem {
  public:
   struct Config {
+    /// Radio model for the device's uplink. Prefer set_radio() over
+    /// assigning directly: it resolves a ModelRegistry spec ("3g:paper",
+    /// "lte_cdrx:inactivity=5"...) and records the spec for provenance.
     radio::PowerModel model = radio::PowerModel::PaperUmts3G();
+    /// The registry spec `model` came from.
+    std::string radio_spec = "3g:paper";
     EtrainService::Config service;
     Duration horizon = 7200.0;
     /// Downlink bandwidth for prefetch cargo; empty = downloads use the
@@ -42,6 +47,10 @@ class EtrainSystem {
     /// energy meter's TailCharge records; the registry's snapshot lands in
     /// RunMetrics::observed.
     obs::Observers observers;
+
+    /// Resolves `spec` through radio::builtin_model_registry() into
+    /// `model` + `radio_spec`. Throws std::invalid_argument on bad specs.
+    void set_radio(const std::string& spec);
   };
 
   EtrainSystem(Config config, net::BandwidthTrace trace);

@@ -1,0 +1,127 @@
+// Tests for the shared spec-string grammar (common/spec.h) and for the
+// two registries built on it: malformed specs must fail loudly — and with
+// the same messages — whether they name a policy or a radio.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/registry.h"
+#include "common/spec.h"
+#include "radio/model_registry.h"
+
+namespace etrain::common {
+namespace {
+
+TEST(ParseSpec, NameOnly) {
+  const ParsedSpec p = parse_spec("etrain", "policy", false);
+  EXPECT_EQ(p.name, "etrain");
+  EXPECT_TRUE(p.knobs.empty());
+  EXPECT_TRUE(p.flags.empty());
+}
+
+TEST(ParseSpec, KnobsAndFlags) {
+  const ParsedSpec p = parse_spec("3g:paper,dch_tail=6,bandwidth=2e5",
+                                  "radio", /*allow_flags=*/true);
+  EXPECT_EQ(p.name, "3g");
+  ASSERT_EQ(p.flags.size(), 1u);
+  EXPECT_EQ(p.flags[0], "paper");
+  ASSERT_EQ(p.knobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.knobs.at("dch_tail"), 6.0);
+  EXPECT_DOUBLE_EQ(p.knobs.at("bandwidth"), 2e5);
+}
+
+TEST(ParseSpec, NegativeAndScientificValues) {
+  const ParsedSpec p =
+      parse_spec("x:a=-1.5,b=1e-3,c=0", "policy", /*allow_flags=*/false);
+  EXPECT_DOUBLE_EQ(p.knobs.at("a"), -1.5);
+  EXPECT_DOUBLE_EQ(p.knobs.at("b"), 1e-3);
+  EXPECT_DOUBLE_EQ(p.knobs.at("c"), 0.0);
+}
+
+void expect_throws_with(const std::string& spec, const std::string& domain,
+                        bool allow_flags, const std::string& needle) {
+  try {
+    parse_spec(spec, domain, allow_flags);
+    FAIL() << "no exception for '" << spec << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(ParseSpec, RejectsMalformedSpecs) {
+  expect_throws_with("", "policy", false, "missing policy name");
+  expect_throws_with(":theta=1", "policy", false, "missing policy name");
+  expect_throws_with("etrain:", "policy", false, "empty knob assignment");
+  expect_throws_with("etrain:theta=1,,k=2", "policy", false,
+                     "empty knob assignment");
+  expect_throws_with("etrain:theta", "policy", false,
+                     "not of the form key=value");
+  expect_throws_with("etrain:=1", "policy", false,
+                     "not of the form key=value");
+  expect_throws_with("etrain:theta=", "policy", false,
+                     "not of the form key=value");
+  expect_throws_with("etrain:theta=abc", "policy", false,
+                     "non-numeric value 'abc'");
+  expect_throws_with("etrain:theta=1,theta=2", "policy", false,
+                     "duplicate knob 'theta'");
+}
+
+TEST(ParseSpec, FlagHandlingPerDomain) {
+  // Bare tokens are flags only when the registry allows them.
+  expect_throws_with("etrain:fast", "policy", false,
+                     "not of the form key=value");
+  const ParsedSpec p = parse_spec("3g:fast", "radio", true);
+  ASSERT_EQ(p.flags.size(), 1u);
+  EXPECT_EQ(p.flags[0], "fast");
+  expect_throws_with("3g:paper,paper", "radio", true, "duplicate flag");
+}
+
+TEST(ParseSpec, DomainFlavoursTheMessage) {
+  expect_throws_with("", "radio", true, "radio spec '': missing radio name");
+  expect_throws_with("", "policy", false,
+                     "policy spec '': missing policy name");
+}
+
+TEST(ValidSpecName, RejectsMetaCharacters) {
+  EXPECT_TRUE(valid_spec_name("lte_cdrx"));
+  EXPECT_TRUE(valid_spec_name("3g"));
+  EXPECT_TRUE(valid_spec_name("baseline+wifi"));
+  EXPECT_FALSE(valid_spec_name(""));
+  EXPECT_FALSE(valid_spec_name("a:b"));
+  EXPECT_FALSE(valid_spec_name("a,b"));
+  EXPECT_FALSE(valid_spec_name("a=b"));
+}
+
+// Both registries surface the shared parser's messages unchanged.
+
+TEST(RegistrySpecErrors, PolicyRegistryUsesSharedGrammar) {
+  EXPECT_THROW(baselines::make_policy("etrain:theta"), std::invalid_argument);
+  EXPECT_THROW(baselines::make_policy("etrain:theta=abc"),
+               std::invalid_argument);
+  try {
+    baselines::make_policy("etrain:theta=1,theta=2");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate knob 'theta'"),
+              std::string::npos);
+  }
+}
+
+TEST(RegistrySpecErrors, ModelRegistryUsesSharedGrammar) {
+  EXPECT_THROW(radio::make_radio_model("3g:dch_tail="),
+               std::invalid_argument);
+  EXPECT_THROW(radio::make_radio_model("3g:dch_tail=ten"),
+               std::invalid_argument);
+  try {
+    radio::make_radio_model("3g:dch_tail=1,dch_tail=2");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate knob 'dch_tail'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("radio spec"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace etrain::common

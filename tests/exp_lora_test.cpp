@@ -1,0 +1,193 @@
+// LoRa-class link semantics end to end: radio heartbeats as a second
+// train source (merged into the timetable by ScenarioBuilder), per-packet
+// routing onto the link via "select:lora;...", ACK-timeout-paced
+// retransmissions driven by the scenario's FaultPlan, and fallback to the
+// cellular path when the link exhausts its retries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "baselines/registry.h"
+#include "exp/scenario_builder.h"
+#include "exp/slotted_sim.h"
+#include "obs/metrics.h"
+
+namespace etrain::experiments {
+namespace {
+
+RunMetrics run(const Scenario& s, const std::string& spec,
+               obs::Registry* registry = nullptr) {
+  const auto policy = baselines::make_policy(spec);
+  return run_slotted(s, *policy, obs::Observers{nullptr, registry});
+}
+
+TEST(ExpLoraTest, HeartbeatsJoinTheTimetableAsASecondTrainSource) {
+  const Scenario s =
+      ScenarioBuilder()
+          .lambda(0.05)
+          .horizon(600.0)
+          .interfaces({"lora:sf=9,heartbeat_period=30,heartbeat_bytes=24"})
+          .build();
+  ASSERT_EQ(s.extra_interfaces.size(), 1u);
+  EXPECT_EQ(s.extra_interfaces[0].radio.interface_name, "lora");
+  EXPECT_EQ(s.extra_interfaces[0].radio.spec,
+            "lora:sf=9,heartbeat_period=30,heartbeat_bytes=24");
+
+  // The link beacons ride in the merged timetable on slot 2, 30 s apart,
+  // without displacing the cellular trains.
+  std::vector<TimePoint> beacons;
+  bool has_cellular = false;
+  for (const auto& e : s.trains) {
+    if (e.interface == core::kInterfaceExtraBase) {
+      EXPECT_EQ(e.bytes, 24);
+      beacons.push_back(e.time);
+    } else {
+      EXPECT_EQ(e.interface, core::kInterfaceCellular);
+      has_cellular = true;
+    }
+  }
+  EXPECT_TRUE(has_cellular);
+  ASSERT_GE(beacons.size(), 19u);  // ~600/30
+  for (std::size_t i = 1; i < beacons.size(); ++i) {
+    EXPECT_DOUBLE_EQ(beacons[i] - beacons[i - 1], 30.0);
+  }
+  EXPECT_TRUE(std::is_sorted(s.trains.begin(), s.trains.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.time < b.time;
+                             }));
+
+  // Running the scenario lands those beacons in the LoRa log — and only
+  // there: the cellular heartbeat count matches a lora-free twin.
+  obs::Registry registry;
+  const RunMetrics m = run(s, "baseline", &registry);
+  ASSERT_EQ(m.extras.size(), 1u);
+  std::size_t link_beats = 0;
+  for (const auto& tx : m.extras[0].log.entries()) {
+    if (tx.kind == radio::TxKind::kHeartbeat) ++link_beats;
+  }
+  EXPECT_EQ(link_beats, beacons.size());
+  EXPECT_GT(m.extras[0].energy.network_energy(), 0.0);
+
+  const Scenario plain =
+      ScenarioBuilder().lambda(0.05).horizon(600.0).build();
+  const RunMetrics m0 = run(plain, "baseline");
+  const auto cellular_beats = [](const RunMetrics& r) {
+    std::size_t n = 0;
+    for (const auto& tx : r.log.entries()) {
+      if (tx.kind == radio::TxKind::kHeartbeat) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(cellular_beats(m), cellular_beats(m0));
+}
+
+TEST(ExpLoraTest, SelectRoutesCargoOntoTheHotLink) {
+  // A wide rx window keeps the link hot most of the time, so the select
+  // policy can actually route cargo onto it.
+  const Scenario s =
+      ScenarioBuilder()
+          .lambda(0.05)
+          .horizon(1200.0)
+          .interfaces({"lora:sf=9,heartbeat_period=10,rx_window=8"})
+          .build();
+  const RunMetrics m =
+      run(s, "select:lora;fallback=etrain:theta=1,k=20");
+  ASSERT_EQ(m.extras.size(), 1u);
+  std::size_t link_data = 0;
+  for (const auto& tx : m.extras[0].log.entries()) {
+    if (tx.kind == radio::TxKind::kData) {
+      ++link_data;
+      EXPECT_GE(tx.packet_id, 0);
+    }
+  }
+  EXPECT_GT(link_data, 0u);
+  // Every packet is delivered exactly once, wherever it was routed.
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  std::set<core::PacketId> ids;
+  for (const auto& o : m.outcomes) ids.insert(o.id);
+  EXPECT_EQ(ids.size(), m.outcomes.size());
+}
+
+TEST(ExpLoraTest, AckTimeoutPacesRetransmissions) {
+  const Scenario s =
+      ScenarioBuilder()
+          .lambda(0.05)
+          .horizon(1200.0)
+          .interfaces({"lora:sf=9,heartbeat_period=10,rx_window=8,"
+                       "ack_timeout=3"})
+          .loss(0.5)
+          .fault_seed(77)
+          .build();
+  obs::Registry registry;
+  const RunMetrics m =
+      run(s, "select:lora;fallback=etrain:theta=1,k=20", &registry);
+  ASSERT_EQ(m.extras.size(), 1u);
+
+  // Under 50 % frame loss the link must have retransmitted; a retry can
+  // only start once the 3 s ACK window on the failed frame has closed.
+  std::size_t retransmissions = 0;
+  const auto& entries = m.extras[0].log.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& tx = entries[i];
+    if (tx.kind != radio::TxKind::kData || tx.attempt <= 1) continue;
+    ++retransmissions;
+    ASSERT_GT(i, 0u);
+    const auto& prev = entries[i - 1];
+    EXPECT_EQ(prev.packet_id, tx.packet_id);
+    EXPECT_TRUE(prev.failed);
+    EXPECT_EQ(prev.attempt, tx.attempt - 1);
+    EXPECT_GE(tx.start, prev.end() + 3.0 - 1e-9);
+  }
+  EXPECT_GT(retransmissions, 0u);
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter("run.tx_retries"), 0u);
+  EXPECT_GT(snap.counter("run.tx_failures"), 0u);
+
+  // Same seed, same draws: the fault path is deterministic.
+  const RunMetrics m2 = run(s, "select:lora;fallback=etrain:theta=1,k=20");
+  ASSERT_EQ(m2.extras[0].log.entries().size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m2.extras[0].log.entries()[i].start, entries[i].start);
+    EXPECT_EQ(m2.extras[0].log.entries()[i].failed, entries[i].failed);
+  }
+}
+
+TEST(ExpLoraTest, RetryExhaustionFallsBackToCellular) {
+  // Total loss with a one-retry budget: every LoRa chain gives up, the
+  // packet rejoins its queue, and the cellular path (fault-free here by
+  // the horizon flush at the latest) delivers it.
+  const Scenario s =
+      ScenarioBuilder()
+          .lambda(0.05)
+          .horizon(600.0)
+          .interfaces({"lora:sf=9,heartbeat_period=10,rx_window=8,"
+                       "max_retries=1,ack_timeout=1"})
+          .loss(1.0)
+          .fault_seed(5)
+          .build();
+  obs::Registry registry;
+  const RunMetrics m =
+      run(s, "select:lora;fallback=etrain:theta=1,k=20", &registry);
+  ASSERT_EQ(m.extras.size(), 1u);
+
+  std::size_t link_chains = 0;
+  for (const auto& tx : m.extras[0].log.entries()) {
+    if (tx.kind != radio::TxKind::kData) continue;
+    EXPECT_TRUE(tx.failed);           // loss 1.0: no frame ever lands
+    EXPECT_LE(tx.attempt, 2);         // 1 try + 1 retransmission
+    if (tx.attempt == 1) ++link_chains;
+  }
+  EXPECT_GT(link_chains, 0u);
+  EXPECT_GT(registry.snapshot().counter("run.packets_recovered"), 0u);
+
+  // Despite the dead link every packet is eventually delivered, once.
+  EXPECT_EQ(m.outcomes.size(), s.packets.size());
+  std::set<core::PacketId> ids;
+  for (const auto& o : m.outcomes) ids.insert(o.id);
+  EXPECT_EQ(ids.size(), m.outcomes.size());
+}
+
+}  // namespace
+}  // namespace etrain::experiments

@@ -27,8 +27,12 @@ class RandomPolicy final : public core::SchedulingPolicy {
       for (const auto& p : queues.queue(app)) {
         const double roll = rng_.uniform(0.0, 1.0);
         if (roll < 0.15) {
-          out.push_back(core::Selection{app, p.packet.id,
-                                        /*via_wifi=*/roll < 0.05});
+          // Some selections target interfaces the scenario doesn't have
+          // (wifi, slot 2): the harness must fall back to cellular.
+          const int interface = roll < 0.03   ? core::kInterfaceWifi
+                                : roll < 0.05 ? core::kInterfaceExtraBase
+                                              : core::kInterfaceCellular;
+          out.push_back(core::Selection{app, p.packet.id, interface});
         }
       }
     }
@@ -69,7 +73,7 @@ TEST(StressRandomPolicy, InvariantsSurviveChaos) {
     for (std::size_t i = 1; i < m.log.size(); ++i) {
       EXPECT_GE(m.log[i].start, m.log[i - 1].end() - 1e-9);
     }
-    // No Wi-Fi in the scenario: via_wifi flags must have been ignored.
+    // No Wi-Fi in the scenario: wifi selections must have been ignored.
     EXPECT_EQ(m.wifi_log.size(), 0u);
   }
 }

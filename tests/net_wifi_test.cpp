@@ -1,8 +1,9 @@
-// Tests for Wi-Fi availability and the multi-interface policies.
+// Tests for Wi-Fi availability and the registry-built interface-selection
+// policies ("baseline+wifi", "etrain+wifi", "select:...").
 #include <gtest/gtest.h>
 
 #include "baselines/baseline_policy.h"
-#include "baselines/multi_interface_policy.h"
+#include "baselines/registry.h"
 #include "exp/slotted_sim.h"
 #include "net/wifi_availability.h"
 
@@ -105,8 +106,8 @@ Scenario wifi_scenario(net::WifiAvailability wifi) {
 
 TEST(MultiInterface, WifiPacketsLandInWifiLog) {
   const auto s = wifi_scenario(net::WifiAvailability::always(1800.0));
-  baselines::MultiInterfaceBaseline policy;
-  const auto m = run_slotted(s, policy);
+  const auto policy = baselines::make_policy("baseline+wifi");
+  const auto m = run_slotted(s, *policy);
   EXPECT_EQ(m.wifi_log.size(), s.packets.size());
   EXPECT_EQ(m.log.count(radio::TxKind::kData), 0u);
   EXPECT_GT(m.wifi_energy.network_energy(), 0.0);
@@ -117,19 +118,34 @@ TEST(MultiInterface, WifiPacketsLandInWifiLog) {
 TEST(MultiInterface, WifiMuchCheaperThanCellular) {
   const auto s = wifi_scenario(net::WifiAvailability::always(1800.0));
   baselines::BaselinePolicy cellular_only;
-  baselines::MultiInterfaceBaseline offload;
+  const auto offload = baselines::make_policy("baseline+wifi");
   const auto mc = run_slotted(s, cellular_only);
-  const auto mw = run_slotted(s, offload);
+  const auto mw = run_slotted(s, *offload);
   // Offloading the data leaves only heartbeat energy on cellular.
   EXPECT_LT(mw.network_energy(), 0.5 * mc.network_energy());
 }
 
 TEST(MultiInterface, ViaWifiIgnoredWhenUnavailable) {
   const auto s = wifi_scenario(net::WifiAvailability::none());
-  baselines::MultiInterfaceBaseline policy;
-  const auto m = run_slotted(s, policy);
+  const auto policy = baselines::make_policy("baseline+wifi");
+  const auto m = run_slotted(s, *policy);
   EXPECT_EQ(m.wifi_log.size(), 0u);
   EXPECT_EQ(m.log.count(radio::TxKind::kData), s.packets.size());
+}
+
+TEST(MultiInterface, SelectSpecMatchesWifiAlias) {
+  // "baseline+wifi" is an alias for "select:wifi" (with baseline fallback);
+  // both must route every packet identically.
+  const auto s = wifi_scenario(net::generate_wifi_pattern(
+      net::WifiPatternConfig{.horizon = 1800.0, .coverage = 0.5,
+                             .episode_mean = 300.0},
+      4));
+  const auto alias = baselines::make_policy("baseline+wifi");
+  const auto select = baselines::make_policy("select:wifi;fallback=baseline");
+  const auto ma = run_slotted(s, *alias);
+  const auto ms = run_slotted(s, *select);
+  EXPECT_EQ(ma.wifi_log.size(), ms.wifi_log.size());
+  EXPECT_DOUBLE_EQ(ma.network_energy(), ms.network_energy());
 }
 
 TEST(MultiInterface, EtrainHybridDelivershEverything) {
@@ -137,8 +153,8 @@ TEST(MultiInterface, EtrainHybridDelivershEverything) {
       net::WifiPatternConfig{.horizon = 1800.0, .coverage = 0.5,
                              .episode_mean = 300.0},
       4));
-  baselines::MultiInterfaceEtrain policy({.theta = 1.0, .k = 20});
-  const auto m = run_slotted(s, policy);
+  const auto policy = baselines::make_policy("etrain+wifi:theta=1,k=20");
+  const auto m = run_slotted(s, *policy);
   EXPECT_EQ(m.outcomes.size(), s.packets.size());
   EXPECT_GT(m.wifi_log.size(), 0u);
   EXPECT_GT(m.log.count(radio::TxKind::kData), 0u);
@@ -152,10 +168,11 @@ TEST(MultiInterface, HybridBeatsCellularOnlyEtrain) {
       net::WifiPatternConfig{.horizon = 1800.0, .coverage = 0.5,
                              .episode_mean = 300.0},
       4));
-  core::EtrainScheduler cellular({.theta = 1.0, .k = 20});
-  baselines::MultiInterfaceEtrain hybrid({.theta = 1.0, .k = 20});
-  const auto mc = run_slotted(s, cellular);
-  const auto mh = run_slotted(s, hybrid);
+  const auto cellular = baselines::make_policy("etrain:theta=1,k=20");
+  const auto hybrid =
+      baselines::make_policy("select:wifi;fallback=etrain:theta=1,k=20");
+  const auto mc = run_slotted(s, *cellular);
+  const auto mh = run_slotted(s, *hybrid);
   EXPECT_LT(mh.network_energy(), mc.network_energy());
   EXPECT_LE(mh.normalized_delay, mc.normalized_delay + 1e-9);
 }

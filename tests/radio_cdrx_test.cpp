@@ -1,0 +1,223 @@
+// Tests for the LTE/5G CDRX sleep ladder: parameter validation, the
+// online CdrxStateMachine, and the property that the machine and the
+// offline to_power_model() + EnergyMeter pipeline agree on random
+// transmission logs (mirroring the RrcStateMachine/EnergyMeter pair).
+#include "radio/cdrx.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "radio/energy_meter.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::radio {
+namespace {
+
+TEST(CdrxParams, ValidateRejectsInconsistentLadders) {
+  CdrxParams p;
+  p.validate();  // defaults are sane
+
+  CdrxParams bad = p;
+  bad.inactivity = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.on_duration = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.on_duration = bad.short_cycle * 2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.short_cycle = bad.long_cycle * 2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.short_window = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.sleep_extra_power = bad.active_extra_power * 2.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = p;
+  bad.long_wake_delay = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(CdrxParams, DutyCycledAveragePower) {
+  CdrxParams p;
+  p.on_duration = 0.01;
+  p.active_extra_power = 1.0;
+  p.sleep_extra_power = 0.0;
+  // 10 ms on out of a 20 ms cycle: half the active power.
+  EXPECT_DOUBLE_EQ(p.duty_extra_power(0.02), 0.5);
+  // A longer cycle dozes more.
+  EXPECT_GT(p.duty_extra_power(0.02), p.duty_extra_power(1.28));
+}
+
+TEST(CdrxParams, CompiledModelShape) {
+  CdrxParams p;
+  const PowerModel m = p.to_power_model();
+  EXPECT_EQ(m.name, "LteCdrx");
+  EXPECT_EQ(m.dch_tail, p.inactivity);
+  EXPECT_EQ(m.fach_tail, p.short_window);
+  EXPECT_EQ(m.dch_extra_power, p.active_extra_power);
+  EXPECT_EQ(m.fach_extra_power, p.duty_extra_power(p.short_cycle));
+  ASSERT_EQ(m.extra_tail.size(), 1u);
+  EXPECT_EQ(m.extra_tail[0].length, p.long_window);
+  EXPECT_EQ(m.extra_tail[0].extra_power, p.duty_extra_power(p.long_cycle));
+  EXPECT_EQ(m.extra_tail[0].wake_delay, p.long_wake_delay);
+  EXPECT_DOUBLE_EQ(m.tail_time(),
+                   p.inactivity + p.short_window + p.long_window);
+
+  // Zero long window compiles to a classic two-phase tail.
+  CdrxParams no_long = p;
+  no_long.long_window = 0.0;
+  EXPECT_TRUE(no_long.to_power_model().extra_tail.empty());
+}
+
+TEST(CdrxMachine, LadderProgression) {
+  CdrxParams p;  // inactivity 10, short window 0.64, long window 10.24
+  CdrxStateMachine m(p);
+  EXPECT_EQ(m.state_at(0.0), CdrxState::kIdle);
+
+  m.on_transmission_start(100.0);
+  EXPECT_TRUE(m.transmitting());
+  EXPECT_EQ(m.state_at(100.5), CdrxState::kActive);
+  m.on_transmission_end(101.0);
+
+  EXPECT_EQ(m.state_at(101.0), CdrxState::kActive);
+  EXPECT_EQ(m.state_at(110.9), CdrxState::kActive);
+  EXPECT_EQ(m.state_at(111.0), CdrxState::kShortDrx);
+  EXPECT_EQ(m.state_at(111.6), CdrxState::kShortDrx);
+  EXPECT_EQ(m.state_at(111.7), CdrxState::kLongDrx);
+  EXPECT_EQ(m.state_at(121.8), CdrxState::kLongDrx);
+  EXPECT_EQ(m.state_at(121.9), CdrxState::kIdle);
+}
+
+TEST(CdrxMachine, PromotionDelaysPerStage) {
+  CdrxParams p;
+  CdrxStateMachine m(p);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(0.0), p.idle_wake_delay);
+  m.on_transmission_start(0.0);
+  m.on_transmission_end(1.0);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(5.0), 0.0);  // continuous reception
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(11.2), p.short_wake_delay);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(15.0), p.long_wake_delay);
+  EXPECT_DOUBLE_EQ(m.promotion_delay_at(50.0), p.idle_wake_delay);
+}
+
+TEST(CdrxMachine, RejectsProtocolMisuse) {
+  CdrxParams p;
+  CdrxStateMachine m(p);
+  m.on_transmission_start(1.0);
+  EXPECT_THROW(m.on_transmission_start(2.0), std::logic_error);
+  EXPECT_THROW(m.on_transmission_end(0.5), std::invalid_argument);
+  m.on_transmission_end(2.0);
+  EXPECT_THROW(m.on_transmission_end(3.0), std::logic_error);
+  EXPECT_THROW(m.state_at(1.0), std::invalid_argument);
+}
+
+/// The cross-check property: replay a random transmission log through the
+/// online machine and sample power/promotion between transmissions; the
+/// offline EnergyMeter's power_at and promotion_delay_after_gap over the
+/// compiled PowerModel must agree everywhere, and the meter's tail buckets
+/// must equal the ladder's closed-form stage energies.
+void cross_check(const CdrxParams& params, std::uint64_t seed) {
+  const PowerModel model = params.to_power_model();
+  const Duration ladder =
+      params.inactivity + params.short_window + params.long_window;
+
+  Rng rng(seed);
+  TransmissionLog log;
+  CdrxStateMachine machine(params);
+
+  TimePoint t = 1.0;
+  std::vector<Transmission> txs;
+  for (int i = 0; i < 60; ++i) {
+    Transmission tx;
+    tx.start = t;
+    tx.setup = 0.0;  // promotion handled by the harness, not the log replay
+    tx.duration = rng.uniform(0.05, 2.0);
+    tx.bytes = 100;
+    tx.kind = TxKind::kData;
+    log.add(tx);
+    txs.push_back(tx);
+    // Gaps spanning every stage: inside inactivity, short DRX, long DRX,
+    // and past the full ladder.
+    t = tx.end() + rng.uniform(0.0, 1.5 * ladder);
+  }
+  const Duration horizon = log.last_end() + model.tail_time() + 1.0;
+
+  // Replay online, sampling the gap after each transmission.
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    machine.on_transmission_start(txs[i].start);
+    machine.on_transmission_end(txs[i].end());
+    const TimePoint gap_end =
+        (i + 1 < txs.size()) ? txs[i + 1].start : horizon;
+    for (int s = 0; s < 8; ++s) {
+      const TimePoint sample =
+          txs[i].end() + (gap_end - txs[i].end()) * (s + 0.5) / 8.0;
+      ASSERT_DOUBLE_EQ(machine.power_at(sample),
+                       power_at(log, model, sample))
+          << "power mismatch at t=" << sample << " (seed " << seed << ")";
+      ASSERT_DOUBLE_EQ(
+          machine.promotion_delay_at(sample),
+          model.promotion_delay_after_gap(sample - txs[i].end()))
+          << "promotion mismatch at t=" << sample << " (seed " << seed
+          << ")";
+    }
+  }
+
+  // The meter's tail buckets equal the ladder's closed-form stage sums.
+  const EnergyReport report = measure_energy(log, model, horizon);
+  Joules active = 0.0;
+  Joules dozing = 0.0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const TimePoint gap_end =
+        (i + 1 < txs.size()) ? txs[i + 1].start : horizon;
+    const Duration gap = gap_end - txs[i].end();
+    active += params.active_extra_power * std::min(gap, params.inactivity);
+    dozing += params.duty_extra_power(params.short_cycle) *
+              std::clamp(gap - params.inactivity, 0.0, params.short_window);
+    dozing += params.duty_extra_power(params.long_cycle) *
+              std::clamp(gap - params.inactivity - params.short_window, 0.0,
+                         params.long_window);
+  }
+  EXPECT_NEAR(report.dch_tail_energy, active, 1e-9);
+  EXPECT_NEAR(report.fach_tail_energy, dozing, 1e-9);
+  // And the piecewise tail_energy function agrees gap by gap.
+  for (int s = 0; s < 50; ++s) {
+    const Duration gap = rng.uniform(0.0, 1.5 * ladder);
+    const Joules expected =
+        params.active_extra_power * std::min(gap, params.inactivity) +
+        params.duty_extra_power(params.short_cycle) *
+            std::clamp(gap - params.inactivity, 0.0, params.short_window) +
+        params.duty_extra_power(params.long_cycle) *
+            std::clamp(gap - params.inactivity - params.short_window, 0.0,
+                       params.long_window);
+    EXPECT_NEAR(model.tail_energy(gap), expected, 1e-12)
+        << "gap " << gap << " (seed " << seed << ")";
+  }
+}
+
+TEST(CdrxProperty, OnlineMachineAgreesWithOfflineMeter) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    CdrxParams defaults;
+    cross_check(defaults, seed);
+
+    CdrxParams aggressive;  // fast release: tiny windows
+    aggressive.inactivity = 0.2;
+    aggressive.short_window = 0.08;
+    aggressive.long_window = 0.5;
+    aggressive.short_cycle = 0.04;
+    aggressive.on_duration = 0.004;
+    cross_check(aggressive, seed);
+
+    CdrxParams no_long;  // two-phase ladder (empty extra_tail)
+    no_long.long_window = 0.0;
+    cross_check(no_long, seed);
+  }
+}
+
+}  // namespace
+}  // namespace etrain::radio

@@ -1,0 +1,177 @@
+// Tests for the radio::ModelRegistry: preset equivalence with the legacy
+// PowerModel factories, knob overrides and their provenance marking,
+// unknown-name/flag/knob rejection, and the lora/lte_cdrx model payloads.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "radio/model_registry.h"
+#include "radio/power_model.h"
+
+namespace etrain::radio {
+namespace {
+
+void expect_same_model(const PowerModel& a, const PowerModel& b) {
+  EXPECT_EQ(a.name, b.name);
+  // Bit-identical, not merely close: the registry is the factory behind the
+  // legacy presets, and existing reports' bytes depend on exact equality.
+  EXPECT_EQ(a.idle_power, b.idle_power);
+  EXPECT_EQ(a.dch_extra_power, b.dch_extra_power);
+  EXPECT_EQ(a.fach_extra_power, b.fach_extra_power);
+  EXPECT_EQ(a.tx_extra_power, b.tx_extra_power);
+  EXPECT_EQ(a.dch_tail, b.dch_tail);
+  EXPECT_EQ(a.fach_tail, b.fach_tail);
+  EXPECT_EQ(a.idle_to_dch_delay, b.idle_to_dch_delay);
+  EXPECT_EQ(a.fach_to_dch_delay, b.fach_to_dch_delay);
+  EXPECT_EQ(a.extra_tail.size(), b.extra_tail.size());
+}
+
+TEST(ModelRegistry, PresetsMatchLegacyFactories) {
+  expect_same_model(make_radio_model("3g").power, PowerModel::PaperUmts3G());
+  expect_same_model(make_radio_model("3g:paper").power,
+                    PowerModel::PaperUmts3G());
+  expect_same_model(make_radio_model("3g:sim").power,
+                    PowerModel::PaperSimulation());
+  expect_same_model(make_radio_model("3g:realistic").power,
+                    PowerModel::Realistic3G());
+  expect_same_model(make_radio_model("3g:fast_dormancy").power,
+                    PowerModel::FastDormancy3G());
+  expect_same_model(make_radio_model("wifi").power, PowerModel::WifiPsm());
+  expect_same_model(make_radio_model("lte_drx").power, PowerModel::LteDrx());
+}
+
+TEST(ModelRegistry, RecordsSpecAndInterfaceName) {
+  const RadioModel m = make_radio_model("3g:sim");
+  EXPECT_EQ(m.spec, "3g:sim");
+  EXPECT_EQ(m.interface_name, "cellular");
+  EXPECT_EQ(make_radio_model("wifi").interface_name, "wifi");
+  EXPECT_EQ(make_radio_model("lte_cdrx").interface_name, "lte");
+  EXPECT_EQ(make_radio_model("lora").interface_name, "lora");
+}
+
+TEST(ModelRegistry, KnobOverridesMarkTheName) {
+  const RadioModel m = make_radio_model("3g:paper,dch_tail=6,dch_mw=650");
+  EXPECT_EQ(m.power.name, "PaperUmts3G*");
+  EXPECT_DOUBLE_EQ(m.power.dch_tail, 6.0);
+  EXPECT_DOUBLE_EQ(m.power.dch_extra_power, 0.65);
+  // Untouched fields keep the preset's exact values.
+  EXPECT_EQ(m.power.fach_extra_power,
+            PowerModel::PaperUmts3G().fach_extra_power);
+}
+
+TEST(ModelRegistry, UntouchedPresetStaysBitIdentical) {
+  // A no-override spec must not round-trip any field (ULP drift would
+  // silently change every existing report).
+  const PowerModel via_registry = make_radio_model("3g:sim").power;
+  PowerModel expected;
+  expected.dch_tail = 2.5;
+  expected.fach_tail = 7.5;
+  EXPECT_EQ(via_registry.idle_power, expected.idle_power);
+  EXPECT_EQ(via_registry.dch_extra_power, expected.dch_extra_power);
+  EXPECT_EQ(via_registry.fach_extra_power, expected.fach_extra_power);
+  EXPECT_EQ(via_registry.tx_extra_power, expected.tx_extra_power);
+}
+
+TEST(ModelRegistry, UnknownNamesFlagsAndKnobsAreLoud) {
+  try {
+    make_radio_model("4g");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown radio '4g'"), std::string::npos);
+    EXPECT_NE(msg.find("3g"), std::string::npos) << "should list known names";
+    EXPECT_NE(msg.find("lora"), std::string::npos);
+  }
+  try {
+    make_radio_model("3g:papr");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown flag 'papr'"),
+              std::string::npos);
+  }
+  EXPECT_THROW(make_radio_model("3g:paper,sim"), std::invalid_argument);
+  try {
+    make_radio_model("3g:dch_tial=6");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown knob(s) dch_tial"), std::string::npos);
+    EXPECT_NE(msg.find("dch_tail"), std::string::npos)
+        << "help text should list the real knobs";
+  }
+}
+
+TEST(ModelRegistry, RegistryIntrospection) {
+  const ModelRegistry& r = builtin_model_registry();
+  EXPECT_TRUE(r.contains("3g"));
+  EXPECT_TRUE(r.contains("wifi"));
+  EXPECT_TRUE(r.contains("lte_drx"));
+  EXPECT_TRUE(r.contains("lte_cdrx"));
+  EXPECT_TRUE(r.contains("lora"));
+  EXPECT_FALSE(r.contains("4g"));
+  EXPECT_FALSE(r.help("lte_cdrx").empty());
+  EXPECT_THROW(r.help("4g"), std::invalid_argument);
+}
+
+TEST(ModelRegistry, RejectsBadRegistrations) {
+  ModelRegistry r;
+  EXPECT_THROW(r.register_model("a:b", "", [](const RadioParams&) {
+    return RadioModel{};
+  }),
+               std::invalid_argument);
+  EXPECT_THROW(r.register_model("ok", "", nullptr), std::invalid_argument);
+  r.register_model("ok", "", [](const RadioParams&) { return RadioModel{}; });
+  EXPECT_THROW(r.register_model("ok", "", [](const RadioParams&) {
+    return RadioModel{};
+  }),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, CdrxModelCarriesTheLadder) {
+  const RadioModel m =
+      make_radio_model("lte_cdrx:inactivity=5,drx_short=0.02,drx_long=1.28");
+  ASSERT_TRUE(m.cdrx.has_value());
+  EXPECT_DOUBLE_EQ(m.cdrx->inactivity, 5.0);
+  EXPECT_DOUBLE_EQ(m.cdrx->short_cycle, 0.02);
+  EXPECT_DOUBLE_EQ(m.cdrx->long_cycle, 1.28);
+  EXPECT_EQ(m.power.name, "LteCdrx");
+  // The compiled model has the long-DRX window as an extra tail phase.
+  ASSERT_EQ(m.power.extra_tail.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.power.dch_tail, 5.0);
+  // Invalid ladders are rejected through the same spec path.
+  EXPECT_THROW(make_radio_model("lte_cdrx:inactivity=0"),
+               std::invalid_argument);
+  EXPECT_THROW(make_radio_model("lte_cdrx:drx_short=2,drx_long=1"),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, LoraModelAndValidation) {
+  const RadioModel m = make_radio_model("lora:sf=9");
+  ASSERT_TRUE(m.lora.has_value());
+  EXPECT_DOUBLE_EQ(m.lora->spreading_factor, 9.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth, 1100.0);  // anchored at sf=9
+  EXPECT_EQ(m.power.name, "LoRaP2P");
+
+  // Each spreading-factor step roughly halves the rate (modulo the sf gain).
+  const double r10 = make_radio_model("lora:sf=10").bandwidth;
+  const double r7 = make_radio_model("lora:sf=7").bandwidth;
+  EXPECT_LT(r10, 1100.0);
+  EXPECT_GT(r7, 1100.0);
+
+  EXPECT_THROW(make_radio_model("lora:sf=4"), std::invalid_argument);
+  EXPECT_THROW(make_radio_model("lora:sf=13"), std::invalid_argument);
+  EXPECT_THROW(make_radio_model("lora:ack_timeout=0"), std::invalid_argument);
+  EXPECT_THROW(make_radio_model("lora:max_retries=-1"),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, LoraHeartbeatKnobs) {
+  const RadioModel m =
+      make_radio_model("lora:heartbeat_period=30,heartbeat_bytes=24");
+  ASSERT_TRUE(m.lora.has_value());
+  EXPECT_DOUBLE_EQ(m.lora->heartbeat_period, 30.0);
+  EXPECT_EQ(m.lora->heartbeat_bytes, 24);
+}
+
+}  // namespace
+}  // namespace etrain::radio
