@@ -17,6 +17,10 @@
 // Flags: the shared --report/--quick/--jobs set (obs::BenchOptions) plus
 //   --devices N   population size   (default 100000; --quick 5000)
 //   --shards N    shard count       (default 0 = auto; byte-invariant)
+//   --progress    print periodic progress lines during the validate run
+//                 (devices done, devices/sec, ETA, per-class running
+//                 energy) — observation only, the report is byte-identical
+//                 with or without it
 //
 // Emits BENCH_fleet.json by default (or wherever --report points).
 #include <chrono>
@@ -64,6 +68,29 @@ std::size_t parse_size_flag(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// One machine-parseable progress line (scripts/check.sh greps these).
+void print_progress(const FleetSpec& spec, const FleetProgress& p) {
+  std::string energy;
+  for (std::size_t c = 0; c < p.class_energy_J.size(); ++c) {
+    char item[64];
+    std::snprintf(item, sizeof(item), "%s%s=%.1f", c > 0 ? "," : "",
+                  spec.classes[c].name.c_str(), p.class_energy_J[c]);
+    energy += item;
+  }
+  std::printf(
+      "fleet progress devices=%zu/%zu rate=%.0f/s eta_s=%.1f energy_J=%s\n",
+      p.devices_done, p.devices_total, p.devices_per_s, p.eta_s,
+      energy.c_str());
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,7 +128,18 @@ int main(int argc, char** argv) {
   FleetResult validation;
   {
     OBS_PROFILE_SCOPE("fleet.validate");
-    validation = harness.run(registry, opts.jobs);
+    if (has_flag(argc, argv, "--progress")) {
+      FleetProgressOptions progress;
+      // Quick runs finish in a couple of seconds — emit fast enough that
+      // the check.sh gate always sees at least the final 100% line.
+      progress.min_interval_s = opts.quick ? 0.2 : 1.0;
+      progress.callback = [&spec](const FleetProgress& p) {
+        print_progress(spec, p);
+      };
+      validation = harness.run(registry, opts.jobs, progress);
+    } else {
+      validation = harness.run(registry, opts.jobs);
+    }
   }
   fill_fleet_sections(report, validation);
   for (const auto& agg : validation.classes) {

@@ -18,6 +18,13 @@
 //   p99_latency_inverse_per_s  1 / p99 batching latency — a floor on the
 //                              inverse bounds the latency from above
 //
+// The bench also exercises the live telemetry plane under load: the
+// gateway serves /metrics from the same epoll loop while the storm runs, a
+// scraper thread polls it mid-run, and the bench asserts (a) every mid-run
+// gateway.* counter is <= the final report's value (counters are monotone)
+// and (b) a final scrape taken after the BYE drain — when every session
+// has folded — agrees exactly with the shutdown stats.
+//
 // Flags: the shared --report/--quick/--jobs set (obs::BenchOptions) plus
 //   --clients N       population size      (default 2000; --quick 1000)
 //   --duration S      clock seconds driven (default 180; --quick 90)
@@ -27,10 +34,12 @@
 //
 // Emits BENCH_gateway.json by default (or wherever --report points).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +50,7 @@
 #include "obs/bench_options.h"
 #include "obs/profile.h"
 #include "obs/report.h"
+#include "obs/stats_server.h"
 
 namespace {
 
@@ -72,6 +82,22 @@ double parse_double_flag(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+/// First sample of metric `name` in a Prometheus text body; -1 when the
+/// metric is absent (comment lines never match — they start with '#').
+double prom_value(const std::string& body, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    if (body.compare(pos, needle.size(), needle) == 0) {
+      return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+    }
+    const std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
 /// Interpolation-free quantile of an already-sorted sample.
 double quantile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -101,14 +127,16 @@ int main(int argc, char** argv) {
   gateway::GatewayConfig config;
   config.time_scale = time_scale;
   config.port = port;
+  config.stats_port = 0;  // the bench always scrapes its own gateway
   const auto& registry = etrain::baselines::builtin_registry();
   gateway::Gateway gw(registry, config);
   const int bound_port = gw.open();
+  const int stats_port = gw.stats_port();
 
   std::printf(
       "=== gateway: %d loopback clients x %.0f clock s at %.0fx "
-      "compression, port %d ===\n",
-      clients, duration, time_scale, bound_port);
+      "compression, port %d (stats %d) ===\n",
+      clients, duration, time_scale, bound_port, stats_port);
 
   std::exception_ptr gateway_error;
   std::thread server([&] {
@@ -116,6 +144,30 @@ int main(int argc, char** argv) {
       gw.run();
     } catch (...) {
       gateway_error = std::current_exception();
+    }
+  });
+
+  // Mid-run scraper: polls /healthz until the loop answers, then keeps
+  // fetching /metrics while the load generator storms the same epoll
+  // loop. The last body it lands is the "mid-run" snapshot compared
+  // against the final report below.
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<std::size_t> scrapes{0};
+  std::mutex scrape_mutex;
+  std::string mid_scrape;
+  std::thread scraper([&] {
+    while (!stop_scraper.load() &&
+           obs::http_get(stats_port, "/healthz", nullptr) != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    while (!stop_scraper.load()) {
+      std::string body;
+      if (obs::http_get(stats_port, "/metrics", &body) == 200) {
+        std::lock_guard<std::mutex> lock(scrape_mutex);
+        mid_scrape = std::move(body);
+        scrapes.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   });
 
@@ -133,6 +185,15 @@ int main(int argc, char** argv) {
     result = gateway::run_load(load);
   }
   const double load_seconds = seconds_since(load_start);
+
+  stop_scraper.store(true);
+  scraper.join();
+  // Final scrape: the load generator has BYEd every client, so every
+  // session has folded — the live counters must agree exactly with the
+  // shutdown stats now.
+  std::string final_scrape;
+  const int final_status = obs::http_get(stats_port, "/metrics",
+                                         &final_scrape);
 
   gw.request_stop();
   server.join();
@@ -180,6 +241,58 @@ int main(int argc, char** argv) {
     failed = true;
   }
 
+  // Telemetry-plane checks: the loop served /metrics while under load,
+  // every mid-run counter is bounded by the final totals (monotonicity),
+  // and the post-drain scrape agrees exactly with the shutdown stats.
+  if (scrapes.load() == 0) {
+    std::printf("gateway: no mid-run /metrics scrape landed\n");
+    failed = true;
+  }
+  if (final_status != 200) {
+    std::printf("gateway: final /metrics scrape failed (status %d)\n",
+                final_status);
+    failed = true;
+  }
+  const struct {
+    const char* metric;
+    double final_total;
+  } counter_checks[] = {
+      {"etrain_gateway_clients_accepted_total",
+       static_cast<double>(stats.clients_accepted)},
+      {"etrain_gateway_heartbeats_total",
+       static_cast<double>(stats.heartbeats)},
+      {"etrain_gateway_packets_enqueued_total",
+       static_cast<double>(stats.packets_enqueued)},
+      {"etrain_gateway_packets_scheduled_total",
+       static_cast<double>(stats.packets_enqueued)},  // all released by BYE
+      {"etrain_gateway_protocol_errors_total",
+       static_cast<double>(stats.protocol_errors)},
+  };
+  for (const auto& check : counter_checks) {
+    const double mid = prom_value(mid_scrape, check.metric);
+    const double fin = prom_value(final_scrape, check.metric);
+    if (mid < 0.0 || fin < 0.0) {
+      std::printf("gateway: %s missing from a scrape\n", check.metric);
+      failed = true;
+      continue;
+    }
+    if (mid > check.final_total) {
+      std::printf("gateway: mid-run %s = %.0f exceeds final total %.0f\n",
+                  check.metric, mid, check.final_total);
+      failed = true;
+    }
+    if (fin != check.final_total) {
+      std::printf(
+          "gateway: post-drain %s = %.0f disagrees with shutdown total "
+          "%.0f\n",
+          check.metric, fin, check.final_total);
+      failed = true;
+    }
+  }
+  std::printf("scrapes  %zu mid-run /metrics fetches, counters consistent "
+              "at shutdown: %s\n",
+              scrapes.load(), failed ? "NO" : "yes");
+
   obs::RunReport report = gw.build_report();
   report.bench = "gateway";
   report.add_provenance("clients", std::to_string(clients));
@@ -194,6 +307,8 @@ int main(int argc, char** argv) {
   report.add_environment("latency_p99_s", p99);
   report.add_environment("p99_latency_inverse_per_s",
                          1.0 / std::max(1e-9, p99));
+  report.add_environment("mid_run_scrapes",
+                         static_cast<double>(scrapes.load()));
   obs::finalize_run_report(opts.report_path, std::move(report));
   return failed ? 1 : 0;
 }

@@ -6,27 +6,18 @@
 // scheduler releases it (piggybacked on an observed heartbeat when the
 // policy finds a train to board).
 //
+// With --stats-port the daemon also serves the live telemetry plane
+// (docs/live_telemetry.md) from the same epoll loop: GET /metrics
+// (Prometheus text), /healthz (tick-lag watchdog) and /sessions (top-N
+// JSON). SIGUSR1 dumps the always-on flight recorder to --flight as a
+// Chrome trace_event file.
+//
 // SIGINT/SIGTERM (or an orderly BYE from every client) shuts the daemon
 // down gracefully: waiting queues are flushed through the modeled uplink,
 // every session's radio bill is folded into the energy ledger, and — with
 // --report — a RunReport manifest is written that examples/report_check
 // validates (the `gateway` section's partitions and the ledger re-billing
 // of the client energy meter).
-//
-// Usage:
-//   etrain_gatewayd [--port N] [--policy SPEC] [--radio SPEC]
-//                   [--time-scale S] [--tick-period S] [--report out.json]
-//
-//   --port N         TCP port to bind on loopback (default 0 = ephemeral;
-//                    the bound port is printed either way)
-//   --policy SPEC    PolicyRegistry spec for every session (default
-//                    "etrain"; see etrain_cli --list for specs)
-//   --radio SPEC     ModelRegistry spec billing every session's uplink
-//                    (default "3g:sim"; e.g. lte_cdrx:inactivity=5 — see
-//                    etrain_cli --list-radios)
-//   --time-scale S   clock seconds per real second (default 1.0 = live)
-//   --tick-period S  scheduler evaluation quantum, clock s (default 1.0)
-//   --report PATH    write the shutdown RunReport manifest here
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,8 +26,36 @@
 
 #include "baselines/registry.h"
 #include "gateway/gateway.h"
+#include "obs/report.h"
 
 namespace {
+
+const char* kUsage =
+    "Usage:\n"
+    "  etrain_gatewayd [--port N] [--policy SPEC] [--radio SPEC]\n"
+    "                  [--time-scale S] [--tick-period S] [--report PATH]\n"
+    "                  [--stats-port N] [--watchdog-ms MS] [--flight PATH]\n"
+    "\n"
+    "  --port N         TCP port to bind on loopback (default 0 =\n"
+    "                   ephemeral; the bound port is printed either way)\n"
+    "  --policy SPEC    PolicyRegistry spec for every session (default\n"
+    "                   \"etrain\"; see etrain_cli --list for specs)\n"
+    "  --radio SPEC     ModelRegistry spec billing every session's uplink\n"
+    "                   (default \"3g:sim\"; e.g. lte_cdrx:inactivity=5 —\n"
+    "                   see etrain_cli --list-radios)\n"
+    "  --time-scale S   clock seconds per real second (default 1.0 = live)\n"
+    "  --tick-period S  scheduler evaluation quantum, clock s (default 1.0)\n"
+    "  --report PATH    write the shutdown RunReport manifest here\n"
+    "  --stats-port N   serve /metrics, /healthz and /sessions on loopback\n"
+    "                   port N (0 = ephemeral; omitted = stats disabled).\n"
+    "                   A failed bind is fatal — the daemon exits instead\n"
+    "                   of running without its stats plane\n"
+    "  --watchdog-ms MS tick-lag budget in real milliseconds before\n"
+    "                   /healthz turns 503 and the flight recorder dumps\n"
+    "                   (default 5000)\n"
+    "  --flight PATH    flight-recorder dump path, Chrome trace_event JSON\n"
+    "                   (default gateway.flight.json; also on SIGUSR1)\n"
+    "  --help           this text\n";
 
 const char* flag_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
@@ -45,9 +64,21 @@ const char* flag_value(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
   etrain::gateway::GatewayConfig config;
   config.bench_name = "gatewayd";
   if (const char* v = flag_value(argc, argv, "--port")) {
@@ -73,16 +104,41 @@ int main(int argc, char** argv) {
   if (const char* v = flag_value(argc, argv, "--report")) {
     config.report_path = v;
   }
+  if (const char* v = flag_value(argc, argv, "--stats-port")) {
+    config.stats_port = std::atoi(v);
+  }
+  if (const char* v = flag_value(argc, argv, "--watchdog-ms")) {
+    config.watchdog_budget_s = std::strtod(v, nullptr) / 1000.0;
+  }
+  if (const char* v = flag_value(argc, argv, "--flight")) {
+    config.flight_path = v;
+  }
+
+  // Build provenance up front, so logs always say what binary this was.
+  const etrain::obs::BuildInfo build = etrain::obs::current_build_info();
+  std::printf(
+      "etrain_gatewayd: build %s c++%ld obs=%s assertions=%s sanitizer=%s\n",
+      build.compiler.c_str(), build.cxx_standard,
+      build.obs_enabled ? "on" : "off", build.assertions ? "on" : "off",
+      build.sanitizer.empty() ? "none" : build.sanitizer.c_str());
 
   try {
     const auto& registry = etrain::baselines::builtin_registry();
     etrain::gateway::Gateway gw(registry, config);
-    const int port = gw.open();
+    const int port = gw.open();  // a stats bind failure throws out loudly
     gw.install_signal_handlers();
     std::printf(
         "etrain_gatewayd: listening on 127.0.0.1:%d (policy %s, "
         "time-scale %.1f) — SIGINT/SIGTERM for graceful shutdown\n",
         port, config.session.policy_spec.c_str(), config.time_scale);
+    if (gw.stats_port() >= 0) {
+      std::printf(
+          "etrain_gatewayd: stats on 127.0.0.1:%d — /metrics /healthz "
+          "/sessions (watchdog %.0f ms, SIGUSR1 dumps %s)\n",
+          gw.stats_port(), config.watchdog_budget_s * 1000.0,
+          config.flight_path.c_str());
+    }
+    std::fflush(stdout);  // readiness lines must reach pipes before run()
     gw.run();
     const auto& stats = gw.stats();
     std::printf(

@@ -141,6 +141,62 @@ scripts/compare_reports bench/baselines/gateway.baseline.json \
   --floor scheduled_packets_per_sec=0.9 \
   --floor p99_latency_inverse_per_s=0.9
 
+# Live telemetry gate (docs/live_telemetry.md): a real etrain_gatewayd
+# process serves its stats plane on an ephemeral port; check_prom.py waits
+# on /healthz, fetches /metrics itself (no curl needed) and lints the
+# exposition document — format, cumulative histogram buckets, sorted
+# families, and the gateway's required counter/gauge set. SIGTERM then
+# ends the daemon gracefully and report_check validates its manifest.
+"./$BUILD_DIR/examples/etrain_gatewayd" --port 0 --stats-port 0 \
+  --time-scale 50 --report results/gatewayd.live.report.json \
+  > results/gatewayd.live.log 2>&1 &
+GATEWAYD_PID=$!
+STATS_PORT=""
+for _ in $(seq 1 100); do
+  STATS_PORT=$(sed -n 's/.*stats on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    results/gatewayd.live.log)
+  [ -n "$STATS_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$STATS_PORT" ] || {
+  echo "check.sh: etrain_gatewayd never printed its stats port" >&2
+  cat results/gatewayd.live.log >&2
+  kill "$GATEWAYD_PID" 2>/dev/null || true
+  exit 1
+}
+python3 scripts/check_prom.py --port "$STATS_PORT" \
+  --require etrain_up \
+  --require etrain_gateway_clients_accepted_total \
+  --require etrain_gateway_heartbeats_total \
+  --require etrain_gateway_packets_enqueued_total \
+  --require etrain_gateway_packets_scheduled_total \
+  --require etrain_gateway_protocol_errors_total \
+  --require etrain_gateway_live_sessions \
+  --require etrain_gateway_queued_cargo \
+  --require etrain_gateway_rrc_sessions \
+  --require etrain_gateway_heartbeat_staleness_max_seconds \
+  --require etrain_gateway_latency_s_bucket \
+  --require etrain_gateway_latency_s_p99 \
+  --require etrain_gateway_tick_lag_seconds
+kill -TERM "$GATEWAYD_PID"
+wait "$GATEWAYD_PID"
+"./$BUILD_DIR/examples/report_check" results/gatewayd.live.report.json
+
+# Fleet progress reporting (docs/fleet.md): a --progress run must emit at
+# least one machine-parseable "fleet progress devices=" line ending at
+# devices=N/N, and its report must stay byte-identical to the progress-free
+# serial run above (observation only, never perturbation).
+ETRAIN_JOBS=2 "./$BUILD_DIR/bench/bench_fleet" --quick --shards 8 \
+  --progress --report results/fleet.progress.report.json \
+  > results/fleet.progress.log
+grep "^fleet progress " results/fleet.progress.log
+grep -q "^fleet progress devices=5000/5000 " results/fleet.progress.log || {
+  echo "check.sh: bench_fleet --progress never reported completion" >&2
+  exit 1
+}
+scripts/compare_reports results/fleet.serial.report.json \
+  results/fleet.progress.report.json
+
 # Docs lint (docs/README.md): every intra-repo markdown link resolves and
 # every docs/*.md page is reachable from the README index.
 python3 scripts/check_docs.py

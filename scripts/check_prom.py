@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Prometheus exposition-format lint for the live telemetry plane
+(docs/live_telemetry.md; the check.sh live-telemetry gate).
+
+Validates a /metrics document — from a file, stdin, or fetched live from
+a gateway's stats port — against the subset of the text format 0.0.4 the
+etrain encoder emits, plus the gateway's metric contract:
+
+  1. every non-comment line parses as  name{labels} value  with a valid
+     metric name and a finite (or +Inf bucket) value;
+  2. every sample's name is declared by a preceding # TYPE line, and
+     counter samples end in _total;
+  3. histogram bucket counts are cumulative (non-decreasing in le order,
+     ending at le="+Inf" whose count equals <name>_count);
+  4. family names appear in sorted order (the encoder's determinism
+     contract: two scrapes of the same state are byte-identical);
+  5. with --require, each named metric is present (prefix match before
+     '{' or ' '), e.g. the gateway's live counters and session gauges.
+
+With --port the script first polls /healthz until it answers 200 (or
+--timeout seconds pass), then fetches /metrics itself — so the shell gate
+needs no curl. Exits 0 when clean; prints every violation and exits 1.
+Stdlib only — no pip installs, runs anywhere python3 exists.
+"""
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{label="value",...} value  — labels optional; value is the rest.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fetch(port: int, path: str, timeout_s: float) -> str:
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8", errors="replace")
+
+
+def wait_healthy(port: int, timeout_s: float) -> None:
+    """Polls /healthz until it answers 200; raises after timeout_s."""
+    deadline = time.monotonic() + timeout_s
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            fetch(port, "/healthz", timeout_s=1.0)
+            return
+        except (urllib.error.URLError, OSError) as error:
+            last_error = error
+            time.sleep(0.05)
+    raise SystemExit(
+        f"check_prom: /healthz on port {port} never answered 200 within "
+        f"{timeout_s:.0f}s ({last_error})"
+    )
+
+
+def parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    return float(raw)  # raises ValueError on garbage
+
+
+def lint(text: str, required: list[str]) -> list[str]:
+    """Returns every violation found in one exposition document."""
+    errors: list[str] = []
+    declared: dict[str, str] = {}  # family name -> type
+    family_order: list[str] = []
+    # histogram family -> [(le, count)] in emission order, and its _count.
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    sample_names: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                errors.append(f"line {lineno}: malformed TYPE line: {line}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: invalid metric name {name!r}")
+            if name in declared:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            declared[name] = parts[3]
+            family_order.append(name)
+            continue
+        if line.startswith("#"):
+            continue  # HELP and other comments
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, raw_value = match.groups()
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {raw_value!r}")
+            continue
+        if labels:
+            for pair in labels[1:-1].split(","):
+                if not LABEL_RE.match(pair):
+                    errors.append(f"line {lineno}: malformed label {pair!r}")
+        sample_names.add(name)
+
+        # Histogram series attach their suffixed samples to the family.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base is not None and declared.get(base) == "histogram":
+                family = base
+                break
+        if family not in declared and name not in declared:
+            errors.append(f"line {lineno}: sample {name} has no TYPE line")
+            continue
+        kind = declared.get(family, declared.get(name))
+        if kind == "counter" and not name.endswith("_total"):
+            errors.append(f"line {lineno}: counter {name} lacks _total")
+        if kind == "counter" and (value < 0 or value != int(value)):
+            errors.append(
+                f"line {lineno}: counter {name} value {raw_value} is not a "
+                "non-negative integer"
+            )
+        if kind == "histogram" and name.endswith("_bucket"):
+            le_match = re.search(r'le="([^"]*)"', labels or "")
+            if not le_match:
+                errors.append(f"line {lineno}: bucket without le: {line!r}")
+            else:
+                buckets.setdefault(family, []).append(
+                    (parse_value(le_match.group(1)), value)
+                )
+        if kind == "histogram" and name.endswith("_count"):
+            counts[family] = value
+
+    for family, series in buckets.items():
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            errors.append(f"histogram {family}: le bounds out of order")
+        values = [count for _, count in series]
+        if values != sorted(values):
+            errors.append(f"histogram {family}: bucket counts not cumulative")
+        if not series or series[-1][0] != math.inf:
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        elif family in counts and series[-1][1] != counts[family]:
+            errors.append(
+                f"histogram {family}: +Inf bucket {series[-1][1]} != "
+                f"_count {counts[family]}"
+            )
+
+    if family_order != sorted(family_order):
+        errors.append(
+            "family order is not sorted — the encoder's determinism "
+            "contract is broken"
+        )
+
+    for want in required:
+        if want not in declared and want not in sample_names:
+            errors.append(f"required metric missing: {want}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus /metrics document (see module doc)."
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("path", nargs="?", help="file to lint ('-' = stdin)")
+    source.add_argument(
+        "--port",
+        type=int,
+        help="fetch /metrics from 127.0.0.1:PORT (waits on /healthz first)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for /healthz with --port (default 10)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="assert this metric name is present (repeatable)",
+    )
+    args = parser.parse_args()
+
+    if args.port is not None:
+        wait_healthy(args.port, args.timeout)
+        text = fetch(args.port, "/metrics", timeout_s=5.0)
+    elif args.path in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as handle:
+            text = handle.read()
+
+    errors = lint(text, args.require)
+    for error in errors:
+        print(f"check_prom: {error}")
+    if errors:
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"check_prom: OK ({samples} samples, {len(args.require)} required)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

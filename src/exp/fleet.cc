@@ -1,8 +1,10 @@
 #include "exp/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
@@ -152,6 +154,12 @@ std::size_t FleetHarness::shard_count() const {
 
 FleetResult FleetHarness::run(const core::PolicyRegistry& registry,
                               std::size_t jobs) const {
+  return run(registry, jobs, FleetProgressOptions{});
+}
+
+FleetResult FleetHarness::run(const core::PolicyRegistry& registry,
+                              std::size_t jobs,
+                              const FleetProgressOptions& progress) const {
   OBS_PROFILE_SCOPE("fleet.run");
   // Fail fast on a typo'd policy spec before any thread spawns.
   for (const auto& cls : spec_.classes) (void)registry.make(cls.policy);
@@ -186,6 +194,53 @@ FleetResult FleetHarness::run(const core::PolicyRegistry& registry,
           static_cast<std::uint32_t>(row.transmissions);
       columns.failures[device] += static_cast<std::uint32_t>(row.failures);
     }
+  };
+
+  // Progress plumbing (bench_fleet --progress). Workers fold each
+  // finished device into a mutex-guarded running tally and the one that
+  // crosses the emission interval calls the callback while holding the
+  // lock (snapshots stay consistent; callbacks must be cheap). With no
+  // callback none of this exists and the hot path is untouched.
+  struct ProgressState {
+    std::mutex mutex;
+    std::size_t done = 0;
+    std::vector<double> class_energy;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point last_emit;
+  };
+  ProgressState tally;
+  const bool report_progress = static_cast<bool>(progress.callback);
+  if (report_progress) {
+    tally.class_energy.assign(spec_.classes.size(), 0.0);
+    tally.start = std::chrono::steady_clock::now();
+    tally.last_emit = tally.start;
+  }
+  // Emit under the lock. `final` forces the 100% line out regardless of
+  // the interval gate.
+  const auto emit_progress = [&](bool final_emission) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!final_emission) {
+      const double since_last =
+          std::chrono::duration<double>(now - tally.last_emit).count();
+      if (since_last < progress.min_interval_s) return;
+    }
+    tally.last_emit = now;
+    FleetProgress snapshot;
+    snapshot.devices_done = tally.done;
+    snapshot.devices_total = spec_.devices;
+    snapshot.elapsed_s =
+        std::chrono::duration<double>(now - tally.start).count();
+    snapshot.devices_per_s =
+        snapshot.elapsed_s > 0.0
+            ? static_cast<double>(tally.done) / snapshot.elapsed_s
+            : 0.0;
+    snapshot.eta_s =
+        snapshot.devices_per_s > 0.0
+            ? static_cast<double>(spec_.devices - tally.done) /
+                  snapshot.devices_per_s
+            : 0.0;
+    snapshot.class_energy_J = tally.class_energy;
+    progress.callback(snapshot);
   };
 
   // Phase 1: shard workers. Each writes only its own contiguous row
@@ -237,10 +292,21 @@ FleetResult FleetHarness::run(const core::PolicyRegistry& registry,
                                metrics.wifi_energy.horizon);
           }
           digest_ledger(device_ledger, device);
+
+          if (report_progress) {
+            std::lock_guard<std::mutex> lock(tally.mutex);
+            tally.done += 1;
+            tally.class_energy[cls] += arrays.meter_J[device];
+            emit_progress(/*final_emission=*/false);
+          }
         }
         return end - begin;
       },
       jobs);
+  if (report_progress) {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    emit_progress(/*final_emission=*/true);
+  }
 
   // Phase 2: the serial fold, in device-id order regardless of how the
   // shards were cut — this is what makes every aggregate byte-identical

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,31 @@ struct FleetResult {
   FleetArrays arrays;
 };
 
+/// One periodic progress snapshot from a running fleet (bench_fleet
+/// --progress; the telemetry side of docs/live_telemetry.md). Emitted
+/// from worker threads under the harness's progress lock, so a callback
+/// sees consistent numbers — keep it cheap (a printf, a gauge store).
+struct FleetProgress {
+  std::size_t devices_done = 0;
+  std::size_t devices_total = 0;
+  double elapsed_s = 0.0;
+  double devices_per_s = 0.0;
+  /// Remaining / rate; 0 once done.
+  double eta_s = 0.0;
+  /// Running per-class device-meter totals, class-declaration order.
+  /// Folded in completion order, so the float sum is advisory — the
+  /// report's numbers come from the deterministic serial fold, which
+  /// this never touches.
+  std::vector<double> class_energy_J;
+};
+
+struct FleetProgressOptions {
+  /// Null = no progress tracking at all (the hot path stays lock-free).
+  std::function<void(const FleetProgress&)> callback;
+  /// Real seconds between emissions (a final 100% emission always fires).
+  double min_interval_s = 1.0;
+};
+
 /// Runs a fleet. Construction validates the spec; run() may be called
 /// repeatedly (and concurrently from one thread at a time per instance).
 class FleetHarness {
@@ -194,6 +220,13 @@ class FleetHarness {
   /// byte-identical for every jobs and shard value.
   FleetResult run(const core::PolicyRegistry& registry,
                   std::size_t jobs = 0) const;
+
+  /// run() with periodic progress reporting (devices done, devices/sec,
+  /// ETA, running per-class energy). The result is bit-identical to the
+  /// progress-free overload for every jobs/shard value — progress only
+  /// *observes* completed devices, it never feeds back into the run.
+  FleetResult run(const core::PolicyRegistry& registry, std::size_t jobs,
+                  const FleetProgressOptions& progress) const;
 
   /// Effective shard count run() will use (resolves spec.shards == 0).
   std::size_t shard_count() const;

@@ -12,10 +12,13 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "obs/exporters.h"
+#include "obs/prom.h"
 #include "radio/energy_meter.h"
 
 namespace etrain::gateway {
@@ -30,11 +33,16 @@ namespace {
 volatile int g_signal_write_fd = -1;
 struct sigaction g_old_sigint;
 struct sigaction g_old_sigterm;
+struct sigaction g_old_sigusr1;
 
-void signal_to_pipe(int) {
+/// Self-pipe bytes: 1 = stop the loop, 2 = dump the flight recorder.
+constexpr char kPipeStop = 1;
+constexpr char kPipeFlightDump = 2;
+
+void signal_to_pipe(int sig) {
   const int fd = g_signal_write_fd;
   if (fd < 0) return;
-  const char byte = 1;
+  const char byte = sig == SIGUSR1 ? kPipeFlightDump : kPipeStop;
   // Best-effort; EAGAIN means a stop is already pending. Errno must be
   // preserved for the interrupted code.
   const int saved = errno;
@@ -75,7 +83,8 @@ struct Gateway::Connection {
 Gateway::Gateway(const core::PolicyRegistry& registry, GatewayConfig config)
     : registry_(registry),
       config_(std::move(config)),
-      clock_(config_.time_scale) {}
+      clock_(config_.time_scale),
+      flight_(config_.flight_capacity) {}
 
 Gateway::~Gateway() {
   restore_signal_handlers();
@@ -138,6 +147,22 @@ int Gateway::open() {
 
   // Touch the metrics so the report always carries the same shape.
   metrics_.histogram("gateway.latency_s", latency_bounds());
+
+  // Live counters for the stats plane (separate registry; see gateway.h).
+  ctr_accepted_ = &live_.counter("gateway.clients_accepted");
+  ctr_heartbeats_ = &live_.counter("gateway.heartbeats");
+  ctr_enqueued_ = &live_.counter("gateway.packets_enqueued");
+  ctr_scheduled_ = &live_.counter("gateway.packets_scheduled");
+  ctr_errors_ = &live_.counter("gateway.protocol_errors");
+
+  if (config_.stats_port >= 0) {
+    obs::StatsHandlers handlers;
+    handlers.metrics_text = [this] { return render_metrics(); };
+    handlers.health = [this] { return render_health(); };
+    handlers.sessions_json = [this] { return render_sessions(); };
+    stats_server_.open(config_.stats_port, std::move(handlers));
+    stats_server_.register_with(epoll_fd_);
+  }
   return port_;
 }
 
@@ -163,6 +188,7 @@ void Gateway::install_signal_handlers() {
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGINT, &sa, &g_old_sigint);
   ::sigaction(SIGTERM, &sa, &g_old_sigterm);
+  ::sigaction(SIGUSR1, &sa, &g_old_sigusr1);
   signals_installed_ = true;
 }
 
@@ -170,6 +196,7 @@ void Gateway::restore_signal_handlers() {
   if (!signals_installed_) return;
   ::sigaction(SIGINT, &g_old_sigint, nullptr);
   ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
+  ::sigaction(SIGUSR1, &g_old_sigusr1, nullptr);
   g_signal_write_fd = -1;
   signals_installed_ = false;
 }
@@ -201,11 +228,20 @@ void Gateway::run() {
       const std::uint32_t mask = events[i].events;
       if (fd == pipe_read_fd_) {
         char drain[64];
-        while (::read(pipe_read_fd_, drain, sizeof(drain)) > 0) {
+        ssize_t got;
+        while ((got = ::read(pipe_read_fd_, drain, sizeof(drain))) > 0) {
+          for (ssize_t j = 0; j < got; ++j) {
+            if (drain[j] == kPipeFlightDump) {
+              dump_flight_recorder();
+            } else {
+              stop_ = true;
+            }
+          }
         }
-        stop_ = true;
       } else if (fd == listen_fd_) {
         accept_ready();
+      } else if (stats_server_.owns(fd)) {
+        stats_server_.handle_event(fd, mask);
       } else {
         const auto it = connections_.find(fd);
         if (it == connections_.end()) continue;  // closed earlier this batch
@@ -222,7 +258,9 @@ void Gateway::run() {
     // Fire due session ticks after the socket work so a tick sees every
     // frame that arrived before its deadline.
     clock_.run_due();
+    poll_watchdog();
   }
+  stats_server_.close_all();
 
   // Graceful shutdown: flush every live session, fold its energy, close.
   const std::vector<int> live = [this] {
@@ -257,6 +295,7 @@ void Gateway::accept_ready() {
       continue;
     }
     ++stats_.clients_accepted;
+    if (ctr_accepted_ != nullptr) ctr_accepted_->increment();
     connections_.emplace(fd, std::move(conn));
   }
 }
@@ -270,6 +309,10 @@ void Gateway::handle_readable(Connection& conn) {
       conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
       if (!dispatch_frames(conn)) {
         ++stats_.protocol_errors;
+        if (ctr_errors_ != nullptr) ctr_errors_->increment();
+        flight_.record(obs::TraceEvent::tx_failure(
+            clock_.now(), /*kind=*/0, /*entity=*/fd, /*attempt=*/1,
+            /*airtime=*/0.0));
         close_connection(fd, /*at_shutdown=*/false);
         return;
       }
@@ -320,6 +363,10 @@ bool Gateway::dispatch_frames(Connection& conn) {
         if (!conn.session->on_heartbeat(hb.train_app, clock_.now())) {
           return false;
         }
+        if (ctr_heartbeats_ != nullptr) ctr_heartbeats_->increment();
+        flight_.record(obs::TraceEvent::heartbeat_tx(
+            clock_.now(), static_cast<std::int32_t>(hb.train_app),
+            static_cast<std::int64_t>(config_.session.heartbeat_bytes)));
         break;
       }
       case system::wire::FrameType::kCargo: {
@@ -327,6 +374,11 @@ bool Gateway::dispatch_frames(Connection& conn) {
         system::wire::CargoFrame cargo;
         if (!system::wire::decode_cargo(frame.payload, cargo)) return false;
         if (!conn.session->on_cargo(cargo, clock_.now())) return false;
+        if (ctr_enqueued_ != nullptr) ctr_enqueued_->increment();
+        flight_.record(obs::TraceEvent::slot_begin(
+            clock_.now(),
+            static_cast<std::int32_t>(conn.session->waiting()),
+            static_cast<double>(cargo.bytes)));
         break;
       }
       case system::wire::FrameType::kBye:
@@ -342,6 +394,11 @@ bool Gateway::dispatch_frames(Connection& conn) {
 void Gateway::queue_ack(Connection& conn, const ScheduledPacket& packet) {
   metrics_.histogram("gateway.latency_s", latency_bounds())
       .add(packet.latency());
+  if (ctr_scheduled_ != nullptr) ctr_scheduled_->increment();
+  flight_.record(obs::TraceEvent::packet_select(
+      packet.transmitted, static_cast<std::int32_t>(packet.wire_app),
+      static_cast<std::int64_t>(packet.packet_id), packet.latency(),
+      static_cast<double>(packet.bytes)));
   system::wire::AckFrame ack;
   ack.packet_id = packet.packet_id;
   ack.latency_s = packet.latency();
@@ -428,6 +485,183 @@ void Gateway::fold_session(ClientSession& session) {
                      config_.session.model, horizon);
 }
 
+double Gateway::tick_lag_s() const {
+  const std::optional<TimePoint> next = clock_.next_alarm();
+  if (!next.has_value()) return 0.0;  // idle loops are never late
+  const double lag_clock = clock_.now() - *next;
+  return lag_clock > 0.0 ? lag_clock / config_.time_scale : 0.0;
+}
+
+void Gateway::poll_watchdog() {
+  const double lag = tick_lag_s();
+  if (!watchdog_unhealthy_) {
+    if (lag > config_.watchdog_budget_s) {
+      watchdog_unhealthy_ = true;
+      ++watchdog_trips_;
+      dump_flight_recorder();  // capture the run-up to the stall
+    }
+  } else if (lag <= config_.watchdog_budget_s * 0.5) {
+    watchdog_unhealthy_ = false;  // hysteresis: recover at half budget
+  }
+}
+
+void Gateway::dump_flight_recorder() {
+  ++flight_dumps_;
+  try {
+    obs::write_chrome_trace_file(config_.flight_path, flight_.events());
+  } catch (const std::runtime_error&) {
+    // Diagnostics only — an unwritable path must never take the loop down.
+  }
+}
+
+std::string Gateway::render_metrics() {
+  // The report registry plus the live counters, one exposition document.
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  const obs::MetricsSnapshot live = live_.snapshot();
+  snap.counters.insert(snap.counters.end(), live.counters.begin(),
+                       live.counters.end());
+
+  const TimePoint now = clock_.now();
+  std::vector<obs::PromGauge> gauges;
+  gauges.push_back({"up", 1.0, {}, "the stats plane answered this scrape"});
+  gauges.push_back({"gateway.connections",
+                    static_cast<double>(connections_.size()),
+                    {},
+                    "open client sockets (including pre-HELLO ones)"});
+
+  // Per-session gauges: one pass over the live sessions.
+  double live_sessions = 0.0;
+  double queued_cargo = 0.0;
+  double stale_max = 0.0;
+  double stale_sum = 0.0;
+  double stale_n = 0.0;
+  double rrc[3] = {0.0, 0.0, 0.0};  // idle, fach, dch
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    if (conn->session == nullptr) continue;
+    live_sessions += 1.0;
+    queued_cargo += static_cast<double>(conn->session->waiting());
+    const radio::RrcState state =
+        obs::state_at(conn->session->log(), config_.session.model, now);
+    rrc[static_cast<int>(state)] += 1.0;
+    const std::optional<TimePoint> beat =
+        conn->session->monitor().most_recent_beat();
+    if (beat.has_value()) {
+      const double staleness = std::max(0.0, now - *beat);
+      stale_max = std::max(stale_max, staleness);
+      stale_sum += staleness;
+      stale_n += 1.0;
+    }
+  }
+  gauges.push_back({"gateway.live_sessions", live_sessions, {},
+                    "sessions past HELLO"});
+  gauges.push_back({"gateway.queued_cargo", queued_cargo, {},
+                    "cargo packets waiting across all sessions"});
+  const char* state_names[3] = {"idle", "fach", "dch"};
+  for (int s = 0; s < 3; ++s) {
+    gauges.push_back({"gateway.rrc_sessions",
+                      rrc[s],
+                      {{"state", state_names[s]}},
+                      "sessions by modeled RRC state right now"});
+  }
+  gauges.push_back(
+      {"gateway.heartbeat_staleness_max_seconds", stale_max, {},
+       "largest clock-seconds gap since any session's last observed beat"});
+  gauges.push_back(
+      {"gateway.heartbeat_staleness_mean_seconds",
+       stale_n > 0.0 ? stale_sum / stale_n : 0.0,
+       {},
+       "mean clock-seconds since the last observed beat (beat-holders only)"});
+
+  gauges.push_back({"gateway.uptime_clock_seconds", now, {},
+                    "clock seconds since the gateway started"});
+  gauges.push_back({"gateway.tick_lag_seconds", tick_lag_s(), {},
+                    "how overdue the earliest pending alarm is, real seconds"});
+  gauges.push_back({"gateway.watchdog_budget_seconds",
+                    config_.watchdog_budget_s,
+                    {},
+                    "tick-lag level that trips the watchdog"});
+  gauges.push_back({"gateway.watchdog_trips",
+                    static_cast<double>(watchdog_trips_),
+                    {},
+                    "healthy to unhealthy watchdog transitions"});
+  gauges.push_back({"gateway.flight_events",
+                    static_cast<double>(flight_.size()),
+                    {},
+                    "events currently held by the flight recorder ring"});
+  gauges.push_back({"gateway.flight_dropped",
+                    static_cast<double>(flight_.dropped()),
+                    {},
+                    "flight-recorder events overwritten by ring wrap"});
+  gauges.push_back({"gateway.stats_requests",
+                    static_cast<double>(stats_server_.requests_served()),
+                    {},
+                    "stats-plane HTTP requests answered (this one included)"});
+  return obs::encode_prometheus(snap, gauges);
+}
+
+obs::StatsHealth Gateway::render_health() {
+  const double lag = tick_lag_s();
+  obs::StatsHealth health;
+  health.healthy = !watchdog_unhealthy_;
+  char detail[256];
+  std::snprintf(detail, sizeof(detail),
+                "{\"tick_lag_s\":%.6f,\"budget_s\":%.6f,"
+                "\"watchdog_trips\":%llu,\"sessions\":%zu}",
+                lag, config_.watchdog_budget_s,
+                static_cast<unsigned long long>(watchdog_trips_),
+                connections_.size());
+  health.detail = detail;
+  return health;
+}
+
+std::string Gateway::render_sessions() {
+  // Top-N live sessions by queue depth (ties: lower client id first) —
+  // bounded output no matter how many clients are connected.
+  struct Row {
+    std::uint64_t client_id;
+    std::size_t waiting;
+    double staleness;
+    radio::RrcState state;
+  };
+  const TimePoint now = clock_.now();
+  std::vector<Row> rows;
+  rows.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    if (conn->session == nullptr) continue;
+    const std::optional<TimePoint> beat =
+        conn->session->monitor().most_recent_beat();
+    rows.push_back(Row{
+        conn->session->client_id(), conn->session->waiting(),
+        beat.has_value() ? std::max(0.0, now - *beat) : -1.0,
+        obs::state_at(conn->session->log(), config_.session.model, now)});
+  }
+  const std::size_t top_n = std::min(rows.size(), config_.sessions_top_n);
+  std::partial_sort(rows.begin(), rows.begin() + top_n, rows.end(),
+                    [](const Row& a, const Row& b) {
+                      if (a.waiting != b.waiting) return a.waiting > b.waiting;
+                      return a.client_id < b.client_id;
+                    });
+
+  std::string out = "{\"live_sessions\":" + std::to_string(rows.size()) +
+                    ",\"top_n\":" + std::to_string(top_n) +
+                    ",\"sessions\":[";
+  for (std::size_t i = 0; i < top_n; ++i) {
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "%s{\"client_id\":%llu,\"waiting\":%zu,"
+                  "\"staleness_s\":%.3f,\"rrc\":\"%s\"}",
+                  i > 0 ? "," : "",
+                  static_cast<unsigned long long>(rows[i].client_id),
+                  rows[i].waiting, rows[i].staleness,
+                  radio::to_string(rows[i].state).c_str());
+    out += row;
+  }
+  out += "]}\n";
+  return out;
+}
+
 obs::RunReport Gateway::build_report() const {
   obs::RunReport report;
   report.bench = config_.bench_name;
@@ -466,6 +700,14 @@ obs::RunReport Gateway::build_report() const {
   report.metrics = metrics_.snapshot();
   report.add_environment("port", static_cast<double>(port_));
   report.add_environment("time_scale", config_.time_scale);
+  // Stats-plane telemetry rides in the non-compared environment section so
+  // the compared report stays byte-identical whether or not anyone scraped.
+  report.add_environment("stats_requests",
+                         static_cast<double>(stats_server_.requests_served()));
+  report.add_environment("watchdog_trips",
+                         static_cast<double>(watchdog_trips_));
+  report.add_environment("flight_dumps",
+                         static_cast<double>(flight_dumps_));
   return report;
 }
 

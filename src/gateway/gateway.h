@@ -25,6 +25,8 @@
 #include "gateway/session.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/stats_server.h"
+#include "obs/trace_buffer.h"
 #include "sim/clock.h"
 
 namespace etrain::gateway {
@@ -41,6 +43,22 @@ struct GatewayConfig {
   std::string report_path;
   /// Bench name stamped into the report.
   std::string bench_name = "gateway";
+
+  /// Live telemetry plane (docs/live_telemetry.md). -1 disables the
+  /// stats listener; 0 binds an ephemeral port (Gateway::stats_port()
+  /// reports it); open() throws — loudly — when the bind fails.
+  int stats_port = -1;
+  /// Tick-lag watchdog budget, REAL seconds: the loop is unhealthy when
+  /// the earliest pending alarm is overdue by more than this. A trip
+  /// dumps the flight recorder (once per unhealthy episode).
+  double watchdog_budget_s = 5.0;
+  /// Flight-recorder ring capacity, events (always on; ~40 B each).
+  std::size_t flight_capacity = std::size_t{1} << 16;
+  /// Where SIGUSR1 / watchdog trips dump the flight recorder
+  /// (Chrome trace_event JSON).
+  std::string flight_path = "gateway.flight.json";
+  /// Row cap of the /sessions endpoint (top-N by queue depth).
+  std::size_t sessions_top_n = 20;
 };
 
 /// Loop-wide totals. Client partition: accepted == disconnected +
@@ -95,6 +113,19 @@ class Gateway {
   sim::WallClock& clock() { return clock_; }
   obs::Registry& metrics() { return metrics_; }
 
+  /// Bound port of the stats listener; -1 when disabled.
+  int stats_port() const {
+    return stats_server_.is_open() ? stats_server_.port() : -1;
+  }
+  /// The always-on flight recorder ring (docs/live_telemetry.md).
+  const obs::TraceBuffer& flight_recorder() const { return flight_; }
+  /// Healthy -> unhealthy watchdog transitions so far.
+  std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+  /// Writes the flight recorder to `config.flight_path` as a Chrome
+  /// trace_event file. Run on SIGUSR1 and on every watchdog trip; callable
+  /// directly from the loop thread (tests do).
+  void dump_flight_recorder();
+
   /// The shutdown manifest (also what run() writes to `report_path`).
   /// Meaningful after run() returned.
   obs::RunReport build_report() const;
@@ -114,6 +145,17 @@ class Gateway {
   void update_write_interest(Connection& conn);
   int wait_timeout_ms() const;
 
+  /// Tick-lag of the loop in REAL seconds: how overdue the earliest
+  /// pending alarm is (0 when idle or on time).
+  double tick_lag_s() const;
+  /// Evaluates the watchdog after each epoll wake: trips (dump + counter)
+  /// on the healthy -> unhealthy edge, recovers with hysteresis at half
+  /// the budget.
+  void poll_watchdog();
+  std::string render_metrics();
+  obs::StatsHealth render_health();
+  std::string render_sessions();
+
   const core::PolicyRegistry& registry_;
   GatewayConfig config_;
   sim::WallClock clock_;
@@ -131,6 +173,26 @@ class Gateway {
 
   GatewayStats stats_;
   obs::EnergyLedger ledger_;
+
+  /// The live telemetry plane: listener + flight recorder + watchdog.
+  /// All of it only *reads* loop state — never feeds back into scheduling.
+  obs::StatsServer stats_server_;
+  obs::TraceBuffer flight_;
+  bool watchdog_unhealthy_ = false;
+  std::uint64_t watchdog_trips_ = 0;
+  std::uint64_t flight_dumps_ = 0;
+
+  /// Live counters (bumped as frames arrive, not at session fold) backing
+  /// /metrics mid-run. Equal to the folded GatewayStats once every
+  /// session closed. They live in their own registry so the RunReport's
+  /// metrics section stays exactly what it was before the stats plane
+  /// existed (the report-comparison contract).
+  obs::Registry live_;
+  obs::Counter* ctr_accepted_ = nullptr;
+  obs::Counter* ctr_heartbeats_ = nullptr;
+  obs::Counter* ctr_enqueued_ = nullptr;
+  obs::Counter* ctr_scheduled_ = nullptr;
+  obs::Counter* ctr_errors_ = nullptr;
 };
 
 }  // namespace etrain::gateway

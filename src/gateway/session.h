@@ -121,6 +121,11 @@ class ClientSession {
   const radio::TransmissionLog& log() const { return log_; }
   std::size_t waiting() const { return queues_.total_size(); }
 
+  /// The per-session monitor, read-only — the stats plane derives the
+  /// heartbeat-prediction staleness gauge (seconds since the last
+  /// observed beat, AoI-style) from it without touching session state.
+  const android::HeartbeatMonitor& monitor() const { return monitor_; }
+
   /// Energy horizon for billing this session's log: the later of `t` and
   /// the last radio occupancy, plus a full tail.
   Duration energy_horizon(TimePoint t) const;

@@ -1,0 +1,166 @@
+#include "obs/prom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace etrain::obs {
+
+namespace {
+
+/// Shortest decimal form that strtod round-trips back to `v` — readable
+/// le-labels and values without sacrificing determinism (a pure function
+/// of the bits of `v`).
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  // Exact small integers print as integers ("10", not "1e+01") — the
+  // common case for counts and round bucket bounds.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// One family of the output: a TYPE (+ optional HELP) header followed by
+/// its sample lines. Families are sorted by name before concatenation.
+struct Family {
+  std::string name;
+  std::string text;
+};
+
+void append_header(std::string& out, const std::string& name,
+                   const char* type, const std::string& help) {
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string prom_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  if (name.rfind("etrain_", 0) != 0) out = "etrain_";
+  for (const char c : name) {
+    out += name_char_ok(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string encode_prometheus(const MetricsSnapshot& snapshot,
+                              const std::vector<PromGauge>& gauges) {
+  std::vector<Family> families;
+  families.reserve(snapshot.counters.size() + snapshot.histograms.size() +
+                   gauges.size());
+
+  for (const auto& counter : snapshot.counters) {
+    Family family;
+    family.name = prom_metric_name(counter.name) + "_total";
+    append_header(family.text, family.name, "counter", counter.name);
+    family.text +=
+        family.name + " " + std::to_string(counter.value) + "\n";
+    families.push_back(std::move(family));
+  }
+
+  for (const auto& histogram : snapshot.histograms) {
+    Family family;
+    family.name = prom_metric_name(histogram.name);
+    append_header(family.text, family.name, "histogram", histogram.name);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      cumulative += histogram.counts[i];
+      const std::string le = i < histogram.bounds.size()
+                                 ? format_double(histogram.bounds[i])
+                                 : "+Inf";
+      family.text += family.name + "_bucket{le=\"" + le + "\"} " +
+                     std::to_string(cumulative) + "\n";
+    }
+    family.text +=
+        family.name + "_sum " + format_double(histogram.sum) + "\n";
+    family.text +=
+        family.name + "_count " + std::to_string(histogram.count) + "\n";
+    families.push_back(std::move(family));
+
+    // Quantile companions, through the same shared estimator the run
+    // report serializes (obs/metrics.h histogram_quantile).
+    const std::pair<const char*, double> quantiles[3] = {
+        {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+    for (const auto& [suffix, q] : quantiles) {
+      Family quantile_family;
+      quantile_family.name = prom_metric_name(histogram.name) + suffix;
+      append_header(quantile_family.text, quantile_family.name, "gauge", "");
+      quantile_family.text += quantile_family.name + " " +
+                              format_double(histogram.quantile(q)) + "\n";
+      families.push_back(std::move(quantile_family));
+    }
+  }
+
+  // Gauges sharing a raw name form one family (one TYPE header, samples
+  // in the order given — label order is the caller's).
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    const std::string name = prom_metric_name(gauges[i].name);
+    const bool continues_family =
+        i > 0 && prom_metric_name(gauges[i - 1].name) == name;
+    if (!continues_family) {
+      Family family;
+      family.name = name;
+      append_header(family.text, name, "gauge", gauges[i].help);
+      families.push_back(std::move(family));
+    }
+    Family& family = families.back();
+    family.text += name;
+    if (!gauges[i].labels.empty()) {
+      family.text += "{";
+      for (std::size_t l = 0; l < gauges[i].labels.size(); ++l) {
+        if (l > 0) family.text += ",";
+        family.text += gauges[i].labels[l].first + "=\"" +
+                       escape_label(gauges[i].labels[l].second) + "\"";
+      }
+      family.text += "}";
+    }
+    family.text += " " + format_double(gauges[i].value) + "\n";
+  }
+
+  std::stable_sort(families.begin(), families.end(),
+                   [](const Family& a, const Family& b) {
+                     return a.name < b.name;
+                   });
+  std::string out;
+  for (const Family& family : families) out += family.text;
+  return out;
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,56 @@
+// Prometheus text-format (exposition format 0.0.4) encoding of a
+// MetricsSnapshot, plus ad-hoc gauges computed at scrape time.
+//
+// This is the wire half of the live telemetry plane (docs/live_telemetry.md):
+// the gateway's stats listener calls encode_prometheus() on every GET
+// /metrics, turning the same Registry the shutdown manifest freezes into
+// scrape-able series. Dependency-free and deterministic on purpose — two
+// snapshots of the same registry state encode byte-identically, families
+// are sorted by encoded name, and doubles print in their shortest
+// round-trippable form — so the format can be linted mechanically
+// (scripts/check_prom.py) and diffed across scrapes.
+//
+// Naming scheme:
+//   counter  "gateway.heartbeats"  ->  etrain_gateway_heartbeats_total
+//   histogram "gateway.latency_s"  ->  etrain_gateway_latency_s_bucket{le=...}
+//                                      + _sum + _count, and gauge companions
+//                                      ..._p50 / _p95 / _p99 computed with
+//                                      the shared histogram_quantile
+//                                      estimator (obs/metrics.h)
+//   gauge    PromGauge{name,...}   ->  etrain_<sanitized name>
+// Dots and any other character outside [a-zA-Z0-9_:] become '_'.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace etrain::obs {
+
+/// `name` sanitized to the Prometheus metric-name charset and prefixed
+/// with "etrain_" (unless it already starts with it).
+std::string prom_metric_name(const std::string& name);
+
+/// One gauge sample computed at scrape time (queue depths, staleness,
+/// uptime...). `name` is the raw pre-sanitation name; gauges sharing a
+/// name (e.g. an RRC-state family distinguished by labels) are emitted
+/// under one TYPE declaration, in the order given.
+struct PromGauge {
+  std::string name;
+  double value = 0.0;
+  /// Optional labels, emitted as {k="v",...} in the order given.
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Optional HELP text (first sample of a family wins).
+  std::string help;
+};
+
+/// Encodes `snapshot` (counters as *_total, histograms with cumulative
+/// le-buckets, _sum, _count and p50/p95/p99 gauge companions) plus
+/// `gauges` as Prometheus text. Families are sorted by encoded name;
+/// equal input state yields byte-identical output.
+std::string encode_prometheus(const MetricsSnapshot& snapshot,
+                              const std::vector<PromGauge>& gauges = {});
+
+}  // namespace etrain::obs

@@ -1,0 +1,346 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+namespace etrain::obs {
+
+namespace {
+
+/// Requests larger than this are hostile or broken; answer 400 and close.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+}  // namespace
+
+/// Per-connection state: the buffered request and the (possibly
+/// partially written) response. One request per connection (HTTP/1.0).
+struct StatsServer::Connection {
+  int fd = -1;
+  std::string inbuf;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool responded = false;
+  bool want_write = false;
+
+  bool has_backlog() const { return out_off < outbuf.size(); }
+};
+
+StatsServer::StatsServer() = default;
+StatsServer::~StatsServer() { close_all(); }
+
+int StatsServer::open(int port, StatsHandlers handlers) {
+  if (listen_fd_ >= 0) {
+    throw std::runtime_error("stats: open() called twice");
+  }
+  handlers_ = std::move(handlers);
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("stats: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats: bind() failed on port " +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats: listen() failed on port " +
+                             std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("stats: getsockname() failed");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return port_;
+}
+
+void StatsServer::register_with(int epoll_fd) {
+  epoll_fd_ = epoll_fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
+bool StatsServer::owns(int fd) const {
+  return fd >= 0 &&
+         (fd == listen_fd_ || connections_.find(fd) != connections_.end());
+}
+
+void StatsServer::handle_event(int fd, std::uint32_t mask) {
+  if (fd == listen_fd_) {
+    accept_ready();
+    return;
+  }
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_connection(fd);
+    return;
+  }
+  if ((mask & EPOLLOUT) != 0) handle_writable(conn);
+  if (connections_.find(fd) == connections_.end()) return;
+  if ((mask & EPOLLIN) != 0) handle_readable(conn);
+}
+
+void StatsServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient failure; the listener stays armed
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void StatsServer::handle_readable(Connection& conn) {
+  const int fd = conn.fd;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!conn.responded) {
+        conn.inbuf.append(buf, static_cast<std::size_t>(n));
+        if (conn.inbuf.size() > kMaxRequestBytes) {
+          queue_response(conn, 400, "Bad Request", "text/plain",
+                         "request too large\n");
+        } else if (conn.inbuf.find("\r\n") != std::string::npos) {
+          respond(conn);
+        }
+      }
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;
+      continue;
+    }
+    if (n == 0) {
+      // EOF: if the peer half-closed after a complete request, the
+      // response (if any) still flushes; otherwise drop.
+      if (!conn.has_backlog()) close_connection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+}
+
+bool StatsServer::respond(Connection& conn) {
+  const std::size_t eol = conn.inbuf.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string_view line(conn.inbuf.data(), eol);
+
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    queue_response(conn, 400, "Bad Request", "text/plain", "bad request\n");
+    return true;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string_view::npos) path = path.substr(0, query);
+
+  if (method != "GET") {
+    queue_response(conn, 405, "Method Not Allowed", "text/plain",
+                   "only GET is served here\n");
+    return true;
+  }
+  if (path == "/metrics") {
+    queue_response(conn, 200, "OK", "text/plain; version=0.0.4",
+                   handlers_.metrics_text ? handlers_.metrics_text() : "");
+  } else if (path == "/healthz") {
+    const StatsHealth health =
+        handlers_.health ? handlers_.health() : StatsHealth{};
+    const std::string body =
+        std::string("{\"healthy\":") + (health.healthy ? "true" : "false") +
+        ",\"detail\":" + health.detail + "}\n";
+    if (health.healthy) {
+      queue_response(conn, 200, "OK", "application/json", body);
+    } else {
+      queue_response(conn, 503, "Service Unavailable", "application/json",
+                     body);
+    }
+  } else if (path == "/sessions") {
+    queue_response(conn, 200, "OK", "application/json",
+                   handlers_.sessions_json ? handlers_.sessions_json()
+                                           : "{}");
+  } else {
+    queue_response(conn, 404, "Not Found", "text/plain",
+                   "not found — try /metrics, /healthz or /sessions\n");
+  }
+  return true;
+}
+
+void StatsServer::queue_response(Connection& conn, int status,
+                                 const char* reason,
+                                 const char* content_type,
+                                 const std::string& body) {
+  if (conn.responded) return;
+  conn.responded = true;
+  ++requests_;
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type, body.size());
+  conn.outbuf.assign(header);
+  conn.outbuf += body;
+  conn.out_off = 0;
+  handle_writable(conn);
+}
+
+void StatsServer::handle_writable(Connection& conn) {
+  while (conn.has_backlog()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      update_write_interest(conn);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(conn.fd);  // peer gone
+    return;
+  }
+  if (conn.responded) {
+    close_connection(conn.fd);  // one request per connection
+  } else {
+    update_write_interest(conn);
+  }
+}
+
+void StatsServer::update_write_interest(Connection& conn) {
+  const bool want = conn.has_backlog();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void StatsServer::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void StatsServer::close_all() {
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    if (epoll_fd_ >= 0) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    if (epoll_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int http_get(int port, const std::string& path, std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return 0;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return 0;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (HTTP/1.0 close-delimited) or error
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  if (response.rfind("HTTP/", 0) != 0) return 0;
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) return 0;
+  const int status = std::atoi(response.c_str() + sp + 1);
+  if (body != nullptr) {
+    const std::size_t split = response.find("\r\n\r\n");
+    *body = split == std::string::npos ? std::string()
+                                       : response.substr(split + 4);
+  }
+  return status;
+}
+
+}  // namespace etrain::obs

@@ -1,0 +1,109 @@
+// A minimal HTTP/1.0 stats listener that plugs into an existing epoll
+// loop — the serving half of the live telemetry plane
+// (docs/live_telemetry.md).
+//
+// The owner (the gateway daemon) opens the listener on its own port,
+// registers it with the loop's epoll fd, and routes every event whose fd
+// the server owns() to handle_event(). The server accepts connections,
+// parses one GET request line each, answers from the three handler
+// callbacks, and closes (HTTP/1.0, Connection: close):
+//
+//   GET /metrics   -> handlers.metrics_text()   text/plain; version=0.0.4
+//   GET /healthz   -> handlers.health()          200 when healthy, 503
+//                                                otherwise, JSON detail
+//   GET /sessions  -> handlers.sessions_json()   application/json
+//
+// Everything runs on the loop thread — handlers may read loop-confined
+// state without locks, which is the whole design: the stats plane only
+// *reads* snapshots, never feeds back into scheduling, so determinism
+// contracts elsewhere are untouched. Requests are bounded (4 KiB) and a
+// malformed or oversized request gets a 400 and a close; a slow or
+// hostile scraper can never wedge the loop (all sockets nonblocking,
+// writes fall back to EPOLLOUT).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace etrain::obs {
+
+/// What /healthz reports. `detail` is embedded verbatim in the JSON body
+/// (pre-rendered by the owner; keep it a JSON object).
+struct StatsHealth {
+  bool healthy = true;
+  std::string detail = "{}";
+};
+
+struct StatsHandlers {
+  std::function<std::string()> metrics_text;
+  std::function<StatsHealth()> health;
+  std::function<std::string()> sessions_json;
+};
+
+class StatsServer {
+ public:
+  StatsServer();  // out of line: Connection is incomplete here
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds + listens on 127.0.0.1:`port` (0 = ephemeral) with nonblocking
+  /// sockets. Returns the bound port. Throws std::runtime_error with the
+  /// port in the message on any socket failure — the daemon exits loudly
+  /// instead of silently serving without its stats plane.
+  int open(int port, StatsHandlers handlers);
+
+  bool is_open() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Registers the listen socket with `epoll_fd`; accepted connections
+  /// register themselves on the same fd. Call once, after open().
+  void register_with(int epoll_fd);
+
+  /// True when `fd` is the listener or one of its connections — the
+  /// loop's dispatch test.
+  bool owns(int fd) const;
+
+  /// Handles one epoll event (`mask` = epoll_event.events) for an owned
+  /// fd: accepts, reads + answers, or flushes a pending response.
+  void handle_event(int fd, std::uint32_t mask);
+
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const { return requests_; }
+
+  /// Closes the listener and every connection (idempotent; also run by
+  /// the destructor).
+  void close_all();
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  /// Parses the buffered request and queues the response; true when a
+  /// full request line was seen.
+  bool respond(Connection& conn);
+  void queue_response(Connection& conn, int status, const char* reason,
+                      const char* content_type, const std::string& body);
+  void close_connection(int fd);
+  void update_write_interest(Connection& conn);
+
+  StatsHandlers handlers_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int port_ = 0;
+  std::uint64_t requests_ = 0;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+};
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port` for tests,
+/// benches and scrapers: returns the status code (0 on connect/transport
+/// failure) and fills `body` (may be null) with the response body.
+int http_get(int port, const std::string& path, std::string* body);
+
+}  // namespace etrain::obs

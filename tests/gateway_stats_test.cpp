@@ -1,0 +1,273 @@
+// Live telemetry plane tests (obs/stats_server.h + the gateway wiring,
+// docs/live_telemetry.md): an in-process Gateway serves /metrics, /healthz
+// and /sessions from its own epoll loop over real loopback sockets while
+// wire-protocol clients talk to it; SIGUSR1 dumps the flight recorder; and
+// the stats plane never perturbs the session pipeline (the report stats
+// match a stats-free run's contract exactly).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "baselines/registry.h"
+#include "gateway/gateway.h"
+#include "obs/report.h"
+#include "obs/stats_server.h"
+#include "system/protocol.h"
+
+namespace {
+
+using namespace etrain;
+
+/// Looks up `name` in a report's (ordered, non-unique) environment pairs.
+double env_value(const obs::RunReport& report, const std::string& name) {
+  for (const auto& [key, value] : report.environment) {
+    if (key == name) return value;
+  }
+  return -1.0;
+}
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// First sample of `name` in a Prometheus body ("\n<name> " or
+/// "\n<name>{" prefixed); -1 when absent.
+double prom_value(const std::string& body, const std::string& name) {
+  std::size_t pos = body.find("\n" + name + " ");
+  if (pos != std::string::npos) {
+    return std::strtod(body.c_str() + pos + name.size() + 2, nullptr);
+  }
+  return -1.0;
+}
+
+TEST(GatewayStats, EndpointsAnswerFromTheLoopWhileSessionsRun) {
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.stats_port = 0;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  const int stats_port = gw.stats_port();
+  ASSERT_GT(stats_port, 0);
+  std::thread server([&] { gw.run(); });
+
+  // /healthz answers 200 with a JSON body before any client exists.
+  std::string body;
+  ASSERT_EQ(obs::http_get(stats_port, "/healthz", &body), 200);
+  EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"tick_lag_s\""), std::string::npos);
+
+  // A wire client HELLOs, heartbeats and submits cargo.
+  const int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  system::wire::HelloFrame hello;
+  hello.client_id = 77;
+  hello.train_apps.push_back(1);
+  hello.cargo_apps.push_back(
+      system::wire::CargoAppSpec{2, system::wire::ProfileCode::kMail});
+  const std::string hello_bytes = system::wire::encode_hello(hello);
+  ASSERT_EQ(::send(fd, hello_bytes.data(), hello_bytes.size(), 0),
+            static_cast<ssize_t>(hello_bytes.size()));
+  const std::string hb =
+      system::wire::encode_heartbeat(system::wire::HeartbeatFrame{1, 0});
+  ASSERT_EQ(::send(fd, hb.data(), hb.size(), 0),
+            static_cast<ssize_t>(hb.size()));
+  system::wire::CargoFrame cargo;
+  cargo.cargo_app = 2;
+  cargo.packet_id = 1;
+  cargo.bytes = 1000;
+  cargo.deadline_s = 60.0;
+  const std::string cargo_bytes = system::wire::encode_cargo(cargo);
+  ASSERT_EQ(::send(fd, cargo_bytes.data(), cargo_bytes.size(), 0),
+            static_cast<ssize_t>(cargo_bytes.size()));
+
+  // The loop processes frames in arrival order, so poll /metrics until
+  // the cargo (the last frame sent) shows — this is the live mid-session
+  // scrape, and in-order processing means the earlier frames counted too.
+  double enqueued = 0.0;
+  std::string metrics;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    ASSERT_EQ(obs::http_get(stats_port, "/metrics", &metrics), 200);
+    enqueued = prom_value(metrics, "etrain_gateway_packets_enqueued_total");
+    if (enqueued >= 1.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(enqueued, 1.0);
+  EXPECT_EQ(prom_value(metrics, "etrain_gateway_heartbeats_total"), 1.0);
+  EXPECT_EQ(prom_value(metrics, "etrain_gateway_clients_accepted_total"),
+            1.0);
+  EXPECT_EQ(prom_value(metrics, "etrain_gateway_live_sessions"), 1.0);
+  EXPECT_EQ(prom_value(metrics, "etrain_up"), 1.0);
+  // The RRC occupancy family partitions the live sessions.
+  EXPECT_NE(metrics.find("etrain_gateway_rrc_sessions{state=\"idle\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("etrain_gateway_rrc_sessions{state=\"dch\"}"),
+            std::string::npos);
+  // Heartbeat staleness gauge exists and is non-negative.
+  EXPECT_GE(
+      prom_value(metrics, "etrain_gateway_heartbeat_staleness_max_seconds"),
+      0.0);
+  // The latency histogram from the report registry is exposed too.
+  EXPECT_NE(metrics.find("etrain_gateway_latency_s_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("\netrain_gateway_latency_s_p99 "),
+            std::string::npos);
+
+  // /sessions lists the one live session with its queue depth.
+  ASSERT_EQ(obs::http_get(stats_port, "/sessions", &body), 200);
+  EXPECT_NE(body.find("\"live_sessions\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"client_id\":77"), std::string::npos);
+  EXPECT_NE(body.find("\"rrc\":"), std::string::npos);
+
+  // Unknown paths 404; transport-level client sees the status.
+  EXPECT_EQ(obs::http_get(stats_port, "/nope", &body), 404);
+
+  const std::string bye = system::wire::encode_bye();
+  ASSERT_EQ(::send(fd, bye.data(), bye.size(), 0),
+            static_cast<ssize_t>(bye.size()));
+  // The BYE flush releases the queued cargo, so ACK bytes precede the
+  // EOF the gateway answers the BYE with — drain through them.
+  char drain[256];
+  ssize_t drained;
+  while ((drained = ::recv(fd, drain, sizeof(drain), 0)) > 0) {
+  }
+  EXPECT_EQ(drained, 0);
+  ::close(fd);
+
+  gw.request_stop();
+  server.join();
+
+  // The stats plane observed, never perturbed: the daemon's own stats
+  // partition holds exactly as in the stats-free daemon tests.
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_EQ(stats.clients_accepted, 1u);
+  EXPECT_EQ(stats.heartbeats, 1u);
+  EXPECT_EQ(stats.packets_enqueued, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_GT(env_value(gw.build_report(), "stats_requests"), 0.0);
+}
+
+TEST(GatewayStats, Sigusr1DumpsTheFlightRecorderWithoutStopping) {
+  const std::string flight_path = "gateway_stats_test.flight.json";
+  std::remove(flight_path.c_str());
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.stats_port = 0;
+  config.flight_path = flight_path;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  (void)port;
+  gw.install_signal_handlers();
+  std::thread server([&] { gw.run(); });
+
+  // Wait for the loop to serve, then SIGUSR1 it.
+  while (obs::http_get(gw.stats_port(), "/healthz", nullptr) != 200) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::raise(SIGUSR1);
+
+  // The dump lands without the loop stopping: /metrics keeps answering
+  // and eventually reports the dump through the flight gauges.
+  bool dumped = false;
+  for (int attempt = 0; attempt < 500 && !dumped; ++attempt) {
+    ASSERT_EQ(obs::http_get(gw.stats_port(), "/metrics", nullptr), 200);
+    std::FILE* f = std::fopen(flight_path.c_str(), "rb");
+    if (f != nullptr) {
+      std::fclose(f);
+      dumped = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(dumped);
+
+  gw.request_stop();
+  server.join();
+  gw.restore_signal_handlers();
+  EXPECT_GE(env_value(gw.build_report(), "flight_dumps"), 1.0);
+  std::remove(flight_path.c_str());
+}
+
+TEST(GatewayStats, StatsPortBindFailureIsLoud) {
+  // Occupy a port, then ask a gateway to serve stats on it.
+  obs::StatsServer squatter;
+  obs::StatsHandlers none;
+  const int taken = squatter.open(0, std::move(none));
+  ASSERT_GT(taken, 0);
+
+  gateway::GatewayConfig config;
+  config.stats_port = taken;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  try {
+    gw.open();
+    FAIL() << "open() should throw on a stats bind failure";
+  } catch (const std::runtime_error& e) {
+    // The message names the port so the operator knows what collided.
+    EXPECT_NE(std::string(e.what()).find(std::to_string(taken)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GatewayStats, OversizedAndMalformedRequestsGet400) {
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.stats_port = 0;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  gw.open();
+  std::thread server([&] { gw.run(); });
+  while (obs::http_get(gw.stats_port(), "/healthz", nullptr) != 200) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Malformed request line.
+  const int fd = connect_loopback(gw.stats_port());
+  ASSERT_GE(fd, 0);
+  const std::string junk = "NONSENSE\r\n";
+  ASSERT_EQ(::send(fd, junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+
+  // POST is refused.
+  const int post_fd = connect_loopback(gw.stats_port());
+  ASSERT_GE(post_fd, 0);
+  const std::string post = "POST /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(post_fd, post.data(), post.size(), 0),
+            static_cast<ssize_t>(post.size()));
+  response.clear();
+  while ((n = ::recv(post_fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(post_fd);
+  EXPECT_NE(response.find("405"), std::string::npos);
+
+  gw.request_stop();
+  server.join();
+}
+
+}  // namespace

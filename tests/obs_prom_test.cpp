@@ -1,0 +1,183 @@
+// Prometheus encoder tests (obs/prom.h) plus the Histogram::quantile edge
+// cases the /metrics quantile companions lean on: empty histograms,
+// samples confined to the overflow bucket, and the exact q=0 / q=1
+// endpoints. The encoding determinism tests pin the contract
+// scripts/check_prom.py and the scrape-diffing workflow rely on — two
+// snapshots of the same registry state encode byte-identically, with
+// families sorted by encoded name.
+#include "obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace etrain;
+
+TEST(HistogramQuantile, EmptyHistogramReportsZeroEverywhere) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramQuantile, AllValuesInOverflowBucketStayWithinObservedRange) {
+  obs::Histogram h({1.0, 2.0});
+  // Everything beyond the last bound: the overflow bucket has no upper
+  // edge of its own, so the estimator must fall back to observed min/max.
+  h.add(10.0);
+  h.add(20.0);
+  h.add(30.0);
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 30.0);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 10.0);
+  EXPECT_LE(median, 30.0);
+}
+
+TEST(HistogramQuantile, EndpointsAreExactObservedExtremes) {
+  obs::Histogram h({1.0, 5.0, 25.0});
+  h.add(0.7);
+  h.add(3.0);
+  h.add(4.0);
+  h.add(17.0);
+  EXPECT_EQ(h.quantile(0.0), 0.7);
+  EXPECT_EQ(h.quantile(1.0), 17.0);
+  // Out-of-range q clamps to the endpoints rather than extrapolating.
+  EXPECT_EQ(h.quantile(-1.0), 0.7);
+  EXPECT_EQ(h.quantile(2.0), 17.0);
+}
+
+TEST(HistogramQuantile, SingleSampleIsEveryQuantile) {
+  obs::Histogram h({1.0, 2.0});
+  h.add(1.5);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 1.5) << "q = " << q;
+  }
+}
+
+TEST(PromEncode, TwoSnapshotsOfTheSameRegistryEncodeByteIdentically) {
+  obs::Registry registry;
+  registry.counter("gateway.heartbeats").increment(7);
+  registry.counter("gateway.packets_enqueued").increment(41);
+  auto& h = registry.histogram("gateway.latency_s", {0.5, 1.0, 5.0});
+  h.add(0.25);
+  h.add(0.75);
+  h.add(12.0);
+
+  const std::string a = obs::encode_prometheus(registry.snapshot());
+  const std::string b = obs::encode_prometheus(registry.snapshot());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(PromEncode, FamiliesAreSortedByEncodedName) {
+  obs::Registry registry;
+  // Registered deliberately out of lexicographic order.
+  registry.counter("zeta.last").increment();
+  registry.counter("alpha.first").increment();
+  registry.histogram("mid.latency", {1.0}).add(0.5);
+
+  const std::string text = obs::encode_prometheus(registry.snapshot());
+  const std::size_t alpha = text.find("etrain_alpha_first_total");
+  const std::size_t mid = text.find("etrain_mid_latency_bucket");
+  const std::size_t zeta = text.find("etrain_zeta_last_total");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zeta, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zeta);
+}
+
+TEST(PromEncode, CountersGetTheTotalSuffixAndDotsBecomeUnderscores) {
+  obs::Registry registry;
+  registry.counter("scheduler.gate-opens").increment(3);
+  const std::string text = obs::encode_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE etrain_scheduler_gate_opens_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("etrain_scheduler_gate_opens_total 3\n"),
+            std::string::npos);
+}
+
+TEST(PromEncode, HistogramBucketsAreCumulativeAndEndAtInf) {
+  obs::Registry registry;
+  auto& h = registry.histogram("q.latency", {1.0, 2.0});
+  h.add(0.5);   // bucket le=1
+  h.add(1.5);   // bucket le=2
+  h.add(99.0);  // overflow
+  const std::string text = obs::encode_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("etrain_q_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etrain_q_latency_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etrain_q_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("etrain_q_latency_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("etrain_q_latency_sum 101\n"), std::string::npos);
+}
+
+TEST(PromEncode, QuantileCompanionsUseTheSharedEstimator) {
+  obs::Registry registry;
+  auto& h = registry.histogram("q.latency", {1.0, 2.0, 4.0});
+  for (const double v : {0.2, 0.4, 1.2, 1.8, 3.0, 3.5, 7.0}) h.add(v);
+  const std::string text = obs::encode_prometheus(registry.snapshot());
+  // The emitted values round-trip to exactly what the shared estimator
+  // computes (shortest round-trippable formatting).
+  const auto emitted = [&text](const std::string& name) {
+    // "\n<name> " skips the "# TYPE <name> gauge" header line.
+    const std::size_t pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << name;
+    return pos == std::string::npos
+               ? -1.0
+               : std::strtod(text.c_str() + pos + name.size() + 2, nullptr);
+  };
+  EXPECT_DOUBLE_EQ(emitted("etrain_q_latency_p50"), h.quantile(0.50));
+  EXPECT_DOUBLE_EQ(emitted("etrain_q_latency_p95"), h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(emitted("etrain_q_latency_p99"), h.quantile(0.99));
+}
+
+TEST(PromEncode, GaugesWithSharedNameFormOneLabeledFamily) {
+  const std::vector<obs::PromGauge> gauges = {
+      {"gateway.rrc_sessions", 3.0, {{"state", "idle"}}, "by RRC state"},
+      {"gateway.rrc_sessions", 1.0, {{"state", "fach"}}, ""},
+      {"gateway.rrc_sessions", 2.0, {{"state", "dch"}}, ""},
+  };
+  const std::string text =
+      obs::encode_prometheus(obs::MetricsSnapshot{}, gauges);
+  // One TYPE header, three labeled samples, declaration order preserved.
+  EXPECT_EQ(text,
+            "# HELP etrain_gateway_rrc_sessions by RRC state\n"
+            "# TYPE etrain_gateway_rrc_sessions gauge\n"
+            "etrain_gateway_rrc_sessions{state=\"idle\"} 3\n"
+            "etrain_gateway_rrc_sessions{state=\"fach\"} 1\n"
+            "etrain_gateway_rrc_sessions{state=\"dch\"} 2\n");
+}
+
+TEST(PromEncode, MetricNameSanitation) {
+  EXPECT_EQ(obs::prom_metric_name("gateway.latency_s"),
+            "etrain_gateway_latency_s");
+  EXPECT_EQ(obs::prom_metric_name("etrain_already_prefixed"),
+            "etrain_already_prefixed");
+  EXPECT_EQ(obs::prom_metric_name("weird name!"), "etrain_weird_name_");
+}
+
+TEST(PromEncode, SnapshotQuantileMatchesLiveHistogram) {
+  obs::Registry registry;
+  auto& h = registry.histogram("x.y", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 50; ++i) h.add(static_cast<double>(i));
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const obs::HistogramSnapshot* frozen = snap.histogram("x.y");
+  ASSERT_NE(frozen, nullptr);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(frozen->quantile(q), h.quantile(q)) << "q = " << q;
+  }
+}
+
+}  // namespace
