@@ -25,12 +25,20 @@
 // and (b) a final scrape taken after the BYE drain — when every session
 // has folded — agrees exactly with the shutdown stats.
 //
+// With --shards N the gateway serves the same load from N worker shards
+// (SO_REUSEPORT listeners, per-shard epoll loops and clocks;
+// docs/gateway.md#sharding). The report's environment then also carries
+// `scheduled_packets_per_sec_shards<N>` / `p99_latency_inverse_per_s_shards<N>`
+// so check.sh can gate the multi-shard scaling floor from the same
+// baseline file as the 1-shard floors.
+//
 // Flags: the shared --report/--quick/--jobs set (obs::BenchOptions) plus
 //   --clients N       population size      (default 2000; --quick 1000)
 //   --duration S      clock seconds driven (default 180; --quick 90)
 //   --time-scale S    clock s per wall s   (default 60)
 //   --seed N          script seed          (default 42)
 //   --port N          gateway port         (default 0 = ephemeral)
+//   --shards N        gateway worker shards (default 1)
 //
 // Emits BENCH_gateway.json by default (or wherever --report points).
 #include <algorithm>
@@ -123,10 +131,13 @@ int main(int argc, char** argv) {
       parse_double_flag(argc, argv, "--seed", 42.0));
   const int port =
       static_cast<int>(parse_double_flag(argc, argv, "--port", 0.0));
+  const int shards =
+      static_cast<int>(parse_double_flag(argc, argv, "--shards", 1.0));
 
   gateway::GatewayConfig config;
   config.time_scale = time_scale;
   config.port = port;
+  config.shards = shards;
   config.stats_port = 0;  // the bench always scrapes its own gateway
   const auto& registry = etrain::baselines::builtin_registry();
   gateway::Gateway gw(registry, config);
@@ -135,8 +146,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "=== gateway: %d loopback clients x %.0f clock s at %.0fx "
-      "compression, port %d (stats %d) ===\n",
-      clients, duration, time_scale, bound_port, stats_port);
+      "compression, %d shard%s%s, port %d (stats %d) ===\n",
+      clients, duration, time_scale, shards, shards == 1 ? "" : "s",
+      gw.handoff_mode() ? " (hand-off)" : "", bound_port, stats_port);
 
   std::exception_ptr gateway_error;
   std::thread server([&] {
@@ -191,9 +203,20 @@ int main(int argc, char** argv) {
   // Final scrape: the load generator has BYEd every client, so every
   // session has folded — the live counters must agree exactly with the
   // shutdown stats now.
+  // With shards, a worker publishes its snapshot at its next epoll wake
+  // after the last close, so poll until the aggregated connection gauge
+  // reaches zero (each published snapshot is internally consistent: its
+  // counters and connection count come from one wake).
   std::string final_scrape;
-  const int final_status = obs::http_get(stats_port, "/metrics",
-                                         &final_scrape);
+  int final_status = 0;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    final_status = obs::http_get(stats_port, "/metrics", &final_scrape);
+    if (final_status == 200 &&
+        prom_value(final_scrape, "etrain_gateway_connections") == 0.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
 
   gw.request_stop();
   server.join();
@@ -309,6 +332,15 @@ int main(int argc, char** argv) {
                          1.0 / std::max(1e-9, p99));
   report.add_environment("mid_run_scrapes",
                          static_cast<double>(scrapes.load()));
+  if (shards > 1) {
+    // Shard-suffixed copies of the gated rates, so one baseline file can
+    // carry both the 1-shard floors and the multi-shard scaling floors.
+    const std::string suffix = "_shards" + std::to_string(shards);
+    report.add_environment("scheduled_packets_per_sec" + suffix,
+                           scheduled_per_sec);
+    report.add_environment("p99_latency_inverse_per_s" + suffix,
+                           1.0 / std::max(1e-9, p99));
+  }
   obs::finalize_run_report(opts.report_path, std::move(report));
   return failed ? 1 : 0;
 }

@@ -32,12 +32,16 @@ namespace {
 
 const char* kUsage =
     "Usage:\n"
-    "  etrain_gatewayd [--port N] [--policy SPEC] [--radio SPEC]\n"
-    "                  [--time-scale S] [--tick-period S] [--report PATH]\n"
-    "                  [--stats-port N] [--watchdog-ms MS] [--flight PATH]\n"
+    "  etrain_gatewayd [--port N] [--shards N] [--policy SPEC]\n"
+    "                  [--radio SPEC] [--time-scale S] [--tick-period S]\n"
+    "                  [--report PATH] [--stats-port N] [--watchdog-ms MS]\n"
+    "                  [--flight PATH]\n"
     "\n"
     "  --port N         TCP port to bind on loopback (default 0 =\n"
     "                   ephemeral; the bound port is printed either way)\n"
+    "  --shards N       worker shards, each its own epoll loop and session\n"
+    "                   map (default 1; connections land per shard via\n"
+    "                   SO_REUSEPORT, or accept-and-hand-off without it)\n"
     "  --policy SPEC    PolicyRegistry spec for every session (default\n"
     "                   \"etrain\"; see etrain_cli --list for specs)\n"
     "  --radio SPEC     ModelRegistry spec billing every session's uplink\n"
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
   if (const char* v = flag_value(argc, argv, "--port")) {
     config.port = std::atoi(v);
   }
+  if (const char* v = flag_value(argc, argv, "--shards")) {
+    config.shards = std::atoi(v);
+  }
   if (const char* v = flag_value(argc, argv, "--policy")) {
     config.session.policy_spec = v;
   }
@@ -129,8 +136,11 @@ int main(int argc, char** argv) {
     gw.install_signal_handlers();
     std::printf(
         "etrain_gatewayd: listening on 127.0.0.1:%d (policy %s, "
-        "time-scale %.1f) — SIGINT/SIGTERM for graceful shutdown\n",
-        port, config.session.policy_spec.c_str(), config.time_scale);
+        "time-scale %.1f, %d shard%s%s) — SIGINT/SIGTERM for graceful "
+        "shutdown\n",
+        port, config.session.policy_spec.c_str(), config.time_scale,
+        gw.shard_count(), gw.shard_count() == 1 ? "" : "s",
+        gw.handoff_mode() ? ", hand-off accept" : "");
     if (gw.stats_port() >= 0) {
       std::printf(
           "etrain_gatewayd: stats on 127.0.0.1:%d — /metrics /healthz "

@@ -141,14 +141,33 @@ scripts/compare_reports bench/baselines/gateway.baseline.json \
   --floor scheduled_packets_per_sec=0.9 \
   --floor p99_latency_inverse_per_s=0.9
 
+# Sharded-gateway scaling gate (docs/gateway.md#sharding): the same quick
+# bench across 4 SO_REUSEPORT worker shards, driven with 2000 clients so
+# the offered load exceeds what one shard's paced window sustains. The
+# _shards4 floor is committed at 2x the 1-shard scheduled-packets floor —
+# sharding must actually scale throughput, not just pass — and the
+# inverse-p99 bound keeps the latency tail honest while it does. The fold
+# invariants (exact partitions, ledger vs meter) hold at any shard count:
+# report_check validates the 4-shard manifest exactly like the 1-shard one.
+"./$BUILD_DIR/bench/bench_gateway" --quick --shards 4 --clients 2000 \
+  --report results/gateway.shards4.report.json
+"./$BUILD_DIR/examples/report_check" results/gateway.shards4.report.json
+scripts/compare_reports bench/baselines/gateway.baseline.json \
+  results/gateway.shards4.report.json --floors-only \
+  --floor scheduled_packets_per_sec_shards4=0.9 \
+  --floor p99_latency_inverse_per_s_shards4=0.9
+
 # Live telemetry gate (docs/live_telemetry.md): a real etrain_gatewayd
 # process serves its stats plane on an ephemeral port; check_prom.py waits
 # on /healthz, fetches /metrics itself (no curl needed) and lints the
 # exposition document — format, cumulative histogram buckets, sorted
-# families, and the gateway's required counter/gauge set. SIGTERM then
+# families, and the gateway's required counter/gauge set. The daemon runs
+# with --shards 2 so the scrape also proves the shard-labeled families and
+# their aggregates (docs/live_telemetry.md#shard-labels) — shard 0 serves
+# the plane while scraping shard 1's published snapshot. SIGTERM then
 # ends the daemon gracefully and report_check validates its manifest.
 "./$BUILD_DIR/examples/etrain_gatewayd" --port 0 --stats-port 0 \
-  --time-scale 50 --report results/gatewayd.live.report.json \
+  --shards 2 --time-scale 50 --report results/gatewayd.live.report.json \
   > results/gatewayd.live.log 2>&1 &
 GATEWAYD_PID=$!
 STATS_PORT=""
@@ -177,7 +196,12 @@ python3 scripts/check_prom.py --port "$STATS_PORT" \
   --require etrain_gateway_heartbeat_staleness_max_seconds \
   --require etrain_gateway_latency_s_bucket \
   --require etrain_gateway_latency_s_p99 \
-  --require etrain_gateway_tick_lag_seconds
+  --require etrain_gateway_tick_lag_seconds \
+  --require etrain_gateway_shards \
+  --require 'etrain_gateway_shard_connections{shard="0"}' \
+  --require 'etrain_gateway_shard_connections{shard="1"}' \
+  --require 'etrain_gateway_shard_tick_lag_seconds{shard="1"}' \
+  --require 'etrain_gateway_shard_clients_accepted{shard="1"}'
 kill -TERM "$GATEWAYD_PID"
 wait "$GATEWAYD_PID"
 "./$BUILD_DIR/examples/report_check" results/gatewayd.live.report.json
@@ -216,6 +240,27 @@ cmake --build "$ASAN_DIR" -j --target \
 "./$ASAN_DIR/tests/net_radio_link_test"
 "./$ASAN_DIR/tests/net_fault_plan_test"
 "./$ASAN_DIR/tests/exp_faults_test"
+
+# One ThreadSanitizer pass over the sharded gateway: worker shards share
+# nothing but the snapshot mutexes, the hand-off mailbox and the shutdown
+# fold's thread join — exactly the seams TSan exists to police. The gate
+# runs the gateway test binaries (daemon, stats plane, shards) plus a
+# short multi-shard bench so the SO_REUSEPORT accept path, the per-shard
+# snapshot publishing and the contribution hand-over all execute under
+# instrumentation. Separate build dir, same rule as ASan.
+TSAN_DIR="${BUILD_DIR}-tsan"
+if [ ! -f "$TSAN_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B "$TSAN_DIR" -S . -G Ninja -DETRAIN_SANITIZE=thread
+else
+  cmake -B "$TSAN_DIR" -S . -DETRAIN_SANITIZE=thread
+fi
+cmake --build "$TSAN_DIR" -j --target \
+  gateway_daemon_test gateway_stats_test gateway_shard_test bench_gateway
+"./$TSAN_DIR/tests/gateway_daemon_test"
+"./$TSAN_DIR/tests/gateway_stats_test"
+"./$TSAN_DIR/tests/gateway_shard_test"
+"./$TSAN_DIR/bench/bench_gateway" --quick --shards 2 --clients 200 \
+  --duration 30
 
 # Observability-disabled build: with -DETRAIN_OBS_DISABLED=ON the trace
 # and profile hot paths compile out, but benches must still emit valid run

@@ -14,8 +14,10 @@ etrain encoder emits, plus the gateway's metric contract:
      ending at le="+Inf" whose count equals <name>_count);
   4. family names appear in sorted order (the encoder's determinism
      contract: two scrapes of the same state are byte-identical);
-  5. with --require, each named metric is present (prefix match before
-     '{' or ' '), e.g. the gateway's live counters and session gauges.
+  5. with --require, each named metric is present (exact family or
+     sample name; a requirement containing '{' instead prefix-matches a
+     sample's name{labels} — e.g. the sharded gateway's
+     etrain_gateway_shard_connections{shard="0"} series).
 
 With --port the script first polls /healthz until it answers 200 (or
 --timeout seconds pass), then fetches /metrics itself — so the shell gate
@@ -76,6 +78,7 @@ def lint(text: str, required: list[str]) -> list[str]:
     buckets: dict[str, list[tuple[float, float]]] = {}
     counts: dict[str, float] = {}
     sample_names: set[str] = set()
+    sample_series: list[str] = []  # name{labels} as emitted, for --require
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line:
@@ -115,6 +118,7 @@ def lint(text: str, required: list[str]) -> list[str]:
                 if not LABEL_RE.match(pair):
                     errors.append(f"line {lineno}: malformed label {pair!r}")
         sample_names.add(name)
+        sample_series.append(name + (labels or ""))
 
         # Histogram series attach their suffixed samples to the family.
         family = name
@@ -167,7 +171,12 @@ def lint(text: str, required: list[str]) -> list[str]:
         )
 
     for want in required:
-        if want not in declared and want not in sample_names:
+        if "{" in want:
+            # Labeled requirement: prefix-match against emitted series so
+            # `family{shard="1"}` matches regardless of trailing labels.
+            if not any(series.startswith(want) for series in sample_series):
+                errors.append(f"required series missing: {want}")
+        elif want not in declared and want not in sample_names:
             errors.append(f"required metric missing: {want}")
     return errors
 
@@ -194,7 +203,8 @@ def main() -> int:
         action="append",
         default=[],
         metavar="METRIC",
-        help="assert this metric name is present (repeatable)",
+        help="assert this metric is present (repeatable); with '{' the "
+        "whole name{labels} prefix must match an emitted series",
     )
     args = parser.parse_args()
 

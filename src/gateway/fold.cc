@@ -1,0 +1,66 @@
+#include "gateway/fold.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "radio/energy_meter.h"
+
+namespace etrain::gateway {
+
+namespace {
+
+/// Replays one record into the fold — the exact arithmetic the pre-shard
+/// gateway ran at session close time (gateway.cc's fold_session), in the
+/// same statement order, so the accumulated meter and ledger are bit-equal.
+void fold_record(GatewayFold& out, SessionFoldRecord& record, int shard,
+                 const radio::PowerModel& model) {
+  out.stats.heartbeats += record.counters.heartbeats;
+  out.stats.packets_enqueued += record.counters.enqueued;
+  out.stats.packets_piggybacked += record.counters.piggybacked;
+  out.stats.packets_dripped += record.counters.dripped;
+  out.stats.packets_flushed += record.counters.flushed;
+  out.stats.transmissions += record.log.size();
+  out.sessions.push_back(SessionDigest{shard, record.client_id,
+                                       record.counters, record.log.size()});
+  if (record.log.empty()) return;
+  out.stats.meter_total_J +=
+      radio::measure_energy(record.log, model, record.horizon)
+          .network_energy();
+  obs::append_ledger(out.ledger, "cellular", record.log, model,
+                     record.horizon);
+}
+
+}  // namespace
+
+GatewayFold fold_shards(std::vector<ShardContribution>&& shards,
+                        const radio::PowerModel& model) {
+  GatewayFold out;
+  for (const ShardContribution& shard : shards) {
+    out.stats.clients_accepted += shard.io.clients_accepted;
+    out.stats.clients_disconnected += shard.io.clients_disconnected;
+    out.stats.clients_at_shutdown += shard.io.clients_at_shutdown;
+    out.stats.protocol_errors += shard.io.protocol_errors;
+  }
+  const bool canonical_order = shards.size() > 1;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::vector<SessionFoldRecord>& records = shards[s].records;
+    if (canonical_order) {
+      std::sort(records.begin(), records.end(),
+                [](const SessionFoldRecord& a, const SessionFoldRecord& b) {
+                  if (a.client_id != b.client_id) {
+                    return a.client_id < b.client_id;
+                  }
+                  return a.seq < b.seq;
+                });
+    }
+    for (SessionFoldRecord& record : records) {
+      fold_record(out, record, static_cast<int>(s), model);
+    }
+  }
+  for (const ShardContribution& shard : shards) {
+    obs::merge_snapshot_into(out.metrics, shard.metrics);
+  }
+  return out;
+}
+
+}  // namespace etrain::gateway

@@ -1,0 +1,112 @@
+// The deterministic shutdown fold of the sharded gateway
+// (docs/gateway.md#sharding).
+//
+// Each worker shard runs its own epoll loop and closes its sessions
+// independently; instead of billing a session into shared state at close
+// time, the shard keeps one SessionFoldRecord — the session's counters and
+// its verbatim TransmissionLog — per closed session. Once every shard
+// thread has joined, fold_shards() replays the records serially into one
+// GatewayStats + EnergyLedger + merged MetricsSnapshot, in an order that
+// is a pure function of the records:
+//
+//   * shards in shard-id order (outer);
+//   * within a shard: with one shard, record (close) order — exactly the
+//     accumulation order of the pre-shard single-loop gateway, which is
+//     what keeps a --shards 1 report bit-identical to the pre-shard one;
+//     with N > 1 shards, (client_id, accept-seq) order, so the fold is
+//     independent of how the shard's close order happened to interleave.
+//
+// Deferring the billing from close time to the fold is energy-exact: a
+// session's horizon is max(close time, log.last_end()) + tail_time, and
+// any horizon >= last_end + tail_time bills the identical full tail — so
+// the record carries the horizon computed at close and the fold reproduces
+// the close-time arithmetic bit for bit (tests/gateway_shard_test.cpp pins
+// this against a frozen copy of the pre-shard fold).
+//
+// This is the same parallel-execution / serial-fold discipline as
+// exp::FleetHarness, so report_check's gateway invariants (exact client
+// and packet partitions, ledger re-bills the summed session meters) hold
+// at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gateway/session.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "radio/power_model.h"
+#include "radio/transmission_log.h"
+
+namespace etrain::gateway {
+
+/// Loop-wide totals. Client partition: accepted == disconnected +
+/// at_shutdown once run() returns. Packet partition: enqueued ==
+/// piggybacked + dripped + flushed (sessions are always flushed before
+/// they fold, so nothing is left waiting).
+struct GatewayStats {
+  std::uint64_t clients_accepted = 0;
+  std::uint64_t clients_disconnected = 0;
+  std::uint64_t clients_at_shutdown = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_piggybacked = 0;
+  std::uint64_t packets_dripped = 0;
+  std::uint64_t packets_flushed = 0;
+  std::uint64_t transmissions = 0;
+  /// Sum of per-session measure_energy network totals — the meter the
+  /// report's ledger must re-bill.
+  Joules meter_total_J = 0.0;
+};
+
+/// Everything the fold needs to re-bill one closed session. The log is
+/// kept verbatim (never pre-aggregated into a mini-ledger) so the fold's
+/// append_ledger call runs the exact per-transmission arithmetic the
+/// close-time fold always ran — FP addition is order-dependent, and the
+/// report byte-identity contract pins the order.
+struct SessionFoldRecord {
+  std::uint64_t client_id = 0;
+  /// Accept sequence within the owning shard — the (client_id, seq) sort
+  /// key's tie-break, so two sessions presenting the same id fold stably.
+  std::uint64_t seq = 0;
+  SessionCounters counters;
+  radio::TransmissionLog log;
+  /// Billing horizon computed at close time (covers the full tail).
+  Duration horizon = 0.0;
+};
+
+/// One shard's complete contribution to the shutdown fold. `io` carries
+/// only the connection-level counters (accepted / disconnected /
+/// at_shutdown / protocol_errors); the session-level fields stay zero —
+/// the records carry them.
+struct ShardContribution {
+  GatewayStats io;
+  std::vector<SessionFoldRecord> records;
+  obs::MetricsSnapshot metrics;
+};
+
+/// Per-session digest retained after the fold, in fold order — a few words
+/// per session, enough for tests to pin session pinning (every client_id
+/// folds on exactly one shard) and per-shard partitions.
+struct SessionDigest {
+  int shard = 0;
+  std::uint64_t client_id = 0;
+  SessionCounters counters;
+  std::uint64_t transmissions = 0;
+};
+
+/// The folded gateway-wide state.
+struct GatewayFold {
+  GatewayStats stats;
+  obs::EnergyLedger ledger;
+  obs::MetricsSnapshot metrics;
+  std::vector<SessionDigest> sessions;
+};
+
+/// Folds the shard contributions (consumed — the logs move) against the
+/// shared radio `model`, in the order documented above.
+GatewayFold fold_shards(std::vector<ShardContribution>&& shards,
+                        const radio::PowerModel& model);
+
+}  // namespace etrain::gateway

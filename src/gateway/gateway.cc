@@ -2,158 +2,159 @@
 
 #include <arpa/inet.h>
 #include <csignal>
-#include <cstring>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <cmath>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
-#include "obs/exporters.h"
 #include "obs/prom.h"
-#include "radio/energy_meter.h"
 
 namespace etrain::gateway {
 
 namespace {
 
-/// The active gateway's self-pipe write end, for the signal handler. Only
-/// one Gateway installs handlers at a time (install_signal_handlers
-/// enforces it), so a single slot suffices. sig_atomic_t-free: an int
-/// store/load is a single word on every platform we build for, and the
-/// handler only reads it.
-volatile int g_signal_write_fd = -1;
+/// The active gateway's self-pipe write ends, one per shard, for the
+/// signal handler. Only one Gateway installs handlers at a time
+/// (install_signal_handlers enforces it). The count is published last —
+/// the handler reads it first and never walks past it.
+int g_signal_fds[kMaxShards];
+volatile int g_signal_fd_count = -1;
 struct sigaction g_old_sigint;
 struct sigaction g_old_sigterm;
 struct sigaction g_old_sigusr1;
 
-/// Self-pipe bytes: 1 = stop the loop, 2 = dump the flight recorder.
-constexpr char kPipeStop = 1;
-constexpr char kPipeFlightDump = 2;
-
-void signal_to_pipe(int sig) {
-  const int fd = g_signal_write_fd;
-  if (fd < 0) return;
+void signal_to_pipes(int sig) {
+  const int count = g_signal_fd_count;
+  if (count <= 0) return;
   const char byte = sig == SIGUSR1 ? kPipeFlightDump : kPipeStop;
   // Best-effort; EAGAIN means a stop is already pending. Errno must be
   // preserved for the interrupted code.
   const int saved = errno;
-  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  for (int i = 0; i < count; ++i) {
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_fds[i], &byte, 1);
+  }
   errno = saved;
 }
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    throw std::runtime_error("gateway: fcntl(O_NONBLOCK) failed");
-  }
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-/// Upper bounds for the enqueue->transmit latency histogram, in clock
-/// seconds: sub-second drips up to multi-cycle waits.
-std::vector<double> latency_bounds() {
-  return {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
-          30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0};
+/// Binds + listens a nonblocking loopback listener on `port` (0 =
+/// ephemeral; `*bound_port` reports the result). With `reuseport`,
+/// returns -1 instead of throwing when the SO_REUSEPORT bind cannot be
+/// had — the kAuto caller falls back to hand-off; hard failures that no
+/// mode can recover from still throw.
+int open_listener(int port, int backlog, bool reuseport, int* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("gateway: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    if (reuseport) return -1;
+    throw std::runtime_error("gateway: bind() failed");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    throw std::runtime_error("gateway: listen() failed");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      ::close(fd);
+      throw std::runtime_error("gateway: getsockname() failed");
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
 }
 
 }  // namespace
 
-/// Per-connection state. Address-stable (held by unique_ptr) because the
-/// session's transmit callback captures a pointer to it.
-struct Gateway::Connection {
-  int fd = -1;
-  system::wire::FrameReader reader;
-  std::unique_ptr<ClientSession> session;
-  /// Outbound ACK bytes not yet accepted by the kernel.
-  std::string outbuf;
-  std::size_t out_off = 0;
-  bool want_write = false;
-
-  bool has_backlog() const { return out_off < outbuf.size(); }
-};
-
 Gateway::Gateway(const core::PolicyRegistry& registry, GatewayConfig config)
-    : registry_(registry),
-      config_(std::move(config)),
-      clock_(config_.time_scale),
-      flight_(config_.flight_capacity) {}
-
-Gateway::~Gateway() {
-  restore_signal_handlers();
-  for (auto& [fd, conn] : connections_) {
-    (void)conn;
-    ::close(fd);
+    : registry_(registry), config_(std::move(config)) {
+  if (config_.shards < 1 || config_.shards > kMaxShards) {
+    throw std::invalid_argument("gateway: shards must be in [1, " +
+                                std::to_string(kMaxShards) + "]");
   }
-  connections_.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (pipe_read_fd_ >= 0) ::close(pipe_read_fd_);
-  if (pipe_write_fd_ >= 0) ::close(pipe_write_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<GatewayShard>(registry_, config_, i,
+                                                     config_.shards));
+  }
 }
 
+Gateway::~Gateway() { restore_signal_handlers(); }
+
 int Gateway::open() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) throw std::runtime_error("gateway: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const bool want_reuseport =
+      config_.shards > 1 &&
+      config_.accept_mode != GatewayConfig::AcceptMode::kHandoff;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) < 0) {
-    throw std::runtime_error("gateway: bind() failed");
+  std::vector<int> listeners(static_cast<std::size_t>(config_.shards), -1);
+  listeners[0] = open_listener(config_.port, config_.listen_backlog,
+                               want_reuseport, &port_);
+  bool reuseport = want_reuseport;
+  if (want_reuseport && listeners[0] < 0) {
+    if (config_.accept_mode == GatewayConfig::AcceptMode::kReusePort) {
+      throw std::runtime_error("gateway: SO_REUSEPORT unavailable");
+    }
+    reuseport = false;
+    listeners[0] =
+        open_listener(config_.port, config_.listen_backlog, false, &port_);
   }
-  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
-    throw std::runtime_error("gateway: listen() failed");
+  if (reuseport) {
+    for (int i = 1; i < config_.shards; ++i) {
+      const int fd =
+          open_listener(port_, config_.listen_backlog, true, nullptr);
+      if (fd < 0) {
+        if (config_.accept_mode == GatewayConfig::AcceptMode::kReusePort) {
+          throw std::runtime_error(
+              "gateway: SO_REUSEPORT sibling bind failed");
+        }
+        for (int j = 1; j < i; ++j) {
+          ::close(listeners[static_cast<std::size_t>(j)]);
+          listeners[static_cast<std::size_t>(j)] = -1;
+        }
+        reuseport = false;
+        break;
+      }
+      listeners[static_cast<std::size_t>(i)] = fd;
+    }
   }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
-      0) {
-    throw std::runtime_error("gateway: getsockname() failed");
-  }
-  port_ = static_cast<int>(ntohs(bound.sin_port));
+  handoff_ = config_.shards > 1 && !reuseport;
 
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) < 0) {
-    throw std::runtime_error("gateway: pipe() failed");
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_[static_cast<std::size_t>(i)]->open(
+        listeners[static_cast<std::size_t>(i)]);
   }
-  pipe_read_fd_ = pipe_fds[0];
-  pipe_write_fd_ = pipe_fds[1];
-  set_nonblocking(pipe_read_fd_);
-  set_nonblocking(pipe_write_fd_);
-
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) {
-    throw std::runtime_error("gateway: epoll_create1() failed");
+  if (handoff_) {
+    std::vector<GatewayShard*> peers;
+    peers.reserve(shards_.size());
+    for (const auto& shard : shards_) peers.push_back(shard.get());
+    shards_[0]->set_handoff_peers(std::move(peers));
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = pipe_read_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, pipe_read_fd_, &ev);
-
-  // Touch the metrics so the report always carries the same shape.
-  metrics_.histogram("gateway.latency_s", latency_bounds());
-
-  // Live counters for the stats plane (separate registry; see gateway.h).
-  ctr_accepted_ = &live_.counter("gateway.clients_accepted");
-  ctr_heartbeats_ = &live_.counter("gateway.heartbeats");
-  ctr_enqueued_ = &live_.counter("gateway.packets_enqueued");
-  ctr_scheduled_ = &live_.counter("gateway.packets_scheduled");
-  ctr_errors_ = &live_.counter("gateway.protocol_errors");
 
   if (config_.stats_port >= 0) {
     obs::StatsHandlers handlers;
@@ -161,29 +162,29 @@ int Gateway::open() {
     handlers.health = [this] { return render_health(); };
     handlers.sessions_json = [this] { return render_sessions(); };
     stats_server_.open(config_.stats_port, std::move(handlers));
-    stats_server_.register_with(epoll_fd_);
+    stats_server_.register_with(shards_[0]->epoll_fd());
+    shards_[0]->attach_stats(&stats_server_);
   }
+  opened_ = true;
   return port_;
 }
 
 void Gateway::request_stop() {
-  if (pipe_write_fd_ < 0) {
-    stop_ = true;
-    return;
-  }
-  const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(pipe_write_fd_, &byte, 1);
+  for (const auto& shard : shards_) shard->request_stop();
 }
 
 void Gateway::install_signal_handlers() {
   if (signals_installed_) return;
-  if (g_signal_write_fd >= 0) {
+  if (g_signal_fd_count >= 0) {
     throw std::runtime_error(
         "gateway: another Gateway already owns the signal handlers");
   }
-  g_signal_write_fd = pipe_write_fd_;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    g_signal_fds[i] = shards_[i]->pipe_write_fd();
+  }
+  g_signal_fd_count = static_cast<int>(shards_.size());
   struct sigaction sa{};
-  sa.sa_handler = signal_to_pipe;
+  sa.sa_handler = signal_to_pipes;
   sigemptyset(&sa.sa_mask);
   sa.sa_flags = SA_RESTART;
   ::sigaction(SIGINT, &sa, &g_old_sigint);
@@ -197,362 +198,116 @@ void Gateway::restore_signal_handlers() {
   ::sigaction(SIGINT, &g_old_sigint, nullptr);
   ::sigaction(SIGTERM, &g_old_sigterm, nullptr);
   ::sigaction(SIGUSR1, &g_old_sigusr1, nullptr);
-  g_signal_write_fd = -1;
+  g_signal_fd_count = -1;
   signals_installed_ = false;
 }
 
-int Gateway::wait_timeout_ms() const {
-  const std::optional<TimePoint> next = clock_.next_alarm();
-  if (!next.has_value()) return 1000;  // idle heartbeat of the loop itself
-  const double wait_s = clock_.real_seconds_until(*next);
-  if (wait_s <= 0.0) return 0;
-  // Round up so we never spin-wake just before the deadline; cap so a far
-  // alarm cannot make the loop unresponsive to anything epoll misses.
-  return static_cast<int>(std::min(1000.0, std::ceil(wait_s * 1000.0)));
-}
-
 void Gateway::run() {
-  if (epoll_fd_ < 0) {
+  if (!opened_) {
     throw std::runtime_error("gateway: run() before open()");
   }
-  epoll_event events[128];
-  while (!stop_) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events, 128, wait_timeout_ms());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error("gateway: epoll_wait() failed");
-    }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      const std::uint32_t mask = events[i].events;
-      if (fd == pipe_read_fd_) {
-        char drain[64];
-        ssize_t got;
-        while ((got = ::read(pipe_read_fd_, drain, sizeof(drain))) > 0) {
-          for (ssize_t j = 0; j < got; ++j) {
-            if (drain[j] == kPipeFlightDump) {
-              dump_flight_recorder();
-            } else {
-              stop_ = true;
-            }
-          }
-        }
-      } else if (fd == listen_fd_) {
-        accept_ready();
-      } else if (stats_server_.owns(fd)) {
-        stats_server_.handle_event(fd, mask);
-      } else {
-        const auto it = connections_.find(fd);
-        if (it == connections_.end()) continue;  // closed earlier this batch
-        Connection& conn = *it->second;
-        if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-          close_connection(fd, /*at_shutdown=*/false);
-          continue;
-        }
-        if ((mask & EPOLLOUT) != 0) handle_writable(conn);
-        if (connections_.find(fd) == connections_.end()) continue;
-        if ((mask & EPOLLIN) != 0) handle_readable(conn);
-      }
-    }
-    // Fire due session ticks after the socket work so a tick sees every
-    // frame that arrived before its deadline.
-    clock_.run_due();
-    poll_watchdog();
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    GatewayShard* shard = shards_[i].get();
+    workers.emplace_back([shard] { shard->run(); });
   }
-  stats_server_.close_all();
+  try {
+    shards_[0]->run();
+  } catch (...) {
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      shards_[i]->request_stop();
+    }
+    for (auto& worker : workers) worker.join();
+    throw;
+  }
+  // Shard 0 saw the stop; make sure every worker does too, then join —
+  // the join is the happens-before edge the fold relies on.
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    shards_[i]->request_stop();
+  }
+  for (auto& worker : workers) worker.join();
 
-  // Graceful shutdown: flush every live session, fold its energy, close.
-  const std::vector<int> live = [this] {
-    std::vector<int> fds;
-    fds.reserve(connections_.size());
-    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
-    return fds;
-  }();
-  for (const int fd : live) close_connection(fd, /*at_shutdown=*/true);
+  std::vector<ShardContribution> contributions;
+  contributions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    contributions.push_back(shard->take_contribution());
+  }
+  GatewayFold fold =
+      fold_shards(std::move(contributions), config_.session.model);
+  stats_ = fold.stats;
+  ledger_ = std::move(fold.ledger);
+  report_metrics_ = std::move(fold.metrics);
+  session_digests_ = std::move(fold.sessions);
+  watchdog_trips_total_ = 0;
+  flight_dumps_total_ = 0;
+  for (const auto& shard : shards_) {
+    watchdog_trips_total_ += shard->watchdog_trips();
+    flight_dumps_total_ += shard->flight_dumps();
+  }
 
   if (!config_.report_path.empty()) {
     obs::finalize_run_report(config_.report_path, build_report());
   }
 }
 
-void Gateway::accept_ready() {
-  while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      return;  // transient accept failure; the listener stays registered
-    }
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      continue;
-    }
-    ++stats_.clients_accepted;
-    if (ctr_accepted_ != nullptr) ctr_accepted_->increment();
-    connections_.emplace(fd, std::move(conn));
+std::vector<ShardSnapshot> Gateway::shard_views() {
+  std::vector<ShardSnapshot> views;
+  views.reserve(shards_.size());
+  views.push_back(shards_[0]->live_view());
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    views.push_back(shards_[i]->published_view());
   }
-}
-
-void Gateway::handle_readable(Connection& conn) {
-  const int fd = conn.fd;
-  char buf[65536];
-  while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-      if (!dispatch_frames(conn)) {
-        ++stats_.protocol_errors;
-        if (ctr_errors_ != nullptr) ctr_errors_->increment();
-        flight_.record(obs::TraceEvent::tx_failure(
-            clock_.now(), /*kind=*/0, /*entity=*/fd, /*attempt=*/1,
-            /*airtime=*/0.0));
-        close_connection(fd, /*at_shutdown=*/false);
-        return;
-      }
-      // A BYE inside the batch closed (and freed) the connection.
-      if (connections_.find(fd) == connections_.end()) return;
-      if (static_cast<std::size_t>(n) < sizeof(buf)) return;  // drained
-      continue;
-    }
-    if (n == 0) {  // orderly EOF without BYE: treat as disconnect
-      close_connection(fd, /*at_shutdown=*/false);
-      return;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
-    close_connection(fd, /*at_shutdown=*/false);
-    return;
-  }
-}
-
-bool Gateway::dispatch_frames(Connection& conn) {
-  using system::wire::FrameReader;
-  system::wire::Frame frame;
-  while (true) {
-    const FrameReader::Status status = conn.reader.next(frame);
-    if (status == FrameReader::Status::kNeedMore) return true;
-    if (status == FrameReader::Status::kError) return false;
-    switch (frame.type) {
-      case system::wire::FrameType::kHello: {
-        if (conn.session != nullptr) return false;  // double HELLO
-        system::wire::HelloFrame hello;
-        if (!system::wire::decode_hello(frame.payload, hello)) return false;
-        Connection* conn_ptr = &conn;
-        try {
-          conn.session = std::make_unique<ClientSession>(
-              hello, registry_, config_.session, clock_,
-              [this, conn_ptr](const ScheduledPacket& packet) {
-                queue_ack(*conn_ptr, packet);
-              });
-        } catch (const std::invalid_argument&) {
-          return false;  // bad registration (no apps / duplicates)
-        }
-        break;
-      }
-      case system::wire::FrameType::kHeartbeat: {
-        if (conn.session == nullptr) return false;
-        system::wire::HeartbeatFrame hb;
-        if (!system::wire::decode_heartbeat(frame.payload, hb)) return false;
-        if (!conn.session->on_heartbeat(hb.train_app, clock_.now())) {
-          return false;
-        }
-        if (ctr_heartbeats_ != nullptr) ctr_heartbeats_->increment();
-        flight_.record(obs::TraceEvent::heartbeat_tx(
-            clock_.now(), static_cast<std::int32_t>(hb.train_app),
-            static_cast<std::int64_t>(config_.session.heartbeat_bytes)));
-        break;
-      }
-      case system::wire::FrameType::kCargo: {
-        if (conn.session == nullptr) return false;
-        system::wire::CargoFrame cargo;
-        if (!system::wire::decode_cargo(frame.payload, cargo)) return false;
-        if (!conn.session->on_cargo(cargo, clock_.now())) return false;
-        if (ctr_enqueued_ != nullptr) ctr_enqueued_->increment();
-        flight_.record(obs::TraceEvent::slot_begin(
-            clock_.now(),
-            static_cast<std::int32_t>(conn.session->waiting()),
-            static_cast<double>(cargo.bytes)));
-        break;
-      }
-      case system::wire::FrameType::kBye:
-        if (!frame.payload.empty()) return false;
-        close_connection(conn.fd, /*at_shutdown=*/false);
-        return true;  // conn is gone; stop dispatching
-      case system::wire::FrameType::kAck:
-        return false;  // clients never send ACK
-    }
-  }
-}
-
-void Gateway::queue_ack(Connection& conn, const ScheduledPacket& packet) {
-  metrics_.histogram("gateway.latency_s", latency_bounds())
-      .add(packet.latency());
-  if (ctr_scheduled_ != nullptr) ctr_scheduled_->increment();
-  flight_.record(obs::TraceEvent::packet_select(
-      packet.transmitted, static_cast<std::int32_t>(packet.wire_app),
-      static_cast<std::int64_t>(packet.packet_id), packet.latency(),
-      static_cast<double>(packet.bytes)));
-  system::wire::AckFrame ack;
-  ack.packet_id = packet.packet_id;
-  ack.latency_s = packet.latency();
-  ack.boarded = packet.piggybacked ? 1 : 0;
-  const bool was_idle = !conn.has_backlog();
-  conn.outbuf += system::wire::encode_ack(ack);
-  if (was_idle) {
-    // Opportunistic immediate write; EPOLLOUT only for the remainder.
-    handle_writable(conn);
-  } else {
-    update_write_interest(conn);
-  }
-}
-
-void Gateway::handle_writable(Connection& conn) {
-  while (conn.has_backlog()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
-               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    // Peer is gone; the read side will observe it too, but don't spin.
-    conn.outbuf.clear();
-    conn.out_off = 0;
-    break;
-  }
-  if (!conn.has_backlog()) {
-    conn.outbuf.clear();
-    conn.out_off = 0;
-  }
-  update_write_interest(conn);
-}
-
-void Gateway::update_write_interest(Connection& conn) {
-  const bool want = conn.has_backlog();
-  if (want == conn.want_write) return;
-  conn.want_write = want;
-  epoll_event ev{};
-  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
-  ev.data.fd = conn.fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
-}
-
-void Gateway::close_connection(int fd, bool at_shutdown) {
-  const auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
-  Connection& conn = *it->second;
-  if (conn.session != nullptr) {
-    // Flush queued cargo through the modeled uplink (final ACKs are
-    // queued by the transmit callback), push what the kernel will take,
-    // then fold the session's radio bill into the gateway ledger.
-    conn.session->flush(clock_.now());
-    handle_writable(conn);
-    fold_session(*conn.session);
-  }
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  ::close(fd);
-  connections_.erase(it);
-  if (at_shutdown) {
-    ++stats_.clients_at_shutdown;
-  } else {
-    ++stats_.clients_disconnected;
-  }
-}
-
-void Gateway::fold_session(ClientSession& session) {
-  const SessionCounters& counters = session.counters();
-  stats_.heartbeats += counters.heartbeats;
-  stats_.packets_enqueued += counters.enqueued;
-  stats_.packets_piggybacked += counters.piggybacked;
-  stats_.packets_dripped += counters.dripped;
-  stats_.packets_flushed += counters.flushed;
-  stats_.transmissions += session.log().size();
-  if (session.log().empty()) return;
-  const Duration horizon = session.energy_horizon(clock_.now());
-  stats_.meter_total_J +=
-      radio::measure_energy(session.log(), config_.session.model, horizon)
-          .network_energy();
-  obs::append_ledger(ledger_, "cellular", session.log(),
-                     config_.session.model, horizon);
-}
-
-double Gateway::tick_lag_s() const {
-  const std::optional<TimePoint> next = clock_.next_alarm();
-  if (!next.has_value()) return 0.0;  // idle loops are never late
-  const double lag_clock = clock_.now() - *next;
-  return lag_clock > 0.0 ? lag_clock / config_.time_scale : 0.0;
-}
-
-void Gateway::poll_watchdog() {
-  const double lag = tick_lag_s();
-  if (!watchdog_unhealthy_) {
-    if (lag > config_.watchdog_budget_s) {
-      watchdog_unhealthy_ = true;
-      ++watchdog_trips_;
-      dump_flight_recorder();  // capture the run-up to the stall
-    }
-  } else if (lag <= config_.watchdog_budget_s * 0.5) {
-    watchdog_unhealthy_ = false;  // hysteresis: recover at half budget
-  }
-}
-
-void Gateway::dump_flight_recorder() {
-  ++flight_dumps_;
-  try {
-    obs::write_chrome_trace_file(config_.flight_path, flight_.events());
-  } catch (const std::runtime_error&) {
-    // Diagnostics only — an unwritable path must never take the loop down.
-  }
+  return views;
 }
 
 std::string Gateway::render_metrics() {
-  // The report registry plus the live counters, one exposition document.
-  obs::MetricsSnapshot snap = metrics_.snapshot();
-  const obs::MetricsSnapshot live = live_.snapshot();
-  snap.counters.insert(snap.counters.end(), live.counters.begin(),
-                       live.counters.end());
+  const std::vector<ShardSnapshot> views = shard_views();
 
-  const TimePoint now = clock_.now();
+  // The merged report registries (the latency histogram) plus the summed
+  // live counters, one exposition document — same family names as the
+  // unsharded gateway, now cross-shard aggregates.
+  obs::MetricsSnapshot snap;
+  for (const ShardSnapshot& view : views) {
+    obs::merge_snapshot_into(snap, view.report_metrics);
+  }
+  std::uint64_t accepted = 0, heartbeats = 0, enqueued = 0, scheduled = 0,
+                errors = 0;
+  double connections = 0.0, live_sessions = 0.0, queued_cargo = 0.0;
+  double rrc[3] = {0.0, 0.0, 0.0};
+  double stale_max = 0.0, stale_sum = 0.0, stale_n = 0.0;
+  double tick_lag = 0.0, trips = 0.0, flight_events = 0.0,
+         flight_dropped = 0.0;
+  for (const ShardSnapshot& view : views) {
+    accepted += view.clients_accepted;
+    heartbeats += view.heartbeats;
+    enqueued += view.packets_enqueued;
+    scheduled += view.packets_scheduled;
+    errors += view.protocol_errors;
+    connections += static_cast<double>(view.connections);
+    live_sessions += view.live_sessions;
+    queued_cargo += view.queued_cargo;
+    for (int s = 0; s < 3; ++s) rrc[s] += view.rrc_sessions[s];
+    stale_max = std::max(stale_max, view.stale_max);
+    stale_sum += view.stale_sum;
+    stale_n += view.stale_n;
+    tick_lag = std::max(tick_lag, view.tick_lag_s);
+    trips += static_cast<double>(view.watchdog_trips);
+    flight_events += static_cast<double>(view.flight_events);
+    flight_dropped += static_cast<double>(view.flight_dropped);
+  }
+  snap.counters.push_back({"gateway.clients_accepted", accepted});
+  snap.counters.push_back({"gateway.heartbeats", heartbeats});
+  snap.counters.push_back({"gateway.packets_enqueued", enqueued});
+  snap.counters.push_back({"gateway.packets_scheduled", scheduled});
+  snap.counters.push_back({"gateway.protocol_errors", errors});
+
   std::vector<obs::PromGauge> gauges;
   gauges.push_back({"up", 1.0, {}, "the stats plane answered this scrape"});
   gauges.push_back({"gateway.connections",
-                    static_cast<double>(connections_.size()),
+                    connections,
                     {},
                     "open client sockets (including pre-HELLO ones)"});
-
-  // Per-session gauges: one pass over the live sessions.
-  double live_sessions = 0.0;
-  double queued_cargo = 0.0;
-  double stale_max = 0.0;
-  double stale_sum = 0.0;
-  double stale_n = 0.0;
-  double rrc[3] = {0.0, 0.0, 0.0};  // idle, fach, dch
-  for (const auto& [fd, conn] : connections_) {
-    (void)fd;
-    if (conn->session == nullptr) continue;
-    live_sessions += 1.0;
-    queued_cargo += static_cast<double>(conn->session->waiting());
-    const radio::RrcState state =
-        obs::state_at(conn->session->log(), config_.session.model, now);
-    rrc[static_cast<int>(state)] += 1.0;
-    const std::optional<TimePoint> beat =
-        conn->session->monitor().most_recent_beat();
-    if (beat.has_value()) {
-      const double staleness = std::max(0.0, now - *beat);
-      stale_max = std::max(stale_max, staleness);
-      stale_sum += staleness;
-      stale_n += 1.0;
-    }
-  }
   gauges.push_back({"gateway.live_sessions", live_sessions, {},
                     "sessions past HELLO"});
   gauges.push_back({"gateway.queued_cargo", queued_cargo, {},
@@ -572,81 +327,151 @@ std::string Gateway::render_metrics() {
        stale_n > 0.0 ? stale_sum / stale_n : 0.0,
        {},
        "mean clock-seconds since the last observed beat (beat-holders only)"});
-
-  gauges.push_back({"gateway.uptime_clock_seconds", now, {},
-                    "clock seconds since the gateway started"});
-  gauges.push_back({"gateway.tick_lag_seconds", tick_lag_s(), {},
-                    "how overdue the earliest pending alarm is, real seconds"});
+  gauges.push_back({"gateway.uptime_clock_seconds", views[0].now, {},
+                    "clock seconds since the gateway started (shard 0)"});
+  gauges.push_back({"gateway.tick_lag_seconds", tick_lag, {},
+                    "worst shard's overdue earliest alarm, real seconds"});
   gauges.push_back({"gateway.watchdog_budget_seconds",
                     config_.watchdog_budget_s,
                     {},
                     "tick-lag level that trips the watchdog"});
   gauges.push_back({"gateway.watchdog_trips",
-                    static_cast<double>(watchdog_trips_),
+                    trips,
                     {},
                     "healthy to unhealthy watchdog transitions"});
   gauges.push_back({"gateway.flight_events",
-                    static_cast<double>(flight_.size()),
+                    flight_events,
                     {},
-                    "events currently held by the flight recorder ring"});
+                    "events currently held by the flight recorder rings"});
   gauges.push_back({"gateway.flight_dropped",
-                    static_cast<double>(flight_.dropped()),
+                    flight_dropped,
                     {},
                     "flight-recorder events overwritten by ring wrap"});
   gauges.push_back({"gateway.stats_requests",
                     static_cast<double>(stats_server_.requests_served()),
                     {},
                     "stats-plane HTTP requests answered (this one included)"});
+
+  // The sharded view: one labeled sample per shard per family, emitted at
+  // every shard count (a 1-shard gateway exposes shard="0").
+  gauges.push_back({"gateway.shards",
+                    static_cast<double>(shards_.size()),
+                    {},
+                    "worker shards serving this gateway"});
+  // Family-major order: the encoder folds same-named gauges into one
+  // TYPE declaration only when they are consecutive, so each family
+  // lists all its shards before the next family starts.
+  const auto shard_family = [&](const std::string& name, const char* help,
+                                auto value_of) {
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      gauges.push_back({name,
+                        value_of(views[i]),
+                        {{"shard", std::to_string(i)}},
+                        help});
+    }
+  };
+  shard_family("gateway.shard_connections",
+               "open client sockets on one shard",
+               [](const ShardSnapshot& v) {
+                 return static_cast<double>(v.connections);
+               });
+  shard_family("gateway.shard_live_sessions",
+               "sessions past HELLO on one shard",
+               [](const ShardSnapshot& v) { return v.live_sessions; });
+  shard_family("gateway.shard_queued_cargo",
+               "cargo packets waiting on one shard",
+               [](const ShardSnapshot& v) { return v.queued_cargo; });
+  shard_family("gateway.shard_clients_accepted",
+               "connections accepted by one shard",
+               [](const ShardSnapshot& v) {
+                 return static_cast<double>(v.clients_accepted);
+               });
+  shard_family("gateway.shard_packets_scheduled",
+               "packets scheduled by one shard",
+               [](const ShardSnapshot& v) {
+                 return static_cast<double>(v.packets_scheduled);
+               });
+  shard_family("gateway.shard_tick_lag_seconds",
+               "one shard's overdue earliest alarm, real seconds",
+               [](const ShardSnapshot& v) { return v.tick_lag_s; });
+  shard_family("gateway.shard_uptime_clock_seconds",
+               "one shard's clock reading",
+               [](const ShardSnapshot& v) { return v.now; });
+  shard_family("gateway.shard_watchdog_trips",
+               "one shard's watchdog trips",
+               [](const ShardSnapshot& v) {
+                 return static_cast<double>(v.watchdog_trips);
+               });
   return obs::encode_prometheus(snap, gauges);
 }
 
 obs::StatsHealth Gateway::render_health() {
-  const double lag = tick_lag_s();
+  const std::vector<ShardSnapshot> views = shard_views();
+  const double wall = steady_seconds();
+  // A wedged shard cannot report its own tick lag — treat a snapshot that
+  // has not been republished within the budget (plus the loop's 1 s idle
+  // heartbeat and slack) as unhealthy. Shard 0's view is always fresh;
+  // shards that never started publishing are still warming up.
+  const double stale_budget_s = config_.watchdog_budget_s + 2.0;
+
   obs::StatsHealth health;
-  health.healthy = !watchdog_unhealthy_;
+  health.healthy = true;
+  double max_lag = 0.0;
+  std::uint64_t trips = 0;
+  std::size_t sessions = 0;
+  std::string shard_detail = "[";
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const ShardSnapshot& view = views[i];
+    const bool wedged = i != 0 && view.started &&
+                        wall - view.published_wall_s > stale_budget_s;
+    const bool shard_healthy = !view.watchdog_unhealthy && !wedged;
+    if (!shard_healthy) health.healthy = false;
+    max_lag = std::max(max_lag, view.tick_lag_s);
+    trips += view.watchdog_trips;
+    sessions += view.connections;
+    char entry[128];
+    std::snprintf(entry, sizeof(entry),
+                  "%s{\"shard\":%zu,\"tick_lag_s\":%.6f,\"sessions\":%zu,"
+                  "\"healthy\":%s}",
+                  i > 0 ? "," : "", i, view.tick_lag_s, view.connections,
+                  shard_healthy ? "true" : "false");
+    shard_detail += entry;
+  }
+  shard_detail += "]";
+
   char detail[256];
   std::snprintf(detail, sizeof(detail),
                 "{\"tick_lag_s\":%.6f,\"budget_s\":%.6f,"
-                "\"watchdog_trips\":%llu,\"sessions\":%zu}",
-                lag, config_.watchdog_budget_s,
-                static_cast<unsigned long long>(watchdog_trips_),
-                connections_.size());
-  health.detail = detail;
+                "\"watchdog_trips\":%llu,\"sessions\":%zu,\"shards\":",
+                max_lag, config_.watchdog_budget_s,
+                static_cast<unsigned long long>(trips), sessions);
+  health.detail = std::string(detail) + shard_detail + "}";
   return health;
 }
 
 std::string Gateway::render_sessions() {
-  // Top-N live sessions by queue depth (ties: lower client id first) —
-  // bounded output no matter how many clients are connected.
-  struct Row {
-    std::uint64_t client_id;
-    std::size_t waiting;
-    double staleness;
-    radio::RrcState state;
-  };
-  const TimePoint now = clock_.now();
-  std::vector<Row> rows;
-  rows.reserve(connections_.size());
-  for (const auto& [fd, conn] : connections_) {
-    (void)fd;
-    if (conn->session == nullptr) continue;
-    const std::optional<TimePoint> beat =
-        conn->session->monitor().most_recent_beat();
-    rows.push_back(Row{
-        conn->session->client_id(), conn->session->waiting(),
-        beat.has_value() ? std::max(0.0, now - *beat) : -1.0,
-        obs::state_at(conn->session->log(), config_.session.model, now)});
+  // Top-N live sessions by queue depth (ties: lower client id first)
+  // across every shard's capped row list — bounded output no matter how
+  // many clients are connected.
+  const std::vector<ShardSnapshot> views = shard_views();
+  double live_sessions = 0.0;
+  std::vector<ShardSessionRow> rows;
+  for (const ShardSnapshot& view : views) {
+    live_sessions += view.live_sessions;
+    rows.insert(rows.end(), view.top_sessions.begin(),
+                view.top_sessions.end());
   }
   const std::size_t top_n = std::min(rows.size(), config_.sessions_top_n);
   std::partial_sort(rows.begin(), rows.begin() + top_n, rows.end(),
-                    [](const Row& a, const Row& b) {
+                    [](const ShardSessionRow& a, const ShardSessionRow& b) {
                       if (a.waiting != b.waiting) return a.waiting > b.waiting;
                       return a.client_id < b.client_id;
                     });
 
-  std::string out = "{\"live_sessions\":" + std::to_string(rows.size()) +
-                    ",\"top_n\":" + std::to_string(top_n) +
-                    ",\"sessions\":[";
+  std::string out =
+      "{\"live_sessions\":" +
+      std::to_string(static_cast<std::uint64_t>(live_sessions)) +
+      ",\"top_n\":" + std::to_string(top_n) + ",\"sessions\":[";
   for (std::size_t i = 0; i < top_n; ++i) {
     char row[192];
     std::snprintf(row, sizeof(row),
@@ -655,7 +480,7 @@ std::string Gateway::render_sessions() {
                   i > 0 ? "," : "",
                   static_cast<unsigned long long>(rows[i].client_id),
                   rows[i].waiting, rows[i].staleness,
-                  radio::to_string(rows[i].state).c_str());
+                  radio::to_string(rows[i].rrc).c_str());
     out += row;
   }
   out += "]}\n";
@@ -673,6 +498,12 @@ obs::RunReport Gateway::build_report() const {
                         std::to_string(config_.session.tick_period));
   report.add_provenance("bandwidth_Bps",
                         std::to_string(config_.session.bandwidth));
+  // Only a sharded gateway stamps its shard count into the compared
+  // provenance — a --shards 1 report stays byte-identical to the
+  // historical unsharded one.
+  if (config_.shards > 1) {
+    report.add_provenance("shards", std::to_string(config_.shards));
+  }
 
   report.add_result("clients_accepted",
                     static_cast<double>(stats_.clients_accepted));
@@ -697,17 +528,20 @@ obs::RunReport Gateway::build_report() const {
   report.gateway = section;
 
   report.ledger = ledger_;
-  report.metrics = metrics_.snapshot();
+  report.metrics = report_metrics_;
   report.add_environment("port", static_cast<double>(port_));
   report.add_environment("time_scale", config_.time_scale);
+  // The environment section is never compared, so the shard count can ride
+  // here unconditionally.
+  report.add_environment("shards", static_cast<double>(config_.shards));
   // Stats-plane telemetry rides in the non-compared environment section so
   // the compared report stays byte-identical whether or not anyone scraped.
   report.add_environment("stats_requests",
                          static_cast<double>(stats_server_.requests_served()));
   report.add_environment("watchdog_trips",
-                         static_cast<double>(watchdog_trips_));
+                         static_cast<double>(watchdog_trips_total_));
   report.add_environment("flight_dumps",
-                         static_cast<double>(flight_dumps_));
+                         static_cast<double>(flight_dumps_total_));
   return report;
 }
 

@@ -1,198 +1,139 @@
-// The live gateway daemon core: a single-threaded, level-triggered epoll
-// event loop serving thousands of TCP clients that speak the wire protocol
-// of system/protocol.h (HELLO/HEARTBEAT/CARGO -> ACK), one ClientSession
-// (HeartbeatMonitor + scheduler + modeled RRC uplink) per connection.
+// The live gateway daemon: N worker shards (gateway/shard.h), each a
+// single-threaded epoll loop with its own scaled WallClock and session
+// map, serving TCP clients that speak the wire protocol of
+// system/protocol.h (HELLO/HEARTBEAT/CARGO -> ACK).
+//
+// The Gateway is the orchestrator. open() binds the listeners — one
+// SO_REUSEPORT listener per shard when the kernel allows it, otherwise a
+// single listener on shard 0 that deals accepted fds round-robin through
+// the shards' hand-off mailboxes — and run() spawns one thread per extra
+// shard, serves shard 0 on the calling thread, joins, and folds the
+// shards' contributions into one GatewayStats + EnergyLedger + merged
+// metrics snapshot (gateway/fold.h). With --shards 1 the fold preserves
+// session close order, so the report is byte-identical to the historical
+// single-loop gateway; with more shards it is a pure function of the
+// session records, independent of thread interleaving.
 //
 // Threading model: open()/run()/build_report() belong to one thread.
-// request_stop() is the only cross-thread (and async-signal-safe) entry —
-// it writes one byte to a self-pipe the loop polls. SIGINT/SIGTERM can be
-// routed to it with install_signal_handlers().
+// request_stop() is cross-thread (and async-signal-safe): one pipe byte
+// per shard. SIGINT/SIGTERM/SIGUSR1 can be fanned out to every shard with
+// install_signal_handlers().
 //
-// Shutdown is graceful: the loop stops accepting, flushes every live
-// session's waiting queues through the modeled uplink (sending final
-// ACKs best-effort), folds each session's transmission log into the
-// gateway-wide energy ledger and meter, and — when `report_path` is set —
-// writes a RunReport manifest with the `gateway` section report_check
-// validates (docs/gateway.md).
+// The stats plane (docs/live_telemetry.md) is served from shard 0's loop;
+// its handlers aggregate shard 0's fresh state with the snapshots every
+// other shard publishes after each epoll wake. /metrics keeps the
+// unsharded family names as cross-shard aggregates and adds
+// shard-labeled families; /healthz trips when any shard blows its
+// tick-lag budget — or stops publishing long enough to look wedged.
+//
+// Shutdown is graceful: every shard stops accepting, flushes its live
+// sessions' waiting queues through the modeled uplink (final ACKs
+// best-effort), and keeps one fold record per session; the fold then
+// bills them all, and — when `report_path` is set — run() writes a
+// RunReport manifest with the `gateway` section report_check validates
+// (docs/gateway.md).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/policy_registry.h"
-#include "gateway/session.h"
-#include "obs/metrics.h"
+#include "gateway/fold.h"
+#include "gateway/shard.h"
 #include "obs/report.h"
 #include "obs/stats_server.h"
-#include "obs/trace_buffer.h"
 #include "sim/clock.h"
 
 namespace etrain::gateway {
 
-struct GatewayConfig {
-  SessionConfig session;
-  /// Clock seconds per real second for the gateway's WallClock (> 0).
-  /// Load tests compress time; production runs at 1.
-  double time_scale = 1.0;
-  /// TCP port to listen on; 0 binds an ephemeral port (open() returns it).
-  int port = 0;
-  int listen_backlog = 4096;
-  /// When non-empty, run() writes a RunReport manifest here on shutdown.
-  std::string report_path;
-  /// Bench name stamped into the report.
-  std::string bench_name = "gateway";
-
-  /// Live telemetry plane (docs/live_telemetry.md). -1 disables the
-  /// stats listener; 0 binds an ephemeral port (Gateway::stats_port()
-  /// reports it); open() throws — loudly — when the bind fails.
-  int stats_port = -1;
-  /// Tick-lag watchdog budget, REAL seconds: the loop is unhealthy when
-  /// the earliest pending alarm is overdue by more than this. A trip
-  /// dumps the flight recorder (once per unhealthy episode).
-  double watchdog_budget_s = 5.0;
-  /// Flight-recorder ring capacity, events (always on; ~40 B each).
-  std::size_t flight_capacity = std::size_t{1} << 16;
-  /// Where SIGUSR1 / watchdog trips dump the flight recorder
-  /// (Chrome trace_event JSON).
-  std::string flight_path = "gateway.flight.json";
-  /// Row cap of the /sessions endpoint (top-N by queue depth).
-  std::size_t sessions_top_n = 20;
-};
-
-/// Loop-wide totals. Client partition: accepted == disconnected +
-/// at_shutdown once run() returns. Packet partition: enqueued ==
-/// piggybacked + dripped + flushed (sessions are always flushed before
-/// they fold, so nothing is left waiting).
-struct GatewayStats {
-  std::uint64_t clients_accepted = 0;
-  std::uint64_t clients_disconnected = 0;
-  std::uint64_t clients_at_shutdown = 0;
-  std::uint64_t protocol_errors = 0;
-  std::uint64_t heartbeats = 0;
-  std::uint64_t packets_enqueued = 0;
-  std::uint64_t packets_piggybacked = 0;
-  std::uint64_t packets_dripped = 0;
-  std::uint64_t packets_flushed = 0;
-  std::uint64_t transmissions = 0;
-  /// Sum of per-session measure_energy network totals — the meter the
-  /// report's ledger must re-bill.
-  Joules meter_total_J = 0.0;
-};
-
 class Gateway {
  public:
+  /// Validates config (1 <= shards <= kMaxShards, throws
+  /// std::invalid_argument otherwise) and constructs the shards.
   Gateway(const core::PolicyRegistry& registry, GatewayConfig config);
   ~Gateway();
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
 
-  /// Binds + listens and creates the epoll/self-pipe plumbing. Returns the
-  /// bound port. Throws std::runtime_error on any socket failure.
+  /// Binds + listens (per-shard SO_REUSEPORT listeners, or the hand-off
+  /// fallback) and creates each shard's epoll/self-pipe plumbing. Returns
+  /// the bound port. Throws std::runtime_error on any socket failure.
   int open();
   int port() const { return port_; }
 
-  /// Serves until request_stop(); then performs the graceful shutdown
-  /// described above (including the report when configured).
+  int shard_count() const { return config_.shards; }
+  /// True when connections are dealt from shard 0's single listener
+  /// instead of per-shard SO_REUSEPORT listeners. Meaningful after open().
+  bool handoff_mode() const { return handoff_; }
+
+  /// Serves until request_stop(); then performs the graceful shutdown and
+  /// fold described above (including the report when configured).
   void run();
 
-  /// Stops the loop from any thread or signal handler (one pipe write).
+  /// Stops every shard from any thread or signal handler (pipe writes).
   void request_stop();
 
-  /// Routes SIGINT/SIGTERM to request_stop() for this instance, saving the
-  /// previous dispositions. At most one Gateway may have handlers
-  /// installed at a time.
+  /// Routes SIGINT/SIGTERM (stop) and SIGUSR1 (flight dump) to every
+  /// shard's self-pipe, saving the previous dispositions. At most one
+  /// Gateway may have handlers installed at a time.
   void install_signal_handlers();
   /// Restores the saved dispositions (idempotent; also run by ~Gateway).
   void restore_signal_handlers();
 
+  /// The folded gateway-wide totals. Meaningful after run() returned.
   const GatewayStats& stats() const { return stats_; }
   const obs::EnergyLedger& ledger() const { return ledger_; }
-  sim::WallClock& clock() { return clock_; }
-  obs::Registry& metrics() { return metrics_; }
+  /// Per-session digests in fold order — which shard owned each session
+  /// and what it contributed. Meaningful after run() returned.
+  const std::vector<SessionDigest>& session_digests() const {
+    return session_digests_;
+  }
+  /// Shard 0's clock (each shard owns its own; they tick independently).
+  sim::WallClock& clock() { return shards_[0]->clock(); }
 
   /// Bound port of the stats listener; -1 when disabled.
   int stats_port() const {
     return stats_server_.is_open() ? stats_server_.port() : -1;
   }
-  /// The always-on flight recorder ring (docs/live_telemetry.md).
-  const obs::TraceBuffer& flight_recorder() const { return flight_; }
-  /// Healthy -> unhealthy watchdog transitions so far.
-  std::uint64_t watchdog_trips() const { return watchdog_trips_; }
-  /// Writes the flight recorder to `config.flight_path` as a Chrome
-  /// trace_event file. Run on SIGUSR1 and on every watchdog trip; callable
-  /// directly from the loop thread (tests do).
-  void dump_flight_recorder();
+  /// Healthy -> unhealthy watchdog transitions across all shards,
+  /// summed at fold time. Meaningful after run() returned.
+  std::uint64_t watchdog_trips() const { return watchdog_trips_total_; }
 
   /// The shutdown manifest (also what run() writes to `report_path`).
   /// Meaningful after run() returned.
   obs::RunReport build_report() const;
 
  private:
-  struct Connection;
-
-  void accept_ready();
-  void handle_readable(Connection& conn);
-  void handle_writable(Connection& conn);
-  /// Parses buffered frames; false = drop the connection (protocol error).
-  bool dispatch_frames(Connection& conn);
-  void queue_ack(Connection& conn, const ScheduledPacket& packet);
-  /// Flushes the session, folds its energy, closes the socket.
-  void close_connection(int fd, bool at_shutdown);
-  void fold_session(ClientSession& session);
-  void update_write_interest(Connection& conn);
-  int wait_timeout_ms() const;
-
-  /// Tick-lag of the loop in REAL seconds: how overdue the earliest
-  /// pending alarm is (0 when idle or on time).
-  double tick_lag_s() const;
-  /// Evaluates the watchdog after each epoll wake: trips (dump + counter)
-  /// on the healthy -> unhealthy edge, recovers with hysteresis at half
-  /// the budget.
-  void poll_watchdog();
+  /// The stats-plane handlers (run on shard 0's loop thread): shard 0
+  /// contributes a fresh view, every other shard its published snapshot.
+  std::vector<ShardSnapshot> shard_views();
   std::string render_metrics();
   obs::StatsHealth render_health();
   std::string render_sessions();
 
   const core::PolicyRegistry& registry_;
   GatewayConfig config_;
-  sim::WallClock clock_;
-  obs::Registry metrics_;
+  std::vector<std::unique_ptr<GatewayShard>> shards_;
 
-  int epoll_fd_ = -1;
-  int listen_fd_ = -1;
-  int pipe_read_fd_ = -1;
-  int pipe_write_fd_ = -1;
   int port_ = 0;
-  bool stop_ = false;
+  bool handoff_ = false;
+  bool opened_ = false;
   bool signals_installed_ = false;
 
-  std::map<int, std::unique_ptr<Connection>> connections_;
+  /// The stats listener, served by shard 0's loop.
+  obs::StatsServer stats_server_;
 
+  /// Fold results, filled when run() returns.
   GatewayStats stats_;
   obs::EnergyLedger ledger_;
-
-  /// The live telemetry plane: listener + flight recorder + watchdog.
-  /// All of it only *reads* loop state — never feeds back into scheduling.
-  obs::StatsServer stats_server_;
-  obs::TraceBuffer flight_;
-  bool watchdog_unhealthy_ = false;
-  std::uint64_t watchdog_trips_ = 0;
-  std::uint64_t flight_dumps_ = 0;
-
-  /// Live counters (bumped as frames arrive, not at session fold) backing
-  /// /metrics mid-run. Equal to the folded GatewayStats once every
-  /// session closed. They live in their own registry so the RunReport's
-  /// metrics section stays exactly what it was before the stats plane
-  /// existed (the report-comparison contract).
-  obs::Registry live_;
-  obs::Counter* ctr_accepted_ = nullptr;
-  obs::Counter* ctr_heartbeats_ = nullptr;
-  obs::Counter* ctr_enqueued_ = nullptr;
-  obs::Counter* ctr_scheduled_ = nullptr;
-  obs::Counter* ctr_errors_ = nullptr;
+  obs::MetricsSnapshot report_metrics_;
+  std::vector<SessionDigest> session_digests_;
+  std::uint64_t watchdog_trips_total_ = 0;
+  std::uint64_t flight_dumps_total_ = 0;
 };
 
 }  // namespace etrain::gateway

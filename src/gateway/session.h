@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "android/heartbeat_monitor.h"
@@ -119,6 +120,10 @@ class ClientSession {
 
   const SessionCounters& counters() const { return counters_; }
   const radio::TransmissionLog& log() const { return log_; }
+  /// Moves the transmission log out for the shutdown fold (the session is
+  /// closed afterwards — the shard keeps the log in its SessionFoldRecord
+  /// instead of billing it at close time; see gateway/fold.h).
+  radio::TransmissionLog release_log() { return std::move(log_); }
   std::size_t waiting() const { return queues_.total_size(); }
 
   /// The per-session monitor, read-only — the stats plane derives the

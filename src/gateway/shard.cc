@@ -1,0 +1,622 @@
+#include "gateway/shard.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/exporters.h"
+
+namespace etrain::gateway {
+
+namespace {
+
+/// Real-second floor between two session-map scans for the published
+/// snapshot — the cheap scalar half refreshes every wake, the O(sessions)
+/// half at this bounded rate so publishing never dominates a busy loop.
+constexpr double kSessionScanInterval = 0.1;
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("gateway: fcntl(O_NONBLOCK) failed");
+  }
+}
+
+/// Upper bounds for the enqueue->transmit latency histogram, in clock
+/// seconds: sub-second drips up to multi-cycle waits.
+std::vector<double> latency_bounds() {
+  return {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+          30.0, 45.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0};
+}
+
+/// Where shard `shard_id` dumps its flight recorder. A 1-shard gateway
+/// keeps the configured path verbatim (the pre-shard contract; SIGUSR1
+/// tests depend on it); sharded gateways suffix the stem per shard so
+/// dumps never clobber each other.
+std::string flight_path_for(const std::string& path, int shard_id,
+                            int shard_count) {
+  if (shard_count <= 1) return path;
+  const std::string suffix = ".shard" + std::to_string(shard_id);
+  const std::string ext = ".json";
+  if (path.size() >= ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+    return path.substr(0, path.size() - ext.size()) + suffix + ext;
+  }
+  return path + suffix;
+}
+
+}  // namespace
+
+/// Per-connection state. Address-stable (held by unique_ptr) because the
+/// session's transmit callback captures a pointer to it.
+struct GatewayShard::Connection {
+  int fd = -1;
+  system::wire::FrameReader reader;
+  std::unique_ptr<ClientSession> session;
+  /// Accept order on this shard — the session's fold-record tie-break.
+  std::uint64_t accept_seq = 0;
+  /// Outbound ACK bytes not yet accepted by the kernel.
+  std::string outbuf;
+  std::size_t out_off = 0;
+  bool want_write = false;
+
+  bool has_backlog() const { return out_off < outbuf.size(); }
+};
+
+GatewayShard::GatewayShard(const core::PolicyRegistry& registry,
+                           const GatewayConfig& config, int shard_id,
+                           int shard_count)
+    : registry_(registry),
+      config_(config),
+      shard_id_(shard_id),
+      shard_count_(shard_count),
+      clock_(config.time_scale),
+      flight_(config.flight_capacity),
+      flight_path_(
+          flight_path_for(config.flight_path, shard_id, shard_count)) {}
+
+GatewayShard::~GatewayShard() {
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  connections_.clear();
+  for (const int fd : mailbox_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (pipe_read_fd_ >= 0) ::close(pipe_read_fd_);
+  if (pipe_write_fd_ >= 0) ::close(pipe_write_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void GatewayShard::open(int listen_fd) {
+  listen_fd_ = listen_fd;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw std::runtime_error("gateway: pipe() failed");
+  }
+  pipe_read_fd_ = pipe_fds[0];
+  pipe_write_fd_ = pipe_fds[1];
+  set_nonblocking(pipe_read_fd_);
+  set_nonblocking(pipe_write_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("gateway: epoll_create1() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (listen_fd_ >= 0) {
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+      throw std::runtime_error(
+          "gateway: epoll_ctl(ADD, listener) failed: " +
+          std::string(std::strerror(errno)));
+    }
+  }
+  ev.data.fd = pipe_read_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, pipe_read_fd_, &ev) < 0) {
+    throw std::runtime_error("gateway: epoll_ctl(ADD, self-pipe) failed: " +
+                             std::string(std::strerror(errno)));
+  }
+
+  // Touch the metrics so the report always carries the same shape.
+  metrics_.histogram("gateway.latency_s", latency_bounds());
+
+  // Live counters for the stats plane (separate registry; see shard.h).
+  ctr_accepted_ = &live_.counter("gateway.clients_accepted");
+  ctr_heartbeats_ = &live_.counter("gateway.heartbeats");
+  ctr_enqueued_ = &live_.counter("gateway.packets_enqueued");
+  ctr_scheduled_ = &live_.counter("gateway.packets_scheduled");
+  ctr_errors_ = &live_.counter("gateway.protocol_errors");
+
+  // Shard 0 answers scrapes from its own fresh state; the others publish.
+  publish_ = config_.stats_port >= 0 && shard_count_ > 1 && shard_id_ != 0;
+}
+
+void GatewayShard::request_stop() {
+  if (pipe_write_fd_ < 0) {
+    stop_ = true;
+    return;
+  }
+  [[maybe_unused]] const ssize_t n =
+      ::write(pipe_write_fd_, &kPipeStop, 1);
+}
+
+void GatewayShard::request_flight_dump() {
+  if (pipe_write_fd_ < 0) return;
+  [[maybe_unused]] const ssize_t n =
+      ::write(pipe_write_fd_, &kPipeFlightDump, 1);
+}
+
+void GatewayShard::deliver_fd(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mutex_);
+    mailbox_.push_back(fd);
+  }
+  [[maybe_unused]] const ssize_t n =
+      ::write(pipe_write_fd_, &kPipeMailbox, 1);
+}
+
+int GatewayShard::wait_timeout_ms() const {
+  const std::optional<TimePoint> next = clock_.next_alarm();
+  if (!next.has_value()) return 1000;  // idle heartbeat of the loop itself
+  const double wait_s = clock_.real_seconds_until(*next);
+  if (wait_s <= 0.0) return 0;
+  // Round up so we never spin-wake just before the deadline; cap so a far
+  // alarm cannot make the loop unresponsive to anything epoll misses.
+  return static_cast<int>(std::min(1000.0, std::ceil(wait_s * 1000.0)));
+}
+
+void GatewayShard::run() {
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("gateway: run() before open()");
+  }
+  epoll_event events[128];
+  while (!stop_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 128, wait_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("gateway: epoll_wait() failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == pipe_read_fd_) {
+        char drain[64];
+        ssize_t got;
+        bool mailbox_ready = false;
+        while ((got = ::read(pipe_read_fd_, drain, sizeof(drain))) > 0) {
+          for (ssize_t j = 0; j < got; ++j) {
+            if (drain[j] == kPipeFlightDump) {
+              dump_flight_recorder();
+            } else if (drain[j] == kPipeMailbox) {
+              mailbox_ready = true;
+            } else {
+              stop_ = true;
+            }
+          }
+        }
+        if (mailbox_ready) drain_mailbox(/*adopt=*/true);
+      } else if (fd == listen_fd_) {
+        accept_ready();
+      } else if (stats_ != nullptr && stats_->owns(fd)) {
+        stats_->handle_event(fd, mask);
+      } else {
+        const auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;  // closed earlier this batch
+        Connection& conn = *it->second;
+        if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_connection(fd, /*at_shutdown=*/false);
+          continue;
+        }
+        if ((mask & EPOLLOUT) != 0) handle_writable(conn);
+        if (connections_.find(fd) == connections_.end()) continue;
+        if ((mask & EPOLLIN) != 0) handle_readable(conn);
+      }
+    }
+    // Fire due session ticks after the socket work so a tick sees every
+    // frame that arrived before its deadline.
+    clock_.run_due();
+    poll_watchdog();
+    if (publish_) publish_snapshot();
+  }
+  if (stats_ != nullptr) stats_->close_all();
+
+  // Fds still parked in the mailbox were never adopted (never counted as
+  // accepted), so closing them silently keeps the client partition exact.
+  drain_mailbox(/*adopt=*/false);
+
+  // Graceful shutdown: flush every live session into its fold record.
+  const std::vector<int> live = [this] {
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    return fds;
+  }();
+  for (const int fd : live) close_connection(fd, /*at_shutdown=*/true);
+  if (publish_) publish_snapshot();
+}
+
+void GatewayShard::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    if (!handoff_peers_.empty()) {
+      // Hand-off mode (shard 0 only): deal accepted fds round-robin.
+      GatewayShard* target =
+          handoff_peers_[handoff_rr_++ % handoff_peers_.size()];
+      if (target != this) {
+        target->deliver_fd(fd);
+        continue;
+      }
+    }
+    adopt_fd(fd);
+  }
+}
+
+void GatewayShard::adopt_fd(int fd) {
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->accept_seq = accept_seq_++;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    ::close(fd);
+    return;
+  }
+  ++io_.clients_accepted;
+  if (ctr_accepted_ != nullptr) ctr_accepted_->increment();
+  connections_.emplace(fd, std::move(conn));
+}
+
+void GatewayShard::drain_mailbox(bool adopt) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mutex_);
+    fds.swap(mailbox_);
+  }
+  for (const int fd : fds) {
+    if (adopt) {
+      adopt_fd(fd);
+    } else {
+      ::close(fd);
+    }
+  }
+}
+
+void GatewayShard::handle_readable(Connection& conn) {
+  const int fd = conn.fd;
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (!dispatch_frames(conn)) {
+        ++io_.protocol_errors;
+        if (ctr_errors_ != nullptr) ctr_errors_->increment();
+        flight_.record(obs::TraceEvent::tx_failure(
+            clock_.now(), /*kind=*/0, /*entity=*/fd, /*attempt=*/1,
+            /*airtime=*/0.0));
+        close_connection(fd, /*at_shutdown=*/false);
+        return;
+      }
+      // A BYE inside the batch closed (and freed) the connection.
+      if (connections_.find(fd) == connections_.end()) return;
+      if (static_cast<std::size_t>(n) < sizeof(buf)) return;  // drained
+      continue;
+    }
+    if (n == 0) {  // orderly EOF without BYE: treat as disconnect
+      close_connection(fd, /*at_shutdown=*/false);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(fd, /*at_shutdown=*/false);
+    return;
+  }
+}
+
+bool GatewayShard::dispatch_frames(Connection& conn) {
+  using system::wire::FrameReader;
+  system::wire::Frame frame;
+  while (true) {
+    const FrameReader::Status status = conn.reader.next(frame);
+    if (status == FrameReader::Status::kNeedMore) return true;
+    if (status == FrameReader::Status::kError) return false;
+    switch (frame.type) {
+      case system::wire::FrameType::kHello: {
+        if (conn.session != nullptr) return false;  // double HELLO
+        system::wire::HelloFrame hello;
+        if (!system::wire::decode_hello(frame.payload, hello)) return false;
+        Connection* conn_ptr = &conn;
+        try {
+          conn.session = std::make_unique<ClientSession>(
+              hello, registry_, config_.session, clock_,
+              [this, conn_ptr](const ScheduledPacket& packet) {
+                queue_ack(*conn_ptr, packet);
+              });
+        } catch (const std::invalid_argument&) {
+          return false;  // bad registration (no apps / duplicates)
+        }
+        break;
+      }
+      case system::wire::FrameType::kHeartbeat: {
+        if (conn.session == nullptr) return false;
+        system::wire::HeartbeatFrame hb;
+        if (!system::wire::decode_heartbeat(frame.payload, hb)) return false;
+        if (!conn.session->on_heartbeat(hb.train_app, clock_.now())) {
+          return false;
+        }
+        if (ctr_heartbeats_ != nullptr) ctr_heartbeats_->increment();
+        flight_.record(obs::TraceEvent::heartbeat_tx(
+            clock_.now(), static_cast<std::int32_t>(hb.train_app),
+            static_cast<std::int64_t>(config_.session.heartbeat_bytes)));
+        break;
+      }
+      case system::wire::FrameType::kCargo: {
+        if (conn.session == nullptr) return false;
+        system::wire::CargoFrame cargo;
+        if (!system::wire::decode_cargo(frame.payload, cargo)) return false;
+        if (!conn.session->on_cargo(cargo, clock_.now())) return false;
+        if (ctr_enqueued_ != nullptr) ctr_enqueued_->increment();
+        flight_.record(obs::TraceEvent::slot_begin(
+            clock_.now(),
+            static_cast<std::int32_t>(conn.session->waiting()),
+            static_cast<double>(cargo.bytes)));
+        break;
+      }
+      case system::wire::FrameType::kBye:
+        if (!frame.payload.empty()) return false;
+        close_connection(conn.fd, /*at_shutdown=*/false);
+        return true;  // conn is gone; stop dispatching
+      case system::wire::FrameType::kAck:
+        return false;  // clients never send ACK
+    }
+  }
+}
+
+void GatewayShard::queue_ack(Connection& conn,
+                             const ScheduledPacket& packet) {
+  metrics_.histogram("gateway.latency_s", latency_bounds())
+      .add(packet.latency());
+  if (ctr_scheduled_ != nullptr) ctr_scheduled_->increment();
+  flight_.record(obs::TraceEvent::packet_select(
+      packet.transmitted, static_cast<std::int32_t>(packet.wire_app),
+      static_cast<std::int64_t>(packet.packet_id), packet.latency(),
+      static_cast<double>(packet.bytes)));
+  system::wire::AckFrame ack;
+  ack.packet_id = packet.packet_id;
+  ack.latency_s = packet.latency();
+  ack.boarded = packet.piggybacked ? 1 : 0;
+  const bool was_idle = !conn.has_backlog();
+  conn.outbuf += system::wire::encode_ack(ack);
+  if (was_idle) {
+    // Opportunistic immediate write; EPOLLOUT only for the remainder.
+    handle_writable(conn);
+  } else {
+    update_write_interest(conn);
+  }
+}
+
+void GatewayShard::handle_writable(Connection& conn) {
+  while (conn.has_backlog()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer is gone; the read side will observe it too, but don't spin.
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    break;
+  }
+  if (!conn.has_backlog()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+  }
+  update_write_interest(conn);
+}
+
+void GatewayShard::update_write_interest(Connection& conn) {
+  const bool want = conn.has_backlog();
+  if (want == conn.want_write) return;
+  conn.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void GatewayShard::close_connection(int fd, bool at_shutdown) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (conn.session != nullptr) {
+    // Flush queued cargo through the modeled uplink (final ACKs are
+    // queued by the transmit callback), push what the kernel will take,
+    // then keep the session's bill for the shutdown fold. The horizon is
+    // computed here, at close time, so the deferred fold bills exactly
+    // what the close-time fold would have (see gateway/fold.h).
+    conn.session->flush(clock_.now());
+    handle_writable(conn);
+    SessionFoldRecord record;
+    record.client_id = conn.session->client_id();
+    record.seq = conn.accept_seq;
+    record.counters = conn.session->counters();
+    record.horizon = conn.session->energy_horizon(clock_.now());
+    record.log = conn.session->release_log();
+    records_.push_back(std::move(record));
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  if (at_shutdown) {
+    ++io_.clients_at_shutdown;
+  } else {
+    ++io_.clients_disconnected;
+  }
+}
+
+double GatewayShard::tick_lag_s() const {
+  const std::optional<TimePoint> next = clock_.next_alarm();
+  if (!next.has_value()) return 0.0;  // idle loops are never late
+  const double lag_clock = clock_.now() - *next;
+  return lag_clock > 0.0 ? lag_clock / config_.time_scale : 0.0;
+}
+
+void GatewayShard::poll_watchdog() {
+  const double lag = tick_lag_s();
+  if (!watchdog_unhealthy_) {
+    if (lag > config_.watchdog_budget_s) {
+      watchdog_unhealthy_ = true;
+      ++watchdog_trips_;
+      dump_flight_recorder();  // capture the run-up to the stall
+    }
+  } else if (lag <= config_.watchdog_budget_s * 0.5) {
+    watchdog_unhealthy_ = false;  // hysteresis: recover at half budget
+  }
+}
+
+void GatewayShard::dump_flight_recorder() {
+  ++flight_dumps_;
+  try {
+    obs::write_chrome_trace_file(flight_path_, flight_.events());
+  } catch (const std::runtime_error&) {
+    // Diagnostics only — an unwritable path must never take the loop down.
+  }
+}
+
+void GatewayShard::scan_sessions(ShardSnapshot& view) {
+  const TimePoint now = clock_.now();
+  view.live_sessions = 0.0;
+  view.queued_cargo = 0.0;
+  view.rrc_sessions[0] = view.rrc_sessions[1] = view.rrc_sessions[2] = 0.0;
+  view.stale_max = 0.0;
+  view.stale_sum = 0.0;
+  view.stale_n = 0.0;
+  view.top_sessions.clear();
+  for (const auto& [fd, conn] : connections_) {
+    (void)fd;
+    if (conn->session == nullptr) continue;
+    view.live_sessions += 1.0;
+    view.queued_cargo += static_cast<double>(conn->session->waiting());
+    const radio::RrcState state =
+        obs::state_at(conn->session->log(), config_.session.model, now);
+    view.rrc_sessions[static_cast<int>(state)] += 1.0;
+    const std::optional<TimePoint> beat =
+        conn->session->monitor().most_recent_beat();
+    double staleness = -1.0;
+    if (beat.has_value()) {
+      staleness = std::max(0.0, now - *beat);
+      view.stale_max = std::max(view.stale_max, staleness);
+      view.stale_sum += staleness;
+      view.stale_n += 1.0;
+    }
+    view.top_sessions.push_back(ShardSessionRow{
+        conn->session->client_id(), conn->session->waiting(), staleness,
+        state});
+  }
+  // Keep only the top-N rows by queue depth (ties: lower client id) — the
+  // /sessions merge across shards re-sorts, so each shard's cap suffices.
+  const std::size_t top_n =
+      std::min(view.top_sessions.size(), config_.sessions_top_n);
+  std::partial_sort(view.top_sessions.begin(),
+                    view.top_sessions.begin() + top_n,
+                    view.top_sessions.end(),
+                    [](const ShardSessionRow& a, const ShardSessionRow& b) {
+                      if (a.waiting != b.waiting) return a.waiting > b.waiting;
+                      return a.client_id < b.client_id;
+                    });
+  view.top_sessions.resize(top_n);
+  view.report_metrics = metrics_.snapshot();
+}
+
+ShardSnapshot GatewayShard::live_view() {
+  ShardSnapshot view;
+  view.started = true;
+  view.published_wall_s = steady_seconds();
+  view.clients_accepted = ctr_accepted_ ? ctr_accepted_->value() : 0;
+  view.heartbeats = ctr_heartbeats_ ? ctr_heartbeats_->value() : 0;
+  view.packets_enqueued = ctr_enqueued_ ? ctr_enqueued_->value() : 0;
+  view.packets_scheduled = ctr_scheduled_ ? ctr_scheduled_->value() : 0;
+  view.protocol_errors = ctr_errors_ ? ctr_errors_->value() : 0;
+  view.connections = connections_.size();
+  view.now = clock_.now();
+  view.tick_lag_s = tick_lag_s();
+  view.watchdog_unhealthy = watchdog_unhealthy_;
+  view.watchdog_trips = watchdog_trips_;
+  view.flight_events = flight_.size();
+  view.flight_dropped = flight_.dropped();
+  view.flight_dumps = flight_dumps_;
+  scan_sessions(view);
+  return view;
+}
+
+void GatewayShard::publish_snapshot() {
+  const double wall = steady_seconds();
+  const bool scan = last_session_scan_wall_s_ < 0.0 ||
+                    wall - last_session_scan_wall_s_ >= kSessionScanInterval;
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_.started = true;
+  snapshot_.published_wall_s = wall;
+  snapshot_.clients_accepted = ctr_accepted_ ? ctr_accepted_->value() : 0;
+  snapshot_.heartbeats = ctr_heartbeats_ ? ctr_heartbeats_->value() : 0;
+  snapshot_.packets_enqueued = ctr_enqueued_ ? ctr_enqueued_->value() : 0;
+  snapshot_.packets_scheduled =
+      ctr_scheduled_ ? ctr_scheduled_->value() : 0;
+  snapshot_.protocol_errors = ctr_errors_ ? ctr_errors_->value() : 0;
+  snapshot_.connections = connections_.size();
+  snapshot_.now = clock_.now();
+  snapshot_.tick_lag_s = tick_lag_s();
+  snapshot_.watchdog_unhealthy = watchdog_unhealthy_;
+  snapshot_.watchdog_trips = watchdog_trips_;
+  snapshot_.flight_events = flight_.size();
+  snapshot_.flight_dropped = flight_.dropped();
+  snapshot_.flight_dumps = flight_dumps_;
+  if (scan) {
+    scan_sessions(snapshot_);
+    last_session_scan_wall_s_ = wall;
+  }
+}
+
+ShardSnapshot GatewayShard::published_view() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+ShardContribution GatewayShard::take_contribution() {
+  ShardContribution out;
+  out.io = io_;
+  out.records = std::move(records_);
+  records_.clear();
+  out.metrics = metrics_.snapshot();
+  return out;
+}
+
+}  // namespace etrain::gateway

@@ -1,0 +1,283 @@
+// One worker shard of the sharded gateway (docs/gateway.md#sharding): a
+// single-threaded, level-triggered epoll event loop serving TCP clients
+// that speak the wire protocol of system/protocol.h, one ClientSession
+// (HeartbeatMonitor + scheduler + modeled RRC uplink) per connection.
+//
+// A shard owns its epoll fd, its own scaled WallClock, its session map,
+// its metrics registries and its flight recorder — nothing on the frame
+// hot path is shared, so ClientSession stays lock-free and byte-identical
+// to the unsharded gateway. Connections land on a shard either through its
+// own SO_REUSEPORT listener (the kernel pins the 4-tuple to one accept
+// queue) or, in hand-off mode, through the mailbox: shard 0 accepts and
+// deliver_fd() hands the raw fd over (threads share the fd table, so an
+// int is enough), with a self-pipe byte waking the target loop. Either
+// way a session lives and dies on one shard.
+//
+// Threading model: open() belongs to the owning thread (the Gateway);
+// run() to the shard thread. Cross-thread entries are request_stop(),
+// request_flight_dump(), deliver_fd() (all one mutex-free-or-tiny-critical
+// pipe write) and published_view(), a mutex-guarded copy of the snapshot
+// the loop publishes after every wake for the stats plane. Everything
+// else — including take_contribution() — synchronizes via thread join.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.h"
+#include "gateway/fold.h"
+#include "gateway/session.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/trace_buffer.h"
+#include "sim/clock.h"
+
+namespace etrain::gateway {
+
+/// Upper bound on worker shards — sized by the static signal-handler
+/// fan-out table (gateway.cc), far above any sane core count.
+inline constexpr int kMaxShards = 64;
+
+/// Self-pipe control bytes: written by the shard's own cross-thread
+/// entries, by Gateway's fan-out, and by the signal handler.
+inline constexpr char kPipeStop = 1;
+inline constexpr char kPipeFlightDump = 2;
+inline constexpr char kPipeMailbox = 3;
+
+struct GatewayConfig {
+  SessionConfig session;
+  /// Clock seconds per real second for every shard's WallClock (> 0).
+  /// Load tests compress time; production runs at 1.
+  double time_scale = 1.0;
+  /// TCP port to listen on; 0 binds an ephemeral port (open() returns it).
+  int port = 0;
+  int listen_backlog = 4096;
+  /// When non-empty, run() writes a RunReport manifest here on shutdown.
+  std::string report_path;
+  /// Bench name stamped into the report.
+  std::string bench_name = "gateway";
+
+  /// Worker shards (1..kMaxShards): each owns its own epoll loop, scaled
+  /// WallClock and session map; a connection is pinned to one shard for
+  /// life. 1 keeps the exact pre-shard single-loop behavior (and report
+  /// bytes).
+  int shards = 1;
+  /// How connections land on shards when shards > 1. kAuto tries
+  /// per-shard SO_REUSEPORT listeners and falls back to accept-and-hand-
+  /// off from shard 0 when the socket option is unavailable; the explicit
+  /// modes force one path (tests exercise both).
+  enum class AcceptMode { kAuto, kReusePort, kHandoff };
+  AcceptMode accept_mode = AcceptMode::kAuto;
+
+  /// Live telemetry plane (docs/live_telemetry.md). -1 disables the
+  /// stats listener; 0 binds an ephemeral port (Gateway::stats_port()
+  /// reports it); open() throws — loudly — when the bind fails. The
+  /// listener is served by shard 0's loop; other shards publish snapshot
+  /// structs it aggregates.
+  int stats_port = -1;
+  /// Tick-lag watchdog budget, REAL seconds: a shard is unhealthy when
+  /// its earliest pending alarm is overdue by more than this. A trip
+  /// dumps that shard's flight recorder (once per unhealthy episode).
+  double watchdog_budget_s = 5.0;
+  /// Flight-recorder ring capacity per shard, events (always on; ~40 B
+  /// each).
+  std::size_t flight_capacity = std::size_t{1} << 16;
+  /// Where SIGUSR1 / watchdog trips dump the flight recorder (Chrome
+  /// trace_event JSON). With one shard the path is used verbatim; with N
+  /// shards each dumps to <stem>.shard<i>.json.
+  std::string flight_path = "gateway.flight.json";
+  /// Row cap of the /sessions endpoint (top-N by queue depth).
+  std::size_t sessions_top_n = 20;
+};
+
+/// One /sessions row in a shard's published view.
+struct ShardSessionRow {
+  std::uint64_t client_id = 0;
+  std::size_t waiting = 0;
+  double staleness = -1.0;  ///< clock seconds; -1 before any observed beat
+  radio::RrcState rrc = radio::RrcState::kIdle;
+};
+
+/// The read-only view a shard publishes for the stats plane. Shard 0
+/// computes its own view fresh inside the scrape handler (it runs on shard
+/// 0's loop thread); every other shard publishes a copy under its mutex at
+/// the end of each epoll wake — the cheap scalar half every wake, the
+/// session-scan half at a bounded real-time interval.
+struct ShardSnapshot {
+  /// False until the shard's loop published for the first time — the
+  /// health wedge check skips shards that have not started yet.
+  bool started = false;
+  /// std::chrono::steady_clock seconds of the last publish; the /healthz
+  /// handler treats a long-stale snapshot as a wedged shard (a stuck loop
+  /// cannot report its own tick lag).
+  double published_wall_s = 0.0;
+
+  // Cheap half — refreshed at the end of every epoll wake.
+  std::uint64_t clients_accepted = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t packets_enqueued = 0;
+  std::uint64_t packets_scheduled = 0;
+  std::uint64_t protocol_errors = 0;
+  std::size_t connections = 0;
+  double now = 0.0;  ///< the shard clock's current reading
+  double tick_lag_s = 0.0;
+  bool watchdog_unhealthy = false;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t flight_events = 0;
+  std::uint64_t flight_dropped = 0;
+  std::uint64_t flight_dumps = 0;
+
+  // Session-scan half — one pass over the session map, refreshed at most
+  // every ~100 real ms (kSessionScanInterval in shard.cc).
+  double live_sessions = 0.0;
+  double queued_cargo = 0.0;
+  double rrc_sessions[3] = {0.0, 0.0, 0.0};  ///< idle, fach, dch
+  double stale_max = 0.0;
+  double stale_sum = 0.0;
+  double stale_n = 0.0;
+  std::vector<ShardSessionRow> top_sessions;  ///< capped at sessions_top_n
+
+  /// The shard's report registry (the latency histogram), refreshed with
+  /// the session-scan half; merged across shards for /metrics.
+  obs::MetricsSnapshot report_metrics;
+};
+
+class GatewayShard {
+ public:
+  /// `config` must outlive the shard (the Gateway owns both).
+  GatewayShard(const core::PolicyRegistry& registry,
+               const GatewayConfig& config, int shard_id, int shard_count);
+  ~GatewayShard();
+
+  GatewayShard(const GatewayShard&) = delete;
+  GatewayShard& operator=(const GatewayShard&) = delete;
+
+  /// Creates the epoll/self-pipe plumbing and adopts `listen_fd` (already
+  /// bound + listening + nonblocking; -1 = no listener, hand-off target).
+  /// Throws std::runtime_error on any failure — including a failed
+  /// epoll_ctl registration, which used to be silently ignored.
+  void open(int listen_fd);
+
+  int shard_id() const { return shard_id_; }
+  int epoll_fd() const { return epoll_fd_; }
+  int pipe_write_fd() const { return pipe_write_fd_; }
+
+  /// Shard 0 only: the stats listener served from this shard's loop.
+  void attach_stats(obs::StatsServer* stats) { stats_ = stats; }
+  /// Shard 0 only, hand-off mode: the accept round-robin targets
+  /// (including this shard itself).
+  void set_handoff_peers(std::vector<GatewayShard*> peers) {
+    handoff_peers_ = std::move(peers);
+  }
+
+  /// Serves until request_stop(), then gracefully closes every live
+  /// session into fold records. Runs on the shard thread.
+  void run();
+
+  /// Stops the loop from any thread or signal handler (one pipe write).
+  void request_stop();
+  /// Asks the loop to dump its flight recorder (async, any thread).
+  void request_flight_dump();
+  /// Hand-off: adopt an accepted connection fd (any thread). The fd is
+  /// parked in the mailbox and adopted at the loop's next wake; fds still
+  /// parked at shutdown are closed unaccounted (they were never accepted
+  /// into the stats partition).
+  void deliver_fd(int fd);
+
+  /// The latest published snapshot (mutex copy; any thread).
+  ShardSnapshot published_view() const;
+  /// A fresh view computed now. Loop-thread only — shard 0's scrape
+  /// handlers use it so a 1-shard gateway scrapes exact, never-stale state
+  /// (the pre-shard behavior).
+  ShardSnapshot live_view();
+
+  sim::WallClock& clock() { return clock_; }
+  /// Tick-lag of this shard's loop in REAL seconds (loop thread only).
+  double tick_lag_s() const;
+  /// Post-join accessors for the report's environment section.
+  std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+  std::uint64_t flight_dumps() const { return flight_dumps_; }
+
+  /// This shard's fold input (consumed). Call after run() returned —
+  /// thread join is the synchronization point.
+  ShardContribution take_contribution();
+
+ private:
+  struct Connection;
+
+  void accept_ready();
+  /// Registers an accepted fd as a connection on THIS shard.
+  void adopt_fd(int fd);
+  void drain_mailbox(bool adopt);
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  /// Parses buffered frames; false = drop the connection (protocol error).
+  bool dispatch_frames(Connection& conn);
+  void queue_ack(Connection& conn, const ScheduledPacket& packet);
+  /// Flushes the session, keeps its fold record, closes the socket.
+  void close_connection(int fd, bool at_shutdown);
+  void update_write_interest(Connection& conn);
+  int wait_timeout_ms() const;
+  void poll_watchdog();
+  void dump_flight_recorder();
+  /// Fills the session-scan half of `view` from the live session map.
+  void scan_sessions(ShardSnapshot& view);
+  void publish_snapshot();
+
+  const core::PolicyRegistry& registry_;
+  const GatewayConfig& config_;
+  const int shard_id_;
+  const int shard_count_;
+  sim::WallClock clock_;
+  obs::Registry metrics_;
+  obs::TraceBuffer flight_;
+  std::string flight_path_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int pipe_read_fd_ = -1;
+  int pipe_write_fd_ = -1;
+  bool stop_ = false;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::uint64_t accept_seq_ = 0;  ///< fold-record tie-break source
+  /// Connection-level counters (session fields folded later).
+  GatewayStats io_;
+  std::vector<SessionFoldRecord> records_;
+
+  obs::StatsServer* stats_ = nullptr;
+  std::vector<GatewayShard*> handoff_peers_;
+  std::uint64_t handoff_rr_ = 0;
+
+  bool watchdog_unhealthy_ = false;
+  std::uint64_t watchdog_trips_ = 0;
+  std::uint64_t flight_dumps_ = 0;
+
+  /// Hand-off mailbox: raw accepted fds awaiting adoption.
+  std::mutex mailbox_mutex_;
+  std::vector<int> mailbox_;
+
+  /// The published snapshot (see ShardSnapshot). Only shards other than 0
+  /// publish, and only when the stats plane is on.
+  bool publish_ = false;
+  mutable std::mutex snapshot_mutex_;
+  ShardSnapshot snapshot_;
+  double last_session_scan_wall_s_ = -1.0;
+
+  /// Live counters (bumped as frames arrive, not at session fold) backing
+  /// /metrics mid-run. Equal to the folded GatewayStats once every session
+  /// closed. They live in their own registry so the RunReport's metrics
+  /// section stays exactly what it was before the stats plane existed.
+  obs::Registry live_;
+  obs::Counter* ctr_accepted_ = nullptr;
+  obs::Counter* ctr_heartbeats_ = nullptr;
+  obs::Counter* ctr_enqueued_ = nullptr;
+  obs::Counter* ctr_scheduled_ = nullptr;
+  obs::Counter* ctr_errors_ = nullptr;
+};
+
+}  // namespace etrain::gateway

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -205,6 +206,65 @@ class Registry {
   std::deque<NamedCounter> counters_;
   std::deque<NamedHistogram> histograms_;
 };
+
+/// Merges `from` into `into` by metric name: counters add, histograms
+/// (which must share bucket bounds) add their counts element-wise and
+/// widen min/max; families absent from `into` are appended in `from`
+/// order. Merging one snapshot into an empty one reproduces it exactly,
+/// bit for bit — which is what keeps a 1-shard gateway report
+/// byte-identical to the unsharded fold (docs/gateway.md). Throws
+/// std::invalid_argument when two histograms of the same name disagree on
+/// bounds.
+inline void merge_snapshot_into(MetricsSnapshot& into,
+                                const MetricsSnapshot& from) {
+  for (const auto& counter : from.counters) {
+    CounterSnapshot* existing = nullptr;
+    for (auto& c : into.counters) {
+      if (c.name == counter.name) {
+        existing = &c;
+        break;
+      }
+    }
+    if (existing == nullptr) {
+      into.counters.push_back(counter);
+    } else {
+      existing->value += counter.value;
+    }
+  }
+  for (const auto& histogram : from.histograms) {
+    HistogramSnapshot* existing = nullptr;
+    for (auto& h : into.histograms) {
+      if (h.name == histogram.name) {
+        existing = &h;
+        break;
+      }
+    }
+    if (existing == nullptr) {
+      into.histograms.push_back(histogram);
+      continue;
+    }
+    if (existing->bounds != histogram.bounds) {
+      throw std::invalid_argument(
+          "merge_snapshot_into: histogram bounds differ for '" +
+          histogram.name + "'");
+    }
+    for (std::size_t i = 0; i < existing->counts.size(); ++i) {
+      existing->counts[i] += histogram.counts[i];
+    }
+    if (histogram.count > 0) {
+      // Empty snapshots report min()/max() as 0.0 — only a non-empty side
+      // may contribute to the observed range.
+      existing->min = existing->count == 0
+                          ? histogram.min
+                          : std::min(existing->min, histogram.min);
+      existing->max = existing->count == 0
+                          ? histogram.max
+                          : std::max(existing->max, histogram.max);
+      existing->count += histogram.count;
+      existing->sum += histogram.sum;
+    }
+  }
+}
 
 /// The observability hooks a run accepts: both optional, both may be null.
 /// Passed by value (two pointers) through run_slotted / EtrainSystem.

@@ -1,0 +1,403 @@
+// Sharded-gateway tests (gateway/shard.h, gateway/fold.h): the
+// deterministic shutdown fold — one-shard folds preserve session close
+// order and reproduce the historical close-time fold bit for bit,
+// multi-shard folds are a pure function of the records — plus the live
+// properties of a sharded Gateway over real loopback sockets: sessions
+// pinned to exactly one shard (both SO_REUSEPORT and forced hand-off
+// accept paths), shard-labeled /metrics families, and SIGTERM mid-load
+// draining every shard into one report_check-clean manifest.
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "gateway/fold.h"
+#include "gateway/loadgen.h"
+#include "obs/report_check.h"
+#include "obs/stats_server.h"
+#include "radio/energy_meter.h"
+
+namespace {
+
+using namespace etrain;
+
+/// A non-overlapping synthetic uplink log whose shape depends on `flavor`,
+/// so different sessions produce different energy bills.
+radio::TransmissionLog make_log(double start, int entries, int flavor) {
+  radio::TransmissionLog log;
+  double t = start;
+  for (int i = 0; i < entries; ++i) {
+    radio::Transmission tx;
+    tx.start = t;
+    tx.duration = 0.4 + 0.07 * static_cast<double>((flavor + i) % 5);
+    tx.bytes = 800 + 150 * static_cast<Bytes>(i);
+    tx.kind = i % 3 == 0 ? radio::TxKind::kHeartbeat : radio::TxKind::kData;
+    tx.app_id = flavor % 2;
+    tx.packet_id = tx.kind == radio::TxKind::kData ? i : -1;
+    log.add(tx);
+    t = tx.end() + 1.0 + 0.6 * static_cast<double>(flavor % 3);
+  }
+  return log;
+}
+
+gateway::SessionFoldRecord make_record(std::uint64_t client_id,
+                                       std::uint64_t seq, int entries,
+                                       int flavor) {
+  gateway::SessionFoldRecord record;
+  record.client_id = client_id;
+  record.seq = seq;
+  record.counters.heartbeats = 2 + client_id;
+  record.counters.enqueued = 5 + seq;
+  record.counters.piggybacked = 3;
+  record.counters.dripped = 1 + seq;
+  record.counters.flushed = 1;
+  record.log = make_log(1.0 + static_cast<double>(flavor), entries, flavor);
+  record.horizon = record.log.last_end() + 60.0;
+  return record;
+}
+
+/// A frozen copy of the pre-shard gateway's close-time fold (the old
+/// Gateway::fold_session), replayed per record in close order. The
+/// one-shard fold_shards must reproduce its accumulation bit for bit.
+struct FrozenFold {
+  gateway::GatewayStats stats;
+  obs::EnergyLedger ledger;
+};
+
+void frozen_fold_session(FrozenFold& fold,
+                         const gateway::SessionFoldRecord& record,
+                         const radio::PowerModel& model) {
+  fold.stats.heartbeats += record.counters.heartbeats;
+  fold.stats.packets_enqueued += record.counters.enqueued;
+  fold.stats.packets_piggybacked += record.counters.piggybacked;
+  fold.stats.packets_dripped += record.counters.dripped;
+  fold.stats.packets_flushed += record.counters.flushed;
+  fold.stats.transmissions += record.log.size();
+  if (record.log.empty()) return;
+  fold.stats.meter_total_J +=
+      radio::measure_energy(record.log, model, record.horizon)
+          .network_energy();
+  obs::append_ledger(fold.ledger, "cellular", record.log, model,
+                     record.horizon);
+}
+
+void expect_ledgers_identical(const obs::EnergyLedger& a,
+                              const obs::EnergyLedger& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].interface_name, b.rows[i].interface_name);
+    EXPECT_EQ(a.rows[i].kind, b.rows[i].kind);
+    EXPECT_EQ(a.rows[i].app, b.rows[i].app);
+    // Exact equality on purpose: the fold contract is bit-identity, not
+    // tolerance — FP accumulation order is pinned.
+    EXPECT_EQ(a.rows[i].tx_J, b.rows[i].tx_J);
+    EXPECT_EQ(a.rows[i].setup_J, b.rows[i].setup_J);
+    EXPECT_EQ(a.rows[i].tail_J, b.rows[i].tail_J);
+    EXPECT_EQ(a.rows[i].transmissions, b.rows[i].transmissions);
+    EXPECT_EQ(a.rows[i].airtime_s, b.rows[i].airtime_s);
+  }
+}
+
+/// First sample of metric `name` in a Prometheus text body; -1 when
+/// absent.
+double prom_value(const std::string& body, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    if (body.compare(pos, needle.size(), needle) == 0) {
+      return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+    }
+    const std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+obs::ReportCheckResult checked(const std::string& path) {
+  const obs::ReportCheckResult result = obs::check_run_report_file(path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.gateway_present);
+  return result;
+}
+
+TEST(GatewayFold, SingleShardPreservesCloseOrderAndMatchesTheFrozenFold) {
+  const radio::PowerModel model = radio::PowerModel::PaperSimulation();
+  // Close order is deliberately NOT sorted by client id: the one-shard
+  // fold must replay it verbatim (that is what keeps a --shards 1 report
+  // byte-identical to the pre-shard gateway).
+  const std::uint64_t close_order[3] = {7, 3, 9};
+
+  FrozenFold frozen;
+  auto make_contribution = [&] {
+    gateway::ShardContribution contribution;
+    contribution.io.clients_accepted = 3;
+    contribution.io.clients_disconnected = 3;
+    for (std::uint64_t seq = 0; seq < 3; ++seq) {
+      contribution.records.push_back(make_record(
+          close_order[seq], seq, 4 + static_cast<int>(seq),
+          static_cast<int>(seq)));
+    }
+    return contribution;
+  };
+  for (const gateway::SessionFoldRecord& record :
+       make_contribution().records) {
+    frozen_fold_session(frozen, record, model);
+  }
+
+  std::vector<gateway::ShardContribution> shards;
+  shards.push_back(make_contribution());
+  const gateway::GatewayFold fold =
+      gateway::fold_shards(std::move(shards), model);
+
+  EXPECT_EQ(fold.stats.clients_accepted, 3u);
+  EXPECT_EQ(fold.stats.heartbeats, frozen.stats.heartbeats);
+  EXPECT_EQ(fold.stats.packets_enqueued, frozen.stats.packets_enqueued);
+  EXPECT_EQ(fold.stats.packets_piggybacked,
+            frozen.stats.packets_piggybacked);
+  EXPECT_EQ(fold.stats.packets_dripped, frozen.stats.packets_dripped);
+  EXPECT_EQ(fold.stats.packets_flushed, frozen.stats.packets_flushed);
+  EXPECT_EQ(fold.stats.transmissions, frozen.stats.transmissions);
+  EXPECT_EQ(fold.stats.meter_total_J, frozen.stats.meter_total_J);
+  expect_ledgers_identical(fold.ledger, frozen.ledger);
+
+  // Digests ride in fold order — close order, for one shard.
+  ASSERT_EQ(fold.sessions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fold.sessions[i].client_id, close_order[i]);
+    EXPECT_EQ(fold.sessions[i].shard, 0);
+  }
+}
+
+TEST(GatewayFold, MultiShardFoldIsIndependentOfRecordOrder) {
+  const radio::PowerModel model = radio::PowerModel::PaperSimulation();
+  // Two shards x three sessions, constructed in two different close
+  // orders. A multi-shard fold sorts records by (client_id, accept seq)
+  // within each shard, so both interleavings must fold identically.
+  auto make_contributions = [&](bool permuted) {
+    std::vector<gateway::ShardContribution> shards(2);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> shard0 = {
+        {11, 0}, {4, 1}, {29, 2}};
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> shard1 = {
+        {16, 0}, {2, 1}, {8, 2}};
+    if (permuted) {
+      std::swap(shard0[0], shard0[2]);
+      std::swap(shard1[0], shard1[1]);
+    }
+    for (const auto& [client, seq] : shard0) {
+      shards[0].records.push_back(make_record(
+          client, seq, 3 + static_cast<int>(seq), static_cast<int>(client)));
+    }
+    for (const auto& [client, seq] : shard1) {
+      shards[1].records.push_back(make_record(
+          client, seq, 2 + static_cast<int>(seq), static_cast<int>(client)));
+    }
+    shards[0].io.clients_accepted = 3;
+    shards[1].io.clients_accepted = 3;
+    return shards;
+  };
+
+  const gateway::GatewayFold a =
+      gateway::fold_shards(make_contributions(false), model);
+  const gateway::GatewayFold b =
+      gateway::fold_shards(make_contributions(true), model);
+
+  EXPECT_EQ(a.stats.clients_accepted, 6u);
+  EXPECT_EQ(a.stats.heartbeats, b.stats.heartbeats);
+  EXPECT_EQ(a.stats.packets_enqueued, b.stats.packets_enqueued);
+  EXPECT_EQ(a.stats.transmissions, b.stats.transmissions);
+  EXPECT_EQ(a.stats.meter_total_J, b.stats.meter_total_J);
+  expect_ledgers_identical(a.ledger, b.ledger);
+
+  // Digest order is canonical: shard 0's records sorted by client id,
+  // then shard 1's.
+  ASSERT_EQ(a.sessions.size(), 6u);
+  const std::uint64_t expected[6] = {4, 11, 29, 2, 8, 16};
+  const int expected_shard[6] = {0, 0, 0, 1, 1, 1};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.sessions[i].client_id, expected[i]);
+    EXPECT_EQ(a.sessions[i].shard, expected_shard[i]);
+    EXPECT_EQ(b.sessions[i].client_id, expected[i]);
+  }
+}
+
+TEST(GatewayShards, HandoffPinsEverySessionToExactlyOneShard) {
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.shards = 2;
+  config.accept_mode = gateway::GatewayConfig::AcceptMode::kHandoff;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  ASSERT_GT(port, 0);
+  EXPECT_TRUE(gw.handoff_mode());
+  std::thread server([&] { gw.run(); });
+
+  gateway::LoadGenConfig load;
+  load.port = port;
+  load.clients = 8;
+  load.duration = 20.0;
+  load.time_scale = config.time_scale;
+  const gateway::LoadGenResult result = gateway::run_load(load);
+
+  gw.request_stop();
+  server.join();
+
+  EXPECT_TRUE(result.all_connected(load));
+  EXPECT_EQ(result.acks_received, result.cargos_sent);
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_EQ(stats.clients_accepted, 8u);
+  EXPECT_EQ(stats.clients_accepted,
+            stats.clients_disconnected + stats.clients_at_shutdown);
+
+  // Every client folded on exactly one shard, and the round-robin deal
+  // split them evenly across both.
+  std::set<std::uint64_t> seen;
+  std::map<int, int> per_shard;
+  for (const gateway::SessionDigest& digest : gw.session_digests()) {
+    EXPECT_TRUE(seen.insert(digest.client_id).second)
+        << "client " << digest.client_id << " folded on two shards";
+    ++per_shard[digest.shard];
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(per_shard[0], 4);
+  EXPECT_EQ(per_shard[1], 4);
+}
+
+TEST(GatewayShards, ReusePortShardsServeAndFoldUnderLoad) {
+  const std::string report_path = "gateway_shard_reuseport.report.json";
+  gateway::GatewayConfig config;
+  config.time_scale = 100.0;
+  config.shards = 4;
+  config.stats_port = 0;
+  config.report_path = report_path;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  const int stats_port = gw.stats_port();
+  ASSERT_GT(stats_port, 0);
+  std::thread server([&] { gw.run(); });
+
+  gateway::LoadGenConfig load;
+  load.port = port;
+  load.clients = 64;
+  load.duration = 30.0;
+  load.time_scale = config.time_scale;
+  const gateway::LoadGenResult result = gateway::run_load(load);
+
+  // Post-drain scrape (the gateway is still serving): the shard-labeled
+  // families are present alongside the aggregated classics.
+  std::string body;
+  ASSERT_EQ(obs::http_get(stats_port, "/metrics", &body), 200);
+  EXPECT_EQ(prom_value(body, "etrain_gateway_shards"), 4.0);
+  for (int shard = 0; shard < 4; ++shard) {
+    const std::string sample = "etrain_gateway_shard_connections{shard=\"" +
+                               std::to_string(shard) + "\"}";
+    EXPECT_NE(body.find(sample), std::string::npos) << sample;
+  }
+
+  gw.request_stop();
+  server.join();
+
+  EXPECT_TRUE(result.all_connected(load));
+  EXPECT_EQ(result.acks_received, result.cargos_sent);
+  EXPECT_EQ(result.protocol_errors, 0u);
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_EQ(stats.clients_accepted, 64u);
+  EXPECT_EQ(stats.clients_accepted,
+            stats.clients_disconnected + stats.clients_at_shutdown);
+  EXPECT_EQ(stats.packets_enqueued, stats.packets_piggybacked +
+                                        stats.packets_dripped +
+                                        stats.packets_flushed);
+  EXPECT_EQ(stats.transmissions, stats.heartbeats + stats.packets_enqueued);
+
+  // Session digests partition the population, and their counters sum to
+  // the folded totals.
+  std::set<std::uint64_t> seen;
+  std::uint64_t heartbeats = 0, enqueued = 0, transmissions = 0;
+  for (const gateway::SessionDigest& digest : gw.session_digests()) {
+    EXPECT_TRUE(seen.insert(digest.client_id).second);
+    heartbeats += digest.counters.heartbeats;
+    enqueued += digest.counters.enqueued;
+    transmissions += digest.transmissions;
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(heartbeats, stats.heartbeats);
+  EXPECT_EQ(enqueued, stats.packets_enqueued);
+  EXPECT_EQ(transmissions, stats.transmissions);
+
+  // The manifest passes report_check's gateway invariants at shard count
+  // 4: exact partitions, ledger re-bills the summed session meters.
+  const obs::ReportCheckResult report = checked(report_path);
+  EXPECT_EQ(report.gateway_clients, 64.0);
+  ASSERT_TRUE(report.gateway_meter_J.has_value());
+  ASSERT_TRUE(report.ledger_total_J.has_value());
+  EXPECT_NEAR(*report.ledger_total_J, *report.gateway_meter_J, 64 * 1e-9);
+  std::remove(report_path.c_str());
+}
+
+TEST(GatewayShards, SigtermMidLoadDrainsEveryShard) {
+  const std::string report_path = "gateway_shard_sigterm.report.json";
+  gateway::GatewayConfig config;
+  config.time_scale = 50.0;
+  config.shards = 2;
+  config.report_path = report_path;
+  gateway::Gateway gw(baselines::builtin_registry(), config);
+  const int port = gw.open();
+  gw.install_signal_handlers();
+  std::thread server([&] { gw.run(); });
+
+  // SIGTERM lands mid-drive, while clients on BOTH shards still hold
+  // queued cargo — the fan-out must stop every shard and the shutdown
+  // flush must drain them all.
+  std::thread killer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::raise(SIGTERM);
+  });
+
+  gateway::LoadGenConfig load;
+  load.port = port;
+  load.clients = 16;
+  load.duration = 60.0;
+  load.time_scale = config.time_scale;
+  load.drain_timeout_s = 5.0;
+  const gateway::LoadGenResult result = gateway::run_load(load);
+  killer.join();
+  server.join();
+  gw.restore_signal_handlers();
+
+  EXPECT_TRUE(result.all_connected(load));
+  const gateway::GatewayStats& stats = gw.stats();
+  EXPECT_GT(stats.clients_at_shutdown, 0u);
+  EXPECT_EQ(stats.clients_accepted,
+            stats.clients_disconnected + stats.clients_at_shutdown);
+  EXPECT_EQ(stats.packets_enqueued, stats.packets_piggybacked +
+                                        stats.packets_dripped +
+                                        stats.packets_flushed);
+  EXPECT_EQ(stats.transmissions, stats.heartbeats + stats.packets_enqueued);
+
+  // Every client folded exactly once, across both shards.
+  std::set<std::uint64_t> seen;
+  std::set<int> shards_used;
+  for (const gateway::SessionDigest& digest : gw.session_digests()) {
+    EXPECT_TRUE(seen.insert(digest.client_id).second);
+    shards_used.insert(digest.shard);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_EQ(shards_used.size(), 2u);
+
+  const obs::ReportCheckResult report = checked(report_path);
+  EXPECT_EQ(report.gateway_clients, 16.0);
+  ASSERT_TRUE(report.gateway_meter_J.has_value());
+  ASSERT_TRUE(report.ledger_total_J.has_value());
+  EXPECT_NEAR(*report.ledger_total_J, *report.gateway_meter_J, 16 * 1e-9);
+  std::remove(report_path.c_str());
+}
+
+}  // namespace
